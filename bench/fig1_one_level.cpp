@@ -1,0 +1,60 @@
+// Figure 1 / Figure 2 reproduction: one level of coarsening of a small
+// demo graph under every mapping method, plus HEC edge classification and
+// heavy-neighbor digraph statistics.
+
+#include <cstdio>
+
+#include "mgc.hpp"
+
+int main() {
+  using namespace mgc;
+  const Exec exec = Exec::threads();
+  const Csr g = make_triangulated_grid(5, 4, 7);
+
+  std::printf("Fig.1 analogue: one level of coarsening, demo graph n=%d "
+              "m=%lld\n\n",
+              g.num_vertices(), static_cast<long long>(g.num_edges()));
+  std::printf("%-10s %6s %8s %10s\n", "method", "nc", "ratio", "coarse m");
+  const Mapping methods[] = {Mapping::kHec,  Mapping::kHem,
+                             Mapping::kMtMetis, Mapping::kGosh,
+                             Mapping::kMis2, Mapping::kHec3};
+  for (const Mapping m : methods) {
+    const CoarseMap cm = compute_mapping(m, exec, g, 1234);
+    const Csr coarse = construct_coarse_graph(exec, g, cm);
+    std::printf("%-10s %6d %8.2f %10lld\n", mapping_name(m).c_str(), cm.nc,
+                coarsening_ratio(cm, g.num_vertices()),
+                static_cast<long long>(coarse.num_edges()));
+  }
+
+  // Fig. 2: classify heavy edges as create/inherit/skip by replaying the
+  // sequential HEC visit order.
+  const std::vector<vid_t> h = heavy_neighbors(exec, g);
+  const std::vector<vid_t> perm = gen_perm(g.num_vertices(), 1234);
+  std::vector<vid_t> m(static_cast<std::size_t>(g.num_vertices()),
+                       kUnmapped);
+  int create = 0, inherit = 0, skip = 0;
+  vid_t nc = 0;
+  for (const vid_t u : perm) {
+    const vid_t v = h[static_cast<std::size_t>(u)];
+    if (m[static_cast<std::size_t>(u)] != kUnmapped) {
+      ++skip;
+      continue;
+    }
+    if (m[static_cast<std::size_t>(v)] == kUnmapped) {
+      m[static_cast<std::size_t>(v)] = nc++;
+      ++create;
+    } else {
+      ++inherit;
+    }
+    m[static_cast<std::size_t>(u)] = m[static_cast<std::size_t>(v)];
+  }
+  int mutual = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const vid_t v = h[static_cast<std::size_t>(u)];
+    if (v != u && h[static_cast<std::size_t>(v)] == u && u < v) ++mutual;
+  }
+  std::printf("\nFig.2 analogue: heavy-edge classes — create=%d inherit=%d "
+              "skip=%d; mutual heavy pairs=%d (pseudoforest 2-cycles)\n",
+              create, inherit, skip, mutual);
+  return 0;
+}

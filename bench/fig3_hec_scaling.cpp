@@ -1,0 +1,94 @@
+// Figure 3 reproduction, three panels:
+//   left   — device HEC coarsening performance rate (graph entries per
+//            second of coarsening time), per graph;
+//   centre — device / host speedup per graph;
+//   right  — weak scaling on the three synthetic families (rgg,
+//            delaunay-mesh, kron) across four sizes.
+
+#include <cstdio>
+#include <vector>
+
+#include "suite.hpp"
+
+namespace {
+
+using namespace mgc;
+
+double coarsen_seconds(const Exec& exec, const Csr& g) {
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHec;
+  opts.construct.method = Construction::kSort;
+  const Hierarchy h = coarsen_multilevel(exec, g, opts);
+  return h.total_seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mgc;
+  using namespace mgc::bench;
+  const Exec dev = Exec::threads();
+  const Exec host = Exec::serial();
+
+  std::printf("Fig.3 left+centre analogue: HEC performance rate and "
+              "device/host speedup\n\n");
+  std::printf("%-14s %12s %14s %10s %8s\n", "Graph", "size(2m+n)",
+              "rate(ME/s dev)", "dev(s)", "speedup");
+  print_rule(64);
+  std::vector<double> speedups;
+  for (const SuiteEntry& e : suite()) {
+    const Csr g = e.make();
+    const double size = static_cast<double>(g.num_entries()) +
+                        static_cast<double>(g.num_vertices());
+    const double t_dev = coarsen_seconds(dev, g);
+    const double t_host = coarsen_seconds(host, g);
+    const double rate = t_dev > 0 ? size / t_dev / 1e6 : 0;
+    const double speedup = t_dev > 0 ? t_host / t_dev : 0;
+    speedups.push_back(speedup);
+    std::printf("%-14s %12.0f %14.1f %10.3f %8.2f\n", e.name.c_str(), size,
+                rate, t_dev, speedup);
+  }
+  std::printf("%-14s %12s %14s %10s %8.2f  (geomean)\n", "GeoMean", "", "",
+              "", geomean(speedups));
+  print_rule(64);
+
+  std::printf("\nFig.3 right analogue: weak scaling (performance rate vs "
+              "size)\n\n");
+  std::printf("%-10s %10s %10s %14s\n", "family", "n", "2m+n",
+              "rate(ME/s dev)");
+  print_rule(48);
+  struct Scale {
+    const char* family;
+    std::function<Csr(int)> make;
+  };
+  const std::vector<Scale> families = {
+      {"rgg",
+       [](int s) {
+         const vid_t n = vid_t{1} << (12 + s);
+         const double r = std::sqrt(16.0 / (3.14159265 * n));
+         return make_rgg(n, r, 300 + static_cast<std::uint64_t>(s));
+       }},
+      {"delaunay",
+       [](int s) {
+         const vid_t side = static_cast<vid_t>(64 << s);
+         return make_triangulated_grid(side, side,
+                                       400 + static_cast<std::uint64_t>(s));
+       }},
+      {"kron",
+       [](int s) {
+         return largest_connected_component(
+             make_rmat(11 + s, 12, 500 + static_cast<std::uint64_t>(s)));
+       }},
+  };
+  for (const auto& fam : families) {
+    for (int s = 0; s < 4; ++s) {
+      const Csr g = fam.make(s);
+      const double size = static_cast<double>(g.num_entries()) +
+                          static_cast<double>(g.num_vertices());
+      const double t = coarsen_seconds(dev, g);
+      std::printf("%-10s %10d %10.0f %14.1f\n", fam.family,
+                  g.num_vertices(), size, t > 0 ? size / t / 1e6 : 0);
+    }
+  }
+  return 0;
+}

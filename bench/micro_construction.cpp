@@ -1,0 +1,106 @@
+// Google-benchmark microbenchmarks for one level of coarse-graph
+// construction: every method on a regular mesh and on a skewed graph, plus
+// the coarse-mapping kernels themselves.
+
+#include <benchmark/benchmark.h>
+
+#include "coarsen/hec.hpp"
+#include "coarsen/mapping.hpp"
+#include "construct/construct.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace mgc;
+
+const Csr& mesh_graph() {
+  static const Csr g = make_triangulated_grid(120, 120, 5);
+  return g;
+}
+
+const Csr& skewed_graph() {
+  static const Csr g =
+      largest_connected_component(make_chung_lu(12000, 16, 2.0, 7));
+  return g;
+}
+
+const CoarseMap& mesh_map() {
+  static const CoarseMap cm = hec_parallel(Exec::threads(), mesh_graph(), 5);
+  return cm;
+}
+
+const CoarseMap& skewed_map() {
+  static const CoarseMap cm =
+      hec_parallel(Exec::threads(), skewed_graph(), 5);
+  return cm;
+}
+
+void construct_bench(benchmark::State& state, const Csr& g,
+                     const CoarseMap& cm, Construction method,
+                     DegreeDedup dedup) {
+  const Exec exec = Exec::threads();
+  ConstructOptions opts;
+  opts.method = method;
+  opts.degree_dedup = dedup;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(construct_coarse_graph(exec, g, cm, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.num_entries());
+}
+
+void BM_ConstructMesh(benchmark::State& state) {
+  construct_bench(state, mesh_graph(), mesh_map(),
+                  static_cast<Construction>(state.range(0)),
+                  DegreeDedup::kAuto);
+}
+BENCHMARK(BM_ConstructMesh)
+    ->Arg(static_cast<int>(Construction::kSort))
+    ->Arg(static_cast<int>(Construction::kHash))
+    ->Arg(static_cast<int>(Construction::kHeap))
+    ->Arg(static_cast<int>(Construction::kHybrid))
+    ->Arg(static_cast<int>(Construction::kSpgemm))
+    ->Arg(static_cast<int>(Construction::kGlobalSort));
+
+void BM_ConstructSkewed(benchmark::State& state) {
+  construct_bench(state, skewed_graph(), skewed_map(),
+                  static_cast<Construction>(state.range(0)),
+                  DegreeDedup::kAuto);
+}
+BENCHMARK(BM_ConstructSkewed)
+    ->Arg(static_cast<int>(Construction::kSort))
+    ->Arg(static_cast<int>(Construction::kHash))
+    ->Arg(static_cast<int>(Construction::kHeap))
+    ->Arg(static_cast<int>(Construction::kHybrid))
+    ->Arg(static_cast<int>(Construction::kSpgemm))
+    ->Arg(static_cast<int>(Construction::kGlobalSort));
+
+void BM_ConstructSkewedDedupOff(benchmark::State& state) {
+  construct_bench(state, skewed_graph(), skewed_map(), Construction::kSort,
+                  DegreeDedup::kOff);
+}
+BENCHMARK(BM_ConstructSkewedDedupOff);
+
+void BM_MappingKernel(benchmark::State& state) {
+  const Exec exec = Exec::threads();
+  const Csr& g = skewed_graph();
+  const Mapping m = static_cast<Mapping>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_mapping(m, exec, g, 42));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.num_entries());
+}
+BENCHMARK(BM_MappingKernel)
+    ->Arg(static_cast<int>(Mapping::kHec))
+    ->Arg(static_cast<int>(Mapping::kHec2))
+    ->Arg(static_cast<int>(Mapping::kHec3))
+    ->Arg(static_cast<int>(Mapping::kHem))
+    ->Arg(static_cast<int>(Mapping::kMtMetis))
+    ->Arg(static_cast<int>(Mapping::kGosh))
+    ->Arg(static_cast<int>(Mapping::kGoshHec))
+    ->Arg(static_cast<int>(Mapping::kMis2));
+
+}  // namespace
+
+BENCHMARK_MAIN();

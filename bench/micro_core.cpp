@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks for the portability core: parallel
+// primitives, permutation generation, and the sorting kernels. These
+// quantify the per-primitive costs the table benches aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/exec.hpp"
+#include "core/permutation.hpp"
+#include "core/prng.hpp"
+#include "core/sorting.hpp"
+
+namespace {
+
+using namespace mgc;
+
+Exec exec_for(int backend) {
+  return backend == 0 ? Exec::serial() : Exec::threads();
+}
+
+void BM_ParallelFor(benchmark::State& state) {
+  const Exec exec = exec_for(static_cast<int>(state.range(0)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    parallel_for(exec, n, [&](std::size_t i) { out[i] = splitmix64(i); });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelFor)
+    ->Args({0, 1 << 16})
+    ->Args({1, 1 << 16})
+    ->Args({0, 1 << 20})
+    ->Args({1, 1 << 20});
+
+void BM_ParallelReduce(benchmark::State& state) {
+  const Exec exec = exec_for(static_cast<int>(state.range(0)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto sum = parallel_sum<std::uint64_t>(
+        exec, n, [](std::size_t i) { return splitmix64(i); });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelReduce)->Args({0, 1 << 20})->Args({1, 1 << 20});
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  const Exec exec = exec_for(static_cast<int>(state.range(0)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::int64_t> values(n, 3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::fill(values.begin(), values.end(), 3);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        parallel_exclusive_scan(exec, values.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExclusiveScan)->Args({0, 1 << 20})->Args({1, 1 << 20});
+
+void BM_ParGenPerm(benchmark::State& state) {
+  const Exec exec = exec_for(static_cast<int>(state.range(0)));
+  const vid_t n = static_cast<vid_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par_gen_perm(exec, n, 42));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ParGenPerm)->Args({0, 1 << 18})->Args({1, 1 << 18});
+
+void BM_RadixSortPairs(benchmark::State& state) {
+  const Exec exec = exec_for(static_cast<int>(state.range(0)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::uint64_t> keys(n), vals(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = splitmix64(i);
+      vals[i] = i;
+    }
+    state.ResumeTiming();
+    radix_sort_pairs(exec, keys.data(), vals.data(), n);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RadixSortPairs)->Args({0, 1 << 18})->Args({1, 1 << 18});
+
+void BM_StdSortReference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < n; ++i) pairs[i] = {splitmix64(i), i};
+    state.ResumeTiming();
+    std::sort(pairs.begin(), pairs.end());
+    benchmark::DoNotOptimize(pairs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StdSortReference)->Arg(1 << 18);
+
+void BM_BitonicSortSegment(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<vid_t> keys(n);
+  std::vector<wgt_t> vals(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<vid_t>(splitmix64(i) & 0xffff);
+      vals[i] = 1;
+    }
+    state.ResumeTiming();
+    bitonic_sort_pairs(keys.data(), vals.data(), n);
+    benchmark::DoNotOptimize(keys.data());
+  }
+}
+BENCHMARK(BM_BitonicSortSegment)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

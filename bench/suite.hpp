@@ -1,0 +1,86 @@
+#pragma once
+// The 20-graph evaluation suite (bench analogue of paper Table I).
+//
+// Each paper graph is replaced by a scaled-down synthetic generator chosen
+// to match its domain structure and — crucially — its degree-skew class
+// (regular vs skewed), since that is the variable the paper's analysis
+// keys on. Sizes are chosen so the full harness runs in minutes on one
+// core. Every graph is preprocessed exactly like the paper: undirected,
+// self-loop-free, largest connected component.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mgc.hpp"
+
+namespace mgc::bench {
+
+struct SuiteEntry {
+  std::string name;    ///< paper graph this stands in for
+  std::string domain;  ///< paper domain tag
+  bool skewed;         ///< paper group (regular vs skewed-degree)
+  std::function<Csr()> make;
+};
+
+inline std::vector<SuiteEntry> suite() {
+  return {
+      // ---- regular group (ordered as in Table I) ----
+      {"HV15R", "cfd", false, [] { return make_rgg(16000, 0.02185, 101); }},
+      {"rgg24", "syn", false, [] { return make_rgg(32768, 0.01247, 102); }},
+      {"nlpkkt160", "opt", false, [] { return make_grid3d(28, 28, 28); }},
+      {"europeOsm", "road", false,
+       [] { return make_road_like(180, 180, 0.42, 104); }},
+      {"CubeCoup", "fem", false, [] { return make_grid3d(24, 24, 24); }},
+      {"delaunay24", "syn", false,
+       [] { return make_triangulated_grid(160, 160, 106); }},
+      {"Flan1565", "fem", false, [] { return make_rgg(12000, 0.02725, 107); }},
+      {"MLGeer", "sim", false, [] { return make_grid3d(26, 26, 13); }},
+      {"cage15", "bio", false,
+       [] { return largest_connected_component(make_erdos_renyi(20000, 9.0, 109)); }},
+      {"channel050", "sim", false, [] { return make_grid3d(30, 30, 15); }},
+      // ---- skewed-degree group ----
+      {"ic04", "www", true,
+       [] { return largest_connected_component(make_chung_lu(24000, 20.0, 1.9, 201)); }},
+      {"Orkut", "soc", true,
+       [] { return largest_connected_component(make_chung_lu(24000, 30.0, 2.2, 202)); }},
+      {"vasStokes4M", "vlsi", true,
+       [] { return largest_connected_component(make_chung_lu(20000, 22.0, 2.8, 203)); }},
+      {"kmerU1a", "bio", true,
+       [] { return largest_connected_component(make_kmer_like(40000, 0.002, 204)); }},
+      {"kron21", "syn", true,
+       [] { return largest_connected_component(make_rmat(14, 12, 205)); }},
+      {"products", "ecom", true,
+       [] { return largest_connected_component(make_chung_lu(16000, 26.0, 2.3, 206)); }},
+      {"hollywood09", "soc", true,
+       [] { return largest_connected_component(make_chung_lu(10000, 50.0, 2.1, 207)); }},
+      {"mycielskian17", "syn", true, [] { return make_mycielskian(10); }},
+      {"citation", "cit", true,
+       [] { return largest_connected_component(make_chung_lu(14000, 20.0, 2.4, 208)); }},
+      {"ppa", "bio", true,
+       [] { return largest_connected_component(make_chung_lu(6000, 70.0, 2.5, 209)); }},
+  };
+}
+
+/// Geometric mean helper for the "GeoMean" rows of the paper's tables.
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0;
+  int count = 0;
+  for (const double x : xs) {
+    if (x > 0) {
+      log_sum += std::log(x);
+      ++count;
+    }
+  }
+  return count > 0 ? std::exp(log_sum / count) : 0.0;
+}
+
+inline void print_rule(int width = 86) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace mgc::bench

@@ -1,0 +1,84 @@
+// Table II reproduction: HEC-based multilevel coarsening on the "device"
+// (Backend::Threads), comparing graph-construction strategies.
+//
+// Columns mirror the paper: total coarsening time with sort-based
+// construction (t_c), the percentage of that time spent in construction
+// (%GrCo), and the ratio of total construction time using hashing / SpGEMM
+// to the sort-based construction time. GeoMean rows are printed per group.
+
+#include <cstdio>
+#include <vector>
+
+#include "suite.hpp"
+
+namespace {
+
+using namespace mgc;
+
+struct Row {
+  double t_c = 0;
+  double grco_pct = 0;
+  double hash_ratio = 0;
+  double spgemm_ratio = 0;
+};
+
+double construct_time(const Exec& exec, const Csr& g, Construction method,
+                      std::uint64_t seed) {
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHec;
+  opts.construct.method = method;
+  opts.seed = seed;
+  const Hierarchy h = coarsen_multilevel(exec, g, opts);
+  return h.construct_seconds();
+}
+
+Row run_graph(const Exec& exec, const Csr& g) {
+  Row row;
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHec;
+  opts.construct.method = Construction::kSort;
+  const Hierarchy h = coarsen_multilevel(exec, g, opts);
+  row.t_c = h.total_seconds();
+  row.grco_pct = row.t_c > 0 ? 100.0 * h.construct_seconds() / row.t_c : 0;
+  const double sort_time = h.construct_seconds();
+  const double hash_time = construct_time(exec, g, Construction::kHash, 42);
+  const double spgemm_time =
+      construct_time(exec, g, Construction::kSpgemm, 42);
+  row.hash_ratio = sort_time > 0 ? hash_time / sort_time : 0;
+  row.spgemm_ratio = sort_time > 0 ? spgemm_time / sort_time : 0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mgc;
+  using namespace mgc::bench;
+  const Exec exec = Exec::threads();
+
+  std::printf("Table II analogue: HEC coarsening on device "
+              "(Backend::Threads, %d threads)\n\n",
+              exec.concurrency());
+  std::printf("%-14s %8s %7s %10s %10s\n", "Graph", "t_c(s)", "%GrCo",
+              "Hash/Sort", "SpGEMM/Sort");
+  print_rule(54);
+
+  for (const bool skewed_group : {false, true}) {
+    std::vector<double> grco, hash_r, spgemm_r;
+    for (const SuiteEntry& e : suite()) {
+      if (e.skewed != skewed_group) continue;
+      const Csr g = e.make();
+      const Row row = run_graph(exec, g);
+      std::printf("%-14s %8.3f %7.0f %10.2f %10.2f\n", e.name.c_str(),
+                  row.t_c, row.grco_pct, row.hash_ratio, row.spgemm_ratio);
+      grco.push_back(row.grco_pct);
+      hash_r.push_back(row.hash_ratio);
+      spgemm_r.push_back(row.spgemm_ratio);
+    }
+    std::printf("%-14s %8s %7.0f %10.2f %10.2f   (%s group)\n", "GeoMean",
+                "", geomean(grco), geomean(hash_r), geomean(spgemm_r),
+                skewed_group ? "skewed" : "regular");
+    print_rule(54);
+  }
+  return 0;
+}

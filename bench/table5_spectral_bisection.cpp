@@ -1,0 +1,85 @@
+// Table V reproduction: multilevel spectral bisection on the device with
+// different coarsening methods. Reports total partitioning time with HEC
+// coarsening, the percentage of time in coarsening, the edge cut, and the
+// cut ratios of HEM- and mtMetis-coarsened runs to the HEC run.
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "suite.hpp"
+
+namespace {
+
+using namespace mgc;
+
+std::optional<PartitionResult> run(const Exec& exec, const Csr& g,
+                                   Mapping mapping, std::size_t budget) {
+  CoarsenOptions copts;
+  copts.mapping = mapping;
+  copts.construct.method = Construction::kSort;
+  copts.memory_budget_bytes = budget;
+  SpectralOptions sopts;
+  sopts.max_iterations = 2000;
+  try {
+    return multilevel_spectral_bisect(exec, g, copts, sopts);
+  } catch (const MemoryBudgetExceeded&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace mgc;
+  using namespace mgc::bench;
+  const Exec exec = Exec::threads();
+
+  std::printf("Table V analogue: spectral bisection on device with "
+              "different coarsening methods\n\n");
+  std::printf("%-14s %9s %6s %12s %9s %9s\n", "Graph", "Time(s)", "%Coa",
+              "Edge cut", "HEM/HEC", "mtMts/HEC");
+  print_rule(64);
+
+  for (const bool skewed_group : {false, true}) {
+    std::vector<double> coa_pct, hem_ratio, mt_ratio;
+    for (const SuiteEntry& e : suite()) {
+      if (e.skewed != skewed_group) continue;
+      const Csr g = e.make();
+      const std::size_t budget = g.memory_bytes() * 8;
+      const auto hec = run(exec, g, Mapping::kHec, budget);
+      if (!hec) {
+        std::printf("%-14s  HEC OOM\n", e.name.c_str());
+        continue;
+      }
+      const auto hem = run(exec, g, Mapping::kHem, budget);
+      const auto mt = run(exec, g, Mapping::kMtMetis, budget);
+      const double pct = 100.0 * hec->coarsen_fraction();
+      std::printf("%-14s %9.2f %6.0f %12lld", e.name.c_str(),
+                  hec->total_seconds(), pct,
+                  static_cast<long long>(hec->cut));
+      coa_pct.push_back(pct);
+      if (hem && hec->cut > 0) {
+        const double r = static_cast<double>(hem->cut) /
+                         static_cast<double>(hec->cut);
+        hem_ratio.push_back(r);
+        std::printf(" %9.2f", r);
+      } else {
+        std::printf(" %9s", "OOM");
+      }
+      if (mt && hec->cut > 0) {
+        const double r =
+            static_cast<double>(mt->cut) / static_cast<double>(hec->cut);
+        mt_ratio.push_back(r);
+        std::printf(" %9.2f\n", r);
+      } else {
+        std::printf(" %9s\n", "OOM");
+      }
+    }
+    std::printf("%-14s %9s %6.0f %12s %9.2f %9.2f  (%s geomean)\n",
+                "GeoMean", "", geomean(coa_pct), "", geomean(hem_ratio),
+                geomean(mt_ratio), skewed_group ? "skewed" : "regular");
+    print_rule(64);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#pragma once
+// Multilevel graph clustering (community detection) — one of the
+// multilevel-heuristic applications motivating the paper (§I cites
+// clustering [5]-[7]; §V plans "use our new coarse mapping ... in place of
+// the coarsening routines in well-known multilevel methods for graph
+// clustering").
+//
+// The pipeline is the classic multilevel template over mgc's coarsening:
+// coarsen to a configurable cutoff, seed each coarsest vertex as a
+// cluster, then project level by level with modularity-greedy local moves
+// (Louvain-style refinement) at each level.
+
+#include <cstdint>
+#include <vector>
+
+#include "multilevel/coarsener.hpp"
+
+namespace mgc {
+
+struct ClusterOptions {
+  CoarsenOptions coarsen;  ///< cutoff controls the max cluster count
+  int refine_sweeps = 4;   ///< local-move sweeps per level
+  /// Modularity resolution parameter (1.0 = standard modularity; higher
+  /// values favour smaller communities).
+  double resolution = 1.0;
+};
+
+struct ClusterResult {
+  std::vector<int> cluster;  ///< dense cluster ids per vertex
+  int num_clusters = 0;
+  double modularity = 0.0;
+  int levels = 0;
+};
+
+/// Weighted Newman modularity of an assignment (with resolution gamma).
+double modularity(const Csr& g, const std::vector<int>& cluster,
+                  double resolution = 1.0);
+
+/// Multilevel modularity clustering over the mgc coarsening hierarchy.
+ClusterResult multilevel_cluster(const Exec& exec, const Csr& g,
+                                 const ClusterOptions& opts = {});
+
+}  // namespace mgc

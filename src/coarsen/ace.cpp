@@ -1,0 +1,125 @@
+#include "coarsen/ace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/permutation.hpp"
+
+namespace mgc {
+
+AceResult ace_coarsen(const Exec& exec, const Csr& g, std::uint64_t seed,
+                      const AceOptions& opts) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+
+  // 1. Representative selection: visit in random order; a vertex becomes a
+  // representative unless it already has a representative neighbor
+  // (an independent-set-like rule, as in ACE's coarse-set selection).
+  const std::vector<vid_t> perm = gen_perm(n, seed);
+  std::vector<bool> rep(sn, false);
+  for (const vid_t u : perm) {
+    bool has_rep_neighbor = false;
+    for (const vid_t v : g.neighbors(u)) {
+      if (rep[static_cast<std::size_t>(v)]) {
+        has_rep_neighbor = true;
+        break;
+      }
+    }
+    if (!has_rep_neighbor) rep[static_cast<std::size_t>(u)] = true;
+  }
+
+  std::vector<vid_t> rep_id(sn, kInvalidVid);
+  vid_t nc = 0;
+  for (std::size_t u = 0; u < sn; ++u) {
+    if (rep[u]) rep_id[u] = nc++;
+  }
+
+  AceResult result;
+  result.nc = nc;
+  result.interp.resize(sn);
+  result.strict.map.assign(sn, kUnmapped);
+  result.strict.nc = nc;
+
+  // 2. Interpolation rows: representatives map to themselves with weight 1;
+  // other vertices distribute over representative neighbors proportionally
+  // to edge weight, optionally truncated to the max_interp strongest.
+  for (vid_t u = 0; u < n; ++u) {
+    const std::size_t su = static_cast<std::size_t>(u);
+    if (rep[su]) {
+      result.interp[su] = {{rep_id[su], 1.0}};
+      result.strict.map[su] = rep_id[su];
+      continue;
+    }
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    std::vector<std::pair<vid_t, double>> row;  // (coarse id, raw weight)
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const std::size_t sv = static_cast<std::size_t>(nbrs[k]);
+      if (rep[sv]) {
+        row.push_back({rep_id[sv], static_cast<double>(ws[k])});
+      }
+    }
+    // Selection rule guarantees a representative neighbor exists.
+    std::sort(row.begin(), row.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (opts.max_interp > 0 &&
+        row.size() > static_cast<std::size_t>(opts.max_interp)) {
+      row.resize(static_cast<std::size_t>(opts.max_interp));
+    }
+    double total = 0;
+    for (const auto& [c, w] : row) total += w;
+    for (auto& [c, w] : row) w /= total;
+    result.strict.map[su] = row.front().first;
+    result.interp[su] = std::move(row);
+  }
+
+  // 3. Coarse graph A_c = P A P^T with fractional weights, rounded up to
+  // integers (>= 1) at the end.
+  std::vector<std::unordered_map<vid_t, double>> acc(
+      static_cast<std::size_t>(nc));
+  for (vid_t u = 0; u < n; ++u) {
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const vid_t v = nbrs[k];
+      if (v < u) continue;  // each undirected edge once
+      const double w = static_cast<double>(ws[k]);
+      for (const auto& [cu, fu] : result.interp[static_cast<std::size_t>(u)]) {
+        for (const auto& [cv, fv] :
+             result.interp[static_cast<std::size_t>(v)]) {
+          if (cu == cv) continue;  // self-loops dropped
+          const vid_t a = std::min(cu, cv);
+          const vid_t b = std::max(cu, cv);
+          acc[static_cast<std::size_t>(a)][b] += fu * fv * w;
+        }
+      }
+    }
+  }
+  std::vector<Edge> edges;
+  for (vid_t a = 0; a < nc; ++a) {
+    for (const auto& [b, w] : acc[static_cast<std::size_t>(a)]) {
+      edges.push_back(
+          {a, b, std::max<wgt_t>(1, static_cast<wgt_t>(std::llround(w)))});
+    }
+  }
+  result.coarse = build_csr_from_edges(nc, std::move(edges));
+  // Coarse vertex weights: interpolated fine mass, rounded, >= 1.
+  std::vector<double> mass(static_cast<std::size_t>(nc), 0.0);
+  for (vid_t u = 0; u < n; ++u) {
+    for (const auto& [c, f] : result.interp[static_cast<std::size_t>(u)]) {
+      mass[static_cast<std::size_t>(c)] +=
+          f * static_cast<double>(g.vwgts[static_cast<std::size_t>(u)]);
+    }
+  }
+  for (vid_t c = 0; c < nc; ++c) {
+    result.coarse.vwgts[static_cast<std::size_t>(c)] = std::max<wgt_t>(
+        1, static_cast<wgt_t>(std::llround(mass[static_cast<std::size_t>(c)])));
+  }
+  (void)exec;
+  return result;
+}
+
+}  // namespace mgc

@@ -1,0 +1,40 @@
+#pragma once
+// ACE weighted aggregation (Koren, Carmel, Harel — "Drawing huge graphs by
+// algebraic multigrid optimization"), TR Algorithm 8.
+//
+// Unlike the strict aggregation schemes, ACE allows many-to-many fine-to-
+// coarse mappings: a representative subset of vertices becomes the coarse
+// vertex set and every other vertex interpolates fractionally from its
+// representative neighbors. The paper implemented ACE but excluded results
+// because the coarse graphs densify quickly; we reproduce that behaviour
+// (see bench/ablation_mappings) and expose a max_interp knob that caps the
+// interpolation stencil to limit densification.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "coarsen/mapping.hpp"
+
+namespace mgc {
+
+struct AceOptions {
+  /// Max representatives a fine vertex interpolates from (0 = unlimited,
+  /// the faithful-but-densifying original).
+  int max_interp = 0;
+};
+
+struct AceResult {
+  Csr coarse;  ///< the coarse graph (weights rounded to >= 1)
+  /// interp[u] = {(coarse id, fraction)} rows of the interpolation matrix P.
+  std::vector<std::vector<std::pair<vid_t, double>>> interp;
+  vid_t nc = 0;
+  /// Strict mapping obtained by assigning each vertex to its strongest
+  /// representative — lets ACE participate in the CoarseMap pipelines.
+  CoarseMap strict;
+};
+
+AceResult ace_coarsen(const Exec& exec, const Csr& g, std::uint64_t seed,
+                      const AceOptions& opts = {});
+
+}  // namespace mgc

@@ -1,0 +1,150 @@
+#include "coarsen/bsuitor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mgc {
+
+namespace {
+
+// Proposal order: heavier first, then smaller proposer id (strict total
+// order so displacement chains terminate).
+struct Proposal {
+  wgt_t w = 0;
+  vid_t from = kInvalidVid;
+
+  bool stronger_than(const Proposal& o) const {
+    if (w != o.w) return w > o.w;
+    return from < o.from;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<vid_t>> bsuitor_matching(const Csr& g, int b) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  // suitors[v] = up to b held proposals, kept sorted weakest-first.
+  std::vector<std::vector<Proposal>> suitors(sn);
+  // proposals_made[u] = how many of u's proposals are currently held.
+  std::vector<int> held(sn, 0);
+
+  // Sequential b-Suitor: each vertex proposes until b of its proposals are
+  // held or no eligible neighbor remains; displaced proposers re-enter.
+  std::vector<vid_t> work;
+  for (vid_t u = 0; u < n; ++u) work.push_back(u);
+  while (!work.empty()) {
+    const vid_t u = work.back();
+    work.pop_back();
+    const std::size_t su = static_cast<std::size_t>(u);
+    while (held[su] < b) {
+      // Find the heaviest neighbor that would accept a (new) proposal
+      // from u. u may hold at most one slot per neighbor.
+      auto nbrs = g.neighbors(u);
+      auto ws = g.edge_weights(u);
+      vid_t best_v = kInvalidVid;
+      wgt_t best_w = 0;
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const vid_t v = nbrs[k];
+        const std::size_t sv = static_cast<std::size_t>(v);
+        // Already holding a slot at v?
+        bool already = false;
+        for (const Proposal& p : suitors[sv]) {
+          if (p.from == u) {
+            already = true;
+            break;
+          }
+        }
+        if (already) continue;
+        const Proposal cand{ws[k], u};
+        // v accepts if it has a free slot or cand beats its weakest.
+        const bool accepts =
+            static_cast<int>(suitors[sv].size()) < b ||
+            cand.stronger_than(suitors[sv].front());
+        if (!accepts) continue;
+        if (best_v == kInvalidVid || ws[k] > best_w ||
+            (ws[k] == best_w && v < best_v)) {
+          best_v = v;
+          best_w = ws[k];
+        }
+      }
+      if (best_v == kInvalidVid) break;
+      const std::size_t sb = static_cast<std::size_t>(best_v);
+      // Insert the proposal, evicting the weakest if full.
+      if (static_cast<int>(suitors[sb].size()) == b) {
+        const Proposal evicted = suitors[sb].front();
+        suitors[sb].erase(suitors[sb].begin());
+        --held[static_cast<std::size_t>(evicted.from)];
+        work.push_back(evicted.from);  // displaced proposer retries
+      }
+      suitors[sb].push_back({best_w, u});
+      std::sort(suitors[sb].begin(), suitors[sb].end(),
+                [](const Proposal& a, const Proposal& c) {
+                  return c.stronger_than(a);  // weakest first
+                });
+      ++held[su];
+    }
+  }
+
+  // Mutual edges: u-v matched iff each holds a proposal from the other.
+  std::vector<std::vector<vid_t>> partners(sn);
+  for (vid_t v = 0; v < n; ++v) {
+    for (const Proposal& p : suitors[static_cast<std::size_t>(v)]) {
+      const std::size_t sf = static_cast<std::size_t>(p.from);
+      for (const Proposal& q : suitors[sf]) {
+        if (q.from == v) {
+          if (p.from > v) {  // record once, then mirror
+            partners[static_cast<std::size_t>(v)].push_back(p.from);
+            partners[sf].push_back(v);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return partners;
+}
+
+CoarseMap bsuitor_mapping(const Exec& exec, const Csr& g, std::uint64_t seed,
+                          const BSuitorOptions& opts) {
+  (void)seed;  // the fixed point is unique under the strict proposal order
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const auto partners = bsuitor_matching(g, opts.b);
+
+  // Greedy component collapse over the mutual-edge subgraph, capped at
+  // max_aggregate members per aggregate.
+  CoarseMap cm;
+  cm.map.assign(sn, kUnmapped);
+  vid_t nc = 0;
+  const vid_t cap = opts.max_aggregate > 0
+                        ? opts.max_aggregate
+                        : std::numeric_limits<vid_t>::max();
+  std::vector<vid_t> stack;
+  for (vid_t s = 0; s < n; ++s) {
+    if (cm.map[static_cast<std::size_t>(s)] != kUnmapped) continue;
+    const vid_t id = nc++;
+    vid_t members = 0;
+    stack.push_back(s);
+    cm.map[static_cast<std::size_t>(s)] = id;
+    ++members;
+    while (!stack.empty() && members < cap) {
+      const vid_t u = stack.back();
+      stack.pop_back();
+      for (const vid_t v : partners[static_cast<std::size_t>(u)]) {
+        if (members >= cap) break;
+        if (cm.map[static_cast<std::size_t>(v)] == kUnmapped) {
+          cm.map[static_cast<std::size_t>(v)] = id;
+          ++members;
+          stack.push_back(v);
+        }
+      }
+    }
+    stack.clear();
+  }
+  cm.nc = nc;
+  (void)exec;
+  return cm;
+}
+
+}  // namespace mgc

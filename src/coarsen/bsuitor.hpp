@@ -1,0 +1,37 @@
+#pragma once
+// b-Suitor approximate weighted b-matching (Khan et al., SISC 2016) used
+// as a coarsening mapper — the second matching-flavoured future-work item
+// the paper names ("evaluating b-matching and the b-Suitor algorithm for
+// coarsening").
+//
+// Each vertex may hold up to b proposals; a proposal displaces the weakest
+// held one if heavier. The fixed point is a half-approximate maximum
+// weight b-matching. For coarsening, the mutual-proposal edges form a
+// subgraph with degree <= b whose connected components become aggregates —
+// a middle ground between matchings (aggregates of <= 2) and HEC
+// (unbounded aggregates): component sizes are bounded by the b-matching
+// structure, and the coarsening ratio rises with b.
+
+#include <cstdint>
+
+#include "coarsen/mapping.hpp"
+
+namespace mgc {
+
+struct BSuitorOptions {
+  int b = 2;  ///< proposals held per vertex
+  /// Cap on aggregate size when collapsing mutual-edge components
+  /// (0 = unlimited). Bounding it keeps vertex weights balanced.
+  vid_t max_aggregate = 4;
+};
+
+/// Coarse mapping from the b-Suitor b-matching.
+CoarseMap bsuitor_mapping(const Exec& exec, const Csr& g, std::uint64_t seed,
+                          const BSuitorOptions& opts = {});
+
+/// The raw mutual b-matching: for each vertex, the list of partners
+/// (mutual proposals). Exposed for property tests. Every partner list has
+/// size <= b and partnership is symmetric.
+std::vector<std::vector<vid_t>> bsuitor_matching(const Csr& g, int b);
+
+}  // namespace mgc

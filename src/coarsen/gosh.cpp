@@ -1,0 +1,156 @@
+#include "coarsen/gosh.hpp"
+
+#include <algorithm>
+
+#include "core/atomics.hpp"
+#include "core/permutation.hpp"
+#include "core/prng.hpp"
+
+namespace mgc {
+
+namespace {
+
+/// Hub threshold: GOSH treats vertices with degree above the average as
+/// high-degree and forbids hub-hub contractions.
+eid_t hub_threshold(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return 0;
+  return std::max<eid_t>(2, g.num_entries() / n + 1);
+}
+
+}  // namespace
+
+CoarseMap gosh_mapping(const Exec& exec, const Csr& g, std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const eid_t hub = hub_threshold(g);
+
+  // Decreasing-degree processing order (GOSH's distinguishing ordering),
+  // randomized within equal degrees by a seeded key.
+  std::vector<vid_t> order(sn);
+  for (vid_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::vector<std::uint64_t> tie(sn);
+  for (std::size_t i = 0; i < sn; ++i) tie[i] = splitmix64(seed ^ i);
+  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    const eid_t da = g.degree(a);
+    const eid_t db = g.degree(b);
+    if (da != db) return da > db;
+    return tie[static_cast<std::size_t>(a)] <
+           tie[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<vid_t> m(sn, kUnmapped);
+  vid_t nc = 0;
+
+  // Claim-based parallel star aggregation over the degree order: an
+  // unmapped vertex claims itself as a center, then absorbs unmapped
+  // neighbors via CAS — skipping hub neighbors when the center is a hub.
+  // Multiple passes resolve claim races (mirrors the MIS-based TR Alg 15).
+  std::vector<vid_t> queue = order;
+  std::vector<vid_t> next_queue;
+  int pass = 0;
+  while (!queue.empty() && pass < 64) {
+    ++pass;
+    parallel_for(exec, queue.size(), [&](std::size_t qi) {
+      const vid_t u = queue[qi];
+      const std::size_t su = static_cast<std::size_t>(u);
+      if (atomic_load(m[su]) != kUnmapped) return;
+      // Try to become a center: CAS self from unmapped to a fresh id.
+      const vid_t id = atomic_fetch_add(nc, vid_t{1});
+      if (atomic_cas(m[su], kUnmapped, id) != kUnmapped) return;
+      const bool u_is_hub = g.degree(u) > hub;
+      for (const vid_t v : g.neighbors(u)) {
+        if (u_is_hub && g.degree(v) > hub) continue;  // hub-hub exclusion
+        atomic_cas(m[static_cast<std::size_t>(v)], kUnmapped, id);
+      }
+    });
+    next_queue.clear();
+    for (const vid_t u : queue) {
+      if (m[static_cast<std::size_t>(u)] == kUnmapped) {
+        next_queue.push_back(u);
+      }
+    }
+    std::swap(queue, next_queue);
+  }
+  for (std::size_t su = 0; su < sn; ++su) {
+    if (m[su] == kUnmapped) m[su] = nc++;
+  }
+
+  // Center ids were allocated optimistically (a losing CAS burns an id), so
+  // compact to dense [0, nc).
+  CoarseMap cm = find_uniq_and_relabel(exec, std::move(m));
+  return cm;
+}
+
+CoarseMap gosh_hec_mapping(const Exec& exec, const Csr& g,
+                           std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const eid_t hub = hub_threshold(g);
+  const std::vector<vid_t> perm = par_gen_perm(exec, n, seed);
+  std::vector<vid_t> pri(sn);
+  parallel_for(exec, sn, [&](std::size_t i) {
+    pri[static_cast<std::size_t>(perm[i])] = static_cast<vid_t>(i);
+  });
+
+  // Weighted heavy-neighbor selection with hub-hub exclusion: like HEC's H
+  // array, but a hub vertex skips its hub neighbors (less indirection and
+  // no weight-blindness — the hybrid's two fixes over GOSH). Ties are
+  // broken by random priority, as everywhere in the HEC family.
+  std::vector<vid_t> h(sn);
+  parallel_for(exec, sn, [&](std::size_t su) {
+    const vid_t u = static_cast<vid_t>(su);
+    const bool u_is_hub = g.degree(u) > hub;
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    wgt_t best_w = 0;
+    vid_t best = u;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (u_is_hub && g.degree(nbrs[k]) > hub) continue;
+      if (ws[k] > best_w ||
+          (ws[k] == best_w && best != u &&
+           pri[static_cast<std::size_t>(nbrs[k])] <
+               pri[static_cast<std::size_t>(best)])) {
+        best_w = ws[k];
+        best = nbrs[k];
+      }
+    }
+    h[su] = best;
+  });
+
+  // HEC3-style pseudoforest resolution (low fine-grained synchronization).
+
+  std::vector<vid_t> m(sn, kUnmapped);
+  parallel_for(exec, sn, [&](std::size_t su) {
+    const vid_t u = static_cast<vid_t>(su);
+    const vid_t v = h[su];
+    if (v == u) {
+      m[su] = u;
+    } else if (h[static_cast<std::size_t>(v)] == u) {
+      m[su] = pri[su] < pri[static_cast<std::size_t>(v)] ? u : v;
+    }
+  });
+  parallel_for(exec, sn, [&](std::size_t su) {
+    const vid_t v = h[su];
+    const std::size_t sv = static_cast<std::size_t>(v);
+    if (atomic_load(m[sv]) == kUnmapped) {
+      atomic_cas(m[sv], kUnmapped, v);
+    }
+  });
+  parallel_for(exec, sn, [&](std::size_t su) {
+    if (m[su] == kUnmapped) {
+      m[su] = m[static_cast<std::size_t>(h[su])];
+    }
+  });
+  parallel_for(exec, sn, [&](std::size_t su) {
+    vid_t p = m[su];
+    while (m[static_cast<std::size_t>(p)] != p) {
+      p = m[static_cast<std::size_t>(m[static_cast<std::size_t>(p)])];
+    }
+    m[su] = p;
+  });
+
+  return find_uniq_and_relabel(exec, std::move(m));
+}
+
+}  // namespace mgc

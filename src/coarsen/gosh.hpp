@@ -1,0 +1,24 @@
+#pragma once
+// GOSH coarsening (Akyildiz, Aljundi, Kaya — ICPP'20) and the paper's new
+// GOSH-HEC hybrid (TR Algorithm 16).
+//
+// GOSH is MIS-style star aggregation: vertices are processed in decreasing
+// degree order; an unmapped vertex becomes the center of a new aggregate
+// and absorbs its unmapped neighbors — except that two high-degree "hub"
+// vertices never merge (this keeps embedding quality on skewed graphs).
+// Edge weights are ignored by GOSH, which is the drawback the hybrid fixes:
+// GOSH-HEC keeps the hub exclusion and low-synchronization pseudoforest
+// resolution of HEC3, but picks targets by edge weight.
+
+#include <cstdint>
+
+#include "coarsen/mapping.hpp"
+
+namespace mgc {
+
+CoarseMap gosh_mapping(const Exec& exec, const Csr& g, std::uint64_t seed);
+
+CoarseMap gosh_hec_mapping(const Exec& exec, const Csr& g,
+                           std::uint64_t seed);
+
+}  // namespace mgc

@@ -1,0 +1,241 @@
+#include "coarsen/hec.hpp"
+
+#include <algorithm>
+
+#include "core/atomics.hpp"
+#include "core/permutation.hpp"
+
+namespace mgc {
+
+CoarseMap hec_serial(const Csr& g, std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  const std::vector<vid_t> perm = gen_perm(n, seed);
+  // Random tie-break priorities (same convention as the parallel variants:
+  // min-id ties would bias aggregate shapes on unweighted graphs).
+  std::vector<vid_t> pri(static_cast<std::size_t>(n));
+  for (vid_t i = 0; i < n; ++i) {
+    pri[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+  }
+  CoarseMap cm;
+  cm.map.assign(static_cast<std::size_t>(n), kUnmapped);
+  vid_t nc = 0;
+  for (const vid_t u : perm) {
+    if (cm.map[static_cast<std::size_t>(u)] != kUnmapped) continue;
+    // Heaviest neighbor, mapped or not (the HEC/HEM distinction).
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    wgt_t best_w = 0;
+    vid_t x = u;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (ws[k] > best_w ||
+          (ws[k] == best_w && x != u &&
+           pri[static_cast<std::size_t>(nbrs[k])] <
+               pri[static_cast<std::size_t>(x)])) {
+        best_w = ws[k];
+        x = nbrs[k];
+      }
+    }
+    if (cm.map[static_cast<std::size_t>(x)] == kUnmapped) {
+      cm.map[static_cast<std::size_t>(x)] = nc++;
+    }
+    cm.map[static_cast<std::size_t>(u)] =
+        cm.map[static_cast<std::size_t>(x)];
+  }
+  cm.nc = nc;
+  return cm;
+}
+
+CoarseMap hec_parallel(const Exec& exec, const Csr& g, std::uint64_t seed,
+                       MappingStats* stats) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const std::vector<vid_t> perm = par_gen_perm(exec, n, seed);
+  std::vector<vid_t> pri(sn);
+  parallel_for(exec, sn, [&](std::size_t i) {
+    pri[static_cast<std::size_t>(perm[i])] = static_cast<vid_t>(i);
+  });
+  const std::vector<vid_t> h = heavy_neighbors(exec, g, pri);
+
+  std::vector<vid_t> m(sn, kUnmapped);   // M: coarse id per vertex
+  std::vector<vid_t> claim(sn, kUnmapped);  // C: temporary ownership
+  vid_t nc = 0;
+
+  std::vector<vid_t> queue = perm;
+  std::vector<vid_t> next_queue;
+  int pass = 0;
+  if (stats != nullptr) {
+    stats->passes = 0;
+    stats->resolved_per_pass.clear();
+  }
+
+  while (!queue.empty()) {
+    ++pass;
+    const vid_t mapped_before =
+        n - static_cast<vid_t>(queue.size());  // only used for stats
+
+    // Safety valve: the lock-free scheme converges in a handful of passes in
+    // practice; if it were ever to stall (it cannot livelock forever thanks
+    // to the id-ordered mutual-edge rule, but we stay defensive), finish the
+    // residue sequentially in HEC order.
+    if (pass > 64) {
+      for (const vid_t u : queue) {
+        const std::size_t su = static_cast<std::size_t>(u);
+        if (m[su] != kUnmapped) continue;
+        const vid_t v = h[u];
+        const std::size_t sv = static_cast<std::size_t>(v);
+        if (m[sv] == kUnmapped) m[sv] = nc++;
+        m[su] = m[sv];
+      }
+      break;
+    }
+
+    parallel_for(exec, queue.size(), [&](std::size_t qi) {
+      const vid_t u = queue[qi];
+      const std::size_t su = static_cast<std::size_t>(u);
+      if (atomic_load(m[su]) != kUnmapped) return;
+      const vid_t v = h[u];
+      const std::size_t sv = static_cast<std::size_t>(v);
+      if (v == u) {
+        // Isolated vertex: its own coarse aggregate.
+        if (atomic_cas(claim[su], kUnmapped, u) == kUnmapped) {
+          atomic_store(m[su], atomic_fetch_add(nc, vid_t{1}));
+        }
+        return;
+      }
+      // Mutual heavy edge: only the smaller endpoint attempts the create,
+      // preventing the claim-each-other livelock (paper: "an additional
+      // check using vertex identifiers prior to line 13").
+      if (h[v] == u && u > v && atomic_load(m[sv]) == kUnmapped) {
+        return;  // revisit next pass; v's thread owns the pair
+      }
+      if (atomic_load(claim[su]) != kUnmapped) return;
+      if (atomic_cas(claim[su], kUnmapped, v) != kUnmapped) return;
+      // We own u. Try to claim v as well => create edge.
+      if (atomic_cas(claim[sv], kUnmapped, u) == kUnmapped) {
+        const vid_t id = atomic_fetch_add(nc, vid_t{1});
+        atomic_store(m[su], id);
+        atomic_store(m[sv], id);
+      } else {
+        const vid_t mv = atomic_load(m[sv]);
+        if (mv != kUnmapped) {
+          atomic_store(m[su], mv);  // inherit edge
+        } else {
+          atomic_store(claim[su], kUnmapped);  // release; retry next pass
+        }
+      }
+    });
+
+    next_queue.clear();
+    for (const vid_t u : queue) {
+      if (m[static_cast<std::size_t>(u)] == kUnmapped) {
+        next_queue.push_back(u);
+      }
+    }
+    if (stats != nullptr) {
+      ++stats->passes;
+      stats->resolved_per_pass.push_back(
+          n - static_cast<vid_t>(next_queue.size()) - mapped_before);
+    }
+    std::swap(queue, next_queue);
+  }
+
+  CoarseMap cm;
+  cm.map = std::move(m);
+  cm.nc = nc;
+  return cm;
+}
+
+CoarseMap hec3_parallel(const Exec& exec, const Csr& g, std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const std::vector<vid_t> perm = par_gen_perm(exec, n, seed);
+  // O in Algorithm 5: random priority of each vertex (inverse permutation).
+  std::vector<vid_t> pri(sn);
+  parallel_for(exec, sn, [&](std::size_t i) {
+    pri[static_cast<std::size_t>(perm[i])] = static_cast<vid_t>(i);
+  });
+  const std::vector<vid_t> h = heavy_neighbors(exec, g, pri);
+
+  std::vector<vid_t> m(sn, kUnmapped);
+
+  // Phase 1 (lines 5-8): collapse mutual heavy edges (2-cycles of the
+  // heavy-neighbor pseudoforest). The random priority picks the root.
+  parallel_for(exec, sn, [&](std::size_t su) {
+    const vid_t u = static_cast<vid_t>(su);
+    const vid_t v = h[u];
+    if (v != u && h[static_cast<std::size_t>(v)] == u) {
+      m[su] = pri[su] < pri[static_cast<std::size_t>(v)] ? u : v;
+    } else if (v == u) {
+      m[su] = u;  // isolated vertex is its own root
+    }
+  });
+
+  // Phase 2 (lines 9-12): mark heavy-neighbor targets (in-degree > 0 in the
+  // pseudoforest) as coarse roots. Guarded CAS avoids redundant writes.
+  parallel_for(exec, sn, [&](std::size_t su) {
+    const vid_t v = h[su];
+    const std::size_t sv = static_cast<std::size_t>(v);
+    if (atomic_load(m[sv]) == kUnmapped) {
+      atomic_cas(m[sv], kUnmapped, v);
+    }
+  });
+
+  // Phase 3 (lines 13-16): every still-unmapped vertex inherits the label
+  // of its heavy neighbor (which is now mapped).
+  parallel_for(exec, sn, [&](std::size_t su) {
+    if (m[su] == kUnmapped) {
+      m[su] = m[static_cast<std::size_t>(h[su])];
+    }
+  });
+
+  // Phase 4 (lines 17-21): pointer jumping until labels are roots
+  // (m[root] == root).
+  parallel_for(exec, sn, [&](std::size_t su) {
+    vid_t p = m[su];
+    while (m[static_cast<std::size_t>(p)] != p) {
+      p = m[static_cast<std::size_t>(m[static_cast<std::size_t>(p)])];
+    }
+    m[su] = p;
+  });
+
+  return find_uniq_and_relabel(exec, std::move(m));
+}
+
+CoarseMap hec2_parallel(const Exec& exec, const Csr& g, std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const std::vector<vid_t> perm = par_gen_perm(exec, n, seed);
+  std::vector<vid_t> pri(sn);
+  parallel_for(exec, sn, [&](std::size_t i) {
+    pri[static_cast<std::size_t>(perm[i])] = static_cast<vid_t>(i);
+  });
+  const std::vector<vid_t> h = heavy_neighbors(exec, g, pri);
+
+  // X[v]: does v win any heavy-edge proposal (in-degree > 0)? Y[u]: the
+  // consistently chosen representative of u. Unlike HEC3 there is no
+  // 2-cycle collapse: a mutual pair {u, v} yields two roots that are NOT
+  // merged, which is exactly why HEC2 coarsens slower (more levels).
+  std::vector<vid_t> x(sn, 0);
+  parallel_for(exec, sn, [&](std::size_t su) {
+    const vid_t v = h[su];
+    if (v != static_cast<vid_t>(su)) {
+      atomic_store(x[static_cast<std::size_t>(v)], vid_t{1});
+    } else {
+      atomic_store(x[su], vid_t{1});  // isolated vertex roots itself
+    }
+  });
+
+  std::vector<vid_t> y(sn);
+  parallel_for(exec, sn, [&](std::size_t su) {
+    const vid_t u = static_cast<vid_t>(su);
+    if (x[su] != 0) {
+      y[su] = u;  // u is a root
+    } else {
+      y[su] = h[su];  // u joins its heavy neighbor (a root, in-degree > 0)
+    }
+  });
+
+  return find_uniq_and_relabel(exec, std::move(y));
+}
+
+}  // namespace mgc

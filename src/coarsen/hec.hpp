@@ -1,0 +1,34 @@
+#pragma once
+// Heavy Edge Coarsening (HEC) — the paper's primary algorithm.
+//
+//  * hec_serial     — Algorithm 3 (sequential reference).
+//  * hec_parallel   — Algorithm 4: lock-free, CAS-based, multi-pass. The
+//                     flagship parallelization, with mutual-heavy-edge
+//                     deadlock avoidance via vertex-id ordering and a pass
+//                     statistics hook (the paper reports 99.4 % of vertices
+//                     resolved within two passes).
+//  * hec2_parallel  — the intermediate variant (TR Algorithm 9): propose/
+//                     root phases with two auxiliary arrays, no 2-cycle
+//                     collapse, so mutual heavy pairs are NOT merged and the
+//                     method needs more levels (1.56x in the paper).
+//  * hec3_parallel  — Algorithm 5: interprets the heavy-neighbor array as a
+//                     pseudoforest; collapses 2-cycles, marks in-degree>0
+//                     vertices as roots with a guarded CAS, then resolves by
+//                     pointer jumping. Minimal fine-grained synchronization.
+
+#include <cstdint>
+
+#include "coarsen/mapping.hpp"
+
+namespace mgc {
+
+CoarseMap hec_serial(const Csr& g, std::uint64_t seed);
+
+CoarseMap hec_parallel(const Exec& exec, const Csr& g, std::uint64_t seed,
+                       MappingStats* stats = nullptr);
+
+CoarseMap hec2_parallel(const Exec& exec, const Csr& g, std::uint64_t seed);
+
+CoarseMap hec3_parallel(const Exec& exec, const Csr& g, std::uint64_t seed);
+
+}  // namespace mgc

@@ -1,0 +1,179 @@
+#include "coarsen/hem.hpp"
+
+#include <algorithm>
+
+#include "core/atomics.hpp"
+#include "core/permutation.hpp"
+
+namespace mgc {
+
+CoarseMap hem_serial(const Csr& g, std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  const std::vector<vid_t> perm = gen_perm(n, seed);
+  // Random tie-break priorities, matching the parallel variants.
+  std::vector<vid_t> pri(static_cast<std::size_t>(n));
+  for (vid_t i = 0; i < n; ++i) {
+    pri[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+  }
+  CoarseMap cm;
+  cm.map.assign(static_cast<std::size_t>(n), kUnmapped);
+  vid_t nc = 0;
+  for (const vid_t u : perm) {
+    if (cm.map[static_cast<std::size_t>(u)] != kUnmapped) continue;
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    wgt_t best_w = 0;
+    vid_t x = kInvalidVid;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (cm.map[static_cast<std::size_t>(nbrs[k])] != kUnmapped) continue;
+      if (ws[k] > best_w ||
+          (ws[k] == best_w && x != kInvalidVid &&
+           pri[static_cast<std::size_t>(nbrs[k])] <
+               pri[static_cast<std::size_t>(x)])) {
+        best_w = ws[k];
+        x = nbrs[k];
+      }
+    }
+    if (x != kInvalidVid) {
+      cm.map[static_cast<std::size_t>(x)] = nc;
+    }
+    cm.map[static_cast<std::size_t>(u)] = nc;
+    ++nc;
+  }
+  cm.nc = nc;
+  return cm;
+}
+
+vid_t hem_match_only(const Exec& exec, const Csr& g, std::uint64_t seed,
+                     std::vector<vid_t>& m, vid_t& nc, MappingStats* stats) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const std::vector<vid_t> perm = par_gen_perm(exec, n, seed);
+
+  std::vector<vid_t> h(sn, kInvalidVid);
+  std::vector<vid_t> queue = perm;
+  std::vector<vid_t> next_queue;
+  vid_t matched_total = 0;
+  int pass = 0;
+  if (stats != nullptr) {
+    stats->passes = 0;
+    stats->resolved_per_pass.clear();
+  }
+
+  while (!queue.empty() && pass < 64) {
+    ++pass;
+
+    // Recompute the heaviest *unmatched* neighbor for the residue.
+    parallel_for(exec, queue.size(), [&](std::size_t qi) {
+      const vid_t u = queue[qi];
+      auto nbrs = g.neighbors(u);
+      auto ws = g.edge_weights(u);
+      wgt_t best_w = 0;
+      vid_t x = kInvalidVid;
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        if (atomic_load(m[static_cast<std::size_t>(nbrs[k])]) != kUnmapped) {
+          continue;
+        }
+        if (ws[k] > best_w ||
+            (ws[k] == best_w && x != kInvalidVid && nbrs[k] < x)) {
+          best_w = ws[k];
+          x = nbrs[k];
+        }
+      }
+      h[static_cast<std::size_t>(u)] = x;
+    });
+
+    // Claim-based pair formation (Algorithm 4 structure, create edges only:
+    // matching has no inherit path).
+    std::vector<vid_t> claim(sn, kUnmapped);
+    parallel_for(exec, queue.size(), [&](std::size_t qi) {
+      const vid_t u = queue[qi];
+      const std::size_t su = static_cast<std::size_t>(u);
+      if (atomic_load(m[su]) != kUnmapped) return;
+      const vid_t v = h[su];
+      if (v == kInvalidVid) return;  // no unmatched neighbor this pass
+      const std::size_t sv = static_cast<std::size_t>(v);
+      // Mutual-preference id ordering, as in HEC, to avoid livelock.
+      if (h[sv] == u && u > v && atomic_load(m[sv]) == kUnmapped) return;
+      if (atomic_load(claim[su]) != kUnmapped) return;
+      if (atomic_cas(claim[su], kUnmapped, v) != kUnmapped) return;
+      if (atomic_cas(claim[sv], kUnmapped, u) == kUnmapped) {
+        const vid_t id = atomic_fetch_add(nc, vid_t{1});
+        atomic_store(m[su], id);
+        atomic_store(m[sv], id);
+      } else {
+        atomic_store(claim[su], kUnmapped);
+      }
+    });
+
+    next_queue.clear();
+    vid_t still_matchable = 0;
+    for (const vid_t u : queue) {
+      const std::size_t su = static_cast<std::size_t>(u);
+      if (m[su] == kUnmapped) {
+        next_queue.push_back(u);
+        if (h[su] != kInvalidVid) ++still_matchable;
+      }
+    }
+    const vid_t matched_this_pass =
+        static_cast<vid_t>(queue.size() - next_queue.size());
+    matched_total += matched_this_pass;
+    if (stats != nullptr) {
+      ++stats->passes;
+      stats->resolved_per_pass.push_back(matched_this_pass);
+    }
+    // Converged: nobody left, or the residue is an independent set w.r.t.
+    // unmatched vertices (no candidate had an unmatched neighbor) — but a
+    // zero-progress pass with candidates remaining means a race residue, so
+    // only stop when genuinely nothing can match.
+    if (matched_this_pass == 0 && still_matchable == 0) break;
+    if (matched_this_pass == 0 && pass >= 8) {
+      // Defensive: finish the matchable residue sequentially.
+      for (const vid_t u : next_queue) {
+        const std::size_t su = static_cast<std::size_t>(u);
+        if (m[su] != kUnmapped) continue;
+        vid_t x = kInvalidVid;
+        wgt_t best_w = 0;
+        auto nbrs = g.neighbors(u);
+        auto ws = g.edge_weights(u);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          if (m[static_cast<std::size_t>(nbrs[k])] != kUnmapped) continue;
+          if (ws[k] > best_w) {
+            best_w = ws[k];
+            x = nbrs[k];
+          }
+        }
+        if (x != kInvalidVid) {
+          m[static_cast<std::size_t>(x)] = nc;
+          m[su] = nc++;
+          matched_total += 2;
+        }
+      }
+      break;
+    }
+    std::swap(queue, next_queue);
+  }
+  return matched_total;
+}
+
+void map_singletons(const Exec& exec, std::vector<vid_t>& m, vid_t& nc) {
+  parallel_for(exec, m.size(), [&](std::size_t su) {
+    if (atomic_load(m[su]) == kUnmapped) {
+      atomic_store(m[su], atomic_fetch_add(nc, vid_t{1}));
+    }
+  });
+}
+
+CoarseMap hem_parallel(const Exec& exec, const Csr& g, std::uint64_t seed,
+                       MappingStats* stats) {
+  const vid_t n = g.num_vertices();
+  CoarseMap cm;
+  cm.map.assign(static_cast<std::size_t>(n), kUnmapped);
+  vid_t nc = 0;
+  hem_match_only(exec, g, seed, cm.map, nc, stats);
+  map_singletons(exec, cm.map, nc);
+  cm.nc = nc;
+  return cm;
+}
+
+}  // namespace mgc

@@ -1,0 +1,36 @@
+#pragma once
+// Heavy Edge Matching (HEM) — Algorithm 2 and its parallelization.
+//
+// Matching-based coarsening: coarse aggregates have at most two fine
+// vertices, so the coarsening ratio is capped at 2 and HEM can stall on
+// graphs with skewed degree distributions (stars match one leaf and strand
+// the rest — exactly the behaviour that motivates two-hop matching).
+//
+// The parallel variant follows Algorithm 4's claim-based structure, but the
+// heaviest *unmatched* neighbor must be recomputed for the unmatched
+// residue after every pass (TR Algorithm 10).
+
+#include <cstdint>
+#include <vector>
+
+#include "coarsen/mapping.hpp"
+
+namespace mgc {
+
+CoarseMap hem_serial(const Csr& g, std::uint64_t seed);
+
+CoarseMap hem_parallel(const Exec& exec, const Csr& g, std::uint64_t seed,
+                       MappingStats* stats = nullptr);
+
+/// The matching core shared by hem_parallel and mt-Metis two-hop matching:
+/// fills `m` (preinitialized to kUnmapped) with pair ids allocated from
+/// `nc`, leaving unmatched vertices at kUnmapped (no singleton formation).
+/// Returns the number of matched vertices.
+vid_t hem_match_only(const Exec& exec, const Csr& g, std::uint64_t seed,
+                     std::vector<vid_t>& m, vid_t& nc,
+                     MappingStats* stats = nullptr);
+
+/// Turns every still-unmapped vertex into a singleton aggregate.
+void map_singletons(const Exec& exec, std::vector<vid_t>& m, vid_t& nc);
+
+}  // namespace mgc

@@ -1,0 +1,143 @@
+#include "coarsen/mapping.hpp"
+
+#include <stdexcept>
+
+#include "coarsen/ace.hpp"
+#include "coarsen/bsuitor.hpp"
+#include "coarsen/gosh.hpp"
+#include "coarsen/hec.hpp"
+#include "coarsen/hem.hpp"
+#include "coarsen/mis2.hpp"
+#include "coarsen/suitor.hpp"
+#include "coarsen/two_hop.hpp"
+#include "core/atomics.hpp"
+
+namespace mgc {
+
+std::string mapping_name(Mapping m) {
+  switch (m) {
+    case Mapping::kHecSerial: return "HEC-serial";
+    case Mapping::kHemSerial: return "HEM-serial";
+    case Mapping::kHec: return "HEC";
+    case Mapping::kHec2: return "HEC2";
+    case Mapping::kHec3: return "HEC3";
+    case Mapping::kHem: return "HEM";
+    case Mapping::kMtMetis: return "mtMetis";
+    case Mapping::kGosh: return "GOSH";
+    case Mapping::kGoshHec: return "GOSH-HEC";
+    case Mapping::kMis2: return "MIS2";
+    case Mapping::kSuitor: return "Suitor";
+    case Mapping::kBSuitor: return "bSuitor";
+  }
+  return "?";
+}
+
+CoarseMap compute_mapping(Mapping method, const Exec& exec, const Csr& g,
+                          std::uint64_t seed, MappingStats* stats) {
+  switch (method) {
+    case Mapping::kHecSerial: return hec_serial(g, seed);
+    case Mapping::kHemSerial: return hem_serial(g, seed);
+    case Mapping::kHec: return hec_parallel(exec, g, seed, stats);
+    case Mapping::kHec2: return hec2_parallel(exec, g, seed);
+    case Mapping::kHec3: return hec3_parallel(exec, g, seed);
+    case Mapping::kHem: return hem_parallel(exec, g, seed, stats);
+    case Mapping::kMtMetis: return mtmetis_mapping(exec, g, seed, stats);
+    case Mapping::kGosh: return gosh_mapping(exec, g, seed);
+    case Mapping::kGoshHec: return gosh_hec_mapping(exec, g, seed);
+    case Mapping::kMis2: return mis2_mapping(exec, g, seed);
+    case Mapping::kSuitor: return suitor_mapping(exec, g, seed);
+    case Mapping::kBSuitor: return bsuitor_mapping(exec, g, seed);
+  }
+  throw std::invalid_argument("unknown mapping method");
+}
+
+CoarseMap find_uniq_and_relabel(const Exec& exec, std::vector<vid_t> labels) {
+  // Serial-friendly compaction: a label -> dense-id table sized by the max
+  // label. First-occurrence order (by vertex id) determines dense ids, which
+  // keeps the result independent of the backend.
+  vid_t max_label = -1;
+  for (const vid_t l : labels) max_label = std::max(max_label, l);
+  std::vector<vid_t> dense(static_cast<std::size_t>(max_label) + 1,
+                           kInvalidVid);
+  CoarseMap cm;
+  cm.map.resize(labels.size());
+  vid_t next = 0;
+  for (std::size_t u = 0; u < labels.size(); ++u) {
+    vid_t& d = dense[static_cast<std::size_t>(labels[u])];
+    if (d == kInvalidVid) d = next++;
+    cm.map[u] = d;
+  }
+  cm.nc = next;
+  (void)exec;
+  return cm;
+}
+
+std::vector<vid_t> heavy_neighbors(const Exec& exec, const Csr& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> h(static_cast<std::size_t>(n));
+  parallel_for(exec, static_cast<std::size_t>(n), [&](std::size_t ui) {
+    const vid_t u = static_cast<vid_t>(ui);
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    wgt_t best_w = 0;
+    vid_t best_v = u;  // isolated vertices point at themselves
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (ws[k] > best_w || (ws[k] == best_w && best_v != u &&
+                             nbrs[k] < best_v)) {
+        best_w = ws[k];
+        best_v = nbrs[k];
+      }
+    }
+    h[ui] = best_v;
+  });
+  return h;
+}
+
+std::vector<vid_t> heavy_neighbors(const Exec& exec, const Csr& g,
+                                   const std::vector<vid_t>& pri) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> h(static_cast<std::size_t>(n));
+  parallel_for(exec, static_cast<std::size_t>(n), [&](std::size_t ui) {
+    const vid_t u = static_cast<vid_t>(ui);
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    wgt_t best_w = 0;
+    vid_t best_v = u;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const bool better =
+          ws[k] > best_w ||
+          (ws[k] == best_w && best_v != u &&
+           pri[static_cast<std::size_t>(nbrs[k])] <
+               pri[static_cast<std::size_t>(best_v)]);
+      if (better) {
+        best_w = ws[k];
+        best_v = nbrs[k];
+      }
+    }
+    h[ui] = best_v;
+  });
+  return h;
+}
+
+std::string validate_mapping(const CoarseMap& cm, vid_t n) {
+  if (cm.map.size() != static_cast<std::size_t>(n)) {
+    return "map size != n";
+  }
+  if (cm.nc < 0 || (n > 0 && cm.nc == 0)) return "bad coarse vertex count";
+  std::vector<bool> used(static_cast<std::size_t>(cm.nc), false);
+  for (std::size_t u = 0; u < cm.map.size(); ++u) {
+    const vid_t c = cm.map[u];
+    if (c < 0 || c >= cm.nc) return "map entry out of range";
+    used[static_cast<std::size_t>(c)] = true;
+  }
+  for (std::size_t c = 0; c < used.size(); ++c) {
+    if (!used[c]) return "empty coarse vertex";
+  }
+  return {};
+}
+
+double coarsening_ratio(const CoarseMap& cm, vid_t n) {
+  return cm.nc > 0 ? static_cast<double>(n) / cm.nc : 0.0;
+}
+
+}  // namespace mgc

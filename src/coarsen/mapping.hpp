@@ -1,0 +1,79 @@
+#pragma once
+// Common types for fine-to-coarse vertex mappings (paper §II, Algorithm 1).
+//
+// Every coarsening algorithm produces a CoarseMap: an array M with
+// M[u] = coarse vertex id of fine vertex u, with ids dense in [0, nc).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "core/types.hpp"
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+/// Result of a FINDCOARSEMAPPING step.
+struct CoarseMap {
+  std::vector<vid_t> map;  ///< size n; map[u] in [0, nc)
+  vid_t nc = 0;            ///< number of coarse vertices
+};
+
+/// Optional per-invocation diagnostics (pass counts etc.).
+struct MappingStats {
+  int passes = 0;                        ///< lock-free passes executed
+  std::vector<vid_t> resolved_per_pass;  ///< vertices mapped in each pass
+  vid_t two_hop_leaf_matches = 0;
+  vid_t two_hop_twin_matches = 0;
+  vid_t two_hop_relative_matches = 0;
+};
+
+/// The coarse-mapping algorithms studied in the paper (plus extensions).
+enum class Mapping {
+  kHecSerial,  ///< Algorithm 3 (sequential reference)
+  kHemSerial,  ///< Algorithm 2 (sequential reference)
+  kHec,        ///< Algorithm 4 — lock-free parallel HEC
+  kHec2,       ///< HEC2 — propose/root variant without 2-cycle collapse
+  kHec3,       ///< Algorithm 5 — pseudoforest formulation
+  kHem,        ///< parallel HEM (heaviest *unmatched* neighbor)
+  kMtMetis,    ///< HEM + mt-Metis two-hop matching (leaves/twins/relatives)
+  kGosh,       ///< GOSH MIS-style star aggregation with hub exclusion
+  kGoshHec,    ///< GOSH-HEC hybrid ("Algorithm 16"): weighted, low-sync
+  kMis2,       ///< Bell et al. distance-2 MIS aggregation
+  kSuitor,     ///< Suitor approximate weighted matching (future-work item)
+  kBSuitor,    ///< b-Suitor weighted b-matching (future-work item)
+};
+
+/// Human-readable name ("HEC", "HEM", "mtMetis", ...).
+std::string mapping_name(Mapping m);
+
+/// Dispatch to the requested mapping algorithm.
+CoarseMap compute_mapping(Mapping method, const Exec& exec, const Csr& g,
+                          std::uint64_t seed, MappingStats* stats = nullptr);
+
+/// Compacts arbitrary non-negative labels to dense ids [0, nc), preserving
+/// first-occurrence order of labels. This is the paper's
+/// FINDUNIQANDRELABEL.
+CoarseMap find_uniq_and_relabel(const Exec& exec, std::vector<vid_t> labels);
+
+/// H[u] = the heaviest neighbor of u; ties broken toward the smaller vertex
+/// id so results are backend-independent. Isolated vertices get H[u] = u.
+std::vector<vid_t> heavy_neighbors(const Exec& exec, const Csr& g);
+
+/// As above, but ties are broken toward the neighbor with the smallest
+/// `pri[v]` (a random priority, e.g. the inverse of a random permutation).
+/// This is the paper's randomized formulation — on unweighted graphs a
+/// deterministic tie-break makes the heavy-neighbor pseudoforest chain
+/// toward low ids and the HEC3/HEC2 variants coarsen pathologically slowly.
+std::vector<vid_t> heavy_neighbors(const Exec& exec, const Csr& g,
+                                   const std::vector<vid_t>& pri);
+
+/// Validates that `cm` is a proper mapping for a graph with n vertices:
+/// every entry in [0, nc) and every coarse id non-empty. Returns "" if ok.
+std::string validate_mapping(const CoarseMap& cm, vid_t n);
+
+/// Coarsening ratio n / nc of one application.
+double coarsening_ratio(const CoarseMap& cm, vid_t n);
+
+}  // namespace mgc

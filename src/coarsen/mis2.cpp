@@ -1,0 +1,147 @@
+#include "coarsen/mis2.hpp"
+
+#include <algorithm>
+
+#include "core/atomics.hpp"
+#include "core/prng.hpp"
+
+namespace mgc {
+
+namespace {
+
+enum : std::int8_t { kUndecided = 0, kIn = 1, kOut = 2 };
+
+// Lexicographic (state, random, id) tuple used in the Bell et al. scheme:
+// larger tuples win. kIn dominates, then the random key, then the id.
+struct Tuple {
+  std::int8_t state;
+  std::uint64_t key;
+  vid_t id;
+
+  bool operator<(const Tuple& o) const {
+    if (state != o.state) return state < o.state;
+    if (key != o.key) return key < o.key;
+    return id < o.id;
+  }
+};
+
+}  // namespace
+
+std::vector<vid_t> mis2_roots(const Exec& exec, const Csr& g,
+                              std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  std::vector<std::int8_t> state(sn, kUndecided);
+  std::vector<std::uint64_t> key(sn);
+  parallel_for(exec, sn, [&](std::size_t u) {
+    key[u] = splitmix64(seed ^ (0xabcdef12345ULL + u));
+  });
+
+  std::vector<Tuple> t1(sn), t2(sn);
+  vid_t undecided = n;
+  while (undecided > 0) {
+    // Propagate the max tuple over distance <= 2 in two sweeps. Decided
+    // vertices participate so that an undecided vertex near an In vertex
+    // sees it and goes Out.
+    parallel_for(exec, sn, [&](std::size_t su) {
+      const vid_t u = static_cast<vid_t>(su);
+      Tuple best;
+      if (state[su] == kOut) {
+        best = Tuple{kUndecided, 0, kInvalidVid};
+      } else {
+        best = Tuple{state[su], key[su], u};
+      }
+      for (const vid_t v : g.neighbors(u)) {
+        const std::size_t sv = static_cast<std::size_t>(v);
+        if (state[sv] == kOut) continue;
+        const Tuple cand{state[sv], key[sv], v};
+        if (best < cand) best = cand;
+      }
+      t1[su] = best;
+    });
+    parallel_for(exec, sn, [&](std::size_t su) {
+      Tuple best = t1[su];
+      for (const vid_t v : g.neighbors(static_cast<vid_t>(su))) {
+        const Tuple& cand = t1[static_cast<std::size_t>(v)];
+        if (best < cand) best = cand;
+      }
+      t2[su] = best;
+    });
+    // Decide: an undecided vertex whose own tuple is the max in its
+    // distance-2 neighborhood enters the MIS; an undecided vertex that sees
+    // an In tuple leaves.
+    std::vector<vid_t> newly(1, 0);
+    parallel_for(exec, sn, [&](std::size_t su) {
+      if (state[su] != kUndecided) return;
+      const Tuple& best = t2[su];
+      if (best.id == static_cast<vid_t>(su) && best.state == kUndecided) {
+        state[su] = kIn;
+        atomic_fetch_add(newly[0], vid_t{1});
+      } else if (best.state == kIn) {
+        state[su] = kOut;
+        atomic_fetch_add(newly[0], vid_t{1});
+      }
+    });
+    undecided = parallel_sum<vid_t>(exec, sn, [&](std::size_t su) {
+      return state[su] == kUndecided ? vid_t{1} : vid_t{0};
+    });
+    if (newly[0] == 0 && undecided > 0) {
+      // Should be unreachable (the global max tuple always decides), but
+      // stay defensive: promote the smallest undecided vertex.
+      for (std::size_t su = 0; su < sn; ++su) {
+        if (state[su] == kUndecided) {
+          state[su] = kIn;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<vid_t> roots;
+  for (std::size_t su = 0; su < sn; ++su) {
+    if (state[su] == kIn) roots.push_back(static_cast<vid_t>(su));
+  }
+  return roots;
+}
+
+CoarseMap mis2_mapping(const Exec& exec, const Csr& g, std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const std::vector<vid_t> roots = mis2_roots(exec, g, seed);
+
+  std::vector<vid_t> label(sn, kUnmapped);
+  for (const vid_t r : roots) label[static_cast<std::size_t>(r)] = r;
+
+  // Distance-1 ring joins the root (heaviest adjacent root wins); the
+  // distance-2 ring joins through an aggregated neighbor. MIS-2 maximality
+  // guarantees every vertex is within two hops of a root, so two rounds
+  // suffice; isolated leftovers (disconnected inputs) self-aggregate.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<vid_t> next(label);
+    parallel_for(exec, sn, [&](std::size_t su) {
+      if (label[su] != kUnmapped) return;
+      const vid_t u = static_cast<vid_t>(su);
+      auto nbrs = g.neighbors(u);
+      auto ws = g.edge_weights(u);
+      wgt_t best_w = -1;
+      vid_t best = kUnmapped;
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const vid_t l = label[static_cast<std::size_t>(nbrs[k])];
+        if (l == kUnmapped) continue;
+        if (ws[k] > best_w || (ws[k] == best_w && l < best)) {
+          best_w = ws[k];
+          best = l;
+        }
+      }
+      next[su] = best;
+    });
+    label.swap(next);
+  }
+  parallel_for(exec, sn, [&](std::size_t su) {
+    if (label[su] == kUnmapped) label[su] = static_cast<vid_t>(su);
+  });
+
+  return find_uniq_and_relabel(exec, std::move(label));
+}
+
+}  // namespace mgc

@@ -1,0 +1,22 @@
+#pragma once
+// Distance-2 maximal-independent-set aggregation (Bell, Dalton, Olson —
+// "Exposing fine-grained parallelism in algebraic multigrid methods").
+//
+// A randomized-priority MIS is computed on G² (no two roots within distance
+// two); every root seeds a coarse aggregate, distance-1 vertices join their
+// root directly, and distance-2 vertices join through an aggregated
+// neighbor. The method coarsens very aggressively (few levels, Table IV).
+
+#include <cstdint>
+
+#include "coarsen/mapping.hpp"
+
+namespace mgc {
+
+CoarseMap mis2_mapping(const Exec& exec, const Csr& g, std::uint64_t seed);
+
+/// The MIS-2 root set itself (exposed for testing the distance-2 property).
+std::vector<vid_t> mis2_roots(const Exec& exec, const Csr& g,
+                              std::uint64_t seed);
+
+}  // namespace mgc

@@ -1,0 +1,100 @@
+#include "coarsen/suitor.hpp"
+
+#include <algorithm>
+
+#include "core/atomics.hpp"
+
+namespace mgc {
+
+namespace {
+
+// Proposal strength: weight first, proposer id as a strict tie-break so the
+// displacement chain always terminates.
+bool stronger(wgt_t w_new, vid_t u_new, wgt_t w_old, vid_t u_old) {
+  if (w_new != w_old) return w_new > w_old;
+  return u_new < u_old;
+}
+
+}  // namespace
+
+std::vector<vid_t> suitor_array(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  std::vector<vid_t> suitor(sn, kInvalidVid);
+  std::vector<wgt_t> ws(sn, 0);
+
+  for (vid_t start = 0; start < n; ++start) {
+    vid_t current = start;
+    while (current != kInvalidVid) {
+      const std::size_t sc = static_cast<std::size_t>(current);
+      auto nbrs = g.neighbors(current);
+      auto wts = g.edge_weights(current);
+      vid_t best_v = kInvalidVid;
+      wgt_t best_w = 0;
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const vid_t v = nbrs[k];
+        const std::size_t sv = static_cast<std::size_t>(v);
+        // Can we beat v's current proposal?
+        if (suitor[sv] != kInvalidVid &&
+            !stronger(wts[k], current, ws[sv], suitor[sv])) {
+          continue;
+        }
+        if (best_v == kInvalidVid ||
+            stronger(wts[k], v, best_w, best_v)) {
+          best_v = v;
+          best_w = wts[k];
+        }
+      }
+      (void)sc;
+      if (best_v == kInvalidVid) break;
+      const std::size_t sb = static_cast<std::size_t>(best_v);
+      const vid_t displaced = suitor[sb];
+      suitor[sb] = current;
+      ws[sb] = best_w;
+      current = displaced;  // displaced proposer must re-propose
+    }
+  }
+  return suitor;
+}
+
+CoarseMap suitor_mapping(const Exec& exec, const Csr& g,
+                         std::uint64_t seed) {
+  (void)seed;  // the fixed point is unique given the tie-break rule
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const std::vector<vid_t> suitor = suitor_array(g);
+
+  CoarseMap cm;
+  cm.map.assign(sn, kUnmapped);
+  vid_t nc = 0;
+  for (vid_t u = 0; u < n; ++u) {
+    const std::size_t su = static_cast<std::size_t>(u);
+    if (cm.map[su] != kUnmapped) continue;
+    const vid_t v = suitor[su];
+    // Matched iff proposals are mutual.
+    if (v != kInvalidVid && v > u &&
+        suitor[static_cast<std::size_t>(v)] == u) {
+      cm.map[su] = nc;
+      cm.map[static_cast<std::size_t>(v)] = nc;
+      ++nc;
+    } else if (v == kInvalidVid ||
+               suitor[static_cast<std::size_t>(v)] != u) {
+      cm.map[su] = nc++;
+    }
+  }
+  // Second sweep for u > v mutual pairs already handled above; anything
+  // still unmapped pairs with a smaller-id partner processed earlier.
+  for (std::size_t su = 0; su < sn; ++su) {
+    if (cm.map[su] == kUnmapped) {
+      // mutual partner with smaller id set both entries already; reaching
+      // here means the partner loop assigned only itself — map as singleton
+      // defensively.
+      cm.map[su] = nc++;
+    }
+  }
+  cm.nc = nc;
+  (void)exec;
+  return cm;
+}
+
+}  // namespace mgc

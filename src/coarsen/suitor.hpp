@@ -1,0 +1,24 @@
+#pragma once
+// Suitor approximate maximum-weight matching (Manne & Halappanavar,
+// IPDPS'14) used as a coarsening mapper — one of the paper's named
+// future-work items ("we will compare to approximation algorithms for
+// weighted maximal matching such as Suitor in future work").
+//
+// Each vertex proposes to its heaviest neighbor whose current best proposal
+// is lighter; displaced proposers re-propose. The fixed point is the same
+// 1/2-approximate matching the greedy algorithm finds, with strictly local
+// work. Matched pairs become coarse pairs; unmatched vertices singletons.
+
+#include <cstdint>
+
+#include "coarsen/mapping.hpp"
+
+namespace mgc {
+
+CoarseMap suitor_mapping(const Exec& exec, const Csr& g, std::uint64_t seed);
+
+/// The raw suitor array (suitor[v] = vertex whose proposal v holds, or
+/// kInvalidVid). Exposed for property tests.
+std::vector<vid_t> suitor_array(const Csr& g);
+
+}  // namespace mgc

@@ -1,0 +1,183 @@
+#include "coarsen/two_hop.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "coarsen/hem.hpp"
+#include "core/atomics.hpp"
+#include "core/prng.hpp"
+
+namespace mgc {
+
+namespace {
+
+vid_t count_unmatched(const Exec& exec, const std::vector<vid_t>& m) {
+  return parallel_sum<vid_t>(exec, m.size(), [&](std::size_t u) {
+    return m[u] == kUnmapped ? vid_t{1} : vid_t{0};
+  });
+}
+
+/// Pairs unmatched degree-1 neighbors of each vertex (leaf matching).
+/// A degree-1 vertex appears in exactly one adjacency list, so iterating
+/// over "hub" vertices in parallel creates no write conflicts.
+vid_t match_leaves(const Exec& exec, const Csr& g, std::vector<vid_t>& m,
+                   vid_t& nc) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> matched_count(1, 0);
+  parallel_for(exec, static_cast<std::size_t>(n), [&](std::size_t sv) {
+    const vid_t v = static_cast<vid_t>(sv);
+    vid_t pending = kInvalidVid;
+    vid_t local = 0;
+    for (const vid_t u : g.neighbors(v)) {
+      const std::size_t su = static_cast<std::size_t>(u);
+      if (g.degree(u) != 1 || m[su] != kUnmapped) continue;
+      if (pending == kInvalidVid) {
+        pending = u;
+      } else {
+        const vid_t id = atomic_fetch_add(nc, vid_t{1});
+        m[static_cast<std::size_t>(pending)] = id;
+        m[su] = id;
+        local += 2;
+        pending = kInvalidVid;
+      }
+    }
+    if (local > 0) atomic_fetch_add(matched_count[0], local);
+  });
+  return matched_count[0];
+}
+
+/// Order-independent adjacency fingerprint for twin detection.
+std::uint64_t adjacency_hash(const Csr& g, vid_t u) {
+  std::uint64_t h = 0;
+  for (const vid_t v : g.neighbors(u)) {
+    h += splitmix64(static_cast<std::uint64_t>(v) + 0x1234567);
+  }
+  return h;
+}
+
+bool same_adjacency(const Csr& g, vid_t a, vid_t b) {
+  if (g.degree(a) != g.degree(b)) return false;
+  auto na = g.neighbors(a);
+  auto nb = g.neighbors(b);
+  std::vector<vid_t> sa(na.begin(), na.end());
+  std::vector<vid_t> sb(nb.begin(), nb.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+/// Matches unmatched vertices with identical adjacency lists (twins).
+vid_t match_twins(const Exec& exec, const Csr& g, std::vector<vid_t>& m,
+                  vid_t& nc, eid_t twin_max_degree) {
+  const vid_t n = g.num_vertices();
+  struct Key {
+    std::uint64_t hash;
+    eid_t degree;
+    vid_t u;
+  };
+  std::vector<Key> keys;
+  for (vid_t u = 0; u < n; ++u) {
+    const eid_t d = g.degree(u);
+    if (m[static_cast<std::size_t>(u)] != kUnmapped || d < 2 ||
+        d > twin_max_degree) {
+      continue;
+    }
+    keys.push_back({adjacency_hash(g, u), d, u});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    if (a.degree != b.degree) return a.degree < b.degree;
+    return a.u < b.u;
+  });
+  vid_t matched = 0;
+  std::size_t i = 0;
+  while (i + 1 < keys.size()) {
+    if (keys[i].hash == keys[i + 1].hash &&
+        keys[i].degree == keys[i + 1].degree &&
+        same_adjacency(g, keys[i].u, keys[i + 1].u)) {
+      const vid_t id = nc++;
+      m[static_cast<std::size_t>(keys[i].u)] = id;
+      m[static_cast<std::size_t>(keys[i + 1].u)] = id;
+      matched += 2;
+      i += 2;
+    } else {
+      ++i;
+    }
+  }
+  (void)exec;
+  return matched;
+}
+
+/// Matches unmatched vertices that share any neighbor (relatives). Uses a
+/// claim array because a vertex can be reachable through several hubs.
+vid_t match_relatives(const Exec& exec, const Csr& g, std::vector<vid_t>& m,
+                      vid_t& nc) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  std::vector<vid_t> claim(sn, kUnmapped);
+  std::vector<vid_t> matched_count(1, 0);
+  parallel_for(exec, sn, [&](std::size_t sv) {
+    const vid_t v = static_cast<vid_t>(sv);
+    vid_t pending = kInvalidVid;
+    vid_t local = 0;
+    for (const vid_t u : g.neighbors(v)) {
+      const std::size_t su = static_cast<std::size_t>(u);
+      if (atomic_load(m[su]) != kUnmapped) continue;
+      if (atomic_cas(claim[su], kUnmapped, v) != kUnmapped) continue;
+      if (pending == kInvalidVid) {
+        pending = u;
+      } else {
+        const vid_t id = atomic_fetch_add(nc, vid_t{1});
+        atomic_store(m[static_cast<std::size_t>(pending)], id);
+        atomic_store(m[su], id);
+        local += 2;
+        pending = kInvalidVid;
+      }
+    }
+    if (pending != kInvalidVid) {
+      // Lone claimed vertex: release so another hub can pair it.
+      atomic_store(claim[static_cast<std::size_t>(pending)], kUnmapped);
+    }
+    if (local > 0) atomic_fetch_add(matched_count[0], local);
+  });
+  return matched_count[0];
+}
+
+}  // namespace
+
+CoarseMap mtmetis_mapping(const Exec& exec, const Csr& g, std::uint64_t seed,
+                          MappingStats* stats, const TwoHopOptions& opts) {
+  const vid_t n = g.num_vertices();
+  CoarseMap cm;
+  cm.map.assign(static_cast<std::size_t>(n), kUnmapped);
+  vid_t nc = 0;
+  hem_match_only(exec, g, seed, cm.map, nc, stats);
+
+  const auto above_threshold = [&](vid_t unmatched) {
+    return static_cast<double>(unmatched) >
+           opts.unmatched_threshold * static_cast<double>(n);
+  };
+
+  vid_t unmatched = count_unmatched(exec, cm.map);
+  if (above_threshold(unmatched)) {
+    const vid_t leaves = match_leaves(exec, g, cm.map, nc);
+    if (stats != nullptr) stats->two_hop_leaf_matches = leaves;
+    unmatched -= leaves;
+    if (above_threshold(unmatched)) {
+      const vid_t twins =
+          match_twins(exec, g, cm.map, nc, opts.twin_max_degree);
+      if (stats != nullptr) stats->two_hop_twin_matches = twins;
+      unmatched -= twins;
+      if (above_threshold(unmatched)) {
+        const vid_t relatives = match_relatives(exec, g, cm.map, nc);
+        if (stats != nullptr) stats->two_hop_relative_matches = relatives;
+      }
+    }
+  }
+
+  map_singletons(exec, cm.map, nc);
+  cm.nc = nc;
+  return cm;
+}
+
+}  // namespace mgc

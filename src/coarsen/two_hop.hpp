@@ -1,0 +1,32 @@
+#pragma once
+// mt-Metis-style two-hop matching (LaSalle et al., IA3'15), new for the
+// "GPU"/portable setting in the paper.
+//
+// After HEM, graphs with skewed degree distributions strand many vertices
+// unmatched (a star center can match only one leaf). If the unmatched
+// fraction exceeds the mt-Metis threshold (0.10, as in the METIS code base),
+// two-hop contractions are applied in three sub-classes, each only if the
+// threshold is still not met:
+//   * leaves    — unmatched degree-1 vertices hanging off a common neighbor
+//   * twins     — unmatched vertices with identical adjacency lists
+//   * relatives — unmatched vertices two hops apart (sharing any neighbor)
+// Remaining unmatched vertices become singletons.
+
+#include <cstdint>
+
+#include "coarsen/mapping.hpp"
+
+namespace mgc {
+
+/// Tuning knobs mirroring the mt-Metis constants.
+struct TwoHopOptions {
+  double unmatched_threshold = 0.10;  ///< trigger two-hop above this ratio
+  eid_t twin_max_degree = 256;        ///< skip twin-verification above this
+};
+
+/// Full mt-Metis coarse mapping: parallel HEM + conditional two-hop stages.
+CoarseMap mtmetis_mapping(const Exec& exec, const Csr& g, std::uint64_t seed,
+                          MappingStats* stats = nullptr,
+                          const TwoHopOptions& opts = {});
+
+}  // namespace mgc

@@ -1,0 +1,503 @@
+#include "construct/construct.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/atomics.hpp"
+#include "core/hashmap.hpp"
+#include "core/sorting.hpp"
+#include "spla/matrix.hpp"
+
+namespace mgc {
+
+std::string construction_name(Construction c) {
+  switch (c) {
+    case Construction::kSort: return "sort";
+    case Construction::kHash: return "hash";
+    case Construction::kHeap: return "heap";
+    case Construction::kHybrid: return "hybrid";
+    case Construction::kSpgemm: return "spgemm";
+    case Construction::kGlobalSort: return "globalsort";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<wgt_t> coarse_vertex_weights(const Exec& exec, const Csr& fine,
+                                         const CoarseMap& cm) {
+  std::vector<wgt_t> vw(static_cast<std::size_t>(cm.nc), 0);
+  parallel_for(exec, cm.map.size(), [&](std::size_t u) {
+    atomic_fetch_add(vw[static_cast<std::size_t>(cm.map[u])],
+                     fine.vwgts[u]);
+  });
+  return vw;
+}
+
+/// Per-segment deduplication by sorting then striding (paper's default).
+void dedup_sort(const Exec& exec, const std::vector<eid_t>& r,
+                std::vector<vid_t>& f, std::vector<wgt_t>& x,
+                std::vector<eid_t>& out_count) {
+  segmented_sort_pairs(exec, r.data(), out_count.size(), f.data(), x.data());
+  parallel_for(exec, out_count.size(), [&](std::size_t c) {
+    const eid_t begin = r[c];
+    const eid_t end = r[c + 1];
+    eid_t write = begin;
+    for (eid_t k = begin; k < end; ++k) {
+      if (write > begin &&
+          f[static_cast<std::size_t>(k)] ==
+              f[static_cast<std::size_t>(write - 1)]) {
+        x[static_cast<std::size_t>(write - 1)] +=
+            x[static_cast<std::size_t>(k)];
+      } else {
+        f[static_cast<std::size_t>(write)] = f[static_cast<std::size_t>(k)];
+        x[static_cast<std::size_t>(write)] = x[static_cast<std::size_t>(k)];
+        ++write;
+      }
+    }
+    out_count[c] = write - begin;
+  });
+}
+
+/// Per-segment deduplication with per-vertex hash tables carved from one
+/// shared scratch allocation.
+void dedup_hash(const Exec& exec, const std::vector<eid_t>& r,
+                std::vector<vid_t>& f, std::vector<wgt_t>& x,
+                std::vector<eid_t>& out_count) {
+  const std::size_t nc = out_count.size();
+  std::vector<eid_t> cap_offset(nc + 1, 0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    const eid_t len = r[c + 1] - r[c];
+    cap_offset[c + 1] =
+        cap_offset[c] +
+        (len > 0
+             ? static_cast<eid_t>(next_pow2(static_cast<std::size_t>(len) + 1))
+             : 0);
+  }
+  std::vector<vid_t> hkeys(static_cast<std::size_t>(cap_offset[nc]),
+                           kInvalidVid);
+  std::vector<wgt_t> hwts(static_cast<std::size_t>(cap_offset[nc]));
+  parallel_for(exec, nc, [&](std::size_t c) {
+    const eid_t begin = r[c];
+    const eid_t len = r[c + 1] - begin;
+    if (len == 0) {
+      out_count[c] = 0;
+      return;
+    }
+    FlatAccumulator acc(
+        hkeys.data() + cap_offset[c], hwts.data() + cap_offset[c],
+        static_cast<std::size_t>(cap_offset[c + 1] - cap_offset[c]));
+    for (eid_t k = begin; k < begin + len; ++k) {
+      acc.insert_or_add(f[static_cast<std::size_t>(k)],
+                        x[static_cast<std::size_t>(k)]);
+    }
+    out_count[c] = static_cast<eid_t>(acc.extract_and_clear(
+        f.data() + begin, x.data() + begin));
+  });
+}
+
+/// Per-segment deduplication by heap-merge (the CPU extension mentioned in
+/// the paper's conclusions): pop the min key repeatedly, merging equal keys.
+void dedup_heap(const Exec& exec, const std::vector<eid_t>& r,
+                std::vector<vid_t>& f, std::vector<wgt_t>& x,
+                std::vector<eid_t>& out_count) {
+  parallel_for(exec, out_count.size(), [&](std::size_t c) {
+    const eid_t begin = r[c];
+    const eid_t len = r[c + 1] - begin;
+    if (len == 0) {
+      out_count[c] = 0;
+      return;
+    }
+    std::vector<std::pair<vid_t, wgt_t>> heap(static_cast<std::size_t>(len));
+    for (eid_t k = 0; k < len; ++k) {
+      heap[static_cast<std::size_t>(k)] = {
+          f[static_cast<std::size_t>(begin + k)],
+          x[static_cast<std::size_t>(begin + k)]};
+    }
+    const auto cmp = [](const std::pair<vid_t, wgt_t>& a,
+                        const std::pair<vid_t, wgt_t>& b) {
+      return a.first > b.first;  // min-heap on key
+    };
+    std::make_heap(heap.begin(), heap.end(), cmp);
+    eid_t write = begin;
+    std::size_t size = heap.size();
+    while (size > 0) {
+      std::pop_heap(heap.begin(), heap.begin() + size, cmp);
+      const auto [key, w] = heap[size - 1];
+      --size;
+      if (write > begin && f[static_cast<std::size_t>(write - 1)] == key) {
+        x[static_cast<std::size_t>(write - 1)] += w;
+      } else {
+        f[static_cast<std::size_t>(write)] = key;
+        x[static_cast<std::size_t>(write)] = w;
+        ++write;
+      }
+    }
+    out_count[c] = write - begin;
+  });
+}
+
+/// Per-segment sort-or-hash decision (the paper's future-work hybrid):
+/// short segments sort (duplication tends to 1), long segments hash.
+void dedup_hybrid(const Exec& exec, const std::vector<eid_t>& r,
+                  std::vector<vid_t>& f, std::vector<wgt_t>& x,
+                  std::vector<eid_t>& out_count, eid_t hash_threshold) {
+  parallel_for(exec, out_count.size(), [&](std::size_t c) {
+    const eid_t begin = r[c];
+    const eid_t len = r[c + 1] - begin;
+    if (len == 0) {
+      out_count[c] = 0;
+      return;
+    }
+    if (len < hash_threshold) {
+      if (len <= 32) {
+        insertion_sort_pairs(f.data() + begin, x.data() + begin,
+                             static_cast<std::size_t>(len));
+      } else {
+        std::vector<std::pair<vid_t, wgt_t>> tmp(
+            static_cast<std::size_t>(len));
+        for (eid_t k = 0; k < len; ++k) {
+          tmp[static_cast<std::size_t>(k)] = {
+              f[static_cast<std::size_t>(begin + k)],
+              x[static_cast<std::size_t>(begin + k)]};
+        }
+        std::sort(tmp.begin(), tmp.end());
+        for (eid_t k = 0; k < len; ++k) {
+          f[static_cast<std::size_t>(begin + k)] =
+              tmp[static_cast<std::size_t>(k)].first;
+          x[static_cast<std::size_t>(begin + k)] =
+              tmp[static_cast<std::size_t>(k)].second;
+        }
+      }
+      eid_t write = begin;
+      for (eid_t k = begin; k < begin + len; ++k) {
+        if (write > begin &&
+            f[static_cast<std::size_t>(k)] ==
+                f[static_cast<std::size_t>(write - 1)]) {
+          x[static_cast<std::size_t>(write - 1)] +=
+              x[static_cast<std::size_t>(k)];
+        } else {
+          f[static_cast<std::size_t>(write)] =
+              f[static_cast<std::size_t>(k)];
+          x[static_cast<std::size_t>(write)] =
+              x[static_cast<std::size_t>(k)];
+          ++write;
+        }
+      }
+      out_count[c] = write - begin;
+    } else {
+      const std::size_t cap = next_pow2(static_cast<std::size_t>(len) + 1);
+      std::vector<vid_t> hkeys(cap, kInvalidVid);
+      std::vector<wgt_t> hwts(cap);
+      FlatAccumulator acc(hkeys.data(), hwts.data(), cap);
+      for (eid_t k = begin; k < begin + len; ++k) {
+        acc.insert_or_add(f[static_cast<std::size_t>(k)],
+                          x[static_cast<std::size_t>(k)]);
+      }
+      out_count[c] = static_cast<eid_t>(
+          acc.extract_and_clear(f.data() + begin, x.data() + begin));
+    }
+  });
+}
+
+Csr assemble_from_segments(const Exec& exec, const CoarseMap& cm,
+                           const std::vector<eid_t>& r,
+                           const std::vector<vid_t>& f,
+                           const std::vector<wgt_t>& x,
+                           const std::vector<eid_t>& count, bool one_sided,
+                           const Csr& fine) {
+  const std::size_t nc = static_cast<std::size_t>(cm.nc);
+  Csr coarse;
+  coarse.rowptr.assign(nc + 1, 0);
+  std::vector<eid_t> deg(nc, 0);
+  parallel_for(exec, nc, [&](std::size_t c) {
+    atomic_fetch_add(deg[c], count[c]);
+    if (one_sided) {
+      // Transpose-completion: each owned entry (c -> b) also contributes a
+      // (b -> c) entry in the final symmetric graph.
+      for (eid_t k = r[c]; k < r[c] + count[c]; ++k) {
+        atomic_fetch_add(
+            deg[static_cast<std::size_t>(f[static_cast<std::size_t>(k)])],
+            eid_t{1});
+      }
+    }
+  });
+  for (std::size_t c = 0; c < nc; ++c) {
+    coarse.rowptr[c + 1] = coarse.rowptr[c] + deg[c];
+  }
+  coarse.colidx.resize(static_cast<std::size_t>(coarse.rowptr[nc]));
+  coarse.wgts.resize(static_cast<std::size_t>(coarse.rowptr[nc]));
+  std::vector<eid_t> cursor(coarse.rowptr.begin(), coarse.rowptr.end() - 1);
+  parallel_for(exec, nc, [&](std::size_t c) {
+    for (eid_t k = r[c]; k < r[c] + count[c]; ++k) {
+      const vid_t b = f[static_cast<std::size_t>(k)];
+      const wgt_t w = x[static_cast<std::size_t>(k)];
+      const eid_t pos = atomic_fetch_add(cursor[c], eid_t{1});
+      coarse.colidx[static_cast<std::size_t>(pos)] = b;
+      coarse.wgts[static_cast<std::size_t>(pos)] = w;
+      if (one_sided) {
+        const eid_t tpos =
+            atomic_fetch_add(cursor[static_cast<std::size_t>(b)], eid_t{1});
+        coarse.colidx[static_cast<std::size_t>(tpos)] =
+            static_cast<vid_t>(c);
+        coarse.wgts[static_cast<std::size_t>(tpos)] = w;
+      }
+    }
+  });
+  coarse.vwgts = coarse_vertex_weights(exec, fine, cm);
+  return coarse;
+}
+
+Csr construct_vertex_centric(const Exec& exec, const Csr& fine,
+                             const CoarseMap& cm,
+                             const ConstructOptions& opts,
+                             ConstructStats* stats) {
+  const vid_t n = fine.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const std::size_t nc = static_cast<std::size_t>(cm.nc);
+  const std::vector<vid_t>& m = cm.map;
+
+  bool one_sided = false;
+  switch (opts.degree_dedup) {
+    case DegreeDedup::kOff: one_sided = false; break;
+    case DegreeDedup::kOn: one_sided = true; break;
+    case DegreeDedup::kAuto:
+      one_sided = fine.degree_skew() >= opts.skew_threshold;
+      break;
+  }
+  if (stats != nullptr) stats->degree_dedup_used = one_sided;
+
+  // Per-fine-vertex coarse-adjacency iteration, optionally pre-deduplicated
+  // (merging entries of u that target the same coarse vertex before they
+  // reach the intermediate arrays — §III-B future-work optimization #2).
+  const auto for_each_coarse = [&](std::size_t su, auto&& fn) {
+    const vid_t a = m[su];
+    if (!opts.pre_dedup_fine) {
+      for (eid_t k = fine.rowptr[su]; k < fine.rowptr[su + 1]; ++k) {
+        const vid_t b = m[static_cast<std::size_t>(
+            fine.colidx[static_cast<std::size_t>(k)])];
+        if (a != b) fn(a, b, fine.wgts[static_cast<std::size_t>(k)]);
+      }
+      return;
+    }
+    std::vector<std::pair<vid_t, wgt_t>> local;
+    local.reserve(
+        static_cast<std::size_t>(fine.rowptr[su + 1] - fine.rowptr[su]));
+    for (eid_t k = fine.rowptr[su]; k < fine.rowptr[su + 1]; ++k) {
+      const vid_t b = m[static_cast<std::size_t>(
+          fine.colidx[static_cast<std::size_t>(k)])];
+      if (a != b) local.push_back({b, fine.wgts[static_cast<std::size_t>(k)]});
+    }
+    std::sort(local.begin(), local.end());
+    std::size_t i = 0;
+    while (i < local.size()) {
+      wgt_t w = local[i].second;
+      std::size_t j = i + 1;
+      while (j < local.size() && local[j].first == local[i].first) {
+        w += local[j].second;
+        ++j;
+      }
+      fn(a, local[i].first, w);
+      i = j;
+    }
+  };
+
+  // Step 1: upper-bound coarse degrees C'.
+  std::vector<eid_t> cp(nc, 0);
+  parallel_for(exec, sn, [&](std::size_t su) {
+    for_each_coarse(su, [&](vid_t a, vid_t, wgt_t) {
+      atomic_fetch_add(cp[static_cast<std::size_t>(a)], eid_t{1});
+    });
+  });
+
+  // Ownership rule: with the one-sided optimization an undirected coarse
+  // edge {a, b} lives only at the endpoint with the smaller estimated
+  // degree, ties broken by coarse id — one consistent side per coarse pair.
+  const auto keep = [&](vid_t a, vid_t b) {
+    if (!one_sided) return true;
+    const eid_t da = cp[static_cast<std::size_t>(a)];
+    const eid_t db = cp[static_cast<std::size_t>(b)];
+    return da < db || (da == db && a < b);
+  };
+
+  // Step 2: owned-entry counts C.
+  std::vector<eid_t> count(nc, 0);
+  parallel_for(exec, sn, [&](std::size_t su) {
+    for_each_coarse(su, [&](vid_t a, vid_t b, wgt_t) {
+      if (keep(a, b)) {
+        atomic_fetch_add(count[static_cast<std::size_t>(a)], eid_t{1});
+      }
+    });
+  });
+
+  // Step 3: offsets R.
+  std::vector<eid_t> r(nc + 1, 0);
+  for (std::size_t c = 0; c < nc; ++c) r[c + 1] = r[c] + count[c];
+  const eid_t m_prime = r[nc];
+  if (stats != nullptr) stats->intermediate_entries = m_prime;
+
+  // Step 4: fill intermediate adjacency F and weights X.
+  std::vector<vid_t> f(static_cast<std::size_t>(m_prime));
+  std::vector<wgt_t> x(static_cast<std::size_t>(m_prime));
+  std::vector<eid_t> cursor(nc, 0);
+  parallel_for(exec, sn, [&](std::size_t su) {
+    for_each_coarse(su, [&](vid_t a, vid_t b, wgt_t w) {
+      if (keep(a, b)) {
+        const eid_t l =
+            r[static_cast<std::size_t>(a)] +
+            atomic_fetch_add(cursor[static_cast<std::size_t>(a)], eid_t{1});
+        f[static_cast<std::size_t>(l)] = b;
+        x[static_cast<std::size_t>(l)] = w;
+      }
+    });
+  });
+
+  // Step 5: per-vertex deduplication.
+  std::vector<eid_t> dedup_count(nc, 0);
+  for (std::size_t c = 0; c < nc; ++c) dedup_count[c] = count[c];
+  switch (opts.method) {
+    case Construction::kSort: dedup_sort(exec, r, f, x, dedup_count); break;
+    case Construction::kHash: dedup_hash(exec, r, f, x, dedup_count); break;
+    case Construction::kHeap: dedup_heap(exec, r, f, x, dedup_count); break;
+    case Construction::kHybrid:
+      dedup_hybrid(exec, r, f, x, dedup_count, opts.hybrid_hash_threshold);
+      break;
+    default: dedup_sort(exec, r, f, x, dedup_count); break;
+  }
+  if (stats != nullptr) {
+    eid_t dedup_total = 0;
+    for (const eid_t c : dedup_count) dedup_total += c;
+    stats->duplication_factor =
+        dedup_total > 0 ? static_cast<double>(m_prime) / dedup_total : 1.0;
+  }
+
+  // Step 6: transpose-completion into the final symmetric CSR.
+  return assemble_from_segments(exec, cm, r, f, x, dedup_count, one_sided,
+                                fine);
+}
+
+Csr construct_global_sort(const Exec& exec, const Csr& fine,
+                          const CoarseMap& cm, ConstructStats* stats) {
+  const std::size_t sn = static_cast<std::size_t>(fine.num_vertices());
+  const std::vector<vid_t>& m = cm.map;
+  // Emit every directed cross entry as a 64-bit (a, b) key.
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> vals;
+  keys.reserve(static_cast<std::size_t>(fine.num_entries()));
+  vals.reserve(static_cast<std::size_t>(fine.num_entries()));
+  for (std::size_t su = 0; su < sn; ++su) {
+    const vid_t a = m[su];
+    for (eid_t k = fine.rowptr[su]; k < fine.rowptr[su + 1]; ++k) {
+      const vid_t b =
+          m[static_cast<std::size_t>(fine.colidx[static_cast<std::size_t>(k)])];
+      if (a != b) {
+        keys.push_back((static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(a))
+                        << 32) |
+                       static_cast<std::uint32_t>(b));
+        vals.push_back(static_cast<std::uint64_t>(
+            fine.wgts[static_cast<std::size_t>(k)]));
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->degree_dedup_used = false;
+    stats->intermediate_entries = static_cast<eid_t>(keys.size());
+  }
+  radix_sort_pairs(exec, keys.data(), vals.data(), keys.size());
+
+  Csr coarse;
+  const std::size_t nc = static_cast<std::size_t>(cm.nc);
+  coarse.rowptr.assign(nc + 1, 0);
+  std::vector<vid_t> cols;
+  std::vector<wgt_t> ws;
+  std::size_t i = 0;
+  while (i < keys.size()) {
+    std::uint64_t key = keys[i];
+    wgt_t w = 0;
+    while (i < keys.size() && keys[i] == key) {
+      w += static_cast<wgt_t>(vals[i]);
+      ++i;
+    }
+    const vid_t a = static_cast<vid_t>(key >> 32);
+    const vid_t b = static_cast<vid_t>(key & 0xffffffffU);
+    cols.push_back(b);
+    ws.push_back(w);
+    ++coarse.rowptr[static_cast<std::size_t>(a) + 1];
+  }
+  for (std::size_t c = 0; c < nc; ++c) {
+    coarse.rowptr[c + 1] += coarse.rowptr[c];
+  }
+  coarse.colidx = std::move(cols);
+  coarse.wgts = std::move(ws);
+  coarse.vwgts = coarse_vertex_weights(exec, fine, cm);
+  if (stats != nullptr && !coarse.colidx.empty()) {
+    stats->duplication_factor = static_cast<double>(keys.size()) /
+                                static_cast<double>(coarse.colidx.size());
+  }
+  return coarse;
+}
+
+Csr construct_spgemm(const Exec& exec, const Csr& fine, const CoarseMap& cm,
+                     ConstructStats* stats) {
+  const CsrMatrix p = prolongation_matrix(exec, cm.map, cm.nc);
+  const CsrMatrix a = matrix_from_graph(fine);
+  const CsrMatrix pa = spgemm(exec, p, a);
+  const CsrMatrix pt = transpose(exec, p);
+  const CsrMatrix papt = spgemm(exec, pa, pt);
+
+  // Strip the diagonal (internal edges) while copying to the Csr container.
+  const std::size_t nc = static_cast<std::size_t>(cm.nc);
+  Csr coarse;
+  coarse.rowptr.assign(nc + 1, 0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    eid_t cnt = 0;
+    for (eid_t k = papt.rowptr[c]; k < papt.rowptr[c + 1]; ++k) {
+      if (papt.colidx[static_cast<std::size_t>(k)] !=
+          static_cast<vid_t>(c)) {
+        ++cnt;
+      }
+    }
+    coarse.rowptr[c + 1] = coarse.rowptr[c] + cnt;
+  }
+  coarse.colidx.resize(static_cast<std::size_t>(coarse.rowptr[nc]));
+  coarse.wgts.resize(static_cast<std::size_t>(coarse.rowptr[nc]));
+  parallel_for(exec, nc, [&](std::size_t c) {
+    eid_t pos = coarse.rowptr[c];
+    for (eid_t k = papt.rowptr[c]; k < papt.rowptr[c + 1]; ++k) {
+      const vid_t b = papt.colidx[static_cast<std::size_t>(k)];
+      if (b == static_cast<vid_t>(c)) continue;
+      coarse.colidx[static_cast<std::size_t>(pos)] = b;
+      coarse.wgts[static_cast<std::size_t>(pos)] =
+          papt.vals[static_cast<std::size_t>(k)];
+      ++pos;
+    }
+  });
+  coarse.vwgts = coarse_vertex_weights(exec, fine, cm);
+  if (stats != nullptr) {
+    stats->degree_dedup_used = false;
+    stats->intermediate_entries = pa.nnz();
+    stats->duplication_factor =
+        coarse.num_entries() > 0
+            ? static_cast<double>(fine.num_entries()) / coarse.num_entries()
+            : 1.0;
+  }
+  return coarse;
+}
+
+}  // namespace
+
+Csr construct_coarse_graph(const Exec& exec, const Csr& fine,
+                           const CoarseMap& cm, const ConstructOptions& opts,
+                           ConstructStats* stats) {
+  switch (opts.method) {
+    case Construction::kSpgemm:
+      return construct_spgemm(exec, fine, cm, stats);
+    case Construction::kGlobalSort:
+      return construct_global_sort(exec, fine, cm, stats);
+    default:
+      return construct_vertex_centric(exec, fine, cm, opts, stats);
+  }
+}
+
+}  // namespace mgc

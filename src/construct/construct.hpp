@@ -1,0 +1,74 @@
+#pragma once
+// Coarse-graph construction (paper §III-B, Algorithm 6).
+//
+// Given the fine graph and a CoarseMap, builds the coarse CSR graph. The
+// vertex-centric template has six steps:
+//   1. upper-bound coarse degrees C' (atomic counting of cross edges);
+//   2. one-sided ownership counting C — each coarse edge is kept only at the
+//      endpoint with the smaller estimated degree (the paper's new
+//      deduplication optimization for skewed-degree graphs), ties broken by
+//      coarse vertex id;
+//   3. offsets R by prefix sums; 4. fill intermediate F/X arrays;
+//   5. per-vertex deduplication (sort / hash / heap);
+//   6. transpose-completion into the final symmetric CSR.
+//
+// Alternatives: SpGEMM-based P·A·Pᵀ, and the global-sort baseline.
+
+#include <cstdint>
+#include <string>
+
+#include "coarsen/mapping.hpp"
+#include "core/exec.hpp"
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+enum class Construction {
+  kSort,        ///< per-vertex sort-based dedup (the paper's default)
+  kHash,        ///< per-vertex hashmap dedup
+  kHeap,        ///< per-vertex heap-merge dedup (CPU extension, §V)
+  kHybrid,      ///< per-vertex sort-or-hash decision (paper future work)
+  kSpgemm,      ///< P·A·Pᵀ via two SpGEMM calls
+  kGlobalSort,  ///< global triple sort baseline (not competitive; §III-B)
+};
+
+std::string construction_name(Construction c);
+
+enum class DegreeDedup {
+  kOff,   ///< keep every directed entry (both ends), dedup handles it
+  kOn,    ///< one-sided ownership always
+  kAuto,  ///< one-sided only when degree skew >= skew_threshold (paper)
+};
+
+struct ConstructOptions {
+  Construction method = Construction::kSort;
+  DegreeDedup degree_dedup = DegreeDedup::kAuto;
+  /// Skew (max degree / average degree) above which kAuto enables the
+  /// one-sided optimization.
+  double skew_threshold = 16.0;
+  /// Pre-deduplicate the coarse adjacencies of each FINE vertex before the
+  /// intermediate arrays are filled (the second future-work optimization
+  /// of §III-B): shrinks m' when many of a vertex's neighbors share a
+  /// coarse aggregate, at the cost of a local sort per fine vertex.
+  bool pre_dedup_fine = false;
+  /// Segment-length threshold for kHybrid: sort below, hash at or above
+  /// (long segments tend to carry the high duplication hashing wins on).
+  eid_t hybrid_hash_threshold = 64;
+};
+
+struct ConstructStats {
+  bool degree_dedup_used = false;
+  eid_t intermediate_entries = 0;  ///< m' (size of F/X)
+  /// Duplication factor m' / coarse directed entries; drives sort-vs-hash.
+  double duplication_factor = 0.0;
+};
+
+/// Builds the weighted coarse graph. Coarse vertex weights are the sums of
+/// mapped fine vertex weights; self-loops (internal edges) are dropped and
+/// parallel coarse edges merged by weight summation.
+Csr construct_coarse_graph(const Exec& exec, const Csr& fine,
+                           const CoarseMap& cm,
+                           const ConstructOptions& opts = {},
+                           ConstructStats* stats = nullptr);
+
+}  // namespace mgc

@@ -1,0 +1,68 @@
+#pragma once
+// Lock-free atomic helpers over plain arrays, mirroring the Kokkos atomic
+// interface the paper's algorithms are written against (atomic_compare_
+// exchange, atomic_fetch_add). Implemented with C++20 std::atomic_ref so the
+// underlying containers stay ordinary std::vector<T>.
+
+#include <atomic>
+
+namespace mgc {
+
+/// Atomic compare-and-swap on a plain object. Returns the value observed
+/// *before* the operation (the paper's AtomicCAS convention: the swap
+/// succeeded iff the returned value equals `expected`).
+template <class T>
+T atomic_cas(T& obj, T expected, T desired) {
+  std::atomic_ref<T> ref(obj);
+  T e = expected;
+  ref.compare_exchange_strong(e, desired, std::memory_order_acq_rel,
+                              std::memory_order_acquire);
+  return e;
+}
+
+/// Atomic fetch-add; returns the previous value.
+template <class T>
+T atomic_fetch_add(T& obj, T delta) {
+  std::atomic_ref<T> ref(obj);
+  return ref.fetch_add(delta, std::memory_order_acq_rel);
+}
+
+/// Atomic load with acquire semantics.
+template <class T>
+T atomic_load(const T& obj) {
+  std::atomic_ref<const T> ref(obj);
+  return ref.load(std::memory_order_acquire);
+}
+
+/// Atomic store with release semantics.
+template <class T>
+void atomic_store(T& obj, T value) {
+  std::atomic_ref<T> ref(obj);
+  ref.store(value, std::memory_order_release);
+}
+
+/// Atomic max: sets obj = max(obj, value). Returns previous value.
+template <class T>
+T atomic_fetch_max(T& obj, T value) {
+  std::atomic_ref<T> ref(obj);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+/// Atomic min: sets obj = min(obj, value). Returns previous value.
+template <class T>
+T atomic_fetch_min(T& obj, T value) {
+  std::atomic_ref<T> ref(obj);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (cur > value &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+}  // namespace mgc

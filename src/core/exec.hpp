@@ -1,0 +1,157 @@
+#pragma once
+// Execution-space abstraction: the mgc analogue of Kokkos execution spaces.
+//
+// Every parallel algorithm in the library is written against three
+// primitives — parallel_for, parallel_reduce, parallel_scan — plus the
+// atomic helpers in atomics.hpp. An Exec value selects the backend
+// (Serial or Threads) at each call site, which is what makes the
+// implementations performance-portable in the sense of the paper: the same
+// algorithm text runs on the "host" (Serial) and the "device" (Threads).
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace mgc {
+
+enum class Backend {
+  Serial,   ///< single-threaded reference execution ("host")
+  Threads,  ///< thread-pool execution ("device" analogue)
+};
+
+/// Execution-space handle passed to every parallel kernel.
+struct Exec {
+  Backend backend = Backend::Threads;
+  /// Chunk granularity for dynamic scheduling; 0 = pick automatically.
+  std::size_t grain = 0;
+
+  static Exec serial() { return Exec{Backend::Serial, 0}; }
+  static Exec threads(std::size_t grain = 0) {
+    return Exec{Backend::Threads, grain};
+  }
+
+  int concurrency() const {
+    return backend == Backend::Serial ? 1 : ThreadPool::global().concurrency();
+  }
+};
+
+namespace detail {
+
+inline std::size_t pick_grain(const Exec& exec, std::size_t n) {
+  if (exec.grain > 0) return exec.grain;
+  const std::size_t threads =
+      static_cast<std::size_t>(ThreadPool::global().concurrency());
+  // Aim for ~8 chunks per thread for load balance, but keep chunks >= 256
+  // elements so scheduling overhead stays negligible.
+  const std::size_t target_chunks = std::max<std::size_t>(threads * 8, 1);
+  return std::max<std::size_t>(256, (n + target_chunks - 1) / target_chunks);
+}
+
+}  // namespace detail
+
+/// parallel_for: body(i) for all i in [0, n).
+template <class Body>
+void parallel_for(const Exec& exec, std::size_t n, Body&& body) {
+  if (n == 0) return;
+  if (exec.backend == Backend::Serial) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t grain = detail::pick_grain(exec, n);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(begin + grain, n);
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  };
+  ThreadPool::global().run(num_chunks, chunk_fn);
+}
+
+/// parallel_reduce: returns reduce(init, body(0), ..., body(n-1)) where
+/// `combine(a, b)` must be associative and commutative.
+template <class T, class Body, class Combine>
+T parallel_reduce(const Exec& exec, std::size_t n, T init, Body&& body,
+                  Combine&& combine) {
+  if (n == 0) return init;
+  if (exec.backend == Backend::Serial) {
+    T acc = init;
+    for (std::size_t i = 0; i < n; ++i) acc = combine(acc, body(i));
+    return acc;
+  }
+  const std::size_t grain = detail::pick_grain(exec, n);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<T> partial(num_chunks, init);
+  const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(begin + grain, n);
+    T acc = init;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, body(i));
+    partial[c] = acc;
+  };
+  ThreadPool::global().run(num_chunks, chunk_fn);
+  T acc = init;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Sum reduction convenience wrapper.
+template <class T, class Body>
+T parallel_sum(const Exec& exec, std::size_t n, Body&& body) {
+  return parallel_reduce(exec, n, T{}, std::forward<Body>(body),
+                         [](T a, T b) { return a + b; });
+}
+
+/// Exclusive prefix sum over `values[0..n)` written in place; returns the
+/// total. Two-pass blocked scan on the Threads backend.
+template <class T>
+T parallel_exclusive_scan(const Exec& exec, T* values, std::size_t n) {
+  if (n == 0) return T{};
+  if (exec.backend == Backend::Serial ||
+      n < 4096) {  // small arrays: serial scan is faster and exact
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const T v = values[i];
+      values[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  const std::size_t grain = detail::pick_grain(exec, n);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<T> block_sum(num_chunks);
+  {
+    const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+      const std::size_t begin = c * grain;
+      const std::size_t end = std::min(begin + grain, n);
+      T acc{};
+      for (std::size_t i = begin; i < end; ++i) acc += values[i];
+      block_sum[c] = acc;
+    };
+    ThreadPool::global().run(num_chunks, chunk_fn);
+  }
+  T total{};
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const T v = block_sum[c];
+    block_sum[c] = total;
+    total += v;
+  }
+  {
+    const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+      const std::size_t begin = c * grain;
+      const std::size_t end = std::min(begin + grain, n);
+      T acc = block_sum[c];
+      for (std::size_t i = begin; i < end; ++i) {
+        const T v = values[i];
+        values[i] = acc;
+        acc += v;
+      }
+    };
+    ThreadPool::global().run(num_chunks, chunk_fn);
+  }
+  return total;
+}
+
+}  // namespace mgc

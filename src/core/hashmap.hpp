@@ -1,0 +1,87 @@
+#pragma once
+// Open-addressing hash maps used by the hashing-based deduplication path of
+// coarse-graph construction and by the SpGEMM accumulator.
+//
+// FlatAccumulator is a (key -> accumulated weight) map over a caller-provided
+// power-of-two scratch region, so construction can carve one large scratch
+// allocation into disjoint per-vertex tables without repeated allocation —
+// the same pattern Kokkos Kernels uses for its sparse hashmap accumulator.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace mgc {
+
+/// Multiplicative hash for 32-bit vertex ids.
+inline std::uint32_t hash_vid(vid_t v) {
+  auto x = static_cast<std::uint32_t>(v);
+  x ^= x >> 16;
+  x *= 0x7feb352dU;
+  x ^= x >> 15;
+  x *= 0x846ca68bU;
+  x ^= x >> 16;
+  return x;
+}
+
+/// Smallest power of two >= max(x, 2).
+inline std::size_t next_pow2(std::size_t x) {
+  std::size_t p = 2;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Linear-probing (vid -> wgt) accumulator over external storage.
+/// `capacity` must be a power of two and strictly larger than the number of
+/// distinct keys inserted. Keys slots must be pre-filled with kInvalidVid.
+class FlatAccumulator {
+ public:
+  FlatAccumulator(vid_t* keys, wgt_t* weights, std::size_t capacity)
+      : keys_(keys), weights_(weights), mask_(capacity - 1) {
+    assert((capacity & mask_) == 0 && "capacity must be a power of two");
+  }
+
+  /// Adds `w` to the weight of `key`, inserting it if absent.
+  /// Returns true if the key was newly inserted.
+  bool insert_or_add(vid_t key, wgt_t w) {
+    std::size_t slot = hash_vid(key) & mask_;
+    for (;;) {
+      if (keys_[slot] == key) {
+        weights_[slot] += w;
+        return false;
+      }
+      if (keys_[slot] == kInvalidVid) {
+        keys_[slot] = key;
+        weights_[slot] = w;
+        return true;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Copies the occupied (key, weight) entries to `out_keys` / `out_wgts`,
+  /// resetting occupied slots back to empty. Returns the entry count.
+  std::size_t extract_and_clear(vid_t* out_keys, wgt_t* out_wgts) {
+    std::size_t count = 0;
+    for (std::size_t slot = 0; slot <= mask_; ++slot) {
+      if (keys_[slot] != kInvalidVid) {
+        out_keys[count] = keys_[slot];
+        out_wgts[count] = weights_[slot];
+        ++count;
+        keys_[slot] = kInvalidVid;
+      }
+    }
+    return count;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  vid_t* keys_;
+  wgt_t* weights_;
+  std::size_t mask_;
+};
+
+}  // namespace mgc

@@ -1,0 +1,37 @@
+#include "core/permutation.hpp"
+
+#include <algorithm>
+
+#include "core/prng.hpp"
+#include "core/sorting.hpp"
+
+namespace mgc {
+
+std::vector<vid_t> gen_perm(vid_t n, std::uint64_t seed) {
+  std::vector<vid_t> perm(static_cast<std::size_t>(n));
+  for (vid_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<vid_t> par_gen_perm(const Exec& exec, vid_t n,
+                                std::uint64_t seed) {
+  const std::size_t sn = static_cast<std::size_t>(n);
+  std::vector<std::uint64_t> keys(sn), vals(sn);
+  parallel_for(exec, sn, [&](std::size_t i) {
+    keys[i] = splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    vals[i] = i;
+  });
+  radix_sort_pairs(exec, keys.data(), vals.data(), sn);
+  std::vector<vid_t> perm(sn);
+  parallel_for(exec, sn, [&](std::size_t i) {
+    perm[i] = static_cast<vid_t>(vals[i]);
+  });
+  return perm;
+}
+
+}  // namespace mgc

@@ -1,0 +1,24 @@
+#pragma once
+// Random permutation generation (the paper's GenPerm / ParGenPerm).
+//
+// The parallel variant is sort-based, exactly as in Algorithm 4: each index
+// gets an independent 64-bit random key derived from the seed by splitmix64,
+// and the permutation is the index array sorted by key. Because the keys are
+// a pure function of (seed, index), the result is deterministic and
+// backend-independent.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "core/types.hpp"
+
+namespace mgc {
+
+/// Sequential Fisher–Yates permutation of [0, n).
+std::vector<vid_t> gen_perm(vid_t n, std::uint64_t seed);
+
+/// Parallel sort-based permutation of [0, n). Deterministic in (n, seed).
+std::vector<vid_t> par_gen_perm(const Exec& exec, vid_t n, std::uint64_t seed);
+
+}  // namespace mgc

@@ -1,0 +1,67 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomized algorithms in mgc take an explicit 64-bit seed so that runs
+// are reproducible. splitmix64 is used to derive independent per-thread /
+// per-element streams (hash-based "counter mode"), and xoshiro256** provides
+// a fast sequential generator.
+
+#include <cstdint>
+
+namespace mgc {
+
+/// One splitmix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+/// Stateless form — ideal for deriving per-index random values in parallel.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, high-quality sequential PRNG (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    // Seed the four words with splitmix64 as recommended by the authors.
+    for (auto& w : s_) {
+      seed = splitmix64(seed);
+      w = seed;
+    }
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t bounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // the slight bias is irrelevant for randomized graph algorithms.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace mgc

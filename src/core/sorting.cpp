@@ -1,0 +1,122 @@
+#include "core/sorting.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+namespace mgc {
+
+namespace {
+
+constexpr int kRadixBits = 8;
+constexpr std::size_t kBuckets = std::size_t{1} << kRadixBits;
+
+// One stable counting-sort pass on byte `shift/8` of the keys.
+// Parallel histogram build, serial bucket-offset scan (256*P entries),
+// parallel scatter with per-chunk private offsets.
+void radix_pass(const Exec& exec, const std::uint64_t* keys_in,
+                const std::uint64_t* vals_in, std::uint64_t* keys_out,
+                std::uint64_t* vals_out, std::size_t n, int shift) {
+  const std::size_t grain = detail::pick_grain(exec, n);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+
+  std::vector<std::array<std::size_t, kBuckets>> hist(num_chunks);
+  parallel_for(Exec{exec.backend, 1}, num_chunks, [&](std::size_t c) {
+    auto& h = hist[c];
+    h.fill(0);
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(begin + grain, n);
+    for (std::size_t i = begin; i < end; ++i) {
+      ++h[(keys_in[i] >> shift) & (kBuckets - 1)];
+    }
+  });
+
+  // Column-major exclusive scan: bucket b of chunk c starts after all
+  // smaller buckets of all chunks and bucket b of chunks < c (stability).
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t count = hist[c][b];
+      hist[c][b] = total;
+      total += count;
+    }
+  }
+
+  parallel_for(Exec{exec.backend, 1}, num_chunks, [&](std::size_t c) {
+    auto offsets = hist[c];  // private copy advanced during scatter
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(begin + grain, n);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t b = (keys_in[i] >> shift) & (kBuckets - 1);
+      const std::size_t pos = offsets[b]++;
+      keys_out[pos] = keys_in[i];
+      vals_out[pos] = vals_in[i];
+    }
+  });
+}
+
+}  // namespace
+
+void radix_sort_pairs(const Exec& exec, std::uint64_t* keys,
+                      std::uint64_t* values, std::size_t n) {
+  if (n < 2) return;
+  // Skip passes whose byte is constant across all keys (common: high bytes).
+  std::uint64_t key_or = parallel_reduce(
+      exec, n, std::uint64_t{0}, [&](std::size_t i) { return keys[i]; },
+      [](std::uint64_t a, std::uint64_t b) { return a | b; });
+
+  std::vector<std::uint64_t> keys_tmp(n), vals_tmp(n);
+  std::uint64_t* kin = keys;
+  std::uint64_t* vin = values;
+  std::uint64_t* kout = keys_tmp.data();
+  std::uint64_t* vout = vals_tmp.data();
+
+  for (int shift = 0; shift < 64; shift += kRadixBits) {
+    if (((key_or >> shift) & (kBuckets - 1)) == 0 && shift > 0) continue;
+    radix_pass(exec, kin, vin, kout, vout, n, shift);
+    std::swap(kin, kout);
+    std::swap(vin, vout);
+  }
+  if (kin != keys) {
+    std::copy(kin, kin + n, keys);
+    std::copy(vin, vin + n, values);
+  }
+}
+
+void segmented_sort_pairs(const Exec& exec, const eid_t* rowptr,
+                          std::size_t num_segments, vid_t* keys,
+                          wgt_t* values) {
+  parallel_for(exec, num_segments, [&](std::size_t s) {
+    const eid_t begin = rowptr[s];
+    const eid_t end = rowptr[s + 1];
+    const std::size_t len = static_cast<std::size_t>(end - begin);
+    if (len < 2) return;
+    vid_t* k = keys + begin;
+    wgt_t* v = values + begin;
+    // The bitonic network is the "device" sorter (data-independent shape,
+    // as on the GPU), but its O(L log^2 L) work is only competitive while
+    // segments are short — on this substrate there is no team-level
+    // parallelism inside a segment to hide the extra comparisons.
+    if (exec.backend == Backend::Threads && len > 16 && len <= 128) {
+      bitonic_sort_pairs(k, v, len);
+    } else if (len <= 32) {
+      insertion_sort_pairs(k, v, len);
+    } else {
+      // Host path for long segments: sort an index permutation, then apply.
+      std::vector<std::size_t> idx(len);
+      std::iota(idx.begin(), idx.end(), std::size_t{0});
+      std::sort(idx.begin(), idx.end(),
+                [&](std::size_t a, std::size_t b) { return k[a] < k[b]; });
+      std::vector<vid_t> ks(len);
+      std::vector<wgt_t> vs(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        ks[i] = k[idx[i]];
+        vs[i] = v[idx[i]];
+      }
+      std::copy(ks.begin(), ks.end(), k);
+      std::copy(vs.begin(), vs.end(), v);
+    }
+  });
+}
+
+}  // namespace mgc

@@ -1,0 +1,85 @@
+#pragma once
+// Sorting kernels used by coarse-graph construction and permutation
+// generation:
+//   * radix_sort_pairs      — parallel LSD radix sort of (uint64 key, value)
+//                             pairs; the "CPU radix" path of the paper and
+//                             the engine of the global-sort baseline.
+//   * bitonic_sort_pairs    — bitonic network on a padded power-of-two array;
+//                             the "GPU bitonic" flavour used for per-vertex
+//                             deduplication on the device backend.
+//   * insertion_sort_pairs  — tiny-array fallback.
+//   * segmented_sort_pairs  — sorts each CSR segment independently.
+
+#include <cstddef>
+#include <cstdint>
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "core/types.hpp"
+
+namespace mgc {
+
+/// Parallel LSD radix sort of n (key, value) pairs by key, 8 bits per pass.
+/// Stable. Scratch buffers are managed internally.
+void radix_sort_pairs(const Exec& exec, std::uint64_t* keys,
+                      std::uint64_t* values, std::size_t n);
+
+/// In-place insertion sort of (key, value) pairs by key; for small n.
+template <class K, class V>
+void insertion_sort_pairs(K* keys, V* values, std::size_t n) {
+  for (std::size_t i = 1; i < n; ++i) {
+    K k = keys[i];
+    V v = values[i];
+    std::size_t j = i;
+    while (j > 0 && keys[j - 1] > k) {
+      keys[j] = keys[j - 1];
+      values[j] = values[j - 1];
+      --j;
+    }
+    keys[j] = k;
+    values[j] = v;
+  }
+}
+
+/// Bitonic sort of (key, value) pairs by key. Arbitrary n is handled by
+/// padding a scratch copy with +inf sentinel keys up to the next power of
+/// two, running the pure bitonic network, and copying back the first n
+/// elements. This mirrors the team-level bitonic sorter the paper uses on
+/// the GPU, where the network shape is data-independent.
+template <class K, class V>
+void bitonic_sort_pairs(K* keys, V* values, std::size_t n) {
+  if (n < 2) return;
+  std::size_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  std::vector<K> k2(pow2, std::numeric_limits<K>::max());
+  std::vector<V> v2(pow2);
+  std::copy(keys, keys + n, k2.begin());
+  std::copy(values, values + n, v2.begin());
+  for (std::size_t k = 2; k <= pow2; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::size_t i = 0; i < pow2; ++i) {
+        const std::size_t partner = i ^ j;
+        if (partner <= i) continue;
+        const bool ascending = (i & k) == 0;
+        const bool out_of_order =
+            ascending ? (k2[i] > k2[partner]) : (k2[i] < k2[partner]);
+        if (out_of_order) {
+          std::swap(k2[i], k2[partner]);
+          std::swap(v2[i], v2[partner]);
+        }
+      }
+    }
+  }
+  std::copy(k2.begin(), k2.begin() + n, keys);
+  std::copy(v2.begin(), v2.begin() + n, values);
+}
+
+/// Sorts each segment [rowptr[s], rowptr[s+1]) of (keys, values)
+/// independently, in parallel over segments. Backend selects the per-segment
+/// sorter: bitonic on Threads ("device"), insertion/std::sort on Serial.
+void segmented_sort_pairs(const Exec& exec, const eid_t* rowptr,
+                          std::size_t num_segments, vid_t* keys, wgt_t* values);
+
+}  // namespace mgc

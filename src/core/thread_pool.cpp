@@ -1,0 +1,106 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mgc {
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(static_cast<std::size_t>(std::max(num_workers, 0)));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run(std::size_t num_chunks,
+                     const std::function<void(std::size_t)>& chunk_fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty() || num_chunks == 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &chunk_fn;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    active_workers_.store(static_cast<int>(workers_.size()),
+                          std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The calling thread participates in chunk execution.
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks_) break;
+    chunk_fn(c);
+  }
+
+  // Wait for every worker to leave the job before returning (so captures in
+  // chunk_fn remain alive for the job's whole duration).
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] {
+    return active_workers_.load(std::memory_order_acquire) == 0;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t num_chunks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      num_chunks = num_chunks_;
+    }
+    if (job != nullptr) {
+      for (;;) {
+        const std::size_t c =
+            next_chunk_.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) break;
+        (*job)(c);
+      }
+    }
+    if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out: wake the submitting thread. Take the lock so the
+      // notification cannot race with the submitter entering the wait.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool = [] {
+    int total = 0;
+    if (const char* env = std::getenv("MGC_NUM_THREADS")) {
+      total = std::atoi(env);
+    }
+    if (total <= 0) {
+      total = static_cast<int>(std::thread::hardware_concurrency());
+      total = std::max(total, 4);
+    }
+    return ThreadPool(total - 1);
+  }();
+  return pool;
+}
+
+}  // namespace mgc

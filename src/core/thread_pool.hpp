@@ -1,0 +1,63 @@
+#pragma once
+// A persistent worker-thread pool used by the Threads backend.
+//
+// The pool is created once (lazily) and reused across all parallel regions,
+// avoiding per-call thread spawn cost. A parallel region submits a job
+// consisting of `num_chunks` independent chunks; workers (and the calling
+// thread) claim chunks with an atomic counter until the job is drained.
+// This is the dynamic-scheduling-with-small-chunks execution model the paper
+// relies on for its CPU runs.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mgc {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_workers` background threads (in addition to
+  /// the calling thread, which always participates in work).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs `chunk_fn(c)` for every c in [0, num_chunks), distributing chunks
+  /// dynamically over workers + the calling thread. Blocks until done.
+  /// chunk_fn must not throw.
+  void run(std::size_t num_chunks, const std::function<void(std::size_t)>& chunk_fn);
+
+  /// Total number of threads that execute work (workers + caller).
+  int concurrency() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Process-wide pool. Size is taken from the MGC_NUM_THREADS environment
+  /// variable if set, otherwise max(hardware_concurrency, 4) total threads —
+  /// a floor of 4 guarantees the lock-free algorithms actually experience
+  /// concurrency even on small machines.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+
+  // Current job state (guarded by mutex_ for the generation handshake; chunk
+  // claiming itself is a lock-free fetch_add).
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t num_chunks_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<int> active_workers_{0};
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mgc

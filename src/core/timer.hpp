@@ -1,0 +1,25 @@
+#pragma once
+// Simple steady-clock stopwatch used by benches and the multilevel driver's
+// per-phase time accounting.
+
+#include <chrono>
+
+namespace mgc {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mgc

@@ -1,0 +1,26 @@
+#pragma once
+// Fundamental index and weight types used across the mgc library.
+//
+// Vertices are 32-bit (the paper's suite tops out at ~65M vertices; our
+// scaled suite is far smaller), edge offsets are 64-bit so CSR row pointers
+// never overflow, and weights are 64-bit integers: the input graphs are
+// unweighted and coarse weights are exact sums of fine weights, so integer
+// arithmetic keeps every backend bit-reproducible.
+
+#include <cstdint>
+#include <limits>
+
+namespace mgc {
+
+using vid_t = std::int32_t;  ///< vertex identifier (0-based)
+using eid_t = std::int64_t;  ///< edge offset / edge count
+using wgt_t = std::int64_t;  ///< edge or vertex weight
+
+inline constexpr vid_t kInvalidVid = -1;
+
+/// Sentinel used by mapping algorithms for "not yet mapped".
+inline constexpr vid_t kUnmapped = -1;
+
+inline constexpr wgt_t kMaxWgt = std::numeric_limits<wgt_t>::max();
+
+}  // namespace mgc

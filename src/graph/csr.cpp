@@ -1,0 +1,224 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+namespace mgc {
+
+wgt_t Csr::total_vertex_weight() const {
+  wgt_t total = 0;
+  for (const wgt_t w : vwgts) total += w;
+  return total;
+}
+
+wgt_t Csr::total_edge_weight() const {
+  wgt_t total = 0;
+  for (const wgt_t w : wgts) total += w;
+  return total / 2;
+}
+
+eid_t Csr::max_degree() const {
+  eid_t best = 0;
+  for (vid_t u = 0; u < num_vertices(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+double Csr::degree_skew() const {
+  const vid_t n = num_vertices();
+  if (n == 0 || num_entries() == 0) return 0.0;
+  const double avg = static_cast<double>(num_entries()) / n;
+  return static_cast<double>(max_degree()) / avg;
+}
+
+std::size_t Csr::memory_bytes() const {
+  return rowptr.size() * sizeof(eid_t) + colidx.size() * sizeof(vid_t) +
+         wgts.size() * sizeof(wgt_t) + vwgts.size() * sizeof(wgt_t);
+}
+
+Csr build_csr_from_edges(vid_t n, std::vector<Edge> edges) {
+  // Symmetrize and strip self-loops.
+  std::vector<Edge> sym;
+  sym.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    assert(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n);
+    sym.push_back({e.u, e.v, e.w});
+    sym.push_back({e.v, e.u, e.w});
+  }
+  // Sort by (u, v) and merge duplicates. A duplicate undirected input edge
+  // {u,v} appears as duplicates in both directions, keeping symmetry. The
+  // merged weight of a parallel-edge group is the max of the weights, so
+  // that symmetrized directed inputs (w listed twice) are not double
+  // counted; generators emit unit weights so max == the intended weight.
+  std::sort(sym.begin(), sym.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+
+  Csr g;
+  g.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.vwgts.assign(static_cast<std::size_t>(n), 1);
+  std::size_t i = 0;
+  while (i < sym.size()) {
+    std::size_t j = i;
+    wgt_t w = sym[i].w;
+    while (j + 1 < sym.size() && sym[j + 1].u == sym[i].u &&
+           sym[j + 1].v == sym[i].v) {
+      ++j;
+      w = std::max(w, sym[j].w);
+    }
+    g.colidx.push_back(sym[i].v);
+    g.wgts.push_back(w);
+    ++g.rowptr[static_cast<std::size_t>(sym[i].u) + 1];
+    i = j + 1;
+  }
+  for (std::size_t u = 0; u < static_cast<std::size_t>(n); ++u) {
+    g.rowptr[u + 1] += g.rowptr[u];
+  }
+  return g;
+}
+
+std::string validate_csr(const Csr& g) {
+  std::ostringstream err;
+  const vid_t n = g.num_vertices();
+  if (g.rowptr.size() != static_cast<std::size_t>(n) + 1)
+    return "rowptr size != n+1";
+  if (!g.rowptr.empty() && g.rowptr.front() != 0) return "rowptr[0] != 0";
+  for (std::size_t u = 0; u < static_cast<std::size_t>(n); ++u) {
+    if (g.rowptr[u + 1] < g.rowptr[u]) {
+      err << "rowptr not monotone at " << u;
+      return err.str();
+    }
+  }
+  if (g.colidx.size() != static_cast<std::size_t>(g.num_entries()) ||
+      g.wgts.size() != g.colidx.size()) {
+    return "colidx/wgts size mismatch with rowptr";
+  }
+  // Per-vertex checks + symmetry via a directed edge->weight map.
+  std::unordered_map<std::uint64_t, wgt_t> dir;
+  dir.reserve(g.colidx.size() * 2);
+  for (vid_t u = 0; u < n; ++u) {
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const vid_t v = nbrs[k];
+      if (v < 0 || v >= n) {
+        err << "column out of range at vertex " << u;
+        return err.str();
+      }
+      if (v == u) {
+        err << "self loop at vertex " << u;
+        return err.str();
+      }
+      if (ws[k] <= 0) {
+        err << "non-positive weight on edge (" << u << "," << v << ")";
+        return err.str();
+      }
+      const std::uint64_t key = (static_cast<std::uint64_t>(
+                                     static_cast<std::uint32_t>(u))
+                                 << 32) |
+                                static_cast<std::uint32_t>(v);
+      if (!dir.emplace(key, ws[k]).second) {
+        err << "parallel edge (" << u << "," << v << ")";
+        return err.str();
+      }
+    }
+  }
+  for (const auto& [key, w] : dir) {
+    const vid_t u = static_cast<vid_t>(key >> 32);
+    const vid_t v = static_cast<vid_t>(key & 0xffffffffU);
+    const std::uint64_t rkey =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
+        static_cast<std::uint32_t>(u);
+    auto it = dir.find(rkey);
+    if (it == dir.end()) {
+      err << "missing reverse edge (" << v << "," << u << ")";
+      return err.str();
+    }
+    if (it->second != w) {
+      err << "asymmetric weight on edge (" << u << "," << v << ")";
+      return err.str();
+    }
+  }
+  for (vid_t u = 0; u < n; ++u) {
+    if (g.vwgts[static_cast<std::size_t>(u)] <= 0) {
+      err << "non-positive vertex weight at " << u;
+      return err.str();
+    }
+  }
+  return {};
+}
+
+std::pair<std::vector<vid_t>, vid_t> connected_components(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> comp(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t num_comps = 0;
+  std::vector<vid_t> stack;
+  for (vid_t s = 0; s < n; ++s) {
+    if (comp[static_cast<std::size_t>(s)] != kInvalidVid) continue;
+    const vid_t c = num_comps++;
+    comp[static_cast<std::size_t>(s)] = c;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const vid_t u = stack.back();
+      stack.pop_back();
+      for (const vid_t v : g.neighbors(u)) {
+        if (comp[static_cast<std::size_t>(v)] == kInvalidVid) {
+          comp[static_cast<std::size_t>(v)] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return {std::move(comp), num_comps};
+}
+
+bool is_connected(const Csr& g) {
+  if (g.num_vertices() <= 1) return true;
+  return connected_components(g).second == 1;
+}
+
+Csr induced_subgraph(const Csr& g, const std::vector<vid_t>& keep) {
+  std::vector<vid_t> relabel(static_cast<std::size_t>(g.num_vertices()),
+                             kInvalidVid);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    relabel[static_cast<std::size_t>(keep[i])] = static_cast<vid_t>(i);
+  }
+  std::vector<Edge> edges;
+  for (const vid_t u : keep) {
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const vid_t rv = relabel[static_cast<std::size_t>(nbrs[k])];
+      const vid_t ru = relabel[static_cast<std::size_t>(u)];
+      if (rv != kInvalidVid && ru < rv) {
+        edges.push_back({ru, rv, ws[k]});
+      }
+    }
+  }
+  Csr sub = build_csr_from_edges(static_cast<vid_t>(keep.size()),
+                                 std::move(edges));
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    sub.vwgts[i] = g.vwgts[static_cast<std::size_t>(keep[i])];
+  }
+  return sub;
+}
+
+Csr largest_connected_component(const Csr& g) {
+  auto [comp, num_comps] = connected_components(g);
+  if (num_comps <= 1) return g;
+  std::vector<eid_t> sizes(static_cast<std::size_t>(num_comps), 0);
+  for (const vid_t c : comp) ++sizes[static_cast<std::size_t>(c)];
+  const vid_t best = static_cast<vid_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<vid_t> keep;
+  keep.reserve(static_cast<std::size_t>(sizes[static_cast<std::size_t>(best)]));
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (comp[static_cast<std::size_t>(u)] == best) keep.push_back(u);
+  }
+  return induced_subgraph(g, keep);
+}
+
+}  // namespace mgc

@@ -1,0 +1,95 @@
+#pragma once
+// Compressed-sparse-row graph container and edge-list builders.
+//
+// The library-wide graph invariants (paper §II): undirected, no self-loops,
+// no parallel edges, positive edge weights. An undirected edge {u, v} is
+// stored twice (in u's and v's adjacency arrays) with equal weight. Vertex
+// weights track how many fine vertices an aggregate represents.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mgc {
+
+/// One endpoint-weighted edge used when assembling graphs.
+struct Edge {
+  vid_t u;
+  vid_t v;
+  wgt_t w;
+};
+
+/// Undirected weighted graph in CSR format.
+struct Csr {
+  std::vector<eid_t> rowptr;  ///< size n+1
+  std::vector<vid_t> colidx;  ///< size rowptr[n]
+  std::vector<wgt_t> wgts;    ///< edge weights, aligned with colidx
+  std::vector<wgt_t> vwgts;   ///< vertex weights, size n
+
+  vid_t num_vertices() const { return static_cast<vid_t>(vwgts.size()); }
+
+  /// Number of directed adjacency entries (= 2m for an undirected graph).
+  eid_t num_entries() const { return rowptr.empty() ? 0 : rowptr.back(); }
+
+  /// Number of undirected edges m.
+  eid_t num_edges() const { return num_entries() / 2; }
+
+  eid_t degree(vid_t u) const {
+    return rowptr[static_cast<std::size_t>(u) + 1] -
+           rowptr[static_cast<std::size_t>(u)];
+  }
+
+  std::span<const vid_t> neighbors(vid_t u) const {
+    return {colidx.data() + rowptr[static_cast<std::size_t>(u)],
+            static_cast<std::size_t>(degree(u))};
+  }
+
+  std::span<const wgt_t> edge_weights(vid_t u) const {
+    return {wgts.data() + rowptr[static_cast<std::size_t>(u)],
+            static_cast<std::size_t>(degree(u))};
+  }
+
+  /// Sum of all vertex weights (fine-vertex count carried through levels).
+  wgt_t total_vertex_weight() const;
+
+  /// Sum of edge weights over undirected edges (each edge counted once).
+  wgt_t total_edge_weight() const;
+
+  /// Maximum vertex degree.
+  eid_t max_degree() const;
+
+  /// Degree-skew measure used throughout the paper: max degree / (2m/n).
+  double degree_skew() const;
+
+  /// Estimated resident bytes of this graph (for the memory-budget model).
+  std::size_t memory_bytes() const;
+};
+
+/// Builds a clean undirected CSR graph from an arbitrary edge list:
+/// symmetrizes, drops self-loops, and merges parallel edges by summing
+/// weights. Vertex weights default to 1.
+Csr build_csr_from_edges(vid_t n, std::vector<Edge> edges);
+
+/// Validates all CSR invariants (monotone rowptr, in-range columns, sorted-
+/// free symmetry with matching weights, no self loops, positive weights).
+/// Returns an empty string if valid, else a description of the violation.
+std::string validate_csr(const Csr& g);
+
+/// True if `g` is connected (BFS from vertex 0 reaches all vertices).
+bool is_connected(const Csr& g);
+
+/// Labels connected components; returns (component id per vertex, count).
+std::pair<std::vector<vid_t>, vid_t> connected_components(const Csr& g);
+
+/// Extracts the largest connected component with relabeled vertex ids —
+/// the paper's preprocessing step for every input graph.
+Csr largest_connected_component(const Csr& g);
+
+/// Induced subgraph on `keep` (which must be a set of distinct vertex ids);
+/// vertices are relabeled to [0, |keep|).
+Csr induced_subgraph(const Csr& g, const std::vector<vid_t>& keep);
+
+}  // namespace mgc

@@ -1,0 +1,290 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/prng.hpp"
+
+namespace mgc {
+
+Csr make_path(vid_t n) {
+  std::vector<Edge> edges;
+  for (vid_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1});
+  return build_csr_from_edges(n, std::move(edges));
+}
+
+Csr make_cycle(vid_t n) {
+  std::vector<Edge> edges;
+  for (vid_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1});
+  if (n > 2) edges.push_back({n - 1, 0, 1});
+  return build_csr_from_edges(n, std::move(edges));
+}
+
+Csr make_star(vid_t n) {
+  std::vector<Edge> edges;
+  for (vid_t i = 1; i < n; ++i) edges.push_back({0, i, 1});
+  return build_csr_from_edges(n, std::move(edges));
+}
+
+Csr make_complete(vid_t n) {
+  std::vector<Edge> edges;
+  for (vid_t i = 0; i < n; ++i) {
+    for (vid_t j = i + 1; j < n; ++j) edges.push_back({i, j, 1});
+  }
+  return build_csr_from_edges(n, std::move(edges));
+}
+
+Csr make_grid2d(vid_t nx, vid_t ny) {
+  std::vector<Edge> edges;
+  auto id = [nx](vid_t x, vid_t y) { return y * nx + x; };
+  for (vid_t y = 0; y < ny; ++y) {
+    for (vid_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) edges.push_back({id(x, y), id(x + 1, y), 1});
+      if (y + 1 < ny) edges.push_back({id(x, y), id(x, y + 1), 1});
+    }
+  }
+  return build_csr_from_edges(nx * ny, std::move(edges));
+}
+
+Csr make_grid3d(vid_t nx, vid_t ny, vid_t nz) {
+  std::vector<Edge> edges;
+  auto id = [nx, ny](vid_t x, vid_t y, vid_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (vid_t z = 0; z < nz; ++z) {
+    for (vid_t y = 0; y < ny; ++y) {
+      for (vid_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx) edges.push_back({id(x, y, z), id(x + 1, y, z), 1});
+        if (y + 1 < ny) edges.push_back({id(x, y, z), id(x, y + 1, z), 1});
+        if (z + 1 < nz) edges.push_back({id(x, y, z), id(x, y, z + 1), 1});
+      }
+    }
+  }
+  return build_csr_from_edges(nx * ny * nz, std::move(edges));
+}
+
+Csr make_rgg(vid_t n, double radius, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> px(static_cast<std::size_t>(n)),
+      py(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    px[i] = rng.uniform();
+    py[i] = rng.uniform();
+  }
+  // Cell grid with cell side == radius: candidate pairs live in the 3x3
+  // neighborhood of a point's cell.
+  const int cells = std::max(1, static_cast<int>(1.0 / radius));
+  const double cell_size = 1.0 / cells;
+  std::vector<std::vector<vid_t>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](double x) {
+    return std::min(cells - 1, static_cast<int>(x / cell_size));
+  };
+  for (vid_t i = 0; i < n; ++i) {
+    const std::size_t c = static_cast<std::size_t>(cell_of(py[i])) * cells +
+                          cell_of(px[i]);
+    grid[c].push_back(i);
+  }
+  const double r2 = radius * radius;
+  std::vector<Edge> edges;
+  for (vid_t i = 0; i < n; ++i) {
+    const int cx = cell_of(px[i]);
+    const int cy = cell_of(py[i]);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int x = cx + dx;
+        const int y = cy + dy;
+        if (x < 0 || y < 0 || x >= cells || y >= cells) continue;
+        for (const vid_t j : grid[static_cast<std::size_t>(y) * cells + x]) {
+          if (j <= i) continue;
+          const double ddx = px[i] - px[j];
+          const double ddy = py[i] - py[j];
+          if (ddx * ddx + ddy * ddy <= r2) edges.push_back({i, j, 1});
+        }
+      }
+    }
+  }
+  return build_csr_from_edges(n, std::move(edges));
+}
+
+Csr make_triangulated_grid(vid_t nx, vid_t ny, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  auto id = [nx](vid_t x, vid_t y) { return y * nx + x; };
+  for (vid_t y = 0; y < ny; ++y) {
+    for (vid_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) edges.push_back({id(x, y), id(x + 1, y), 1});
+      if (y + 1 < ny) edges.push_back({id(x, y), id(x, y + 1), 1});
+      if (x + 1 < nx && y + 1 < ny) {
+        if (rng() & 1) {
+          edges.push_back({id(x, y), id(x + 1, y + 1), 1});
+        } else {
+          edges.push_back({id(x + 1, y), id(x, y + 1), 1});
+        }
+      }
+    }
+  }
+  return build_csr_from_edges(nx * ny, std::move(edges));
+}
+
+Csr make_rmat(int scale, int edge_factor, std::uint64_t seed, double a,
+              double b, double c) {
+  const vid_t n = vid_t{1} << scale;
+  const eid_t target = static_cast<eid_t>(edge_factor) * n;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(target));
+  for (eid_t e = 0; e < target; ++e) {
+    vid_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) edges.push_back({u, v, 1});
+  }
+  return build_csr_from_edges(n, std::move(edges));
+}
+
+namespace {
+
+// Shared expected-degree (Chung–Lu) sampler: given weights w_i with sum S,
+// samples each edge (i, j) with probability min(1, w_i w_j / S) using the
+// efficient Miller–Hagberg sequential skip algorithm over weight-sorted
+// vertices.
+Csr chung_lu_from_weights(vid_t n, std::vector<double> w,
+                          std::uint64_t seed) {
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  for (vid_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](vid_t x, vid_t y) {
+    return w[static_cast<std::size_t>(x)] > w[static_cast<std::size_t>(y)];
+  });
+  double s = 0;
+  for (const double x : w) s += x;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const double wi = w[static_cast<std::size_t>(order[i])];
+    if (wi <= 0) break;
+    std::size_t j = i + 1;
+    double p = std::min(1.0, wi * w[static_cast<std::size_t>(order[j])] / s);
+    while (j < order.size() && p > 0) {
+      if (p < 1.0) {
+        // Geometric skip to the next candidate under probability p.
+        const double r = std::max(rng.uniform(), 1e-300);
+        const double skip = std::floor(std::log(r) / std::log(1.0 - p));
+        j += static_cast<std::size_t>(std::min(skip, 1e18));
+      }
+      if (j >= order.size()) break;
+      // Accept with the true (smaller) probability q via rejection.
+      const double wj = w[static_cast<std::size_t>(order[j])];
+      const double q = std::min(1.0, wi * wj / s);
+      if (rng.uniform() < q / p) {
+        edges.push_back({order[i], order[j], 1});
+      }
+      p = q;
+      ++j;
+    }
+  }
+  return build_csr_from_edges(n, std::move(edges));
+}
+
+}  // namespace
+
+Csr make_chung_lu(vid_t n, double avg_degree, double gamma,
+                  std::uint64_t seed) {
+  std::vector<double> w(static_cast<std::size_t>(n));
+  const double alpha = 1.0 / (gamma - 1.0);
+  double sum = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -alpha);
+    sum += w[i];
+  }
+  const double scale = avg_degree * n / sum;
+  // Cap weights at sqrt(S) so edge probabilities stay <= 1 and the expected
+  // degree sequence stays realizable.
+  const double s_total = avg_degree * n;
+  const double cap = std::sqrt(s_total);
+  for (double& x : w) x = std::min(x * scale, cap);
+  return chung_lu_from_weights(n, std::move(w), seed);
+}
+
+Csr make_erdos_renyi(vid_t n, double avg_degree, std::uint64_t seed) {
+  std::vector<double> w(static_cast<std::size_t>(n), avg_degree);
+  return chung_lu_from_weights(n, std::move(w), seed);
+}
+
+Csr mycielskian(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < n; ++u) {
+    for (const vid_t v : g.neighbors(u)) {
+      if (u < v) {
+        edges.push_back({u, v, 1});       // original edge
+      }
+      edges.push_back({u, n + v, 1});     // shadow edges (both directions hit)
+    }
+  }
+  const vid_t z = 2 * n;  // apex
+  for (vid_t i = 0; i < n; ++i) edges.push_back({n + i, z, 1});
+  return build_csr_from_edges(2 * n + 1, std::move(edges));
+}
+
+Csr make_mycielskian(int k) {
+  Csr g = make_path(2);  // K2
+  for (int i = 0; i < k; ++i) g = mycielskian(g);
+  return g;
+}
+
+Csr make_road_like(vid_t nx, vid_t ny, double drop, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  auto id = [nx](vid_t x, vid_t y) { return y * nx + x; };
+  for (vid_t y = 0; y < ny; ++y) {
+    for (vid_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx && rng.uniform() >= drop) {
+        edges.push_back({id(x, y), id(x + 1, y), 1});
+      }
+      if (y + 1 < ny && rng.uniform() >= drop) {
+        edges.push_back({id(x, y), id(x, y + 1), 1});
+      }
+    }
+  }
+  Csr g = build_csr_from_edges(nx * ny, std::move(edges));
+  return largest_connected_component(g);
+}
+
+Csr make_kmer_like(vid_t n, double junction_fraction, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  // A long backbone path ...
+  for (vid_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1});
+  // ... with occasional junction chords whose endpoints cluster on a small
+  // set of junction vertices, producing the mild degree skew of k-mer
+  // graphs.
+  const vid_t num_junctions =
+      std::max<vid_t>(1, static_cast<vid_t>(junction_fraction * n));
+  for (vid_t j = 0; j < num_junctions; ++j) {
+    const vid_t hub = static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(n)));
+    const int spokes = 1 + static_cast<int>(rng.bounded(12));
+    for (int s = 0; s < spokes; ++s) {
+      const vid_t other =
+          static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(n)));
+      if (other != hub) edges.push_back({hub, other, 1});
+    }
+  }
+  return build_csr_from_edges(n, std::move(edges));
+}
+
+}  // namespace mgc

@@ -1,0 +1,79 @@
+#pragma once
+// Synthetic graph generators.
+//
+// These produce scaled-down structural analogues of the paper's 20-graph
+// evaluation suite (SuiteSparse + OGB): FEM meshes (grid2d/grid3d), random
+// geometric graphs (rgg24), planar triangulations (delaunay24 analogue),
+// R-MAT / Kronecker graphs (kron21), power-law Chung–Lu graphs (social /
+// web / citation analogues), Mycielskian graphs (mycielskian17 — generated
+// by the exact Mycielski construction), road-network-like graphs
+// (europeOsm), and k-mer-chain graphs (kmerU1a). All generators emit
+// unit-weight, undirected, loop-free graphs.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+/// Path graph 0-1-2-...-(n-1).
+Csr make_path(vid_t n);
+
+/// Cycle graph.
+Csr make_cycle(vid_t n);
+
+/// Star graph: vertex 0 adjacent to all others.
+Csr make_star(vid_t n);
+
+/// Complete graph K_n.
+Csr make_complete(vid_t n);
+
+/// 2D grid (nx * ny vertices, 4-point stencil). FEM-mesh analogue.
+Csr make_grid2d(vid_t nx, vid_t ny);
+
+/// 3D grid (7-point stencil). Analogue of Flan1565 / CubeCoup / nlpkkt.
+Csr make_grid3d(vid_t nx, vid_t ny, vid_t nz);
+
+/// Random geometric graph: n points in the unit square, edges within
+/// `radius`. Analogue of rgg24. Uses a uniform cell grid for neighbor
+/// search.
+Csr make_rgg(vid_t n, double radius, std::uint64_t seed);
+
+/// Planar-triangulation-like mesh: a 2D grid with one random diagonal per
+/// cell. Average degree ~6 like a Delaunay triangulation (delaunay24).
+Csr make_triangulated_grid(vid_t nx, vid_t ny, std::uint64_t seed);
+
+/// R-MAT / stochastic Kronecker graph with 2^scale vertices and roughly
+/// edge_factor * 2^scale undirected edges. Analogue of kron21. Default
+/// probabilities follow the Graph500 (0.57, 0.19, 0.19, 0.05) corner mix.
+Csr make_rmat(int scale, int edge_factor, std::uint64_t seed, double a = 0.57,
+              double b = 0.19, double c = 0.19);
+
+/// Chung–Lu graph with a power-law expected-degree sequence
+/// w_i ∝ (i+1)^(-1/(gamma-1)), scaled to average degree `avg_degree`.
+/// Analogue of the social/web/citation graphs (Orkut, ic04, citation, ...).
+Csr make_chung_lu(vid_t n, double avg_degree, double gamma,
+                  std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p) via the expected-degree machinery.
+Csr make_erdos_renyi(vid_t n, double avg_degree, std::uint64_t seed);
+
+/// Mycielskian of a graph: the exact Mycielski construction, which triples
+/// (2n+1) the vertex count per application and raises the chromatic number.
+/// mycielskian17 in the suite is the 17-fold Mycielskian of K2.
+Csr mycielskian(const Csr& g);
+
+/// k applications of the Mycielski construction starting from K2.
+Csr make_mycielskian(int k);
+
+/// Road-network-like graph: a 2D grid where a fraction `drop` of edges is
+/// removed (keeping the largest component) and long-range "highway" edges
+/// are rare. Low degree, huge diameter — europeOsm analogue.
+Csr make_road_like(vid_t nx, vid_t ny, double drop, std::uint64_t seed);
+
+/// k-mer-graph analogue: many long paths whose endpoints occasionally merge
+/// at random junction vertices; average degree ~2 with a small number of
+/// higher-degree junctions (kmerU1a analogue).
+Csr make_kmer_like(vid_t n, double junction_fraction, std::uint64_t seed);
+
+}  // namespace mgc

@@ -1,0 +1,88 @@
+#include "graph/io_mm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mgc {
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("mm: empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || object != "matrix") {
+    throw std::runtime_error("mm: bad banner: " + line);
+  }
+  if (format != "coordinate") {
+    throw std::runtime_error("mm: only coordinate format is supported");
+  }
+  const bool pattern = field == "pattern";
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  sizes >> rows >> cols >> nnz;
+  if (rows <= 0 || cols <= 0 || nnz < 0) {
+    throw std::runtime_error("mm: bad size line: " + line);
+  }
+  const vid_t n = static_cast<vid_t>(std::max(rows, cols));
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(nnz));
+  for (long long k = 0; k < nnz; ++k) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("mm: truncated entry list");
+    }
+    std::istringstream entry(line);
+    long long i = 0, j = 0;
+    double val = 1.0;
+    entry >> i >> j;
+    if (!pattern) entry >> val;
+    if (i < 1 || j < 1 || i > rows || j > cols) {
+      throw std::runtime_error("mm: index out of range: " + line);
+    }
+    const wgt_t w = std::max<wgt_t>(
+        1, static_cast<wgt_t>(std::llround(std::fabs(val))));
+    edges.push_back(
+        {static_cast<vid_t>(i - 1), static_cast<vid_t>(j - 1), w});
+  }
+  // build_csr_from_edges symmetrizes, so "general" and "symmetric" inputs
+  // both land on the same undirected graph.
+  return build_csr_from_edges(n, std::move(edges));
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("mm: cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& g) {
+  out << "%%MatrixMarket matrix coordinate integer symmetric\n";
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
+      << '\n';
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (nbrs[k] <= u) {  // lower triangle (row >= col in 1-based output)
+        out << (u + 1) << ' ' << (nbrs[k] + 1) << ' ' << ws[k] << '\n';
+      }
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("mm: cannot open " + path);
+  write_matrix_market(out, g);
+}
+
+}  // namespace mgc

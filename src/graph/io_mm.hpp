@@ -1,0 +1,29 @@
+#pragma once
+// Matrix Market I/O for graphs — the interchange format of the SuiteSparse
+// collection the paper draws its inputs from. Reading applies the paper's
+// preprocessing: symmetrize, drop self-loops, merge duplicates (the caller
+// extracts the largest connected component).
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+/// Parses a Matrix Market "coordinate" stream (pattern/real/integer;
+/// general or symmetric) into an undirected graph. Non-pattern values are
+/// rounded and clamped to weight >= 1. Throws std::runtime_error on parse
+/// errors.
+Csr read_matrix_market(std::istream& in);
+
+/// Reads a Matrix Market file from disk.
+Csr read_matrix_market_file(const std::string& path);
+
+/// Writes a graph as a symmetric integer Matrix Market coordinate file
+/// (each undirected edge emitted once, lower triangle).
+void write_matrix_market(std::ostream& out, const Csr& g);
+
+void write_matrix_market_file(const std::string& path, const Csr& g);
+
+}  // namespace mgc

@@ -1,0 +1,135 @@
+#include "graph/spec.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io_mm.hpp"
+
+namespace mgc {
+
+namespace {
+
+std::vector<double> parse_fields(const std::string& args) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < args.size()) {
+    std::size_t next = args.find(',', pos);
+    if (next == std::string::npos) next = args.size();
+    const std::string field = args.substr(pos, next - pos);
+    if (field.empty()) {
+      throw std::invalid_argument("graph spec: empty argument field");
+    }
+    char* end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0') {
+      throw std::invalid_argument("graph spec: bad number '" + field + "'");
+    }
+    out.push_back(v);
+    pos = next + 1;
+  }
+  return out;
+}
+
+vid_t as_vid(double x, const char* what) {
+  if (x < 0 || x > 2e9) {
+    throw std::invalid_argument(std::string("graph spec: ") + what +
+                                " out of range");
+  }
+  return static_cast<vid_t>(x);
+}
+
+}  // namespace
+
+bool is_generator_spec(const std::string& spec) {
+  return spec.rfind("gen:", 0) == 0;
+}
+
+Csr load_graph_spec(const std::string& spec, std::uint64_t seed) {
+  if (!is_generator_spec(spec)) {
+    return largest_connected_component(read_matrix_market_file(spec));
+  }
+  const std::size_t second = spec.find(':', 4);
+  const std::string kind = spec.substr(
+      4, second == std::string::npos ? std::string::npos : second - 4);
+  const std::string args =
+      second == std::string::npos ? "" : spec.substr(second + 1);
+  const std::vector<double> a = parse_fields(args);
+  const auto need = [&](std::size_t k) {
+    if (a.size() != k) {
+      throw std::invalid_argument("graph spec: generator '" + kind +
+                                  "' expects " + std::to_string(k) +
+                                  " arguments, got " +
+                                  std::to_string(a.size()));
+    }
+  };
+  if (kind == "grid2d") {
+    need(2);
+    return make_grid2d(as_vid(a[0], "nx"), as_vid(a[1], "ny"));
+  }
+  if (kind == "grid3d") {
+    need(3);
+    return make_grid3d(as_vid(a[0], "nx"), as_vid(a[1], "ny"),
+                       as_vid(a[2], "nz"));
+  }
+  if (kind == "rgg") {
+    need(2);
+    return largest_connected_component(
+        make_rgg(as_vid(a[0], "n"), a[1], seed));
+  }
+  if (kind == "tri") {
+    need(2);
+    return make_triangulated_grid(as_vid(a[0], "nx"), as_vid(a[1], "ny"),
+                                  seed);
+  }
+  if (kind == "rmat") {
+    need(2);
+    return largest_connected_component(make_rmat(
+        static_cast<int>(a[0]), static_cast<int>(a[1]), seed));
+  }
+  if (kind == "chunglu") {
+    need(3);
+    return largest_connected_component(
+        make_chung_lu(as_vid(a[0], "n"), a[1], a[2], seed));
+  }
+  if (kind == "er") {
+    need(2);
+    return largest_connected_component(
+        make_erdos_renyi(as_vid(a[0], "n"), a[1], seed));
+  }
+  if (kind == "road") {
+    need(3);
+    return make_road_like(as_vid(a[0], "nx"), as_vid(a[1], "ny"), a[2],
+                          seed);
+  }
+  if (kind == "kmer") {
+    need(2);
+    return largest_connected_component(
+        make_kmer_like(as_vid(a[0], "n"), a[1], seed));
+  }
+  if (kind == "mycielskian") {
+    need(1);
+    return make_mycielskian(static_cast<int>(a[0]));
+  }
+  if (kind == "star") {
+    need(1);
+    return make_star(as_vid(a[0], "n"));
+  }
+  if (kind == "path") {
+    need(1);
+    return make_path(as_vid(a[0], "n"));
+  }
+  if (kind == "cycle") {
+    need(1);
+    return make_cycle(as_vid(a[0], "n"));
+  }
+  if (kind == "complete") {
+    need(1);
+    return make_complete(as_vid(a[0], "n"));
+  }
+  throw std::invalid_argument("graph spec: unknown generator '" + kind +
+                              "'");
+}
+
+}  // namespace mgc

@@ -1,0 +1,30 @@
+#pragma once
+// Graph-spec loader: one string names either a Matrix Market file or a
+// synthetic generator. Used by the `mgc` CLI and handy for experiment
+// scripts; every load applies the paper's preprocessing (symmetrize, strip
+// self-loops, largest connected component) where applicable.
+//
+// Generator specs:
+//   gen:grid2d:NX,NY          gen:grid3d:NX,NY,NZ     gen:rgg:N,RADIUS
+//   gen:tri:NX,NY             gen:rmat:SCALE,EDGEF    gen:chunglu:N,DEG,GAMMA
+//   gen:road:NX,NY,DROP       gen:kmer:N,FRAC         gen:mycielskian:K
+//   gen:star:N                gen:path:N              gen:complete:N
+//   gen:cycle:N               gen:er:N,DEG
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+/// True if the string is a generator spec (starts with "gen:").
+bool is_generator_spec(const std::string& spec);
+
+/// Loads a graph from a spec string. File paths go through the Matrix
+/// Market reader + largest-connected-component extraction. Throws
+/// std::invalid_argument on malformed specs, std::runtime_error on I/O
+/// problems.
+Csr load_graph_spec(const std::string& spec, std::uint64_t seed = 42);
+
+}  // namespace mgc

@@ -1,0 +1,97 @@
+#include "multilevel/coarsener.hpp"
+
+#include <cmath>
+
+#include "core/prng.hpp"
+#include "core/timer.hpp"
+
+namespace mgc {
+
+double Hierarchy::mapping_seconds() const {
+  double t = 0;
+  for (const LevelInfo& l : levels) t += l.mapping_seconds;
+  return t;
+}
+
+double Hierarchy::construct_seconds() const {
+  double t = 0;
+  for (const LevelInfo& l : levels) t += l.construct_seconds;
+  return t;
+}
+
+double Hierarchy::avg_coarsening_ratio() const {
+  const int l = num_levels();
+  if (l < 2) return 1.0;
+  const double n0 = static_cast<double>(graphs.front().num_vertices());
+  const double nl = static_cast<double>(graphs.back().num_vertices());
+  return std::pow(n0 / nl, 1.0 / (l - 1));
+}
+
+std::vector<int> Hierarchy::project_one_level(const std::vector<int>& assign,
+                                              int from) const {
+  const CoarseMap& cm = maps[static_cast<std::size_t>(from) - 1];
+  std::vector<int> fine(cm.map.size());
+  for (std::size_t u = 0; u < cm.map.size(); ++u) {
+    fine[u] = assign[static_cast<std::size_t>(cm.map[u])];
+  }
+  return fine;
+}
+
+std::vector<int> Hierarchy::project_to_finest(
+    const std::vector<int>& coarse) const {
+  std::vector<int> assign = coarse;
+  for (int level = num_levels() - 1; level > 0; --level) {
+    assign = project_one_level(assign, level);
+  }
+  return assign;
+}
+
+Hierarchy coarsen_multilevel(const Exec& exec, const Csr& g,
+                             const CoarsenOptions& opts) {
+  Hierarchy h;
+  h.graphs.push_back(g);
+  h.levels.push_back({g.num_vertices(), g.num_edges(), 0.0, 0.0});
+
+  std::size_t resident_bytes = g.memory_bytes();
+  std::uint64_t seed = opts.seed;
+
+  while (h.graphs.back().num_vertices() > opts.cutoff &&
+         h.num_levels() - 1 < opts.max_levels) {
+    const Csr& fine = h.graphs.back();
+    const vid_t n_before = fine.num_vertices();
+    seed = splitmix64(seed + 0x5bd1e995);
+
+    Timer t_map;
+    CoarseMap cm = compute_mapping(opts.mapping, exec, fine, seed);
+    const double map_s = t_map.seconds();
+
+    // Stall detection: if the mapping barely shrinks the graph, further
+    // levels add cost without progress (the HEM-on-stars pathology).
+    if (cm.nc >= static_cast<vid_t>(opts.min_shrink * n_before)) break;
+
+    Timer t_con;
+    Csr coarse = construct_coarse_graph(exec, fine, cm, opts.construct);
+    const double con_s = t_con.seconds();
+
+    resident_bytes += coarse.memory_bytes();
+    if (opts.memory_budget_bytes != 0 &&
+        resident_bytes > opts.memory_budget_bytes) {
+      throw MemoryBudgetExceeded(resident_bytes);
+    }
+
+    const vid_t n_after = coarse.num_vertices();
+    // Paper rule: a jump from > cutoff to < discard_below over-coarsens;
+    // discard the coarsest graph and stop.
+    if (n_before > opts.cutoff && n_after < opts.discard_below) {
+      break;
+    }
+
+    h.maps.push_back(std::move(cm));
+    h.levels.push_back({coarse.num_vertices(), coarse.num_edges(), map_s,
+                        con_s});
+    h.graphs.push_back(std::move(coarse));
+  }
+  return h;
+}
+
+}  // namespace mgc

@@ -1,0 +1,159 @@
+#include "partition/fm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "partition/metrics.hpp"
+
+namespace mgc {
+
+namespace {
+
+// Gain of moving u to the other side: (cut edges incident to u) - (internal
+// edges incident to u), by weight.
+wgt_t move_gain(const Csr& g, const std::vector<int>& part, vid_t u) {
+  const int pu = part[static_cast<std::size_t>(u)];
+  auto nbrs = g.neighbors(u);
+  auto ws = g.edge_weights(u);
+  wgt_t gain = 0;
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    if (part[static_cast<std::size_t>(nbrs[k])] == pu) {
+      gain -= ws[k];
+    } else {
+      gain += ws[k];
+    }
+  }
+  return gain;
+}
+
+struct PqEntry {
+  wgt_t gain;
+  vid_t u;
+  std::uint64_t stamp;  ///< version for lazy deletion
+
+  bool operator<(const PqEntry& o) const {
+    if (gain != o.gain) return gain < o.gain;
+    return u > o.u;  // deterministic tie-break: smaller id first
+  }
+};
+
+}  // namespace
+
+wgt_t fm_refine(const Csr& g, std::vector<int>& part, const FmOptions& opts) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  if (n == 0) return 0;
+
+  wgt_t max_vwgt = 0;
+  for (const wgt_t w : g.vwgts) max_vwgt = std::max(max_vwgt, w);
+  const wgt_t total = g.total_vertex_weight();
+  // Slack: enough to move the heaviest vertex, but capped at total/8 so a
+  // dominant coarse aggregate can never drag the partition into collapse;
+  // at least 1 so an exactly balanced unit-weight partition is not frozen.
+  const wgt_t slack =
+      std::min<wgt_t>(max_vwgt, std::max<wgt_t>(total / 8, 1));
+  const wgt_t target0 =
+      static_cast<wgt_t>(opts.target_fraction * static_cast<double>(total));
+  const wgt_t target1 = total - target0;
+  // Per-side caps (truncate, not ceil: ceil would let a 2-vertex graph
+  // collapse to one side).
+  const wgt_t max_side_arr[2] = {
+      std::max<wgt_t>(target0 + slack,
+                      static_cast<wgt_t>((1.0 + opts.epsilon) *
+                                         static_cast<double>(target0))),
+      std::max<wgt_t>(target1 + slack,
+                      static_cast<wgt_t>((1.0 + opts.epsilon) *
+                                         static_cast<double>(target1)))};
+
+  std::vector<wgt_t> side = part_weights(g, part, 2);
+  wgt_t cut = edge_cut(g, part);
+
+  std::vector<wgt_t> gain(sn);
+  std::vector<std::uint64_t> stamp(sn, 0);
+  std::vector<bool> locked(sn, false);
+
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    std::fill(locked.begin(), locked.end(), false);
+    std::priority_queue<PqEntry> pq;
+    for (vid_t u = 0; u < n; ++u) {
+      gain[static_cast<std::size_t>(u)] = move_gain(g, part, u);
+      ++stamp[static_cast<std::size_t>(u)];
+      pq.push({gain[static_cast<std::size_t>(u)], u,
+               stamp[static_cast<std::size_t>(u)]});
+    }
+
+    // Execute the move sequence, remembering the best prefix.
+    std::vector<vid_t> moves;
+    moves.reserve(sn);
+    wgt_t running_cut = cut;
+    wgt_t best_cut = cut;
+    std::size_t best_prefix = 0;
+    int since_improvement = 0;
+
+    while (!pq.empty()) {
+      const PqEntry top = pq.top();
+      pq.pop();
+      const std::size_t su = static_cast<std::size_t>(top.u);
+      if (locked[su] || top.stamp != stamp[su]) continue;  // stale entry
+      const int from = part[su];
+      const int to = 1 - from;
+      if (side[static_cast<std::size_t>(to)] + g.vwgts[su] >
+              max_side_arr[static_cast<std::size_t>(to)] ||
+          side[static_cast<std::size_t>(from)] - g.vwgts[su] <= 0) {
+        continue;  // balance-infeasible or would empty a side; the popped
+                   // entry is simply dropped (re-pushed only if a neighbor
+                   // move refreshes it), so the pass still terminates.
+      }
+      // Apply the move.
+      locked[su] = true;
+      part[su] = to;
+      side[static_cast<std::size_t>(from)] -= g.vwgts[su];
+      side[static_cast<std::size_t>(to)] += g.vwgts[su];
+      running_cut -= top.gain;
+      moves.push_back(top.u);
+      if (running_cut < best_cut) {
+        best_cut = running_cut;
+        best_prefix = moves.size();
+        since_improvement = 0;
+      } else {
+        ++since_improvement;
+        if (opts.move_limit > 0 && since_improvement >= opts.move_limit) {
+          break;
+        }
+      }
+      // Update neighbor gains.
+      auto nbrs = g.neighbors(top.u);
+      auto ws = g.edge_weights(top.u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const std::size_t sv = static_cast<std::size_t>(nbrs[k]);
+        if (locked[sv]) continue;
+        // v's gain changes by ±2w depending on whether u moved toward or
+        // away from v's side.
+        if (part[sv] == to) {
+          gain[sv] -= 2 * ws[k];
+        } else {
+          gain[sv] += 2 * ws[k];
+        }
+        ++stamp[sv];
+        pq.push({gain[sv], nbrs[k], stamp[sv]});
+      }
+    }
+
+    // Roll back to the best prefix.
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      const std::size_t su = static_cast<std::size_t>(moves[i - 1]);
+      const int from = part[su];
+      const int to = 1 - from;
+      part[su] = to;
+      side[static_cast<std::size_t>(from)] -= g.vwgts[su];
+      side[static_cast<std::size_t>(to)] += g.vwgts[su];
+    }
+    const bool improved = best_cut < cut;
+    cut = best_cut;
+    if (!improved) break;
+  }
+  return cut;
+}
+
+}  // namespace mgc

@@ -1,0 +1,39 @@
+#pragma once
+// Fiduccia–Mattheyses refinement for graph bisection (paper §III-C; the FM
+// implementation in the paper is sequential, CPU-only — ours is too).
+//
+// Classic single-vertex-move FM: each pass greedily moves the best-gain
+// movable vertex (respecting the balance constraint), locks it, and at the
+// end rolls back to the best prefix seen. Passes repeat until a pass yields
+// no improvement. Gains are maintained with a lazy-deletion priority queue
+// (weights are arbitrary 64-bit integers, so the textbook bucket array does
+// not apply).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+struct FmOptions {
+  int max_passes = 8;
+  /// Allowed imbalance: a side may weigh up to its target weight plus
+  /// max(slack, epsilon * target). The slack covers the heaviest vertex
+  /// (required on coarse graphs, where a single aggregate can outweigh any
+  /// relative tolerance) but is capped so the partition cannot collapse.
+  double epsilon = 0.001;
+  /// Abandon a pass after this many consecutive non-improving moves
+  /// (classic FM early exit; 0 = examine all vertices).
+  int move_limit = 0;
+  /// Fraction of the total vertex weight that belongs in part 0
+  /// (0.5 = plain bisection; other values support recursive k-way splits
+  /// with k not a power of two).
+  double target_fraction = 0.5;
+};
+
+/// Refines `part` (entries 0/1) in place. Returns the final edge cut.
+wgt_t fm_refine(const Csr& g, std::vector<int>& part,
+                const FmOptions& opts = {});
+
+}  // namespace mgc

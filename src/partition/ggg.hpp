@@ -1,0 +1,26 @@
+#pragma once
+// Greedy graph growing initial bisection (used with FM, paper §III-C):
+// grow part 1 from a seed vertex, always absorbing the boundary vertex
+// whose move-gain is highest, until half the total vertex weight is
+// reached. Several random seeds are tried and the best cut kept.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+struct GggOptions {
+  int num_trials = 4;  ///< random restarts; best cut wins
+  /// Fraction of the total vertex weight that belongs in part 0 (the
+  /// grown region is part 1 and receives the complement). 0.5 = bisection;
+  /// other values support recursive k-way splits. Matches
+  /// FmOptions::target_fraction.
+  double target_fraction = 0.5;
+};
+
+std::vector<int> greedy_graph_growing(const Csr& g, std::uint64_t seed,
+                                      const GggOptions& opts = {});
+
+}  // namespace mgc

@@ -1,0 +1,90 @@
+#include "partition/kway.hpp"
+
+#include <algorithm>
+
+#include "core/prng.hpp"
+#include "core/timer.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioner.hpp"
+
+namespace mgc {
+
+namespace {
+
+// Recursively bisects the subgraph induced on `vertices` (ids into the
+// original graph) into parts [first_part, first_part + k), writing results
+// into `out`.
+void recurse(const Exec& exec, const Csr& g,
+             const std::vector<vid_t>& vertices, int k, int first_part,
+             const KwayOptions& opts, std::uint64_t seed,
+             std::vector<int>& out) {
+  if (k <= 1) {
+    for (const vid_t u : vertices) {
+      out[static_cast<std::size_t>(u)] = first_part;
+    }
+    return;
+  }
+  const Csr sub = induced_subgraph(g, vertices);
+
+  const int k0 = (k + 1) / 2;  // parts on side 0
+  const int k1 = k - k0;
+  const double fraction0 = static_cast<double>(k0) / k;
+
+  CoarsenOptions copts = opts.coarsen;
+  copts.seed = seed;
+  FmOptions fopts = opts.fm;
+  fopts.target_fraction = fraction0;
+  GggOptions gopts = opts.ggg;
+  gopts.target_fraction = fraction0;
+
+  std::vector<int> bipart;
+  if (sub.num_vertices() <= copts.cutoff * 2) {
+    // Small enough: skip the multilevel machinery.
+    bipart = greedy_graph_growing(sub, seed ^ 0x5151, gopts);
+    fm_refine(sub, bipart, fopts);
+  } else {
+    const PartitionResult r =
+        multilevel_fm_bisect(exec, sub, copts, fopts, gopts);
+    bipart = r.part;
+  }
+
+  std::vector<vid_t> side0, side1;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    (bipart[i] == 0 ? side0 : side1).push_back(vertices[i]);
+  }
+  recurse(exec, g, side0, k0, first_part, opts, splitmix64(seed + 1), out);
+  recurse(exec, g, side1, k1, first_part + k0, opts, splitmix64(seed + 2),
+          out);
+}
+
+}  // namespace
+
+KwayResult multilevel_kway(const Exec& exec, const Csr& g,
+                           const KwayOptions& opts) {
+  KwayResult result;
+  Timer timer;
+  result.part.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<vid_t> all(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    all[static_cast<std::size_t>(u)] = u;
+  }
+  recurse(exec, g, all, std::max(1, opts.k), 0, opts, opts.coarsen.seed,
+          result.part);
+  result.cut = edge_cut(g, result.part);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+double kway_imbalance(const Csr& g, const std::vector<int>& part, int k) {
+  const std::vector<wgt_t> w = part_weights(g, part, k);
+  wgt_t total = 0, max_part = 0;
+  for (const wgt_t x : w) {
+    total += x;
+    max_part = std::max(max_part, x);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(max_part) /
+         (static_cast<double>(total) / static_cast<double>(k));
+}
+
+}  // namespace mgc

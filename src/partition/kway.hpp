@@ -1,0 +1,41 @@
+#pragma once
+// Multilevel k-way partitioning by recursive bisection — the general form
+// of the paper's partitioning objective ("partition the set of vertices
+// into k parts such that the number of edges cut is minimized and the
+// partitions are balanced"); the paper evaluates k = 2, this module scales
+// the same machinery to arbitrary k.
+//
+// Recursion splits k into ceil(k/2) and floor(k/2) parts with a
+// proportional weight target at each bisection, so non-power-of-two k
+// stays balanced.
+
+#include <cstdint>
+#include <vector>
+
+#include "multilevel/coarsener.hpp"
+#include "partition/fm.hpp"
+#include "partition/ggg.hpp"
+
+namespace mgc {
+
+struct KwayOptions {
+  int k = 4;
+  CoarsenOptions coarsen;
+  FmOptions fm;
+  GggOptions ggg;
+};
+
+struct KwayResult {
+  std::vector<int> part;  ///< entries in [0, k)
+  wgt_t cut = 0;
+  double seconds = 0.0;
+};
+
+/// Multilevel recursive-bisection k-way partitioning with FM refinement.
+KwayResult multilevel_kway(const Exec& exec, const Csr& g,
+                           const KwayOptions& opts);
+
+/// k-way balance: max part weight / (total/k). 1.0 == perfect.
+double kway_imbalance(const Csr& g, const std::vector<int>& part, int k);
+
+}  // namespace mgc

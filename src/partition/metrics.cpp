@@ -1,0 +1,41 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+
+namespace mgc {
+
+wgt_t edge_cut(const Csr& g, const std::vector<int>& part) {
+  wgt_t cut = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (nbrs[k] > u &&
+          part[static_cast<std::size_t>(u)] !=
+              part[static_cast<std::size_t>(nbrs[k])]) {
+        cut += ws[k];
+      }
+    }
+  }
+  return cut;
+}
+
+std::vector<wgt_t> part_weights(const Csr& g, const std::vector<int>& part,
+                                int num_parts) {
+  std::vector<wgt_t> w(static_cast<std::size_t>(num_parts), 0);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    w[static_cast<std::size_t>(part[static_cast<std::size_t>(u)])] +=
+        g.vwgts[static_cast<std::size_t>(u)];
+  }
+  return w;
+}
+
+double imbalance(const Csr& g, const std::vector<int>& part) {
+  const std::vector<wgt_t> w = part_weights(g, part, 2);
+  const wgt_t total = w[0] + w[1];
+  if (total == 0) return 1.0;
+  const wgt_t max_side = std::max(w[0], w[1]);
+  return static_cast<double>(max_side) / (static_cast<double>(total) / 2.0);
+}
+
+}  // namespace mgc

@@ -1,0 +1,21 @@
+#pragma once
+// Partition quality metrics: edge cut and balance (paper §III-C; bisection
+// results are reported with no imbalance allowed).
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+/// Total weight of edges whose endpoints lie in different parts.
+wgt_t edge_cut(const Csr& g, const std::vector<int>& part);
+
+/// Vertex weight of each part (for bisection: size 2).
+std::vector<wgt_t> part_weights(const Csr& g, const std::vector<int>& part,
+                                int num_parts = 2);
+
+/// Imbalance of a bisection: max part weight / (total/2). 1.0 == perfect.
+double imbalance(const Csr& g, const std::vector<int>& part);
+
+}  // namespace mgc

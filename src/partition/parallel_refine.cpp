@@ -1,0 +1,94 @@
+#include "partition/parallel_refine.hpp"
+
+#include <algorithm>
+
+#include "core/atomics.hpp"
+#include "partition/metrics.hpp"
+
+namespace mgc {
+
+wgt_t parallel_boundary_refine(const Exec& exec, const Csr& g,
+                               std::vector<int>& part,
+                               const ParallelRefineOptions& opts) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  if (n == 0) return 0;
+
+  wgt_t max_vwgt = 0;
+  for (const wgt_t w : g.vwgts) max_vwgt = std::max(max_vwgt, w);
+  const wgt_t total = g.total_vertex_weight();
+  const wgt_t slack =
+      std::min<wgt_t>(max_vwgt, std::max<wgt_t>(total / 8, 1));
+  const wgt_t max_side = std::max<wgt_t>(
+      total / 2 + slack,
+      static_cast<wgt_t>((1.0 + opts.epsilon) * static_cast<double>(total) /
+                         2.0));
+
+  std::vector<wgt_t> side = part_weights(g, part, 2);
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    const int from = round % 2;
+    const int to = 1 - from;
+    // Budget: how much weight may still enter `to` this round. Claimed
+    // atomically by movers so balance holds under concurrency.
+    wgt_t budget = max_side - side[static_cast<std::size_t>(to)];
+    if (budget <= 0) continue;
+
+    std::vector<vid_t> moved_count(1, 0);
+    std::vector<wgt_t> moved_weight(1, 0);
+    // Phase 1: decide moves against the frozen `part` of the round start.
+    // (Gains are computed from the snapshot; one-direction rounds make the
+    // realized improvement >= the predicted one.)
+    std::vector<std::uint8_t> moves(sn, 0);
+    parallel_for(exec, sn, [&](std::size_t su) {
+      if (part[su] != from) return;
+      const vid_t u = static_cast<vid_t>(su);
+      auto nbrs = g.neighbors(u);
+      auto ws = g.edge_weights(u);
+      wgt_t gain = 0;
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        gain += part[static_cast<std::size_t>(nbrs[k])] == from ? -ws[k]
+                                                                : ws[k];
+      }
+      if (gain <= 0) return;
+      // Claim balance budget.
+      const wgt_t claimed =
+          atomic_fetch_add(moved_weight[0], g.vwgts[su]);
+      if (claimed + g.vwgts[su] > budget) {
+        atomic_fetch_add(moved_weight[0], -g.vwgts[su]);  // release
+        return;
+      }
+      moves[su] = 1;
+      atomic_fetch_add(moved_count[0], vid_t{1});
+    });
+    if (moved_count[0] == 0) {
+      // No move in this direction; if the opposite direction also yields
+      // nothing next round, we are done. Detect by probing both parities.
+      if (round > 0) {
+        bool any = false;
+        for (std::size_t su = 0; su < sn && !any; ++su) {
+          if (part[su] != to) continue;
+          wgt_t gain = 0;
+          auto nbrs = g.neighbors(static_cast<vid_t>(su));
+          auto ws = g.edge_weights(static_cast<vid_t>(su));
+          for (std::size_t k = 0; k < nbrs.size(); ++k) {
+            gain += part[static_cast<std::size_t>(nbrs[k])] == to ? -ws[k]
+                                                                  : ws[k];
+          }
+          if (gain > 0) any = true;
+        }
+        if (!any) break;
+      }
+      continue;
+    }
+    // Phase 2: apply.
+    parallel_for(exec, sn, [&](std::size_t su) {
+      if (moves[su] != 0) part[su] = to;
+    });
+    side[static_cast<std::size_t>(from)] -= moved_weight[0];
+    side[static_cast<std::size_t>(to)] += moved_weight[0];
+  }
+  return edge_cut(g, part);
+}
+
+}  // namespace mgc

@@ -1,0 +1,32 @@
+#pragma once
+// Parallel boundary refinement — the paper's "fully parallel partitioning
+// with FM-based refinement" future-work direction (§V), in the style of
+// mt-Metis's greedy parallel refinement.
+//
+// Rounds alternate direction: in an A->B round, every boundary vertex of
+// side A with positive move gain relocates in parallel (subject to an
+// atomically claimed balance budget). Restricting each round to one
+// direction makes concurrent moves *super-additive*: an edge between two
+// vertices moving together was counted as a loss in both gains but stays
+// internal, so the realized cut reduction is at least the sum of the
+// predicted gains — the cut decreases monotonically and no locking beyond
+// the budget counter is needed.
+
+#include <vector>
+
+#include "core/exec.hpp"
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+struct ParallelRefineOptions {
+  int max_rounds = 32;     ///< direction-alternating rounds
+  double epsilon = 0.001;  ///< balance tolerance (as in FmOptions)
+};
+
+/// Refines `part` in place; returns the final cut.
+wgt_t parallel_boundary_refine(const Exec& exec, const Csr& g,
+                               std::vector<int>& part,
+                               const ParallelRefineOptions& opts = {});
+
+}  // namespace mgc

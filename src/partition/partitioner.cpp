@@ -1,0 +1,94 @@
+#include "partition/partitioner.hpp"
+
+#include "core/timer.hpp"
+#include "partition/metrics.hpp"
+
+namespace mgc {
+
+FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
+                                 const CoarsenOptions& copts,
+                                 const SpectralOptions& sopts) {
+  FiedlerResult result;
+  Timer t_coarsen;
+  const Hierarchy h = coarsen_multilevel(exec, g, copts);
+  result.coarsen_seconds = t_coarsen.seconds();
+  result.levels = h.num_levels();
+
+  Timer t_solve;
+  // Solve on the coarsest graph, then interpolate up with re-refinement.
+  SpectralStats stats;
+  std::vector<double> fiedler = fiedler_vector(
+      exec, h.coarsest(), copts.seed ^ 0xf1ed1e5, sopts, nullptr, &stats);
+  result.total_iterations += stats.iterations;
+  SpectralOptions refine_opts = sopts;
+  refine_opts.max_iterations = sopts.max_refine_iterations;
+  for (int level = h.num_levels() - 1; level > 0; --level) {
+    const CoarseMap& cm = h.maps[static_cast<std::size_t>(level) - 1];
+    std::vector<double> fine(cm.map.size());
+    for (std::size_t u = 0; u < cm.map.size(); ++u) {
+      fine[u] = fiedler[static_cast<std::size_t>(cm.map[u])];
+    }
+    fiedler = fiedler_vector(
+        exec, h.graphs[static_cast<std::size_t>(level) - 1],
+        copts.seed ^ 0xf1ed1e5, refine_opts, &fine, &stats);
+    result.total_iterations += stats.iterations;
+    if (level == 1) result.fine_iterations = stats.iterations;
+  }
+  if (h.num_levels() == 1) result.fine_iterations = result.total_iterations;
+  result.vector = std::move(fiedler);
+  result.solve_seconds = t_solve.seconds();
+  return result;
+}
+
+PartitionResult multilevel_spectral_bisect(const Exec& exec, const Csr& g,
+                                           const CoarsenOptions& copts,
+                                           const SpectralOptions& sopts) {
+  PartitionResult result;
+  const FiedlerResult fr = multilevel_fiedler(exec, g, copts, sopts);
+  result.coarsen_seconds = fr.coarsen_seconds;
+  result.levels = fr.levels;
+  Timer t_bisect;
+  result.part = bisect_by_vector(g, fr.vector);
+  result.cut = edge_cut(g, result.part);
+  result.refine_seconds = fr.solve_seconds + t_bisect.seconds();
+  return result;
+}
+
+PartitionResult multilevel_fm_bisect(const Exec& exec, const Csr& g,
+                                     const CoarsenOptions& copts,
+                                     const FmOptions& fopts,
+                                     const GggOptions& gopts) {
+  PartitionResult result;
+  Timer t_coarsen;
+  const Hierarchy h = coarsen_multilevel(exec, g, copts);
+  result.coarsen_seconds = t_coarsen.seconds();
+  result.levels = h.num_levels();
+
+  Timer t_refine;
+  std::vector<int> part =
+      greedy_graph_growing(h.coarsest(), copts.seed ^ 0x999, gopts);
+  fm_refine(h.coarsest(), part, fopts);
+  for (int level = h.num_levels() - 1; level > 0; --level) {
+    part = h.project_one_level(part, level);
+    fm_refine(h.graphs[static_cast<std::size_t>(level) - 1], part, fopts);
+  }
+  result.part = std::move(part);
+  result.cut = edge_cut(g, result.part);
+  result.refine_seconds = t_refine.seconds();
+  return result;
+}
+
+PartitionResult metis_like_bisect(const Csr& g, MetisMode mode,
+                                  std::uint64_t seed) {
+  CoarsenOptions copts;
+  copts.mapping =
+      mode == MetisMode::kMetis ? Mapping::kHemSerial : Mapping::kMtMetis;
+  copts.construct.method = Construction::kSort;
+  copts.seed = seed;
+  // Metis stops coarsening earlier on small graphs but the cutoff-50 rule
+  // is a faithful stand-in for bisection.
+  const Exec exec = Exec::serial();
+  return multilevel_fm_bisect(exec, g, copts, FmOptions{}, GggOptions{});
+}
+
+}  // namespace mgc

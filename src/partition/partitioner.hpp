@@ -1,0 +1,70 @@
+#pragma once
+// Multilevel graph bisection drivers (paper Algorithm 17 / §III-C):
+//
+//   * multilevel_spectral_bisect — coarsen, solve the Fiedler vector on the
+//     coarsest graph, then interpolate + power-iterate at every level;
+//     bisect the finest vector at the weighted median.
+//   * multilevel_fm_bisect — coarsen, greedy-graph-growing initial
+//     bisection on the coarsest graph, then project + FM-refine per level.
+//   * metis_like_bisect — the from-scratch serial multilevel baseline
+//     standing in for Metis v5.1.0 ("metis" mode: serial HEM coarsening)
+//     and mt-Metis v0.7.2 ("mtmetis" mode: HEM + two-hop matching), both
+//     with GGG initial partitioning and FM refinement.
+
+#include <cstdint>
+#include <vector>
+
+#include "multilevel/coarsener.hpp"
+#include "partition/fm.hpp"
+#include "partition/ggg.hpp"
+#include "partition/spectral.hpp"
+
+namespace mgc {
+
+struct PartitionResult {
+  std::vector<int> part;
+  wgt_t cut = 0;
+  double coarsen_seconds = 0.0;
+  double refine_seconds = 0.0;  ///< initial partition + all refinement
+  int levels = 0;
+
+  double total_seconds() const { return coarsen_seconds + refine_seconds; }
+  double coarsen_fraction() const {
+    const double t = total_seconds();
+    return t > 0 ? coarsen_seconds / t : 0.0;
+  }
+};
+
+/// Result of the multilevel (cascadic-multigrid-style) Fiedler solve —
+/// the application HEC was originally designed for (Urschel et al. [14]).
+struct FiedlerResult {
+  std::vector<double> vector;
+  int levels = 0;
+  int total_iterations = 0;  ///< power-iteration count summed over levels
+  int fine_iterations = 0;   ///< iterations spent on the finest level only
+  double coarsen_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// Computes the Fiedler vector multilevel: solve on the coarsest graph,
+/// then interpolate + re-refine at every level. Far fewer fine-level
+/// iterations than a flat power iteration (see bench/ablation_fiedler).
+FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
+                                 const CoarsenOptions& copts = {},
+                                 const SpectralOptions& sopts = {});
+
+PartitionResult multilevel_spectral_bisect(
+    const Exec& exec, const Csr& g, const CoarsenOptions& copts = {},
+    const SpectralOptions& sopts = {});
+
+PartitionResult multilevel_fm_bisect(const Exec& exec, const Csr& g,
+                                     const CoarsenOptions& copts = {},
+                                     const FmOptions& fopts = {},
+                                     const GggOptions& gopts = {});
+
+enum class MetisMode { kMetis, kMtMetis };
+
+PartitionResult metis_like_bisect(const Csr& g, MetisMode mode,
+                                  std::uint64_t seed = 42);
+
+}  // namespace mgc

@@ -1,0 +1,191 @@
+#include "partition/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/prng.hpp"
+#include "spla/matrix.hpp"
+
+namespace mgc {
+
+namespace {
+
+// Weighted degree of every vertex (the Laplacian diagonal).
+std::vector<double> weighted_degrees(const Csr& g) {
+  std::vector<double> d(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    wgt_t wd = 0;
+    for (const wgt_t w : g.edge_weights(u)) wd += w;
+    d[static_cast<std::size_t>(u)] = static_cast<double>(wd);
+  }
+  return d;
+}
+
+void remove_constant_component(const Exec& exec, std::vector<double>& x) {
+  const double mean =
+      parallel_sum<double>(exec, x.size(), [&](std::size_t i) {
+        return x[i];
+      }) /
+      static_cast<double>(x.size());
+  parallel_for(exec, x.size(), [&](std::size_t i) { x[i] -= mean; });
+}
+
+double norm2(const Exec& exec, const std::vector<double>& x) {
+  return std::sqrt(parallel_sum<double>(exec, x.size(), [&](std::size_t i) {
+    return x[i] * x[i];
+  }));
+}
+
+}  // namespace
+
+std::vector<double> fiedler_vector(const Exec& exec, const Csr& g,
+                                   std::uint64_t seed,
+                                   const SpectralOptions& opts,
+                                   const std::vector<double>* initial,
+                                   SpectralStats* stats) {
+  const vid_t n = g.num_vertices();
+  const std::size_t sn = static_cast<std::size_t>(n);
+  const std::vector<double> diag = weighted_degrees(g);
+  const double c =
+      2.0 * *std::max_element(diag.begin(), diag.end()) + 1.0;
+
+  std::vector<double> x(sn);
+  if (initial != nullptr && initial->size() == sn) {
+    x = *initial;
+  } else {
+    Xoshiro256 rng(seed);
+    for (double& v : x) v = rng.uniform() - 0.5;
+  }
+  remove_constant_component(exec, x);
+  {
+    const double nx = norm2(exec, x);
+    if (nx < 1e-30) {
+      // Degenerate initial vector: fall back to a deterministic ramp.
+      for (std::size_t i = 0; i < sn; ++i) {
+        x[i] = static_cast<double>(i) - static_cast<double>(sn - 1) / 2.0;
+      }
+    }
+    const double nx2 = norm2(exec, x);
+    parallel_for(exec, sn, [&](std::size_t i) { x[i] /= nx2; });
+  }
+
+  std::vector<double> ax(sn), next(sn);
+  int iter = 0;
+  double diff = 0.0;
+  for (iter = 0; iter < opts.max_iterations; ++iter) {
+    // next = (cI - L) x = c*x - diag.*x + A*x
+    spmv(exec, g, x.data(), ax.data());
+    parallel_for(exec, sn, [&](std::size_t i) {
+      next[i] = (c - diag[i]) * x[i] + ax[i];
+    });
+    remove_constant_component(exec, next);
+    const double nn = norm2(exec, next);
+    if (nn < 1e-30) break;  // graph is complete-like; x already optimal
+    parallel_for(exec, sn, [&](std::size_t i) { next[i] /= nn; });
+    // Sign-align with the previous iterate so the difference is meaningful.
+    double dot = parallel_sum<double>(exec, sn, [&](std::size_t i) {
+      return next[i] * x[i];
+    });
+    if (dot < 0) {
+      parallel_for(exec, sn, [&](std::size_t i) { next[i] = -next[i]; });
+    }
+    diff = 0.0;
+    diff = std::sqrt(parallel_sum<double>(exec, sn, [&](std::size_t i) {
+      const double d = next[i] - x[i];
+      return d * d;
+    }));
+    x.swap(next);
+    if (diff < opts.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->iterations = iter;
+    stats->residual = diff;
+  }
+  return x;
+}
+
+std::vector<std::vector<double>> spectral_embedding(
+    const Exec& exec, const Csr& g, int k, std::uint64_t seed,
+    const SpectralOptions& opts) {
+  const std::size_t sn = static_cast<std::size_t>(g.num_vertices());
+  const std::vector<double> diag = weighted_degrees(g);
+  const double c =
+      2.0 * *std::max_element(diag.begin(), diag.end()) + 1.0;
+
+  std::vector<std::vector<double>> basis;  // converged eigenvectors
+  for (int vec = 0; vec < k; ++vec) {
+    Xoshiro256 rng(seed + static_cast<std::uint64_t>(vec) * 7919);
+    std::vector<double> x(sn);
+    for (double& v : x) v = rng.uniform() - 0.5;
+
+    const auto deflate = [&](std::vector<double>& v) {
+      remove_constant_component(exec, v);
+      for (const std::vector<double>& b : basis) {
+        double dot = parallel_sum<double>(exec, sn, [&](std::size_t i) {
+          return v[i] * b[i];
+        });
+        parallel_for(exec, sn, [&](std::size_t i) { v[i] -= dot * b[i]; });
+      }
+    };
+
+    deflate(x);
+    double nx = norm2(exec, x);
+    if (nx < 1e-30) break;  // no further non-trivial directions
+    parallel_for(exec, sn, [&](std::size_t i) { x[i] /= nx; });
+
+    std::vector<double> ax(sn), next(sn);
+    for (int iter = 0; iter < opts.max_iterations; ++iter) {
+      spmv(exec, g, x.data(), ax.data());
+      parallel_for(exec, sn, [&](std::size_t i) {
+        next[i] = (c - diag[i]) * x[i] + ax[i];
+      });
+      deflate(next);
+      const double nn = norm2(exec, next);
+      if (nn < 1e-30) break;
+      parallel_for(exec, sn, [&](std::size_t i) { next[i] /= nn; });
+      double dot = parallel_sum<double>(exec, sn, [&](std::size_t i) {
+        return next[i] * x[i];
+      });
+      if (dot < 0) {
+        parallel_for(exec, sn, [&](std::size_t i) { next[i] = -next[i]; });
+      }
+      const double diff =
+          std::sqrt(parallel_sum<double>(exec, sn, [&](std::size_t i) {
+            const double d = next[i] - x[i];
+            return d * d;
+          }));
+      x.swap(next);
+      if (diff < opts.tolerance) break;
+    }
+    basis.push_back(std::move(x));
+  }
+  return basis;
+}
+
+std::vector<int> bisect_by_vector(const Csr& g,
+                                  const std::vector<double>& fiedler) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    const double fa = fiedler[static_cast<std::size_t>(a)];
+    const double fb = fiedler[static_cast<std::size_t>(b)];
+    if (fa != fb) return fa < fb;
+    return a < b;
+  });
+  const wgt_t total = g.total_vertex_weight();
+  std::vector<int> part(static_cast<std::size_t>(n), 1);
+  wgt_t acc = 0;
+  for (const vid_t u : order) {
+    if (acc >= total / 2) break;
+    part[static_cast<std::size_t>(u)] = 0;
+    acc += g.vwgts[static_cast<std::size_t>(u)];
+  }
+  return part;
+}
+
+}  // namespace mgc

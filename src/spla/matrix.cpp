@@ -1,0 +1,169 @@
+#include "spla/matrix.hpp"
+
+#include <algorithm>
+
+#include "core/atomics.hpp"
+#include "core/hashmap.hpp"
+
+namespace mgc {
+
+CsrMatrix matrix_from_graph(const Csr& g) {
+  CsrMatrix a;
+  a.nrows = g.num_vertices();
+  a.ncols = g.num_vertices();
+  a.rowptr = g.rowptr;
+  a.colidx = g.colidx;
+  a.vals = g.wgts;
+  return a;
+}
+
+CsrMatrix prolongation_matrix(const Exec& exec,
+                              const std::vector<vid_t>& map, vid_t nc) {
+  CsrMatrix p;
+  p.nrows = nc;
+  p.ncols = static_cast<vid_t>(map.size());
+  p.rowptr.assign(static_cast<std::size_t>(nc) + 1, 0);
+  for (const vid_t c : map) {
+    ++p.rowptr[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(nc); ++c) {
+    p.rowptr[c + 1] += p.rowptr[c];
+  }
+  p.colidx.resize(map.size());
+  p.vals.assign(map.size(), 1);
+  std::vector<eid_t> cursor(p.rowptr.begin(), p.rowptr.end() - 1);
+  for (std::size_t u = 0; u < map.size(); ++u) {
+    const std::size_t c = static_cast<std::size_t>(map[u]);
+    p.colidx[static_cast<std::size_t>(cursor[c]++)] = static_cast<vid_t>(u);
+  }
+  (void)exec;
+  return p;
+}
+
+CsrMatrix transpose(const Exec& exec, const CsrMatrix& a) {
+  CsrMatrix t;
+  t.nrows = a.ncols;
+  t.ncols = a.nrows;
+  t.rowptr.assign(static_cast<std::size_t>(a.ncols) + 1, 0);
+  // Count column occurrences in parallel with atomics, then scan and fill.
+  parallel_for(exec, a.colidx.size(), [&](std::size_t k) {
+    atomic_fetch_add(t.rowptr[static_cast<std::size_t>(a.colidx[k]) + 1],
+                     eid_t{1});
+  });
+  for (std::size_t c = 0; c < static_cast<std::size_t>(a.ncols); ++c) {
+    t.rowptr[c + 1] += t.rowptr[c];
+  }
+  t.colidx.resize(a.colidx.size());
+  t.vals.resize(a.vals.size());
+  std::vector<eid_t> cursor(t.rowptr.begin(), t.rowptr.end() - 1);
+  parallel_for(exec, static_cast<std::size_t>(a.nrows), [&](std::size_t r) {
+    for (eid_t k = a.rowptr[r]; k < a.rowptr[r + 1]; ++k) {
+      const std::size_t c =
+          static_cast<std::size_t>(a.colidx[static_cast<std::size_t>(k)]);
+      const eid_t pos = atomic_fetch_add(cursor[c], eid_t{1});
+      t.colidx[static_cast<std::size_t>(pos)] = static_cast<vid_t>(r);
+      t.vals[static_cast<std::size_t>(pos)] =
+          a.vals[static_cast<std::size_t>(k)];
+    }
+  });
+  return t;
+}
+
+namespace {
+
+// Per-row upper bound on C-row nnz: sum of B-row sizes over A's row.
+eid_t row_upper_bound(const CsrMatrix& a, const CsrMatrix& b, std::size_t r) {
+  eid_t ub = 0;
+  for (eid_t k = a.rowptr[r]; k < a.rowptr[r + 1]; ++k) {
+    const std::size_t j =
+        static_cast<std::size_t>(a.colidx[static_cast<std::size_t>(k)]);
+    ub += b.rowptr[j + 1] - b.rowptr[j];
+  }
+  return ub;
+}
+
+}  // namespace
+
+CsrMatrix spgemm(const Exec& exec, const CsrMatrix& a, const CsrMatrix& b) {
+  CsrMatrix c;
+  c.nrows = a.nrows;
+  c.ncols = b.ncols;
+  c.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+
+  // Symbolic phase: exact nnz per row via a sparse hashmap accumulator.
+  parallel_for(exec, static_cast<std::size_t>(a.nrows), [&](std::size_t r) {
+    const eid_t ub = row_upper_bound(a, b, r);
+    if (ub == 0) return;
+    const std::size_t cap =
+        next_pow2(static_cast<std::size_t>(std::min<eid_t>(ub, b.ncols)) + 1);
+    std::vector<vid_t> keys(cap, kInvalidVid);
+    std::vector<wgt_t> wts(cap);
+    FlatAccumulator acc(keys.data(), wts.data(), cap);
+    eid_t nnz = 0;
+    for (eid_t k = a.rowptr[r]; k < a.rowptr[r + 1]; ++k) {
+      const std::size_t j =
+          static_cast<std::size_t>(a.colidx[static_cast<std::size_t>(k)]);
+      for (eid_t l = b.rowptr[j]; l < b.rowptr[j + 1]; ++l) {
+        if (acc.insert_or_add(b.colidx[static_cast<std::size_t>(l)], 1)) {
+          ++nnz;
+        }
+      }
+    }
+    c.rowptr[r + 1] = nnz;
+  });
+  for (std::size_t i = 0; i < static_cast<std::size_t>(a.nrows); ++i) {
+    c.rowptr[i + 1] += c.rowptr[i];
+  }
+
+  c.colidx.resize(static_cast<std::size_t>(c.nnz()));
+  c.vals.resize(static_cast<std::size_t>(c.nnz()));
+
+  // Numeric phase: accumulate values and extract per row.
+  parallel_for(exec, static_cast<std::size_t>(a.nrows), [&](std::size_t r) {
+    const eid_t begin = c.rowptr[r];
+    const eid_t row_nnz = c.rowptr[r + 1] - begin;
+    if (row_nnz == 0) return;
+    const std::size_t cap =
+        next_pow2(static_cast<std::size_t>(row_nnz) + 1);
+    std::vector<vid_t> keys(cap, kInvalidVid);
+    std::vector<wgt_t> wts(cap);
+    FlatAccumulator acc(keys.data(), wts.data(), cap);
+    for (eid_t k = a.rowptr[r]; k < a.rowptr[r + 1]; ++k) {
+      const std::size_t j =
+          static_cast<std::size_t>(a.colidx[static_cast<std::size_t>(k)]);
+      const wgt_t av = a.vals[static_cast<std::size_t>(k)];
+      for (eid_t l = b.rowptr[j]; l < b.rowptr[j + 1]; ++l) {
+        acc.insert_or_add(b.colidx[static_cast<std::size_t>(l)],
+                          av * b.vals[static_cast<std::size_t>(l)]);
+      }
+    }
+    acc.extract_and_clear(c.colidx.data() + begin, c.vals.data() + begin);
+  });
+  return c;
+}
+
+void spmv(const Exec& exec, const CsrMatrix& a, const double* x, double* y) {
+  parallel_for(exec, static_cast<std::size_t>(a.nrows), [&](std::size_t r) {
+    double acc = 0;
+    for (eid_t k = a.rowptr[r]; k < a.rowptr[r + 1]; ++k) {
+      acc += static_cast<double>(a.vals[static_cast<std::size_t>(k)]) *
+             x[a.colidx[static_cast<std::size_t>(k)]];
+    }
+    y[r] = acc;
+  });
+}
+
+void spmv(const Exec& exec, const Csr& g, const double* x, double* y) {
+  parallel_for(exec, static_cast<std::size_t>(g.num_vertices()),
+               [&](std::size_t r) {
+                 double acc = 0;
+                 for (eid_t k = g.rowptr[r]; k < g.rowptr[r + 1]; ++k) {
+                   acc += static_cast<double>(
+                              g.wgts[static_cast<std::size_t>(k)]) *
+                          x[g.colidx[static_cast<std::size_t>(k)]];
+                 }
+                 y[r] = acc;
+               });
+}
+
+}  // namespace mgc

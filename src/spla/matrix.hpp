@@ -1,0 +1,45 @@
+#pragma once
+// General (rectangular) CSR sparse matrices for the linear-algebra view of
+// coarsening: the coarse adjacency matrix is A_c = P A Pᵀ, where P is the
+// nc x n binary aggregation matrix (paper §II).
+
+#include <vector>
+
+#include "core/exec.hpp"
+#include "core/types.hpp"
+#include "graph/csr.hpp"
+
+namespace mgc {
+
+struct CsrMatrix {
+  vid_t nrows = 0;
+  vid_t ncols = 0;
+  std::vector<eid_t> rowptr;  ///< size nrows+1
+  std::vector<vid_t> colidx;
+  std::vector<wgt_t> vals;
+
+  eid_t nnz() const { return rowptr.empty() ? 0 : rowptr.back(); }
+};
+
+/// Adjacency matrix view of an undirected graph (shares no storage; copies).
+CsrMatrix matrix_from_graph(const Csr& g);
+
+/// The nc x n aggregation matrix P with P(map[u], u) = 1.
+CsrMatrix prolongation_matrix(const Exec& exec,
+                              const std::vector<vid_t>& map, vid_t nc);
+
+/// Transpose.
+CsrMatrix transpose(const Exec& exec, const CsrMatrix& a);
+
+/// Sparse matrix-matrix product C = A * B using a symbolic pass (row nnz
+/// counts via a sparse hashmap accumulator) followed by a numeric pass —
+/// the Kokkos Kernels SpGEMM structure.
+CsrMatrix spgemm(const Exec& exec, const CsrMatrix& a, const CsrMatrix& b);
+
+/// y = A * x (SpMV), double precision — the power-iteration workhorse.
+void spmv(const Exec& exec, const CsrMatrix& a, const double* x, double* y);
+
+/// Graph SpMV convenience: y = A(g) * x.
+void spmv(const Exec& exec, const Csr& g, const double* x, double* y);
+
+}  // namespace mgc

@@ -1,0 +1,134 @@
+// Tests for multilevel modularity clustering.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/clustering.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+// Planted-partition graph: `groups` cliques of size `size` connected by a
+// few bridge edges.
+Csr planted_communities(int groups, int size, std::uint64_t seed) {
+  std::vector<Edge> edges;
+  for (int c = 0; c < groups; ++c) {
+    const vid_t base = c * size;
+    for (vid_t i = 0; i < size; ++i) {
+      for (vid_t j = i + 1; j < size; ++j) {
+        edges.push_back({base + i, base + j, 1});
+      }
+    }
+    // one bridge to the next group
+    const vid_t next = ((c + 1) % groups) * size;
+    edges.push_back({base, next, 1});
+  }
+  (void)seed;
+  return build_csr_from_edges(groups * size, std::move(edges));
+}
+
+TEST(Modularity, KnownValues) {
+  // Two triangles joined by one edge, clustered by triangle:
+  // m = 7; internal per cluster = 3; deg sums = 7 each.
+  const Csr g = build_csr_from_edges(6, {{0, 1, 1},
+                                         {1, 2, 1},
+                                         {2, 0, 1},
+                                         {3, 4, 1},
+                                         {4, 5, 1},
+                                         {5, 3, 1},
+                                         {2, 3, 1}});
+  const double q = modularity(g, {0, 0, 0, 1, 1, 1});
+  EXPECT_NEAR(q, 2.0 * (3.0 / 7.0 - (7.0 / 14.0) * (7.0 / 14.0)), 1e-12);
+}
+
+TEST(Modularity, SingleClusterIsZero) {
+  const Csr g = make_grid2d(5, 5);
+  EXPECT_NEAR(modularity(g, std::vector<int>(25, 0)), 0.0, 1e-12);
+}
+
+TEST(Modularity, SingletonsAreNegative) {
+  const Csr g = make_complete(6);
+  std::vector<int> singletons(6);
+  for (int i = 0; i < 6; ++i) singletons[static_cast<std::size_t>(i)] = i;
+  EXPECT_LT(modularity(g, singletons), 0.0);
+}
+
+TEST(Cluster, RecoversPlantedCommunities) {
+  const Csr g = planted_communities(5, 8, 1);
+  ClusterOptions opts;
+  opts.coarsen.cutoff = 10;
+  const ClusterResult r = multilevel_cluster(Exec::threads(), g, opts);
+  EXPECT_EQ(r.num_clusters, 5);
+  // Every clique must be monochromatic.
+  for (int c = 0; c < 5; ++c) {
+    const int label = r.cluster[static_cast<std::size_t>(c * 8)];
+    for (int i = 1; i < 8; ++i) {
+      EXPECT_EQ(r.cluster[static_cast<std::size_t>(c * 8 + i)], label)
+          << "clique " << c;
+    }
+  }
+  EXPECT_GT(r.modularity, 0.6);
+}
+
+TEST(Cluster, ModularityMatchesReportedAssignment) {
+  const Csr g = make_triangulated_grid(15, 15, 3);
+  const ClusterResult r = multilevel_cluster(Exec::threads(), g);
+  EXPECT_NEAR(r.modularity, modularity(g, r.cluster), 1e-12);
+}
+
+TEST(Cluster, ClusterIdsAreDense) {
+  const Csr g = make_triangulated_grid(12, 12, 5);
+  const ClusterResult r = multilevel_cluster(Exec::threads(), g);
+  std::set<int> used(r.cluster.begin(), r.cluster.end());
+  EXPECT_EQ(static_cast<int>(used.size()), r.num_clusters);
+  EXPECT_EQ(*used.begin(), 0);
+  EXPECT_EQ(*used.rbegin(), r.num_clusters - 1);
+}
+
+TEST(Cluster, HigherResolutionGivesMoreClusters) {
+  const Csr g = largest_connected_component(make_rgg(1200, 0.06, 7));
+  ClusterOptions lo, hi;
+  lo.resolution = 0.5;
+  hi.resolution = 4.0;
+  lo.coarsen.cutoff = 200;
+  hi.coarsen.cutoff = 200;
+  const ClusterResult rl = multilevel_cluster(Exec::threads(), g, lo);
+  const ClusterResult rh = multilevel_cluster(Exec::threads(), g, hi);
+  EXPECT_GT(rh.num_clusters, rl.num_clusters);
+}
+
+TEST(Cluster, BeatsRandomAssignmentOnModularity) {
+  const Csr g = largest_connected_component(make_chung_lu(1500, 8, 2.2, 9));
+  const ClusterResult r = multilevel_cluster(Exec::threads(), g);
+  std::vector<int> random_assign(
+      static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t u = 0; u < random_assign.size(); ++u) {
+    random_assign[u] = static_cast<int>(u % std::max(1, r.num_clusters));
+  }
+  EXPECT_GT(r.modularity, modularity(g, random_assign) + 0.1);
+}
+
+TEST(Cluster, WorksOnCorpus) {
+  for (const auto& [name, g] : test::graph_corpus()) {
+    const ClusterResult r = multilevel_cluster(Exec::threads(), g);
+    ASSERT_EQ(r.cluster.size(), static_cast<std::size_t>(g.num_vertices()))
+        << name;
+    ASSERT_GE(r.num_clusters, 1) << name;
+    for (const int c : r.cluster) {
+      ASSERT_GE(c, 0) << name;
+      ASSERT_LT(c, r.num_clusters) << name;
+    }
+  }
+}
+
+TEST(Cluster, EdgelessGraph) {
+  const Csr g = build_csr_from_edges(3, {});
+  const ClusterResult r = multilevel_cluster(Exec::threads(), g);
+  EXPECT_EQ(r.cluster.size(), 3u);
+  EXPECT_NEAR(r.modularity, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,127 @@
+// Tests for b-Suitor b-matching coarsening (future-work item of the
+// paper): matching-degree bounds, mutuality, aggregate caps, and the
+// b = 1 equivalence with plain Suitor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "coarsen/bsuitor.hpp"
+#include "coarsen/suitor.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+using test::expect_valid_mapping;
+using test::graph_corpus;
+using test::weighted_test_graph;
+
+TEST(BSuitor, PartnerListsRespectDegreeBound) {
+  for (const int b : {1, 2, 3}) {
+    for (const auto& [name, g] : graph_corpus()) {
+      const auto partners = bsuitor_matching(g, b);
+      for (const auto& list : partners) {
+        ASSERT_LE(static_cast<int>(list.size()), b)
+            << name << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(BSuitor, PartnershipsAreMutualAndAdjacent) {
+  const Csr g = weighted_test_graph();
+  const auto partners = bsuitor_matching(g, 2);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vid_t v : partners[static_cast<std::size_t>(u)]) {
+      const auto& back = partners[static_cast<std::size_t>(v)];
+      EXPECT_TRUE(std::find(back.begin(), back.end(), u) != back.end())
+          << u << " <-> " << v;
+      const auto nbrs = g.neighbors(u);
+      EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end());
+    }
+  }
+}
+
+TEST(BSuitor, BOneMatchesSuitorWeight) {
+  // With b = 1 the b-Suitor fixed point is a plain suitor matching; the
+  // matched-edge sets coincide (both equal greedy under our tie-break).
+  const Csr g = weighted_test_graph();
+  const auto partners = bsuitor_matching(g, 1);
+  const std::vector<vid_t> s = suitor_array(g);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const std::size_t su = static_cast<std::size_t>(u);
+    const bool b_matched = !partners[su].empty();
+    const vid_t sv = s[su];
+    const bool s_matched =
+        sv != kInvalidVid && s[static_cast<std::size_t>(sv)] == u;
+    // A vertex matched under plain suitor holds a mutual proposal — it
+    // must also be matched under b=1 b-Suitor with the same partner.
+    if (s_matched) {
+      ASSERT_TRUE(b_matched) << u;
+    }
+  }
+}
+
+TEST(BSuitor, MappingValidOnCorpus) {
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = bsuitor_mapping(Exec::threads(), g, 5);
+    expect_valid_mapping(g, cm, "bsuitor/" + name);
+  }
+}
+
+TEST(BSuitor, AggregateSizeRespectsCap) {
+  for (const auto& [name, g] : graph_corpus()) {
+    BSuitorOptions opts;
+    opts.b = 3;
+    opts.max_aggregate = 4;
+    const CoarseMap cm = bsuitor_mapping(Exec::threads(), g, 5, opts);
+    std::map<vid_t, int> sizes;
+    for (const vid_t c : cm.map) ++sizes[c];
+    for (const auto& [c, s] : sizes) {
+      ASSERT_LE(s, 4) << name;
+    }
+  }
+}
+
+TEST(BSuitor, HigherBCoarsensFaster) {
+  const Csr g = make_triangulated_grid(25, 25, 7);
+  BSuitorOptions b1, b3;
+  b1.b = 1;
+  b3.b = 3;
+  b3.max_aggregate = 8;
+  const vid_t nc1 = bsuitor_mapping(Exec::threads(), g, 5, b1).nc;
+  const vid_t nc3 = bsuitor_mapping(Exec::threads(), g, 5, b3).nc;
+  EXPECT_LT(nc3, nc1);
+}
+
+TEST(BSuitor, CoarseningRatioBeatsMatchingCapOnMeshes) {
+  // With b >= 2 the ratio can exceed the matching bound of 2.
+  const Csr g = make_grid2d(30, 30);
+  BSuitorOptions opts;
+  opts.b = 3;
+  opts.max_aggregate = 6;
+  const CoarseMap cm = bsuitor_mapping(Exec::threads(), g, 5, opts);
+  EXPECT_GT(coarsening_ratio(cm, g.num_vertices()), 2.0);
+}
+
+TEST(BSuitor, PrefersHeavyEdges) {
+  const Csr g = build_csr_from_edges(
+      4, {{0, 1, 10}, {2, 3, 10}, {1, 2, 1}, {0, 3, 1}});
+  BSuitorOptions opts;
+  opts.b = 1;
+  const CoarseMap cm = bsuitor_mapping(Exec::threads(), g, 5, opts);
+  EXPECT_EQ(cm.map[0], cm.map[1]);
+  EXPECT_EQ(cm.map[2], cm.map[3]);
+}
+
+TEST(BSuitor, DispatcherPathWorks) {
+  const Csr g = make_grid2d(12, 12);
+  const CoarseMap cm =
+      compute_mapping(Mapping::kBSuitor, Exec::threads(), g, 3);
+  EXPECT_EQ(validate_mapping(cm, g.num_vertices()), "");
+}
+
+}  // namespace
+}  // namespace mgc

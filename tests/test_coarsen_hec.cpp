@@ -1,0 +1,252 @@
+// Tests for Heavy Edge Coarsening: the sequential reference (Algorithm 3),
+// the lock-free parallelization (Algorithm 4), and the HEC2/HEC3 variants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coarsen/hec.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+using test::expect_valid_mapping;
+using test::graph_corpus;
+using test::weighted_test_graph;
+
+// ---------- sequential reference ----------
+
+TEST(HecSerial, ValidOnCorpus) {
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hec_serial(g, 7);
+    expect_valid_mapping(g, cm, "hec_serial/" + name);
+  }
+}
+
+TEST(HecSerial, IsDeterministic) {
+  const Csr g = make_grid2d(10, 10);
+  const CoarseMap a = hec_serial(g, 5);
+  const CoarseMap b = hec_serial(g, 5);
+  EXPECT_EQ(a.map, b.map);
+  EXPECT_EQ(a.nc, b.nc);
+}
+
+TEST(HecSerial, SeedsChangeTheMapping) {
+  const Csr g = make_grid2d(10, 10);
+  const CoarseMap a = hec_serial(g, 1);
+  const CoarseMap b = hec_serial(g, 2);
+  EXPECT_NE(a.map, b.map);
+}
+
+TEST(HecSerial, EveryVertexJoinsItsHeaviestNeighborsAggregate) {
+  // On a weighted graph, verify the defining HEC property: each vertex u is
+  // in the same aggregate as SOME neighbor, and if u initiated (visited
+  // unmapped), that neighbor is its heaviest.
+  const Csr g = weighted_test_graph();
+  const CoarseMap cm = hec_serial(g, 3);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (g.degree(u) == 0) continue;
+    auto nbrs = g.neighbors(u);
+    bool shares = false;
+    for (const vid_t v : nbrs) {
+      if (cm.map[static_cast<std::size_t>(v)] ==
+          cm.map[static_cast<std::size_t>(u)]) {
+        shares = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(shares) << "vertex " << u
+                        << " is isolated within its aggregate";
+  }
+}
+
+TEST(HecSerial, StarCollapsesToOneAggregate) {
+  // Every leaf's heaviest (only) neighbor is the center: HEC maps the whole
+  // star to a single coarse vertex. This is the "arbitrarily high
+  // coarsening ratio" HEC property the paper contrasts with HEM.
+  const Csr g = make_star(50);
+  const CoarseMap cm = hec_serial(g, 9);
+  EXPECT_EQ(cm.nc, 1);
+}
+
+TEST(HecSerial, PathHalvesRoughly) {
+  const Csr g = make_path(1000);
+  const CoarseMap cm = hec_serial(g, 9);
+  // Aggregates on a path are contiguous runs of >= 2 vertices (except
+  // possibly boundary effects), so nc <= n/2 + 1 and nc >= n/3-ish.
+  EXPECT_LE(cm.nc, 501);
+  EXPECT_GE(cm.nc, 250);
+}
+
+// ---------- lock-free parallel HEC (Algorithm 4) ----------
+
+class HecParallelSweep
+    : public ::testing::TestWithParam<std::tuple<Backend, std::uint64_t>> {};
+
+TEST_P(HecParallelSweep, ValidOnCorpus) {
+  const auto [backend, seed] = GetParam();
+  const Exec exec{backend, 0};
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hec_parallel(exec, g, seed);
+    expect_valid_mapping(g, cm, "hec_parallel/" + name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndSeeds, HecParallelSweep,
+    ::testing::Combine(::testing::Values(Backend::Serial, Backend::Threads),
+                       ::testing::Values(1, 42, 12345)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == Backend::Serial
+                             ? "serial"
+                             : "threads") +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(HecParallel, AggregatesFollowEdges) {
+  const Csr g = weighted_test_graph();
+  const CoarseMap cm = hec_parallel(Exec::threads(), g, 3);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (g.degree(u) == 0) continue;
+    bool shares = false;
+    for (const vid_t v : g.neighbors(u)) {
+      if (cm.map[static_cast<std::size_t>(v)] ==
+          cm.map[static_cast<std::size_t>(u)]) {
+        shares = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(shares);
+  }
+}
+
+TEST(HecParallel, StarCollapsesToOneAggregate) {
+  const CoarseMap cm = hec_parallel(Exec::threads(), make_star(100), 5);
+  EXPECT_EQ(cm.nc, 1);
+}
+
+TEST(HecParallel, UncontestedMutualHeavyPairsMerge) {
+  // Two mutual heavy pairs {0,1} (w=9) and {2,3} (w=5) with only light
+  // cross edges. No other vertex's heavy neighbor points into a pair, so
+  // both pairs must merge — this exercises the deadlock-avoidance path
+  // (the id-ordered mutual-edge rule) with a deterministic outcome.
+  const Csr g = build_csr_from_edges(
+      4, {{0, 1, 9}, {2, 3, 5}, {0, 2, 1}, {1, 3, 1}});
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const CoarseMap cm = hec_parallel(Exec::threads(), g, seed);
+    EXPECT_EQ(cm.map[0], cm.map[1]) << "seed " << seed;
+    EXPECT_EQ(cm.map[2], cm.map[3]) << "seed " << seed;
+  }
+}
+
+TEST(HecParallel, PassStatisticsAreRecorded) {
+  MappingStats stats;
+  const Csr g = largest_connected_component(make_rgg(2000, 0.04, 3));
+  const CoarseMap cm = hec_parallel(Exec::threads(), g, 3, &stats);
+  EXPECT_GE(stats.passes, 1);
+  EXPECT_EQ(stats.resolved_per_pass.size(),
+            static_cast<std::size_t>(stats.passes));
+  vid_t total = 0;
+  for (const vid_t r : stats.resolved_per_pass) total += r;
+  EXPECT_EQ(total, g.num_vertices());
+  (void)cm;
+}
+
+TEST(HecParallel, MostVerticesResolveInTwoPasses) {
+  // The paper reports 99.4% of vertices processed within two passes; our
+  // lock-free implementation must show the same concentration.
+  MappingStats stats;
+  const Csr g = largest_connected_component(make_chung_lu(4000, 12, 2.2, 9));
+  hec_parallel(Exec::threads(), g, 17, &stats);
+  vid_t first_two = 0;
+  for (std::size_t p = 0; p < stats.resolved_per_pass.size() && p < 2; ++p) {
+    first_two += stats.resolved_per_pass[p];
+  }
+  EXPECT_GE(static_cast<double>(first_two) / g.num_vertices(), 0.9);
+}
+
+TEST(HecParallel, CoarseIdsAreDense) {
+  const Csr g = make_grid2d(20, 20);
+  const CoarseMap cm = hec_parallel(Exec::threads(), g, 21);
+  std::vector<bool> used(static_cast<std::size_t>(cm.nc), false);
+  for (const vid_t c : cm.map) used[static_cast<std::size_t>(c)] = true;
+  EXPECT_TRUE(std::all_of(used.begin(), used.end(), [](bool b) { return b; }));
+}
+
+// ---------- HEC2 / HEC3 ----------
+
+TEST(Hec3, ValidOnCorpus) {
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hec3_parallel(Exec::threads(), g, 5);
+    expect_valid_mapping(g, cm, "hec3/" + name);
+  }
+}
+
+TEST(Hec2, ValidOnCorpus) {
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hec2_parallel(Exec::threads(), g, 5);
+    expect_valid_mapping(g, cm, "hec2/" + name);
+  }
+}
+
+TEST(Hec3, MutualPairsCollapse) {
+  // A 2-cycle in the heavy-neighbor digraph must merge (lines 5-8 of
+  // Algorithm 5).
+  const Csr g = build_csr_from_edges(
+      6, {{0, 1, 9}, {0, 2, 1}, {0, 3, 1}, {1, 4, 1}, {1, 5, 1}});
+  const CoarseMap cm = hec3_parallel(Exec::threads(), g, 1);
+  EXPECT_EQ(cm.map[0], cm.map[1]);
+}
+
+TEST(Hec2, MutualPairsDoNotCollapse) {
+  // HEC2 lacks the 2-cycle loop: a mutual heavy pair yields two roots.
+  // This is exactly why HEC2 needs more levels (1.56x in the paper).
+  const Csr g = build_csr_from_edges(
+      6, {{0, 1, 9}, {0, 2, 1}, {0, 3, 1}, {1, 4, 1}, {1, 5, 1}});
+  const CoarseMap cm = hec2_parallel(Exec::threads(), g, 1);
+  EXPECT_NE(cm.map[0], cm.map[1]);
+}
+
+TEST(HecVariants, CoarseningAggressivenessOrdering) {
+  // HEC coarsens at least as fast as HEC3, which is at least as fast as
+  // HEC2 (paper: HEC needs fewest levels, then HEC3, then HEC2).
+  const Csr g = make_triangulated_grid(25, 25, 7);
+  const vid_t nc_hec = hec_parallel(Exec::threads(), g, 5).nc;
+  const vid_t nc_hec3 = hec3_parallel(Exec::threads(), g, 5).nc;
+  const vid_t nc_hec2 = hec2_parallel(Exec::threads(), g, 5).nc;
+  EXPECT_LE(nc_hec, nc_hec3 + nc_hec3 / 4);
+  EXPECT_LE(nc_hec3, nc_hec2);
+}
+
+TEST(Hec3, BackendsAgreeGivenSameSeed) {
+  // HEC3 has no ordering races: all phases are deterministic given the
+  // permutation, so serial and threaded backends agree exactly.
+  const Csr g = make_grid2d(15, 15);
+  const CoarseMap a = hec3_parallel(Exec::serial(), g, 77);
+  const CoarseMap b = hec3_parallel(Exec::threads(), g, 77);
+  EXPECT_EQ(a.map, b.map);
+  EXPECT_EQ(a.nc, b.nc);
+}
+
+TEST(Hec2, BackendsAgreeGivenSameSeed) {
+  const Csr g = make_grid2d(15, 15);
+  const CoarseMap a = hec2_parallel(Exec::serial(), g, 77);
+  const CoarseMap b = hec2_parallel(Exec::threads(), g, 77);
+  EXPECT_EQ(a.map, b.map);
+}
+
+TEST(HecAll, SingleVertexAndSingleEdge) {
+  const Csr one = build_csr_from_edges(1, {});
+  EXPECT_EQ(hec_serial(one, 1).nc, 1);
+  EXPECT_EQ(hec_parallel(Exec::threads(), one, 1).nc, 1);
+  EXPECT_EQ(hec3_parallel(Exec::threads(), one, 1).nc, 1);
+
+  const Csr two = make_path(2);
+  EXPECT_EQ(hec_serial(two, 1).nc, 1);
+  EXPECT_EQ(hec_parallel(Exec::threads(), two, 1).nc, 1);
+  EXPECT_EQ(hec3_parallel(Exec::threads(), two, 1).nc, 1);
+}
+
+}  // namespace
+}  // namespace mgc

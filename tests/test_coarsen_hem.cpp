@@ -1,0 +1,131 @@
+// Tests for Heavy Edge Matching (Algorithm 2 + parallelization): matching
+// semantics, the coarsening-ratio-of-2 cap, and stalling on stars.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coarsen/hem.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+using test::expect_valid_mapping;
+using test::graph_corpus;
+using test::weighted_test_graph;
+
+void expect_is_matching(const Csr& g, const CoarseMap& cm,
+                        const std::string& context) {
+  // Matching semantics: every aggregate has 1 or 2 members, and 2-member
+  // aggregates are connected by an edge.
+  std::map<vid_t, std::vector<vid_t>> members;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    members[cm.map[static_cast<std::size_t>(u)]].push_back(u);
+  }
+  for (const auto& [c, mem] : members) {
+    ASSERT_LE(mem.size(), 2u) << context << " aggregate " << c;
+    if (mem.size() == 2) {
+      const auto nbrs = g.neighbors(mem[0]);
+      EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), mem[1]) != nbrs.end())
+          << context << ": matched pair (" << mem[0] << "," << mem[1]
+          << ") not adjacent";
+    }
+  }
+}
+
+TEST(HemSerial, ValidMatchingOnCorpus) {
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hem_serial(g, 7);
+    expect_valid_mapping(g, cm, "hem_serial/" + name);
+    expect_is_matching(g, cm, "hem_serial/" + name);
+  }
+}
+
+TEST(HemParallel, ValidMatchingOnCorpus) {
+  for (const auto& [name, g] : graph_corpus()) {
+    for (const Backend b : {Backend::Serial, Backend::Threads}) {
+      const CoarseMap cm = hem_parallel(Exec{b, 0}, g, 7);
+      expect_valid_mapping(g, cm, "hem_parallel/" + name);
+      expect_is_matching(g, cm, "hem_parallel/" + name);
+    }
+  }
+}
+
+TEST(Hem, CoarseningRatioIsAtMostTwo) {
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hem_parallel(Exec::threads(), g, 3);
+    EXPECT_GE(2 * cm.nc, g.num_vertices()) << name;
+  }
+}
+
+TEST(Hem, StallsOnStar) {
+  // The classic HEM pathology: the center matches one leaf; all other
+  // leaves become singletons, so nc = n - 1 (coarsening ratio -> 1).
+  const Csr g = make_star(100);
+  const CoarseMap cm = hem_parallel(Exec::threads(), g, 5);
+  EXPECT_EQ(cm.nc, 99);
+}
+
+TEST(Hem, PerfectMatchingOnEvenPath) {
+  // A path admits a perfect matching; HEM should get close (>= 40% pairs).
+  const Csr g = make_path(200);
+  const CoarseMap cm = hem_parallel(Exec::threads(), g, 5);
+  EXPECT_LE(cm.nc, 140);
+  EXPECT_GE(cm.nc, 100);
+}
+
+TEST(Hem, PrefersHeavyEdges) {
+  // Weight-10 edges (0,1) and (2,3); weight-1 edges elsewhere. HEM must
+  // match the heavy pairs.
+  const Csr g = build_csr_from_edges(
+      4, {{0, 1, 10}, {2, 3, 10}, {1, 2, 1}, {0, 3, 1}});
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const CoarseMap cm = hem_serial(g, seed);
+    EXPECT_EQ(cm.map[0], cm.map[1]) << "seed " << seed;
+    EXPECT_EQ(cm.map[2], cm.map[3]) << "seed " << seed;
+  }
+}
+
+TEST(Hem, ParallelPrefersHeavyEdges) {
+  const Csr g = build_csr_from_edges(
+      4, {{0, 1, 10}, {2, 3, 10}, {1, 2, 1}, {0, 3, 1}});
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const CoarseMap cm = hem_parallel(Exec::threads(), g, seed);
+    EXPECT_EQ(cm.map[0], cm.map[1]) << "seed " << seed;
+    EXPECT_EQ(cm.map[2], cm.map[3]) << "seed " << seed;
+  }
+}
+
+TEST(Hem, MatchOnlyLeavesUnmatchedAsUnmapped) {
+  const Csr g = make_star(10);
+  std::vector<vid_t> m(10, kUnmapped);
+  vid_t nc = 0;
+  const vid_t matched = hem_match_only(Exec::threads(), g, 3, m, nc);
+  EXPECT_EQ(matched, 2);  // center + one leaf
+  EXPECT_EQ(nc, 1);
+  int unmatched = 0;
+  for (const vid_t x : m) {
+    if (x == kUnmapped) ++unmatched;
+  }
+  EXPECT_EQ(unmatched, 8);
+}
+
+TEST(Hem, MapSingletonsCompletesTheMapping) {
+  const Csr g = make_star(10);
+  std::vector<vid_t> m(10, kUnmapped);
+  vid_t nc = 0;
+  hem_match_only(Exec::threads(), g, 3, m, nc);
+  map_singletons(Exec::threads(), m, nc);
+  CoarseMap cm{std::move(m), nc};
+  expect_valid_mapping(g, cm, "map_singletons");
+  EXPECT_EQ(cm.nc, 9);
+}
+
+TEST(Hem, SerialIsDeterministic) {
+  const Csr g = make_grid2d(10, 10);
+  EXPECT_EQ(hem_serial(g, 5).map, hem_serial(g, 5).map);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,129 @@
+// Tests for the mapping-layer utilities: find_uniq_and_relabel,
+// heavy_neighbors, validate_mapping, the compute_mapping dispatcher, and
+// coarsening_ratio.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coarsen/mapping.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+using test::graph_corpus;
+using test::weighted_test_graph;
+
+TEST(Relabel, CompactsSparseLabels) {
+  const CoarseMap cm =
+      find_uniq_and_relabel(Exec::threads(), {7, 3, 7, 100, 3, 7});
+  EXPECT_EQ(cm.nc, 3);
+  // First-occurrence order: 7 -> 0, 3 -> 1, 100 -> 2.
+  EXPECT_EQ(cm.map, (std::vector<vid_t>{0, 1, 0, 2, 1, 0}));
+}
+
+TEST(Relabel, IdentityOnDenseLabels) {
+  const CoarseMap cm = find_uniq_and_relabel(Exec::threads(), {0, 1, 2});
+  EXPECT_EQ(cm.nc, 3);
+  EXPECT_EQ(cm.map, (std::vector<vid_t>{0, 1, 2}));
+}
+
+TEST(Relabel, SingleLabel) {
+  const CoarseMap cm = find_uniq_and_relabel(Exec::threads(), {5, 5, 5});
+  EXPECT_EQ(cm.nc, 1);
+  EXPECT_EQ(cm.map, (std::vector<vid_t>{0, 0, 0}));
+}
+
+TEST(HeavyNeighbors, PicksHeaviestWithIdTieBreak) {
+  // Vertex 0 has neighbors 1 (w=2), 2 (w=5), 3 (w=5): heaviest weight 5,
+  // tie broken toward smaller id -> H[0] = 2.
+  const Csr g =
+      build_csr_from_edges(4, {{0, 1, 2}, {0, 2, 5}, {0, 3, 5}});
+  const std::vector<vid_t> h = heavy_neighbors(Exec::threads(), g);
+  EXPECT_EQ(h[0], 2);
+  EXPECT_EQ(h[1], 0);  // only neighbor
+  EXPECT_EQ(h[2], 0);
+  EXPECT_EQ(h[3], 0);
+}
+
+TEST(HeavyNeighbors, IsolatedVertexPointsToItself) {
+  const Csr g = build_csr_from_edges(3, {{0, 1, 1}});
+  const std::vector<vid_t> h = heavy_neighbors(Exec::threads(), g);
+  EXPECT_EQ(h[2], 2);
+}
+
+TEST(HeavyNeighbors, BackendIndependent) {
+  const Csr g = weighted_test_graph();
+  EXPECT_EQ(heavy_neighbors(Exec::serial(), g),
+            heavy_neighbors(Exec::threads(), g));
+}
+
+TEST(ValidateMapping, AcceptsValid) {
+  CoarseMap cm{{0, 1, 0, 1}, 2};
+  EXPECT_EQ(validate_mapping(cm, 4), "");
+}
+
+TEST(ValidateMapping, RejectsWrongSize) {
+  CoarseMap cm{{0, 1}, 2};
+  EXPECT_NE(validate_mapping(cm, 4), "");
+}
+
+TEST(ValidateMapping, RejectsOutOfRange) {
+  CoarseMap cm{{0, 2}, 2};
+  EXPECT_NE(validate_mapping(cm, 2), "");
+}
+
+TEST(ValidateMapping, RejectsEmptyCoarseVertex) {
+  CoarseMap cm{{0, 0}, 2};  // id 1 never used
+  EXPECT_NE(validate_mapping(cm, 2), "");
+}
+
+TEST(ValidateMapping, RejectsUnmapped) {
+  CoarseMap cm{{0, kUnmapped}, 1};
+  EXPECT_NE(validate_mapping(cm, 2), "");
+}
+
+TEST(CoarseningRatio, Basics) {
+  CoarseMap cm{{0, 0, 1, 1}, 2};
+  EXPECT_DOUBLE_EQ(coarsening_ratio(cm, 4), 2.0);
+}
+
+TEST(Dispatcher, EveryMethodProducesValidMappings) {
+  const Mapping all[] = {
+      Mapping::kHecSerial, Mapping::kHemSerial, Mapping::kHec,
+      Mapping::kHec2,      Mapping::kHec3,      Mapping::kHem,
+      Mapping::kMtMetis,   Mapping::kGosh,      Mapping::kGoshHec,
+      Mapping::kMis2,      Mapping::kSuitor};
+  const Csr g = make_triangulated_grid(8, 8, 3);
+  for (const Mapping m : all) {
+    const CoarseMap cm = compute_mapping(m, Exec::threads(), g, 5);
+    EXPECT_EQ(validate_mapping(cm, g.num_vertices()), "")
+        << mapping_name(m);
+  }
+}
+
+TEST(Dispatcher, NamesAreDistinct) {
+  const Mapping all[] = {
+      Mapping::kHecSerial, Mapping::kHemSerial, Mapping::kHec,
+      Mapping::kHec2,      Mapping::kHec3,      Mapping::kHem,
+      Mapping::kMtMetis,   Mapping::kGosh,      Mapping::kGoshHec,
+      Mapping::kMis2,      Mapping::kSuitor};
+  std::set<std::string> names;
+  for (const Mapping m : all) names.insert(mapping_name(m));
+  EXPECT_EQ(names.size(), std::size(all));
+}
+
+TEST(AllMethods, RespectCoarseningRatioBasics) {
+  // Every method must strictly shrink any graph with at least one edge.
+  const Csr g = make_grid2d(10, 10);
+  for (const Mapping m :
+       {Mapping::kHec, Mapping::kHem, Mapping::kMtMetis, Mapping::kGosh,
+        Mapping::kGoshHec, Mapping::kMis2, Mapping::kSuitor}) {
+    const CoarseMap cm = compute_mapping(m, Exec::threads(), g, 5);
+    EXPECT_LT(cm.nc, g.num_vertices()) << mapping_name(m);
+  }
+}
+
+}  // namespace
+}  // namespace mgc

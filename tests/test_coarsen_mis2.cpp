@@ -1,0 +1,120 @@
+// Tests for MIS2 coarsening (Bell et al.): the distance-2 independence and
+// maximality properties of the root set, and aggregation coverage.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "coarsen/mis2.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+using test::expect_valid_mapping;
+using test::graph_corpus;
+
+// BFS distance from u limited to 2 hops; returns vertices within distance 2.
+std::vector<vid_t> ball2(const Csr& g, vid_t u) {
+  std::vector<vid_t> out;
+  for (const vid_t v : g.neighbors(u)) {
+    out.push_back(v);
+    for (const vid_t w : g.neighbors(v)) {
+      if (w != u) out.push_back(w);
+    }
+  }
+  return out;
+}
+
+TEST(Mis2, RootsAreDistanceTwoIndependent) {
+  for (const auto& [name, g] : graph_corpus()) {
+    const std::vector<vid_t> roots = mis2_roots(Exec::threads(), g, 5);
+    std::vector<bool> is_root(static_cast<std::size_t>(g.num_vertices()),
+                              false);
+    for (const vid_t r : roots) is_root[static_cast<std::size_t>(r)] = true;
+    for (const vid_t r : roots) {
+      for (const vid_t v : ball2(g, r)) {
+        EXPECT_FALSE(v != r && is_root[static_cast<std::size_t>(v)])
+            << name << ": roots " << r << " and " << v
+            << " within distance 2";
+      }
+    }
+  }
+}
+
+TEST(Mis2, RootSetIsMaximal) {
+  // Maximality: every non-root vertex has a root within distance 2.
+  for (const auto& [name, g] : graph_corpus()) {
+    const std::vector<vid_t> roots = mis2_roots(Exec::threads(), g, 5);
+    std::vector<bool> is_root(static_cast<std::size_t>(g.num_vertices()),
+                              false);
+    for (const vid_t r : roots) is_root[static_cast<std::size_t>(r)] = true;
+    for (vid_t u = 0; u < g.num_vertices(); ++u) {
+      if (is_root[static_cast<std::size_t>(u)]) continue;
+      bool covered = false;
+      for (const vid_t v : ball2(g, u)) {
+        if (is_root[static_cast<std::size_t>(v)]) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << name << ": vertex " << u << " uncovered";
+    }
+  }
+}
+
+TEST(Mis2, MappingValidOnCorpus) {
+  for (const auto& [name, g] : graph_corpus()) {
+    for (const Backend b : {Backend::Serial, Backend::Threads}) {
+      const CoarseMap cm = mis2_mapping(Exec{b, 0}, g, 5);
+      expect_valid_mapping(g, cm, "mis2/" + name);
+    }
+  }
+}
+
+TEST(Mis2, CoarsensMoreAggressivelyThanMatching) {
+  // MIS2 aggregates are whole distance-2 balls: far fewer coarse vertices
+  // than any matching (paper Table IV shows the fewest levels).
+  const Csr g = make_grid2d(30, 30);
+  const CoarseMap cm = mis2_mapping(Exec::threads(), g, 5);
+  EXPECT_LT(cm.nc, g.num_vertices() / 4);
+}
+
+TEST(Mis2, StarHasOneRoot) {
+  const Csr g = make_star(50);
+  const std::vector<vid_t> roots = mis2_roots(Exec::threads(), g, 3);
+  ASSERT_EQ(roots.size(), 1u);
+  const CoarseMap cm = mis2_mapping(Exec::threads(), g, 3);
+  EXPECT_EQ(cm.nc, 1);
+}
+
+TEST(Mis2, PathRootsAreSpacedByAtLeastThree) {
+  const Csr g = make_path(100);
+  const std::vector<vid_t> roots = mis2_roots(Exec::threads(), g, 9);
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    EXPECT_GE(roots[i] - roots[i - 1], 3);
+  }
+  // And maximality bounds the spacing from above (gap <= 5 between
+  // consecutive roots, else a middle vertex would be uncovered).
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    EXPECT_LE(roots[i] - roots[i - 1], 5);
+  }
+}
+
+TEST(Mis2, DifferentSeedsGiveDifferentRoots) {
+  const Csr g = make_grid2d(20, 20);
+  const auto a = mis2_roots(Exec::threads(), g, 1);
+  const auto b = mis2_roots(Exec::threads(), g, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mis2, DeterministicGivenSeed) {
+  const Csr g = make_grid2d(20, 20);
+  EXPECT_EQ(mis2_roots(Exec::threads(), g, 7),
+            mis2_roots(Exec::threads(), g, 7));
+  EXPECT_EQ(mis2_mapping(Exec::serial(), g, 7).map,
+            mis2_mapping(Exec::threads(), g, 7).map);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,132 @@
+// Tests for Suitor matching (the paper's named future-work comparison):
+// mutual-proposal consistency, matching validity, and the classic
+// half-approximation weight guarantee against greedy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "coarsen/suitor.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+using test::expect_valid_mapping;
+using test::graph_corpus;
+using test::weighted_test_graph;
+
+// Matching weight achieved by a CoarseMap (sum of weights of matched
+// pairs' connecting edges).
+wgt_t matching_weight(const Csr& g, const CoarseMap& cm) {
+  std::map<vid_t, std::vector<vid_t>> members;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    members[cm.map[static_cast<std::size_t>(u)]].push_back(u);
+  }
+  wgt_t total = 0;
+  for (const auto& [c, mem] : members) {
+    if (mem.size() != 2) continue;
+    auto nbrs = g.neighbors(mem[0]);
+    auto ws = g.edge_weights(mem[0]);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (nbrs[k] == mem[1]) {
+        total += ws[k];
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+// Sequential greedy matching: process edges by decreasing weight.
+wgt_t greedy_matching_weight(const Csr& g) {
+  struct E {
+    wgt_t w;
+    vid_t u, v;
+  };
+  std::vector<E> edges;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (nbrs[k] > u) edges.push_back({ws[k], u, nbrs[k]});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const E& a, const E& b) {
+    if (a.w != b.w) return a.w > b.w;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);
+  wgt_t total = 0;
+  for (const E& e : edges) {
+    if (!used[static_cast<std::size_t>(e.u)] &&
+        !used[static_cast<std::size_t>(e.v)]) {
+      used[static_cast<std::size_t>(e.u)] = true;
+      used[static_cast<std::size_t>(e.v)] = true;
+      total += e.w;
+    }
+  }
+  return total;
+}
+
+TEST(Suitor, ValidMatchingOnCorpus) {
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = suitor_mapping(Exec::threads(), g, 5);
+    expect_valid_mapping(g, cm, "suitor/" + name);
+    std::vector<int> size(static_cast<std::size_t>(cm.nc), 0);
+    for (const vid_t c : cm.map) ++size[static_cast<std::size_t>(c)];
+    for (const int s : size) ASSERT_LE(s, 2) << name;
+  }
+}
+
+TEST(Suitor, SuitorArrayIsConsistent) {
+  // If suitor[v] = u then u actually proposes to v, i.e. v is a neighbor
+  // of u; and the held proposal weight equals the edge weight.
+  const Csr g = weighted_test_graph();
+  const std::vector<vid_t> s = suitor_array(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const vid_t u = s[static_cast<std::size_t>(v)];
+    if (u == kInvalidVid) continue;
+    const auto nbrs = g.neighbors(u);
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end())
+        << "suitor " << u << " of " << v << " is not adjacent";
+  }
+}
+
+TEST(Suitor, MatchesGreedyOnEveryCorpusGraph) {
+  // The suitor fixed point equals the greedy matching given consistent
+  // tie-breaking (Manne & Halappanavar Theorem): compare total weights.
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = suitor_mapping(Exec::threads(), g, 5);
+    EXPECT_EQ(matching_weight(g, cm), greedy_matching_weight(g)) << name;
+  }
+}
+
+TEST(Suitor, PrefersHeavyEdge) {
+  const Csr g = build_csr_from_edges(
+      4, {{0, 1, 10}, {2, 3, 10}, {1, 2, 1}, {0, 3, 1}});
+  const CoarseMap cm = suitor_mapping(Exec::threads(), g, 1);
+  EXPECT_EQ(cm.map[0], cm.map[1]);
+  EXPECT_EQ(cm.map[2], cm.map[3]);
+}
+
+TEST(Suitor, DisplacementChainResolves) {
+  // Path with increasing weights: 0-1 (w1), 1-2 (w2), 2-3 (w3). Greedy
+  // matches (2,3) then (0,1). Suitor must find the same.
+  const Csr g =
+      build_csr_from_edges(4, {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}});
+  const CoarseMap cm = suitor_mapping(Exec::threads(), g, 1);
+  EXPECT_EQ(cm.map[2], cm.map[3]);
+  EXPECT_EQ(cm.map[0], cm.map[1]);
+}
+
+TEST(Suitor, IsDeterministic) {
+  const Csr g = weighted_test_graph();
+  EXPECT_EQ(suitor_mapping(Exec::threads(), g, 1).map,
+            suitor_mapping(Exec::threads(), g, 2).map);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,290 @@
+// Tests for coarse-graph construction (Algorithm 6 and alternatives).
+//
+// Central property: ALL construction methods (sort / hash / heap / SpGEMM /
+// global-sort), with or without the one-sided degree-based dedup
+// optimization, must produce the SAME coarse graph — they differ only in
+// execution strategy. Verified via a canonical edge-map comparison.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "construct/construct.hpp"
+#include "coarsen/hec.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+using test::graph_corpus;
+using test::weighted_test_graph;
+
+// Canonical representation: {(min,max) -> weight} over undirected edges.
+std::map<std::pair<vid_t, vid_t>, wgt_t> edge_map(const Csr& g) {
+  std::map<std::pair<vid_t, vid_t>, wgt_t> out;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (nbrs[k] > u) out[{u, nbrs[k]}] = ws[k];
+    }
+  }
+  return out;
+}
+
+// Reference construction: brute-force accumulation with std::map.
+Csr reference_coarse(const Csr& fine, const CoarseMap& cm) {
+  std::map<std::pair<vid_t, vid_t>, wgt_t> acc;
+  for (vid_t u = 0; u < fine.num_vertices(); ++u) {
+    auto nbrs = fine.neighbors(u);
+    auto ws = fine.edge_weights(u);
+    const vid_t a = cm.map[static_cast<std::size_t>(u)];
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const vid_t b = cm.map[static_cast<std::size_t>(nbrs[k])];
+      if (a < b) acc[{a, b}] += ws[k];
+    }
+  }
+  std::vector<Edge> edges;
+  for (const auto& [ab, w] : acc) {
+    edges.push_back({ab.first, ab.second, w});
+  }
+  Csr coarse = build_csr_from_edges(cm.nc, std::move(edges));
+  for (std::size_t c = 0; c < coarse.vwgts.size(); ++c) coarse.vwgts[c] = 0;
+  for (vid_t u = 0; u < fine.num_vertices(); ++u) {
+    coarse.vwgts[static_cast<std::size_t>(
+        cm.map[static_cast<std::size_t>(u)])] +=
+        fine.vwgts[static_cast<std::size_t>(u)];
+  }
+  return coarse;
+}
+
+struct ConstructCase {
+  Construction method;
+  DegreeDedup dedup;
+  Backend backend;
+  bool pre_dedup = false;
+};
+
+class ConstructSweep : public ::testing::TestWithParam<ConstructCase> {};
+
+TEST_P(ConstructSweep, MatchesReferenceOnCorpus) {
+  const ConstructCase c = GetParam();
+  const Exec exec{c.backend, 0};
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hec_parallel(exec, g, 11);
+    const Csr ref = reference_coarse(g, cm);
+
+    ConstructOptions opts;
+    opts.method = c.method;
+    opts.degree_dedup = c.dedup;
+    opts.pre_dedup_fine = c.pre_dedup;
+    const Csr got = construct_coarse_graph(exec, g, cm, opts);
+
+    ASSERT_EQ(validate_csr(got), "") << name;
+    ASSERT_EQ(got.num_vertices(), ref.num_vertices()) << name;
+    EXPECT_EQ(edge_map(got), edge_map(ref)) << name;
+    EXPECT_EQ(got.vwgts, ref.vwgts) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndOptions, ConstructSweep,
+    ::testing::Values(
+        ConstructCase{Construction::kSort, DegreeDedup::kOn, Backend::Threads},
+        ConstructCase{Construction::kSort, DegreeDedup::kOff, Backend::Threads},
+        ConstructCase{Construction::kSort, DegreeDedup::kAuto, Backend::Serial},
+        ConstructCase{Construction::kHash, DegreeDedup::kOn, Backend::Threads},
+        ConstructCase{Construction::kHash, DegreeDedup::kOff, Backend::Serial},
+        ConstructCase{Construction::kHeap, DegreeDedup::kOn, Backend::Threads},
+        ConstructCase{Construction::kHeap, DegreeDedup::kOff, Backend::Threads},
+        ConstructCase{Construction::kSpgemm, DegreeDedup::kAuto,
+                      Backend::Threads},
+        ConstructCase{Construction::kSpgemm, DegreeDedup::kAuto,
+                      Backend::Serial},
+        ConstructCase{Construction::kGlobalSort, DegreeDedup::kAuto,
+                      Backend::Threads},
+        ConstructCase{Construction::kHybrid, DegreeDedup::kAuto,
+                      Backend::Threads},
+        ConstructCase{Construction::kHybrid, DegreeDedup::kOff,
+                      Backend::Serial},
+        ConstructCase{Construction::kSort, DegreeDedup::kAuto,
+                      Backend::Threads, true},
+        ConstructCase{Construction::kHash, DegreeDedup::kOn,
+                      Backend::Threads, true},
+        ConstructCase{Construction::kHybrid, DegreeDedup::kAuto,
+                      Backend::Serial, true}),
+    [](const ::testing::TestParamInfo<ConstructCase>& info) {
+      const ConstructCase& c = info.param;
+      std::string dd = c.dedup == DegreeDedup::kOn
+                           ? "on"
+                           : (c.dedup == DegreeDedup::kOff ? "off" : "auto");
+      return construction_name(c.method) + "_dd" + dd + "_" +
+             (c.backend == Backend::Serial ? "serial" : "threads") +
+             (c.pre_dedup ? "_prededup" : "");
+    });
+
+TEST(Construct, WeightConservation) {
+  // Total fine edge weight = coarse edge weight + internal (collapsed)
+  // weight. Verify the identity on every corpus graph.
+  const Exec exec = Exec::threads();
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hec_parallel(exec, g, 3);
+    const Csr coarse = construct_coarse_graph(exec, g, cm);
+    wgt_t internal = 0;
+    for (vid_t u = 0; u < g.num_vertices(); ++u) {
+      auto nbrs = g.neighbors(u);
+      auto ws = g.edge_weights(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        if (nbrs[k] > u && cm.map[static_cast<std::size_t>(u)] ==
+                               cm.map[static_cast<std::size_t>(nbrs[k])]) {
+          internal += ws[k];
+        }
+      }
+    }
+    EXPECT_EQ(coarse.total_edge_weight() + internal, g.total_edge_weight())
+        << name;
+  }
+}
+
+TEST(Construct, VertexWeightConservation) {
+  const Exec exec = Exec::threads();
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hec_parallel(exec, g, 3);
+    const Csr coarse = construct_coarse_graph(exec, g, cm);
+    EXPECT_EQ(coarse.total_vertex_weight(), g.total_vertex_weight()) << name;
+  }
+}
+
+TEST(Construct, NoSelfLoopsEver) {
+  const Exec exec = Exec::threads();
+  for (const auto& [name, g] : graph_corpus()) {
+    const CoarseMap cm = hec_parallel(exec, g, 9);
+    for (const Construction m :
+         {Construction::kSort, Construction::kHash, Construction::kSpgemm,
+          Construction::kGlobalSort}) {
+      ConstructOptions opts;
+      opts.method = m;
+      const Csr coarse = construct_coarse_graph(exec, g, cm, opts);
+      for (vid_t c = 0; c < coarse.num_vertices(); ++c) {
+        for (const vid_t b : coarse.neighbors(c)) {
+          ASSERT_NE(b, c) << name << " method " << construction_name(m);
+        }
+      }
+    }
+  }
+}
+
+TEST(Construct, SingleAggregateYieldsEmptyGraph) {
+  // All vertices into one aggregate: coarse graph = 1 vertex, 0 edges.
+  const Csr g = make_complete(8);
+  CoarseMap cm;
+  cm.map.assign(8, 0);
+  cm.nc = 1;
+  const Csr coarse = construct_coarse_graph(Exec::threads(), g, cm);
+  EXPECT_EQ(coarse.num_vertices(), 1);
+  EXPECT_EQ(coarse.num_edges(), 0);
+  EXPECT_EQ(coarse.vwgts[0], 8);
+}
+
+TEST(Construct, IdentityMappingPreservesGraph) {
+  const Csr g = weighted_test_graph();
+  CoarseMap cm;
+  cm.map.resize(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    cm.map[static_cast<std::size_t>(u)] = u;
+  }
+  cm.nc = g.num_vertices();
+  for (const Construction m :
+       {Construction::kSort, Construction::kHash, Construction::kHeap,
+        Construction::kSpgemm, Construction::kGlobalSort}) {
+    ConstructOptions opts;
+    opts.method = m;
+    const Csr coarse = construct_coarse_graph(Exec::threads(), g, cm, opts);
+    EXPECT_EQ(edge_map(coarse), edge_map(g)) << construction_name(m);
+  }
+}
+
+TEST(Construct, StatsReportDegreeDedupDecision) {
+  const Csr skewed = make_star(200);  // skew >> threshold
+  const Csr regular = make_cycle(200);
+  CoarseMap cm_s = hec_parallel(Exec::threads(), skewed, 1);
+  CoarseMap cm_r = hec_parallel(Exec::threads(), regular, 1);
+
+  ConstructOptions opts;  // kAuto
+  ConstructStats stats;
+  construct_coarse_graph(Exec::threads(), skewed, cm_s, opts, &stats);
+  EXPECT_TRUE(stats.degree_dedup_used);
+  construct_coarse_graph(Exec::threads(), regular, cm_r, opts, &stats);
+  EXPECT_FALSE(stats.degree_dedup_used);
+}
+
+TEST(Construct, OneSidedHalvesIntermediateEntries) {
+  // The one-sided optimization stores each coarse edge once instead of
+  // twice: m' with kOn is about half of m' with kOff.
+  const Csr g = largest_connected_component(make_chung_lu(2000, 12, 2.0, 5));
+  const CoarseMap cm = hec_parallel(Exec::threads(), g, 3);
+  ConstructOptions on, off;
+  on.degree_dedup = DegreeDedup::kOn;
+  off.degree_dedup = DegreeDedup::kOff;
+  ConstructStats s_on, s_off;
+  construct_coarse_graph(Exec::threads(), g, cm, on, &s_on);
+  construct_coarse_graph(Exec::threads(), g, cm, off, &s_off);
+  EXPECT_EQ(s_on.intermediate_entries * 2, s_off.intermediate_entries);
+}
+
+TEST(Construct, PreDedupShrinksIntermediateArrays) {
+  // On a clique mapped to two aggregates, every fine vertex has many
+  // neighbors in the same coarse vertex: per-fine-vertex pre-dedup must
+  // cut m' dramatically without changing the result.
+  const Csr g = make_complete(16);
+  CoarseMap cm;
+  cm.map.resize(16);
+  for (vid_t u = 0; u < 16; ++u) cm.map[static_cast<std::size_t>(u)] = u % 2;
+  cm.nc = 2;
+  ConstructOptions raw, pre;
+  pre.pre_dedup_fine = true;
+  ConstructStats s_raw, s_pre;
+  const Csr a = construct_coarse_graph(Exec::threads(), g, cm, raw, &s_raw);
+  const Csr b = construct_coarse_graph(Exec::threads(), g, cm, pre, &s_pre);
+  EXPECT_LT(s_pre.intermediate_entries, s_raw.intermediate_entries / 4);
+  EXPECT_EQ(edge_map(a), edge_map(b));
+}
+
+TEST(Construct, HybridMatchesSortAndHashExactly) {
+  const Csr g = largest_connected_component(make_chung_lu(1500, 12, 2.0, 9));
+  const CoarseMap cm = hec_parallel(Exec::threads(), g, 5);
+  ConstructOptions so, ho, yo;
+  so.method = Construction::kSort;
+  ho.method = Construction::kHash;
+  yo.method = Construction::kHybrid;
+  const Csr a = construct_coarse_graph(Exec::threads(), g, cm, so);
+  const Csr b = construct_coarse_graph(Exec::threads(), g, cm, ho);
+  const Csr c = construct_coarse_graph(Exec::threads(), g, cm, yo);
+  EXPECT_EQ(edge_map(a), edge_map(b));
+  EXPECT_EQ(edge_map(a), edge_map(c));
+}
+
+TEST(Construct, DuplicationFactorAtLeastOne) {
+  const Csr g = make_grid2d(15, 15);
+  const CoarseMap cm = hec_parallel(Exec::threads(), g, 3);
+  ConstructStats stats;
+  construct_coarse_graph(Exec::threads(), g, cm, {}, &stats);
+  EXPECT_GE(stats.duplication_factor, 1.0);
+}
+
+TEST(Construct, IteratedConstructionStaysValid) {
+  // Multiple rounds: coarse graph of the coarse graph, every method.
+  Csr g = make_triangulated_grid(20, 20, 7);
+  const Exec exec = Exec::threads();
+  for (int round = 0; round < 4 && g.num_vertices() > 10; ++round) {
+    const CoarseMap cm = hec_parallel(exec, g, 100 + round);
+    ConstructOptions opts;
+    opts.method = round % 2 == 0 ? Construction::kSort : Construction::kHash;
+    Csr coarse = construct_coarse_graph(exec, g, cm, opts);
+    ASSERT_EQ(validate_csr(coarse), "") << "round " << round;
+    g = std::move(coarse);
+  }
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,106 @@
+// Concurrency tests for the atomic helpers — these are the primitives
+// Algorithm 4's lock-free claims rest on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/atomics.hpp"
+#include "core/exec.hpp"
+#include "core/types.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(Atomics, CasReturnsObservedValue) {
+  int x = 5;
+  EXPECT_EQ(atomic_cas(x, 5, 7), 5);  // success: returns old == expected
+  EXPECT_EQ(x, 7);
+  EXPECT_EQ(atomic_cas(x, 5, 9), 7);  // failure: returns current
+  EXPECT_EQ(x, 7);
+}
+
+TEST(Atomics, FetchAddReturnsPrevious) {
+  long long x = 10;
+  EXPECT_EQ(atomic_fetch_add(x, 5LL), 10);
+  EXPECT_EQ(x, 15);
+}
+
+TEST(Atomics, FetchMaxAndMin) {
+  int x = 10;
+  EXPECT_EQ(atomic_fetch_max(x, 20), 10);
+  EXPECT_EQ(x, 20);
+  EXPECT_EQ(atomic_fetch_max(x, 5), 20);
+  EXPECT_EQ(x, 20);
+  EXPECT_EQ(atomic_fetch_min(x, 3), 20);
+  EXPECT_EQ(x, 3);
+  EXPECT_EQ(atomic_fetch_min(x, 100), 3);
+  EXPECT_EQ(x, 3);
+}
+
+TEST(Atomics, ConcurrentFetchAddCountsExactly) {
+  const Exec exec = Exec::threads(1);
+  long long counter = 0;
+  parallel_for(exec, 100000, [&](std::size_t) {
+    atomic_fetch_add(counter, 1LL);
+  });
+  EXPECT_EQ(counter, 100000);
+}
+
+TEST(Atomics, ConcurrentCasClaimsAreExclusive) {
+  // N threads race to claim K slots; every slot must be claimed exactly
+  // once and every winner must be unique — the HEC create-edge pattern.
+  const Exec exec = Exec::threads(1);
+  const std::size_t slots = 64;
+  const std::size_t attempts = 10000;
+  std::vector<vid_t> owner(slots, kInvalidVid);
+  std::vector<long long> wins(attempts, 0);
+  parallel_for(exec, attempts, [&](std::size_t i) {
+    const std::size_t slot = i % slots;
+    if (atomic_cas(owner[slot], kInvalidVid, static_cast<vid_t>(i)) ==
+        kInvalidVid) {
+      wins[i] = 1;
+    }
+  });
+  long long total_wins = 0;
+  for (const long long w : wins) total_wins += w;
+  EXPECT_EQ(total_wins, static_cast<long long>(slots));
+  for (std::size_t s = 0; s < slots; ++s) {
+    ASSERT_NE(owner[s], kInvalidVid);
+    EXPECT_EQ(static_cast<std::size_t>(owner[s]) % slots, s);
+    EXPECT_EQ(wins[static_cast<std::size_t>(owner[s])], 1);
+  }
+}
+
+TEST(Atomics, ConcurrentFetchMaxFindsGlobalMax) {
+  const Exec exec = Exec::threads(1);
+  long long best = std::numeric_limits<long long>::min();
+  parallel_for(exec, 50000, [&](std::size_t i) {
+    // Peaks at i == 31337.
+    const long long x = static_cast<long long>(i);
+    atomic_fetch_max(best, -(x - 31337) * (x - 31337));
+  });
+  EXPECT_EQ(best, 0);
+}
+
+TEST(Atomics, UniqueIdAllocationIsDense) {
+  // The nc counter pattern: every allocated id in [0, count) exactly once.
+  const Exec exec = Exec::threads(1);
+  const std::size_t n = 20000;
+  vid_t next_id = 0;
+  std::vector<vid_t> id(n);
+  parallel_for(exec, n, [&](std::size_t i) {
+    id[i] = atomic_fetch_add(next_id, vid_t{1});
+  });
+  EXPECT_EQ(next_id, static_cast<vid_t>(n));
+  std::vector<bool> seen(n, false);
+  for (const vid_t x : id) {
+    ASSERT_GE(x, 0);
+    ASSERT_LT(x, static_cast<vid_t>(n));
+    EXPECT_FALSE(seen[static_cast<std::size_t>(x)]);
+    seen[static_cast<std::size_t>(x)] = true;
+  }
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,116 @@
+// Tests for the FlatAccumulator used by hash-based dedup and SpGEMM.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/hashmap.hpp"
+#include "core/prng.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(NextPow2, Basics) {
+  EXPECT_EQ(next_pow2(0), 2u);
+  EXPECT_EQ(next_pow2(1), 2u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(FlatAccumulator, InsertAndAccumulate) {
+  std::vector<vid_t> keys(8, kInvalidVid);
+  std::vector<wgt_t> wts(8);
+  FlatAccumulator acc(keys.data(), wts.data(), 8);
+  EXPECT_TRUE(acc.insert_or_add(3, 10));
+  EXPECT_FALSE(acc.insert_or_add(3, 5));
+  EXPECT_TRUE(acc.insert_or_add(7, 1));
+  std::vector<vid_t> out_k(8);
+  std::vector<wgt_t> out_w(8);
+  const std::size_t count = acc.extract_and_clear(out_k.data(), out_w.data());
+  ASSERT_EQ(count, 2u);
+  std::map<vid_t, wgt_t> got;
+  for (std::size_t i = 0; i < count; ++i) got[out_k[i]] = out_w[i];
+  EXPECT_EQ(got[3], 15);
+  EXPECT_EQ(got[7], 1);
+}
+
+TEST(FlatAccumulator, ExtractClearsForReuse) {
+  std::vector<vid_t> keys(4, kInvalidVid);
+  std::vector<wgt_t> wts(4);
+  FlatAccumulator acc(keys.data(), wts.data(), 4);
+  acc.insert_or_add(1, 1);
+  std::vector<vid_t> out_k(4);
+  std::vector<wgt_t> out_w(4);
+  EXPECT_EQ(acc.extract_and_clear(out_k.data(), out_w.data()), 1u);
+  // All slots empty again.
+  for (const vid_t k : keys) EXPECT_EQ(k, kInvalidVid);
+  acc.insert_or_add(2, 7);
+  EXPECT_EQ(acc.extract_and_clear(out_k.data(), out_w.data()), 1u);
+  EXPECT_EQ(out_k[0], 2);
+  EXPECT_EQ(out_w[0], 7);
+}
+
+TEST(FlatAccumulator, HandlesCollisionsUpToCapacityMinusOne) {
+  // Capacity 8, insert 7 distinct keys chosen to collide heavily.
+  std::vector<vid_t> keys(8, kInvalidVid);
+  std::vector<wgt_t> wts(8);
+  FlatAccumulator acc(keys.data(), wts.data(), 8);
+  std::map<vid_t, wgt_t> ref;
+  for (vid_t k = 0; k < 7; ++k) {
+    const vid_t key = k * 8;  // many map to adjacent slots
+    acc.insert_or_add(key, k + 1);
+    ref[key] += k + 1;
+  }
+  std::vector<vid_t> out_k(8);
+  std::vector<wgt_t> out_w(8);
+  const std::size_t count = acc.extract_and_clear(out_k.data(), out_w.data());
+  ASSERT_EQ(count, ref.size());
+  std::map<vid_t, wgt_t> got;
+  for (std::size_t i = 0; i < count; ++i) got[out_k[i]] = out_w[i];
+  EXPECT_EQ(got, ref);
+}
+
+TEST(FlatAccumulator, RandomizedAgainstStdMap) {
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t distinct = 1 + rng.bounded(100);
+    const std::size_t cap = next_pow2(distinct + 1);
+    std::vector<vid_t> keys(cap, kInvalidVid);
+    std::vector<wgt_t> wts(cap);
+    FlatAccumulator acc(keys.data(), wts.data(), cap);
+    std::map<vid_t, wgt_t> ref;
+    for (int op = 0; op < 500; ++op) {
+      const vid_t key = static_cast<vid_t>(rng.bounded(distinct)) * 977;
+      const wgt_t w = 1 + static_cast<wgt_t>(rng.bounded(9));
+      acc.insert_or_add(key, w);
+      ref[key] += w;
+    }
+    std::vector<vid_t> out_k(cap);
+    std::vector<wgt_t> out_w(cap);
+    const std::size_t count =
+        acc.extract_and_clear(out_k.data(), out_w.data());
+    ASSERT_EQ(count, ref.size()) << "trial " << trial;
+    std::map<vid_t, wgt_t> got;
+    for (std::size_t i = 0; i < count; ++i) got[out_k[i]] = out_w[i];
+    EXPECT_EQ(got, ref) << "trial " << trial;
+  }
+}
+
+TEST(HashVid, SpreadsAdjacentIds) {
+  // Adjacent vertex ids should not map to adjacent hash values.
+  int adjacent = 0;
+  for (vid_t v = 0; v < 1000; ++v) {
+    if (hash_vid(v + 1) - hash_vid(v) == 1) ++adjacent;
+  }
+  EXPECT_LT(adjacent, 5);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,86 @@
+// Tests for the deterministic PRNG layer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/prng.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(Splitmix, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(12345), splitmix64(12345));
+}
+
+TEST(Splitmix, AdjacentInputsDecorrelate) {
+  // Hamming distance between outputs of adjacent inputs should be large.
+  int total_bits = 0;
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    total_bits += __builtin_popcountll(splitmix64(x) ^ splitmix64(x + 1));
+  }
+  // Expected ~32 differing bits per pair; allow generous slack.
+  EXPECT_GT(total_bits / 256, 20);
+  EXPECT_LT(total_bits / 256, 44);
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDifferentStreams) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000000ULL}) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BoundedCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.bounded(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(17);
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.bounded(8))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, draws / 8, draws / 80);  // within 10%
+  }
+}
+
+}  // namespace
+}  // namespace mgc

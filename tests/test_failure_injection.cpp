@@ -1,0 +1,163 @@
+// Failure-injection and hostile-input tests: the library must fail loudly
+// and cleanly (exceptions / validation errors), never corrupt state.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mgc.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(FailureInjection, MemoryBudgetAbortsMidHierarchy) {
+  const Csr g = make_grid2d(50, 50);
+  CoarsenOptions opts;
+  // Room for the input plus 10% — the first coarse level (~35% of the
+  // input with HEC's ~3x ratio) must trip the budget.
+  opts.memory_budget_bytes = g.memory_bytes() + g.memory_bytes() / 10;
+  try {
+    coarsen_multilevel(Exec::threads(), g, opts);
+    FAIL() << "expected MemoryBudgetExceeded";
+  } catch (const MemoryBudgetExceeded& e) {
+    EXPECT_GT(e.bytes(), opts.memory_budget_bytes);
+    EXPECT_STREQ(e.what(), "memory budget exceeded");
+  }
+}
+
+TEST(FailureInjection, BudgetScalesWithHierarchyDepth) {
+  // A method that stalls (HEM on a star) accumulates levels and must trip
+  // a budget that a healthy method fits in.
+  const Csr g = make_star(2000);
+  CoarsenOptions healthy, stalling;
+  healthy.mapping = Mapping::kHec;
+  stalling.mapping = Mapping::kHem;
+  healthy.memory_budget_bytes = g.memory_bytes() * 6;
+  stalling.memory_budget_bytes = g.memory_bytes() * 6;
+  stalling.min_shrink = 1.1;  // defeat stall detection to force growth
+  EXPECT_NO_THROW(coarsen_multilevel(Exec::threads(), g, healthy));
+  EXPECT_THROW(coarsen_multilevel(Exec::threads(), g, stalling),
+               MemoryBudgetExceeded);
+}
+
+TEST(FailureInjection, MatrixMarketGarbageInputs) {
+  const char* bad_inputs[] = {
+      "",                                             // empty
+      "garbage\n",                                    // no banner
+      "%%MatrixMarket matrix coordinate real general\n",  // no size line
+      "%%MatrixMarket matrix coordinate real general\n-1 5 1\n1 1 1\n",
+      "%%MatrixMarket tensor coordinate real general\n2 2 1\n1 2 1\n",
+  };
+  for (const char* input : bad_inputs) {
+    std::stringstream ss(input);
+    EXPECT_THROW(read_matrix_market(ss), std::runtime_error)
+        << "input: " << input;
+  }
+}
+
+TEST(FailureInjection, ValidatorCatchesEveryCorruptionKind) {
+  // Corrupt a valid graph in each possible way; the validator must name a
+  // problem every time (and never crash).
+  const Csr base = make_triangulated_grid(6, 6, 3);
+  {
+    Csr g = base;
+    g.rowptr.back() += 1;
+    EXPECT_NE(validate_csr(g), "");
+  }
+  {
+    Csr g = base;
+    g.wgts[3] = -5;
+    EXPECT_NE(validate_csr(g), "");
+  }
+  {
+    Csr g = base;
+    g.vwgts[0] = 0;
+    EXPECT_NE(validate_csr(g), "");
+  }
+  {
+    Csr g = base;
+    g.colidx[0] = g.colidx[1];  // duplicate column in row 0
+    EXPECT_NE(validate_csr(g), "");
+  }
+  {
+    Csr g = base;
+    g.rowptr[2] = g.rowptr[3] + 1;  // non-monotone
+    EXPECT_NE(validate_csr(g), "");
+  }
+}
+
+TEST(FailureInjection, MappingValidatorCatchesBrokenMaps) {
+  const Csr g = make_grid2d(5, 5);
+  CoarseMap cm = hec_parallel(Exec::threads(), g, 3);
+  {
+    CoarseMap bad = cm;
+    bad.map[0] = bad.nc;  // out of range
+    EXPECT_NE(validate_mapping(bad, g.num_vertices()), "");
+  }
+  {
+    CoarseMap bad = cm;
+    bad.nc += 1;  // phantom empty coarse vertex
+    EXPECT_NE(validate_mapping(bad, g.num_vertices()), "");
+  }
+  {
+    CoarseMap bad = cm;
+    bad.map.pop_back();  // wrong size
+    EXPECT_NE(validate_mapping(bad, g.num_vertices()), "");
+  }
+}
+
+TEST(FailureInjection, ConstructionOnAdversarialMappings) {
+  // Mappings that are legal but extreme must not break construction:
+  // all-to-one, identity, and a two-block split.
+  const Csr g = make_complete(12);
+  const Exec exec = Exec::threads();
+  for (const Construction method :
+       {Construction::kSort, Construction::kHash, Construction::kHeap,
+        Construction::kSpgemm, Construction::kGlobalSort}) {
+    ConstructOptions opts;
+    opts.method = method;
+    {
+      CoarseMap cm;
+      cm.map.assign(12, 0);
+      cm.nc = 1;
+      const Csr c = construct_coarse_graph(exec, g, cm, opts);
+      EXPECT_EQ(c.num_edges(), 0) << construction_name(method);
+    }
+    {
+      CoarseMap cm;
+      cm.map.resize(12);
+      for (vid_t u = 0; u < 12; ++u) cm.map[static_cast<std::size_t>(u)] = u;
+      cm.nc = 12;
+      const Csr c = construct_coarse_graph(exec, g, cm, opts);
+      EXPECT_EQ(c.num_edges(), g.num_edges()) << construction_name(method);
+    }
+    {
+      CoarseMap cm;
+      cm.map.resize(12);
+      for (vid_t u = 0; u < 12; ++u) {
+        cm.map[static_cast<std::size_t>(u)] = u % 2;
+      }
+      cm.nc = 2;
+      const Csr c = construct_coarse_graph(exec, g, cm, opts);
+      EXPECT_EQ(c.num_edges(), 1) << construction_name(method);
+      EXPECT_EQ(c.total_edge_weight(), 36) << construction_name(method);
+    }
+  }
+}
+
+TEST(FailureInjection, TinyGraphsThroughEveryPipeline) {
+  const Csr one = build_csr_from_edges(1, {});
+  const Csr two = make_path(2);
+  const Exec exec = Exec::threads();
+  for (const Csr* g : {&one, &two}) {
+    EXPECT_NO_THROW(coarsen_multilevel(exec, *g));
+    EXPECT_NO_THROW(multilevel_cluster(exec, *g));
+    if (g->num_vertices() >= 2) {
+      EXPECT_NO_THROW(multilevel_fm_bisect(exec, *g));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgc

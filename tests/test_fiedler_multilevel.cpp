@@ -1,0 +1,140 @@
+// Tests for the multilevel Fiedler solver and the k-vector spectral
+// embedding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "partition/metrics.hpp"
+#include "partition/partitioner.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(MultilevelFiedler, VectorHasFiedlerProperties) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(20, 20);
+  const FiedlerResult r = multilevel_fiedler(exec, g);
+  ASSERT_EQ(r.vector.size(), static_cast<std::size_t>(g.num_vertices()));
+  double sum = 0, norm = 0;
+  for (const double x : r.vector) {
+    sum += x;
+    norm += x * x;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+  EXPECT_GE(r.levels, 2);
+  EXPECT_GT(r.total_iterations, 0);
+}
+
+TEST(MultilevelFiedler, NeedsFewerFineIterationsThanFlat) {
+  // The cascadic-multigrid rationale of the HEC paper [14]: with the
+  // interpolated initial guess, the fine-level solve converges in far
+  // fewer iterations than a cold-start power iteration.
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(30, 30);
+  SpectralOptions opts;
+  opts.max_iterations = 100000;
+  opts.max_refine_iterations = 100000;  // uncapped: count to convergence
+
+  SpectralStats flat;
+  fiedler_vector(exec, g, 42, opts, nullptr, &flat);
+
+  const FiedlerResult ml = multilevel_fiedler(exec, g, {}, opts);
+  // The interpolated initial guess must save fine-level iterations — that
+  // is where the work lives (coarse-level iterations touch tiny graphs).
+  EXPECT_LT(ml.fine_iterations, flat.iterations);
+}
+
+TEST(MultilevelFiedler, BisectionQualityComparableToFlat) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_triangulated_grid(20, 20, 5);
+  SpectralOptions opts;
+  opts.max_iterations = 50000;
+  const FiedlerResult ml = multilevel_fiedler(exec, g, {}, opts);
+  const std::vector<double> flat = fiedler_vector(exec, g, 42, opts);
+  const wgt_t cut_ml = edge_cut(g, bisect_by_vector(g, ml.vector));
+  const wgt_t cut_flat = edge_cut(g, bisect_by_vector(g, flat));
+  // Within 2x of each other (both approximate the same eigenvector).
+  EXPECT_LE(cut_ml, cut_flat * 2);
+  EXPECT_LE(cut_flat, cut_ml * 2);
+}
+
+TEST(SpectralEmbedding, VectorsAreOrthonormal) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_triangulated_grid(12, 12, 3);
+  SpectralOptions opts;
+  opts.max_iterations = 20000;
+  const auto basis = spectral_embedding(exec, g, 3, 42, opts);
+  ASSERT_EQ(basis.size(), 3u);
+  for (std::size_t a = 0; a < basis.size(); ++a) {
+    double sum = 0;
+    for (const double x : basis[a]) sum += x;
+    EXPECT_NEAR(sum, 0.0, 1e-5) << "vector " << a << " not deflated";
+    for (std::size_t b = a; b < basis.size(); ++b) {
+      double dot = 0;
+      for (std::size_t i = 0; i < basis[a].size(); ++i) {
+        dot += basis[a][i] * basis[b][i];
+      }
+      if (a == b) {
+        EXPECT_NEAR(dot, 1.0, 1e-6) << a;
+      } else {
+        EXPECT_NEAR(dot, 0.0, 1e-4) << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(SpectralEmbedding, FirstVectorIsTheFiedlerVector) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(10, 10);
+  SpectralOptions opts;
+  opts.max_iterations = 50000;
+  const auto basis = spectral_embedding(exec, g, 1, 42, opts);
+  const auto fiedler = fiedler_vector(exec, g, 42, opts);
+  ASSERT_EQ(basis.size(), 1u);
+  double dot = 0;
+  for (std::size_t i = 0; i < fiedler.size(); ++i) {
+    dot += basis[0][i] * fiedler[i];
+  }
+  EXPECT_NEAR(std::abs(dot), 1.0, 1e-4);
+}
+
+TEST(SpectralEmbedding, GridEmbeddingSpreadsVertices) {
+  // The 2D spectral embedding of a grid recovers grid-like coordinates:
+  // opposite corners must land far apart.
+  const Exec exec = Exec::threads();
+  const vid_t side = 10;
+  const Csr g = make_grid2d(side, side);
+  SpectralOptions opts;
+  opts.max_iterations = 50000;
+  const auto basis = spectral_embedding(exec, g, 2, 42, opts);
+  ASSERT_EQ(basis.size(), 2u);
+  auto dist2 = [&](vid_t a, vid_t b) {
+    const double dx = basis[0][static_cast<std::size_t>(a)] -
+                      basis[0][static_cast<std::size_t>(b)];
+    const double dy = basis[1][static_cast<std::size_t>(a)] -
+                      basis[1][static_cast<std::size_t>(b)];
+    return dx * dx + dy * dy;
+  };
+  const vid_t corner00 = 0;
+  const vid_t corner11 = side * side - 1;
+  const vid_t center = (side / 2) * side + side / 2;
+  EXPECT_GT(dist2(corner00, corner11), dist2(corner00, center));
+}
+
+TEST(MultilevelFiedler, WorksOnSkewedGraphs) {
+  const Exec exec = Exec::threads();
+  const Csr g =
+      largest_connected_component(make_chung_lu(2000, 10, 2.2, 5));
+  const FiedlerResult r = multilevel_fiedler(exec, g);
+  ASSERT_EQ(r.vector.size(), static_cast<std::size_t>(g.num_vertices()));
+  // The vector must be non-degenerate.
+  double norm = 0;
+  for (const double x : r.vector) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,124 @@
+// Randomized stress tests: every (mapping, construction) combination on
+// randomly generated graphs must keep every invariant intact through a
+// full multilevel run. These catch interaction bugs the per-module tests
+// cannot.
+
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "mgc.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+Csr random_graph(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  switch (rng.bounded(5)) {
+    case 0:
+      return largest_connected_component(make_erdos_renyi(
+          200 + static_cast<vid_t>(rng.bounded(800)),
+          2.0 + rng.uniform() * 8.0, seed));
+    case 1:
+      return largest_connected_component(make_chung_lu(
+          200 + static_cast<vid_t>(rng.bounded(800)),
+          3.0 + rng.uniform() * 8.0, 1.9 + rng.uniform(), seed));
+    case 2:
+      return make_triangulated_grid(
+          5 + static_cast<vid_t>(rng.bounded(25)),
+          5 + static_cast<vid_t>(rng.bounded(25)), seed);
+    case 3:
+      return largest_connected_component(
+          make_rmat(7 + static_cast<int>(rng.bounded(3)),
+                    4 + static_cast<int>(rng.bounded(6)), seed));
+    default:
+      return make_road_like(20 + static_cast<vid_t>(rng.bounded(30)),
+                            20 + static_cast<vid_t>(rng.bounded(30)),
+                            0.2 + rng.uniform() * 0.3, seed);
+  }
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, MultilevelInvariantsSurviveRandomGraphs) {
+  const std::uint64_t seed = GetParam();
+  const Csr g = random_graph(seed);
+  ASSERT_EQ(validate_csr(g), "");
+  Xoshiro256 rng(seed ^ 0xfeed);
+
+  const Mapping mappings[] = {Mapping::kHec,     Mapping::kHec3,
+                              Mapping::kHem,     Mapping::kMtMetis,
+                              Mapping::kGosh,    Mapping::kGoshHec,
+                              Mapping::kMis2,    Mapping::kSuitor,
+                              Mapping::kBSuitor, Mapping::kHec2};
+  const Construction constructions[] = {
+      Construction::kSort, Construction::kHash, Construction::kHeap,
+      Construction::kSpgemm, Construction::kGlobalSort};
+
+  CoarsenOptions opts;
+  opts.mapping = mappings[rng.bounded(std::size(mappings))];
+  opts.construct.method =
+      constructions[rng.bounded(std::size(constructions))];
+  opts.construct.degree_dedup = rng.bounded(2) == 0 ? DegreeDedup::kAuto
+                                                    : DegreeDedup::kOff;
+  opts.seed = seed;
+  const Exec exec =
+      rng.bounded(2) == 0 ? Exec::serial() : Exec::threads();
+
+  const Hierarchy h = coarsen_multilevel(exec, g, opts);
+  const wgt_t vw = g.total_vertex_weight();
+  for (int i = 0; i < h.num_levels(); ++i) {
+    const Csr& level = h.graphs[static_cast<std::size_t>(i)];
+    ASSERT_EQ(validate_csr(level), "")
+        << "seed=" << seed << " mapping=" << mapping_name(opts.mapping)
+        << " construction=" << construction_name(opts.construct.method)
+        << " level=" << i;
+    ASSERT_EQ(level.total_vertex_weight(), vw);
+    if (i > 0) {
+      ASSERT_EQ(validate_mapping(h.maps[static_cast<std::size_t>(i) - 1],
+                                 h.graphs[static_cast<std::size_t>(i) - 1]
+                                     .num_vertices()),
+                "");
+      ASSERT_LE(level.total_edge_weight(),
+                h.graphs[static_cast<std::size_t>(i) - 1]
+                    .total_edge_weight());
+    }
+  }
+}
+
+TEST_P(FuzzSweep, EndToEndPartitioningStaysSane) {
+  const std::uint64_t seed = GetParam();
+  const Csr g = random_graph(seed * 31 + 7);
+  if (g.num_vertices() < 20) return;
+  const Exec exec = Exec::threads();
+  CoarsenOptions copts;
+  copts.seed = seed;
+  const PartitionResult r = multilevel_fm_bisect(exec, g, copts);
+  const auto w = part_weights(g, r.part);
+  ASSERT_GT(w[0], 0) << "seed " << seed;
+  ASSERT_GT(w[1], 0) << "seed " << seed;
+  ASSERT_EQ(r.cut, edge_cut(g, r.part));
+  ASSERT_LE(r.cut, g.total_edge_weight());
+  const wgt_t total = w[0] + w[1];
+  ASSERT_LE(std::max(w[0], w[1]), total / 2 + total / 8 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(Fuzz, RepeatedCoarseningOfSameGraphIsStable) {
+  // Coarsen the same graph 10 times with different seeds; all runs valid
+  // and coarse sizes within a plausible band of each other.
+  const Csr g = largest_connected_component(make_chung_lu(1500, 9, 2.1, 3));
+  std::vector<vid_t> sizes;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const CoarseMap cm = hec_parallel(Exec::threads(), g, s);
+    ASSERT_EQ(validate_mapping(cm, g.num_vertices()), "");
+    sizes.push_back(cm.nc);
+  }
+  const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LT(*mx, *mn * 3) << "coarse size unstable across seeds";
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,168 @@
+// Tests for the CSR container, edge-list builder, validator, and
+// connected-component utilities.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(CsrBuilder, SymmetrizesAndStripsSelfLoops) {
+  // Input: directed triangle with a self loop and a duplicate edge.
+  std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1},
+                             {1, 1, 1},              // self loop: dropped
+                             {0, 1, 1}, {1, 0, 1}};  // duplicates: merged
+  const Csr g = build_csr_from_edges(3, std::move(edges));
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(CsrBuilder, EmptyGraph) {
+  const Csr g = build_csr_from_edges(0, {});
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(CsrBuilder, IsolatedVertices) {
+  const Csr g = build_csr_from_edges(5, {{0, 1, 1}});
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.degree(4), 0);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(CsrBuilder, WeightsArePreserved) {
+  const Csr g = build_csr_from_edges(2, {{0, 1, 7}});
+  EXPECT_EQ(g.edge_weights(0)[0], 7);
+  EXPECT_EQ(g.edge_weights(1)[0], 7);
+  EXPECT_EQ(g.total_edge_weight(), 7);
+}
+
+TEST(CsrBuilder, AdjacencyIsSorted) {
+  const Csr g = build_csr_from_edges(5, {{2, 4, 1}, {2, 0, 1}, {2, 3, 1}});
+  const auto nbrs = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Validate, DetectsSelfLoop) {
+  Csr g = make_path(3);
+  g.colidx[0] = 0;  // 0's neighbor becomes itself
+  EXPECT_NE(validate_csr(g), "");
+}
+
+TEST(Validate, DetectsAsymmetry) {
+  Csr g = make_path(3);
+  g.colidx[0] = 2;  // 0 -> 2 exists but 2 -> 0 does not
+  EXPECT_NE(validate_csr(g), "");
+}
+
+TEST(Validate, DetectsAsymmetricWeight) {
+  Csr g = make_path(2);
+  g.wgts[0] = 3;  // one direction heavier
+  EXPECT_NE(validate_csr(g), "");
+}
+
+TEST(Validate, DetectsNonPositiveWeight) {
+  Csr g = make_path(2);
+  g.wgts[0] = 0;
+  g.wgts[1] = 0;
+  EXPECT_NE(validate_csr(g), "");
+}
+
+TEST(Validate, DetectsOutOfRangeColumn) {
+  Csr g = make_path(3);
+  g.colidx[0] = 99;
+  EXPECT_NE(validate_csr(g), "");
+}
+
+TEST(Validate, DetectsBadRowptr) {
+  Csr g = make_path(3);
+  g.rowptr[1] = 100;
+  EXPECT_NE(validate_csr(g), "");
+}
+
+TEST(CsrStats, DegreeSkew) {
+  // Star: max degree n-1, average ~2 -> skew ~ (n-1)/2.
+  const Csr star = make_star(11);
+  EXPECT_NEAR(star.degree_skew(), 10.0 / (20.0 / 11.0), 1e-9);
+  // Cycle: perfectly regular.
+  const Csr cyc = make_cycle(10);
+  EXPECT_DOUBLE_EQ(cyc.degree_skew(), 1.0);
+}
+
+TEST(CsrStats, TotalWeights) {
+  const Csr g = make_complete(5);
+  EXPECT_EQ(g.total_edge_weight(), 10);
+  EXPECT_EQ(g.total_vertex_weight(), 5);
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(Components, SingleComponent) {
+  const Csr g = make_grid2d(4, 4);
+  EXPECT_TRUE(is_connected(g));
+  const auto [comp, count] = connected_components(g);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Components, MultipleComponents) {
+  // Two triangles, no connection.
+  const Csr g = build_csr_from_edges(
+      6, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {3, 4, 1}, {4, 5, 1}, {5, 3, 1}});
+  EXPECT_FALSE(is_connected(g));
+  const auto [comp, count] = connected_components(g);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Components, LargestComponentExtraction) {
+  // Path of 5 + triangle: path is larger.
+  std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1},
+                             {5, 6, 1}, {6, 7, 1}, {7, 5, 1}};
+  const Csr g = build_csr_from_edges(8, std::move(edges));
+  const Csr lcc = largest_connected_component(g);
+  EXPECT_EQ(validate_csr(lcc), "");
+  EXPECT_EQ(lcc.num_vertices(), 5);
+  EXPECT_EQ(lcc.num_edges(), 4);
+  EXPECT_TRUE(is_connected(lcc));
+}
+
+TEST(Components, LccOnConnectedGraphIsIdentityShape) {
+  const Csr g = make_grid2d(5, 5);
+  const Csr lcc = largest_connected_component(g);
+  EXPECT_EQ(lcc.num_vertices(), g.num_vertices());
+  EXPECT_EQ(lcc.num_edges(), g.num_edges());
+}
+
+TEST(InducedSubgraph, KeepsWeightsAndRelabels) {
+  Csr g = build_csr_from_edges(5, {{0, 1, 3}, {1, 2, 5}, {2, 3, 7},
+                                   {3, 4, 9}});
+  g.vwgts = {10, 20, 30, 40, 50};
+  const Csr sub = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(validate_csr(sub), "");
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 2);
+  EXPECT_EQ(sub.vwgts, (std::vector<wgt_t>{20, 30, 40}));
+  EXPECT_EQ(sub.total_edge_weight(), 12);  // edges (1,2)=5 and (2,3)=7
+}
+
+TEST(Csr, MemoryBytesIsPlausible) {
+  const Csr g = make_grid2d(10, 10);
+  const std::size_t expected =
+      g.rowptr.size() * sizeof(eid_t) + g.colidx.size() * sizeof(vid_t) +
+      g.wgts.size() * sizeof(wgt_t) + g.vwgts.size() * sizeof(wgt_t);
+  EXPECT_EQ(g.memory_bytes(), expected);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,192 @@
+// Structural property tests for every synthetic generator: validity,
+// expected sizes/degrees, determinism, and the degree-skew classes the
+// bench suite relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(Generators, PathCycleStarComplete) {
+  const Csr path = make_path(10);
+  EXPECT_EQ(validate_csr(path), "");
+  EXPECT_EQ(path.num_edges(), 9);
+  EXPECT_EQ(path.max_degree(), 2);
+
+  const Csr cycle = make_cycle(10);
+  EXPECT_EQ(validate_csr(cycle), "");
+  EXPECT_EQ(cycle.num_edges(), 10);
+  for (vid_t u = 0; u < 10; ++u) EXPECT_EQ(cycle.degree(u), 2);
+
+  const Csr star = make_star(10);
+  EXPECT_EQ(validate_csr(star), "");
+  EXPECT_EQ(star.num_edges(), 9);
+  EXPECT_EQ(star.degree(0), 9);
+  EXPECT_EQ(star.degree(5), 1);
+
+  const Csr complete = make_complete(6);
+  EXPECT_EQ(validate_csr(complete), "");
+  EXPECT_EQ(complete.num_edges(), 15);
+  for (vid_t u = 0; u < 6; ++u) EXPECT_EQ(complete.degree(u), 5);
+}
+
+TEST(Generators, Grid2d) {
+  const Csr g = make_grid2d(5, 7);
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_EQ(g.num_vertices(), 35);
+  // Edge count: (5-1)*7 horizontal + 5*(7-1) vertical.
+  EXPECT_EQ(g.num_edges(), 4 * 7 + 5 * 6);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 4);
+  // Corner has degree 2.
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Generators, Grid3d) {
+  const Csr g = make_grid3d(3, 4, 5);
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_EQ(g.num_vertices(), 60);
+  EXPECT_EQ(g.num_edges(), 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 6);
+}
+
+TEST(Generators, RggIsGeometric) {
+  const Csr g = make_rgg(2000, 0.05, 7);
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_EQ(g.num_vertices(), 2000);
+  // Expected average degree ~ n * pi * r^2 ~ 15.7; allow wide band.
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(avg, 8.0);
+  EXPECT_LT(avg, 25.0);
+  // Geometric graphs are low-skew.
+  EXPECT_LT(g.degree_skew(), 4.0);
+}
+
+TEST(Generators, RggDeterministic) {
+  const Csr a = make_rgg(500, 0.06, 3);
+  const Csr b = make_rgg(500, 0.06, 3);
+  EXPECT_EQ(a.colidx, b.colidx);
+  const Csr c = make_rgg(500, 0.06, 4);
+  EXPECT_NE(a.colidx, c.colidx);
+}
+
+TEST(Generators, TriangulatedGridIsDelaunayLike) {
+  const Csr g = make_triangulated_grid(20, 20, 5);
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_TRUE(is_connected(g));
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  // Interior vertices approach degree 6 like a Delaunay triangulation.
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 6.5);
+}
+
+TEST(Generators, RmatIsSkewed) {
+  const Csr g = largest_connected_component(make_rmat(10, 8, 11));
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_GT(g.num_vertices(), 400);
+  // Kronecker graphs have pronounced degree skew.
+  EXPECT_GT(g.degree_skew(), 8.0);
+}
+
+TEST(Generators, RmatRespectsScaleBound) {
+  const Csr g = make_rmat(8, 4, 2);
+  EXPECT_LE(g.num_vertices(), 256);
+}
+
+TEST(Generators, ChungLuHitsTargetDegreeAndSkew) {
+  const Csr g =
+      largest_connected_component(make_chung_lu(4000, 12.0, 2.2, 21));
+  EXPECT_EQ(validate_csr(g), "");
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(avg, 6.0);
+  EXPECT_LT(avg, 20.0);
+  EXPECT_GT(g.degree_skew(), 5.0);  // heavy-tailed
+}
+
+TEST(Generators, ChungLuSkewGrowsAsGammaDrops) {
+  const Csr heavy =
+      largest_connected_component(make_chung_lu(4000, 12.0, 1.9, 22));
+  const Csr light =
+      largest_connected_component(make_chung_lu(4000, 12.0, 3.0, 22));
+  EXPECT_GT(heavy.degree_skew(), light.degree_skew());
+}
+
+TEST(Generators, ErdosRenyiIsLowSkew) {
+  const Csr g =
+      largest_connected_component(make_erdos_renyi(3000, 8.0, 31));
+  EXPECT_EQ(validate_csr(g), "");
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_NEAR(avg, 8.0, 3.0);
+  EXPECT_LT(g.degree_skew(), 5.0);
+}
+
+TEST(Generators, MycielskianSizesFollowRecurrence) {
+  // n_{k+1} = 2 n_k + 1, m_{k+1} = 3 m_k + n_k, starting from K2.
+  Csr g = make_path(2);
+  vid_t n = 2;
+  eid_t m = 1;
+  for (int k = 0; k < 6; ++k) {
+    g = mycielskian(g);
+    m = 3 * m + n;
+    n = 2 * n + 1;
+    ASSERT_EQ(g.num_vertices(), n) << "step " << k;
+    ASSERT_EQ(g.num_edges(), m) << "step " << k;
+    ASSERT_EQ(validate_csr(g), "") << "step " << k;
+    ASSERT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, MycielskianIsTriangleFreePreserving) {
+  // Mycielskian of a triangle-free graph is triangle-free: check on C5.
+  const Csr g = mycielskian(make_cycle(5));
+  // Brute-force triangle check.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vid_t v : g.neighbors(u)) {
+      if (v <= u) continue;
+      for (const vid_t w : g.neighbors(v)) {
+        if (w <= v) continue;
+        const auto nu = g.neighbors(u);
+        EXPECT_FALSE(std::binary_search(nu.begin(), nu.end(), w))
+            << "triangle " << u << "," << v << "," << w;
+      }
+    }
+  }
+}
+
+TEST(Generators, RoadLikeIsSparseAndConnected) {
+  const Csr g = make_road_like(60, 60, 0.4, 17);
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_TRUE(is_connected(g));
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_LT(avg, 3.0);  // road networks are very sparse
+  EXPECT_GT(g.num_vertices(), 1000);
+}
+
+TEST(Generators, KmerLikeHasBackboneDegreeTwo) {
+  const Csr g =
+      largest_connected_component(make_kmer_like(5000, 0.002, 23));
+  EXPECT_EQ(validate_csr(g), "");
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(avg, 1.8);
+  EXPECT_LT(avg, 3.0);
+  // A few junctions give mild skew.
+  EXPECT_GT(g.degree_skew(), 2.0);
+}
+
+TEST(Generators, AllGeneratorsProduceUnitWeights) {
+  for (const Csr& g :
+       {make_grid2d(4, 4), make_rgg(200, 0.1, 1), make_rmat(6, 4, 1),
+        make_mycielskian(3), make_road_like(10, 10, 0.2, 1)}) {
+    for (const wgt_t w : g.wgts) ASSERT_EQ(w, 1);
+    for (const wgt_t w : g.vwgts) ASSERT_EQ(w, 1);
+  }
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,120 @@
+// Matrix Market I/O tests: round trips, format variants, error handling.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io_mm.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(MatrixMarket, RoundTripPreservesGraph) {
+  const Csr g = make_triangulated_grid(8, 8, 3);
+  std::stringstream ss;
+  write_matrix_market(ss, g);
+  const Csr back = read_matrix_market(ss);
+  EXPECT_EQ(validate_csr(back), "");
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.rowptr, g.rowptr);
+  EXPECT_EQ(back.colidx, g.colidx);
+  EXPECT_EQ(back.wgts, g.wgts);
+}
+
+TEST(MatrixMarket, RoundTripPreservesWeights) {
+  const Csr g = build_csr_from_edges(4, {{0, 1, 5}, {1, 2, 9}, {2, 3, 2}});
+  std::stringstream ss;
+  write_matrix_market(ss, g);
+  const Csr back = read_matrix_market(ss);
+  EXPECT_EQ(back.wgts, g.wgts);
+}
+
+TEST(MatrixMarket, ParsesPatternSymmetric) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment line\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 2\n");
+  const Csr g = read_matrix_market(ss);
+  EXPECT_EQ(validate_csr(g), "");
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  for (const wgt_t w : g.wgts) EXPECT_EQ(w, 1);
+}
+
+TEST(MatrixMarket, ParsesGeneralRealAndSymmetrizes) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 2.7\n"
+      "2 1 2.7\n");
+  const Csr g = read_matrix_market(ss);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.wgts[0], 3);  // 2.7 rounds to 3
+}
+
+TEST(MatrixMarket, DropsDiagonalEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 3\n"
+      "1 1\n"
+      "1 2\n"
+      "2 1\n");
+  const Csr g = read_matrix_market(ss);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(MatrixMarket, NegativeValuesBecomePositiveWeights) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 1\n"
+      "2 1 -4.2\n");
+  const Csr g = read_matrix_market(ss);
+  EXPECT_EQ(g.wgts[0], 4);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::stringstream ss("%%NotMatrixMarket matrix coordinate real general\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n1 1\n5\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedFile) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 5\n"
+      "1 2\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndex) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "3 1\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const Csr g = make_grid2d(6, 6);
+  const std::string path = ::testing::TempDir() + "/mgc_io_test.mtx";
+  write_matrix_market_file(path, g);
+  const Csr back = read_matrix_market_file(path);
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.colidx, g.colidx);
+}
+
+}  // namespace
+}  // namespace mgc

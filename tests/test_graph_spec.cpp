@@ -1,0 +1,74 @@
+// Tests for the graph-spec loader shared by the CLI and experiment
+// scripts.
+
+#include <gtest/gtest.h>
+
+#include "graph/spec.hpp"
+#include "graph/io_mm.hpp"
+#include "graph/generators.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(GraphSpec, DetectsGeneratorSpecs) {
+  EXPECT_TRUE(is_generator_spec("gen:grid2d:4,4"));
+  EXPECT_FALSE(is_generator_spec("graph.mtx"));
+  EXPECT_FALSE(is_generator_spec("generated.mtx"));
+}
+
+TEST(GraphSpec, EveryGeneratorKindLoads) {
+  const char* specs[] = {
+      "gen:grid2d:8,6",     "gen:grid3d:4,4,4",     "gen:rgg:300,0.12",
+      "gen:tri:8,8",        "gen:rmat:7,4",         "gen:chunglu:400,6,2.2",
+      "gen:er:400,5",       "gen:road:15,15,0.3",   "gen:kmer:300,0.01",
+      "gen:mycielskian:4",  "gen:star:10",          "gen:path:10",
+      "gen:cycle:10",       "gen:complete:6",
+  };
+  for (const char* spec : specs) {
+    const Csr g = load_graph_spec(spec, 7);
+    EXPECT_EQ(validate_csr(g), "") << spec;
+    EXPECT_GT(g.num_vertices(), 0) << spec;
+  }
+}
+
+TEST(GraphSpec, SizesMatchArguments) {
+  EXPECT_EQ(load_graph_spec("gen:grid2d:8,6").num_vertices(), 48);
+  EXPECT_EQ(load_graph_spec("gen:grid3d:4,4,4").num_vertices(), 64);
+  EXPECT_EQ(load_graph_spec("gen:star:10").num_vertices(), 10);
+  EXPECT_EQ(load_graph_spec("gen:complete:6").num_edges(), 15);
+}
+
+TEST(GraphSpec, SeedIsHonored) {
+  const Csr a = load_graph_spec("gen:rgg:300,0.12", 1);
+  const Csr b = load_graph_spec("gen:rgg:300,0.12", 1);
+  const Csr c = load_graph_spec("gen:rgg:300,0.12", 2);
+  EXPECT_EQ(a.colidx, b.colidx);
+  EXPECT_NE(a.colidx, c.colidx);
+}
+
+TEST(GraphSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(load_graph_spec("gen:nosuch:4,4"), std::invalid_argument);
+  EXPECT_THROW(load_graph_spec("gen:grid2d:4"), std::invalid_argument);
+  EXPECT_THROW(load_graph_spec("gen:grid2d:4,4,4"), std::invalid_argument);
+  EXPECT_THROW(load_graph_spec("gen:grid2d:4,x"), std::invalid_argument);
+  EXPECT_THROW(load_graph_spec("gen:grid2d:4,,4"), std::invalid_argument);
+  EXPECT_THROW(load_graph_spec("gen:grid2d:-1,4"), std::invalid_argument);
+}
+
+TEST(GraphSpec, MissingFileThrows) {
+  EXPECT_THROW(load_graph_spec("/no/such/file.mtx"), std::runtime_error);
+}
+
+TEST(GraphSpec, FileSpecAppliesPreprocessing) {
+  // Write a disconnected graph; loading must extract the largest CC.
+  const std::string path = ::testing::TempDir() + "/mgc_spec_test.mtx";
+  const Csr g = build_csr_from_edges(
+      6, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {4, 5, 1}});
+  write_matrix_market_file(path, g);
+  const Csr loaded = load_graph_spec(path);
+  EXPECT_EQ(loaded.num_vertices(), 4);
+  EXPECT_TRUE(is_connected(loaded));
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,226 @@
+// Tests for the multilevel coarsening driver (Algorithm 1): cutoff,
+// discard, stall cap, memory budget, projection, and invariants that must
+// hold at EVERY level of a hierarchy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "multilevel/coarsener.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+using test::graph_corpus;
+
+TEST(Multilevel, EveryLevelIsValidAndShrinks) {
+  const Exec exec = Exec::threads();
+  for (const auto& [name, g] : graph_corpus()) {
+    if (g.num_vertices() < 100) continue;
+    const Hierarchy h = coarsen_multilevel(exec, g);
+    ASSERT_GE(h.num_levels(), 1) << name;
+    for (int i = 0; i < h.num_levels(); ++i) {
+      ASSERT_EQ(validate_csr(h.graphs[static_cast<std::size_t>(i)]), "")
+          << name << " level " << i;
+      if (i > 0) {
+        EXPECT_LT(h.graphs[static_cast<std::size_t>(i)].num_vertices(),
+                  h.graphs[static_cast<std::size_t>(i - 1)].num_vertices())
+            << name << " level " << i;
+      }
+    }
+    EXPECT_EQ(h.maps.size(), static_cast<std::size_t>(h.num_levels()) - 1)
+        << name;
+    EXPECT_EQ(h.levels.size(), static_cast<std::size_t>(h.num_levels()));
+  }
+}
+
+TEST(Multilevel, VertexWeightConservedAcrossAllLevels) {
+  const Exec exec = Exec::threads();
+  for (const auto& [name, g] : graph_corpus()) {
+    const Hierarchy h = coarsen_multilevel(exec, g);
+    const wgt_t total = g.total_vertex_weight();
+    for (const Csr& level : h.graphs) {
+      EXPECT_EQ(level.total_vertex_weight(), total) << name;
+    }
+  }
+}
+
+TEST(Multilevel, EdgeWeightNeverIncreases) {
+  const Exec exec = Exec::threads();
+  for (const auto& [name, g] : graph_corpus()) {
+    const Hierarchy h = coarsen_multilevel(exec, g);
+    for (int i = 1; i < h.num_levels(); ++i) {
+      EXPECT_LE(h.graphs[static_cast<std::size_t>(i)].total_edge_weight(),
+                h.graphs[static_cast<std::size_t>(i - 1)].total_edge_weight())
+          << name << " level " << i;
+    }
+  }
+}
+
+TEST(Multilevel, RespectsCutoff) {
+  const Exec exec = Exec::threads();
+  CoarsenOptions opts;
+  opts.cutoff = 100;
+  const Hierarchy h = coarsen_multilevel(exec, make_grid2d(40, 40), opts);
+  // Every level except possibly the last has more than `cutoff` vertices;
+  // coarsening stops as soon as the count is at or below it.
+  for (int i = 0; i + 1 < h.num_levels(); ++i) {
+    EXPECT_GT(h.graphs[static_cast<std::size_t>(i)].num_vertices(), 100);
+  }
+  EXPECT_LE(h.coarsest().num_vertices(), 100);
+}
+
+TEST(Multilevel, DiscardRuleDropsOverCoarsenedLevel) {
+  // A star collapses to 1 vertex in one HEC step: from n > 50 to 1 < 10,
+  // so the coarse graph must be discarded and the hierarchy ends at the
+  // input graph.
+  const Exec exec = Exec::threads();
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHec;
+  const Hierarchy h = coarsen_multilevel(exec, make_star(200), opts);
+  EXPECT_EQ(h.num_levels(), 1);
+  EXPECT_EQ(h.coarsest().num_vertices(), 200);
+}
+
+TEST(Multilevel, MaxLevelsCapsStalling) {
+  // HEM stalls on stars (singletons barely shrink): the driver must stop
+  // by stall detection or the level cap, never loop forever.
+  const Exec exec = Exec::threads();
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHem;
+  opts.max_levels = 10;
+  const Hierarchy h = coarsen_multilevel(exec, make_star(500), opts);
+  EXPECT_LE(h.num_levels(), 11);
+}
+
+TEST(Multilevel, StallDetectionStopsEarly) {
+  // min_shrink ~ 1.0 forces an immediate stop on any graph where one
+  // mapping round does not shrink the vertex count at all; use HEM on a
+  // star (nc = n - 1, shrink factor 0.998) with a tight threshold.
+  const Exec exec = Exec::threads();
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHem;
+  opts.min_shrink = 0.9;  // require at least 10% shrink per level
+  const Hierarchy h = coarsen_multilevel(exec, make_star(500), opts);
+  EXPECT_EQ(h.num_levels(), 1);
+}
+
+TEST(Multilevel, MemoryBudgetThrows) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(40, 40);
+  CoarsenOptions opts;
+  opts.memory_budget_bytes = g.memory_bytes() + 1;  // room for nothing else
+  EXPECT_THROW(coarsen_multilevel(exec, g, opts), MemoryBudgetExceeded);
+}
+
+TEST(Multilevel, GenerousMemoryBudgetSucceeds) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(40, 40);
+  CoarsenOptions opts;
+  opts.memory_budget_bytes = g.memory_bytes() * 16;
+  EXPECT_NO_THROW(coarsen_multilevel(exec, g, opts));
+}
+
+TEST(Multilevel, ProjectionRoundTripsThroughHierarchy) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(30, 30);
+  const Hierarchy h = coarsen_multilevel(exec, g);
+  ASSERT_GT(h.num_levels(), 2);
+
+  // Assign each coarsest vertex a distinct label and project down: each
+  // fine vertex must carry the label of its coarsest ancestor.
+  std::vector<int> coarse_labels(
+      static_cast<std::size_t>(h.coarsest().num_vertices()));
+  for (std::size_t i = 0; i < coarse_labels.size(); ++i) {
+    coarse_labels[i] = static_cast<int>(i);
+  }
+  const std::vector<int> fine = h.project_to_finest(coarse_labels);
+  ASSERT_EQ(fine.size(), static_cast<std::size_t>(g.num_vertices()));
+
+  // Recompute ancestors by walking the maps manually.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    vid_t cur = u;
+    for (const CoarseMap& cm : h.maps) {
+      cur = cm.map[static_cast<std::size_t>(cur)];
+    }
+    EXPECT_EQ(fine[static_cast<std::size_t>(u)], static_cast<int>(cur));
+  }
+}
+
+TEST(Multilevel, AvgCoarseningRatioMatchesDefinition) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(30, 30);
+  const Hierarchy h = coarsen_multilevel(exec, g);
+  const double n0 = g.num_vertices();
+  const double nl = h.coarsest().num_vertices();
+  const int l = h.num_levels();
+  EXPECT_NEAR(h.avg_coarsening_ratio(), std::pow(n0 / nl, 1.0 / (l - 1)),
+              1e-12);
+}
+
+TEST(Multilevel, TimesAreRecorded) {
+  const Exec exec = Exec::threads();
+  const Hierarchy h = coarsen_multilevel(exec, make_grid2d(40, 40));
+  EXPECT_GT(h.mapping_seconds(), 0.0);
+  EXPECT_GT(h.construct_seconds(), 0.0);
+  EXPECT_NEAR(h.total_seconds(),
+              h.mapping_seconds() + h.construct_seconds(), 1e-12);
+}
+
+TEST(Multilevel, WorksWithEveryMappingMethod) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_triangulated_grid(18, 18, 5);
+  for (const Mapping m :
+       {Mapping::kHec, Mapping::kHec2, Mapping::kHec3, Mapping::kHem,
+        Mapping::kMtMetis, Mapping::kGosh, Mapping::kGoshHec, Mapping::kMis2,
+        Mapping::kSuitor, Mapping::kHecSerial, Mapping::kHemSerial}) {
+    CoarsenOptions opts;
+    opts.mapping = m;
+    const Hierarchy h = coarsen_multilevel(exec, g, opts);
+    EXPECT_GE(h.num_levels(), 2) << mapping_name(m);
+    EXPECT_LE(h.coarsest().num_vertices(), 324) << mapping_name(m);
+  }
+}
+
+TEST(Multilevel, WorksWithEveryConstructionMethod) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_triangulated_grid(18, 18, 5);
+  for (const Construction c :
+       {Construction::kSort, Construction::kHash, Construction::kHeap,
+        Construction::kSpgemm, Construction::kGlobalSort}) {
+    CoarsenOptions opts;
+    opts.construct.method = c;
+    const Hierarchy h = coarsen_multilevel(exec, g, opts);
+    EXPECT_LE(h.coarsest().num_vertices(), 50) << construction_name(c);
+    for (const Csr& level : h.graphs) {
+      ASSERT_EQ(validate_csr(level), "") << construction_name(c);
+    }
+  }
+}
+
+TEST(Multilevel, HierarchiesAgreeAcrossConstructionMethods) {
+  // Same seed + mapping: the hierarchy graph *sizes* must be identical for
+  // all construction methods (construction never changes the coarse graph,
+  // paper §I).
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(25, 25);
+  std::vector<std::vector<vid_t>> size_seqs;
+  for (const Construction c :
+       {Construction::kSort, Construction::kHash, Construction::kSpgemm}) {
+    CoarsenOptions opts;
+    opts.construct.method = c;
+    opts.mapping = Mapping::kHec3;  // fully deterministic mapping
+    opts.seed = 99;
+    const Hierarchy h = coarsen_multilevel(Exec::serial(), g, opts);
+    std::vector<vid_t> sizes;
+    for (const Csr& level : h.graphs) sizes.push_back(level.num_vertices());
+    size_seqs.push_back(std::move(sizes));
+  }
+  EXPECT_EQ(size_seqs[0], size_seqs[1]);
+  EXPECT_EQ(size_seqs[0], size_seqs[2]);
+  (void)exec;
+}
+
+}  // namespace
+}  // namespace mgc

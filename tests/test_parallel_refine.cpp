@@ -1,0 +1,109 @@
+// Tests for the parallel boundary refinement (the "fully parallel
+// FM-based refinement" future-work direction).
+
+#include <gtest/gtest.h>
+
+#include "partition/metrics.hpp"
+#include "partition/parallel_refine.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(ParallelRefine, NeverWorsensTheCut) {
+  for (const auto& [name, g] : test::graph_corpus()) {
+    if (g.num_vertices() < 4) continue;
+    for (const Backend b : {Backend::Serial, Backend::Threads}) {
+      std::vector<int> part(static_cast<std::size_t>(g.num_vertices()));
+      for (std::size_t u = 0; u < part.size(); ++u) {
+        part[u] = static_cast<int>(u % 2);
+      }
+      const wgt_t before = edge_cut(g, part);
+      const wgt_t after = parallel_boundary_refine(Exec{b, 0}, g, part);
+      EXPECT_LE(after, before) << name;
+      EXPECT_EQ(after, edge_cut(g, part)) << name;
+    }
+  }
+}
+
+TEST(ParallelRefine, MaintainsBalance) {
+  for (const auto& [name, g] : test::graph_corpus()) {
+    if (g.num_vertices() < 8) continue;
+    std::vector<int> part(static_cast<std::size_t>(g.num_vertices()));
+    for (std::size_t u = 0; u < part.size(); ++u) {
+      part[u] = static_cast<int>(u % 2);
+    }
+    parallel_boundary_refine(Exec::threads(), g, part);
+    const auto w = part_weights(g, part);
+    const wgt_t total = w[0] + w[1];
+    EXPECT_LE(std::max(w[0], w[1]), total / 2 + total / 8 + 2) << name;
+  }
+}
+
+TEST(ParallelRefine, SeparatesDumbbell) {
+  std::vector<Edge> edges;
+  for (vid_t i = 0; i < 8; ++i) {
+    for (vid_t j = i + 1; j < 8; ++j) {
+      edges.push_back({i, j, 1});
+      edges.push_back({static_cast<vid_t>(8 + i),
+                       static_cast<vid_t>(8 + j), 1});
+    }
+  }
+  edges.push_back({7, 8, 1});
+  const Csr g = build_csr_from_edges(16, std::move(edges));
+  // Start from a noisy split (2 vertices on the wrong side each).
+  std::vector<int> part(16, 0);
+  for (int i = 8; i < 16; ++i) part[static_cast<std::size_t>(i)] = 1;
+  std::swap(part[0], part[8]);
+  std::swap(part[1], part[9]);
+  const wgt_t cut = parallel_boundary_refine(Exec::threads(), g, part);
+  EXPECT_EQ(cut, 1);
+}
+
+TEST(ParallelRefine, ImprovesProjectedMultilevelPartitions) {
+  // Use it as a drop-in extra refinement stage after multilevel FM.
+  const Exec exec = Exec::threads();
+  const Csr g = make_triangulated_grid(25, 25, 7);
+  std::vector<int> part(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t u = 0; u < part.size(); ++u) {
+    part[u] = static_cast<int>((u / 7) % 2);  // striped, bad start
+  }
+  const wgt_t before = edge_cut(g, part);
+  const wgt_t after = parallel_boundary_refine(exec, g, part);
+  // A purely local one-vertex-move refiner cannot unstripe the partition,
+  // but it must make strict progress on such a gain-rich start.
+  EXPECT_LT(after, before - before / 20);
+}
+
+TEST(ParallelRefine, StableOnAlreadyGoodPartition) {
+  const Csr g = make_grid2d(12, 12);
+  std::vector<int> part(144);
+  for (vid_t y = 0; y < 12; ++y) {
+    for (vid_t x = 0; x < 12; ++x) {
+      part[static_cast<std::size_t>(y * 12 + x)] = x < 6 ? 0 : 1;
+    }
+  }
+  const wgt_t cut = parallel_boundary_refine(Exec::threads(), g, part);
+  EXPECT_EQ(cut, 12);
+}
+
+TEST(ParallelRefine, EmptyGraph) {
+  const Csr g = build_csr_from_edges(0, {});
+  std::vector<int> part;
+  EXPECT_EQ(parallel_boundary_refine(Exec::threads(), g, part), 0);
+}
+
+TEST(ParallelRefine, SerialAndThreadedBothTerminate) {
+  const Csr g = make_complete(20);
+  for (const Backend b : {Backend::Serial, Backend::Threads}) {
+    std::vector<int> part(20);
+    for (std::size_t u = 0; u < 20; ++u) part[u] = static_cast<int>(u % 2);
+    ParallelRefineOptions opts;
+    opts.max_rounds = 100;
+    const wgt_t cut = parallel_boundary_refine(Exec{b, 0}, g, part, opts);
+    EXPECT_GE(cut, 0);
+  }
+}
+
+}  // namespace
+}  // namespace mgc

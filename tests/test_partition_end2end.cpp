@@ -1,0 +1,151 @@
+// End-to-end partitioning tests: multilevel spectral and FM bisection,
+// greedy graph growing, and the Metis-like baselines.
+
+#include <gtest/gtest.h>
+
+#include "partition/ggg.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioner.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+using test::graph_corpus;
+
+TEST(Ggg, ProducesNearBalancedBisections) {
+  for (const auto& [name, g] : graph_corpus()) {
+    if (g.num_vertices() < 8) continue;
+    const std::vector<int> part = greedy_graph_growing(g, 5);
+    ASSERT_EQ(part.size(), static_cast<std::size_t>(g.num_vertices()))
+        << name;
+    const auto w = part_weights(g, part);
+    EXPECT_GT(w[0], 0) << name;
+    EXPECT_GT(w[1], 0) << name;
+    // Unit weights: each side within [n/2 - maxdefect, n/2 + maxdefect].
+    const wgt_t total = w[0] + w[1];
+    EXPECT_LE(std::max(w[0], w[1]), total / 2 + total / 4 + 1) << name;
+  }
+}
+
+TEST(Ggg, GrowsContiguousRegionOnGrid) {
+  // On a grid, one side of the GGG bisection must be connected (it grew
+  // from a seed through the frontier).
+  const Csr g = make_grid2d(12, 12);
+  const std::vector<int> part = greedy_graph_growing(g, 7);
+  std::vector<vid_t> side1;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (part[static_cast<std::size_t>(u)] == 1) side1.push_back(u);
+  }
+  const Csr sub = induced_subgraph(g, side1);
+  EXPECT_TRUE(is_connected(sub));
+}
+
+TEST(Ggg, MoreTrialsNeverHurt) {
+  const Csr g = make_triangulated_grid(15, 15, 3);
+  GggOptions one, many;
+  one.num_trials = 1;
+  many.num_trials = 8;
+  const wgt_t cut1 = edge_cut(g, greedy_graph_growing(g, 5, one));
+  const wgt_t cut8 = edge_cut(g, greedy_graph_growing(g, 5, many));
+  EXPECT_LE(cut8, cut1);
+}
+
+TEST(EndToEnd, SpectralBisectsGridWell) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(24, 24);
+  const PartitionResult r = multilevel_spectral_bisect(exec, g);
+  EXPECT_LE(imbalance(g, r.part), 1.05);
+  EXPECT_LE(r.cut, 48);  // optimal is 24
+  EXPECT_GE(r.levels, 2);
+  EXPECT_GT(r.coarsen_seconds, 0);
+  EXPECT_GT(r.refine_seconds, 0);
+}
+
+TEST(EndToEnd, FmBisectsGridNearOptimally) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(24, 24);
+  const PartitionResult r = multilevel_fm_bisect(exec, g);
+  EXPECT_LE(imbalance(g, r.part), 1.15);
+  EXPECT_LE(r.cut, 40);  // optimal is 24
+}
+
+TEST(EndToEnd, AllMappingsCanDriveFmBisection) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_triangulated_grid(16, 16, 5);
+  const wgt_t trivial_cut = g.total_edge_weight();
+  for (const Mapping m :
+       {Mapping::kHec, Mapping::kHem, Mapping::kMtMetis, Mapping::kGosh,
+        Mapping::kMis2}) {
+    CoarsenOptions copts;
+    copts.mapping = m;
+    const PartitionResult r = multilevel_fm_bisect(exec, g, copts);
+    EXPECT_GT(r.cut, 0) << mapping_name(m);
+    EXPECT_LT(r.cut, trivial_cut / 4) << mapping_name(m);
+    const auto w = part_weights(g, r.part);
+    EXPECT_GT(w[0], 0) << mapping_name(m);
+    EXPECT_GT(w[1], 0) << mapping_name(m);
+  }
+}
+
+TEST(EndToEnd, MetisLikeBaselinesWork) {
+  const Csr g = make_grid2d(20, 20);
+  const PartitionResult metis = metis_like_bisect(g, MetisMode::kMetis);
+  const PartitionResult mtmetis = metis_like_bisect(g, MetisMode::kMtMetis);
+  EXPECT_LE(metis.cut, 40);
+  EXPECT_LE(mtmetis.cut, 40);
+  EXPECT_LE(imbalance(g, metis.part), 1.15);
+  EXPECT_LE(imbalance(g, mtmetis.part), 1.15);
+}
+
+TEST(EndToEnd, SkewedGraphBisectionsAreSane) {
+  const Exec exec = Exec::threads();
+  const Csr g =
+      largest_connected_component(make_chung_lu(3000, 12.0, 2.1, 7));
+  const PartitionResult fm = multilevel_fm_bisect(exec, g);
+  const auto w = part_weights(g, fm.part);
+  EXPECT_GT(w[0], 0);
+  EXPECT_GT(w[1], 0);
+  EXPECT_LT(fm.cut, g.total_edge_weight());
+  // FM should beat a random bisection by a wide margin.
+  std::vector<int> random_part(
+      static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t u = 0; u < random_part.size(); ++u) {
+    random_part[u] = static_cast<int>((u * 2654435761u >> 16) % 2);
+  }
+  EXPECT_LT(fm.cut, edge_cut(g, random_part));
+}
+
+TEST(EndToEnd, FmBeatsOrMatchesSpectralOnMostGraphs) {
+  // Table VI headline: FM refinement outperforms the spectral method on 19
+  // of 20 instances. Check the tendency on a small sample.
+  const Exec exec = Exec::threads();
+  int fm_wins = 0, total = 0;
+  for (const auto& [name, g] : graph_corpus()) {
+    if (g.num_vertices() < 200) continue;
+    const PartitionResult fm = multilevel_fm_bisect(exec, g);
+    SpectralOptions sopts;
+    sopts.max_iterations = 1500;
+    const PartitionResult sp =
+        multilevel_spectral_bisect(exec, g, CoarsenOptions{}, sopts);
+    if (fm.cut <= sp.cut) ++fm_wins;
+    ++total;
+  }
+  EXPECT_GE(2 * fm_wins, total) << "FM won only " << fm_wins << "/" << total;
+}
+
+TEST(EndToEnd, DeterministicWithSeedOnSerialBackend) {
+  const Csr g = make_grid2d(16, 16);
+  CoarsenOptions copts;
+  copts.mapping = Mapping::kHec3;
+  copts.seed = 77;
+  const PartitionResult a =
+      multilevel_fm_bisect(Exec::serial(), g, copts);
+  const PartitionResult b =
+      multilevel_fm_bisect(Exec::serial(), g, copts);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.cut, b.cut);
+}
+
+}  // namespace
+}  // namespace mgc

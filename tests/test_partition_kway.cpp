@@ -1,0 +1,101 @@
+// Tests for multilevel k-way partitioning by recursive bisection.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "partition/kway.hpp"
+#include "partition/metrics.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+class KwaySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KwaySweep, PartitionIsCompleteAndBalanced) {
+  const int k = GetParam();
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(32, 32);
+  KwayOptions opts;
+  opts.k = k;
+  const KwayResult r = multilevel_kway(exec, g, opts);
+  ASSERT_EQ(r.part.size(), static_cast<std::size_t>(g.num_vertices()));
+
+  std::set<int> used(r.part.begin(), r.part.end());
+  EXPECT_EQ(static_cast<int>(used.size()), k);
+  for (const int p : r.part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, k);
+  }
+  // Balance within a generous factor (recursive bisection compounds the
+  // per-level slack).
+  EXPECT_LE(kway_imbalance(g, r.part, k), 1.5) << "k=" << k;
+  EXPECT_EQ(r.cut, edge_cut(g, r.part));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KwaySweep, ::testing::Values(1, 2, 3, 4, 5, 7,
+                                                          8, 16));
+
+TEST(Kway, KOneIsTrivial) {
+  const Csr g = make_grid2d(10, 10);
+  KwayOptions opts;
+  opts.k = 1;
+  const KwayResult r = multilevel_kway(Exec::threads(), g, opts);
+  EXPECT_EQ(r.cut, 0);
+  for (const int p : r.part) EXPECT_EQ(p, 0);
+}
+
+TEST(Kway, KTwoMatchesBisectionQuality) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(24, 24);
+  KwayOptions opts;
+  opts.k = 2;
+  const KwayResult r = multilevel_kway(exec, g, opts);
+  EXPECT_LE(r.cut, 48);  // optimal 24, allow 2x
+}
+
+TEST(Kway, CutGrowsWithK) {
+  const Exec exec = Exec::threads();
+  const Csr g = make_grid2d(30, 30);
+  wgt_t prev_cut = 0;
+  for (const int k : {2, 4, 16}) {
+    KwayOptions opts;
+    opts.k = k;
+    const KwayResult r = multilevel_kway(exec, g, opts);
+    EXPECT_GT(r.cut, prev_cut) << "k=" << k;
+    prev_cut = r.cut;
+  }
+}
+
+TEST(Kway, GridFourWayIsNearOptimal) {
+  // 4-way split of a 32x32 grid: optimal is a 2x2 block layout cutting
+  // 2 * 32 = 64 edges.
+  const Csr g = make_grid2d(32, 32);
+  KwayOptions opts;
+  opts.k = 4;
+  const KwayResult r = multilevel_kway(Exec::threads(), g, opts);
+  EXPECT_LE(r.cut, 110);
+}
+
+TEST(Kway, WorksOnSkewedGraphs) {
+  const Csr g =
+      largest_connected_component(make_chung_lu(2000, 10.0, 2.1, 3));
+  KwayOptions opts;
+  opts.k = 6;
+  const KwayResult r = multilevel_kway(Exec::threads(), g, opts);
+  std::set<int> used(r.part.begin(), r.part.end());
+  EXPECT_EQ(used.size(), 6u);
+  // Every part non-trivially populated.
+  const auto w = part_weights(g, r.part, 6);
+  for (const wgt_t x : w) EXPECT_GT(x, 0);
+}
+
+TEST(Kway, ImbalanceMetricBasics) {
+  Csr g = make_path(4);
+  EXPECT_NEAR(kway_imbalance(g, {0, 1, 2, 3}, 4), 1.0, 1e-12);
+  EXPECT_NEAR(kway_imbalance(g, {0, 0, 1, 2}, 4), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mgc

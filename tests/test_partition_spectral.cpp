@@ -1,0 +1,142 @@
+// Tests for spectral bisection: Fiedler-vector properties (orthogonality
+// to the constant vector, monotone structure on paths, grid symmetry) and
+// the weighted-median bisection rule.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "partition/metrics.hpp"
+#include "partition/spectral.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(Fiedler, OrthogonalToConstantVector) {
+  const Csr g = make_triangulated_grid(8, 8, 3);
+  const std::vector<double> f = fiedler_vector(Exec::threads(), g, 5);
+  double sum = 0;
+  for (const double x : f) sum += x;
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(Fiedler, IsUnitNorm) {
+  const Csr g = make_grid2d(8, 8);
+  const std::vector<double> f = fiedler_vector(Exec::threads(), g, 5);
+  double norm = 0;
+  for (const double x : f) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-8);
+}
+
+TEST(Fiedler, MonotoneOnAPath) {
+  // The Fiedler vector of a path is a discrete cosine: strictly monotone
+  // from one end to the other.
+  const Csr g = make_path(40);
+  SpectralOptions opts;
+  opts.max_iterations = 20000;
+  const std::vector<double> f =
+      fiedler_vector(Exec::threads(), g, 7, opts);
+  const bool increasing = f.front() < f.back();
+  int violations = 0;
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    const bool step_up = f[i] > f[i - 1];
+    if (step_up != increasing) ++violations;
+  }
+  EXPECT_LE(violations, 1);  // allow a single near-tie at the center
+}
+
+TEST(Fiedler, SeparatesADumbbell) {
+  // Two cliques joined by one edge: the Fiedler vector's sign splits them.
+  std::vector<Edge> edges;
+  for (vid_t i = 0; i < 6; ++i) {
+    for (vid_t j = i + 1; j < 6; ++j) {
+      edges.push_back({i, j, 1});
+      edges.push_back({static_cast<vid_t>(6 + i),
+                       static_cast<vid_t>(6 + j), 1});
+    }
+  }
+  edges.push_back({5, 6, 1});
+  const Csr g = build_csr_from_edges(12, std::move(edges));
+  const std::vector<double> f = fiedler_vector(Exec::threads(), g, 9);
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_GT(f[static_cast<std::size_t>(i)] * f[0], 0) << i;
+  }
+  for (int i = 6; i < 12; ++i) {
+    EXPECT_LT(f[static_cast<std::size_t>(i)] * f[0], 0) << i;
+  }
+}
+
+TEST(Fiedler, InitialGuessSpeedsConvergence) {
+  const Csr g = make_grid2d(12, 12);
+  SpectralStats cold, warm;
+  SpectralOptions opts;
+  opts.max_iterations = 50000;
+  const std::vector<double> f =
+      fiedler_vector(Exec::threads(), g, 5, opts, nullptr, &cold);
+  // Perturb slightly and restart.
+  std::vector<double> guess = f;
+  for (std::size_t i = 0; i < guess.size(); ++i) {
+    guess[i] += 1e-6 * std::cos(static_cast<double>(i));
+  }
+  fiedler_vector(Exec::threads(), g, 5, opts, &guess, &warm);
+  EXPECT_LT(warm.iterations, cold.iterations / 2);
+}
+
+TEST(Fiedler, StatsReportResidual) {
+  const Csr g = make_grid2d(6, 6);
+  SpectralStats stats;
+  SpectralOptions opts;
+  opts.max_iterations = 30000;
+  fiedler_vector(Exec::threads(), g, 5, opts, nullptr, &stats);
+  EXPECT_GT(stats.iterations, 0);
+  EXPECT_LT(stats.residual, 1e-9);
+}
+
+TEST(BisectByVector, ExactWeightBalanceOnUnitWeights) {
+  const Csr g = make_grid2d(10, 10);
+  const std::vector<double> f = fiedler_vector(Exec::threads(), g, 5);
+  const std::vector<int> part = bisect_by_vector(g, f);
+  const auto w = part_weights(g, part);
+  EXPECT_EQ(w[0], 50);
+  EXPECT_EQ(w[1], 50);
+}
+
+TEST(BisectByVector, RespectsVertexWeights) {
+  Csr g = make_path(4);
+  g.vwgts = {10, 1, 1, 10};
+  const std::vector<double> f = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<int> part = bisect_by_vector(g, f);
+  // Weighted median: part 0 takes vertices until >= total/2 = 11.
+  EXPECT_EQ(part[0], 0);
+  EXPECT_EQ(part[1], 0);
+  EXPECT_EQ(part[2], 1);
+  EXPECT_EQ(part[3], 1);
+}
+
+TEST(BisectByVector, GridBisectionIsNearOptimal) {
+  // Spectral bisection of a 16x16 grid should find a cut near 16.
+  const Csr g = make_grid2d(16, 16);
+  SpectralOptions opts;
+  opts.max_iterations = 50000;
+  const std::vector<double> f = fiedler_vector(Exec::threads(), g, 5, opts);
+  const std::vector<int> part = bisect_by_vector(g, f);
+  EXPECT_LE(edge_cut(g, part), 24);
+}
+
+TEST(Fiedler, BackendsProduceComparableVectors) {
+  // Serial and threaded runs from the same seed converge to the same
+  // eigenvector (up to sign and tolerance).
+  const Csr g = make_grid2d(10, 10);
+  SpectralOptions opts;
+  opts.max_iterations = 30000;
+  const auto a = fiedler_vector(Exec::serial(), g, 5, opts);
+  const auto b = fiedler_vector(Exec::threads(), g, 5, opts);
+  double dot = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  EXPECT_NEAR(std::abs(dot), 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,31 @@
+// End-to-end smoke tests: every public pipeline stage on a small graph.
+
+#include <gtest/gtest.h>
+
+#include "mgc.hpp"
+
+namespace mgc {
+namespace {
+
+TEST(Smoke, CoarsenAndBisectGrid) {
+  const Csr g = make_grid2d(20, 20);
+  ASSERT_EQ(validate_csr(g), "");
+  const Exec exec = Exec::threads();
+
+  CoarsenOptions copts;
+  const Hierarchy h = coarsen_multilevel(exec, g, copts);
+  EXPECT_GT(h.num_levels(), 1);
+  EXPECT_LE(h.coarsest().num_vertices(), 50 + 40);  // cutoff + slack
+
+  const PartitionResult spectral = multilevel_spectral_bisect(exec, g);
+  EXPECT_GT(spectral.cut, 0);
+  EXPECT_LE(imbalance(g, spectral.part), 1.1);
+
+  const PartitionResult fm = multilevel_fm_bisect(exec, g);
+  EXPECT_GT(fm.cut, 0);
+  // A 20x20 grid has a bisection of width ~20.
+  EXPECT_LE(fm.cut, 60);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,192 @@
+// Tests for the sparse linear algebra substrate: SpGEMM (vs dense
+// reference), transpose, SpMV, prolongation matrices, and the P·A·Pᵀ
+// identity that underpins SpGEMM-based construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "coarsen/hec.hpp"
+#include "core/prng.hpp"
+#include "graph/generators.hpp"
+#include "spla/matrix.hpp"
+
+namespace mgc {
+namespace {
+
+// Dense reference multiply.
+std::vector<std::vector<wgt_t>> to_dense(const CsrMatrix& a) {
+  std::vector<std::vector<wgt_t>> d(
+      static_cast<std::size_t>(a.nrows),
+      std::vector<wgt_t>(static_cast<std::size_t>(a.ncols), 0));
+  for (vid_t r = 0; r < a.nrows; ++r) {
+    for (eid_t k = a.rowptr[static_cast<std::size_t>(r)];
+         k < a.rowptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      d[static_cast<std::size_t>(r)]
+       [static_cast<std::size_t>(a.colidx[static_cast<std::size_t>(k)])] +=
+          a.vals[static_cast<std::size_t>(k)];
+    }
+  }
+  return d;
+}
+
+CsrMatrix random_matrix(vid_t nrows, vid_t ncols, double density,
+                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  CsrMatrix m;
+  m.nrows = nrows;
+  m.ncols = ncols;
+  m.rowptr.assign(static_cast<std::size_t>(nrows) + 1, 0);
+  std::vector<std::pair<vid_t, wgt_t>> row;
+  for (vid_t r = 0; r < nrows; ++r) {
+    row.clear();
+    for (vid_t c = 0; c < ncols; ++c) {
+      if (rng.uniform() < density) {
+        row.push_back({c, 1 + static_cast<wgt_t>(rng.bounded(5))});
+      }
+    }
+    m.rowptr[static_cast<std::size_t>(r) + 1] =
+        m.rowptr[static_cast<std::size_t>(r)] +
+        static_cast<eid_t>(row.size());
+    for (const auto& [c, v] : row) {
+      m.colidx.push_back(c);
+      m.vals.push_back(v);
+    }
+  }
+  return m;
+}
+
+TEST(Spgemm, MatchesDenseReferenceOnRandomMatrices) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const CsrMatrix a = random_matrix(17, 23, 0.2, seed);
+    const CsrMatrix b = random_matrix(23, 11, 0.3, seed + 100);
+    const CsrMatrix c = spgemm(Exec::threads(), a, b);
+    ASSERT_EQ(c.nrows, 17);
+    ASSERT_EQ(c.ncols, 11);
+    const auto da = to_dense(a);
+    const auto db = to_dense(b);
+    const auto dc = to_dense(c);
+    for (std::size_t i = 0; i < 17; ++i) {
+      for (std::size_t j = 0; j < 11; ++j) {
+        wgt_t expected = 0;
+        for (std::size_t k = 0; k < 23; ++k) {
+          expected += da[i][k] * db[k][j];
+        }
+        ASSERT_EQ(dc[i][j], expected) << "(" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Spgemm, NoExplicitZerosOrDuplicates) {
+  const CsrMatrix a = random_matrix(20, 20, 0.3, 9);
+  const CsrMatrix c = spgemm(Exec::threads(), a, a);
+  for (vid_t r = 0; r < c.nrows; ++r) {
+    std::set<vid_t> seen;
+    for (eid_t k = c.rowptr[static_cast<std::size_t>(r)];
+         k < c.rowptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const vid_t col = c.colidx[static_cast<std::size_t>(k)];
+      EXPECT_TRUE(seen.insert(col).second) << "duplicate in row " << r;
+      EXPECT_NE(c.vals[static_cast<std::size_t>(k)], 0);
+    }
+  }
+}
+
+TEST(Spgemm, EmptyMatrix) {
+  CsrMatrix a;
+  a.nrows = 3;
+  a.ncols = 3;
+  a.rowptr = {0, 0, 0, 0};
+  const CsrMatrix c = spgemm(Exec::threads(), a, a);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(Transpose, InvolutionAndCorrectness) {
+  const CsrMatrix a = random_matrix(13, 29, 0.25, 3);
+  const CsrMatrix t = transpose(Exec::threads(), a);
+  EXPECT_EQ(t.nrows, a.ncols);
+  EXPECT_EQ(t.ncols, a.nrows);
+  const auto da = to_dense(a);
+  const auto dt = to_dense(t);
+  for (std::size_t i = 0; i < 13; ++i) {
+    for (std::size_t j = 0; j < 29; ++j) {
+      ASSERT_EQ(da[i][j], dt[j][i]);
+    }
+  }
+  const CsrMatrix tt = transpose(Exec::threads(), t);
+  EXPECT_EQ(to_dense(tt), da);
+}
+
+TEST(Spmv, MatchesDense) {
+  const CsrMatrix a = random_matrix(15, 10, 0.3, 5);
+  std::vector<double> x(10);
+  Xoshiro256 rng(1);
+  for (double& v : x) v = rng.uniform();
+  std::vector<double> y(15);
+  spmv(Exec::threads(), a, x.data(), y.data());
+  const auto d = to_dense(a);
+  for (std::size_t i = 0; i < 15; ++i) {
+    double expected = 0;
+    for (std::size_t j = 0; j < 10; ++j) {
+      expected += static_cast<double>(d[i][j]) * x[j];
+    }
+    ASSERT_NEAR(y[i], expected, 1e-12);
+  }
+}
+
+TEST(Spmv, GraphOverloadMatchesMatrixForm) {
+  const Csr g = make_triangulated_grid(6, 6, 3);
+  const CsrMatrix a = matrix_from_graph(g);
+  std::vector<double> x(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(double(i));
+  std::vector<double> y1(x.size()), y2(x.size());
+  spmv(Exec::threads(), a, x.data(), y1.data());
+  spmv(Exec::threads(), g, x.data(), y2.data());
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(Prolongation, RowsAreAggregates) {
+  const std::vector<vid_t> map = {0, 1, 0, 2, 1};
+  const CsrMatrix p = prolongation_matrix(Exec::threads(), map, 3);
+  EXPECT_EQ(p.nrows, 3);
+  EXPECT_EQ(p.ncols, 5);
+  EXPECT_EQ(p.nnz(), 5);
+  const auto d = to_dense(p);
+  for (std::size_t u = 0; u < map.size(); ++u) {
+    for (vid_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(d[static_cast<std::size_t>(c)][u],
+                map[u] == c ? 1 : 0);
+    }
+  }
+}
+
+TEST(Prolongation, PaPtDiagonalHoldsInternalWeight) {
+  // The diagonal of P·A·Pᵀ equals twice the internal edge weight of each
+  // aggregate; off-diagonals are the coarse edge weights.
+  const Csr g = make_complete(6);  // every pair connected, weight 1
+  std::vector<vid_t> map = {0, 0, 0, 1, 1, 1};
+  const CsrMatrix p = prolongation_matrix(Exec::threads(), map, 2);
+  const CsrMatrix pa = spgemm(Exec::threads(), p, matrix_from_graph(g));
+  const CsrMatrix papt =
+      spgemm(Exec::threads(), pa, transpose(Exec::threads(), p));
+  const auto d = to_dense(papt);
+  // Each aggregate of 3 vertices in K6 has 3 internal edges -> diag 6.
+  EXPECT_EQ(d[0][0], 6);
+  EXPECT_EQ(d[1][1], 6);
+  // 9 cross edges between the halves.
+  EXPECT_EQ(d[0][1], 9);
+  EXPECT_EQ(d[1][0], 9);
+}
+
+TEST(MatrixFromGraph, PreservesStructure) {
+  const Csr g = make_grid2d(4, 4);
+  const CsrMatrix a = matrix_from_graph(g);
+  EXPECT_EQ(a.nrows, g.num_vertices());
+  EXPECT_EQ(a.nnz(), g.num_entries());
+  EXPECT_EQ(a.colidx, g.colidx);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,117 @@
+#pragma once
+// Shared helpers for mgc tests: a corpus of structurally diverse graphs and
+// the invariants every coarsening must satisfy.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coarsen/mapping.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace mgc::test {
+
+/// A corpus of small-but-diverse connected graphs exercising the regimes
+/// the paper cares about: meshes, geometric, skewed, stars (stalling),
+/// cliques (aggressive), paths (sparse), and weighted coarse-level graphs.
+inline std::vector<std::pair<std::string, Csr>> graph_corpus() {
+  std::vector<std::pair<std::string, Csr>> corpus;
+  corpus.emplace_back("path64", make_path(64));
+  corpus.emplace_back("cycle65", make_cycle(65));
+  corpus.emplace_back("star64", make_star(64));
+  corpus.emplace_back("complete16", make_complete(16));
+  corpus.emplace_back("grid2d", make_grid2d(12, 9));
+  corpus.emplace_back("grid3d", make_grid3d(5, 5, 5));
+  corpus.emplace_back("tri_grid", make_triangulated_grid(10, 10, 3));
+  corpus.emplace_back("rgg", largest_connected_component(
+                                 make_rgg(600, 0.07, 11)));
+  corpus.emplace_back("rmat", largest_connected_component(
+                                  make_rmat(9, 6, 13)));
+  corpus.emplace_back("chung_lu", largest_connected_component(
+                                      make_chung_lu(800, 10.0, 2.1, 17)));
+  corpus.emplace_back("mycielskian", make_mycielskian(6));
+  corpus.emplace_back("kmer", largest_connected_component(
+                                  make_kmer_like(700, 0.01, 19)));
+  corpus.emplace_back("two_vertices", make_path(2));
+  corpus.emplace_back("one_vertex", build_csr_from_edges(1, {}));
+  return corpus;
+}
+
+/// A weighted graph (as appears after one coarsening level): path with
+/// increasing weights plus chords.
+inline Csr weighted_test_graph() {
+  std::vector<Edge> edges;
+  for (vid_t i = 0; i + 1 < 30; ++i) {
+    edges.push_back({i, i + 1, (i % 7) + 1});
+  }
+  for (vid_t i = 0; i + 5 < 30; i += 3) {
+    edges.push_back({i, i + 5, (i % 3) + 2});
+  }
+  Csr g = build_csr_from_edges(30, std::move(edges));
+  for (std::size_t u = 0; u < g.vwgts.size(); ++u) {
+    g.vwgts[u] = static_cast<wgt_t>(u % 5) + 1;
+  }
+  return g;
+}
+
+/// Asserts every CoarseMap invariant: right size, dense ids, no empties,
+/// and — because all mapping methods aggregate along edges — every
+/// aggregate induces a connected subgraph of g.
+inline void expect_valid_mapping(const Csr& g, const CoarseMap& cm,
+                                 const std::string& context,
+                                 bool check_connected_aggregates = true) {
+  ASSERT_EQ(validate_mapping(cm, g.num_vertices()), "") << context;
+  ASSERT_GE(cm.nc, 1) << context;
+  ASSERT_LE(cm.nc, g.num_vertices()) << context;
+
+  if (!check_connected_aggregates) return;
+  // Each aggregate must be connected in g (strict aggregation schemes merge
+  // only along edges / two-hop paths; we check weak connectivity within
+  // distance 2 to accommodate two-hop matches).
+  const vid_t n = g.num_vertices();
+  std::vector<std::vector<vid_t>> members(static_cast<std::size_t>(cm.nc));
+  for (vid_t u = 0; u < n; ++u) {
+    members[static_cast<std::size_t>(cm.map[static_cast<std::size_t>(u)])]
+        .push_back(u);
+  }
+  for (vid_t c = 0; c < cm.nc; ++c) {
+    const auto& mem = members[static_cast<std::size_t>(c)];
+    if (mem.size() <= 1) continue;
+    // BFS within the aggregate, allowing 2-hop steps through any vertex.
+    std::vector<bool> in_agg(static_cast<std::size_t>(n), false);
+    for (const vid_t u : mem) in_agg[static_cast<std::size_t>(u)] = true;
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    std::vector<vid_t> stack = {mem[0]};
+    visited[static_cast<std::size_t>(mem[0])] = true;
+    std::size_t reached = 1;
+    while (!stack.empty()) {
+      const vid_t u = stack.back();
+      stack.pop_back();
+      for (const vid_t v : g.neighbors(u)) {
+        // direct step
+        if (in_agg[static_cast<std::size_t>(v)] &&
+            !visited[static_cast<std::size_t>(v)]) {
+          visited[static_cast<std::size_t>(v)] = true;
+          ++reached;
+          stack.push_back(v);
+        }
+        // two-hop step through v (v need not be in the aggregate)
+        for (const vid_t w : g.neighbors(v)) {
+          if (in_agg[static_cast<std::size_t>(w)] &&
+              !visited[static_cast<std::size_t>(w)]) {
+            visited[static_cast<std::size_t>(w)] = true;
+            ++reached;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+    EXPECT_EQ(reached, mem.size())
+        << context << ": aggregate " << c << " is not (2-hop) connected";
+  }
+}
+
+}  // namespace mgc::test

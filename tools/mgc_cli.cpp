@@ -1,0 +1,243 @@
+// mgc — command-line driver for the multilevel graph coarsening library.
+//
+// Subcommands:
+//   stats     <graph>                      print size / degree statistics
+//   coarsen   <graph> [options]            print the multilevel hierarchy
+//   bisect    <graph> [options]            2-way partition (FM or spectral)
+//   kway      <graph> -k <parts> [options] k-way partition
+//   cluster   <graph> [options]            multilevel modularity clustering
+//   fiedler   <graph> [options]            multilevel Fiedler vector
+//   convert   <graph> -o <out.mtx>         preprocess + write Matrix Market
+//
+// <graph> is either a Matrix Market file path or a generator spec:
+//   gen:grid2d:NX,NY          gen:grid3d:NX,NY,NZ     gen:rgg:N,RADIUS
+//   gen:tri:NX,NY             gen:rmat:SCALE,EDGEF    gen:chunglu:N,DEG,GAMMA
+//   gen:road:NX,NY,DROP       gen:kmer:N,FRAC         gen:mycielskian:K
+//   gen:star:N                gen:path:N              gen:complete:N
+//   gen:cycle:N               gen:er:N,DEG
+//
+// Common options:
+//   --mapping hec|hec2|hec3|hem|mtmetis|gosh|goshhec|mis2|suitor|bsuitor
+//   --construct sort|hash|heap|hybrid|spgemm|globalsort
+//   --backend serial|threads       --seed S
+//   --cutoff C                     --refine fm|spectral (bisect)
+//   --part-out FILE                write per-vertex part/cluster ids
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mgc.hpp"
+
+namespace {
+
+using namespace mgc;
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "mgc: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+struct Args {
+  std::string command;
+  std::string graph;
+  std::map<std::string, std::string> flags;
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? dflt : it->second;
+  }
+  long long get_int(const std::string& key, long long dflt) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? dflt : std::atoll(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc < 3) {
+    die("usage: mgc <stats|coarsen|bisect|kway|cluster|fiedler|convert> "
+        "<graph> [--flag value ...]");
+  }
+  a.command = argv[1];
+  a.graph = argv[2];
+  for (int i = 3; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) die("bad flag: " +
+                                                 std::string(argv[i]));
+    a.flags[argv[i] + 2] = argv[i + 1];
+  }
+  return a;
+}
+
+Mapping parse_mapping(const std::string& s) {
+  if (s == "hec") return Mapping::kHec;
+  if (s == "hec2") return Mapping::kHec2;
+  if (s == "hec3") return Mapping::kHec3;
+  if (s == "hem") return Mapping::kHem;
+  if (s == "mtmetis") return Mapping::kMtMetis;
+  if (s == "gosh") return Mapping::kGosh;
+  if (s == "goshhec") return Mapping::kGoshHec;
+  if (s == "mis2") return Mapping::kMis2;
+  if (s == "suitor") return Mapping::kSuitor;
+  if (s == "bsuitor") return Mapping::kBSuitor;
+  if (s == "hec-serial") return Mapping::kHecSerial;
+  if (s == "hem-serial") return Mapping::kHemSerial;
+  die("unknown mapping: " + s);
+}
+
+Construction parse_construction(const std::string& s) {
+  if (s == "sort") return Construction::kSort;
+  if (s == "hash") return Construction::kHash;
+  if (s == "heap") return Construction::kHeap;
+  if (s == "hybrid") return Construction::kHybrid;
+  if (s == "spgemm") return Construction::kSpgemm;
+  if (s == "globalsort") return Construction::kGlobalSort;
+  die("unknown construction: " + s);
+}
+
+void write_assignment(const std::string& path, const std::vector<int>& a) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  for (const int x : a) out << x << '\n';
+  std::printf("wrote %zu assignments to %s\n", a.size(), path.c_str());
+}
+
+int run(const Args& args) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const Exec exec = args.get("backend", "threads") == "serial"
+                        ? Exec::serial()
+                        : Exec::threads();
+  if (!is_generator_spec(args.graph)) {
+    std::printf("loading %s ...\n", args.graph.c_str());
+  }
+  const Csr g = load_graph_spec(args.graph, seed);
+  std::printf("graph: n=%d m=%lld avg_deg=%.2f skew=%.1f\n",
+              g.num_vertices(), static_cast<long long>(g.num_edges()),
+              g.num_vertices() > 0
+                  ? static_cast<double>(g.num_entries()) / g.num_vertices()
+                  : 0.0,
+              g.degree_skew());
+
+  CoarsenOptions copts;
+  copts.mapping = parse_mapping(args.get("mapping", "hec"));
+  copts.construct.method =
+      parse_construction(args.get("construct", "sort"));
+  copts.cutoff = static_cast<vid_t>(args.get_int("cutoff", 50));
+  copts.seed = seed;
+
+  if (args.command == "stats") {
+    // Degree histogram (log2 buckets).
+    std::map<int, vid_t> hist;
+    for (vid_t u = 0; u < g.num_vertices(); ++u) {
+      int bucket = 0;
+      eid_t d = g.degree(u);
+      while (d > 1) {
+        d >>= 1;
+        ++bucket;
+      }
+      ++hist[bucket];
+    }
+    std::printf("\ndegree histogram (log2 buckets):\n");
+    for (const auto& [b, count] : hist) {
+      std::printf("  [%6d, %6d): %8d\n", 1 << b, 1 << (b + 1), count);
+    }
+    return 0;
+  }
+
+  if (args.command == "coarsen") {
+    const Hierarchy h = coarsen_multilevel(exec, g, copts);
+    std::printf("\n%-6s %10s %12s %10s %10s\n", "level", "n", "m",
+                "map(ms)", "cons(ms)");
+    for (int i = 0; i < h.num_levels(); ++i) {
+      const LevelInfo& l = h.levels[static_cast<std::size_t>(i)];
+      std::printf("%-6d %10d %12lld %10.2f %10.2f\n", i, l.n,
+                  static_cast<long long>(l.m), l.mapping_seconds * 1e3,
+                  l.construct_seconds * 1e3);
+    }
+    std::printf("\nlevels=%d avg_coarsening_ratio=%.2f total=%.3fs\n",
+                h.num_levels(), h.avg_coarsening_ratio(),
+                h.total_seconds());
+    return 0;
+  }
+
+  if (args.command == "bisect") {
+    const std::string refine = args.get("refine", "fm");
+    PartitionResult r;
+    if (refine == "spectral") {
+      r = multilevel_spectral_bisect(exec, g, copts);
+    } else if (refine == "fm") {
+      r = multilevel_fm_bisect(exec, g, copts);
+    } else {
+      die("unknown refine: " + refine);
+    }
+    std::printf("\ncut=%lld imbalance=%.4f levels=%d coarsen=%.3fs "
+                "refine=%.3fs\n",
+                static_cast<long long>(r.cut), imbalance(g, r.part),
+                r.levels, r.coarsen_seconds, r.refine_seconds);
+    write_assignment(args.get("part-out", ""), r.part);
+    return 0;
+  }
+
+  if (args.command == "kway") {
+    KwayOptions kopts;
+    kopts.k = static_cast<int>(args.get_int("k", 4));
+    kopts.coarsen = copts;
+    const KwayResult r = multilevel_kway(exec, g, kopts);
+    std::printf("\nk=%d cut=%lld imbalance=%.4f time=%.3fs\n", kopts.k,
+                static_cast<long long>(r.cut),
+                kway_imbalance(g, r.part, kopts.k), r.seconds);
+    write_assignment(args.get("part-out", ""), r.part);
+    return 0;
+  }
+
+  if (args.command == "cluster") {
+    ClusterOptions clopts;
+    clopts.coarsen = copts;
+    clopts.resolution = std::atof(args.get("resolution", "1.0").c_str());
+    const ClusterResult r = multilevel_cluster(exec, g, clopts);
+    std::printf("\nclusters=%d modularity=%.4f levels=%d\n",
+                r.num_clusters, r.modularity, r.levels);
+    write_assignment(args.get("part-out", ""), r.cluster);
+    return 0;
+  }
+
+  if (args.command == "fiedler") {
+    const FiedlerResult r = multilevel_fiedler(exec, g, copts);
+    double fmin = 1e300, fmax = -1e300;
+    for (const double x : r.vector) {
+      fmin = std::min(fmin, x);
+      fmax = std::max(fmax, x);
+    }
+    std::printf("\nlevels=%d iterations=%d coarsen=%.3fs solve=%.3fs "
+                "range=[%.4g, %.4g]\n",
+                r.levels, r.total_iterations, r.coarsen_seconds,
+                r.solve_seconds, fmin, fmax);
+    return 0;
+  }
+
+  if (args.command == "convert") {
+    const std::string out = args.get("o", args.get("out", ""));
+    if (out.empty()) die("convert needs -o / --out <path>");
+    write_matrix_market_file(out, g);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+  }
+
+  die("unknown command: " + args.command);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mgc: %s\n", e.what());
+    return 1;
+  }
+}
