@@ -20,6 +20,7 @@ using namespace mgc;
 }  // namespace
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("ablation_construction");
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();

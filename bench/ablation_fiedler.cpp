@@ -9,6 +9,7 @@
 #include "suite.hpp"
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("ablation_fiedler");
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();

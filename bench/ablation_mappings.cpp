@@ -11,6 +11,7 @@
 #include "suite.hpp"
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("ablation_mappings");
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();

@@ -5,8 +5,10 @@
 #include <cstdio>
 
 #include "mgc.hpp"
+#include "suite.hpp"
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("fig1_one_level");
   using namespace mgc;
   const Exec exec = Exec::threads();
   const Csr g = make_triangulated_grid(5, 4, 7);

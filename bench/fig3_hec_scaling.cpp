@@ -25,6 +25,7 @@ double coarsen_seconds(const Exec& exec, const Csr& g) {
 }  // namespace
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("fig3_hec_scaling");
   using namespace mgc;
   using namespace mgc::bench;
   const Exec dev = Exec::threads();

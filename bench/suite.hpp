@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -82,5 +83,37 @@ inline void print_rule(int width = 86) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Opt-in profiling hook shared by every bench binary: when the
+/// MGC_PROFILE environment variable names a file, enables `mgc::prof` for
+/// the bench's lifetime and writes the mgc-profile JSON report there on
+/// exit (same schema as `mgc_cli --profile`; see docs/profiling.md).
+///
+///   MGC_PROFILE=fig3.json ./build/bench/fig3_hec_scaling
+class ProfileSession {
+ public:
+  explicit ProfileSession(const char* bench_name) {
+    const char* p = std::getenv("MGC_PROFILE");
+    if (p == nullptr || *p == '\0') return;
+    path_ = p;
+    prof::enable();
+    prof::set_meta("tool", "bench");
+    prof::set_meta("bench", bench_name);
+  }
+  ~ProfileSession() {
+    if (path_.empty()) return;
+    if (prof::write_json_file(path_)) {
+      std::fprintf(stderr, "profile written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write profile %s\n", path_.c_str());
+    }
+  }
+
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+ private:
+  std::string path_;
+};
 
 }  // namespace mgc::bench

@@ -7,6 +7,7 @@
 #include "suite.hpp"
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("table1_suite");
   using namespace mgc;
   using namespace mgc::bench;
 

@@ -52,6 +52,7 @@ Row run_graph(const Exec& exec, const Csr& g) {
 }  // namespace
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("table2_construction_device");
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();

@@ -22,6 +22,7 @@ double construct_time(const Exec& exec, const Csr& g, Construction method) {
 }  // namespace
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("table3_construction_host");
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::serial();

@@ -41,6 +41,7 @@ std::optional<RunInfo> run(const Exec& exec, const Csr& g, Mapping mapping,
 }  // namespace
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("table4_mapping_methods");
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();

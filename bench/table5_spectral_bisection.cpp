@@ -31,6 +31,7 @@ std::optional<PartitionResult> run(const Exec& exec, const Csr& g,
 }  // namespace
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("table5_spectral_bisection");
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();

@@ -23,6 +23,7 @@ PartitionResult fm_run(const Exec& exec, const Csr& g, Mapping mapping) {
 }  // namespace
 
 int main() {
+  const mgc::bench::ProfileSession profile_session("table6_fm_bisection");
   using namespace mgc;
   using namespace mgc::bench;
   const Exec dev = Exec::threads();

@@ -11,6 +11,7 @@
 #include "coarsen/suitor.hpp"
 #include "coarsen/two_hop.hpp"
 #include "core/atomics.hpp"
+#include "prof/prof.hpp"
 
 namespace mgc {
 
@@ -34,6 +35,8 @@ std::string mapping_name(Mapping m) {
 
 CoarseMap compute_mapping(Mapping method, const Exec& exec, const Csr& g,
                           std::uint64_t seed, MappingStats* stats) {
+  prof::Region prof_method(prof::enabled() ? mapping_name(method)
+                                           : std::string());
   switch (method) {
     case Mapping::kHecSerial: return hec_serial(g, seed);
     case Mapping::kHemSerial: return hem_serial(g, seed);

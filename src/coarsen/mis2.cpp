@@ -4,6 +4,7 @@
 
 #include "core/atomics.hpp"
 #include "core/prng.hpp"
+#include "prof/prof.hpp"
 
 namespace mgc {
 
@@ -40,6 +41,7 @@ std::vector<vid_t> mis2_roots(const Exec& exec, const Csr& g,
   std::vector<Tuple> t1(sn), t2(sn);
   vid_t undecided = n;
   while (undecided > 0) {
+    prof::add("mis2.rounds", 1);
     // Propagate the max tuple over distance <= 2 in two sweeps. Decided
     // vertices participate so that an undecided vertex near an In vertex
     // sees it and goes Out.
@@ -101,6 +103,7 @@ std::vector<vid_t> mis2_roots(const Exec& exec, const Csr& g,
   for (std::size_t su = 0; su < sn; ++su) {
     if (state[su] == kIn) roots.push_back(static_cast<vid_t>(su));
   }
+  prof::add("mis2.roots", roots.size());
   return roots;
 }
 

@@ -6,6 +6,7 @@
 #include "core/atomics.hpp"
 #include "core/hashmap.hpp"
 #include "core/sorting.hpp"
+#include "prof/prof.hpp"
 #include "spla/matrix.hpp"
 
 namespace mgc {
@@ -77,6 +78,10 @@ void dedup_hash(const Exec& exec, const std::vector<eid_t>& r,
   std::vector<vid_t> hkeys(static_cast<std::size_t>(cap_offset[nc]),
                            kInvalidVid);
   std::vector<wgt_t> hwts(static_cast<std::size_t>(cap_offset[nc]));
+  static const prof::CounterId kProbes =
+      prof::counter("construct.hash.probes");
+  static const prof::CounterId kCollisions =
+      prof::counter("construct.hash.collisions");
   parallel_for(exec, nc, [&](std::size_t c) {
     const eid_t begin = r[c];
     const eid_t len = r[c + 1] - begin;
@@ -93,6 +98,10 @@ void dedup_hash(const Exec& exec, const std::vector<eid_t>& r,
     }
     out_count[c] = static_cast<eid_t>(acc.extract_and_clear(
         f.data() + begin, x.data() + begin));
+    if (prof::enabled()) {
+      prof::add(kProbes, acc.probes());
+      prof::add(kCollisions, acc.collisions());
+    }
   });
 }
 
@@ -196,6 +205,14 @@ void dedup_hybrid(const Exec& exec, const std::vector<eid_t>& r,
       }
       out_count[c] = static_cast<eid_t>(
           acc.extract_and_clear(f.data() + begin, x.data() + begin));
+      if (prof::enabled()) {
+        static const prof::CounterId kProbes =
+            prof::counter("construct.hash.probes");
+        static const prof::CounterId kCollisions =
+            prof::counter("construct.hash.collisions");
+        prof::add(kProbes, acc.probes());
+        prof::add(kCollisions, acc.collisions());
+      }
     }
   });
 }
@@ -304,11 +321,14 @@ Csr construct_vertex_centric(const Exec& exec, const Csr& fine,
 
   // Step 1: upper-bound coarse degrees C'.
   std::vector<eid_t> cp(nc, 0);
-  parallel_for(exec, sn, [&](std::size_t su) {
-    for_each_coarse(su, [&](vid_t a, vid_t, wgt_t) {
-      atomic_fetch_add(cp[static_cast<std::size_t>(a)], eid_t{1});
+  {
+    prof::Region prof_count("count");
+    parallel_for(exec, sn, [&](std::size_t su) {
+      for_each_coarse(su, [&](vid_t a, vid_t, wgt_t) {
+        atomic_fetch_add(cp[static_cast<std::size_t>(a)], eid_t{1});
+      });
     });
-  });
+  }
 
   // Ownership rule: with the one-sided optimization an undirected coarse
   // edge {a, b} lives only at the endpoint with the smaller estimated
@@ -322,13 +342,16 @@ Csr construct_vertex_centric(const Exec& exec, const Csr& fine,
 
   // Step 2: owned-entry counts C.
   std::vector<eid_t> count(nc, 0);
-  parallel_for(exec, sn, [&](std::size_t su) {
-    for_each_coarse(su, [&](vid_t a, vid_t b, wgt_t) {
-      if (keep(a, b)) {
-        atomic_fetch_add(count[static_cast<std::size_t>(a)], eid_t{1});
-      }
+  {
+    prof::Region prof_count_owned("count_owned");
+    parallel_for(exec, sn, [&](std::size_t su) {
+      for_each_coarse(su, [&](vid_t a, vid_t b, wgt_t) {
+        if (keep(a, b)) {
+          atomic_fetch_add(count[static_cast<std::size_t>(a)], eid_t{1});
+        }
+      });
     });
-  });
+  }
 
   // Step 3: offsets R.
   std::vector<eid_t> r(nc + 1, 0);
@@ -340,38 +363,55 @@ Csr construct_vertex_centric(const Exec& exec, const Csr& fine,
   std::vector<vid_t> f(static_cast<std::size_t>(m_prime));
   std::vector<wgt_t> x(static_cast<std::size_t>(m_prime));
   std::vector<eid_t> cursor(nc, 0);
-  parallel_for(exec, sn, [&](std::size_t su) {
-    for_each_coarse(su, [&](vid_t a, vid_t b, wgt_t w) {
-      if (keep(a, b)) {
-        const eid_t l =
-            r[static_cast<std::size_t>(a)] +
-            atomic_fetch_add(cursor[static_cast<std::size_t>(a)], eid_t{1});
-        f[static_cast<std::size_t>(l)] = b;
-        x[static_cast<std::size_t>(l)] = w;
-      }
+  {
+    prof::Region prof_fill("fill");
+    parallel_for(exec, sn, [&](std::size_t su) {
+      for_each_coarse(su, [&](vid_t a, vid_t b, wgt_t w) {
+        if (keep(a, b)) {
+          const eid_t l =
+              r[static_cast<std::size_t>(a)] +
+              atomic_fetch_add(cursor[static_cast<std::size_t>(a)],
+                               eid_t{1});
+          f[static_cast<std::size_t>(l)] = b;
+          x[static_cast<std::size_t>(l)] = w;
+        }
+      });
     });
-  });
+  }
 
   // Step 5: per-vertex deduplication.
   std::vector<eid_t> dedup_count(nc, 0);
   for (std::size_t c = 0; c < nc; ++c) dedup_count[c] = count[c];
-  switch (opts.method) {
-    case Construction::kSort: dedup_sort(exec, r, f, x, dedup_count); break;
-    case Construction::kHash: dedup_hash(exec, r, f, x, dedup_count); break;
-    case Construction::kHeap: dedup_heap(exec, r, f, x, dedup_count); break;
-    case Construction::kHybrid:
-      dedup_hybrid(exec, r, f, x, dedup_count, opts.hybrid_hash_threshold);
-      break;
-    default: dedup_sort(exec, r, f, x, dedup_count); break;
+  {
+    prof::Region prof_dedup("dedup");
+    switch (opts.method) {
+      case Construction::kSort: dedup_sort(exec, r, f, x, dedup_count); break;
+      case Construction::kHash: dedup_hash(exec, r, f, x, dedup_count); break;
+      case Construction::kHeap: dedup_heap(exec, r, f, x, dedup_count); break;
+      case Construction::kHybrid:
+        dedup_hybrid(exec, r, f, x, dedup_count, opts.hybrid_hash_threshold);
+        break;
+      default: dedup_sort(exec, r, f, x, dedup_count); break;
+    }
   }
-  if (stats != nullptr) {
+  if (stats != nullptr || prof::enabled()) {
     eid_t dedup_total = 0;
     for (const eid_t c : dedup_count) dedup_total += c;
-    stats->duplication_factor =
-        dedup_total > 0 ? static_cast<double>(m_prime) / dedup_total : 1.0;
+    if (stats != nullptr) {
+      stats->duplication_factor =
+          dedup_total > 0 ? static_cast<double>(m_prime) / dedup_total : 1.0;
+    }
+    if (prof::enabled()) {
+      prof::add("construct.intermediate_entries",
+                static_cast<std::uint64_t>(m_prime));
+      prof::add("construct.dedup_entries",
+                static_cast<std::uint64_t>(dedup_total));
+      if (one_sided) prof::add("construct.onesided_levels", 1);
+    }
   }
 
   // Step 6: transpose-completion into the final symmetric CSR.
+  prof::Region prof_assemble("assemble");
   return assemble_from_segments(exec, cm, r, f, x, dedup_count, one_sided,
                                 fine);
 }
@@ -490,6 +530,8 @@ Csr construct_spgemm(const Exec& exec, const Csr& fine, const CoarseMap& cm,
 Csr construct_coarse_graph(const Exec& exec, const Csr& fine,
                            const CoarseMap& cm, const ConstructOptions& opts,
                            ConstructStats* stats) {
+  prof::Region prof_strategy(prof::enabled() ? construction_name(opts.method)
+                                             : std::string());
   switch (opts.method) {
     case Construction::kSpgemm:
       return construct_spgemm(exec, fine, cm, stats);

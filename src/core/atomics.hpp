@@ -1,8 +1,24 @@
 #pragma once
 // Lock-free atomic helpers over plain arrays, mirroring the Kokkos atomic
-// interface the paper's algorithms are written against (atomic_compare_
-// exchange, atomic_fetch_add). Implemented with C++20 std::atomic_ref so the
-// underlying containers stay ordinary std::vector<T>.
+// interface the paper's algorithms are written against. Implemented with
+// C++20 std::atomic_ref so the underlying containers stay ordinary
+// std::vector<T>.
+//
+// Kokkos mapping:
+//   atomic_cas        ↔ Kokkos::atomic_compare_exchange
+//   atomic_fetch_add  ↔ Kokkos::atomic_fetch_add
+//   atomic_load/store ↔ Kokkos::atomic_load / atomic_store
+//   atomic_fetch_max  ↔ Kokkos::atomic_fetch_max
+//   atomic_fetch_min  ↔ Kokkos::atomic_fetch_min
+//
+// Thread-safety contract: each call is individually atomic on its target
+// object and safe from any number of threads concurrently, provided every
+// concurrent access to that object goes through these helpers (mixing with
+// plain reads/writes of the same element during a parallel region is a data
+// race). RMW operations use acq_rel ordering, so a value published before an
+// atomic_store/CAS release is visible after the corresponding acquire load.
+// The target must be properly aligned and lock-free for T (true for the
+// 32/64-bit ints and floats used throughout).
 
 #include <atomic>
 

@@ -7,6 +7,21 @@
 // (Serial or Threads) at each call site, which is what makes the
 // implementations performance-portable in the sense of the paper: the same
 // algorithm text runs on the "host" (Serial) and the "device" (Threads).
+//
+// Kokkos mapping:
+//   Exec                     ↔ an execution space instance
+//                              (Kokkos::Serial / Kokkos::OpenMP)
+//   parallel_for             ↔ Kokkos::parallel_for(RangePolicy(0, n), body)
+//   parallel_reduce          ↔ Kokkos::parallel_reduce with a custom joiner
+//   parallel_exclusive_scan  ↔ Kokkos::parallel_scan (exclusive form)
+//
+// Thread-safety contract: an Exec is an immutable value type — copy and
+// share it freely. Dispatches block the caller until the whole range is
+// done (the caller participates as a worker), so kernel results are
+// visible to the submitting thread afterwards with no extra fencing. The
+// body must tolerate concurrent invocation for *distinct* indices; writes
+// to shared elements must go through atomics.hpp. Dispatching from inside
+// a running body (nested parallelism) is not supported.
 
 #include <algorithm>
 #include <cstddef>

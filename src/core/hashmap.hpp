@@ -6,6 +6,18 @@
 // power-of-two scratch region, so construction can carve one large scratch
 // allocation into disjoint per-vertex tables without repeated allocation —
 // the same pattern Kokkos Kernels uses for its sparse hashmap accumulator.
+//
+// Kokkos mapping: this header is the mgc analogue of the Kokkos Kernels
+// `HashmapAccumulator` (the uniform-memory variant with linear probing used
+// by KokkosSparse SpGEMM). There is no analogue of the Kokkos team-shared
+// variant because the Threads backend has no scratch-memory hierarchy.
+//
+// Thread-safety contract: a FlatAccumulator instance is NOT thread-safe —
+// it performs plain (non-atomic) reads and writes on its key/weight slots.
+// The intended use is one instance per worker, each over a disjoint slice
+// of a shared scratch allocation (disjoint slices may be used from
+// different threads concurrently). `hash_vid` and `next_pow2` are pure
+// functions and safe from any thread.
 
 #include <cassert>
 #include <cstddef>
@@ -15,7 +27,8 @@
 
 namespace mgc {
 
-/// Multiplicative hash for 32-bit vertex ids.
+/// Multiplicative hash for 32-bit vertex ids (a pure function; safe to call
+/// concurrently from any thread).
 inline std::uint32_t hash_vid(vid_t v) {
   auto x = static_cast<std::uint32_t>(v);
   x ^= x >> 16;
@@ -26,7 +39,7 @@ inline std::uint32_t hash_vid(vid_t v) {
   return x;
 }
 
-/// Smallest power of two >= max(x, 2).
+/// Smallest power of two >= max(x, 2). Pure function.
 inline std::size_t next_pow2(std::size_t x) {
   std::size_t p = 2;
   while (p < x) p <<= 1;
@@ -36,6 +49,12 @@ inline std::size_t next_pow2(std::size_t x) {
 /// Linear-probing (vid -> wgt) accumulator over external storage.
 /// `capacity` must be a power of two and strictly larger than the number of
 /// distinct keys inserted. Keys slots must be pre-filled with kInvalidVid.
+///
+/// Probe accounting: the accumulator counts every slot inspection (probe)
+/// and every occupied-by-other-key inspection (collision) in plain member
+/// counters, which callers may drain into `mgc::prof` counters after a
+/// batch (see construct.cpp). The counters are per-instance and carry no
+/// synchronization, matching the single-thread-per-instance contract.
 class FlatAccumulator {
  public:
   FlatAccumulator(vid_t* keys, wgt_t* weights, std::size_t capacity)
@@ -48,6 +67,7 @@ class FlatAccumulator {
   bool insert_or_add(vid_t key, wgt_t w) {
     std::size_t slot = hash_vid(key) & mask_;
     for (;;) {
+      ++probes_;
       if (keys_[slot] == key) {
         weights_[slot] += w;
         return false;
@@ -57,6 +77,7 @@ class FlatAccumulator {
         weights_[slot] = w;
         return true;
       }
+      ++collisions_;
       slot = (slot + 1) & mask_;
     }
   }
@@ -78,10 +99,17 @@ class FlatAccumulator {
 
   std::size_t capacity() const { return mask_ + 1; }
 
+  /// Total slot inspections across all insert_or_add calls.
+  std::uint64_t probes() const { return probes_; }
+  /// Inspections that hit a slot occupied by a different key.
+  std::uint64_t collisions() const { return collisions_; }
+
  private:
   vid_t* keys_;
   wgt_t* weights_;
   std::size_t mask_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t collisions_ = 0;
 };
 
 }  // namespace mgc

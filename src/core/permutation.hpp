@@ -6,6 +6,16 @@
 // and the permutation is the index array sorted by key. Because the keys are
 // a pure function of (seed, index), the result is deterministic and
 // backend-independent.
+//
+// Kokkos mapping: ParGenPerm in the paper is a parallel_for filling
+// (key, index) pairs followed by a Kokkos::sort by key; here the same two
+// steps run on the Exec backend via parallel_for and the parallel radix
+// sorter in sorting.hpp.
+//
+// Thread-safety contract: both functions are pure — they share no mutable
+// state, allocate their own result, and may be called concurrently from
+// any number of threads (par_gen_perm dispatches internally on `exec`, so
+// do not call it from inside another parallel body).
 
 #include <cstdint>
 #include <vector>

@@ -4,6 +4,7 @@
 
 #include "core/prng.hpp"
 #include "core/timer.hpp"
+#include "prof/prof.hpp"
 
 namespace mgc {
 
@@ -48,6 +49,8 @@ std::vector<int> Hierarchy::project_to_finest(
 
 Hierarchy coarsen_multilevel(const Exec& exec, const Csr& g,
                              const CoarsenOptions& opts) {
+  prof::Region prof_coarsen("coarsen");
+
   Hierarchy h;
   h.graphs.push_back(g);
   h.levels.push_back({g.num_vertices(), g.num_edges(), 0.0, 0.0});
@@ -60,9 +63,17 @@ Hierarchy coarsen_multilevel(const Exec& exec, const Csr& g,
     const Csr& fine = h.graphs.back();
     const vid_t n_before = fine.num_vertices();
     seed = splitmix64(seed + 0x5bd1e995);
+    const int level = h.num_levels();  // index of the level being built
+    prof::Region prof_level(prof::enabled()
+                                ? "level:" + std::to_string(level)
+                                : std::string());
 
     Timer t_map;
-    CoarseMap cm = compute_mapping(opts.mapping, exec, fine, seed);
+    CoarseMap cm;
+    {
+      prof::Region prof_map("mapping");
+      cm = compute_mapping(opts.mapping, exec, fine, seed);
+    }
     const double map_s = t_map.seconds();
 
     // Stall detection: if the mapping barely shrinks the graph, further
@@ -70,7 +81,11 @@ Hierarchy coarsen_multilevel(const Exec& exec, const Csr& g,
     if (cm.nc >= static_cast<vid_t>(opts.min_shrink * n_before)) break;
 
     Timer t_con;
-    Csr coarse = construct_coarse_graph(exec, fine, cm, opts.construct);
+    Csr coarse;
+    {
+      prof::Region prof_con("construct");
+      coarse = construct_coarse_graph(exec, fine, cm, opts.construct);
+    }
     const double con_s = t_con.seconds();
 
     resident_bytes += coarse.memory_bytes();
@@ -84,6 +99,16 @@ Hierarchy coarsen_multilevel(const Exec& exec, const Csr& g,
     // discard the coarsest graph and stop.
     if (n_before > opts.cutoff && n_after < opts.discard_below) {
       break;
+    }
+
+    if (prof::enabled()) {
+      const std::string prefix = "coarsen.level." + std::to_string(level);
+      prof::add("coarsen.levels", 1);
+      prof::add(prefix + ".n", static_cast<std::uint64_t>(n_after));
+      prof::add(prefix + ".m",
+                static_cast<std::uint64_t>(coarse.num_edges()));
+      prof::add(prefix + ".nnz",
+                static_cast<std::uint64_t>(coarse.num_entries()));
     }
 
     h.maps.push_back(std::move(cm));

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "partition/metrics.hpp"
+#include "prof/prof.hpp"
 
 namespace mgc {
 
@@ -44,6 +45,7 @@ wgt_t fm_refine(const Csr& g, std::vector<int>& part, const FmOptions& opts) {
   const vid_t n = g.num_vertices();
   const std::size_t sn = static_cast<std::size_t>(n);
   if (n == 0) return 0;
+  prof::Region prof_fm("fm_refine");
 
   wgt_t max_vwgt = 0;
   for (const wgt_t w : g.vwgts) max_vwgt = std::max(max_vwgt, w);
@@ -148,6 +150,12 @@ wgt_t fm_refine(const Csr& g, std::vector<int>& part, const FmOptions& opts) {
       part[su] = to;
       side[static_cast<std::size_t>(from)] -= g.vwgts[su];
       side[static_cast<std::size_t>(to)] += g.vwgts[su];
+    }
+    if (prof::enabled()) {
+      prof::add("fm.passes", 1);
+      prof::add("fm.moves", static_cast<std::uint64_t>(moves.size()));
+      prof::add("fm.rollbacks",
+                static_cast<std::uint64_t>(moves.size() - best_prefix));
     }
     const bool improved = best_cut < cut;
     cut = best_cut;

@@ -2,12 +2,14 @@
 
 #include "core/timer.hpp"
 #include "partition/metrics.hpp"
+#include "prof/prof.hpp"
 
 namespace mgc {
 
 FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
                                  const CoarsenOptions& copts,
                                  const SpectralOptions& sopts) {
+  prof::Region prof_fiedler("fiedler");
   FiedlerResult result;
   Timer t_coarsen;
   const Hierarchy h = coarsen_multilevel(exec, g, copts);
@@ -15,6 +17,7 @@ FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
   result.levels = h.num_levels();
 
   Timer t_solve;
+  prof::Region prof_solve("solve");
   // Solve on the coarsest graph, then interpolate up with re-refinement.
   SpectralStats stats;
   std::vector<double> fiedler = fiedler_vector(
@@ -43,6 +46,7 @@ FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
 PartitionResult multilevel_spectral_bisect(const Exec& exec, const Csr& g,
                                            const CoarsenOptions& copts,
                                            const SpectralOptions& sopts) {
+  prof::Region prof_bisect("spectral_bisect");
   PartitionResult result;
   const FiedlerResult fr = multilevel_fiedler(exec, g, copts, sopts);
   result.coarsen_seconds = fr.coarsen_seconds;
@@ -58,6 +62,7 @@ PartitionResult multilevel_fm_bisect(const Exec& exec, const Csr& g,
                                      const CoarsenOptions& copts,
                                      const FmOptions& fopts,
                                      const GggOptions& gopts) {
+  prof::Region prof_bisect("fm_bisect");
   PartitionResult result;
   Timer t_coarsen;
   const Hierarchy h = coarsen_multilevel(exec, g, copts);
@@ -65,8 +70,12 @@ PartitionResult multilevel_fm_bisect(const Exec& exec, const Csr& g,
   result.levels = h.num_levels();
 
   Timer t_refine;
-  std::vector<int> part =
-      greedy_graph_growing(h.coarsest(), copts.seed ^ 0x999, gopts);
+  prof::Region prof_refine("refine");
+  std::vector<int> part;
+  {
+    prof::Region prof_initial("initial");
+    part = greedy_graph_growing(h.coarsest(), copts.seed ^ 0x999, gopts);
+  }
   fm_refine(h.coarsest(), part, fopts);
   for (int level = h.num_levels() - 1; level > 0; --level) {
     part = h.project_one_level(part, level);

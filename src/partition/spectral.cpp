@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/prng.hpp"
+#include "prof/prof.hpp"
 #include "spla/matrix.hpp"
 
 namespace mgc {
@@ -44,6 +45,7 @@ std::vector<double> fiedler_vector(const Exec& exec, const Csr& g,
                                    const SpectralOptions& opts,
                                    const std::vector<double>* initial,
                                    SpectralStats* stats) {
+  prof::Region prof_solve("fiedler_solve");
   const vid_t n = g.num_vertices();
   const std::size_t sn = static_cast<std::size_t>(n);
   const std::vector<double> diag = weighted_degrees(g);
@@ -105,6 +107,7 @@ std::vector<double> fiedler_vector(const Exec& exec, const Csr& g,
     stats->iterations = iter;
     stats->residual = diff;
   }
+  prof::add("spectral.iterations", static_cast<std::uint64_t>(iter));
   return x;
 }
 

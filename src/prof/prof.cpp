@@ -1,0 +1,330 @@
+#include "prof/prof.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+namespace mgc::prof {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+struct Node {
+  std::string name;
+  Node* parent = nullptr;
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  // Fan-out per region is small (a handful of phases), so a linear scan
+  // over a vector beats a hash map on both lookup and merge.
+  std::vector<std::unique_ptr<Node>> children;
+
+  Node* child(const std::string& child_name) {
+    for (const auto& c : children) {
+      if (c->name == child_name) return c.get();
+    }
+    children.push_back(std::make_unique<Node>());
+    Node* c = children.back().get();
+    c->name = child_name;
+    c->parent = this;
+    return c;
+  }
+};
+
+struct ThreadState {
+  Node root;  ///< sentinel; top-level regions are its children
+  Node* current = &root;
+  std::vector<std::uint64_t> counters;  ///< indexed by CounterId
+};
+
+struct Global {
+  std::mutex mutex;
+  // Thread states are intentionally leaked at thread exit: the pool's
+  // workers live for the process anyway, and dead threads' totals must
+  // survive until the report is captured.
+  std::vector<ThreadState*> states;
+  std::vector<std::string> counter_names;
+  std::unordered_map<std::string, CounterId> counter_ids;
+  std::vector<ReportMeta> meta;
+};
+
+Global& global() {
+  static Global* g = new Global();  // never destroyed: threads may outlive main
+  return *g;
+}
+
+ThreadState& tls() {
+  thread_local ThreadState* state = nullptr;
+  if (state == nullptr) {
+    state = new ThreadState();
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.states.push_back(state);
+  }
+  return *state;
+}
+
+void merge_tree(const Node& from, ReportRegion& into) {
+  into.seconds += from.seconds;
+  into.count += from.count;
+  for (const auto& fc : from.children) {
+    ReportRegion* target = nullptr;
+    for (ReportRegion& ic : into.children) {
+      if (ic.name == fc->name) {
+        target = &ic;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      into.children.push_back(ReportRegion{fc->name, 0.0, 0, {}});
+      target = &into.children.back();
+    }
+    merge_tree(*fc, *target);
+  }
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+void region_json(std::string& out, const ReportRegion& r, int depth) {
+  indent(out, depth);
+  out += "{\"name\": \"";
+  json_escape(out, r.name);
+  out += "\", \"seconds\": ";
+  append_double(out, r.seconds);
+  out += ", \"count\": " + std::to_string(r.count) + ", \"children\": [";
+  if (r.children.empty()) {
+    out += "]}";
+    return;
+  }
+  out += '\n';
+  for (std::size_t i = 0; i < r.children.size(); ++i) {
+    region_json(out, r.children[i], depth + 1);
+    if (i + 1 < r.children.size()) out += ',';
+    out += '\n';
+  }
+  indent(out, depth);
+  out += "]}";
+}
+
+Node* region_enter(const std::string& name) {
+  ThreadState& st = tls();
+  st.current = st.current->child(name);
+  return st.current;
+}
+
+Node* region_enter(const char* name) {
+  // Delegate through a temporary string; region entry is a cold path
+  // relative to the work a region wraps.
+  return region_enter(std::string(name));
+}
+
+void region_exit(Node* node, double seconds) {
+  node->seconds += seconds;
+  node->count += 1;
+  tls().current = node->parent;
+}
+
+void counter_add_slow(std::uint32_t id, std::uint64_t delta) {
+  ThreadState& st = tls();
+  if (st.counters.size() <= id) st.counters.resize(id + 1, 0);
+  st.counters[id] += delta;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace detail
+
+void enable(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  for (auto* st : g.states) {
+    st->root.children.clear();
+    st->root.seconds = 0.0;
+    st->root.count = 0;
+    st->current = &st->root;
+    std::fill(st->counters.begin(), st->counters.end(), 0);
+  }
+  g.meta.clear();
+}
+
+CounterId counter(const std::string& name) {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  auto it = g.counter_ids.find(name);
+  if (it != g.counter_ids.end()) return it->second;
+  const CounterId id = static_cast<CounterId>(g.counter_names.size());
+  g.counter_names.push_back(name);
+  g.counter_ids.emplace(name, id);
+  return id;
+}
+
+namespace {
+
+void set_meta_value(ReportMeta value) {
+  if (!enabled()) return;
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  for (ReportMeta& m : g.meta) {
+    if (m.key == value.key) {
+      m = std::move(value);
+      return;
+    }
+  }
+  g.meta.push_back(std::move(value));
+}
+
+}  // namespace
+
+void set_meta(const std::string& key, const std::string& value) {
+  ReportMeta m;
+  m.key = key;
+  m.kind = ReportMeta::Kind::kString;
+  m.str = value;
+  set_meta_value(std::move(m));
+}
+
+void set_meta(const std::string& key, long long value) {
+  ReportMeta m;
+  m.key = key;
+  m.kind = ReportMeta::Kind::kInt;
+  m.i = value;
+  set_meta_value(std::move(m));
+}
+
+void set_meta(const std::string& key, double value) {
+  ReportMeta m;
+  m.key = key;
+  m.kind = ReportMeta::Kind::kFloat;
+  m.f = value;
+  set_meta_value(std::move(m));
+}
+
+Report capture() {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+
+  Report report;
+  ReportRegion merged_root;
+  for (const auto* st : g.states) detail::merge_tree(st->root, merged_root);
+  report.regions = std::move(merged_root.children);
+
+  std::vector<std::uint64_t> totals(g.counter_names.size(), 0);
+  for (const auto* st : g.states) {
+    for (std::size_t i = 0; i < st->counters.size(); ++i) {
+      totals[i] += st->counters[i];
+    }
+  }
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    report.counters.emplace_back(g.counter_names[i], totals[i]);
+  }
+  std::sort(report.counters.begin(), report.counters.end());
+
+  report.meta = g.meta;
+  return report;
+}
+
+std::string Report::to_json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"";
+  out += kSchemaName;
+  out += "\",\n  \"version\": " + std::to_string(kSchemaVersion) + ",\n";
+
+  out += "  \"meta\": {";
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n    \"";
+    detail::json_escape(out, meta[i].key);
+    out += "\": ";
+    switch (meta[i].kind) {
+      case ReportMeta::Kind::kString:
+        out += '"';
+        detail::json_escape(out, meta[i].str);
+        out += '"';
+        break;
+      case ReportMeta::Kind::kInt:
+        out += std::to_string(meta[i].i);
+        break;
+      case ReportMeta::Kind::kFloat:
+        detail::append_double(out, meta[i].f);
+        break;
+    }
+  }
+  if (!meta.empty()) out += "\n  ";
+  out += "},\n";
+
+  out += "  \"regions\": [";
+  if (!regions.empty()) {
+    out += '\n';
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      detail::region_json(out, regions[i], 2);
+      if (i + 1 < regions.size()) out += ',';
+      out += '\n';
+    }
+    out += "  ";
+  }
+  out += "],\n";
+
+  out += "  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n    \"";
+    detail::json_escape(out, counters[i].first);
+    out += "\": " + std::to_string(counters[i].second);
+  }
+  if (!counters.empty()) out += "\n  ";
+  out += "}\n}\n";
+  return out;
+}
+
+void write_json(std::ostream& os) { os << capture().to_json(); }
+
+bool write_json_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << capture().to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mgc::prof

@@ -1,0 +1,187 @@
+#pragma once
+// mgc::prof — scoped-region profiler and counter registry (the library's
+// observability layer; see docs/profiling.md for the JSON schema).
+//
+// Design goals, in order:
+//   1. Near-zero cost when disabled: every entry point is an inline
+//      relaxed atomic-bool check followed by a branch; no clock reads, no
+//      allocation, no locking on the disabled path.
+//   2. Thread-safe under Backend::Threads: regions and counters accumulate
+//      into per-thread state (registered once per thread under a mutex)
+//      and are merged by name/path only when a Report is captured.
+//   3. Stable output: reports serialise to the versioned JSON schema
+//      documented in docs/profiling.md, so benches, the CLI, and tests all
+//      emit and consume the same format.
+//
+// Usage:
+//   prof::enable();
+//   {
+//     prof::Region r("coarsen");          // wall time + invocation count
+//     ...
+//     prof::add("hec.passes", passes);    // named counter (slow lookup)
+//   }
+//   static const prof::CounterId kProbes = prof::counter("hash.probes");
+//   prof::add(kProbes, n);                // hot-path counter (index add)
+//   prof::write_json_file("out.json");
+//
+// Contracts:
+//   - Region times are INCLUSIVE of child regions; exclusive time is
+//     derived by consumers as seconds - sum(children.seconds).
+//   - Regions opened inside a parallel_for body attach to the worker
+//     thread's own region stack (whose parent is the root), NOT to the
+//     region open on the submitting thread. Open regions on the driver
+//     thread; use counters inside parallel bodies.
+//   - capture() / reset() must be called with no Region open and no
+//     parallel work in flight; they lock out concurrent registration but
+//     cannot snapshot a half-open region meaningfully.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgc::prof {
+
+/// JSON schema version emitted by Report::to_json (see docs/profiling.md).
+inline constexpr int kSchemaVersion = 1;
+inline constexpr const char* kSchemaName = "mgc-profile";
+
+namespace detail {
+
+struct Node;  // per-thread region-tree node (opaque outside prof.cpp)
+
+extern std::atomic<bool> g_enabled;
+
+Node* region_enter(const char* name);
+Node* region_enter(const std::string& name);
+void region_exit(Node* node, double seconds);
+void counter_add_slow(std::uint32_t id, std::uint64_t delta);
+double now_seconds();
+
+}  // namespace detail
+
+/// Is profiling currently enabled? Inline relaxed load — the only cost any
+/// prof entry point pays when profiling is off.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on/off. Accumulated data is kept across toggles;
+/// call reset() to discard it.
+void enable(bool on = true);
+
+/// Discards all accumulated region times, counts, counter values, and
+/// metadata. Counter registrations (names/ids) survive.
+void reset();
+
+// ---------------------------------------------------------------------------
+// Scoped regions
+// ---------------------------------------------------------------------------
+
+/// RAII wall-clock region. Nesting Regions on one thread builds the region
+/// tree; re-entering the same name under the same parent accumulates into
+/// one node (seconds summed, count incremented per entry).
+class Region {
+ public:
+  explicit Region(const char* name) {
+    if (enabled()) begin(detail::region_enter(name));
+  }
+  explicit Region(const std::string& name) {
+    if (enabled()) begin(detail::region_enter(name));
+  }
+  ~Region() {
+    if (node_ != nullptr) detail::region_exit(node_, detail::now_seconds() - start_);
+  }
+
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+ private:
+  void begin(detail::Node* node) {
+    node_ = node;
+    start_ = detail::now_seconds();
+  }
+
+  detail::Node* node_ = nullptr;
+  double start_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Dense id of a registered counter; valid for the process lifetime.
+using CounterId = std::uint32_t;
+
+/// Registers (or looks up) a counter by name and returns its id. Takes a
+/// mutex — call once (e.g. into a function-local static) for hot paths.
+CounterId counter(const std::string& name);
+
+/// Adds `delta` to a registered counter. Per-thread accumulation; totals
+/// are summed across threads at capture(). No-op while disabled.
+inline void add(CounterId id, std::uint64_t delta = 1) {
+  if (enabled()) detail::counter_add_slow(id, delta);
+}
+
+/// Convenience name-based add for cold paths (per level / per invocation):
+/// registers the name on first use.
+inline void add(const std::string& name, std::uint64_t delta = 1) {
+  if (enabled()) detail::counter_add_slow(counter(name), delta);
+}
+
+// ---------------------------------------------------------------------------
+// Run metadata
+// ---------------------------------------------------------------------------
+
+/// Attaches a key -> value pair to the next captured report ("graph",
+/// "backend", "n", ...). Last write per key wins. No-op while disabled.
+void set_meta(const std::string& key, const std::string& value);
+void set_meta(const std::string& key, long long value);
+void set_meta(const std::string& key, double value);
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// One merged region-tree node of a captured report.
+struct ReportRegion {
+  std::string name;
+  double seconds = 0.0;       ///< inclusive wall seconds
+  std::uint64_t count = 0;    ///< times the region was entered
+  std::vector<ReportRegion> children;
+};
+
+struct ReportMeta {
+  enum class Kind { kString, kInt, kFloat };
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string str;       ///< kString payload
+  long long i = 0;       ///< kInt payload
+  double f = 0.0;        ///< kFloat payload
+};
+
+/// A point-in-time snapshot: per-thread trees merged by path, counters
+/// summed across threads.
+struct Report {
+  std::vector<ReportRegion> regions;  ///< top-level regions, merged
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< by name
+  std::vector<ReportMeta> meta;       ///< insertion-ordered
+
+  /// Serialises to the versioned JSON schema (docs/profiling.md).
+  std::string to_json() const;
+};
+
+/// Merges and snapshots all per-thread state. Accumulation continues
+/// afterwards; capture() does not reset.
+Report capture();
+
+/// capture() + serialise to `os`.
+void write_json(std::ostream& os);
+
+/// capture() + write to `path`. Returns false if the file cannot be
+/// opened/written.
+bool write_json_file(const std::string& path);
+
+}  // namespace mgc::prof

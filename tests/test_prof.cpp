@@ -1,0 +1,410 @@
+// mgc::prof — region accounting, cross-thread counter merging, disabled-mode
+// no-op behaviour, and JSON round-trip against the schema documented in
+// docs/profiling.md.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "prof/prof.hpp"
+
+namespace {
+
+using namespace mgc;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser — just enough to round-trip and
+// validate Report::to_json against the documented schema. Supports objects,
+// arrays, strings (with the escapes the writer emits), numbers, and the
+// bare literals true/false/null.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;  // insertion order
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f' || c == 'n') return literal();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      JsonValue key = string_value();
+      expect(':');
+      v.obj.emplace_back(key.str, value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          ADD_FAILURE() << "bad escape at end of input";
+          return v;
+        }
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            // The writer only emits \u00xx for control bytes.
+            const int code = std::stoi(s_.substr(pos_, 4), nullptr, 16);
+            pos_ += 4;
+            c = static_cast<char>(code);
+            break;
+          }
+          default: ADD_FAILURE() << "unsupported escape \\" << e;
+        }
+      }
+      v.str += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue literal() {
+    JsonValue v;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      v.b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+    } else if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+    } else {
+      ADD_FAILURE() << "bad literal at offset " << pos_;
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    v.num = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Test fixture: every test starts disabled with a clean slate.
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prof::enable(false);
+    prof::reset();
+  }
+  void TearDown() override {
+    prof::enable(false);
+    prof::reset();
+  }
+};
+
+void spin_for_ms(double ms) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+             .count() < ms) {
+  }
+}
+
+const prof::ReportRegion* find_region(
+    const std::vector<prof::ReportRegion>& regions, const std::string& name) {
+  for (const auto& r : regions) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+TEST_F(ProfTest, NestedRegionAccounting) {
+  prof::enable();
+  {
+    prof::Region outer("outer");
+    spin_for_ms(2.0);
+    {
+      prof::Region inner("inner");
+      spin_for_ms(2.0);
+    }
+    {
+      prof::Region inner("inner");  // same name accumulates into one node
+      spin_for_ms(2.0);
+    }
+  }
+  const prof::Report report = prof::capture();
+
+  const prof::ReportRegion* outer = find_region(report.regions, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  ASSERT_EQ(outer->children.size(), 1u);
+  const prof::ReportRegion& inner = outer->children[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.count, 2u);
+  // Parent time is inclusive: outer >= both inner entries, and inner has
+  // ~4ms of the ~6ms total.
+  EXPECT_GE(outer->seconds, inner.seconds);
+  EXPECT_GE(inner.seconds, 0.003);
+  EXPECT_GE(outer->seconds, 0.005);
+  // "inner" is not a top-level region.
+  EXPECT_EQ(find_region(report.regions, "inner"), nullptr);
+}
+
+TEST_F(ProfTest, RepeatedEntryAccumulates) {
+  prof::enable();
+  for (int i = 0; i < 5; ++i) {
+    prof::Region r("loop");
+  }
+  const prof::Report report = prof::capture();
+  const prof::ReportRegion* loop = find_region(report.regions, "loop");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->count, 5u);
+}
+
+TEST_F(ProfTest, CounterMergeAcrossThreads) {
+  prof::enable();
+  static const prof::CounterId id = prof::counter("test.parallel_adds");
+  const std::size_t n = 100000;
+  // Every parallel_for iteration bumps the counter from whichever pool
+  // worker runs it; the report must see the exact total.
+  parallel_for(Exec::threads(), n, [&](std::size_t) { prof::add(id, 1); });
+  prof::add("test.named_counter", 7);
+
+  const prof::Report report = prof::capture();
+  std::map<std::string, std::uint64_t> counters(report.counters.begin(),
+                                                report.counters.end());
+  EXPECT_EQ(counters.at("test.parallel_adds"), n);
+  EXPECT_EQ(counters.at("test.named_counter"), 7u);
+}
+
+TEST_F(ProfTest, DisabledModeIsNoOp) {
+  ASSERT_FALSE(prof::enabled());
+  {
+    prof::Region r("should_not_appear");
+    prof::add("test.disabled_counter", 123);
+    prof::set_meta("key", "value");
+  }
+  const prof::Report report = prof::capture();
+  EXPECT_EQ(find_region(report.regions, "should_not_appear"), nullptr);
+  for (const auto& [name, total] : report.counters) {
+    EXPECT_EQ(total, 0u) << name;
+  }
+  EXPECT_TRUE(report.meta.empty());
+}
+
+TEST_F(ProfTest, ResetDiscardsAccumulatedState) {
+  prof::enable();
+  {
+    prof::Region r("ephemeral");
+    prof::add("test.reset_counter", 5);
+  }
+  prof::reset();
+  const prof::Report report = prof::capture();
+  EXPECT_TRUE(report.regions.empty());
+  for (const auto& [name, total] : report.counters) {
+    EXPECT_EQ(total, 0u) << name;
+  }
+}
+
+// JSON round-trip: emit a report with regions, counters, and all three
+// meta kinds, re-parse it, and check every schema field documented in
+// docs/profiling.md.
+TEST_F(ProfTest, JsonRoundTripMatchesSchema) {
+  prof::enable();
+  prof::set_meta("graph", "gen:rmat:10,8");
+  prof::set_meta("n", static_cast<long long>(1024));
+  prof::set_meta("ratio", 2.5);
+  prof::set_meta("quoted \"name\"", "line\nbreak");  // exercises escaping
+  {
+    prof::Region outer("coarsen");
+    {
+      prof::Region inner("level:1");
+      spin_for_ms(1.0);
+    }
+  }
+  prof::add("hec.passes", 3);
+
+  const std::string json = prof::capture().to_json();
+  JsonParser parser(json);
+  const JsonValue doc = parser.parse();
+
+  // Top-level schema: schema / version / meta / regions / counters.
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->str, prof::kSchemaName);
+  ASSERT_NE(doc.find("version"), nullptr);
+  EXPECT_EQ(doc.find("version")->num, prof::kSchemaVersion);
+
+  const JsonValue* meta = doc.find("meta");
+  ASSERT_NE(meta, nullptr);
+  ASSERT_EQ(meta->kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(meta->find("graph")->str, "gen:rmat:10,8");
+  EXPECT_EQ(meta->find("n")->num, 1024);
+  EXPECT_EQ(meta->find("ratio")->num, 2.5);
+  EXPECT_EQ(meta->find("quoted \"name\"")->str, "line\nbreak");
+
+  const JsonValue* regions = doc.find("regions");
+  ASSERT_NE(regions, nullptr);
+  ASSERT_EQ(regions->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(regions->arr.size(), 1u);
+  const JsonValue& coarsen = regions->arr[0];
+  EXPECT_EQ(coarsen.find("name")->str, "coarsen");
+  EXPECT_EQ(coarsen.find("count")->num, 1);
+  EXPECT_GT(coarsen.find("seconds")->num, 0.0);
+  const JsonValue* children = coarsen.find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->arr.size(), 1u);
+  const JsonValue& level = children->arr[0];
+  EXPECT_EQ(level.find("name")->str, "level:1");
+  EXPECT_GE(level.find("seconds")->num, 0.0005);
+  EXPECT_LE(level.find("seconds")->num, coarsen.find("seconds")->num);
+  EXPECT_EQ(level.find("children")->arr.size(), 0u);
+
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->kind, JsonValue::Kind::kObject);
+  ASSERT_NE(counters->find("hec.passes"), nullptr);
+  EXPECT_EQ(counters->find("hec.passes")->num, 3);
+  // Counter keys are emitted in sorted order.
+  for (std::size_t i = 1; i < counters->obj.size(); ++i) {
+    EXPECT_LT(counters->obj[i - 1].first, counters->obj[i].first);
+  }
+}
+
+// The empty report (nothing recorded) must still be schema-valid.
+TEST_F(ProfTest, EmptyReportIsValidJson) {
+  prof::reset();
+  const std::string json = prof::Report{}.to_json();
+  JsonParser parser(json);
+  const JsonValue doc = parser.parse();
+  EXPECT_EQ(doc.find("schema")->str, prof::kSchemaName);
+  EXPECT_EQ(doc.find("regions")->arr.size(), 0u);
+  EXPECT_EQ(doc.find("counters")->obj.size(), 0u);
+  EXPECT_EQ(doc.find("meta")->obj.size(), 0u);
+}
+
+// Regions opened on distinct std::threads merge by path into one tree.
+TEST_F(ProfTest, RegionsMergeAcrossThreads) {
+  prof::enable();
+  auto work = [] {
+    prof::Region r("worker_region");
+    spin_for_ms(1.0);
+  };
+  std::thread t1(work);
+  std::thread t2(work);
+  t1.join();
+  t2.join();
+  work();  // and once on this thread
+
+  const prof::Report report = prof::capture();
+  const prof::ReportRegion* merged =
+      find_region(report.regions, "worker_region");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count, 3u);
+  EXPECT_GE(merged->seconds, 0.002);
+}
+
+}  // namespace

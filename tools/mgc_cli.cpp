@@ -22,6 +22,10 @@
 //   --backend serial|threads       --seed S
 //   --cutoff C                     --refine fm|spectral (bisect)
 //   --part-out FILE                write per-vertex part/cluster ids
+//   --profile FILE.json            write an mgc-profile JSON report (see
+//                                  docs/profiling.md for the schema)
+//
+// Flags accept both "--flag value" and "--flag=value" forms.
 
 #include <cstdio>
 #include <cstdlib>
@@ -65,10 +69,19 @@ Args parse_args(int argc, char** argv) {
   }
   a.command = argv[1];
   a.graph = argv[2];
-  for (int i = 3; i + 1 < argc; i += 2) {
+  for (int i = 3; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) die("bad flag: " +
                                                  std::string(argv[i]));
-    a.flags[argv[i] + 2] = argv[i + 1];
+    const std::string flag = argv[i] + 2;
+    const std::size_t eq = flag.find('=');
+    if (eq != std::string::npos) {
+      a.flags[flag.substr(0, eq)] = flag.substr(eq + 1);
+      i += 1;
+    } else {
+      if (i + 1 >= argc) die("flag needs a value: --" + flag);
+      a.flags[flag] = argv[i + 1];
+      i += 2;
+    }
   }
   return a;
 }
@@ -106,16 +119,41 @@ void write_assignment(const std::string& path, const std::vector<int>& a) {
   std::printf("wrote %zu assignments to %s\n", a.size(), path.c_str());
 }
 
+// Writes the profile report when run() exits through any branch.
+struct ProfileWriter {
+  std::string path;
+  ~ProfileWriter() {
+    if (path.empty()) return;
+    if (prof::write_json_file(path)) {
+      std::printf("wrote profile to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "mgc: failed to write profile %s\n", path.c_str());
+    }
+  }
+};
+
 int run(const Args& args) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const Exec exec = args.get("backend", "threads") == "serial"
-                        ? Exec::serial()
-                        : Exec::threads();
+  const std::string backend = args.get("backend", "threads");
+  const Exec exec = backend == "serial" ? Exec::serial() : Exec::threads();
+  const ProfileWriter profile{args.get("profile", "")};
+  if (!profile.path.empty()) {
+    prof::enable();
+    prof::set_meta("tool", "mgc_cli");
+    prof::set_meta("command", args.command);
+    prof::set_meta("graph", args.graph);
+    prof::set_meta("backend", backend);
+    prof::set_meta("seed", static_cast<long long>(seed));
+    prof::set_meta("threads",
+                   static_cast<long long>(exec.concurrency()));
+  }
   if (!is_generator_spec(args.graph)) {
     std::printf("loading %s ...\n", args.graph.c_str());
   }
   const Csr g = load_graph_spec(args.graph, seed);
+  prof::set_meta("n", static_cast<long long>(g.num_vertices()));
+  prof::set_meta("m", static_cast<long long>(g.num_edges()));
   std::printf("graph: n=%d m=%lld avg_deg=%.2f skew=%.1f\n",
               g.num_vertices(), static_cast<long long>(g.num_edges()),
               g.num_vertices() > 0
