@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_construction_device.dir/table2_construction_device.cpp.o"
+  "CMakeFiles/table2_construction_device.dir/table2_construction_device.cpp.o.d"
+  "table2_construction_device"
+  "table2_construction_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_construction_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_fm_bisection.dir/table6_fm_bisection.cpp.o"
+  "CMakeFiles/table6_fm_bisection.dir/table6_fm_bisection.cpp.o.d"
+  "table6_fm_bisection"
+  "table6_fm_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_fm_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

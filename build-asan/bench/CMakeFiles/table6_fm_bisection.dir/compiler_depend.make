@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_fm_bisection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_fm_bisection.
+# This may be replaced when dependencies are built.

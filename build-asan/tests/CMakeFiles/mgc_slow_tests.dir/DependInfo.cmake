@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/slow/test_checked_pipeline.cpp" "tests/CMakeFiles/mgc_slow_tests.dir/slow/test_checked_pipeline.cpp.o" "gcc" "tests/CMakeFiles/mgc_slow_tests.dir/slow/test_checked_pipeline.cpp.o.d"
+  "/root/repo/tests/slow/test_determinism_sweep.cpp" "tests/CMakeFiles/mgc_slow_tests.dir/slow/test_determinism_sweep.cpp.o" "gcc" "tests/CMakeFiles/mgc_slow_tests.dir/slow/test_determinism_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/mgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_slow_tests.dir/slow/test_checked_pipeline.cpp.o"
+  "CMakeFiles/mgc_slow_tests.dir/slow/test_checked_pipeline.cpp.o.d"
+  "CMakeFiles/mgc_slow_tests.dir/slow/test_determinism_sweep.cpp.o"
+  "CMakeFiles/mgc_slow_tests.dir/slow/test_determinism_sweep.cpp.o.d"
+  "mgc_slow_tests"
+  "mgc_slow_tests.pdb"
+  "mgc_slow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_slow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

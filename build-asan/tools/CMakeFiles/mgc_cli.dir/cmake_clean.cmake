@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_cli.dir/mgc_cli.cpp.o"
+  "CMakeFiles/mgc_cli.dir/mgc_cli.cpp.o.d"
+  "mgc"
+  "mgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

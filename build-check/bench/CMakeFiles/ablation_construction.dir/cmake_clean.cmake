@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_construction.dir/ablation_construction.cpp.o"
+  "CMakeFiles/ablation_construction.dir/ablation_construction.cpp.o.d"
+  "ablation_construction"
+  "ablation_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

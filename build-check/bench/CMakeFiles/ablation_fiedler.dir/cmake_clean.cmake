@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fiedler.dir/ablation_fiedler.cpp.o"
+  "CMakeFiles/ablation_fiedler.dir/ablation_fiedler.cpp.o.d"
+  "ablation_fiedler"
+  "ablation_fiedler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fiedler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

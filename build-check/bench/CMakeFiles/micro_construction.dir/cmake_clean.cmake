@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_construction.dir/micro_construction.cpp.o"
+  "CMakeFiles/micro_construction.dir/micro_construction.cpp.o.d"
+  "micro_construction"
+  "micro_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

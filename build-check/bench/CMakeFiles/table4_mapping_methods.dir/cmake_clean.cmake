@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mapping_methods.dir/table4_mapping_methods.cpp.o"
+  "CMakeFiles/table4_mapping_methods.dir/table4_mapping_methods.cpp.o.d"
+  "table4_mapping_methods"
+  "table4_mapping_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mapping_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

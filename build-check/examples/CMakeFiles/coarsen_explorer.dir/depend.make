@@ -1,0 +1,2 @@
+# Empty dependencies file for coarsen_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_bisection.dir/fem_bisection.cpp.o"
+  "CMakeFiles/fem_bisection.dir/fem_bisection.cpp.o.d"
+  "fem_bisection"
+  "fem_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

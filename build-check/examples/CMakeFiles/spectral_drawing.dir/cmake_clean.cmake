@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_drawing.dir/spectral_drawing.cpp.o"
+  "CMakeFiles/spectral_drawing.dir/spectral_drawing.cpp.o.d"
+  "spectral_drawing"
+  "spectral_drawing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_drawing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mgc_slow_tests.
+# This may be replaced when dependencies are built.

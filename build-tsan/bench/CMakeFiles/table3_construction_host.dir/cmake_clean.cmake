@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_construction_host.dir/table3_construction_host.cpp.o"
+  "CMakeFiles/table3_construction_host.dir/table3_construction_host.cpp.o.d"
+  "table3_construction_host"
+  "table3_construction_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_construction_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_spectral_bisection.dir/table5_spectral_bisection.cpp.o"
+  "CMakeFiles/table5_spectral_bisection.dir/table5_spectral_bisection.cpp.o.d"
+  "table5_spectral_bisection"
+  "table5_spectral_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_spectral_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

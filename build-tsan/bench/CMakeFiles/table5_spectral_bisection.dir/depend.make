@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_spectral_bisection.
+# This may be replaced when dependencies are built.

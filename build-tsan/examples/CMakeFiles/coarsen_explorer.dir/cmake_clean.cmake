@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarsen_explorer.dir/coarsen_explorer.cpp.o"
+  "CMakeFiles/coarsen_explorer.dir/coarsen_explorer.cpp.o.d"
+  "coarsen_explorer"
+  "coarsen_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarsen_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

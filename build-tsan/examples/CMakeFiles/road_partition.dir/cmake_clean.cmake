@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_partition.dir/road_partition.cpp.o"
+  "CMakeFiles/road_partition.dir/road_partition.cpp.o.d"
+  "road_partition"
+  "road_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/check.cpp" "src/CMakeFiles/mgc.dir/check/check.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/check/check.cpp.o.d"
+  "/root/repo/src/check/determinism.cpp" "src/CMakeFiles/mgc.dir/check/determinism.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/check/determinism.cpp.o.d"
+  "/root/repo/src/cluster/clustering.cpp" "src/CMakeFiles/mgc.dir/cluster/clustering.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/cluster/clustering.cpp.o.d"
+  "/root/repo/src/coarsen/ace.cpp" "src/CMakeFiles/mgc.dir/coarsen/ace.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/coarsen/ace.cpp.o.d"
+  "/root/repo/src/coarsen/bsuitor.cpp" "src/CMakeFiles/mgc.dir/coarsen/bsuitor.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/coarsen/bsuitor.cpp.o.d"
+  "/root/repo/src/coarsen/gosh.cpp" "src/CMakeFiles/mgc.dir/coarsen/gosh.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/coarsen/gosh.cpp.o.d"
+  "/root/repo/src/coarsen/hec.cpp" "src/CMakeFiles/mgc.dir/coarsen/hec.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/coarsen/hec.cpp.o.d"
+  "/root/repo/src/coarsen/hem.cpp" "src/CMakeFiles/mgc.dir/coarsen/hem.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/coarsen/hem.cpp.o.d"
+  "/root/repo/src/coarsen/mapping.cpp" "src/CMakeFiles/mgc.dir/coarsen/mapping.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/coarsen/mapping.cpp.o.d"
+  "/root/repo/src/coarsen/mis2.cpp" "src/CMakeFiles/mgc.dir/coarsen/mis2.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/coarsen/mis2.cpp.o.d"
+  "/root/repo/src/coarsen/suitor.cpp" "src/CMakeFiles/mgc.dir/coarsen/suitor.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/coarsen/suitor.cpp.o.d"
+  "/root/repo/src/coarsen/two_hop.cpp" "src/CMakeFiles/mgc.dir/coarsen/two_hop.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/coarsen/two_hop.cpp.o.d"
+  "/root/repo/src/construct/construct.cpp" "src/CMakeFiles/mgc.dir/construct/construct.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/construct/construct.cpp.o.d"
+  "/root/repo/src/core/permutation.cpp" "src/CMakeFiles/mgc.dir/core/permutation.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/core/permutation.cpp.o.d"
+  "/root/repo/src/core/sorting.cpp" "src/CMakeFiles/mgc.dir/core/sorting.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/core/sorting.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/CMakeFiles/mgc.dir/core/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/core/thread_pool.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/mgc.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/mgc.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io_mm.cpp" "src/CMakeFiles/mgc.dir/graph/io_mm.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/graph/io_mm.cpp.o.d"
+  "/root/repo/src/graph/spec.cpp" "src/CMakeFiles/mgc.dir/graph/spec.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/graph/spec.cpp.o.d"
+  "/root/repo/src/multilevel/coarsener.cpp" "src/CMakeFiles/mgc.dir/multilevel/coarsener.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/multilevel/coarsener.cpp.o.d"
+  "/root/repo/src/partition/fm.cpp" "src/CMakeFiles/mgc.dir/partition/fm.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/partition/fm.cpp.o.d"
+  "/root/repo/src/partition/ggg.cpp" "src/CMakeFiles/mgc.dir/partition/ggg.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/partition/ggg.cpp.o.d"
+  "/root/repo/src/partition/kway.cpp" "src/CMakeFiles/mgc.dir/partition/kway.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/partition/kway.cpp.o.d"
+  "/root/repo/src/partition/metrics.cpp" "src/CMakeFiles/mgc.dir/partition/metrics.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/partition/metrics.cpp.o.d"
+  "/root/repo/src/partition/parallel_refine.cpp" "src/CMakeFiles/mgc.dir/partition/parallel_refine.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/partition/parallel_refine.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/CMakeFiles/mgc.dir/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/partition/partitioner.cpp.o.d"
+  "/root/repo/src/partition/spectral.cpp" "src/CMakeFiles/mgc.dir/partition/spectral.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/partition/spectral.cpp.o.d"
+  "/root/repo/src/prof/prof.cpp" "src/CMakeFiles/mgc.dir/prof/prof.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/prof/prof.cpp.o.d"
+  "/root/repo/src/spla/matrix.cpp" "src/CMakeFiles/mgc.dir/spla/matrix.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/spla/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

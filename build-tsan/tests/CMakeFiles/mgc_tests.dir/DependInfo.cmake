@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_check.cpp" "tests/CMakeFiles/mgc_tests.dir/test_check.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_check.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/mgc_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_coarsen_ace.cpp" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_ace.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_ace.cpp.o.d"
+  "/root/repo/tests/test_coarsen_bsuitor.cpp" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_bsuitor.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_bsuitor.cpp.o.d"
+  "/root/repo/tests/test_coarsen_gosh.cpp" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_gosh.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_gosh.cpp.o.d"
+  "/root/repo/tests/test_coarsen_hec.cpp" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_hec.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_hec.cpp.o.d"
+  "/root/repo/tests/test_coarsen_hem.cpp" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_hem.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_hem.cpp.o.d"
+  "/root/repo/tests/test_coarsen_mapping.cpp" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_mapping.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_mapping.cpp.o.d"
+  "/root/repo/tests/test_coarsen_mis2.cpp" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_mis2.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_mis2.cpp.o.d"
+  "/root/repo/tests/test_coarsen_suitor.cpp" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_suitor.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_suitor.cpp.o.d"
+  "/root/repo/tests/test_coarsen_two_hop.cpp" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_two_hop.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_coarsen_two_hop.cpp.o.d"
+  "/root/repo/tests/test_construct.cpp" "tests/CMakeFiles/mgc_tests.dir/test_construct.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_construct.cpp.o.d"
+  "/root/repo/tests/test_core_atomics.cpp" "tests/CMakeFiles/mgc_tests.dir/test_core_atomics.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_core_atomics.cpp.o.d"
+  "/root/repo/tests/test_core_exec.cpp" "tests/CMakeFiles/mgc_tests.dir/test_core_exec.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_core_exec.cpp.o.d"
+  "/root/repo/tests/test_core_hashmap.cpp" "tests/CMakeFiles/mgc_tests.dir/test_core_hashmap.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_core_hashmap.cpp.o.d"
+  "/root/repo/tests/test_core_permutation.cpp" "tests/CMakeFiles/mgc_tests.dir/test_core_permutation.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_core_permutation.cpp.o.d"
+  "/root/repo/tests/test_core_prng.cpp" "tests/CMakeFiles/mgc_tests.dir/test_core_prng.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_core_prng.cpp.o.d"
+  "/root/repo/tests/test_core_sorting.cpp" "tests/CMakeFiles/mgc_tests.dir/test_core_sorting.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_core_sorting.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/mgc_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_fiedler_multilevel.cpp" "tests/CMakeFiles/mgc_tests.dir/test_fiedler_multilevel.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_fiedler_multilevel.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/mgc_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_graph_csr.cpp" "tests/CMakeFiles/mgc_tests.dir/test_graph_csr.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_graph_csr.cpp.o.d"
+  "/root/repo/tests/test_graph_generators.cpp" "tests/CMakeFiles/mgc_tests.dir/test_graph_generators.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_graph_generators.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/mgc_tests.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_graph_spec.cpp" "tests/CMakeFiles/mgc_tests.dir/test_graph_spec.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_graph_spec.cpp.o.d"
+  "/root/repo/tests/test_multilevel.cpp" "tests/CMakeFiles/mgc_tests.dir/test_multilevel.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_multilevel.cpp.o.d"
+  "/root/repo/tests/test_parallel_refine.cpp" "tests/CMakeFiles/mgc_tests.dir/test_parallel_refine.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_parallel_refine.cpp.o.d"
+  "/root/repo/tests/test_partition_end2end.cpp" "tests/CMakeFiles/mgc_tests.dir/test_partition_end2end.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_partition_end2end.cpp.o.d"
+  "/root/repo/tests/test_partition_fm.cpp" "tests/CMakeFiles/mgc_tests.dir/test_partition_fm.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_partition_fm.cpp.o.d"
+  "/root/repo/tests/test_partition_kway.cpp" "tests/CMakeFiles/mgc_tests.dir/test_partition_kway.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_partition_kway.cpp.o.d"
+  "/root/repo/tests/test_partition_spectral.cpp" "tests/CMakeFiles/mgc_tests.dir/test_partition_spectral.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_partition_spectral.cpp.o.d"
+  "/root/repo/tests/test_prof.cpp" "tests/CMakeFiles/mgc_tests.dir/test_prof.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_prof.cpp.o.d"
+  "/root/repo/tests/test_quality_parity.cpp" "tests/CMakeFiles/mgc_tests.dir/test_quality_parity.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_quality_parity.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/mgc_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_spla.cpp" "tests/CMakeFiles/mgc_tests.dir/test_spla.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/test_spla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

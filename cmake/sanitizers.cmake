@@ -1,0 +1,35 @@
+# Sanitizer presets for mgc (see docs/checking.md).
+#
+# Usage:
+#   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMGC_SANITIZE=thread
+#   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DMGC_SANITIZE=address+undefined
+#
+# Values: off (default) | thread | address | undefined | address+undefined.
+# TSan cannot be combined with ASan/UBSan in one build (compiler rejects
+# the flag mix), hence the separate CI jobs.
+
+set(MGC_SANITIZE "off" CACHE STRING
+    "Sanitizer preset: off, thread, address, undefined, address+undefined")
+set_property(CACHE MGC_SANITIZE PROPERTY STRINGS
+             off thread address undefined address+undefined)
+
+if(NOT MGC_SANITIZE STREQUAL "off")
+  if(MGC_SANITIZE STREQUAL "thread")
+    set(_mgc_san_flags -fsanitize=thread)
+  elseif(MGC_SANITIZE STREQUAL "address")
+    set(_mgc_san_flags -fsanitize=address)
+  elseif(MGC_SANITIZE STREQUAL "undefined")
+    set(_mgc_san_flags -fsanitize=undefined -fno-sanitize-recover=undefined)
+  elseif(MGC_SANITIZE STREQUAL "address+undefined")
+    set(_mgc_san_flags -fsanitize=address,undefined
+        -fno-sanitize-recover=undefined)
+  else()
+    message(FATAL_ERROR "Unknown MGC_SANITIZE value: ${MGC_SANITIZE}")
+  endif()
+
+  # Keep frame pointers so sanitizer stack traces stay readable even in
+  # optimized builds.
+  add_compile_options(${_mgc_san_flags} -fno-omit-frame-pointer -g)
+  add_link_options(${_mgc_san_flags})
+  message(STATUS "mgc: building with MGC_SANITIZE=${MGC_SANITIZE}")
+endif()

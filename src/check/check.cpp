@@ -1,0 +1,307 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "prof/prof.hpp"
+
+namespace mgc::check {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<int> g_region_active{0};
+thread_local long long t_task = -1;
+
+namespace {
+
+struct Rec {
+  const void* addr;
+  long long task;
+  Access kind;
+};
+
+struct ThreadLog {
+  std::uint64_t epoch = 0;  ///< region epoch this log belongs to
+  bool truncated = false;
+  std::vector<Rec> recs;
+};
+
+// Per-address access summary built at region end. Per category we keep the
+// first task seen plus a second-distinct-task slot: the race rules below
+// only need "is there an access from a different iteration", never the
+// full task set.
+struct AddrState {
+  long long plain_write = -2;
+  long long plain_read = -2;
+  long long atomic_write = -2;  ///< stores and RMWs
+  long long atomic_read = -2;
+  long long plain_write_other = -2;
+  long long plain_read_other = -2;
+  long long atomic_write_other = -2;
+  long long atomic_read_other = -2;
+  Access atomic_write_kind = Access::kAtomicWrite;
+};
+
+constexpr long long kNoTask = -2;  // distinct from the driver pseudo-task -1
+
+struct Global {
+  std::mutex mutex;
+  std::vector<ThreadLog*> logs;  ///< leaked at thread exit, like mgc::prof
+  std::atomic<std::uint64_t> epoch{0};
+  std::uint64_t region_seq = 0;
+  std::string region_label;
+  std::size_t max_records = std::size_t{1} << 20;
+  OnError on_error = OnError::kLog;
+  std::vector<Conflict> conflicts;
+  std::atomic<std::uint64_t> conflict_count{0};
+};
+
+Global& global() {
+  static Global* g = new Global();  // never destroyed: workers outlive main
+  return *g;
+}
+
+ThreadLog& tls() {
+  thread_local ThreadLog* log = nullptr;
+  if (log == nullptr) {
+    log = new ThreadLog();
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.logs.push_back(log);
+  }
+  return *log;
+}
+
+void note(long long& first, long long& other, long long task) {
+  if (first == kNoTask) {
+    first = task;
+  } else if (first != task && other == kNoTask) {
+    other = task;
+  }
+}
+
+/// A task in `first`/`other` distinct from `exclude`, or kNoTask.
+long long distinct_from(long long first, long long other, long long exclude) {
+  if (first != kNoTask && first != exclude) return first;
+  if (other != kNoTask && other != exclude) return other;
+  return kNoTask;
+}
+
+// Caps how many conflicts one region materialises as Conflict objects; the
+// atomic total keeps counting past it.
+constexpr std::size_t kMaxConflictsPerRegion = 16;
+constexpr std::size_t kMaxStoredConflicts = 1024;
+
+}  // namespace
+
+void record_slow(const void* addr, Access kind) {
+  Global& g = global();
+  ThreadLog& log = tls();
+  // Lazily reset the log when this thread first records in a new region;
+  // the epoch only advances between regions, when no recording races it.
+  const std::uint64_t epoch = g.epoch.load(std::memory_order_acquire);
+  if (log.epoch != epoch) {
+    log.epoch = epoch;
+    log.recs.clear();
+    log.truncated = false;
+  }
+  if (log.recs.size() >= g.max_records) {
+    log.truncated = true;
+    return;
+  }
+  log.recs.push_back({addr, t_task, kind});
+}
+
+void region_begin_slow(const char* kind) {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.epoch.fetch_add(1, std::memory_order_acq_rel);
+  ++g.region_seq;
+  const std::string path = prof::current_region_path();
+  g.region_label = std::string(kind) + "#" + std::to_string(g.region_seq);
+  if (!path.empty()) g.region_label += " (" + path + ")";
+  t_task = -1;  // driver records outside the body as pseudo-task -1
+  g_region_active.fetch_add(1, std::memory_order_release);
+}
+
+void region_end_slow(bool may_throw) {
+  Global& g = global();
+  g_region_active.fetch_sub(1, std::memory_order_acquire);
+  t_task = -1;
+  // The dispatch we bracket blocks until every worker drained its chunks
+  // (core/exec.hpp contract), so by now all logs for this epoch are
+  // complete and quiescent.
+  std::unique_lock<std::mutex> lock(g.mutex);
+
+  std::unordered_map<const void*, AddrState> state;
+  const std::uint64_t epoch = g.epoch.load(std::memory_order_relaxed);
+  bool truncated = false;
+  for (ThreadLog* log : g.logs) {
+    if (log->epoch != epoch) continue;  // thread did not record this region
+    truncated = truncated || log->truncated;
+    for (const Rec& r : log->recs) {
+      AddrState& s = state[r.addr];
+      switch (r.kind) {
+        case Access::kPlainRead:
+          note(s.plain_read, s.plain_read_other, r.task);
+          break;
+        case Access::kPlainWrite:
+          note(s.plain_write, s.plain_write_other, r.task);
+          break;
+        case Access::kAtomicRead:
+          note(s.atomic_read, s.atomic_read_other, r.task);
+          break;
+        case Access::kAtomicWrite:
+        case Access::kAtomicRmw:
+          note(s.atomic_write, s.atomic_write_other, r.task);
+          s.atomic_write_kind = r.kind;
+          break;
+      }
+    }
+  }
+
+  std::size_t found = 0;
+  const auto emit = [&](const void* addr, Access a, long long ta, Access b,
+                        long long tb) {
+    ++found;
+    g.conflict_count.fetch_add(1, std::memory_order_relaxed);
+    if (found > kMaxConflictsPerRegion ||
+        g.conflicts.size() >= kMaxStoredConflicts) {
+      return;
+    }
+    g.conflicts.push_back(Conflict{addr, a, b, ta, tb, g.region_label});
+  };
+
+  for (const auto& [addr, s] : state) {
+    if (s.plain_write != kNoTask) {
+      // plain write vs plain write from another iteration
+      if (s.plain_write_other != kNoTask) {
+        emit(addr, Access::kPlainWrite, s.plain_write, Access::kPlainWrite,
+             s.plain_write_other);
+        continue;  // one report per address is enough
+      }
+      // plain write vs plain read from another iteration
+      long long t =
+          distinct_from(s.plain_read, s.plain_read_other, s.plain_write);
+      if (t != kNoTask) {
+        emit(addr, Access::kPlainWrite, s.plain_write, Access::kPlainRead, t);
+        continue;
+      }
+      // plain write vs any atomic access from another iteration
+      t = distinct_from(s.atomic_write, s.atomic_write_other, s.plain_write);
+      if (t != kNoTask) {
+        emit(addr, Access::kPlainWrite, s.plain_write, s.atomic_write_kind,
+             t);
+        continue;
+      }
+      t = distinct_from(s.atomic_read, s.atomic_read_other, s.plain_write);
+      if (t != kNoTask) {
+        emit(addr, Access::kPlainWrite, s.plain_write, Access::kAtomicRead,
+             t);
+        continue;
+      }
+    }
+    if (s.plain_read != kNoTask && s.atomic_write != kNoTask) {
+      // plain read vs atomic write/RMW from another iteration
+      const long long t = distinct_from(s.atomic_write, s.atomic_write_other,
+                                        s.plain_read);
+      if (t != kNoTask) {
+        long long reader = s.plain_read;
+        if (reader == t) reader = s.plain_read_other;
+        if (reader != kNoTask) {
+          emit(addr, Access::kPlainRead, reader, s.atomic_write_kind, t);
+        }
+      }
+    }
+  }
+
+  if (found == 0) return;
+
+  const std::string label = g.region_label;
+  std::string first_detail;
+  if (!g.conflicts.empty()) first_detail = g.conflicts.back().describe();
+  std::fprintf(stderr,
+               "[mgc::check] %zu conflict%s in region %s%s\n  e.g. %s\n",
+               found, found == 1 ? "" : "s", label.c_str(),
+               truncated ? " (shadow log truncated)" : "",
+               first_detail.c_str());
+  const OnError mode = g.on_error;
+  lock.unlock();
+  if (mode == OnError::kAbort) std::abort();
+  if (mode == OnError::kThrow && may_throw) {
+    throw CheckFailure("mgc::check: " + std::to_string(found) +
+                       " access conflict(s) in region " + label);
+  }
+}
+
+}  // namespace detail
+
+const char* access_name(Access a) {
+  switch (a) {
+    case Access::kPlainRead: return "plain-read";
+    case Access::kPlainWrite: return "plain-write";
+    case Access::kAtomicRead: return "atomic-read";
+    case Access::kAtomicWrite: return "atomic-write";
+    case Access::kAtomicRmw: return "atomic-rmw";
+  }
+  return "?";
+}
+
+std::string Conflict::describe() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%p", addr);
+  const auto task_name = [](long long t) {
+    return t == -1 ? std::string("driver") : "i=" + std::to_string(t);
+  };
+  return std::string(access_name(first)) + " by " + task_name(task_first) +
+         " vs " + access_name(second) + " by " + task_name(task_second) +
+         " at " + buf + " in region " + region;
+}
+
+bool compiled_in() { return MGC_CHECK_ENABLED != 0; }
+
+void enable(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_on_error(OnError mode) {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.on_error = mode;
+}
+
+OnError on_error() {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  return g.on_error;
+}
+
+void set_max_records(std::size_t n) {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.max_records = n;
+}
+
+std::vector<Conflict> take_conflicts() {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  std::vector<Conflict> out = std::move(g.conflicts);
+  g.conflicts.clear();
+  g.conflict_count.store(0, std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t conflict_count() {
+  return detail::global().conflict_count.load(std::memory_order_relaxed);
+}
+
+void fail_contract(const std::string& message) {
+  std::fprintf(stderr, "[mgc::check] contract violation: %s\n",
+               message.c_str());
+  throw CheckFailure("mgc::check: " + message);
+}
+
+}  // namespace mgc::check

@@ -1,0 +1,203 @@
+#pragma once
+// mgc::check — opt-in dynamic race & contract checking for the portability
+// core (see docs/checking.md).
+//
+// The paper's mapping and construction kernels are lock-free multi-pass
+// algorithms whose correctness hinges on an access discipline the type
+// system cannot express: inside a parallel region, every concurrent access
+// to a shared element must go through the atomics.hpp helpers, and plain
+// accesses must stay confined to elements no other iteration touches. This
+// layer turns that documented contract (core/atomics.hpp, core/exec.hpp,
+// core/hashmap.hpp) into something enforceable:
+//
+//   * a shadow-access recorder, hooked into parallel_for / parallel_reduce /
+//     parallel_scan and the atomic_* helpers, that logs {address, iteration,
+//     plain-vs-atomic, read/write} per parallel region and reports
+//     cross-iteration plain/plain-write and plain/atomic conflicts when the
+//     region ends — labelled with the enclosing mgc::prof region path;
+//   * check::span (span.hpp), a bounds-checked accessor whose plain
+//     element accesses feed the recorder, so iteration-space overlap between
+//     loop iterations shows up as a plain/plain conflict;
+//   * a determinism harness (determinism.hpp) that replays a kernel across
+//     schedules and diffs the results.
+//
+// Conflicts are keyed on the LOGICAL iteration index, not the physical
+// thread: the exec.hpp contract is "the body must tolerate concurrent
+// invocation for distinct indices", so two conflicting accesses from
+// distinct indices are a race under *some* schedule even if this
+// particular run happened to execute them on one thread. This makes
+// detection schedule-independent: a single run — even under
+// Backend::Serial — finds the race deterministically, where TSan needs the
+// threads to actually collide.
+//
+// Gating — two independent switches:
+//   compile time  MGC_CHECK_ENABLED (CMake -DMGC_CHECK=ON). When off, every
+//                 hook in this header collapses to an empty inline and the
+//                 instrumented code is bit-identical to an unchecked build.
+//   run time      check::enable(). Even in a checked build, recording only
+//                 happens while enabled AND inside a parallel region, so a
+//                 checked binary runs uninstrumented code paths at full
+//                 speed until a test opts in.
+//
+// Thread-safety contract: enable() / set_on_error() / take_conflicts()
+// are driver-thread operations; call them with no parallel work in flight.
+// record_access() is safe from any thread (per-thread logs, merged at
+// region end). Only one parallel region is analysed at a time, matching
+// the no-nested-parallelism contract of core/exec.hpp.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#ifndef MGC_CHECK_ENABLED
+#define MGC_CHECK_ENABLED 0
+#endif
+
+namespace mgc::check {
+
+/// Access kinds recorded by the shadow recorder. Atomic RMW (CAS,
+/// fetch_add, fetch_max/min) counts as a write for conflict purposes.
+enum class Access : std::uint8_t {
+  kPlainRead,
+  kPlainWrite,
+  kAtomicRead,
+  kAtomicWrite,
+  kAtomicRmw,
+};
+
+const char* access_name(Access a);
+
+/// One detected race: two accesses to the same address from different
+/// iterations where at least one is a write and at least one is plain.
+/// Task ids are the parallel iteration indices; -1 is the driver thread
+/// recording inside the region but outside the body.
+struct Conflict {
+  const void* addr = nullptr;
+  Access first = Access::kPlainRead;
+  Access second = Access::kPlainRead;
+  long long task_first = -1;
+  long long task_second = -1;
+  std::string region;  ///< "parallel_for#7 (coarsen/level:1/mapping/HEC)"
+
+  std::string describe() const;
+};
+
+/// Thrown on contract violations (span bounds) and, under OnError::kThrow,
+/// on detected races at region end.
+class CheckFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What to do when a region finishes with detected conflicts.
+/// Contract violations (bounds) always throw regardless of this mode —
+/// continuing past an out-of-bounds access would itself be UB.
+enum class OnError {
+  kLog,    ///< print to stderr, keep going (conflicts stay queryable)
+  kThrow,  ///< throw CheckFailure from the dispatching call
+  kAbort,  ///< print and abort (for sanitizer-style CI jobs)
+};
+
+/// True when the layer was compiled in (MGC_CHECK=ON).
+bool compiled_in();
+
+/// Runtime switch. A no-op warning-free call in unchecked builds (active()
+/// still returns false there).
+void enable(bool on = true);
+
+void set_on_error(OnError mode);
+OnError on_error();
+
+/// Caps the per-thread, per-region shadow log (default 1 << 20 records);
+/// longer regions are analysed on the recorded prefix and flagged as
+/// truncated in the region summary.
+void set_max_records(std::size_t n);
+
+/// Conflicts recorded since the last drain (across regions). Driver-thread
+/// only.
+std::vector<Conflict> take_conflicts();
+
+/// Total conflicts detected since enable()/take_conflicts(); cheap to poll.
+std::uint64_t conflict_count();
+
+/// Always-throwing contract-violation report (bounds violations).
+[[noreturn]] void fail_contract(const std::string& message);
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+extern std::atomic<int> g_region_active;
+extern thread_local long long t_task;
+
+void record_slow(const void* addr, Access kind);
+void region_begin_slow(const char* kind);
+/// Merges per-thread logs, detects conflicts, applies OnError. Throws only
+/// when `may_throw` (the scope is not already unwinding).
+void region_end_slow(bool may_throw);
+
+}  // namespace detail
+
+/// Fast gate: compiled in AND runtime-enabled. Inline relaxed load, the
+/// only cost any hook pays in a checked-but-disabled run.
+inline bool active() {
+#if MGC_CHECK_ENABLED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Sets the calling thread's current logical iteration index. Called by
+/// the exec.hpp dispatch loops before each body invocation.
+inline void set_task(long long task) {
+#if MGC_CHECK_ENABLED
+  detail::t_task = task;
+#else
+  (void)task;
+#endif
+}
+
+/// Records one access attributed to the current task. No-op unless
+/// active() and a region is open.
+inline void record_access(const void* addr, Access kind) {
+#if MGC_CHECK_ENABLED
+  if (active() &&
+      detail::g_region_active.load(std::memory_order_relaxed) > 0) {
+    detail::record_slow(addr, kind);
+  }
+#else
+  (void)addr;
+  (void)kind;
+#endif
+}
+
+/// RAII parallel-region bracket used by core/exec.hpp. Analysis happens in
+/// the destructor, which may throw CheckFailure under OnError::kThrow (only
+/// when not already unwinding).
+class RegionScope {
+ public:
+#if MGC_CHECK_ENABLED
+  explicit RegionScope(const char* kind) : active_(active()) {
+    if (active_) detail::region_begin_slow(kind);
+  }
+  ~RegionScope() noexcept(false) {
+    if (active_) detail::region_end_slow(std::uncaught_exceptions() == 0);
+  }
+#else
+  explicit RegionScope(const char* kind) { (void)kind; }
+#endif
+
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+
+#if MGC_CHECK_ENABLED
+ private:
+  bool active_;
+#endif
+};
+
+}  // namespace mgc::check

@@ -1,0 +1,33 @@
+#include "check/determinism.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mgc::check {
+
+Csr canonical_csr(const Csr& g) {
+  Csr out;
+  out.rowptr = g.rowptr;
+  out.vwgts = g.vwgts;
+  out.colidx.resize(g.colidx.size());
+  out.wgts.resize(g.wgts.size());
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::size_t> order;
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::size_t begin = static_cast<std::size_t>(g.rowptr[u]);
+    const std::size_t end = static_cast<std::size_t>(g.rowptr[u + 1]);
+    order.resize(end - begin);
+    std::iota(order.begin(), order.end(), begin);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (g.colidx[a] != g.colidx[b]) return g.colidx[a] < g.colidx[b];
+      return g.wgts[a] < g.wgts[b];
+    });
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      out.colidx[begin + k] = g.colidx[order[k]];
+      out.wgts[begin + k] = g.wgts[order[k]];
+    }
+  }
+  return out;
+}
+
+}  // namespace mgc::check

@@ -1,0 +1,121 @@
+#pragma once
+// Determinism harness: replay a kernel across execution schedules and diff
+// the results.
+//
+// The library's kernels split into two classes (DESIGN.md): deterministic
+// ones (HEC2/HEC3, MIS2, Suitor, all constructions after per-row
+// canonicalization) whose output must be a pure function of the input, and
+// schedule-dependent ones (claim-based HEC, HEM, GOSH, mtMetis two-hop)
+// whose output legitimately varies with interleaving. This harness makes
+// the first claim testable: run the kernel under Backend::Serial as the
+// reference, then under Backend::Threads across several grain sizes (grain
+// is the lever that reshapes the chunk decomposition and hence the
+// interleaving, since the global pool's thread count is fixed per process
+// — vary MGC_NUM_THREADS across CI jobs to cover that axis) and with
+// repeated runs to let dynamic chunk-claiming produce different schedules.
+// Any mismatch against the reference is a determinism failure.
+//
+// The kernel is handed an Exec and returns a result; an optional
+// canonicalizer maps the result to the domain where equality is expected.
+// For coarse graphs that is canonical_csr() — per-row sorted entries —
+// because assembly guarantees each row's edge *set* (weights are integer
+// sums, order-independent) but not the entry order within a row when
+// transpose-completion lands entries concurrently (see construct.cpp
+// one_sided and tests/slow/test_determinism_sweep.cpp).
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "graph/csr.hpp"
+
+namespace mgc::check {
+
+struct DeterminismOptions {
+  /// Threads-backend grains to sweep. 0 = automatic; 1 = maximal chunk
+  /// count (most scheduling freedom); a huge grain = one chunk.
+  std::vector<std::size_t> grains = {0, 1, std::size_t{1} << 30};
+  /// Repeat count per grain: dynamic chunk claiming can produce a
+  /// different schedule on every run even with fixed parameters.
+  int repeats = 3;
+  /// Also compare against a Backend::Serial reference run.
+  bool compare_serial = true;
+};
+
+struct DeterminismResult {
+  bool deterministic = true;
+  std::string detail;  ///< human-readable description of the first mismatch
+
+  explicit operator bool() const { return deterministic; }
+};
+
+/// Runs `kernel(exec)` across schedules and diffs `canon(result)` against
+/// the first run. Kernel: Exec -> R. Canon: R -> C where C supports ==.
+template <class Kernel, class Canon>
+  requires(!std::is_same_v<std::decay_t<Canon>, DeterminismOptions>)
+DeterminismResult check_determinism(Kernel&& kernel, Canon&& canon,
+                                    const DeterminismOptions& opts = {}) {
+  DeterminismResult out;
+  bool have_ref = false;
+  auto describe = [](const char* what, std::size_t grain, int rep) {
+    std::string d = what;
+    if (std::string(what) == "threads") {
+      d += " grain=" + std::to_string(grain) + " run=" + std::to_string(rep);
+    }
+    return d;
+  };
+
+  // decltype of canon(kernel(...)) — default-constructed, then assigned.
+  using C = std::decay_t<decltype(canon(kernel(Exec::serial())))>;
+  C reference{};
+  std::string ref_desc;
+
+  auto run_one = [&](const Exec& exec, const char* what, std::size_t grain,
+                     int rep) {
+    C result = canon(kernel(exec));
+    if (!have_ref) {
+      reference = std::move(result);
+      ref_desc = describe(what, grain, rep);
+      have_ref = true;
+      return true;
+    }
+    if (!(result == reference)) {
+      out.deterministic = false;
+      out.detail = "result of " + describe(what, grain, rep) +
+                   " differs from " + ref_desc;
+      return false;
+    }
+    return true;
+  };
+
+  if (opts.compare_serial) {
+    if (!run_one(Exec::serial(), "serial", 0, 0)) return out;
+  }
+  for (const std::size_t grain : opts.grains) {
+    for (int rep = 0; rep < opts.repeats; ++rep) {
+      if (!run_one(Exec::threads(grain), "threads", grain, rep)) return out;
+    }
+  }
+  return out;
+}
+
+/// Variant without canonicalization: results must compare equal as-is.
+template <class Kernel>
+DeterminismResult check_determinism(Kernel&& kernel,
+                                    const DeterminismOptions& opts = {}) {
+  return check_determinism(std::forward<Kernel>(kernel),
+                           [](auto r) { return r; }, opts);
+}
+
+/// Canonical form of a CSR graph for determinism comparison: each row's
+/// (colidx, wgt) pairs sorted ascending by column. Vertex count, vertex
+/// weights, and row extents are preserved, so two canonicalized graphs
+/// compare equal iff they are the same graph with the same per-row edge
+/// sets — regardless of the order construction emitted entries within a
+/// row.
+Csr canonical_csr(const Csr& g);
+
+}  // namespace mgc::check

@@ -1,0 +1,202 @@
+#pragma once
+// check::span — a bounds-checked, shadow-recorded array accessor.
+//
+// In checked builds (MGC_CHECK=ON) every element access validates the index
+// and feeds the plain-access shadow recorder in check.hpp, so two loop
+// iterations touching the same element without atomics — an
+// iteration-space overlap — surface as a plain/plain conflict at region
+// end, and an out-of-range index throws CheckFailure at the faulting
+// access instead of corrupting memory. In unchecked builds span is a raw
+// pointer + size pair whose operator[] compiles to the identical load or
+// store as indexing the underlying vector: zero overhead.
+//
+// Reads and writes are distinguished through a reference proxy: reading an
+// element (conversion to T) records a plain read, assigning through it
+// records a plain write, compound assignment records both. Code that needs
+// a stable lvalue can use read(i) / write(i, v) / raw(i) explicitly.
+//
+// csr_view wraps a CSR graph with the same discipline for its index
+// arrays: neighbor lists are bounds-checked against both the row space and
+// the vertex space. It is a template so this header stays dependency-free;
+// instantiate it with mgc::Csr (or anything with rowptr/colidx/wgts).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace mgc::check {
+
+namespace detail {
+
+[[noreturn]] inline void bounds_fail(std::size_t i, std::size_t size) {
+  fail_contract("span index " + std::to_string(i) + " out of range [0, " +
+                std::to_string(size) + ")");
+}
+
+}  // namespace detail
+
+template <class T>
+class span {
+ public:
+#if MGC_CHECK_ENABLED
+  /// Writable-element proxy: records the access kind actually performed.
+  class Ref {
+   public:
+    explicit Ref(T* p) : p_(p) {}
+
+    operator T() const {
+      record_access(p_, Access::kPlainRead);
+      return *p_;
+    }
+    Ref& operator=(T v) {
+      record_access(p_, Access::kPlainWrite);
+      *p_ = v;
+      return *this;
+    }
+    Ref& operator=(const Ref& o) { return *this = static_cast<T>(o); }
+    Ref& operator+=(T v) {
+      record_access(p_, Access::kPlainRead);
+      record_access(p_, Access::kPlainWrite);
+      *p_ += v;
+      return *this;
+    }
+    Ref& operator-=(T v) {
+      record_access(p_, Access::kPlainRead);
+      record_access(p_, Access::kPlainWrite);
+      *p_ -= v;
+      return *this;
+    }
+    Ref& operator++() { return *this += T{1}; }
+    Ref& operator--() { return *this -= T{1}; }
+
+   private:
+    T* p_;
+  };
+#endif
+
+  span() = default;
+  span(T* data, std::size_t size) : data_(data), size_(size) {}
+  span(std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+#if MGC_CHECK_ENABLED
+  Ref operator[](std::size_t i) const {
+    if (i >= size_) detail::bounds_fail(i, size_);
+    return Ref(data_ + i);
+  }
+#else
+  T& operator[](std::size_t i) const { return data_[i]; }
+#endif
+
+  /// Explicit recorded plain read.
+  T read(std::size_t i) const {
+#if MGC_CHECK_ENABLED
+    if (i >= size_) detail::bounds_fail(i, size_);
+    record_access(data_ + i, Access::kPlainRead);
+#endif
+    return data_[i];
+  }
+
+  /// Explicit recorded plain write.
+  void write(std::size_t i, T v) const {
+#if MGC_CHECK_ENABLED
+    if (i >= size_) detail::bounds_fail(i, size_);
+    record_access(data_ + i, Access::kPlainWrite);
+#endif
+    data_[i] = v;
+  }
+
+  /// Unrecorded lvalue access (still bounds-checked in checked builds) —
+  /// for handing an element to the atomic helpers, which record themselves.
+  T& raw(std::size_t i) const {
+#if MGC_CHECK_ENABLED
+    if (i >= size_) detail::bounds_fail(i, size_);
+#endif
+    return data_[i];
+  }
+
+  /// Bounds-checked sub-range — the carve-a-shared-scratch-allocation
+  /// pattern of core/hashmap.hpp. Overlapping carves are caught by the
+  /// recorder as plain/plain conflicts when both slices are touched.
+  span subspan(std::size_t offset, std::size_t len) const {
+#if MGC_CHECK_ENABLED
+    if (offset > size_ || len > size_ - offset) {
+      fail_contract("subspan [" + std::to_string(offset) + ", " +
+                    std::to_string(offset + len) + ") exceeds span size " +
+                    std::to_string(size_));
+    }
+#endif
+    return span(data_ + offset, len);
+  }
+
+  T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Bounds-checked CSR adjacency accessor. G must expose rowptr / colidx /
+/// wgts vectors and num_vertices() (mgc::Csr does). In unchecked builds
+/// the accessors are plain indexed loads.
+template <class G>
+class csr_view {
+ public:
+  explicit csr_view(const G& g) : g_(g) {}
+
+  std::size_t degree(std::size_t u) const {
+    check_vertex(u);
+    return static_cast<std::size_t>(g_.rowptr[u + 1] - g_.rowptr[u]);
+  }
+
+  /// k-th neighbor of u, checked against row bounds and vertex space.
+  auto neighbor(std::size_t u, std::size_t k) const {
+    const std::size_t e = entry_index(u, k);
+    const auto v = g_.colidx[e];
+#if MGC_CHECK_ENABLED
+    if (static_cast<std::size_t>(v) >=
+        static_cast<std::size_t>(g_.num_vertices())) {
+      fail_contract("colidx[" + std::to_string(e) + "] = " +
+                    std::to_string(static_cast<long long>(v)) +
+                    " outside vertex space");
+    }
+#endif
+    return v;
+  }
+
+  auto edge_weight(std::size_t u, std::size_t k) const {
+    return g_.wgts[entry_index(u, k)];
+  }
+
+ private:
+  void check_vertex(std::size_t u) const {
+#if MGC_CHECK_ENABLED
+    if (u >= static_cast<std::size_t>(g_.num_vertices())) {
+      fail_contract("vertex " + std::to_string(u) + " out of range");
+    }
+#else
+    (void)u;
+#endif
+  }
+
+  std::size_t entry_index(std::size_t u, std::size_t k) const {
+    check_vertex(u);
+    const std::size_t begin = static_cast<std::size_t>(g_.rowptr[u]);
+    const std::size_t end = static_cast<std::size_t>(g_.rowptr[u + 1]);
+#if MGC_CHECK_ENABLED
+    if (k >= end - begin) {
+      fail_contract("neighbor index " + std::to_string(k) +
+                    " out of range for vertex " + std::to_string(u) +
+                    " (degree " + std::to_string(end - begin) + ")");
+    }
+#endif
+    return begin + k;
+  }
+
+  const G& g_;
+};
+
+}  // namespace mgc::check

@@ -142,12 +142,17 @@ CoarseMap gosh_hec_mapping(const Exec& exec, const Csr& g,
       m[su] = m[static_cast<std::size_t>(h[su])];
     }
   });
+  // Pointer jumping with atomic accesses: same race and fix as
+  // hec3_parallel phase 4 — iteration su stores m[su] while others chase
+  // through it, and stores only ever publish root labels.
   parallel_for(exec, sn, [&](std::size_t su) {
-    vid_t p = m[su];
-    while (m[static_cast<std::size_t>(p)] != p) {
-      p = m[static_cast<std::size_t>(m[static_cast<std::size_t>(p)])];
+    vid_t p = atomic_load(m[su]);
+    for (;;) {
+      const vid_t q = atomic_load(m[static_cast<std::size_t>(p)]);
+      if (q == p) break;
+      p = atomic_load(m[static_cast<std::size_t>(q)]);
     }
-    m[su] = p;
+    atomic_store(m[su], p);
   });
 
   return find_uniq_and_relabel(exec, std::move(m));

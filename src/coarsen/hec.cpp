@@ -201,13 +201,20 @@ CoarseMap hec3_parallel(const Exec& exec, const Csr& g, std::uint64_t seed) {
   });
 
   // Phase 4 (lines 17-21): pointer jumping until labels are roots
-  // (m[root] == root).
+  // (m[root] == root). Every access goes through the atomic helpers:
+  // iteration su writes m[su] while other iterations chase through it, so
+  // plain accesses here were a data race (found in the PR-2 access-
+  // discipline audit). Concurrent stores only ever publish root labels — a root r has
+  // m[r] == r and is never rewritten — so a chase that lands on a freshly
+  // stored value terminates immediately and the result is unchanged.
   parallel_for(exec, sn, [&](std::size_t su) {
-    vid_t p = m[su];
-    while (m[static_cast<std::size_t>(p)] != p) {
-      p = m[static_cast<std::size_t>(m[static_cast<std::size_t>(p)])];
+    vid_t p = atomic_load(m[su]);
+    for (;;) {
+      const vid_t q = atomic_load(m[static_cast<std::size_t>(p)]);
+      if (q == p) break;
+      p = atomic_load(m[static_cast<std::size_t>(q)]);
     }
-    m[su] = p;
+    atomic_store(m[su], p);
   });
 
   return find_uniq_and_relabel(exec, std::move(m));

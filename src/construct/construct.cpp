@@ -198,7 +198,10 @@ void dedup_hybrid(const Exec& exec, const std::vector<eid_t>& r,
       const std::size_t cap = next_pow2(static_cast<std::size_t>(len) + 1);
       std::vector<vid_t> hkeys(cap, kInvalidVid);
       std::vector<wgt_t> hwts(cap);
-      FlatAccumulator acc(hkeys.data(), hwts.data(), cap);
+      // Iteration-private storage: exempt from shadow recording, the
+      // allocator reuses these blocks across iterations (core/hashmap.hpp).
+      FlatAccumulator acc(hkeys.data(), hwts.data(), cap,
+                          /*track_accesses=*/false);
       for (eid_t k = begin; k < begin + len; ++k) {
         acc.insert_or_add(f[static_cast<std::size_t>(k)],
                           x[static_cast<std::size_t>(k)]);

@@ -22,13 +22,20 @@
 
 #include <atomic>
 
+#include "check/check.hpp"
+
 namespace mgc {
+
+// Each helper reports its target to the mgc::check shadow recorder (an
+// empty inline unless MGC_CHECK=ON) so checked builds can cross-reference
+// atomic accesses against plain ones recorded via check::span.
 
 /// Atomic compare-and-swap on a plain object. Returns the value observed
 /// *before* the operation (the paper's AtomicCAS convention: the swap
 /// succeeded iff the returned value equals `expected`).
 template <class T>
 T atomic_cas(T& obj, T expected, T desired) {
+  check::record_access(&obj, check::Access::kAtomicRmw);
   std::atomic_ref<T> ref(obj);
   T e = expected;
   ref.compare_exchange_strong(e, desired, std::memory_order_acq_rel,
@@ -39,6 +46,7 @@ T atomic_cas(T& obj, T expected, T desired) {
 /// Atomic fetch-add; returns the previous value.
 template <class T>
 T atomic_fetch_add(T& obj, T delta) {
+  check::record_access(&obj, check::Access::kAtomicRmw);
   std::atomic_ref<T> ref(obj);
   return ref.fetch_add(delta, std::memory_order_acq_rel);
 }
@@ -46,6 +54,7 @@ T atomic_fetch_add(T& obj, T delta) {
 /// Atomic load with acquire semantics.
 template <class T>
 T atomic_load(const T& obj) {
+  check::record_access(&obj, check::Access::kAtomicRead);
   std::atomic_ref<const T> ref(obj);
   return ref.load(std::memory_order_acquire);
 }
@@ -53,6 +62,7 @@ T atomic_load(const T& obj) {
 /// Atomic store with release semantics.
 template <class T>
 void atomic_store(T& obj, T value) {
+  check::record_access(&obj, check::Access::kAtomicWrite);
   std::atomic_ref<T> ref(obj);
   ref.store(value, std::memory_order_release);
 }
@@ -60,6 +70,7 @@ void atomic_store(T& obj, T value) {
 /// Atomic max: sets obj = max(obj, value). Returns previous value.
 template <class T>
 T atomic_fetch_max(T& obj, T value) {
+  check::record_access(&obj, check::Access::kAtomicRmw);
   std::atomic_ref<T> ref(obj);
   T cur = ref.load(std::memory_order_relaxed);
   while (cur < value &&
@@ -72,6 +83,7 @@ T atomic_fetch_max(T& obj, T value) {
 /// Atomic min: sets obj = min(obj, value). Returns previous value.
 template <class T>
 T atomic_fetch_min(T& obj, T value) {
+  check::record_access(&obj, check::Access::kAtomicRmw);
   std::atomic_ref<T> ref(obj);
   T cur = ref.load(std::memory_order_relaxed);
   while (cur > value &&

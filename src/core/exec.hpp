@@ -28,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "check/check.hpp"
 #include "core/thread_pool.hpp"
 
 namespace mgc {
@@ -71,8 +72,17 @@ inline std::size_t pick_grain(const Exec& exec, std::size_t n) {
 template <class Body>
 void parallel_for(const Exec& exec, std::size_t n, Body&& body) {
   if (n == 0) return;
+  // Shadow-access recording (no-op unless MGC_CHECK=ON and enabled): the
+  // scope brackets the region; set_task attributes each body invocation to
+  // its logical iteration index so conflicts are schedule-independent —
+  // detected even when one thread (or Backend::Serial) ran both halves.
+  check::RegionScope check_scope("parallel_for");
   if (exec.backend == Backend::Serial) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      check::set_task(static_cast<long long>(i));
+      body(i);
+    }
+    check::set_task(-1);
     return;
   }
   const std::size_t grain = detail::pick_grain(exec, n);
@@ -80,7 +90,11 @@ void parallel_for(const Exec& exec, std::size_t n, Body&& body) {
   const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
     const std::size_t begin = c * grain;
     const std::size_t end = std::min(begin + grain, n);
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    for (std::size_t i = begin; i < end; ++i) {
+      check::set_task(static_cast<long long>(i));
+      body(i);
+    }
+    check::set_task(-1);
   };
   ThreadPool::global().run(num_chunks, chunk_fn);
 }
@@ -91,9 +105,14 @@ template <class T, class Body, class Combine>
 T parallel_reduce(const Exec& exec, std::size_t n, T init, Body&& body,
                   Combine&& combine) {
   if (n == 0) return init;
+  check::RegionScope check_scope("parallel_reduce");
   if (exec.backend == Backend::Serial) {
     T acc = init;
-    for (std::size_t i = 0; i < n; ++i) acc = combine(acc, body(i));
+    for (std::size_t i = 0; i < n; ++i) {
+      check::set_task(static_cast<long long>(i));
+      acc = combine(acc, body(i));
+    }
+    check::set_task(-1);
     return acc;
   }
   const std::size_t grain = detail::pick_grain(exec, n);
@@ -103,7 +122,11 @@ T parallel_reduce(const Exec& exec, std::size_t n, T init, Body&& body,
     const std::size_t begin = c * grain;
     const std::size_t end = std::min(begin + grain, n);
     T acc = init;
-    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, body(i));
+    for (std::size_t i = begin; i < end; ++i) {
+      check::set_task(static_cast<long long>(i));
+      acc = combine(acc, body(i));
+    }
+    check::set_task(-1);
     partial[c] = acc;
   };
   ThreadPool::global().run(num_chunks, chunk_fn);
@@ -134,16 +157,22 @@ T parallel_exclusive_scan(const Exec& exec, T* values, std::size_t n) {
     }
     return acc;
   }
+  // One checked region spans both passes: each chunk records under its
+  // chunk index as the task, and the serial fix-up between passes runs as
+  // the driver pseudo-task.
+  check::RegionScope check_scope("parallel_scan");
   const std::size_t grain = detail::pick_grain(exec, n);
   const std::size_t num_chunks = (n + grain - 1) / grain;
   std::vector<T> block_sum(num_chunks);
   {
     const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+      check::set_task(static_cast<long long>(c));
       const std::size_t begin = c * grain;
       const std::size_t end = std::min(begin + grain, n);
       T acc{};
       for (std::size_t i = begin; i < end; ++i) acc += values[i];
       block_sum[c] = acc;
+      check::set_task(-1);
     };
     ThreadPool::global().run(num_chunks, chunk_fn);
   }
@@ -155,6 +184,7 @@ T parallel_exclusive_scan(const Exec& exec, T* values, std::size_t n) {
   }
   {
     const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+      check::set_task(static_cast<long long>(c));
       const std::size_t begin = c * grain;
       const std::size_t end = std::min(begin + grain, n);
       T acc = block_sum[c];
@@ -163,6 +193,7 @@ T parallel_exclusive_scan(const Exec& exec, T* values, std::size_t n) {
         values[i] = acc;
         acc += v;
       }
+      check::set_task(-1);
     };
     ThreadPool::global().run(num_chunks, chunk_fn);
   }

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "check/check.hpp"
 #include "core/types.hpp"
 
 namespace mgc {
@@ -57,8 +58,17 @@ inline std::size_t next_pow2(std::size_t x) {
 /// synchronization, matching the single-thread-per-instance contract.
 class FlatAccumulator {
  public:
-  FlatAccumulator(vid_t* keys, wgt_t* weights, std::size_t capacity)
-      : keys_(keys), weights_(weights), mask_(capacity - 1) {
+  /// `track_accesses` feeds the mgc::check shadow recorder (checked builds
+  /// only). Pass false when the storage is iteration-private — e.g. a
+  /// vector allocated inside the parallel body — because the allocator
+  /// reuses freed blocks across iterations and the recorder would report
+  /// the reuse as a cross-iteration conflict. Keep it true (default) for
+  /// slices carved from a shared scratch allocation, where overlap between
+  /// iterations IS the bug being hunted.
+  FlatAccumulator(vid_t* keys, wgt_t* weights, std::size_t capacity,
+                  bool track_accesses = true)
+      : keys_(keys), weights_(weights), mask_(capacity - 1),
+        track_(track_accesses) {
     assert((capacity & mask_) == 0 && "capacity must be a power of two");
   }
 
@@ -68,11 +78,18 @@ class FlatAccumulator {
     std::size_t slot = hash_vid(key) & mask_;
     for (;;) {
       ++probes_;
+      // Shadow-record the plain slot accesses (no-op unless MGC_CHECK=ON):
+      // two iterations carving overlapping slices of the shared scratch
+      // then show up as cross-iteration plain/plain conflicts.
+      record(&keys_[slot], check::Access::kPlainRead);
       if (keys_[slot] == key) {
+        record(&weights_[slot], check::Access::kPlainWrite);
         weights_[slot] += w;
         return false;
       }
       if (keys_[slot] == kInvalidVid) {
+        record(&keys_[slot], check::Access::kPlainWrite);
+        record(&weights_[slot], check::Access::kPlainWrite);
         keys_[slot] = key;
         weights_[slot] = w;
         return true;
@@ -87,7 +104,10 @@ class FlatAccumulator {
   std::size_t extract_and_clear(vid_t* out_keys, wgt_t* out_wgts) {
     std::size_t count = 0;
     for (std::size_t slot = 0; slot <= mask_; ++slot) {
+      record(&keys_[slot], check::Access::kPlainRead);
       if (keys_[slot] != kInvalidVid) {
+        record(&weights_[slot], check::Access::kPlainRead);
+        record(&keys_[slot], check::Access::kPlainWrite);
         out_keys[count] = keys_[slot];
         out_wgts[count] = weights_[slot];
         ++count;
@@ -105,9 +125,19 @@ class FlatAccumulator {
   std::uint64_t collisions() const { return collisions_; }
 
  private:
+  void record(const void* addr, check::Access kind) const {
+#if MGC_CHECK_ENABLED
+    if (track_) check::record_access(addr, kind);
+#else
+    (void)addr;
+    (void)kind;
+#endif
+  }
+
   vid_t* keys_;
   wgt_t* weights_;
   std::size_t mask_;
+  bool track_;
   std::uint64_t probes_ = 0;
   std::uint64_t collisions_ = 0;
 };

@@ -66,6 +66,9 @@ struct Csr {
 
   /// Estimated resident bytes of this graph (for the memory-budget model).
   std::size_t memory_bytes() const;
+
+  /// Field-wise equality — used by the determinism harness to diff runs.
+  bool operator==(const Csr&) const = default;
 };
 
 /// Builds a clean undirected CSR graph from an arbitrary edge list:

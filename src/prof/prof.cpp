@@ -175,6 +175,23 @@ void enable(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+std::string current_region_path() {
+  detail::ThreadState& st = detail::tls();
+  // Collect ancestors up to (excluding) the sentinel root, then join
+  // outermost-first. Touches only this thread's state: no lock needed.
+  std::vector<const detail::Node*> chain;
+  for (const detail::Node* node = st.current;
+       node != nullptr && node->parent != nullptr; node = node->parent) {
+    chain.push_back(node);
+  }
+  std::string path;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!path.empty()) path += '/';
+    path += (*it)->name;
+  }
+  return path;
+}
+
 void reset() {
   detail::Global& g = detail::global();
   std::lock_guard<std::mutex> lock(g.mutex);

@@ -108,6 +108,13 @@ class Region {
   double start_ = 0.0;
 };
 
+/// Slash-joined path of the calling thread's open regions, outermost first
+/// (e.g. "coarsen/level:1/mapping"), or "" when none is open. Works whether
+/// or not collection is enabled — Region only pushes nodes while enabled,
+/// so with profiling off this returns "". Used by mgc::check to label
+/// parallel regions with their profiling context.
+std::string current_region_path();
+
 // ---------------------------------------------------------------------------
 // Counters
 // ---------------------------------------------------------------------------

@@ -98,7 +98,10 @@ CsrMatrix spgemm(const Exec& exec, const CsrMatrix& a, const CsrMatrix& b) {
         next_pow2(static_cast<std::size_t>(std::min<eid_t>(ub, b.ncols)) + 1);
     std::vector<vid_t> keys(cap, kInvalidVid);
     std::vector<wgt_t> wts(cap);
-    FlatAccumulator acc(keys.data(), wts.data(), cap);
+    // Iteration-private storage: exempt from shadow recording, the
+    // allocator reuses these blocks across iterations (core/hashmap.hpp).
+    FlatAccumulator acc(keys.data(), wts.data(), cap,
+                        /*track_accesses=*/false);
     eid_t nnz = 0;
     for (eid_t k = a.rowptr[r]; k < a.rowptr[r + 1]; ++k) {
       const std::size_t j =
@@ -127,7 +130,10 @@ CsrMatrix spgemm(const Exec& exec, const CsrMatrix& a, const CsrMatrix& b) {
         next_pow2(static_cast<std::size_t>(row_nnz) + 1);
     std::vector<vid_t> keys(cap, kInvalidVid);
     std::vector<wgt_t> wts(cap);
-    FlatAccumulator acc(keys.data(), wts.data(), cap);
+    // Iteration-private storage: exempt from shadow recording, the
+    // allocator reuses these blocks across iterations (core/hashmap.hpp).
+    FlatAccumulator acc(keys.data(), wts.data(), cap,
+                        /*track_accesses=*/false);
     for (eid_t k = a.rowptr[r]; k < a.rowptr[r + 1]; ++k) {
       const std::size_t j =
           static_cast<std::size_t>(a.colidx[static_cast<std::size_t>(k)]);

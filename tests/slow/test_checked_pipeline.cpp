@@ -1,0 +1,91 @@
+// End-to-end shadow-recorder runs (ctest label: slow): with MGC_CHECK=ON
+// and recording enabled, every mapping and construction method over the
+// corpus must finish with zero detected conflicts. This is the layer's
+// no-false-positive guarantee on the real kernels — and the net that
+// catches a future refactor breaking the atomics discipline anywhere the
+// accesses are visible to the recorder (atomic_* helpers, check::span,
+// FlatAccumulator slots; see docs/checking.md for what is NOT visible).
+//
+// The whole file skips itself in MGC_CHECK=OFF builds.
+
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "mgc.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+class CheckedPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!check::compiled_in()) GTEST_SKIP() << "MGC_CHECK=OFF build";
+    check::take_conflicts();
+    check::set_on_error(check::OnError::kLog);
+    check::enable(true);
+  }
+  void TearDown() override {
+    check::enable(false);
+    check::take_conflicts();
+  }
+
+  void expect_clean(const std::string& context) {
+    const auto conflicts = check::take_conflicts();
+    EXPECT_EQ(check::conflict_count(), 0u) << context;
+    for (const auto& c : conflicts) {
+      ADD_FAILURE() << context << ": " << c.describe();
+    }
+  }
+};
+
+TEST_F(CheckedPipeline, AllMappingsRecordNoConflicts) {
+  const Mapping mappings[] = {Mapping::kHec,     Mapping::kHec2,
+                              Mapping::kHec3,    Mapping::kHem,
+                              Mapping::kMtMetis, Mapping::kGosh,
+                              Mapping::kGoshHec, Mapping::kMis2,
+                              Mapping::kSuitor,  Mapping::kBSuitor};
+  const std::uint64_t seed = test::mix_seed(77);
+  for (const auto& [name, g] : test::graph_corpus()) {
+    for (const Mapping mapping : mappings) {
+      const CoarseMap cm = compute_mapping(mapping, Exec::threads(1), g, seed);
+      ASSERT_EQ(validate_mapping(cm, g.num_vertices()), "");
+      expect_clean(name + " / " + mapping_name(mapping));
+    }
+  }
+}
+
+TEST_F(CheckedPipeline, AllConstructionsRecordNoConflicts) {
+  const Construction methods[] = {
+      Construction::kSort,   Construction::kHash,   Construction::kHeap,
+      Construction::kHybrid, Construction::kSpgemm, Construction::kGlobalSort};
+  const std::uint64_t seed = test::mix_seed(88);
+  for (const auto& [name, g] : test::graph_corpus()) {
+    const CoarseMap cm = hec3_parallel(Exec::threads(), g, seed);
+    for (const Construction method : methods) {
+      for (const DegreeDedup dedup : {DegreeDedup::kOff, DegreeDedup::kOn}) {
+        ConstructOptions opts;
+        opts.method = method;
+        opts.degree_dedup = dedup;
+        const Csr c =
+            construct_coarse_graph(Exec::threads(1), g, cm, opts);
+        ASSERT_EQ(validate_csr(c), "");
+        expect_clean(name + " / " + construction_name(method));
+      }
+    }
+  }
+}
+
+TEST_F(CheckedPipeline, MultilevelHierarchyRecordsNoConflicts) {
+  const std::uint64_t seed = test::mix_seed(99);
+  const Csr g = largest_connected_component(
+      make_chung_lu(1200, 8.0, 2.1, test::mix_seed(5)));
+  CoarsenOptions opts;
+  opts.seed = seed;
+  const Hierarchy h = coarsen_multilevel(Exec::threads(), g, opts);
+  EXPECT_GE(h.num_levels(), 2);
+  expect_clean("multilevel chung_lu");
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,120 @@
+// Determinism sweep (ctest label: slow): replay every deterministic
+// mapping and every construction method across execution schedules via the
+// check::check_determinism harness, and run the schedule-dependent
+// mappings across the same schedules with invariant (not equality) checks.
+//
+// Determinism classes (docs/checking.md):
+//   equality  — HEC2, HEC3, MIS2, Suitor: phase-structured algorithms whose
+//               atomics only ever publish one possible value per slot, and
+//               all construction methods (integer weight sums are
+//               order-independent; entry order within a row is
+//               canonicalized away).
+//   invariant — HEC, HEM, mtMetis, GOSH, GOSH-HEC, BSuitor: claim-based
+//               algorithms whose result legitimately depends on CAS win
+//               order; every schedule must still give a valid mapping.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "check/determinism.hpp"
+#include "construct/construct.hpp"
+#include "mgc.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+const Mapping kDeterministicMappings[] = {Mapping::kHec2, Mapping::kHec3,
+                                          Mapping::kMis2, Mapping::kSuitor};
+
+const Mapping kScheduleDependentMappings[] = {
+    Mapping::kHec,  Mapping::kHem,    Mapping::kMtMetis,
+    Mapping::kGosh, Mapping::kGoshHec, Mapping::kBSuitor};
+
+const Construction kConstructions[] = {
+    Construction::kSort,   Construction::kHash,       Construction::kHeap,
+    Construction::kHybrid, Construction::kSpgemm,     Construction::kGlobalSort};
+
+TEST(DeterminismSweep, DeterministicMappingsAreScheduleIndependent) {
+  const std::uint64_t seed = test::mix_seed(101);
+  for (const auto& [name, g] : test::graph_corpus()) {
+    for (const Mapping mapping : kDeterministicMappings) {
+      const auto kernel = [&](const Exec& exec) {
+        CoarseMap cm = compute_mapping(mapping, exec, g, seed);
+        return std::make_pair(cm.nc, std::move(cm.map));
+      };
+      const check::DeterminismResult r = check::check_determinism(kernel);
+      EXPECT_TRUE(r.deterministic)
+          << name << " / " << mapping_name(mapping) << ": " << r.detail;
+    }
+  }
+}
+
+TEST(DeterminismSweep, ConstructionsAreScheduleIndependentAfterCanon) {
+  const std::uint64_t seed = test::mix_seed(202);
+  for (const auto& [name, g] : test::graph_corpus()) {
+    // A fixed deterministic mapping isolates construction as the only
+    // schedule-sensitive stage under test.
+    const CoarseMap cm = hec3_parallel(Exec::serial(), g, seed);
+    for (const Construction method : kConstructions) {
+      for (const DegreeDedup dedup : {DegreeDedup::kOff, DegreeDedup::kOn}) {
+        ConstructOptions opts;
+        opts.method = method;
+        opts.degree_dedup = dedup;
+        const auto kernel = [&](const Exec& exec) {
+          return construct_coarse_graph(exec, g, cm, opts);
+        };
+        const check::DeterminismResult r = check::check_determinism(
+            kernel, [](const Csr& c) { return check::canonical_csr(c); });
+        EXPECT_TRUE(r.deterministic)
+            << name << " / " << construction_name(method)
+            << (dedup == DegreeDedup::kOn ? " one-sided" : "") << ": "
+            << r.detail;
+      }
+    }
+  }
+}
+
+TEST(DeterminismSweep, ScheduleDependentMappingsStayValidEverySchedule) {
+  const std::uint64_t seed = test::mix_seed(303);
+  const std::size_t grains[] = {0, 1, std::size_t{1} << 30};
+  for (const auto& [name, g] : test::graph_corpus()) {
+    for (const Mapping mapping : kScheduleDependentMappings) {
+      for (const std::size_t grain : grains) {
+        for (int rep = 0; rep < 2; ++rep) {
+          const CoarseMap cm =
+              compute_mapping(mapping, Exec::threads(grain), g, seed);
+          // GOSH's star aggregation and two-hop matching can join vertices
+          // at distance 2; util's checker already allows that.
+          test::expect_valid_mapping(
+              g, cm, name + " / " + mapping_name(mapping));
+        }
+      }
+    }
+  }
+}
+
+TEST(DeterminismSweep, FullCoarsenConstructPipelineDeterministic) {
+  // End-to-end: deterministic mapping + each construction, two levels deep,
+  // equality after canonicalization.
+  const std::uint64_t seed = test::mix_seed(404);
+  const Csr g = make_triangulated_grid(16, 16, test::mix_seed(15));
+  for (const Construction method : kConstructions) {
+    ConstructOptions copts;
+    copts.method = method;
+    const auto kernel = [&](const Exec& exec) {
+      const CoarseMap cm1 = hec3_parallel(exec, g, seed);
+      const Csr c1 = construct_coarse_graph(exec, g, cm1, copts);
+      const CoarseMap cm2 = hec3_parallel(exec, c1, seed + 1);
+      return construct_coarse_graph(exec, c1, cm2, copts);
+    };
+    const check::DeterminismResult r = check::check_determinism(
+        kernel, [](const Csr& c) { return check::canonical_csr(c); });
+    EXPECT_TRUE(r.deterministic)
+        << construction_name(method) << ": " << r.detail;
+  }
+}
+
+}  // namespace
+}  // namespace mgc

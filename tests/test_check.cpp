@@ -1,0 +1,226 @@
+// Tests for the mgc::check layer itself: the shadow-access recorder must
+// flag a deliberately racy kernel and stay silent on a clean one, the
+// checked span must catch bounds violations, and the determinism harness
+// must pass a deterministic kernel and fail a schedule-dependent one.
+//
+// Recorder tests skip themselves in unchecked builds (MGC_CHECK=OFF);
+// determinism-harness tests run in every build.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/determinism.hpp"
+#include "check/span.hpp"
+#include "coarsen/hec.hpp"
+#include "core/atomics.hpp"
+#include "core/exec.hpp"
+#include "graph/generators.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+/// Enables recording for one test and restores a quiescent state after,
+/// so later tests in the binary see no leftover conflicts.
+class CheckGuard {
+ public:
+  CheckGuard() {
+    check::take_conflicts();
+    check::set_on_error(check::OnError::kLog);
+    check::enable(true);
+  }
+  ~CheckGuard() {
+    check::enable(false);
+    check::take_conflicts();
+  }
+};
+
+TEST(Check, RacyKernelIsFlagged) {
+  if (!check::compiled_in()) GTEST_SKIP() << "MGC_CHECK=OFF build";
+  CheckGuard guard;
+  std::vector<int> data(64, 0);
+  check::span<int> s(data);
+  // Deliberate race: every iteration writes slot i % 8 plainly, so each
+  // slot sees plain writes from many distinct iterations.
+  parallel_for(Exec::threads(), 1024,
+               [&](std::size_t i) { s.write(i % 8, static_cast<int>(i)); });
+  EXPECT_GT(check::conflict_count(), 0u);
+  const std::vector<check::Conflict> conflicts = check::take_conflicts();
+  ASSERT_FALSE(conflicts.empty());
+  EXPECT_EQ(conflicts[0].first, check::Access::kPlainWrite);
+  EXPECT_EQ(conflicts[0].second, check::Access::kPlainWrite);
+  EXPECT_NE(conflicts[0].region.find("parallel_for"), std::string::npos);
+  EXPECT_NE(conflicts[0].task_first, conflicts[0].task_second);
+}
+
+TEST(Check, RacyKernelIsFlaggedEvenUnderSerialBackend) {
+  // The recorder keys on the logical iteration index, so the race is found
+  // even when no two accesses ever ran concurrently.
+  if (!check::compiled_in()) GTEST_SKIP() << "MGC_CHECK=OFF build";
+  CheckGuard guard;
+  std::vector<int> data(4, 0);
+  check::span<int> s(data);
+  parallel_for(Exec::serial(), 256,
+               [&](std::size_t i) { s.write(0, static_cast<int>(i)); });
+  EXPECT_GT(check::conflict_count(), 0u);
+}
+
+TEST(Check, CleanKernelIsNotFlagged) {
+  if (!check::compiled_in()) GTEST_SKIP() << "MGC_CHECK=OFF build";
+  CheckGuard guard;
+  const std::size_t n = 4096;
+  std::vector<int> data(n, 0);
+  std::vector<long long> total(1, 0);
+  check::span<int> s(data);
+  // Disjoint plain writes (own index only) plus a shared atomic counter:
+  // exactly the discipline the contract asks for.
+  parallel_for(Exec::threads(), n, [&](std::size_t i) {
+    s.write(i, static_cast<int>(i));
+    atomic_fetch_add(total[0], 1LL);
+  });
+  EXPECT_EQ(check::conflict_count(), 0u);
+  EXPECT_EQ(total[0], static_cast<long long>(n));
+}
+
+TEST(Check, PlainAtomicMixOnSameElementIsFlagged) {
+  if (!check::compiled_in()) GTEST_SKIP() << "MGC_CHECK=OFF build";
+  CheckGuard guard;
+  std::vector<long long> data(16, 0);
+  check::span<long long> s(data);
+  // Iteration 0 writes element 0 plainly while every other iteration RMWs
+  // it atomically — atomic use elsewhere does not license the plain write.
+  parallel_for(Exec::threads(), 512, [&](std::size_t i) {
+    if (i == 0) {
+      s.write(0, -1);
+    } else {
+      atomic_fetch_add(s.raw(0), 1LL);
+    }
+  });
+  EXPECT_GT(check::conflict_count(), 0u);
+  bool saw_mix = false;
+  for (const check::Conflict& c : check::take_conflicts()) {
+    const bool first_plain = c.first == check::Access::kPlainWrite ||
+                             c.first == check::Access::kPlainRead;
+    const bool second_atomic = c.second == check::Access::kAtomicRmw ||
+                               c.second == check::Access::kAtomicWrite ||
+                               c.second == check::Access::kAtomicRead;
+    saw_mix = saw_mix || (first_plain && second_atomic);
+  }
+  EXPECT_TRUE(saw_mix);
+}
+
+TEST(Check, AtomicOnlySharingIsNotFlagged) {
+  if (!check::compiled_in()) GTEST_SKIP() << "MGC_CHECK=OFF build";
+  CheckGuard guard;
+  std::vector<long long> data(1, 0);
+  parallel_for(Exec::threads(), 2048,
+               [&](std::size_t) { atomic_fetch_add(data[0], 1LL); });
+  EXPECT_EQ(check::conflict_count(), 0u);
+}
+
+TEST(Check, OnErrorThrowRaisesFromTheDispatchCall) {
+  if (!check::compiled_in()) GTEST_SKIP() << "MGC_CHECK=OFF build";
+  CheckGuard guard;
+  check::set_on_error(check::OnError::kThrow);
+  std::vector<int> data(8, 0);
+  check::span<int> s(data);
+  EXPECT_THROW(parallel_for(Exec::threads(), 128,
+                            [&](std::size_t i) {
+                              s.write(0, static_cast<int>(i));
+                            }),
+               check::CheckFailure);
+  check::set_on_error(check::OnError::kLog);
+}
+
+TEST(CheckSpan, BoundsViolationThrows) {
+  if (!check::compiled_in()) {
+    GTEST_SKIP() << "bounds checks compile away in MGC_CHECK=OFF builds";
+  }
+  std::vector<int> data(8, 7);
+  check::span<int> s(data);
+  EXPECT_EQ(s.read(7), 7);
+  EXPECT_THROW(s.read(8), check::CheckFailure);
+  EXPECT_THROW(s.write(100, 1), check::CheckFailure);
+  EXPECT_THROW(s.subspan(4, 5), check::CheckFailure);
+  EXPECT_EQ(s.subspan(4, 4).size(), 4u);
+}
+
+TEST(CheckSpan, CsrViewCatchesOutOfRangeNeighborIndex) {
+  if (!check::compiled_in()) GTEST_SKIP() << "MGC_CHECK=OFF build";
+  const Csr g = make_path(4);
+  check::csr_view<Csr> view(g);
+  EXPECT_EQ(view.degree(0), 1u);
+  EXPECT_EQ(view.neighbor(0, 0), 1);
+  EXPECT_THROW(view.neighbor(0, 1), check::CheckFailure);
+  EXPECT_THROW(view.degree(4), check::CheckFailure);
+}
+
+TEST(CheckDeterminism, DeterministicKernelPasses) {
+  const std::size_t n = 1 << 14;
+  const auto kernel = [n](const Exec& exec) {
+    std::vector<std::uint64_t> out(n);
+    parallel_for(exec, n, [&](std::size_t i) {
+      out[i] = splitmix64(static_cast<std::uint64_t>(i));
+    });
+    return out;
+  };
+  const check::DeterminismResult r = check::check_determinism(kernel);
+  EXPECT_TRUE(r.deterministic) << r.detail;
+}
+
+TEST(CheckDeterminism, ScheduleDependentKernelFails) {
+  // Floating-point reduction: the blocked reduce regroups the additions by
+  // chunk, so the rounded result is a function of the grain — the serial
+  // left fold and a grain-256 grouping disagree in the low bits. This is
+  // schedule dependence without any timing sensitivity, so the harness
+  // must flag it on every run (the reason the library reduces weights in
+  // integers).
+  const std::size_t n = 1 << 16;
+  const auto kernel = [n](const Exec& exec) {
+    return parallel_sum<double>(exec, n, [](std::size_t i) {
+      return 1.0 / static_cast<double>(i + 1);
+    });
+  };
+  check::DeterminismOptions opts;
+  opts.grains = {256, 4096};
+  opts.repeats = 1;
+  const check::DeterminismResult r = check::check_determinism(kernel, opts);
+  EXPECT_FALSE(r.deterministic)
+      << "grain-dependent FP reduction unexpectedly deterministic";
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(CheckDeterminism, CanonicalCsrSortsRowsAndPreservesStructure) {
+  Csr g;
+  g.rowptr = {0, 2, 4};
+  g.colidx = {1, 0, 0, 1};  // row 0: {1, 0} out of order
+  g.wgts = {5, 3, 9, 2};
+  g.vwgts = {1, 1};
+  const Csr c = check::canonical_csr(g);
+  EXPECT_EQ(c.rowptr, g.rowptr);
+  EXPECT_EQ(c.vwgts, g.vwgts);
+  EXPECT_EQ(c.colidx, (std::vector<vid_t>{0, 1, 0, 1}));
+  EXPECT_EQ(c.wgts, (std::vector<wgt_t>{3, 5, 9, 2}));
+  // Canonicalizing twice is idempotent.
+  EXPECT_TRUE(check::canonical_csr(c) == c);
+}
+
+TEST(CheckDeterminism, Hec3MappingIsDeterministicAcrossSchedules) {
+  // Fast smoke version of the tests/slow sweep: HEC3 (the deterministic
+  // phase-structured variant) must give identical maps for every schedule.
+  const Csr g = make_triangulated_grid(12, 12, test::mix_seed(21));
+  const std::uint64_t seed = test::mix_seed(42);
+  const auto kernel = [&](const Exec& exec) {
+    CoarseMap cm = hec3_parallel(exec, g, seed);
+    return std::make_pair(cm.nc, std::move(cm.map));
+  };
+  const check::DeterminismResult r = check::check_determinism(kernel);
+  EXPECT_TRUE(r.deterministic) << r.detail;
+}
+
+}  // namespace
+}  // namespace mgc

@@ -89,7 +89,8 @@ TEST(FailureInjection, ValidatorCatchesEveryCorruptionKind) {
 
 TEST(FailureInjection, MappingValidatorCatchesBrokenMaps) {
   const Csr g = make_grid2d(5, 5);
-  CoarseMap cm = hec_parallel(Exec::threads(), g, 3);
+  // Seeded via MGC_SEED (tests/util.hpp) for reproducible sanitizer runs.
+  CoarseMap cm = hec_parallel(Exec::threads(), g, test::mix_seed(3));
   {
     CoarseMap bad = cm;
     bad.map[0] = bad.nc;  // out of range

@@ -41,7 +41,9 @@ Csr random_graph(std::uint64_t seed) {
 class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzSweep, MultilevelInvariantsSurviveRandomGraphs) {
-  const std::uint64_t seed = GetParam();
+  // Seeds derive from MGC_SEED (tests/util.hpp) so a failing sanitizer run
+  // is replayed exactly by exporting the same value.
+  const std::uint64_t seed = test::mix_seed(GetParam());
   const Csr g = random_graph(seed);
   ASSERT_EQ(validate_csr(g), "");
   Xoshiro256 rng(seed ^ 0xfeed);
@@ -87,8 +89,8 @@ TEST_P(FuzzSweep, MultilevelInvariantsSurviveRandomGraphs) {
 }
 
 TEST_P(FuzzSweep, EndToEndPartitioningStaysSane) {
-  const std::uint64_t seed = GetParam();
-  const Csr g = random_graph(seed * 31 + 7);
+  const std::uint64_t seed = test::mix_seed(GetParam() * 31 + 7);
+  const Csr g = random_graph(seed);
   if (g.num_vertices() < 20) return;
   const Exec exec = Exec::threads();
   CoarsenOptions copts;
@@ -109,11 +111,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
 TEST(Fuzz, RepeatedCoarseningOfSameGraphIsStable) {
   // Coarsen the same graph 10 times with different seeds; all runs valid
   // and coarse sizes within a plausible band of each other.
-  const Csr g = largest_connected_component(make_chung_lu(1500, 9, 2.1, 3));
+  const Csr g = largest_connected_component(
+      make_chung_lu(1500, 9, 2.1, test::mix_seed(3)));
   std::vector<vid_t> sizes;
   for (std::uint64_t s = 0; s < 10; ++s) {
-    const CoarseMap cm = hec_parallel(Exec::threads(), g, s);
-    ASSERT_EQ(validate_mapping(cm, g.num_vertices()), "");
+    const CoarseMap cm = hec_parallel(Exec::threads(), g, test::mix_seed(s));
+    ASSERT_EQ(validate_mapping(cm, g.num_vertices()), "")
+        << "MGC_SEED base " << test::base_seed() << " salt " << s;
     sizes.push_back(cm.nc);
   }
   const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""mgc_lint: AST-free race-discipline lint for mgc parallel lambdas.
+
+Flags source lines that perform a plain indexed write to an array that is
+elsewhere passed to an ``atomic_*`` helper *inside the same parallel
+lambda*. Mixing plain writes with atomic accesses on the same array within
+one parallel region is exactly the data race the core/atomics.hpp contract
+forbids, and it is the mistake easiest to make when refactoring a hot
+kernel (see docs/checking.md).
+
+The lint is deliberately AST-free — a few hundred lines of bracket
+matching and regex over the raw source — so it runs in milliseconds on CI
+with no compiler or libclang dependency. The trade-off is scope: it only
+reasons about direct ``name[index] = ...`` writes and direct
+``atomic_*(name[index], ...)`` calls on the same *named* array within one
+lambda body. That catches the dominant pattern in this codebase
+(everything is plain std::vector indexing) and stays silent otherwise.
+
+Intentional benign races are allowlisted with a trailing or preceding
+comment::
+
+    m[su] = p;  // mgc-lint: racy-ok -- last-writer-wins, all writers agree
+
+Usage::
+
+    python3 tools/mgc_lint.py src [more dirs/files...]
+    python3 tools/mgc_lint.py --list-parallel src   # debug: show lambdas
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# Calls that open a parallel region whose lambda body we scan.
+PARALLEL_CALLS = re.compile(
+    r"\b(parallel_for|parallel_reduce|parallel_sum|parallel_exclusive_scan)"
+    r"\s*(?:<[^;{}()]*>)?\s*\("
+)
+
+# atomic helper applied to an indexed array element: captures the array name.
+ATOMIC_TARGET = re.compile(
+    r"\batomic_(?:cas|fetch_add|fetch_max|fetch_min|load|store)\s*\(\s*"
+    r"([A-Za-z_]\w*)\s*\["
+)
+
+ALLOW = "mgc-lint: racy-ok"
+
+ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "<<=", ">>=")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    array: str
+    snippet: str
+
+
+@dataclass
+class Lambda:
+    start: int  # offset of '[' of the capture list
+    body_start: int  # offset just after '{'
+    body_end: int  # offset of matching '}'
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment/string contents with spaces, preserving offsets and
+    newlines so findings keep accurate line numbers. Allowlist comments are
+    handled before stripping (see scan_file)."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif ch == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_forward(text: str, i: int, open_ch: str, close_ch: str) -> int:
+    """Offset of the bracket matching text[i] (which must be open_ch), or -1."""
+    depth = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return -1
+
+
+def find_parallel_lambdas(clean: str) -> list[Lambda]:
+    """Lambdas passed (possibly not as the last argument) to parallel_*
+    dispatch calls. We scan the whole argument list for `[...] (...) {...}`
+    or `[...] {...}` shapes."""
+    lambdas: list[Lambda] = []
+    for m in PARALLEL_CALLS.finditer(clean):
+        call_open = m.end() - 1  # offset of '('
+        call_close = match_forward(clean, call_open, "(", ")")
+        if call_close < 0:
+            continue
+        i = call_open + 1
+        while i < call_close:
+            if clean[i] == "[":
+                cap_close = match_forward(clean, i, "[", "]")
+                if cap_close < 0 or cap_close > call_close:
+                    break
+                j = cap_close + 1
+                while j < call_close and clean[j].isspace():
+                    j += 1
+                if j < call_close and clean[j] == "(":
+                    params_close = match_forward(clean, j, "(", ")")
+                    if params_close < 0:
+                        break
+                    j = params_close + 1
+                    while j < call_close and clean[j].isspace():
+                        j += 1
+                    # skip specifiers like mutable / noexcept / -> T
+                    while j < call_close and clean[j] not in "{,)":
+                        j += 1
+                if j < call_close and clean[j] == "{":
+                    body_close = match_forward(clean, j, "{", "}")
+                    if body_close < 0:
+                        break
+                    lambdas.append(Lambda(i, j + 1, body_close))
+                    i = body_close + 1
+                    continue
+                i = cap_close + 1
+            else:
+                i += 1
+    return lambdas
+
+
+def plain_indexed_writes(body: str, array: str) -> list[int]:
+    """Offsets (into body) of plain writes `array[...] op= ...` / ++ / --."""
+    hits: list[int] = []
+    pat = re.compile(r"\b" + re.escape(array) + r"\s*\[")
+    for m in pat.finditer(body):
+        open_br = m.end() - 1
+        close_br = match_forward(body, open_br, "[", "]")
+        if close_br < 0:
+            continue
+        # What precedes? ++x[i] / --x[i] are writes.
+        before = body[: m.start()].rstrip()
+        if before.endswith("++") or before.endswith("--"):
+            hits.append(m.start())
+            continue
+        j = close_br + 1
+        while j < len(body) and body[j].isspace():
+            j += 1
+        rest = body[j:]
+        if rest.startswith("++") or rest.startswith("--"):
+            hits.append(m.start())
+            continue
+        for op in ASSIGN_OPS:
+            if rest.startswith(op):
+                # Exclude == and also => (not C++, but cheap to guard).
+                if op == "=" and (rest.startswith("==") or rest.startswith("=>")):
+                    break
+                hits.append(m.start())
+                break
+    return hits
+
+
+def allowlisted(raw_lines: list[str], line_idx: int) -> bool:
+    """True if the 0-based line or the line above carries the allow tag."""
+    if ALLOW in raw_lines[line_idx]:
+        return True
+    if line_idx > 0 and ALLOW in raw_lines[line_idx - 1]:
+        return True
+    return False
+
+
+def scan_file(path: str) -> list[Finding]:
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"mgc_lint: cannot read {path}: {e}", file=sys.stderr)
+        return []
+    raw_lines = text.splitlines()
+    clean = strip_comments_and_strings(text)
+    findings: list[Finding] = []
+    for lam in find_parallel_lambdas(clean):
+        body = clean[lam.body_start : lam.body_end]
+        atomic_arrays = set(ATOMIC_TARGET.findall(body))
+        if not atomic_arrays:
+            continue
+        for array in sorted(atomic_arrays):
+            for off in plain_indexed_writes(body, array):
+                abs_off = lam.body_start + off
+                line_idx = clean.count("\n", 0, abs_off)
+                if allowlisted(raw_lines, line_idx):
+                    continue
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=line_idx + 1,
+                        array=array,
+                        snippet=raw_lines[line_idx].strip(),
+                    )
+                )
+    return findings
+
+
+def collect_files(roots: list[str]) -> list[str]:
+    exts = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh", ".inl")
+    files: list[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="+", help="files or directories to lint")
+    ap.add_argument(
+        "--list-parallel",
+        action="store_true",
+        help="debug: print every parallel lambda found, then exit",
+    )
+    args = ap.parse_args(argv)
+
+    files = collect_files(args.paths)
+    if not files:
+        print("mgc_lint: no input files", file=sys.stderr)
+        return 2
+
+    if args.list_parallel:
+        for path in files:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                clean = strip_comments_and_strings(f.read())
+            for lam in find_parallel_lambdas(clean):
+                line = clean.count("\n", 0, lam.start) + 1
+                print(f"{path}:{line}: parallel lambda")
+        return 0
+
+    all_findings: list[Finding] = []
+    for path in files:
+        all_findings.extend(scan_file(path))
+
+    for f in all_findings:
+        print(
+            f"{f.path}:{f.line}: plain indexed write to '{f.array}', which is "
+            f"also passed to atomic_* in the same parallel lambda\n"
+            f"    {f.snippet}\n"
+            f"    (annotate with '// {ALLOW} -- <why>' if intentional)"
+        )
+    n = len(all_findings)
+    scanned = len(files)
+    if n:
+        print(f"mgc_lint: {n} finding{'s' if n != 1 else ''} in {scanned} files")
+        return 1
+    print(f"mgc_lint: clean ({scanned} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
