@@ -22,6 +22,14 @@
 // body must tolerate concurrent invocation for *distinct* indices; writes
 // to shared elements must go through atomics.hpp. Dispatching from inside
 // a running body (nested parallelism) is not supported.
+//
+// Cancellation/deadlines: when a guard::Ctx is installed on the submitting
+// thread (guard::ScopedCtx — the *_guarded drivers and the CLI's
+// --deadline-ms do this), every dispatch polls it at chunk granularity.
+// On cancellation or deadline expiry the remaining chunks are skipped and
+// the dispatch throws guard::Error (kCancelled / kDeadlineExceeded) from
+// the SUBMITTING thread after the pool drains; the partially-written
+// output must be discarded by the unwinding caller. See docs/robustness.md.
 
 #include <algorithm>
 #include <cstddef>
@@ -30,6 +38,7 @@
 
 #include "check/check.hpp"
 #include "core/thread_pool.hpp"
+#include "guard/cancel.hpp"
 
 namespace mgc {
 
@@ -66,6 +75,13 @@ inline std::size_t pick_grain(const Exec& exec, std::size_t n) {
   return std::max<std::size_t>(256, (n + target_chunks - 1) / target_chunks);
 }
 
+/// The guard context this dispatch must poll, or nullptr (the common case,
+/// one thread-local read) when none is installed or it can never fire.
+inline const guard::Ctx* poll_ctx() {
+  const guard::Ctx* ctx = guard::current_ctx();
+  return ctx != nullptr && !ctx->trivial() ? ctx : nullptr;
+}
+
 }  // namespace detail
 
 /// parallel_for: body(i) for all i in [0, n).
@@ -77,10 +93,16 @@ void parallel_for(const Exec& exec, std::size_t n, Body&& body) {
   // its logical iteration index so conflicts are schedule-independent —
   // detected even when one thread (or Backend::Serial) ran both halves.
   check::RegionScope check_scope("parallel_for");
+  const guard::Ctx* gctx = detail::poll_ctx();
   if (exec.backend == Backend::Serial) {
-    for (std::size_t i = 0; i < n; ++i) {
-      check::set_task(static_cast<long long>(i));
-      body(i);
+    const std::size_t step = gctx != nullptr ? detail::pick_grain(exec, n) : n;
+    for (std::size_t begin = 0; begin < n; begin += step) {
+      if (gctx != nullptr) gctx->throw_if_stopped();
+      const std::size_t end = std::min(begin + step, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        check::set_task(static_cast<long long>(i));
+        body(i);
+      }
     }
     check::set_task(-1);
     return;
@@ -88,6 +110,9 @@ void parallel_for(const Exec& exec, std::size_t n, Body&& body) {
   const std::size_t grain = detail::pick_grain(exec, n);
   const std::size_t num_chunks = (n + grain - 1) / grain;
   const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+    // chunk_fn must not throw: on stop, skip the chunk and let the
+    // submitting thread raise after the pool drains.
+    if (gctx != nullptr && gctx->should_stop()) return;
     const std::size_t begin = c * grain;
     const std::size_t end = std::min(begin + grain, n);
     for (std::size_t i = begin; i < end; ++i) {
@@ -97,6 +122,7 @@ void parallel_for(const Exec& exec, std::size_t n, Body&& body) {
     check::set_task(-1);
   };
   ThreadPool::global().run(num_chunks, chunk_fn);
+  if (gctx != nullptr) gctx->throw_if_stopped();
 }
 
 /// parallel_reduce: returns reduce(init, body(0), ..., body(n-1)) where
@@ -106,11 +132,17 @@ T parallel_reduce(const Exec& exec, std::size_t n, T init, Body&& body,
                   Combine&& combine) {
   if (n == 0) return init;
   check::RegionScope check_scope("parallel_reduce");
+  const guard::Ctx* gctx = detail::poll_ctx();
   if (exec.backend == Backend::Serial) {
+    const std::size_t step = gctx != nullptr ? detail::pick_grain(exec, n) : n;
     T acc = init;
-    for (std::size_t i = 0; i < n; ++i) {
-      check::set_task(static_cast<long long>(i));
-      acc = combine(acc, body(i));
+    for (std::size_t begin = 0; begin < n; begin += step) {
+      if (gctx != nullptr) gctx->throw_if_stopped();
+      const std::size_t end = std::min(begin + step, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        check::set_task(static_cast<long long>(i));
+        acc = combine(acc, body(i));
+      }
     }
     check::set_task(-1);
     return acc;
@@ -119,6 +151,7 @@ T parallel_reduce(const Exec& exec, std::size_t n, T init, Body&& body,
   const std::size_t num_chunks = (n + grain - 1) / grain;
   std::vector<T> partial(num_chunks, init);
   const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+    if (gctx != nullptr && gctx->should_stop()) return;
     const std::size_t begin = c * grain;
     const std::size_t end = std::min(begin + grain, n);
     T acc = init;
@@ -130,6 +163,7 @@ T parallel_reduce(const Exec& exec, std::size_t n, T init, Body&& body,
     partial[c] = acc;
   };
   ThreadPool::global().run(num_chunks, chunk_fn);
+  if (gctx != nullptr) gctx->throw_if_stopped();
   T acc = init;
   for (const T& p : partial) acc = combine(acc, p);
   return acc;
@@ -149,11 +183,18 @@ T parallel_exclusive_scan(const Exec& exec, T* values, std::size_t n) {
   if (n == 0) return T{};
   if (exec.backend == Backend::Serial ||
       n < 4096) {  // small arrays: serial scan is faster and exact
+    const guard::Ctx* gctx = detail::poll_ctx();
+    const std::size_t grain =
+        gctx != nullptr ? detail::pick_grain(exec, n) : n;
     T acc{};
-    for (std::size_t i = 0; i < n; ++i) {
-      const T v = values[i];
-      values[i] = acc;
-      acc += v;
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      if (gctx != nullptr) gctx->throw_if_stopped();
+      const std::size_t end = std::min(begin + grain, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        const T v = values[i];
+        values[i] = acc;
+        acc += v;
+      }
     }
     return acc;
   }
@@ -161,11 +202,13 @@ T parallel_exclusive_scan(const Exec& exec, T* values, std::size_t n) {
   // chunk index as the task, and the serial fix-up between passes runs as
   // the driver pseudo-task.
   check::RegionScope check_scope("parallel_scan");
+  const guard::Ctx* gctx = detail::poll_ctx();
   const std::size_t grain = detail::pick_grain(exec, n);
   const std::size_t num_chunks = (n + grain - 1) / grain;
   std::vector<T> block_sum(num_chunks);
   {
     const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+      if (gctx != nullptr && gctx->should_stop()) return;
       check::set_task(static_cast<long long>(c));
       const std::size_t begin = c * grain;
       const std::size_t end = std::min(begin + grain, n);
@@ -175,6 +218,7 @@ T parallel_exclusive_scan(const Exec& exec, T* values, std::size_t n) {
       check::set_task(-1);
     };
     ThreadPool::global().run(num_chunks, chunk_fn);
+    if (gctx != nullptr) gctx->throw_if_stopped();
   }
   T total{};
   for (std::size_t c = 0; c < num_chunks; ++c) {
@@ -184,6 +228,7 @@ T parallel_exclusive_scan(const Exec& exec, T* values, std::size_t n) {
   }
   {
     const std::function<void(std::size_t)> chunk_fn = [&](std::size_t c) {
+      if (gctx != nullptr && gctx->should_stop()) return;
       check::set_task(static_cast<long long>(c));
       const std::size_t begin = c * grain;
       const std::size_t end = std::min(begin + grain, n);
@@ -196,6 +241,7 @@ T parallel_exclusive_scan(const Exec& exec, T* values, std::size_t n) {
       check::set_task(-1);
     };
     ThreadPool::global().run(num_chunks, chunk_fn);
+    if (gctx != nullptr) gctx->throw_if_stopped();
   }
   return total;
 }

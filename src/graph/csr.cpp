@@ -1,10 +1,11 @@
 #include "graph/csr.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
+
+#include "guard/status.hpp"
 
 namespace mgc {
 
@@ -39,12 +40,24 @@ std::size_t Csr::memory_bytes() const {
 }
 
 Csr build_csr_from_edges(vid_t n, std::vector<Edge> edges) {
-  // Symmetrize and strip self-loops.
+  if (n < 0) {
+    throw guard::Error(guard::Status::invalid_input(
+        "negative vertex count in edge list"));
+  }
+  // Symmetrize and strip self-loops. Endpoint validation runs in every
+  // build type: edge lists come from untrusted inputs (.mtx files), and a
+  // Release build silently constructing a corrupt CSR from an out-of-range
+  // edge is the exact failure mode the guard layer exists to prevent.
   std::vector<Edge> sym;
   sym.reserve(edges.size() * 2);
   for (const Edge& e : edges) {
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+      std::ostringstream msg;
+      msg << "edge endpoint out of range: (" << e.u << "," << e.v
+          << ") with n=" << n;
+      throw guard::Error(guard::Status::invalid_input(msg.str()));
+    }
     if (e.u == e.v) continue;
-    assert(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n);
     sym.push_back({e.u, e.v, e.w});
     sym.push_back({e.v, e.u, e.w});
   }

@@ -73,7 +73,10 @@ struct Csr {
 
 /// Builds a clean undirected CSR graph from an arbitrary edge list:
 /// symmetrizes, drops self-loops, and merges parallel edges by summing
-/// weights. Vertex weights default to 1.
+/// weights. Vertex weights default to 1. Edge endpoints are validated in
+/// ALL build types (not assert-only): an out-of-range endpoint throws
+/// guard::Error with code kInvalidInput instead of silently building a
+/// corrupt CSR in Release.
 Csr build_csr_from_edges(vid_t n, std::vector<Edge> edges);
 
 /// Validates all CSR invariants (monotone rowptr, in-range columns, sorted-

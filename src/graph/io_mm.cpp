@@ -3,22 +3,33 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <string>
+
+#include "guard/fault.hpp"
 
 namespace mgc {
 
+namespace {
+
+[[noreturn]] void bad_input(const std::string& msg) {
+  throw guard::Error(guard::Status::invalid_input("mm: " + msg));
+}
+
+}  // namespace
+
 Csr read_matrix_market(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line)) throw std::runtime_error("mm: empty stream");
+  if (!std::getline(in, line)) bad_input("empty stream");
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
   if (banner != "%%MatrixMarket" || object != "matrix") {
-    throw std::runtime_error("mm: bad banner: " + line);
+    bad_input("bad banner: " + line);
   }
   if (format != "coordinate") {
-    throw std::runtime_error("mm: only coordinate format is supported");
+    bad_input("only coordinate format is supported");
   }
   const bool pattern = field == "pattern";
 
@@ -28,25 +39,54 @@ Csr read_matrix_market(std::istream& in) {
   }
   std::istringstream sizes(line);
   long long rows = 0, cols = 0, nnz = 0;
-  sizes >> rows >> cols >> nnz;
+  if (!(sizes >> rows >> cols >> nnz)) {
+    bad_input("bad size line: " + line);
+  }
   if (rows <= 0 || cols <= 0 || nnz < 0) {
-    throw std::runtime_error("mm: bad size line: " + line);
+    bad_input("bad size line: " + line);
+  }
+  // Hostile-header bounds, checked BEFORE any allocation happens:
+  //   * dimensions must fit vid_t (the CSR index type);
+  //   * nnz must fit eid_t and cannot exceed the dense entry count — a
+  //     header claiming more entries than rows*cols is lying about the
+  //     stream that follows.
+  if (rows > static_cast<long long>(std::numeric_limits<vid_t>::max()) ||
+      cols > static_cast<long long>(std::numeric_limits<vid_t>::max())) {
+    bad_input("dimensions overflow the vertex index type: " + line);
+  }
+  // rows*cols in long double: both operands are < 2^31 so the product is
+  // exact in the 64-bit mantissa; avoids long long overflow.
+  if (static_cast<long double>(nnz) >
+      static_cast<long double>(rows) * static_cast<long double>(cols)) {
+    bad_input("nnz exceeds rows*cols: " + line);
   }
   const vid_t n = static_cast<vid_t>(std::max(rows, cols));
 
   std::vector<Edge> edges;
-  edges.reserve(static_cast<std::size_t>(nnz));
+  // Reserve is capped: the header is untrusted, so an absurd nnz must not
+  // trigger a huge up-front allocation. A lying short stream then fails
+  // with "truncated entry list" after a few lines instead of an OOM.
+  constexpr long long kReserveCap = 1LL << 22;
+  if (guard::fault::should_fire(guard::fault::Kind::kAlloc)) {
+    throw guard::Error(guard::Status::resource_exhausted(
+        "mm: injected allocation failure (fault kind=alloc)"));
+  }
+  edges.reserve(static_cast<std::size_t>(std::min(nnz, kReserveCap)));
   for (long long k = 0; k < nnz; ++k) {
-    if (!std::getline(in, line)) {
-      throw std::runtime_error("mm: truncated entry list");
+    if (!std::getline(in, line) ||
+        guard::fault::should_fire(guard::fault::Kind::kIoTruncate)) {
+      bad_input("truncated entry list");
     }
     std::istringstream entry(line);
     long long i = 0, j = 0;
     double val = 1.0;
-    entry >> i >> j;
-    if (!pattern) entry >> val;
+    if (!(entry >> i >> j)) bad_input("bad entry: " + line);
+    if (!pattern) {
+      if (!(entry >> val)) bad_input("bad entry value: " + line);
+      if (!std::isfinite(val)) bad_input("non-finite entry value: " + line);
+    }
     if (i < 1 || j < 1 || i > rows || j > cols) {
-      throw std::runtime_error("mm: index out of range: " + line);
+      bad_input("index out of range: " + line);
     }
     const wgt_t w = std::max<wgt_t>(
         1, static_cast<wgt_t>(std::llround(std::fabs(val))));
@@ -60,8 +100,35 @@ Csr read_matrix_market(std::istream& in) {
 
 Csr read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("mm: cannot open " + path);
+  if (!in) {
+    throw guard::Error(
+        guard::Status::invalid_input("mm: cannot open " + path));
+  }
   return read_matrix_market(in);
+}
+
+guard::Result<Csr> try_read_matrix_market(std::istream& in) {
+  try {
+    return read_matrix_market(in);
+  } catch (const guard::Error& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return guard::Status::resource_exhausted("mm: allocation failed");
+  } catch (const std::exception& e) {
+    return guard::Status::internal(std::string("mm: ") + e.what());
+  }
+}
+
+guard::Result<Csr> try_read_matrix_market_file(const std::string& path) {
+  try {
+    return read_matrix_market_file(path);
+  } catch (const guard::Error& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return guard::Status::resource_exhausted("mm: allocation failed");
+  } catch (const std::exception& e) {
+    return guard::Status::internal(std::string("mm: ") + e.what());
+  }
 }
 
 void write_matrix_market(std::ostream& out, const Csr& g) {
@@ -81,7 +148,10 @@ void write_matrix_market(std::ostream& out, const Csr& g) {
 
 void write_matrix_market_file(const std::string& path, const Csr& g) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("mm: cannot open " + path);
+  if (!out) {
+    throw guard::Error(
+        guard::Status::invalid_input("mm: cannot open " + path));
+  }
   write_matrix_market(out, g);
 }
 

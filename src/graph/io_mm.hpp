@@ -8,17 +8,26 @@
 #include <string>
 
 #include "graph/csr.hpp"
+#include "guard/status.hpp"
 
 namespace mgc {
 
 /// Parses a Matrix Market "coordinate" stream (pattern/real/integer;
 /// general or symmetric) into an undirected graph. Non-pattern values are
-/// rounded and clamped to weight >= 1. Throws std::runtime_error on parse
-/// errors.
+/// rounded and clamped to weight >= 1. Hostile headers are rejected before
+/// any allocation: dimensions that overflow vid_t, nnz > rows*cols, and
+/// absurd up-front reservations (the edge buffer reserve is capped, so a
+/// lying nnz fails as "truncated" instead of OOM-ing). Throws guard::Error
+/// (a std::runtime_error) with code kInvalidInput on parse errors.
 Csr read_matrix_market(std::istream& in);
 
 /// Reads a Matrix Market file from disk.
 Csr read_matrix_market_file(const std::string& path);
+
+/// Non-throwing boundary forms: parse errors come back as a typed Status
+/// (kInvalidInput / kResourceExhausted) instead of an exception.
+guard::Result<Csr> try_read_matrix_market(std::istream& in);
+guard::Result<Csr> try_read_matrix_market_file(const std::string& path);
 
 /// Writes a graph as a symmetric integer Matrix Market coordinate file
 /// (each undirected edge emitted once, lower triangle).

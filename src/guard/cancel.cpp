@@ -1,0 +1,40 @@
+#include "guard/cancel.hpp"
+
+#include <limits>
+
+namespace mgc::guard {
+
+namespace {
+thread_local const Ctx* t_current_ctx = nullptr;
+}  // namespace
+
+double Deadline::remaining_seconds() const {
+  if (!armed_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ - clock::now()).count();
+}
+
+Status Ctx::stop_status() const {
+  switch (stop_code()) {
+    case Code::kCancelled:
+      return Status::cancelled("cancellation requested");
+    case Code::kDeadlineExceeded:
+      return Status::deadline_exceeded("wall-clock deadline exceeded");
+    default:
+      return Status::ok_status();
+  }
+}
+
+void Ctx::throw_if_stopped() const {
+  const Status s = stop_status();
+  if (!s.ok()) throw Error(s);
+}
+
+ScopedCtx::ScopedCtx(const Ctx& ctx) : prev_(t_current_ctx) {
+  t_current_ctx = &ctx;
+}
+
+ScopedCtx::~ScopedCtx() { t_current_ctx = prev_; }
+
+const Ctx* current_ctx() { return t_current_ctx; }
+
+}  // namespace mgc::guard

@@ -1,0 +1,162 @@
+#pragma once
+// mgc::guard — cooperative cancellation and wall-clock deadlines
+// (see docs/robustness.md).
+//
+// A pathological input (the HEM-on-stars stall from the paper's "201
+// level" rows) can grind a run for minutes without ever erroring. These
+// primitives bound such runs:
+//
+//   CancelSource / CancelToken   one writer requests, any reader observes.
+//                                Tokens are cheap shared handles; a default-
+//                                constructed token is never cancelled.
+//   Deadline                     an absolute steady-clock cutoff; a default-
+//                                constructed deadline never expires.
+//   Ctx                          token + deadline bundled; the unit passed
+//                                to the *_guarded drivers.
+//   ScopedCtx / current_ctx()    thread-local installation so deeply nested
+//                                code (the core/exec.hpp dispatch loops)
+//                                polls the active Ctx without every kernel
+//                                signature growing a parameter — the same
+//                                pattern mgc::prof and mgc::check use.
+//
+// Polling discipline: core/exec.hpp checks the installed Ctx at CHUNK
+// granularity (>= 256 iterations per check, so a clock read is noise) and
+// the multilevel driver checks between coarsening levels. On stop, a
+// dispatch skips its remaining chunks and throws guard::Error from the
+// SUBMITTING thread after the pool drains (chunk_fn must not throw); the
+// partially-written kernel output is discarded by the unwinding caller, so
+// only whole completed stages survive into partial results.
+//
+// Thread-safety: CancelSource::request_cancel() may be called from any
+// thread. ScopedCtx installs onto the calling (driver) thread only; worker
+// threads see the Ctx via the pointer captured by the dispatch, not via
+// their own thread-locals.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "guard/status.hpp"
+
+namespace mgc::guard {
+
+/// Read side of a cancellation flag. Copyable, cheap, never cancelled when
+/// default-constructed.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  bool cancellable() const { return flag_ != nullptr; }
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Write side: hand out token() to workers, call request_cancel() to stop
+/// them at their next poll point. Idempotent; cannot be un-cancelled.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancelToken token() const { return CancelToken(flag_); }
+  void request_cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Absolute wall-clock cutoff. Default-constructed == never expires.
+class Deadline {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  static Deadline never() { return {}; }
+  static Deadline at(clock::time_point when) { return Deadline(when); }
+  template <class Rep, class Period>
+  static Deadline after(std::chrono::duration<Rep, Period> d) {
+    return Deadline(clock::now() +
+                    std::chrono::duration_cast<clock::duration>(d));
+  }
+  static Deadline after_ms(double ms) {
+    return after(std::chrono::duration<double, std::milli>(ms));
+  }
+
+  bool armed() const { return armed_; }
+  bool expired() const { return armed_ && clock::now() >= at_; }
+
+  /// Seconds until expiry (negative once expired); +inf when never armed.
+  double remaining_seconds() const;
+
+ private:
+  explicit Deadline(clock::time_point at) : at_(at), armed_(true) {}
+
+  clock::time_point at_{};
+  bool armed_ = false;
+};
+
+/// The cancellation context threaded through the *_guarded drivers.
+struct Ctx {
+  CancelToken cancel;
+  Deadline deadline;
+
+  /// Neither a token nor a deadline: polling can be skipped entirely.
+  bool trivial() const { return !cancel.cancellable() && !deadline.armed(); }
+
+  /// kOk while running is allowed; cancellation wins over the deadline when
+  /// both have fired (the caller asked first).
+  Code stop_code() const {
+    if (cancel.cancelled()) return Code::kCancelled;
+    if (deadline.expired()) return Code::kDeadlineExceeded;
+    return Code::kOk;
+  }
+  bool should_stop() const { return stop_code() != Code::kOk; }
+
+  /// Status form of stop_code(), with a generic message.
+  Status stop_status() const;
+
+  /// Throws guard::Error(stop_status()) if stopped; otherwise no-op.
+  void throw_if_stopped() const;
+};
+
+/// RAII thread-local installation of a Ctx for the enclosed scope; nested
+/// installs shadow outer ones and restore them on destruction.
+class ScopedCtx {
+ public:
+  explicit ScopedCtx(const Ctx& ctx);
+  ~ScopedCtx();
+
+  ScopedCtx(const ScopedCtx&) = delete;
+  ScopedCtx& operator=(const ScopedCtx&) = delete;
+
+ private:
+  const Ctx* prev_;
+};
+
+/// The innermost installed Ctx on this thread, or nullptr. The core/exec
+/// dispatches poll this; a non-trivial Ctx passed explicitly to a guarded
+/// driver takes precedence over it (see effective_ctx).
+const Ctx* current_ctx();
+
+/// Resolution rule used by the guarded drivers: an explicitly passed
+/// non-trivial Ctx wins; otherwise fall back to the installed thread-local
+/// one (so `mgc --deadline-ms` reaches drivers called with a default Ctx).
+inline const Ctx& effective_ctx(const Ctx& explicit_ctx) {
+  if (explicit_ctx.trivial()) {
+    if (const Ctx* installed = current_ctx()) return *installed;
+  }
+  return explicit_ctx;
+}
+
+}  // namespace mgc::guard

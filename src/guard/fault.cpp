@@ -1,0 +1,183 @@
+#include "guard/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/prng.hpp"
+#include "prof/prof.hpp"
+
+namespace mgc::guard::fault {
+
+namespace {
+
+struct KindState {
+  std::atomic<bool> enabled{false};
+  double rate = 0.0;
+  std::uint64_t seed = 0;
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+struct State {
+  KindState kinds[kNumKinds];
+  std::once_flag env_once;
+  std::atomic<bool> env_suppressed{false};
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+// Parses `spec` into (enabled, rate, seed) triples without touching the
+// live state; applied atomically only if the whole spec is valid.
+struct ParsedKind {
+  bool enabled = false;
+  double rate = 0.0;
+  std::uint64_t seed = 0;
+};
+
+Status parse_spec(const std::string& spec, ParsedKind (&out)[kNumKinds]) {
+  if (!spec.empty() && spec.back() == ',') {
+    return Status::invalid_input("empty clause in fault spec: " + spec);
+  }
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      return Status::invalid_input("empty clause in fault spec: " + spec);
+    }
+
+    const std::size_t c1 = item.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : item.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      return Status::invalid_input("fault spec needs kind:rate:seed: " +
+                                   item);
+    }
+    const std::string kind_str = item.substr(0, c1);
+    const std::string rate_str = item.substr(c1 + 1, c2 - c1 - 1);
+    const std::string seed_str = item.substr(c2 + 1);
+
+    int kind = -1;
+    for (int k = 0; k < kNumKinds; ++k) {
+      if (kind_str == kind_name(static_cast<Kind>(k))) kind = k;
+    }
+    if (kind < 0) {
+      return Status::invalid_input("unknown fault kind: " + kind_str);
+    }
+    char* rate_end = nullptr;
+    const double rate = std::strtod(rate_str.c_str(), &rate_end);
+    if (rate_end == rate_str.c_str() || *rate_end != '\0' || rate < 0.0 ||
+        rate > 1.0) {
+      return Status::invalid_input("fault rate must be in [0,1]: " +
+                                   rate_str);
+    }
+    char* seed_end = nullptr;
+    const std::uint64_t seed = std::strtoull(seed_str.c_str(), &seed_end, 0);
+    if (seed_end == seed_str.c_str() || *seed_end != '\0') {
+      return Status::invalid_input("bad fault seed: " + seed_str);
+    }
+    out[kind] = {rate > 0.0, rate, seed};
+  }
+  return Status::ok_status();
+}
+
+void apply(const ParsedKind (&parsed)[kNumKinds]) {
+  State& s = state();
+  for (int k = 0; k < kNumKinds; ++k) {
+    KindState& ks = s.kinds[k];
+    ks.rate = parsed[k].rate;
+    ks.seed = parsed[k].seed;
+    ks.calls.store(0, std::memory_order_relaxed);
+    ks.fired.store(0, std::memory_order_relaxed);
+    // enabled published last: should_fire gates on it.
+    ks.enabled.store(parsed[k].enabled, std::memory_order_release);
+  }
+}
+
+void init_from_env() {
+  State& s = state();
+  std::call_once(s.env_once, [&s] {
+    if (s.env_suppressed.load(std::memory_order_relaxed)) return;
+    const char* env = std::getenv("MGC_FAULT");
+    if (env == nullptr || *env == '\0') return;
+    ParsedKind parsed[kNumKinds];
+    const Status st = parse_spec(env, parsed);
+    if (!st.ok()) {
+      // A typo'd env var must not be silently ignored — fail the process
+      // loudly (this runs before any pipeline work starts).
+      throw Error(Status::invalid_input("MGC_FAULT: " + st.message));
+    }
+    apply(parsed);
+  });
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kAlloc: return "alloc";
+    case Kind::kIoTruncate: return "io-truncate";
+    case Kind::kSolverStall: return "solver-stall";
+    case Kind::kMapStall: return "map-stall";
+  }
+  return "?";
+}
+
+Status configure(const std::string& spec) {
+  State& s = state();
+  // Explicit configuration overrides (and suppresses) the env path.
+  s.env_suppressed.store(true, std::memory_order_relaxed);
+  std::call_once(s.env_once, [] {});
+  ParsedKind parsed[kNumKinds];
+  const Status st = parse_spec(spec, parsed);
+  if (!st.ok()) return st;
+  apply(parsed);
+  return Status::ok_status();
+}
+
+void clear() {
+  State& s = state();
+  s.env_suppressed.store(true, std::memory_order_relaxed);
+  std::call_once(s.env_once, [] {});
+  ParsedKind parsed[kNumKinds];
+  apply(parsed);
+}
+
+bool configured(Kind k) {
+  init_from_env();
+  return state()
+      .kinds[static_cast<int>(k)]
+      .enabled.load(std::memory_order_acquire);
+}
+
+bool should_fire(Kind k) {
+  init_from_env();
+  KindState& ks = state().kinds[static_cast<int>(k)];
+  if (!ks.enabled.load(std::memory_order_acquire)) return false;
+  const std::uint64_t n = ks.calls.fetch_add(1, std::memory_order_relaxed);
+  // Per-evaluation deterministic draw: kind and call index mixed into the
+  // seed so streams are independent across kinds and replayable per call.
+  const std::uint64_t h = splitmix64(
+      ks.seed ^ splitmix64(static_cast<std::uint64_t>(k) * 0x9e3779b97f4a7c15ULL + n));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= ks.rate) return false;
+  ks.fired.fetch_add(1, std::memory_order_relaxed);
+  if (prof::enabled()) {
+    prof::add(std::string("guard.fault.") + kind_name(k) + ".fired", 1);
+  }
+  return true;
+}
+
+std::uint64_t fired_count(Kind k) {
+  return state()
+      .kinds[static_cast<int>(k)]
+      .fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace mgc::guard::fault

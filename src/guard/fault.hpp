@@ -1,0 +1,77 @@
+#pragma once
+// mgc::guard::fault — deterministic seeded fault injection
+// (see docs/robustness.md for the MGC_FAULT grammar).
+//
+// Every degradation path in the library is exercised in tests and CI by
+// injecting the failure it handles, instead of waiting for production to
+// find it. Injection points are compiled in unconditionally (a disabled
+// point is one relaxed atomic load) and fire deterministically: point k's
+// n-th evaluation draws splitmix64(seed ^ kind ^ n) and fires when the
+// resulting uniform < rate, so a given (kind, rate, seed) always fires at
+// the same call sequence — failures found in CI replay exactly.
+//
+// Kinds and their injection points:
+//   alloc         coarsener level allocation + the .mtx reader's edge
+//                 buffer -> guard::Error(kResourceExhausted)
+//   io-truncate   .mtx entry loop behaves as if the stream ended mid-list
+//                 -> guard::Error(kInvalidInput, "truncated")
+//   solver-stall  fiedler_vector is forced to report non-convergence (the
+//                 multilevel driver's FM fallback must fire)
+//   map-stall     the level's primary coarse mapping is treated as stalled
+//                 (the fallback mapping chain must fire)
+//
+// Configuration: MGC_FAULT="kind:rate:seed[,kind:rate:seed...]" in the
+// environment (read once, lazily), or fault::configure(spec) from code
+// (tests, the CLI's --fault flag). configure()/clear() are driver-thread
+// operations — call with no parallel work in flight; should_fire() is safe
+// from any thread.
+//
+// Determinism caveat: the per-kind call counter is global, so call-order
+// determinism holds when a kind's injection points run on the driver
+// thread (all current points do — they sit in serial driver code, not
+// inside parallel bodies).
+
+#include <cstdint>
+#include <string>
+
+#include "guard/status.hpp"
+
+namespace mgc::guard::fault {
+
+enum class Kind : std::uint8_t {
+  kAlloc = 0,
+  kIoTruncate,
+  kSolverStall,
+  kMapStall,
+};
+inline constexpr int kNumKinds = 4;
+
+/// Spec name of a kind ("alloc", "io-truncate", "solver-stall",
+/// "map-stall").
+const char* kind_name(Kind k);
+
+/// Replaces the active configuration with `spec`
+/// ("kind:rate:seed[,kind:rate:seed...]"; rate in [0,1], seed a u64 in
+/// decimal or 0x-hex). An empty spec disables everything. Returns
+/// InvalidInput (leaving the previous configuration in place) on grammar
+/// errors.
+Status configure(const std::string& spec);
+
+/// Disables all kinds and resets call/fired counters. Also suppresses any
+/// later MGC_FAULT env (re-)read — tests call this to isolate themselves.
+void clear();
+
+/// True if `k` has a configured non-zero rate (triggers the lazy MGC_FAULT
+/// env read on first use, like should_fire).
+bool configured(Kind k);
+
+/// Evaluates injection point `k` once: advances the kind's deterministic
+/// draw sequence and returns whether this evaluation fires. Always false
+/// when unconfigured. Fires are mirrored to the mgc::prof counter
+/// "guard.fault.<kind>.fired".
+bool should_fire(Kind k);
+
+/// How many times `k` has fired since configure()/clear().
+std::uint64_t fired_count(Kind k);
+
+}  // namespace mgc::guard::fault

@@ -1,0 +1,60 @@
+#include "guard/status.hpp"
+
+namespace mgc::guard {
+
+const char* code_name(Code c) {
+  switch (c) {
+    case Code::kOk: return "Ok";
+    case Code::kInvalidInput: return "InvalidInput";
+    case Code::kResourceExhausted: return "ResourceExhausted";
+    case Code::kDeadlineExceeded: return "DeadlineExceeded";
+    case Code::kCancelled: return "Cancelled";
+    case Code::kDegraded: return "Degraded";
+    case Code::kInternal: return "Internal";
+  }
+  return "?";
+}
+
+int exit_code(Code c) {
+  switch (c) {
+    case Code::kOk:
+    case Code::kDegraded: return 0;
+    case Code::kInvalidInput: return 3;
+    case Code::kResourceExhausted: return 4;
+    case Code::kDeadlineExceeded: return 5;
+    case Code::kCancelled: return 6;
+    case Code::kInternal: return 7;
+  }
+  return 7;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "Ok";
+  std::string s = code_name(code);
+  if (!message.empty()) {
+    s += ": ";
+    s += message;
+  }
+  return s;
+}
+
+Status Status::invalid_input(std::string msg) {
+  return {Code::kInvalidInput, std::move(msg)};
+}
+Status Status::resource_exhausted(std::string msg) {
+  return {Code::kResourceExhausted, std::move(msg)};
+}
+Status Status::deadline_exceeded(std::string msg) {
+  return {Code::kDeadlineExceeded, std::move(msg)};
+}
+Status Status::cancelled(std::string msg) {
+  return {Code::kCancelled, std::move(msg)};
+}
+Status Status::degraded(std::string msg) {
+  return {Code::kDegraded, std::move(msg)};
+}
+Status Status::internal(std::string msg) {
+  return {Code::kInternal, std::move(msg)};
+}
+
+}  // namespace mgc::guard

@@ -1,0 +1,137 @@
+#pragma once
+// mgc::guard — structured failure taxonomy (see docs/robustness.md).
+//
+// The paper's own result tables contain failure rows (GPU OOM entries,
+// stalled-HEM "201 level" runs), and the production north star is a service
+// ingesting untrusted graphs — so failure is part of the API surface, not
+// an afterthought. This header defines the library-wide taxonomy:
+//
+//   Status    a stable error code + human-readable message. Codes are part
+//             of the public contract (docs/robustness.md documents the CLI
+//             exit-code mapping); messages are for humans and may change.
+//   Result<T> a Status plus an optional payload. Ok and Degraded results
+//             always carry a payload; DeadlineExceeded / Cancelled may
+//             carry a *partial* payload (e.g. the levels coarsened before
+//             the deadline); pure errors carry none.
+//   Error     the exception form of a Status, for call sites that keep the
+//             throwing style. Derives from std::runtime_error so existing
+//             catch sites (and tests) keep working unchanged.
+//   Event     one recorded degradation step ("mapping HEM stalled at level
+//             3; fell back to mtMetis"), surfaced in reports and mirrored
+//             into mgc::prof counters.
+//
+// Layering rule: internal code may throw guard::Error; the *_guarded API
+// boundaries (coarsener, partitioner, io) catch and return Status/Result,
+// so a caller that never wants exceptions can stay exception-free.
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgc::guard {
+
+/// Stable failure codes. Values are part of the public contract; new codes
+/// may be appended but existing ones never renumbered.
+enum class Code : std::uint8_t {
+  kOk = 0,
+  kInvalidInput,        ///< malformed/hostile input (bad .mtx, bad edges)
+  kResourceExhausted,   ///< memory budget / allocation failure (paper's OOM)
+  kDeadlineExceeded,    ///< wall-clock deadline hit; partial results possible
+  kCancelled,           ///< cooperative cancellation; partial results possible
+  kDegraded,            ///< completed via a fallback path (result is usable)
+  kInternal,            ///< invariant violation — a bug, not an input problem
+};
+
+/// Stable machine-readable name ("Ok", "InvalidInput", ...).
+const char* code_name(Code c);
+
+/// Process exit code for a Code (docs/robustness.md): Ok/Degraded -> 0,
+/// InvalidInput -> 3, ResourceExhausted -> 4, DeadlineExceeded -> 5,
+/// Cancelled -> 6, Internal -> 7. (2 is reserved for CLI usage errors.)
+int exit_code(Code c);
+
+struct Status {
+  Code code = Code::kOk;
+  std::string message;
+
+  bool ok() const { return code == Code::kOk; }
+  /// True when the accompanying payload is safe to use (full or fallback).
+  bool usable() const { return code == Code::kOk || code == Code::kDegraded; }
+
+  /// "DeadlineExceeded: coarsening stopped after level 12" (or "Ok").
+  std::string to_string() const;
+
+  static Status ok_status() { return {}; }
+  static Status invalid_input(std::string msg);
+  static Status resource_exhausted(std::string msg);
+  static Status deadline_exceeded(std::string msg);
+  static Status cancelled(std::string msg);
+  static Status degraded(std::string msg);
+  static Status internal(std::string msg);
+};
+
+/// Exception form of a Status. what() is the bare message (no code prefix)
+/// so existing std::runtime_error catch sites print unchanged text.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(Status status)
+      : std::runtime_error(status.message), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+  Code code() const { return status_.code; }
+
+ private:
+  Status status_;
+};
+
+/// One recorded degradation step, attached to *_guarded reports.
+struct Event {
+  std::string stage;   ///< "coarsen", "spectral", "io", ...
+  std::string detail;  ///< human-readable description of the fallback
+};
+
+/// Status + optional payload. See the header comment for which codes may
+/// carry a (possibly partial) payload.
+template <class T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {}
+  Result(Status status, T partial)
+      : status_(std::move(status)), value_(std::move(partial)) {}
+
+  bool ok() const { return status_.ok(); }
+  bool usable() const { return status_.usable() && value_.has_value(); }
+  bool has_value() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Payload access; throws Error(status) when no payload is present.
+  T& value() & {
+    require();
+    return *value_;
+  }
+  const T& value() const& {
+    require();
+    return *value_;
+  }
+  T&& value() && {
+    require();
+    return std::move(*value_);
+  }
+
+ private:
+  void require() const {
+    if (!value_.has_value()) {
+      throw Error(status_.ok()
+                      ? Status::internal("Result has no value")
+                      : status_);
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mgc::guard

@@ -4,6 +4,7 @@
 
 #include "core/prng.hpp"
 #include "core/timer.hpp"
+#include "guard/fault.hpp"
 #include "prof/prof.hpp"
 
 namespace mgc {
@@ -47,76 +48,180 @@ std::vector<int> Hierarchy::project_to_finest(
   return assign;
 }
 
-Hierarchy coarsen_multilevel(const Exec& exec, const Csr& g,
-                             const CoarsenOptions& opts) {
-  prof::Region prof_coarsen("coarsen");
+namespace {
 
-  Hierarchy h;
+// Marks a stop in the prof report and stamps the level it happened at.
+void note_stop(const guard::Status& status, int level) {
+  if (!prof::enabled()) return;
+  switch (status.code) {
+    case guard::Code::kDeadlineExceeded:
+      prof::add("guard.deadline_exceeded", 1);
+      break;
+    case guard::Code::kCancelled:
+      prof::add("guard.cancelled", 1);
+      break;
+    case guard::Code::kResourceExhausted:
+      prof::add("guard.resource_exhausted", 1);
+      break;
+    default:
+      break;
+  }
+  prof::add("guard.stop_level", static_cast<std::uint64_t>(level));
+}
+
+}  // namespace
+
+CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
+                                         const CoarsenOptions& opts,
+                                         const guard::Ctx& ctx_in) {
+  prof::Region prof_coarsen("coarsen");
+  const guard::Ctx& ctx = guard::effective_ctx(ctx_in);
+  // Installed for the whole run so every parallel kernel underneath polls
+  // the same context at chunk granularity.
+  guard::ScopedCtx scoped_ctx(ctx);
+
+  CoarsenReport report;
+  Hierarchy& h = report.hierarchy;
   h.graphs.push_back(g);
   h.levels.push_back({g.num_vertices(), g.num_edges(), 0.0, 0.0});
 
-  std::size_t resident_bytes = g.memory_bytes();
+  report.resident_bytes = g.memory_bytes();
   std::uint64_t seed = opts.seed;
 
   while (h.graphs.back().num_vertices() > opts.cutoff &&
          h.num_levels() - 1 < opts.max_levels) {
+    const int level = h.num_levels();  // index of the level being built
+    // Level-boundary poll: a stalled run stops HERE with the completed
+    // prefix of the hierarchy instead of grinding to the 200-level cap.
+    if (ctx.should_stop()) {
+      report.status = ctx.stop_status();
+      report.status.message += " during coarsening of level " +
+                               std::to_string(level);
+      note_stop(report.status, level);
+      break;
+    }
     const Csr& fine = h.graphs.back();
     const vid_t n_before = fine.num_vertices();
     seed = splitmix64(seed + 0x5bd1e995);
-    const int level = h.num_levels();  // index of the level being built
     prof::Region prof_level(prof::enabled()
                                 ? "level:" + std::to_string(level)
                                 : std::string());
 
-    Timer t_map;
-    CoarseMap cm;
-    {
-      prof::Region prof_map("mapping");
-      cm = compute_mapping(opts.mapping, exec, fine, seed);
-    }
-    const double map_s = t_map.seconds();
+    try {
+      Timer t_map;
+      CoarseMap cm;
+      Mapping used = opts.mapping;
+      {
+        prof::Region prof_map("mapping");
+        cm = compute_mapping(used, exec, fine, seed);
+      }
+      // Stall detection: if the mapping barely shrinks the graph, further
+      // levels add cost without progress (the HEM-on-stars pathology).
+      // The map-stall fault forces the primary mapping to look stalled so
+      // tests exercise the fallback chain deterministically.
+      bool stalled =
+          cm.nc >= static_cast<vid_t>(opts.min_shrink * n_before) ||
+          guard::fault::should_fire(guard::fault::Kind::kMapStall);
+      if (stalled) {
+        // Degradation policy: walk the fallback chain until one mapping
+        // makes progress on this level; keep the primary for later levels
+        // (a single pathological level should not demote the whole run).
+        prof::Region prof_fb("mapping_fallback");
+        for (const Mapping fb : opts.fallback_mappings) {
+          if (fb == used) continue;
+          CoarseMap fcm = compute_mapping(fb, exec, fine, seed);
+          if (fcm.nc < static_cast<vid_t>(opts.min_shrink * n_before)) {
+            report.events.push_back(
+                {"coarsen", "mapping " + mapping_name(opts.mapping) +
+                                " stalled at level " + std::to_string(level) +
+                                "; fell back to " + mapping_name(fb)});
+            if (prof::enabled()) {
+              prof::add("guard.degraded", 1);
+              prof::add("guard.fallback." + mapping_name(fb), 1);
+            }
+            cm = std::move(fcm);
+            used = fb;
+            stalled = false;
+            break;
+          }
+        }
+      }
+      if (stalled) break;  // every mapping stalls: stop, as the paper does
+      const double map_s = t_map.seconds();
 
-    // Stall detection: if the mapping barely shrinks the graph, further
-    // levels add cost without progress (the HEM-on-stars pathology).
-    if (cm.nc >= static_cast<vid_t>(opts.min_shrink * n_before)) break;
+      Timer t_con;
+      Csr coarse;
+      {
+        prof::Region prof_con("construct");
+        coarse = construct_coarse_graph(exec, fine, cm, opts.construct);
+      }
+      const double con_s = t_con.seconds();
 
-    Timer t_con;
-    Csr coarse;
-    {
-      prof::Region prof_con("construct");
-      coarse = construct_coarse_graph(exec, fine, cm, opts.construct);
-    }
-    const double con_s = t_con.seconds();
+      if (guard::fault::should_fire(guard::fault::Kind::kAlloc)) {
+        report.resident_bytes += coarse.memory_bytes();
+        report.status = guard::Status::resource_exhausted(
+            "injected allocation failure at level " + std::to_string(level) +
+            " (fault kind=alloc)");
+        note_stop(report.status, level);
+        break;
+      }
+      report.resident_bytes += coarse.memory_bytes();
+      if (opts.memory_budget_bytes != 0 &&
+          report.resident_bytes > opts.memory_budget_bytes) {
+        report.status =
+            guard::Status::resource_exhausted("memory budget exceeded");
+        note_stop(report.status, level);
+        break;
+      }
 
-    resident_bytes += coarse.memory_bytes();
-    if (opts.memory_budget_bytes != 0 &&
-        resident_bytes > opts.memory_budget_bytes) {
-      throw MemoryBudgetExceeded(resident_bytes);
-    }
+      const vid_t n_after = coarse.num_vertices();
+      // Paper rule: a jump from > cutoff to < discard_below over-coarsens;
+      // discard the coarsest graph and stop.
+      if (n_before > opts.cutoff && n_after < opts.discard_below) {
+        break;
+      }
 
-    const vid_t n_after = coarse.num_vertices();
-    // Paper rule: a jump from > cutoff to < discard_below over-coarsens;
-    // discard the coarsest graph and stop.
-    if (n_before > opts.cutoff && n_after < opts.discard_below) {
+      if (prof::enabled()) {
+        const std::string prefix = "coarsen.level." + std::to_string(level);
+        prof::add("coarsen.levels", 1);
+        prof::add(prefix + ".n", static_cast<std::uint64_t>(n_after));
+        prof::add(prefix + ".m",
+                  static_cast<std::uint64_t>(coarse.num_edges()));
+        prof::add(prefix + ".nnz",
+                  static_cast<std::uint64_t>(coarse.num_entries()));
+      }
+
+      h.maps.push_back(std::move(cm));
+      h.levels.push_back({coarse.num_vertices(), coarse.num_edges(), map_s,
+                          con_s});
+      h.graphs.push_back(std::move(coarse));
+    } catch (const guard::Error& e) {
+      // Chunk-granularity polls inside mapping/construction kernels raise
+      // here; the level under construction is discarded and the completed
+      // prefix of the hierarchy is returned with the stop status.
+      report.status = e.status();
+      report.status.message += " during coarsening of level " +
+                               std::to_string(level);
+      note_stop(report.status, level);
       break;
     }
-
-    if (prof::enabled()) {
-      const std::string prefix = "coarsen.level." + std::to_string(level);
-      prof::add("coarsen.levels", 1);
-      prof::add(prefix + ".n", static_cast<std::uint64_t>(n_after));
-      prof::add(prefix + ".m",
-                static_cast<std::uint64_t>(coarse.num_edges()));
-      prof::add(prefix + ".nnz",
-                static_cast<std::uint64_t>(coarse.num_entries()));
-    }
-
-    h.maps.push_back(std::move(cm));
-    h.levels.push_back({coarse.num_vertices(), coarse.num_edges(), map_s,
-                        con_s});
-    h.graphs.push_back(std::move(coarse));
   }
-  return h;
+  if (report.status.ok() && !report.events.empty()) {
+    report.status = guard::Status::degraded(
+        std::to_string(report.events.size()) +
+        " mapping fallback(s); see events");
+  }
+  return report;
+}
+
+Hierarchy coarsen_multilevel(const Exec& exec, const Csr& g,
+                             const CoarsenOptions& opts) {
+  CoarsenReport report = coarsen_multilevel_guarded(exec, g, opts);
+  if (report.status.usable()) return std::move(report.hierarchy);
+  if (report.status.code == guard::Code::kResourceExhausted) {
+    throw MemoryBudgetExceeded(report.resident_bytes);
+  }
+  throw guard::Error(report.status);
 }
 
 }  // namespace mgc

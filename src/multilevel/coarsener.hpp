@@ -17,6 +17,8 @@
 #include "construct/construct.hpp"
 #include "core/exec.hpp"
 #include "graph/csr.hpp"
+#include "guard/cancel.hpp"
+#include "guard/status.hpp"
 
 namespace mgc {
 
@@ -32,14 +34,23 @@ struct CoarsenOptions {
   /// paper's 11 GB device memory; exceeded -> MemoryBudgetExceeded.
   std::size_t memory_budget_bytes = 0;
   std::uint64_t seed = 42;
+  /// Graceful-degradation chain: when the primary `mapping` stalls on a
+  /// level (shrink < min_shrink — the HEM-on-stars pathology), these are
+  /// tried in order; the first one that shrinks the level is used and a
+  /// kDegraded event is recorded (mgc::prof counter "guard.fallback.<name>").
+  /// Empty (the default) preserves the paper's stop-on-stall behavior.
+  std::vector<Mapping> fallback_mappings;
 };
 
 /// Thrown when the hierarchy would exceed the configured memory budget —
-/// the analogue of the paper's GPU OOM rows.
-class MemoryBudgetExceeded : public std::runtime_error {
+/// the analogue of the paper's GPU OOM rows. A guard::Error with code
+/// kResourceExhausted, so generic taxonomy handlers classify it correctly.
+class MemoryBudgetExceeded : public guard::Error {
  public:
   explicit MemoryBudgetExceeded(std::size_t bytes)
-      : std::runtime_error("memory budget exceeded"), bytes_(bytes) {}
+      : guard::Error(
+            guard::Status::resource_exhausted("memory budget exceeded")),
+        bytes_(bytes) {}
   std::size_t bytes() const { return bytes_; }
 
  private:
@@ -84,8 +95,36 @@ struct Hierarchy {
                                      int from) const;
 };
 
+/// Outcome of a guarded coarsening run. `hierarchy` is ALWAYS structurally
+/// valid (graphs/maps/levels consistent, at least the input graph): on
+/// kDeadlineExceeded / kCancelled / kResourceExhausted it holds the levels
+/// completed before the stop — the partial result a caller can still
+/// partition on. `status` is kOk, kDegraded (a fallback mapping fired; see
+/// `events`), or one of the stop codes above.
+struct CoarsenReport {
+  Hierarchy hierarchy;
+  guard::Status status;
+  std::vector<guard::Event> events;
+  std::size_t resident_bytes = 0;  ///< hierarchy footprint when it stopped
+};
+
 /// Runs Algorithm 1. The input graph is copied into the hierarchy.
+/// Exception boundary: throws MemoryBudgetExceeded on budget overrun and
+/// guard::Error (kDeadlineExceeded / kCancelled) when a guard::Ctx
+/// installed by an enclosing ScopedCtx fires mid-run. Callers that want
+/// partial hierarchies instead of exceptions use the guarded form below.
 Hierarchy coarsen_multilevel(const Exec& exec, const Csr& g,
                              const CoarsenOptions& opts = {});
+
+/// Guarded form of Algorithm 1: never throws on taxonomy failures.
+/// Checks `ctx` between levels (and, via the installed ScopedCtx, at chunk
+/// granularity inside every parallel kernel); on stop it returns the
+/// partial hierarchy built so far with the stop Status. A stalled level is
+/// retried along opts.fallback_mappings before giving up (see
+/// CoarsenOptions). A trivial `ctx` inherits any context installed by an
+/// enclosing guard::ScopedCtx (guard::effective_ctx).
+CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
+                                         const CoarsenOptions& opts = {},
+                                         const guard::Ctx& ctx = {});
 
 }  // namespace mgc

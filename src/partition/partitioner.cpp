@@ -6,6 +6,71 @@
 
 namespace mgc {
 
+namespace {
+
+// Post-coarsening half of the multilevel Fiedler solve: solve on the
+// coarsest graph, then interpolate + re-refine at every level. Shared by
+// multilevel_fiedler and the guarded bisection driver so both use the
+// exact same seeds and iteration budgets.
+struct HierarchySolve {
+  std::vector<double> vector;
+  int total_iterations = 0;
+  int fine_iterations = 0;
+  bool converged = true;
+};
+
+HierarchySolve fiedler_on_hierarchy(const Exec& exec, const Hierarchy& h,
+                                    std::uint64_t seed,
+                                    const SpectralOptions& sopts) {
+  HierarchySolve out;
+  SpectralStats stats;
+  std::vector<double> fiedler = fiedler_vector(
+      exec, h.coarsest(), seed ^ 0xf1ed1e5, sopts, nullptr, &stats);
+  out.total_iterations += stats.iterations;
+  // Convergence means the coarsest full-budget solve reached tolerance.
+  // The per-level re-refines are deliberately budget-capped (cascadic
+  // multigrid): exhausting that budget is the design, not a failure.
+  out.converged = stats.converged;
+  SpectralOptions refine_opts = sopts;
+  refine_opts.max_iterations = sopts.max_refine_iterations;
+  for (int level = h.num_levels() - 1; level > 0; --level) {
+    const CoarseMap& cm = h.maps[static_cast<std::size_t>(level) - 1];
+    std::vector<double> fine(cm.map.size());
+    for (std::size_t u = 0; u < cm.map.size(); ++u) {
+      fine[u] = fiedler[static_cast<std::size_t>(cm.map[u])];
+    }
+    fiedler = fiedler_vector(
+        exec, h.graphs[static_cast<std::size_t>(level) - 1],
+        seed ^ 0xf1ed1e5, refine_opts, &fine, &stats);
+    out.total_iterations += stats.iterations;
+    if (level == 1) out.fine_iterations = stats.iterations;
+  }
+  if (h.num_levels() == 1) out.fine_iterations = out.total_iterations;
+  out.vector = std::move(fiedler);
+  return out;
+}
+
+// Post-coarsening half of the multilevel FM bisection: GGG initial
+// partition on the coarsest graph, then project + FM-refine per level.
+std::vector<int> fm_partition_on_hierarchy(const Hierarchy& h,
+                                           std::uint64_t seed,
+                                           const FmOptions& fopts,
+                                           const GggOptions& gopts) {
+  std::vector<int> part;
+  {
+    prof::Region prof_initial("initial");
+    part = greedy_graph_growing(h.coarsest(), seed ^ 0x999, gopts);
+  }
+  fm_refine(h.coarsest(), part, fopts);
+  for (int level = h.num_levels() - 1; level > 0; --level) {
+    part = h.project_one_level(part, level);
+    fm_refine(h.graphs[static_cast<std::size_t>(level) - 1], part, fopts);
+  }
+  return part;
+}
+
+}  // namespace
+
 FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
                                  const CoarsenOptions& copts,
                                  const SpectralOptions& sopts) {
@@ -18,27 +83,11 @@ FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
 
   Timer t_solve;
   prof::Region prof_solve("solve");
-  // Solve on the coarsest graph, then interpolate up with re-refinement.
-  SpectralStats stats;
-  std::vector<double> fiedler = fiedler_vector(
-      exec, h.coarsest(), copts.seed ^ 0xf1ed1e5, sopts, nullptr, &stats);
-  result.total_iterations += stats.iterations;
-  SpectralOptions refine_opts = sopts;
-  refine_opts.max_iterations = sopts.max_refine_iterations;
-  for (int level = h.num_levels() - 1; level > 0; --level) {
-    const CoarseMap& cm = h.maps[static_cast<std::size_t>(level) - 1];
-    std::vector<double> fine(cm.map.size());
-    for (std::size_t u = 0; u < cm.map.size(); ++u) {
-      fine[u] = fiedler[static_cast<std::size_t>(cm.map[u])];
-    }
-    fiedler = fiedler_vector(
-        exec, h.graphs[static_cast<std::size_t>(level) - 1],
-        copts.seed ^ 0xf1ed1e5, refine_opts, &fine, &stats);
-    result.total_iterations += stats.iterations;
-    if (level == 1) result.fine_iterations = stats.iterations;
-  }
-  if (h.num_levels() == 1) result.fine_iterations = result.total_iterations;
-  result.vector = std::move(fiedler);
+  HierarchySolve s = fiedler_on_hierarchy(exec, h, copts.seed, sopts);
+  result.total_iterations = s.total_iterations;
+  result.fine_iterations = s.fine_iterations;
+  result.converged = s.converged;
+  result.vector = std::move(s.vector);
   result.solve_seconds = t_solve.seconds();
   return result;
 }
@@ -71,17 +120,7 @@ PartitionResult multilevel_fm_bisect(const Exec& exec, const Csr& g,
 
   Timer t_refine;
   prof::Region prof_refine("refine");
-  std::vector<int> part;
-  {
-    prof::Region prof_initial("initial");
-    part = greedy_graph_growing(h.coarsest(), copts.seed ^ 0x999, gopts);
-  }
-  fm_refine(h.coarsest(), part, fopts);
-  for (int level = h.num_levels() - 1; level > 0; --level) {
-    part = h.project_one_level(part, level);
-    fm_refine(h.graphs[static_cast<std::size_t>(level) - 1], part, fopts);
-  }
-  result.part = std::move(part);
+  result.part = fm_partition_on_hierarchy(h, copts.seed, fopts, gopts);
   result.cut = edge_cut(g, result.part);
   result.refine_seconds = t_refine.seconds();
   return result;
@@ -98,6 +137,66 @@ PartitionResult metis_like_bisect(const Csr& g, MetisMode mode,
   // is a faithful stand-in for bisection.
   const Exec exec = Exec::serial();
   return multilevel_fm_bisect(exec, g, copts, FmOptions{}, GggOptions{});
+}
+
+BisectReport guarded_spectral_bisect(const Exec& exec, const Csr& g,
+                                     const CoarsenOptions& copts,
+                                     const SpectralOptions& sopts,
+                                     const FmOptions& fopts,
+                                     const GggOptions& gopts,
+                                     const guard::Ctx& ctx_in) {
+  prof::Region prof_bisect("guarded_bisect");
+  const guard::Ctx& ctx = guard::effective_ctx(ctx_in);
+  guard::ScopedCtx scoped_ctx(ctx);
+
+  BisectReport report;
+  Timer t_coarsen;
+  CoarsenReport cr = coarsen_multilevel_guarded(exec, g, copts, ctx);
+  report.events = std::move(cr.events);
+  if (!cr.status.usable()) {
+    report.status = std::move(cr.status);
+    return report;
+  }
+  const Hierarchy& h = cr.hierarchy;
+  report.result.coarsen_seconds = t_coarsen.seconds();
+  report.result.levels = h.num_levels();
+
+  Timer t_refine;
+  try {
+    prof::Region prof_refine("refine");
+    std::vector<int> part;
+    HierarchySolve s = fiedler_on_hierarchy(exec, h, copts.seed, sopts);
+    if (s.converged) {
+      part = bisect_by_vector(g, s.vector);
+    } else {
+      // Spectral non-convergence: rather than bisecting whatever the last
+      // iterate happened to be, degrade to GGG + FM over the same
+      // hierarchy — a combinatorial method with no convergence dependence.
+      report.events.push_back(
+          {"spectral",
+           "coarsest-level Fiedler solve did not converge; fell back to "
+           "FM-only refinement"});
+      if (prof::enabled()) {
+        prof::add("guard.degraded", 1);
+        prof::add("guard.fallback.fm", 1);
+      }
+      part = fm_partition_on_hierarchy(h, copts.seed, fopts, gopts);
+    }
+    report.result.part = std::move(part);
+    report.result.cut = edge_cut(g, report.result.part);
+    report.result.refine_seconds = t_refine.seconds();
+  } catch (const guard::Error& e) {
+    // Deadline/cancellation raised by a kernel poll inside the solve.
+    report.status = e.status();
+    report.status.message += " during refinement";
+    return report;
+  }
+  report.status = report.events.empty()
+                      ? guard::Status::ok_status()
+                      : guard::Status::degraded(
+                            std::to_string(report.events.size()) +
+                            " fallback(s); see events");
+  return report;
 }
 
 }  // namespace mgc

@@ -44,6 +44,10 @@ struct FiedlerResult {
   int fine_iterations = 0;   ///< iterations spent on the finest level only
   double coarsen_seconds = 0.0;
   double solve_seconds = 0.0;
+  /// False when the coarsest full-budget solve exhausted its iterations
+  /// without meeting the tolerance; the vector is the last iterate. The
+  /// per-level re-refines are budget-capped by design and do not count.
+  bool converged = true;
 };
 
 /// Computes the Fiedler vector multilevel: solve on the coarsest graph,
@@ -66,5 +70,34 @@ enum class MetisMode { kMetis, kMtMetis };
 
 PartitionResult metis_like_bisect(const Csr& g, MetisMode mode,
                                   std::uint64_t seed = 42);
+
+/// Outcome of a guarded bisection. On a usable() status, `result.part` is
+/// a valid 2-way partition of the input graph; kDegraded means a fallback
+/// fired somewhere in the pipeline (coarsening mapping chain and/or the
+/// spectral -> FM-only rescue) and `events` says which. Stop/error codes
+/// (kDeadlineExceeded, kCancelled, kResourceExhausted) carry no partition.
+struct BisectReport {
+  PartitionResult result;
+  guard::Status status;
+  std::vector<guard::Event> events;
+};
+
+/// Guarded multilevel spectral bisection — the degradation policy engine
+/// of the partitioning pipeline (docs/robustness.md):
+///   * coarsening runs guarded (deadline/cancel -> typed stop status;
+///     stalled mappings walk opts.fallback_mappings);
+///   * if the coarsest-level Fiedler solve does not converge (spectral.cpp
+///     otherwise returns whatever the last iterate was), the bisection
+///     falls back to GGG + FM refinement over the SAME hierarchy, recorded
+///     as a kDegraded event and visible in the mgc::prof report
+///     ("guard.fallback.fm").
+/// Never throws on taxonomy failures; `ctx` inherits an installed
+/// ScopedCtx when trivial (guard::effective_ctx).
+BisectReport guarded_spectral_bisect(const Exec& exec, const Csr& g,
+                                     const CoarsenOptions& copts = {},
+                                     const SpectralOptions& sopts = {},
+                                     const FmOptions& fopts = {},
+                                     const GggOptions& gopts = {},
+                                     const guard::Ctx& ctx = {});
 
 }  // namespace mgc

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/prng.hpp"
+#include "guard/fault.hpp"
 #include "prof/prof.hpp"
 #include "spla/matrix.hpp"
 
@@ -46,6 +47,11 @@ std::vector<double> fiedler_vector(const Exec& exec, const Csr& g,
                                    const std::vector<double>* initial,
                                    SpectralStats* stats) {
   prof::Region prof_solve("fiedler_solve");
+  // Injected non-convergence: report converged=false after a handful of
+  // iterations so the multilevel driver's FM fallback path is exercised
+  // without burning the full iteration budget.
+  const bool forced_stall =
+      guard::fault::should_fire(guard::fault::Kind::kSolverStall);
   const vid_t n = g.num_vertices();
   const std::size_t sn = static_cast<std::size_t>(n);
   const std::vector<double> diag = weighted_degrees(g);
@@ -75,7 +81,10 @@ std::vector<double> fiedler_vector(const Exec& exec, const Csr& g,
   std::vector<double> ax(sn), next(sn);
   int iter = 0;
   double diff = 0.0;
-  for (iter = 0; iter < opts.max_iterations; ++iter) {
+  bool converged = false;
+  const int max_iterations =
+      forced_stall ? std::min(opts.max_iterations, 8) : opts.max_iterations;
+  for (iter = 0; iter < max_iterations; ++iter) {
     // next = (cI - L) x = c*x - diag.*x + A*x
     spmv(exec, g, x.data(), ax.data());
     parallel_for(exec, sn, [&](std::size_t i) {
@@ -83,7 +92,10 @@ std::vector<double> fiedler_vector(const Exec& exec, const Csr& g,
     });
     remove_constant_component(exec, next);
     const double nn = norm2(exec, next);
-    if (nn < 1e-30) break;  // graph is complete-like; x already optimal
+    if (nn < 1e-30) {  // graph is complete-like; x already optimal
+      converged = !forced_stall;
+      break;
+    }
     parallel_for(exec, sn, [&](std::size_t i) { next[i] /= nn; });
     // Sign-align with the previous iterate so the difference is meaningful.
     double dot = parallel_sum<double>(exec, sn, [&](std::size_t i) {
@@ -98,7 +110,8 @@ std::vector<double> fiedler_vector(const Exec& exec, const Csr& g,
       return d * d;
     }));
     x.swap(next);
-    if (diff < opts.tolerance) {
+    if (!forced_stall && diff < opts.tolerance) {
+      converged = true;
       ++iter;
       break;
     }
@@ -106,8 +119,10 @@ std::vector<double> fiedler_vector(const Exec& exec, const Csr& g,
   if (stats != nullptr) {
     stats->iterations = iter;
     stats->residual = diff;
+    stats->converged = converged;
   }
   prof::add("spectral.iterations", static_cast<std::uint64_t>(iter));
+  if (!converged) prof::add("spectral.nonconverged", 1);
   return x;
 }
 

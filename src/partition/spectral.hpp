@@ -29,6 +29,11 @@ struct SpectralOptions {
 struct SpectralStats {
   int iterations = 0;
   double residual = 0.0;
+  /// False when the iteration hit max_iterations without meeting the
+  /// tolerance (or a solver-stall fault was injected). The returned vector
+  /// is still the last iterate — callers decide whether to degrade (the
+  /// guarded partitioner falls back to FM-only; see docs/robustness.md).
+  bool converged = false;
 };
 
 /// Power-iteration Fiedler vector. `initial` (optional, size n) seeds the

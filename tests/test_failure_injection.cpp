@@ -56,6 +56,29 @@ TEST(FailureInjection, MatrixMarketGarbageInputs) {
   }
 }
 
+TEST(FailureInjection, OutOfRangeEndpointsRejectedInAllBuilds) {
+  // Regression: this used to be an assert, i.e. a silent heap corruption
+  // in release builds. It must now throw a typed InvalidInput error
+  // regardless of NDEBUG.
+  const std::vector<Edge> bad_edge_sets[] = {
+      {{0, 5, 1}},    // v out of range (n = 3)
+      {{5, 0, 1}},    // u out of range
+      {{-1, 1, 1}},   // negative endpoint
+      {{0, 1, 1}, {2, 3, 1}},  // second edge out of range
+  };
+  for (const auto& edges : bad_edge_sets) {
+    try {
+      build_csr_from_edges(3, edges);
+      FAIL() << "expected guard::Error";
+    } catch (const guard::Error& e) {
+      EXPECT_EQ(e.code(), guard::Code::kInvalidInput);
+      EXPECT_NE(std::string(e.what()).find("out of range"),
+                std::string::npos);
+    }
+  }
+  EXPECT_THROW(build_csr_from_edges(-2, {}), guard::Error);
+}
+
 TEST(FailureInjection, ValidatorCatchesEveryCorruptionKind) {
   // Corrupt a valid graph in each possible way; the validator must name a
   // problem every time (and never crash).

@@ -1,8 +1,11 @@
-// Matrix Market I/O tests: round trips, format variants, error handling.
+// Matrix Market I/O tests: round trips, format variants, error handling,
+// and the hostile-input corpus under tests/data/bad_mtx/.
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/io_mm.hpp"
@@ -114,6 +117,66 @@ TEST(MatrixMarket, FileRoundTrip) {
   const Csr back = read_matrix_market_file(path);
   EXPECT_EQ(back.num_edges(), g.num_edges());
   EXPECT_EQ(back.colidx, g.colidx);
+}
+
+TEST(MatrixMarket, TryReaderReturnsStatusInsteadOfThrowing) {
+  std::stringstream bad("garbage\n");
+  const guard::Result<Csr> r = try_read_matrix_market(bad);
+  EXPECT_EQ(r.status().code, guard::Code::kInvalidInput);
+  EXPECT_FALSE(r.has_value());
+
+  std::stringstream good(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n");
+  const guard::Result<Csr> ok = try_read_matrix_market(good);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().num_vertices(), 3);
+  EXPECT_EQ(ok.value().num_edges(), 2);
+}
+
+TEST(MatrixMarket, HostileHeaderOverflowRejectedBeforeAllocation) {
+  // Dimensions that overflow vid_t must be rejected at the header, never
+  // reach the allocator or wrap to negative vertex counts.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3000000000 3000000000 1\n1 2 1\n");
+  const guard::Result<Csr> r = try_read_matrix_market(ss);
+  EXPECT_EQ(r.status().code, guard::Code::kInvalidInput);
+}
+
+TEST(MatrixMarket, LyingNnzDoesNotPreallocate) {
+  // nnz claims ~10^12 entries but the file ends after one; the capped
+  // reserve means this fails as "truncated", not as an OOM.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1000000 1000000 999999999999\n1 2 1\n");
+  const guard::Result<Csr> r = try_read_matrix_market(ss);
+  EXPECT_EQ(r.status().code, guard::Code::kInvalidInput);
+  EXPECT_NE(r.status().message.find("truncated"), std::string::npos);
+}
+
+// Every file in tests/data/bad_mtx/ is malformed in a distinct way; the
+// reader must return a typed non-ok Status for each — never crash, never
+// succeed, never exhaust memory.
+TEST(MatrixMarket, MalformedCorpusAllRejectedCleanly) {
+  const std::filesystem::path dir =
+      std::filesystem::path(MGC_TEST_DATA_DIR) / "bad_mtx";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".mtx") continue;
+    ++count;
+    const guard::Result<Csr> r =
+        try_read_matrix_market_file(entry.path().string());
+    EXPECT_FALSE(r.status().ok()) << entry.path();
+    EXPECT_TRUE(r.status().code == guard::Code::kInvalidInput ||
+                r.status().code == guard::Code::kResourceExhausted)
+        << entry.path() << ": " << r.status().to_string();
+    // The throwing reader must agree (and throw something catchable).
+    EXPECT_THROW(read_matrix_market_file(entry.path().string()),
+                 std::runtime_error)
+        << entry.path();
+  }
+  EXPECT_GE(count, 13u) << "bad_mtx corpus went missing";
 }
 
 }  // namespace

@@ -1,0 +1,632 @@
+// mgc::guard tests: failure taxonomy, cancellation/deadline semantics in
+// the core dispatch loops, deterministic fault injection, and the graceful
+// degradation paths of the guarded pipeline drivers (docs/robustness.md).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mgc.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+// Every fault-injecting test clears the global configuration on exit (even
+// on assertion failure) so later tests never inherit a fault config.
+struct FaultGuard {
+  ~FaultGuard() { guard::fault::clear(); }
+};
+
+// ---------------------------------------------------------------------------
+// Taxonomy: Status / Result / exit codes
+// ---------------------------------------------------------------------------
+
+TEST(GuardStatus, CodeNamesAreStable) {
+  EXPECT_STREQ(guard::code_name(guard::Code::kOk), "Ok");
+  EXPECT_STREQ(guard::code_name(guard::Code::kInvalidInput), "InvalidInput");
+  EXPECT_STREQ(guard::code_name(guard::Code::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(guard::code_name(guard::Code::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(guard::code_name(guard::Code::kCancelled), "Cancelled");
+  EXPECT_STREQ(guard::code_name(guard::Code::kDegraded), "Degraded");
+  EXPECT_STREQ(guard::code_name(guard::Code::kInternal), "Internal");
+}
+
+TEST(GuardStatus, ExitCodeContract) {
+  // The documented CLI contract (docs/robustness.md): success and degraded
+  // runs exit 0; each failure class gets its own code; 2 is reserved for
+  // usage errors and never produced by exit_code().
+  EXPECT_EQ(guard::exit_code(guard::Code::kOk), 0);
+  EXPECT_EQ(guard::exit_code(guard::Code::kDegraded), 0);
+  EXPECT_EQ(guard::exit_code(guard::Code::kInvalidInput), 3);
+  EXPECT_EQ(guard::exit_code(guard::Code::kResourceExhausted), 4);
+  EXPECT_EQ(guard::exit_code(guard::Code::kDeadlineExceeded), 5);
+  EXPECT_EQ(guard::exit_code(guard::Code::kCancelled), 6);
+  EXPECT_EQ(guard::exit_code(guard::Code::kInternal), 7);
+}
+
+TEST(GuardStatus, FactoriesAndPredicates) {
+  EXPECT_TRUE(guard::Status::ok_status().ok());
+  EXPECT_TRUE(guard::Status::ok_status().usable());
+  const guard::Status deg = guard::Status::degraded("fell back");
+  EXPECT_FALSE(deg.ok());
+  EXPECT_TRUE(deg.usable());
+  const guard::Status bad = guard::Status::invalid_input("bad edge");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.usable());
+  EXPECT_EQ(bad.to_string(), "InvalidInput: bad edge");
+  EXPECT_EQ(guard::Status::ok_status().to_string(), "Ok");
+}
+
+TEST(GuardStatus, ErrorIsARuntimeErrorWithBareMessage) {
+  const guard::Error e(guard::Status::resource_exhausted("out of budget"));
+  EXPECT_EQ(e.code(), guard::Code::kResourceExhausted);
+  EXPECT_STREQ(e.what(), "out of budget");  // no code prefix: legacy catch
+  const std::runtime_error& base = e;       // sites print unchanged text
+  EXPECT_STREQ(base.what(), "out of budget");
+}
+
+TEST(GuardResult, ValueAndStatusForms) {
+  guard::Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.usable());
+  EXPECT_EQ(ok.value(), 42);
+
+  guard::Result<int> err = guard::Status::invalid_input("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_FALSE(err.has_value());
+  try {
+    (void)err.value();
+    FAIL() << "value() on an empty Result must throw";
+  } catch (const guard::Error& e) {
+    EXPECT_EQ(e.code(), guard::Code::kInvalidInput);
+  }
+
+  // Partial payload: stop codes may carry a usable-if-you-want-it value.
+  guard::Result<int> partial(
+      guard::Status::deadline_exceeded("stopped early"), 7);
+  EXPECT_FALSE(partial.ok());
+  EXPECT_FALSE(partial.usable());  // usable() == Ok|Degraded only
+  EXPECT_TRUE(partial.has_value());
+  EXPECT_EQ(partial.value(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and deadline primitives
+// ---------------------------------------------------------------------------
+
+TEST(GuardCancel, TokenAndSourceSemantics) {
+  const guard::CancelToken nothing;
+  EXPECT_FALSE(nothing.cancellable());
+  EXPECT_FALSE(nothing.cancelled());
+
+  guard::CancelSource src;
+  guard::CancelToken tok = src.token();
+  EXPECT_TRUE(tok.cancellable());
+  EXPECT_FALSE(tok.cancelled());
+  src.request_cancel();
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_TRUE(src.cancel_requested());
+  src.request_cancel();  // idempotent
+  EXPECT_TRUE(tok.cancelled());
+}
+
+TEST(GuardCancel, DeadlineSemantics) {
+  const guard::Deadline never = guard::Deadline::never();
+  EXPECT_FALSE(never.armed());
+  EXPECT_FALSE(never.expired());
+
+  const guard::Deadline past = guard::Deadline::after_ms(-1.0);
+  EXPECT_TRUE(past.armed());
+  EXPECT_TRUE(past.expired());
+  EXPECT_LE(past.remaining_seconds(), 0.0);
+
+  const guard::Deadline future = guard::Deadline::after_ms(60'000.0);
+  EXPECT_TRUE(future.armed());
+  EXPECT_FALSE(future.expired());
+  EXPECT_GT(future.remaining_seconds(), 1.0);
+}
+
+TEST(GuardCancel, CtxStopCodePrecedence) {
+  guard::Ctx ctx;
+  EXPECT_TRUE(ctx.trivial());
+  EXPECT_EQ(ctx.stop_code(), guard::Code::kOk);
+  EXPECT_NO_THROW(ctx.throw_if_stopped());
+
+  guard::CancelSource src;
+  ctx.cancel = src.token();
+  ctx.deadline = guard::Deadline::after_ms(-1.0);
+  EXPECT_FALSE(ctx.trivial());
+  // Deadline already expired, cancel not yet requested.
+  EXPECT_EQ(ctx.stop_code(), guard::Code::kDeadlineExceeded);
+  // Cancellation wins once both have fired: the caller asked first.
+  src.request_cancel();
+  EXPECT_EQ(ctx.stop_code(), guard::Code::kCancelled);
+  EXPECT_THROW(ctx.throw_if_stopped(), guard::Error);
+}
+
+TEST(GuardCancel, ScopedCtxInstallsAndRestores) {
+  EXPECT_EQ(guard::current_ctx(), nullptr);
+  guard::Ctx outer;
+  outer.deadline = guard::Deadline::after_ms(60'000.0);
+  {
+    guard::ScopedCtx s1(outer);
+    ASSERT_NE(guard::current_ctx(), nullptr);
+    EXPECT_EQ(guard::current_ctx(), &outer);
+    guard::Ctx inner;
+    inner.deadline = guard::Deadline::after_ms(30'000.0);
+    {
+      guard::ScopedCtx s2(inner);
+      EXPECT_EQ(guard::current_ctx(), &inner);
+    }
+    EXPECT_EQ(guard::current_ctx(), &outer);
+  }
+  EXPECT_EQ(guard::current_ctx(), nullptr);
+}
+
+TEST(GuardCancel, EffectiveCtxPrefersExplicitNonTrivial) {
+  guard::Ctx installed;
+  installed.deadline = guard::Deadline::after_ms(60'000.0);
+  guard::ScopedCtx scoped(installed);
+
+  const guard::Ctx trivial;
+  EXPECT_EQ(&guard::effective_ctx(trivial), &installed);
+
+  guard::Ctx explicit_ctx;
+  explicit_ctx.deadline = guard::Deadline::after_ms(1'000.0);
+  EXPECT_EQ(&guard::effective_ctx(explicit_ctx), &explicit_ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline / cancellation inside the core dispatch loops
+// ---------------------------------------------------------------------------
+
+class GuardExecTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  Exec exec() const {
+    return GetParam() == Backend::Serial ? Exec::serial() : Exec::threads();
+  }
+};
+
+TEST_P(GuardExecTest, ExpiredDeadlineStopsParallelFor) {
+  guard::Ctx ctx;
+  ctx.deadline = guard::Deadline::after_ms(-1.0);  // already expired
+  guard::ScopedCtx scoped(ctx);
+  std::atomic<std::int64_t> touched{0};
+  try {
+    parallel_for(exec(), 1u << 20,
+                 [&](std::size_t) { touched.fetch_add(1); });
+    FAIL() << "expected guard::Error";
+  } catch (const guard::Error& e) {
+    EXPECT_EQ(e.code(), guard::Code::kDeadlineExceeded);
+  }
+  // Chunk-granularity polling: the dispatch must have skipped most chunks.
+  EXPECT_LT(touched.load(), std::int64_t{1} << 20);
+}
+
+TEST_P(GuardExecTest, CancelFromInsideBodyStopsParallelFor) {
+  guard::CancelSource src;
+  guard::Ctx ctx;
+  ctx.cancel = src.token();
+  guard::ScopedCtx scoped(ctx);
+  std::atomic<std::int64_t> touched{0};
+  try {
+    parallel_for(exec(), 1u << 20, [&](std::size_t i) {
+      if (i == 0) src.request_cancel();  // a body decides to stop the run
+      touched.fetch_add(1);
+    });
+    FAIL() << "expected guard::Error";
+  } catch (const guard::Error& e) {
+    EXPECT_EQ(e.code(), guard::Code::kCancelled);
+  }
+  EXPECT_LT(touched.load(), std::int64_t{1} << 20);
+}
+
+TEST_P(GuardExecTest, ExpiredDeadlineStopsParallelReduce) {
+  guard::Ctx ctx;
+  ctx.deadline = guard::Deadline::after_ms(-1.0);
+  guard::ScopedCtx scoped(ctx);
+  try {
+    (void)parallel_sum<std::int64_t>(
+        exec(), 1u << 20,
+        [](std::size_t i) { return static_cast<std::int64_t>(i); });
+    FAIL() << "expected guard::Error";
+  } catch (const guard::Error& e) {
+    EXPECT_EQ(e.code(), guard::Code::kDeadlineExceeded);
+  }
+}
+
+TEST_P(GuardExecTest, ExpiredDeadlineStopsParallelScan) {
+  guard::Ctx ctx;
+  ctx.deadline = guard::Deadline::after_ms(-1.0);
+  guard::ScopedCtx scoped(ctx);
+  std::vector<std::int64_t> v(1u << 18, 1);
+  try {
+    (void)parallel_exclusive_scan(exec(), v.data(), v.size());
+    FAIL() << "expected guard::Error";
+  } catch (const guard::Error& e) {
+    EXPECT_EQ(e.code(), guard::Code::kDeadlineExceeded);
+  }
+}
+
+TEST_P(GuardExecTest, TrivialCtxCostsNothingAndChangesNothing) {
+  // No installed ctx: results must be exact (polling fully disabled).
+  const std::int64_t n = 100'000;
+  const std::int64_t sum = parallel_sum<std::int64_t>(
+      exec(), static_cast<std::size_t>(n),
+      [](std::size_t i) { return static_cast<std::int64_t>(i); });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+
+  // An installed but unexpired ctx must not perturb results either.
+  guard::Ctx ctx;
+  ctx.deadline = guard::Deadline::after_ms(60'000.0);
+  guard::ScopedCtx scoped(ctx);
+  const std::int64_t sum2 = parallel_sum<std::int64_t>(
+      exec(), static_cast<std::size_t>(n),
+      [](std::size_t i) { return static_cast<std::int64_t>(i); });
+  EXPECT_EQ(sum2, sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GuardExecTest,
+                         ::testing::Values(Backend::Serial,
+                                           Backend::Threads),
+                         [](const auto& info) {
+                           return info.param == Backend::Serial ? "Serial"
+                                                                 : "Threads";
+                         });
+
+// ---------------------------------------------------------------------------
+// Fault injection: grammar, determinism, counters
+// ---------------------------------------------------------------------------
+
+TEST(GuardFault, GrammarRejectsBadSpecs) {
+  FaultGuard fg;
+  const char* bad[] = {
+      "alloc",                 // missing fields
+      "alloc:0.5",             // missing seed
+      "bogus:0.5:1",           // unknown kind
+      "alloc:1.5:1",           // rate out of range
+      "alloc:-0.1:1",          // rate out of range
+      "alloc:x:1",             // non-numeric rate
+      "alloc:0.5:zzz",         // non-numeric seed
+      "alloc:0.5:1,",          // trailing empty clause
+      ":::",                   // garbage
+  };
+  for (const char* spec : bad) {
+    const guard::Status s = guard::fault::configure(spec);
+    EXPECT_EQ(s.code, guard::Code::kInvalidInput) << "spec: " << spec;
+  }
+  // A failed configure leaves the previous configuration in place.
+  ASSERT_TRUE(guard::fault::configure("alloc:1.0:7").ok());
+  EXPECT_EQ(guard::fault::configure("bogus:1:1").code,
+            guard::Code::kInvalidInput);
+  EXPECT_TRUE(guard::fault::configured(guard::fault::Kind::kAlloc));
+}
+
+TEST(GuardFault, RateOneAlwaysFiresAndRateZeroNever) {
+  FaultGuard fg;
+  ASSERT_TRUE(guard::fault::configure("alloc:1.0:42,io-truncate:0.0:42").ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(guard::fault::should_fire(guard::fault::Kind::kAlloc));
+    EXPECT_FALSE(guard::fault::should_fire(guard::fault::Kind::kIoTruncate));
+  }
+  EXPECT_EQ(guard::fault::fired_count(guard::fault::Kind::kAlloc), 100u);
+  EXPECT_EQ(guard::fault::fired_count(guard::fault::Kind::kIoTruncate), 0u);
+  guard::fault::clear();
+  EXPECT_FALSE(guard::fault::configured(guard::fault::Kind::kAlloc));
+  EXPECT_FALSE(guard::fault::should_fire(guard::fault::Kind::kAlloc));
+  EXPECT_EQ(guard::fault::fired_count(guard::fault::Kind::kAlloc), 0u);
+}
+
+TEST(GuardFault, DrawSequenceIsDeterministicPerSeed) {
+  FaultGuard fg;
+  auto draw_pattern = [](const std::string& spec) {
+    EXPECT_TRUE(guard::fault::configure(spec).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 256; ++i) {
+      fired.push_back(
+          guard::fault::should_fire(guard::fault::Kind::kSolverStall));
+    }
+    return fired;
+  };
+  const auto a = draw_pattern("solver-stall:0.3:123");
+  const auto b = draw_pattern("solver-stall:0.3:123");
+  const auto c = draw_pattern("solver-stall:0.3:124");
+  EXPECT_EQ(a, b);  // same (kind, rate, seed) -> identical call sequence
+  EXPECT_NE(a, c);  // a different seed gives a different sequence
+  // At rate 0.3 over 256 draws, both extremes are astronomically unlikely.
+  const int hits = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, 256);
+}
+
+TEST(GuardFault, HexSeedsAndMultiClauseSpecs) {
+  FaultGuard fg;
+  ASSERT_TRUE(guard::fault::configure(
+                  "alloc:0.5:0xdeadbeef,map-stall:1.0:9,solver-stall:0.25:3")
+                  .ok());
+  EXPECT_TRUE(guard::fault::configured(guard::fault::Kind::kAlloc));
+  EXPECT_TRUE(guard::fault::configured(guard::fault::Kind::kMapStall));
+  EXPECT_TRUE(guard::fault::configured(guard::fault::Kind::kSolverStall));
+  EXPECT_FALSE(guard::fault::configured(guard::fault::Kind::kIoTruncate));
+  EXPECT_TRUE(guard::fault::should_fire(guard::fault::Kind::kMapStall));
+}
+
+TEST(GuardFault, InjectedAllocFailureInMatrixMarketReader) {
+  FaultGuard fg;
+  ASSERT_TRUE(guard::fault::configure("alloc:1.0:5").ok());
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1\n2 3 1\n");
+  const guard::Result<Csr> r = try_read_matrix_market(ss);
+  EXPECT_EQ(r.status().code, guard::Code::kResourceExhausted);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(GuardFault, InjectedIoTruncationInMatrixMarketReader) {
+  FaultGuard fg;
+  ASSERT_TRUE(guard::fault::configure("io-truncate:1.0:5").ok());
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1\n2 3 1\n");
+  const guard::Result<Csr> r = try_read_matrix_market(ss);
+  EXPECT_EQ(r.status().code, guard::Code::kInvalidInput);
+  EXPECT_NE(r.status().message.find("truncated"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Guarded coarsening: deadlines, fallback chains, partial hierarchies
+// ---------------------------------------------------------------------------
+
+// A partial hierarchy must still be structurally sound: every graph valid,
+// every map a valid surjection onto the next level.
+void expect_valid_hierarchy(const Hierarchy& h) {
+  ASSERT_GE(h.num_levels(), 1);
+  for (int i = 0; i < h.num_levels(); ++i) {
+    EXPECT_EQ(validate_csr(h.graphs[static_cast<std::size_t>(i)]), "")
+        << "level " << i;
+  }
+  for (std::size_t i = 0; i < h.maps.size(); ++i) {
+    EXPECT_EQ(validate_mapping(h.maps[i], h.graphs[i].num_vertices()), "")
+        << "map " << i;
+  }
+}
+
+TEST(GuardCoarsen, DeadlineStopsStalledHemRunWithPartialHierarchy) {
+  // The acceptance scenario: HEM on a star stalls (the paper's "201
+  // levels" pathology); with stall detection defeated it would grind for
+  // max_levels. A 10 ms deadline must stop it with a typed status and a
+  // structurally valid partial hierarchy.
+  const Csr g = make_star(60'000);
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHem;
+  opts.min_shrink = 1.1;  // defeat stall detection to force the grind
+  opts.seed = test::mix_seed(101);
+  guard::Ctx ctx;
+  ctx.deadline = guard::Deadline::after_ms(10.0);
+  const CoarsenReport r =
+      coarsen_multilevel_guarded(Exec::threads(), g, opts, ctx);
+  EXPECT_EQ(r.status.code, guard::Code::kDeadlineExceeded);
+  EXPECT_FALSE(r.status.usable());
+  expect_valid_hierarchy(r.hierarchy);
+  EXPECT_LT(r.hierarchy.num_levels(), opts.max_levels);
+}
+
+TEST(GuardCoarsen, CancellationStopsCoarsening) {
+  const Csr g = make_star(60'000);
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHem;
+  opts.min_shrink = 1.1;
+  opts.seed = test::mix_seed(102);
+  guard::CancelSource src;
+  src.request_cancel();  // cancelled before it even starts
+  guard::Ctx ctx;
+  ctx.cancel = src.token();
+  const CoarsenReport r =
+      coarsen_multilevel_guarded(Exec::threads(), g, opts, ctx);
+  EXPECT_EQ(r.status.code, guard::Code::kCancelled);
+  expect_valid_hierarchy(r.hierarchy);  // level 0 (the input) is present
+}
+
+TEST(GuardCoarsen, GuardedMatchesUnguardedWithoutFaults) {
+  // With no ctx and no faults the guarded driver must produce exactly the
+  // hierarchy the legacy entry point does.
+  const Csr g = make_triangulated_grid(14, 14, 3);
+  CoarsenOptions opts;
+  opts.seed = test::mix_seed(103);
+  const Hierarchy legacy = coarsen_multilevel(Exec::threads(), g, opts);
+  const CoarsenReport r = coarsen_multilevel_guarded(Exec::threads(), g, opts);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.events.empty());
+  ASSERT_EQ(r.hierarchy.num_levels(), legacy.num_levels());
+  for (int i = 0; i < legacy.num_levels(); ++i) {
+    EXPECT_EQ(r.hierarchy.graphs[static_cast<std::size_t>(i)].num_vertices(),
+              legacy.graphs[static_cast<std::size_t>(i)].num_vertices());
+    EXPECT_EQ(r.hierarchy.graphs[static_cast<std::size_t>(i)].num_edges(),
+              legacy.graphs[static_cast<std::size_t>(i)].num_edges());
+  }
+}
+
+TEST(GuardCoarsen, MapStallFaultTriggersFallbackChain) {
+  FaultGuard fg;
+  ASSERT_TRUE(guard::fault::configure("map-stall:1.0:11").ok());
+  prof::enable();
+  prof::reset();
+  const Csr g = make_grid2d(40, 40);
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHem;
+  opts.fallback_mappings = {Mapping::kHec};
+  opts.seed = test::mix_seed(104);
+  const CoarsenReport r = coarsen_multilevel_guarded(Exec::threads(), g, opts);
+  EXPECT_EQ(r.status.code, guard::Code::kDegraded);
+  EXPECT_TRUE(r.status.usable());
+  EXPECT_FALSE(r.events.empty());
+  for (const guard::Event& e : r.events) {
+    EXPECT_EQ(e.stage, "coarsen");
+    EXPECT_NE(e.detail.find("fell back"), std::string::npos);
+  }
+  expect_valid_hierarchy(r.hierarchy);
+  EXPECT_GT(r.hierarchy.num_levels(), 1);  // the fallback rescued the run
+
+  // The degradation must be visible in the prof report.
+  const prof::Report rep = prof::capture();
+  std::uint64_t degraded = 0, fallback = 0;
+  for (const auto& [name, v] : rep.counters) {
+    if (name == "guard.degraded") degraded = v;
+    if (name == "guard.fallback.HEC") fallback = v;
+  }
+  EXPECT_GT(degraded, 0u);
+  EXPECT_GT(fallback, 0u);
+  prof::enable(false);
+  prof::reset();
+}
+
+TEST(GuardCoarsen, ExhaustedFallbackChainStopsCleanly) {
+  FaultGuard fg;
+  // Primary forced to stall, no fallbacks configured: the run must stop at
+  // the stall (paper behavior), not loop or crash.
+  ASSERT_TRUE(guard::fault::configure("map-stall:1.0:12").ok());
+  const Csr g = make_grid2d(30, 30);
+  CoarsenOptions opts;
+  opts.seed = test::mix_seed(105);
+  const CoarsenReport r = coarsen_multilevel_guarded(Exec::threads(), g, opts);
+  EXPECT_TRUE(r.status.ok());  // stall-stop is normal termination
+  EXPECT_EQ(r.hierarchy.num_levels(), 1);
+  expect_valid_hierarchy(r.hierarchy);
+}
+
+TEST(GuardCoarsen, InjectedAllocFailureReturnsResourceExhausted) {
+  FaultGuard fg;
+  ASSERT_TRUE(guard::fault::configure("alloc:1.0:13").ok());
+  const Csr g = make_grid2d(30, 30);
+  CoarsenOptions opts;
+  opts.seed = test::mix_seed(106);
+  const CoarsenReport r = coarsen_multilevel_guarded(Exec::threads(), g, opts);
+  EXPECT_EQ(r.status.code, guard::Code::kResourceExhausted);
+  expect_valid_hierarchy(r.hierarchy);
+}
+
+TEST(GuardCoarsen, LegacyEntryPointStillThrowsTypedErrors) {
+  FaultGuard fg;
+  ASSERT_TRUE(guard::fault::configure("alloc:1.0:14").ok());
+  const Csr g = make_grid2d(30, 30);
+  try {
+    coarsen_multilevel(Exec::threads(), g);
+    FAIL() << "expected MemoryBudgetExceeded";
+  } catch (const MemoryBudgetExceeded& e) {
+    EXPECT_EQ(e.code(), guard::Code::kResourceExhausted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Guarded bisection: spectral non-convergence -> FM-only fallback
+// ---------------------------------------------------------------------------
+
+void expect_valid_bisection(const Csr& g, const std::vector<int>& part) {
+  ASSERT_EQ(part.size(), static_cast<std::size_t>(g.num_vertices()));
+  int side0 = 0, side1 = 0;
+  for (const int p : part) {
+    ASSERT_TRUE(p == 0 || p == 1);
+    (p == 0 ? side0 : side1) += 1;
+  }
+  EXPECT_GT(side0, 0);
+  EXPECT_GT(side1, 0);
+}
+
+TEST(GuardBisect, SolverStallFallsBackToFm) {
+  FaultGuard fg;
+  ASSERT_TRUE(guard::fault::configure("solver-stall:1.0:21").ok());
+  prof::enable();
+  prof::reset();
+  const Csr g = make_triangulated_grid(12, 12, 3);
+  CoarsenOptions opts;
+  opts.seed = test::mix_seed(201);
+  const BisectReport r = guarded_spectral_bisect(Exec::threads(), g, opts);
+  EXPECT_EQ(r.status.code, guard::Code::kDegraded);
+  EXPECT_TRUE(r.status.usable());
+  ASSERT_FALSE(r.events.empty());
+  bool saw_fm_fallback = false;
+  for (const guard::Event& e : r.events) {
+    if (e.stage == "spectral") saw_fm_fallback = true;
+  }
+  EXPECT_TRUE(saw_fm_fallback);
+  expect_valid_bisection(g, r.result.part);
+  EXPECT_GT(r.result.cut, 0);
+
+  const prof::Report rep = prof::capture();
+  std::uint64_t fm = 0, nonconv = 0;
+  for (const auto& [name, v] : rep.counters) {
+    if (name == "guard.fallback.fm") fm = v;
+    if (name == "spectral.nonconverged") nonconv = v;
+  }
+  EXPECT_GT(fm, 0u);
+  EXPECT_GT(nonconv, 0u);
+  prof::enable(false);
+  prof::reset();
+}
+
+TEST(GuardBisect, CleanRunIsOkAndMatchesShape) {
+  const Csr g = make_triangulated_grid(12, 12, 3);
+  CoarsenOptions opts;
+  opts.seed = test::mix_seed(202);
+  const BisectReport r = guarded_spectral_bisect(Exec::threads(), g, opts);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.events.empty());
+  expect_valid_bisection(g, r.result.part);
+}
+
+TEST(GuardBisect, DeadlineDuringCoarseningPropagates) {
+  const Csr g = make_star(60'000);
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHem;
+  opts.min_shrink = 1.1;
+  opts.seed = test::mix_seed(203);
+  guard::Ctx ctx;
+  ctx.deadline = guard::Deadline::after_ms(10.0);
+  const BisectReport r =
+      guarded_spectral_bisect(Exec::threads(), g, opts, {}, {}, {}, ctx);
+  EXPECT_EQ(r.status.code, guard::Code::kDeadlineExceeded);
+  EXPECT_TRUE(r.result.part.empty());  // stop codes carry no partition
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance sweep: kinds x seeds over the full pipeline
+// ---------------------------------------------------------------------------
+
+TEST(GuardSweep, FaultMatrixOverFullPipeline) {
+  // >= 3 kinds x >= 3 seeds at a mid rate, over coarsen + partition. Every
+  // run must end in a typed status — never a crash or an untyped throw —
+  // and every usable status must come with a valid partition.
+  const Csr g = make_triangulated_grid(10, 10, 3);
+  const char* kinds[] = {"alloc", "solver-stall", "map-stall", "io-truncate"};
+  const std::uint64_t seeds[] = {1, 7, 1337};
+  for (const char* kind : kinds) {
+    for (const std::uint64_t seed : seeds) {
+      FaultGuard fg;
+      const std::string spec =
+          std::string(kind) + ":0.3:" + std::to_string(seed);
+      ASSERT_TRUE(guard::fault::configure(spec).ok()) << spec;
+      CoarsenOptions opts;
+      opts.fallback_mappings = {Mapping::kHec2, Mapping::kMtMetis};
+      opts.seed = test::mix_seed(300) ^ seed;
+      const BisectReport r = guarded_spectral_bisect(Exec::threads(), g, opts);
+      const guard::Code c = r.status.code;
+      EXPECT_TRUE(c == guard::Code::kOk || c == guard::Code::kDegraded ||
+                  c == guard::Code::kResourceExhausted)
+          << spec << " -> " << r.status.to_string();
+      if (r.status.usable()) {
+        expect_valid_bisection(g, r.result.part);
+      } else {
+        EXPECT_TRUE(r.result.part.empty()) << spec;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgc

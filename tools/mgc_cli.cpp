@@ -24,8 +24,19 @@
 //   --part-out FILE                write per-vertex part/cluster ids
 //   --profile FILE.json            write an mgc-profile JSON report (see
 //                                  docs/profiling.md for the schema)
+//   --deadline-ms N                wall-clock deadline for the whole run;
+//                                  stalled runs stop with exit code 5
+//   --fallbacks m1,m2,...          mapping fallback chain tried when the
+//                                  primary mapping stalls on a level
+//   --fault kind:rate:seed[,...]   deterministic fault injection (same
+//                                  grammar as MGC_FAULT; docs/robustness.md)
 //
 // Flags accept both "--flag value" and "--flag=value" forms.
+//
+// Exit codes (docs/robustness.md): 0 success (including degraded runs),
+// 2 usage error, 3 invalid input, 4 resource exhausted, 5 deadline
+// exceeded, 6 cancelled, 7 internal error. No input — however hostile —
+// may escape as an uncaught exception.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +44,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mgc.hpp"
@@ -41,9 +53,13 @@ namespace {
 
 using namespace mgc;
 
+constexpr int kExitUsage = 2;
+
+/// Usage errors (bad flags, unknown subcommands) — distinct from input
+/// errors, which surface as guard::Error and map through guard::exit_code.
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "mgc: %s\n", msg.c_str());
-  std::exit(1);
+  std::exit(kExitUsage);
 }
 
 struct Args {
@@ -119,6 +135,12 @@ void write_assignment(const std::string& path, const std::vector<int>& a) {
   std::printf("wrote %zu assignments to %s\n", a.size(), path.c_str());
 }
 
+void print_events(const std::vector<guard::Event>& events) {
+  for (const guard::Event& e : events) {
+    std::printf("degraded [%s]: %s\n", e.stage.c_str(), e.detail.c_str());
+  }
+}
+
 // Writes the profile report when run() exits through any branch.
 struct ProfileWriter {
   std::string path;
@@ -137,6 +159,24 @@ int run(const Args& args) {
       static_cast<std::uint64_t>(args.get_int("seed", 42));
   const std::string backend = args.get("backend", "threads");
   const Exec exec = backend == "serial" ? Exec::serial() : Exec::threads();
+
+  // Fault injection: --fault overrides MGC_FAULT for this process.
+  const std::string fault_spec = args.get("fault", "");
+  if (!fault_spec.empty()) {
+    const guard::Status fs = guard::fault::configure(fault_spec);
+    if (!fs.ok()) throw guard::Error(fs);
+  }
+
+  // Deadline: covers everything from graph load to output. Kernels and
+  // level boundaries poll the installed context (guard::ScopedCtx).
+  guard::Ctx gctx;
+  const long long deadline_ms = args.get_int("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    gctx.deadline = guard::Deadline::after_ms(
+        static_cast<double>(deadline_ms));
+  }
+  guard::ScopedCtx scoped_ctx(gctx);
+
   const ProfileWriter profile{args.get("profile", "")};
   if (!profile.path.empty()) {
     prof::enable();
@@ -167,6 +207,16 @@ int run(const Args& args) {
       parse_construction(args.get("construct", "sort"));
   copts.cutoff = static_cast<vid_t>(args.get_int("cutoff", 50));
   copts.seed = seed;
+  const std::string fallbacks = args.get("fallbacks", "");
+  for (std::size_t pos = 0; pos < fallbacks.size();) {
+    std::size_t comma = fallbacks.find(',', pos);
+    if (comma == std::string::npos) comma = fallbacks.size();
+    if (comma > pos) {
+      copts.fallback_mappings.push_back(
+          parse_mapping(fallbacks.substr(pos, comma - pos)));
+    }
+    pos = comma + 1;
+  }
 
   if (args.command == "stats") {
     // Degree histogram (log2 buckets).
@@ -188,7 +238,8 @@ int run(const Args& args) {
   }
 
   if (args.command == "coarsen") {
-    const Hierarchy h = coarsen_multilevel(exec, g, copts);
+    const CoarsenReport r = coarsen_multilevel_guarded(exec, g, copts);
+    const Hierarchy& h = r.hierarchy;
     std::printf("\n%-6s %10s %12s %10s %10s\n", "level", "n", "m",
                 "map(ms)", "cons(ms)");
     for (int i = 0; i < h.num_levels(); ++i) {
@@ -200,6 +251,13 @@ int run(const Args& args) {
     std::printf("\nlevels=%d avg_coarsening_ratio=%.2f total=%.3fs\n",
                 h.num_levels(), h.avg_coarsening_ratio(),
                 h.total_seconds());
+    print_events(r.events);
+    if (!r.status.ok()) {
+      std::printf("status: %s\n", r.status.to_string().c_str());
+    }
+    // A stopped run still printed its partial hierarchy above; the exit
+    // code reports why it stopped.
+    if (!r.status.usable()) return guard::exit_code(r.status.code);
     return 0;
   }
 
@@ -207,7 +265,13 @@ int run(const Args& args) {
     const std::string refine = args.get("refine", "fm");
     PartitionResult r;
     if (refine == "spectral") {
-      r = multilevel_spectral_bisect(exec, g, copts);
+      BisectReport br = guarded_spectral_bisect(exec, g, copts);
+      print_events(br.events);
+      if (!br.status.ok()) {
+        std::printf("status: %s\n", br.status.to_string().c_str());
+      }
+      if (!br.status.usable()) return guard::exit_code(br.status.code);
+      r = std::move(br.result);
     } else if (refine == "fm") {
       r = multilevel_fm_bisect(exec, g, copts);
     } else {
@@ -272,10 +336,20 @@ int run(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Top-level error boundary: every failure maps to a documented exit
+  // code and a one-line diagnostic — no input may terminate the process
+  // via an uncaught exception (docs/robustness.md).
   try {
     return run(parse_args(argc, argv));
+  } catch (const mgc::guard::Error& e) {
+    std::fprintf(stderr, "mgc: error (%s): %s\n",
+                 mgc::guard::code_name(e.code()), e.what());
+    return mgc::guard::exit_code(e.code());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "mgc: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "mgc: error (internal): %s\n", e.what());
+    return mgc::guard::exit_code(mgc::guard::Code::kInternal);
+  } catch (...) {
+    std::fprintf(stderr, "mgc: error (internal): unknown exception\n");
+    return mgc::guard::exit_code(mgc::guard::Code::kInternal);
   }
 }
