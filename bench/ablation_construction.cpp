@@ -19,8 +19,9 @@ using namespace mgc;
 
 }  // namespace
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("ablation_construction");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();
@@ -133,3 +134,5 @@ int main() {
   }
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("ablation_construction", bench_body); }

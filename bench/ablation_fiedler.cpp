@@ -8,8 +8,9 @@
 
 #include "suite.hpp"
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("ablation_fiedler");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();
@@ -66,3 +67,5 @@ int main() {
               "after the interpolated warm start)\n");
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("ablation_fiedler", bench_body); }

@@ -10,8 +10,9 @@
 
 #include "suite.hpp"
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("ablation_mappings");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();
@@ -106,3 +107,5 @@ int main() {
               geomean(cut_ratio));
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("ablation_mappings", bench_body); }

@@ -7,8 +7,9 @@
 #include "mgc.hpp"
 #include "suite.hpp"
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("fig1_one_level");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   const Exec exec = Exec::threads();
   const Csr g = make_triangulated_grid(5, 4, 7);
@@ -60,3 +61,5 @@ int main() {
               create, inherit, skip, mutual);
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("fig1_one_level", bench_body); }

@@ -24,8 +24,9 @@ double coarsen_seconds(const Exec& exec, const Csr& g) {
 
 }  // namespace
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("fig3_hec_scaling");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
   const Exec dev = Exec::threads();
@@ -93,3 +94,5 @@ int main() {
   }
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("fig3_hec_scaling", bench_body); }

@@ -84,28 +84,67 @@ inline void print_rule(int width = 86) {
   std::putchar('\n');
 }
 
-/// Opt-in profiling hook shared by every bench binary: when the
+/// Opt-in observability hook shared by every bench binary: when the
 /// MGC_PROFILE environment variable names a file, enables `mgc::prof` for
 /// the bench's lifetime and writes the mgc-profile JSON report there on
-/// exit (same schema as `mgc_cli --profile`; see docs/profiling.md).
+/// exit (same schema as `mgc_cli --profile`; see docs/profiling.md);
+/// when MGC_TRACE names a file, enables `mgc::trace` (plus prof, which
+/// feeds the region events) and writes the Chrome trace-event JSON there
+/// (loadable in chrome://tracing / Perfetto; see docs/tracing.md). Both
+/// may be set at once, mirroring `mgc_cli --profile= --trace=`.
 ///
-///   MGC_PROFILE=fig3.json ./build/bench/fig3_hec_scaling
+///   MGC_PROFILE=fig3.json MGC_TRACE=fig3.trace.json \
+///     ./build/bench/fig3_hec_scaling
+///
+/// The session flushes in its destructor; wrap bench bodies in
+/// bench_main() below so the destructor runs even when the body throws
+/// (an exception escaping main() would skip unwinding entirely).
 class ProfileSession {
  public:
   explicit ProfileSession(const char* bench_name) {
     const char* p = std::getenv("MGC_PROFILE");
-    if (p == nullptr || *p == '\0') return;
-    path_ = p;
-    prof::enable();
-    prof::set_meta("tool", "bench");
-    prof::set_meta("bench", bench_name);
+    if (p != nullptr && *p != '\0') {
+      profile_path_ = p;
+      prof::enable();
+      prof::set_meta("tool", "bench");
+      prof::set_meta("bench", bench_name);
+    }
+    const char* t = std::getenv("MGC_TRACE");
+    if (t != nullptr && *t != '\0') {
+      trace_path_ = t;
+      trace::enable();
+      // Region duration events are emitted from prof's region-exit hook,
+      // so a trace without prof enabled would hold only chunk slices.
+      prof::enable();
+      prof::set_meta("tool", "bench");
+      prof::set_meta("bench", bench_name);
+    }
   }
-  ~ProfileSession() {
-    if (path_.empty()) return;
-    if (prof::write_json_file(path_)) {
-      std::fprintf(stderr, "profile written to %s\n", path_.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write profile %s\n", path_.c_str());
+  ~ProfileSession() { flush(); }
+
+  /// Writes any configured outputs. Idempotent: the destructor is a
+  /// no-op for anything already flushed.
+  void flush() {
+    if (!profile_path_.empty()) {
+      const guard::Status st = prof::write_json_file(profile_path_);
+      if (st.ok()) {
+        std::fprintf(stderr, "profile written to %s\n",
+                     profile_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write profile: %s\n",
+                     st.message.c_str());
+      }
+      profile_path_.clear();
+    }
+    if (!trace_path_.empty()) {
+      const guard::Status st = trace::write_chrome_json_file(trace_path_);
+      if (st.ok()) {
+        std::fprintf(stderr, "trace written to %s\n", trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write trace: %s\n",
+                     st.message.c_str());
+      }
+      trace_path_.clear();
     }
   }
 
@@ -113,7 +152,29 @@ class ProfileSession {
   ProfileSession& operator=(const ProfileSession&) = delete;
 
  private:
-  std::string path_;
+  std::string profile_path_;
+  std::string trace_path_;
 };
+
+/// Runs a bench body (any int-returning callable) under a ProfileSession
+/// with an error boundary, so MGC_PROFILE / MGC_TRACE outputs are flushed
+/// even when the body throws — an exception escaping main() would skip
+/// stack unwinding and lose the whole report:
+///
+///   static int bench_body() { ...; return 0; }
+///   int main() { return mgc::bench::bench_main("fig3", bench_body); }
+template <class Body>
+int bench_main(const char* bench_name, Body&& body) {
+  ProfileSession session(bench_name);
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", bench_name, e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "%s: error: unknown exception\n", bench_name);
+    return 1;
+  }
+}
 
 }  // namespace mgc::bench

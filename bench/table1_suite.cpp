@@ -6,8 +6,9 @@
 
 #include "suite.hpp"
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("table1_suite");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
 
@@ -25,3 +26,5 @@ int main() {
   }
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("table1_suite", bench_body); }

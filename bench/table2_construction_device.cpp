@@ -51,8 +51,9 @@ Row run_graph(const Exec& exec, const Csr& g) {
 
 }  // namespace
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("table2_construction_device");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();
@@ -83,3 +84,5 @@ int main() {
   }
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("table2_construction_device", bench_body); }

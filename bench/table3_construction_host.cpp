@@ -21,8 +21,9 @@ double construct_time(const Exec& exec, const Csr& g, Construction method) {
 
 }  // namespace
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("table3_construction_host");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::serial();
@@ -65,3 +66,5 @@ int main() {
   }
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("table3_construction_host", bench_body); }

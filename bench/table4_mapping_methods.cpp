@@ -40,8 +40,9 @@ std::optional<RunInfo> run(const Exec& exec, const Csr& g, Mapping mapping,
 
 }  // namespace
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("table4_mapping_methods");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();
@@ -112,3 +113,5 @@ int main() {
   }
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("table4_mapping_methods", bench_body); }

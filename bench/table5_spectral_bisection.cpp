@@ -30,8 +30,9 @@ std::optional<PartitionResult> run(const Exec& exec, const Csr& g,
 
 }  // namespace
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("table5_spectral_bisection");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
   const Exec exec = Exec::threads();
@@ -84,3 +85,5 @@ int main() {
   }
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("table5_spectral_bisection", bench_body); }

@@ -22,8 +22,9 @@ PartitionResult fm_run(const Exec& exec, const Csr& g, Mapping mapping) {
 
 }  // namespace
 
-int main() {
-  const mgc::bench::ProfileSession profile_session("table6_fm_bisection");
+// The body runs under bench_main (bottom of file) so MGC_PROFILE /
+// MGC_TRACE reports flush even on an error path.
+static int bench_body() {
   using namespace mgc;
   using namespace mgc::bench;
   const Exec dev = Exec::threads();
@@ -82,3 +83,5 @@ int main() {
   }
   return 0;
 }
+
+int main() { return mgc::bench::bench_main("table6_fm_bisection", bench_body); }

@@ -5,12 +5,19 @@
 
 namespace mgc {
 
+namespace {
+// -1 on every thread the pool did not create (including the submitter).
+thread_local int t_worker_index = -1;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_workers) {
   workers_.reserve(static_cast<std::size_t>(std::max(num_workers, 0)));
   for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
+
+int ThreadPool::worker_index() { return t_worker_index; }
 
 ThreadPool::~ThreadPool() {
   {
@@ -56,7 +63,8 @@ void ThreadPool::run(std::size_t num_chunks,
   job_ = nullptr;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
+  t_worker_index = index;
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;

@@ -36,6 +36,12 @@ class ThreadPool {
   /// Total number of threads that execute work (workers + caller).
   int concurrency() const { return static_cast<int>(workers_.size()) + 1; }
 
+  /// Stable index of the calling pool worker in [0, num workers), or -1
+  /// when the caller is not a pool worker (e.g. the submitting thread,
+  /// which also executes chunks). Constant for a worker's lifetime — the
+  /// tracer keys per-thread timelines (trace tids) on it.
+  static int worker_index();
+
   /// Process-wide pool. Size is taken from the MGC_NUM_THREADS environment
   /// variable if set, otherwise max(hardware_concurrency, 4) total threads —
   /// a floor of 4 guarantees the lock-free algorithms actually experience
@@ -43,7 +49,7 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop(int index);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

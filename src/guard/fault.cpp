@@ -6,6 +6,7 @@
 
 #include "core/prng.hpp"
 #include "prof/prof.hpp"
+#include "trace/trace.hpp"
 
 namespace mgc::guard::fault {
 
@@ -170,6 +171,11 @@ bool should_fire(Kind k) {
   ks.fired.fetch_add(1, std::memory_order_relaxed);
   if (prof::enabled()) {
     prof::add(std::string("guard.fault.") + kind_name(k) + ".fired", 1);
+  }
+  if (trace::enabled()) {
+    // Instant event on the timeline so a fault firing can be lined up
+    // against the chunk/region slices around it (docs/tracing.md).
+    trace::instant(std::string("guard.fault.") + kind_name(k) + ".fired");
   }
   return true;
 }

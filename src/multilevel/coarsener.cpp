@@ -6,6 +6,7 @@
 #include "core/timer.hpp"
 #include "guard/fault.hpp"
 #include "prof/prof.hpp"
+#include "trace/trace.hpp"
 
 namespace mgc {
 
@@ -52,6 +53,9 @@ namespace {
 
 // Marks a stop in the prof report and stamps the level it happened at.
 void note_stop(const guard::Status& status, int level) {
+  if (trace::enabled()) {
+    trace::instant("guard.stop", status.to_string());
+  }
   if (!prof::enabled()) return;
   switch (status.code) {
     case guard::Code::kDeadlineExceeded:
@@ -138,6 +142,10 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
             if (prof::enabled()) {
               prof::add("guard.degraded", 1);
               prof::add("guard.fallback." + mapping_name(fb), 1);
+            }
+            if (trace::enabled()) {
+              trace::instant("guard.degraded",
+                             report.events.back().detail);
             }
             cm = std::move(fcm);
             used = fb;

@@ -3,6 +3,7 @@
 #include "core/timer.hpp"
 #include "partition/metrics.hpp"
 #include "prof/prof.hpp"
+#include "trace/trace.hpp"
 
 namespace mgc {
 
@@ -179,6 +180,9 @@ BisectReport guarded_spectral_bisect(const Exec& exec, const Csr& g,
       if (prof::enabled()) {
         prof::add("guard.degraded", 1);
         prof::add("guard.fallback.fm", 1);
+      }
+      if (trace::enabled()) {
+        trace::instant("guard.degraded", report.events.back().detail);
       }
       part = fm_partition_on_hierarchy(h, copts.seed, fopts, gopts);
     }

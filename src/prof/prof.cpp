@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <unordered_map>
+
+#include "trace/trace.hpp"
 
 namespace mgc::prof {
 
@@ -48,7 +51,9 @@ struct Global {
   // workers live for the process anyway, and dead threads' totals must
   // survive until the report is captured.
   std::vector<ThreadState*> states;
-  std::vector<std::string> counter_names;
+  // deque, not vector: registration must not move existing names — the
+  // tracer stores their c_str() pointers in counter-sample events.
+  std::deque<std::string> counter_names;
   std::unordered_map<std::string, CounterId> counter_ids;
   std::vector<ReportMeta> meta;
 };
@@ -151,10 +156,36 @@ Node* region_enter(const char* name) {
   return region_enter(std::string(name));
 }
 
+// Mirrors this thread's non-zero counter values into the trace as ph:"C"
+// samples. Takes the global mutex briefly to read stable name pointers;
+// only shallow region exits pay this.
+void sample_counters_for_trace(const ThreadState& st) {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  for (std::size_t i = 0; i < st.counters.size(); ++i) {
+    if (st.counters[i] != 0) {
+      trace::counter_sample(g.counter_names[i].c_str(), st.counters[i]);
+    }
+  }
+}
+
 void region_exit(Node* node, double seconds) {
   node->seconds += seconds;
   node->count += 1;
-  tls().current = node->parent;
+  ThreadState& st = tls();
+  st.current = node->parent;
+  if (trace::enabled()) {
+    // Node names are process-lifetime (nodes are never destroyed), so the
+    // trace event can store the pointer without copying.
+    const double t1 = now_seconds();
+    trace::region_complete(node->name.c_str(), t1 - seconds, t1);
+    // Counter samples at shallow exits only (a top-level region or one of
+    // its direct children, e.g. "coarsen" and "level:k"): a sample walks
+    // this thread's whole counter table, too costly for leaf regions.
+    const bool shallow = node->parent->parent == nullptr ||
+                         node->parent->parent->parent == nullptr;
+    if (shallow) sample_counters_for_trace(st);
+  }
 }
 
 void counter_add_slow(std::uint32_t id, std::uint64_t delta) {
@@ -337,11 +368,19 @@ std::string Report::to_json() const {
 
 void write_json(std::ostream& os) { os << capture().to_json(); }
 
-bool write_json_file(const std::string& path) {
+guard::Status write_json_file(const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    return guard::Status::invalid_input("cannot open profile output file: " +
+                                        path);
+  }
   out << capture().to_json();
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    return guard::Status::invalid_input(
+        "failed writing profile output file: " + path);
+  }
+  return guard::Status::ok_status();
 }
 
 }  // namespace mgc::prof

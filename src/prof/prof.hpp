@@ -42,6 +42,8 @@
 #include <utility>
 #include <vector>
 
+#include "guard/status.hpp"
+
 namespace mgc::prof {
 
 /// JSON schema version emitted by Report::to_json (see docs/profiling.md).
@@ -187,8 +189,11 @@ Report capture();
 /// capture() + serialise to `os`.
 void write_json(std::ostream& os);
 
-/// capture() + write to `path`. Returns false if the file cannot be
-/// opened/written.
-bool write_json_file(const std::string& path);
+/// capture() + write to `path`. Returns InvalidInput (an IO error the
+/// caller asked for — a bad output path is bad input to the run) when the
+/// file cannot be opened or fully written; the CLI surfaces it through
+/// the documented exit-code contract (exit 3) instead of exiting 0 with
+/// no file. See docs/robustness.md.
+guard::Status write_json_file(const std::string& path);
 
 }  // namespace mgc::prof

@@ -1,0 +1,327 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace mgc::trace {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+struct Event {
+  double t0 = 0.0;  ///< seconds (steady clock)
+  double t1 = 0.0;  ///< == t0 for non-duration events
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  const char* aux = nullptr;  ///< backend tag / detail payload, may be null
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+  char ph = 'X';
+};
+
+struct Ring {
+  std::vector<Event> events;  ///< fixed capacity; index = count % capacity
+  std::uint64_t count = 0;    ///< total recorded (kept + overwritten)
+  int tid = 0;
+  std::string label;
+};
+
+struct Global {
+  std::mutex mutex;
+  // Rings are intentionally leaked at thread exit, exactly like prof's
+  // ThreadStates: pool workers live for the process and dead threads'
+  // events must survive until export.
+  std::vector<Ring*> rings;
+  std::deque<std::string> interned;  ///< deque: stable element addresses
+  std::unordered_map<std::string, const char*> intern_index;
+  int next_extra_tid = 1000;  ///< non-pool threads after the first
+  bool have_driver_tid = false;
+  double epoch = 0.0;  ///< ts origin; fixed at the first enable()
+  std::size_t capacity = 0;  ///< 0 = not yet resolved from MGC_TRACE_BUF
+};
+
+Global& global() {
+  static Global* g = new Global();  // never destroyed: threads may outlive main
+  return *g;
+}
+
+std::size_t resolve_capacity_locked(Global& g) {
+  if (g.capacity != 0) return g.capacity;
+  std::size_t cap = kDefaultBufferCapacity;
+  if (const char* env = std::getenv("MGC_TRACE_BUF")) {
+    const long long v = std::atoll(env);
+    if (v > 0) cap = static_cast<std::size_t>(v);
+  }
+  g.capacity = std::clamp<std::size_t>(cap, 16, std::size_t{1} << 24);
+  return g.capacity;
+}
+
+Ring& ring() {
+  thread_local Ring* r = nullptr;
+  if (r == nullptr) {
+    r = new Ring();
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    r->events.resize(resolve_capacity_locked(g));
+    const int widx = ThreadPool::worker_index();
+    if (widx >= 0) {
+      // Pool workers get stable small tids so the same worker occupies
+      // the same timeline row across runs of equal pool size.
+      r->tid = widx + 1;
+      r->label = "worker " + std::to_string(widx);
+    } else if (!g.have_driver_tid) {
+      g.have_driver_tid = true;
+      r->tid = 0;
+      r->label = "driver";
+    } else {
+      r->tid = g.next_extra_tid++;
+      r->label = "thread " + std::to_string(r->tid);
+    }
+    g.rings.push_back(r);
+  }
+  return *r;
+}
+
+void json_escape(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char ch = *s;
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+void append_micros(std::string& out, double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  out += buf;
+}
+
+void event_json(std::string& out, const Event& e, int tid, double epoch) {
+  out += "{\"ph\": \"";
+  out += e.ph;
+  out += "\", \"pid\": 1, \"tid\": " + std::to_string(tid);
+  out += ", \"ts\": ";
+  append_micros(out, std::max(0.0, e.t0 - epoch));
+  if (e.ph == 'X') {
+    out += ", \"dur\": ";
+    append_micros(out, std::max(0.0, e.t1 - e.t0));
+  }
+  out += ", \"cat\": \"";
+  json_escape(out, e.cat);
+  out += "\", \"name\": \"";
+  json_escape(out, e.name);
+  out += '"';
+  if (e.ph == 'i') {
+    out += ", \"s\": \"g\"";  // global scope: visible across all tracks
+    if (e.aux != nullptr) {
+      out += ", \"args\": {\"detail\": \"";
+      json_escape(out, e.aux);
+      out += "\"}";
+    }
+  } else if (e.ph == 'C') {
+    out += ", \"args\": {\"value\": " + std::to_string(e.a0) + "}";
+  } else if (e.ph == 'X' && e.aux != nullptr) {
+    // Chunk slice: [begin, end) of the iteration range plus the backend.
+    out += ", \"args\": {\"begin\": " + std::to_string(e.a0) +
+           ", \"end\": " + std::to_string(e.a1) + ", \"backend\": \"";
+    json_escape(out, e.aux);
+    out += "\"}";
+  }
+  out += '}';
+}
+
+}  // namespace
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void record(char ph, const char* cat, const char* name, double t0, double t1,
+            std::uint64_t a0, std::uint64_t a1, const char* aux) {
+  Ring& r = ring();
+  Event& e = r.events[static_cast<std::size_t>(r.count % r.events.size())];
+  e.ph = ph;
+  e.cat = cat;
+  e.name = name;
+  e.t0 = t0;
+  e.t1 = t1;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.aux = aux;
+  ++r.count;
+}
+
+const char* intern(const std::string& s) {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  auto it = g.intern_index.find(s);
+  if (it != g.intern_index.end()) return it->second;
+  g.interned.push_back(s);
+  const char* p = g.interned.back().c_str();
+  g.intern_index.emplace(s, p);
+  return p;
+}
+
+}  // namespace detail
+
+void enable(bool on) {
+  if (on) {
+    detail::Global& g = detail::global();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    if (g.epoch == 0.0) g.epoch = detail::now_seconds();
+  }
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  const std::size_t cap = detail::resolve_capacity_locked(g);
+  for (detail::Ring* r : g.rings) {
+    r->count = 0;
+    if (r->events.size() != cap) {
+      r->events.assign(cap, detail::Event{});
+      r->events.shrink_to_fit();
+    }
+  }
+}
+
+std::size_t buffer_capacity() {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  return detail::resolve_capacity_locked(g);
+}
+
+void set_buffer_capacity(std::size_t events_per_thread) {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.capacity = std::clamp<std::size_t>(events_per_thread, 16,
+                                       std::size_t{1} << 24);
+}
+
+std::uint64_t recorded_events() {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  std::uint64_t total = 0;
+  for (const detail::Ring* r : g.rings) total += r->count;
+  return total;
+}
+
+std::uint64_t dropped_events() {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  std::uint64_t total = 0;
+  for (const detail::Ring* r : g.rings) {
+    const std::uint64_t cap = r->events.size();
+    if (r->count > cap) total += r->count - cap;
+  }
+  return total;
+}
+
+void ChunkSlice::record_exit() {
+  detail::record('X', "exec", what_, t0_, detail::now_seconds(),
+                 static_cast<std::uint64_t>(begin_),
+                 static_cast<std::uint64_t>(end_), backend_);
+}
+
+void instant(const std::string& name, const std::string& detail_text,
+             const char* cat) {
+  if (!enabled()) return;
+  const char* n = detail::intern(name);
+  const char* aux =
+      detail_text.empty() ? nullptr : detail::intern(detail_text);
+  const double t = detail::now_seconds();
+  detail::record('i', cat, n, t, t, 0, 0, aux);
+}
+
+void region_complete(const char* name, double t0, double t1) {
+  if (enabled()) detail::record('X', "region", name, t0, t1, 0, 0, nullptr);
+}
+
+std::string to_chrome_json() {
+  detail::Global& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+
+  std::string out;
+  out += "{\n\"traceEvents\": [";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (const detail::Ring* r : g.rings) {
+    const std::uint64_t cap = r->events.size();
+    if (r->count == 0) continue;  // silent thread: no metadata row either
+    // Thread-name metadata event so chrome://tracing labels the row.
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " +
+           std::to_string(r->tid) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+    detail::json_escape(out, r->label.c_str());
+    out += "\"}}";
+    // Kept events, oldest first: on wrap the slot after the write cursor
+    // is the oldest survivor.
+    const std::uint64_t kept = std::min<std::uint64_t>(r->count, cap);
+    if (r->count > cap) dropped += r->count - cap;
+    const std::uint64_t start = r->count % cap;  // == oldest when wrapped
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      const std::uint64_t idx =
+          r->count > cap ? (start + i) % cap : i;
+      out += ",\n";
+      detail::event_json(out, r->events[static_cast<std::size_t>(idx)],
+                         r->tid, g.epoch);
+    }
+  }
+  out += "\n],\n";
+  out += "\"displayTimeUnit\": \"ms\",\n";
+  out += "\"otherData\": {\"schema\": \"";
+  out += kSchemaName;
+  out += "\", \"version\": " + std::to_string(kSchemaVersion) +
+         ", \"dropped_events\": " + std::to_string(dropped) +
+         ", \"buffer_capacity\": " +
+         std::to_string(detail::resolve_capacity_locked(g)) + "}\n}\n";
+  return out;
+}
+
+guard::Status write_chrome_json_file(const std::string& path) {
+  const std::string json = to_chrome_json();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return guard::Status::invalid_input("cannot open trace output file: " +
+                                        path);
+  }
+  out << json;
+  out.flush();
+  if (!out) {
+    return guard::Status::invalid_input("failed writing trace output file: " +
+                                        path);
+  }
+  return guard::Status::ok_status();
+}
+
+}  // namespace mgc::trace

@@ -1,0 +1,195 @@
+#pragma once
+// mgc::trace — always-compiled, runtime-enabled event tracing with
+// Chrome trace-event JSON export (see docs/tracing.md).
+//
+// mgc::prof answers "how much total time went where"; mgc::trace answers
+// "WHERE on the timeline, and on WHICH thread" — the load-imbalance /
+// straggler-chunk / contention questions that aggregates cannot show and
+// that separate theoretical from achieved scalability on real machines.
+//
+// Design goals, in the prof/check/guard idiom, in order:
+//   1. Near-zero cost when disabled: every entry point is an inline
+//      relaxed atomic-bool check followed by a branch; no clock reads, no
+//      allocation, no locking on the disabled path.
+//   2. No locks and no allocation on the ENABLED hot path either: each
+//      thread records into its own fixed-capacity ring buffer (allocated
+//      once, on the thread's first event; capacity via MGC_TRACE_BUF,
+//      default 65536 events/thread). A full ring wraps — the newest
+//      events win — and the overflow is counted and reported both by
+//      dropped_events() and in the exported JSON.
+//   3. Stable, loadable output: export merges all rings into the Chrome
+//      trace-event format ("catapult" JSON: ph:"X"/"i"/"C"/"M", pid/tid,
+//      microsecond ts/dur) that chrome://tracing and Perfetto load
+//      directly. Worker tids are stable across the run, sourced from
+//      ThreadPool::worker_index().
+//
+// Event kinds recorded while enabled:
+//   region   ph:"X"  one per prof::Region exit (requires prof::enabled()
+//                    too, since Region only measures while prof collects)
+//   chunk    ph:"X"  one per claimed chunk of a core/exec.hpp dispatch
+//                    (parallel_for / parallel_reduce / parallel_scan),
+//                    with args {begin, end, backend} — this is the
+//                    per-worker scheduling timeline
+//   instant  ph:"i"  guard degradation events and guard.fault.* firings
+//   counter  ph:"C"  per-thread counter samples taken at shallow
+//                    (depth <= 2) prof::Region exits
+//
+// Contracts:
+//   - enable()/reset()/set_buffer_capacity() and the export functions are
+//     driver-thread operations: call them with no parallel work in flight
+//     (same rule as prof::capture()).
+//   - Recording entry points (ChunkSlice, instant, counter_sample) are
+//     safe from any thread at any time.
+//   - Region duration events are emitted from mgc::prof's region exit
+//     hook, so they appear only while BOTH prof and trace are enabled.
+//     The CLI's --trace and the MGC_TRACE bench hook enable both.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "guard/status.hpp"
+
+namespace mgc::trace {
+
+/// Schema tag embedded in the exported JSON's otherData block.
+inline constexpr int kSchemaVersion = 1;
+inline constexpr const char* kSchemaName = "mgc-trace";
+
+/// Default per-thread ring capacity (events) when MGC_TRACE_BUF is unset.
+inline constexpr std::size_t kDefaultBufferCapacity = 65536;
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+/// Steady-clock seconds on the same timebase mgc::prof uses, so region
+/// and chunk events interleave consistently.
+double now_seconds();
+
+/// Records one event into the calling thread's ring. `name`, `cat`, and
+/// `aux` must point at storage that outlives the trace session (static
+/// strings, prof node names, or intern()ed copies); `aux` may be null.
+void record(char ph, const char* cat, const char* name, double t0, double t1,
+            std::uint64_t a0, std::uint64_t a1, const char* aux);
+
+/// Copies `s` into the process-lifetime intern table (mutex-protected —
+/// cold paths only) and returns a stable pointer.
+const char* intern(const std::string& s);
+
+}  // namespace detail
+
+/// Is tracing currently enabled? Inline relaxed load — the only cost any
+/// trace entry point pays when tracing is off.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns event collection on/off. The first enable() fixes the trace
+/// epoch (ts 0 in the export). Recorded events are kept across toggles;
+/// call reset() to discard them.
+void enable(bool on = true);
+
+/// Discards all recorded events and overflow counts, and re-applies the
+/// current buffer capacity to every existing ring. Driver-thread only.
+void reset();
+
+/// Per-thread ring capacity in events: MGC_TRACE_BUF if set (clamped to
+/// [16, 2^24]), else kDefaultBufferCapacity, unless overridden below.
+std::size_t buffer_capacity();
+
+/// Test/driver override of the per-thread capacity. Applies to rings
+/// created afterwards and to every ring at the next reset(); suppresses
+/// the MGC_TRACE_BUF read.
+void set_buffer_capacity(std::size_t events_per_thread);
+
+/// Total events recorded (kept + overwritten) across all threads.
+std::uint64_t recorded_events();
+
+/// Events lost to ring wrap-around across all threads. Also reported in
+/// the exported JSON's otherData.dropped_events.
+std::uint64_t dropped_events();
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+/// RAII duration slice for one claimed chunk of a parallel dispatch.
+/// Constructed inside core/exec.hpp's chunk bodies; when tracing is off
+/// it costs one relaxed load + branch.
+class ChunkSlice {
+ public:
+  /// `what` and `backend` must be static strings ("parallel_for",
+  /// "threads", ...): the ring stores the pointers, not copies.
+  ChunkSlice(const char* what, const char* backend, std::size_t begin,
+             std::size_t end) {
+    if (enabled()) {
+      what_ = what;
+      backend_ = backend;
+      begin_ = begin;
+      end_ = end;
+      t0_ = detail::now_seconds();
+    }
+  }
+  ~ChunkSlice() {
+    if (what_ != nullptr) {
+      record_exit();
+    }
+  }
+
+  ChunkSlice(const ChunkSlice&) = delete;
+  ChunkSlice& operator=(const ChunkSlice&) = delete;
+
+ private:
+  void record_exit();
+
+  const char* what_ = nullptr;
+  const char* backend_ = nullptr;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+  double t0_ = 0.0;
+};
+
+/// Instant event (ph:"i", global scope) with a static-string name.
+inline void instant(const char* name, const char* cat = "guard") {
+  if (enabled()) {
+    const double t = detail::now_seconds();
+    detail::record('i', cat, name, t, t, 0, 0, nullptr);
+  }
+}
+
+/// Instant event with dynamic name and optional detail payload — interned
+/// under a mutex, so reserve this for cold paths (degradation events,
+/// fault firings).
+void instant(const std::string& name, const std::string& detail_text = "",
+             const char* cat = "guard");
+
+/// Counter sample (ph:"C") of `value` on the calling thread's timeline.
+/// `name` must outlive the trace session.
+inline void counter_sample(const char* name, std::uint64_t value) {
+  if (enabled()) {
+    const double t = detail::now_seconds();
+    detail::record('C', "counter", name, t, t, value, 0, nullptr);
+  }
+}
+
+/// Duration event (ph:"X") for a prof::Region that ran [t0, t1] on the
+/// calling thread. Called by mgc::prof's region-exit hook; `name` must
+/// outlive the trace session (prof's region nodes are process-lifetime).
+void region_complete(const char* name, double t0, double t1);
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+/// Merges every thread's ring into one Chrome trace-event JSON document
+/// (object form: {"traceEvents": [...], "displayTimeUnit": "ms",
+/// "otherData": {...}}). Driver-thread only, no work in flight.
+std::string to_chrome_json();
+
+/// to_chrome_json() + write to `path`. Returns InvalidInput when the file
+/// cannot be opened or written (surfaced by the CLI as exit code 3).
+guard::Status write_chrome_json_file(const std::string& path);
+
+}  // namespace mgc::trace

@@ -1,0 +1,185 @@
+#pragma once
+// Minimal recursive-descent JSON parser shared by the report-format tests
+// (test_prof.cpp, test_trace.cpp) — just enough to round-trip and validate
+// the writers' output against the documented schemas. Supports objects,
+// arrays, strings (with the escapes the writers emit), numbers, and the
+// bare literals true/false/null. Parse errors surface as gtest failures.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgc::testjson {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;  // insertion order
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  // Takes the text by value so callers may pass temporaries
+  // (e.g. JsonParser(report.to_json())) without dangling.
+  explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f' || c == 'n') return literal();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      JsonValue key = string_value();
+      expect(':');
+      v.obj.emplace_back(key.str, value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          ADD_FAILURE() << "bad escape at end of input";
+          return v;
+        }
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            // The writers only emit \u00xx for control bytes.
+            const int code = std::stoi(s_.substr(pos_, 4), nullptr, 16);
+            pos_ += 4;
+            c = static_cast<char>(code);
+            break;
+          }
+          default: ADD_FAILURE() << "unsupported escape \\" << e;
+        }
+      }
+      v.str += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue literal() {
+    JsonValue v;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      v.b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+    } else if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+    } else {
+      ADD_FAILURE() << "bad literal at offset " << pos_;
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    v.num = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mgc::testjson

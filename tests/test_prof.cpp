@@ -6,191 +6,23 @@
 
 #include <cctype>
 #include <chrono>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/exec.hpp"
+#include "json_test_util.hpp"
 #include "prof/prof.hpp"
 
 namespace {
 
 using namespace mgc;
-
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON parser — just enough to round-trip and
-// validate Report::to_json against the documented schema. Supports objects,
-// arrays, strings (with the escapes the writer emits), numbers, and the
-// bare literals true/false/null.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;  // insertion order
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON document";
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
-    return pos_ < s_.size() ? s_[pos_] : '\0';
-  }
-
-  void expect(char c) {
-    EXPECT_EQ(peek(), c) << "at offset " << pos_;
-    ++pos_;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (c == 't' || c == 'f' || c == 'n') return literal();
-    return number();
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      JsonValue key = string_value();
-      expect(':');
-      v.obj.emplace_back(key.str, value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.arr.push_back(value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string_value() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    expect('"');
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= s_.size()) {
-          ADD_FAILURE() << "bad escape at end of input";
-          return v;
-        }
-        const char e = s_[pos_++];
-        switch (e) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case 'u': {
-            // The writer only emits \u00xx for control bytes.
-            const int code = std::stoi(s_.substr(pos_, 4), nullptr, 16);
-            pos_ += 4;
-            c = static_cast<char>(code);
-            break;
-          }
-          default: ADD_FAILURE() << "unsupported escape \\" << e;
-        }
-      }
-      v.str += c;
-    }
-    expect('"');
-    return v;
-  }
-
-  JsonValue literal() {
-    JsonValue v;
-    if (s_.compare(pos_, 4, "true") == 0) {
-      v.kind = JsonValue::Kind::kBool;
-      v.b = true;
-      pos_ += 4;
-    } else if (s_.compare(pos_, 5, "false") == 0) {
-      v.kind = JsonValue::Kind::kBool;
-      pos_ += 5;
-    } else if (s_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-    } else {
-      ADD_FAILURE() << "bad literal at offset " << pos_;
-    }
-    return v;
-  }
-
-  JsonValue number() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    std::size_t end = pos_;
-    while (end < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
-            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
-            s_[end] == 'e' || s_[end] == 'E')) {
-      ++end;
-    }
-    v.num = std::stod(s_.substr(pos_, end - pos_));
-    pos_ = end;
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using testjson::JsonParser;
+using testjson::JsonValue;
 
 // Test fixture: every test starts disabled with a clean slate.
 class ProfTest : public ::testing::Test {
@@ -384,6 +216,34 @@ TEST_F(ProfTest, EmptyReportIsValidJson) {
   EXPECT_EQ(doc.find("regions")->arr.size(), 0u);
   EXPECT_EQ(doc.find("counters")->obj.size(), 0u);
   EXPECT_EQ(doc.find("meta")->obj.size(), 0u);
+}
+
+// write_json_file reports IO failure as a typed Status instead of a bool:
+// an unwritable path is InvalidInput (mgc_cli maps it to exit 3), a
+// writable one is ok() and leaves a parseable report behind.
+TEST_F(ProfTest, WriteJsonFileReportsStatus) {
+  prof::enable();
+  {
+    prof::Region r("io_region");
+  }
+  const guard::Status bad =
+      prof::write_json_file("/nonexistent-dir/profile.json");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code, guard::Code::kInvalidInput);
+  EXPECT_NE(bad.message.find("/nonexistent-dir/profile.json"),
+            std::string::npos);
+
+  const std::string path =
+      ::testing::TempDir() + "/mgc_prof_status_test.json";
+  const guard::Status good = prof::write_json_file(path);
+  EXPECT_TRUE(good.ok()) << good.message;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonParser parser(buf.str());
+  const JsonValue doc = parser.parse();
+  EXPECT_EQ(doc.find("schema")->str, prof::kSchemaName);
 }
 
 // Regions opened on distinct std::threads merge by path into one tree.

@@ -1,0 +1,364 @@
+// mgc::trace — disabled-mode no-op behaviour, ring-buffer overflow
+// accounting, multi-thread merge into well-formed Chrome trace-event JSON
+// (validated by an in-test parser), per-chunk scheduling slices on both
+// backends, guard fault instants, and prof-fed region/counter events.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "guard/fault.hpp"
+#include "json_test_util.hpp"
+#include "prof/prof.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace mgc;
+using testjson::JsonParser;
+using testjson::JsonValue;
+
+// Every test starts and ends disabled with empty rings and the default
+// capacity, so tests compose in any order.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::enable(false);
+    trace::set_buffer_capacity(trace::kDefaultBufferCapacity);
+    trace::reset();
+    prof::enable(false);
+    prof::reset();
+    guard::fault::clear();
+  }
+  void TearDown() override {
+    trace::enable(false);
+    trace::set_buffer_capacity(trace::kDefaultBufferCapacity);
+    trace::reset();
+    prof::enable(false);
+    prof::reset();
+    guard::fault::clear();
+  }
+};
+
+JsonValue parse_trace() {
+  JsonParser parser(trace::to_chrome_json());
+  return parser.parse();
+}
+
+// Schema check shared by most tests: object form with traceEvents +
+// otherData, and every duration/instant/counter event carries the fields
+// chrome://tracing requires (ts/dur in microseconds, pid, tid; ts >= 0).
+void check_chrome_shape(const JsonValue& doc) {
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  const JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("schema")->str, trace::kSchemaName);
+  EXPECT_EQ(other->find("version")->num, trace::kSchemaVersion);
+  ASSERT_NE(other->find("dropped_events"), nullptr);
+  for (const JsonValue& e : events->arr) {
+    ASSERT_EQ(e.kind, JsonValue::Kind::kObject);
+    ASSERT_NE(e.find("ph"), nullptr);
+    const std::string& ph = e.find("ph")->str;
+    ASSERT_NE(e.find("pid"), nullptr) << "ph=" << ph;
+    ASSERT_NE(e.find("tid"), nullptr) << "ph=" << ph;
+    if (ph == "X") {
+      ASSERT_NE(e.find("ts"), nullptr);
+      ASSERT_NE(e.find("dur"), nullptr);
+      EXPECT_GE(e.find("ts")->num, 0.0);
+      EXPECT_GE(e.find("dur")->num, 0.0);
+    } else if (ph == "i" || ph == "C") {
+      ASSERT_NE(e.find("ts"), nullptr);
+      EXPECT_GE(e.find("ts")->num, 0.0);
+    }
+  }
+}
+
+std::vector<const JsonValue*> events_with_ph(const JsonValue& doc,
+                                             const std::string& ph) {
+  std::vector<const JsonValue*> out;
+  for (const JsonValue& e : doc.find("traceEvents")->arr) {
+    if (e.find("ph")->str == ph) out.push_back(&e);
+  }
+  return out;
+}
+
+TEST_F(TraceTest, DisabledModeRecordsNothing) {
+  ASSERT_FALSE(trace::enabled());
+  {
+    trace::ChunkSlice slice("parallel_for", "serial", 0, 100);
+  }
+  trace::instant("guard.should_not_appear");
+  trace::instant(std::string("dynamic.should_not_appear"), "detail");
+  trace::counter_sample("counter.should_not_appear", 7);
+  trace::region_complete("region.should_not_appear", 0.0, 1.0);
+
+  EXPECT_EQ(trace::recorded_events(), 0u);
+  EXPECT_EQ(trace::dropped_events(), 0u);
+  const JsonValue doc = parse_trace();
+  check_chrome_shape(doc);
+  EXPECT_TRUE(doc.find("traceEvents")->arr.empty());
+}
+
+TEST_F(TraceTest, InstantAndCounterEventsRoundTrip) {
+  trace::enable();
+  trace::instant("guard.static_instant");
+  trace::instant(std::string("guard.dynamic_instant"), "why it happened");
+  trace::counter_sample("hec.passes", 42);
+  trace::enable(false);
+
+  const JsonValue doc = parse_trace();
+  check_chrome_shape(doc);
+  const auto instants = events_with_ph(doc, "i");
+  ASSERT_EQ(instants.size(), 2u);
+  std::set<std::string> names;
+  for (const JsonValue* e : instants) {
+    names.insert(e->find("name")->str);
+    EXPECT_EQ(e->find("s")->str, "g");  // global scope
+  }
+  EXPECT_TRUE(names.count("guard.static_instant"));
+  EXPECT_TRUE(names.count("guard.dynamic_instant"));
+  for (const JsonValue* e : instants) {
+    if (e->find("name")->str == "guard.dynamic_instant") {
+      EXPECT_EQ(e->find("args")->find("detail")->str, "why it happened");
+    }
+  }
+
+  const auto counters = events_with_ph(doc, "C");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0]->find("name")->str, "hec.passes");
+  EXPECT_EQ(counters[0]->find("args")->find("value")->num, 42);
+}
+
+// A full ring wraps: the newest events are kept, the loss is counted, and
+// the export stays well-formed with exactly `capacity` kept events.
+TEST_F(TraceTest, RingOverflowIsCountedAndNewestEventsWin) {
+  trace::set_buffer_capacity(16);
+  trace::reset();
+  trace::enable();
+  const int total = 100;
+  for (int i = 0; i < total; ++i) {
+    trace::counter_sample("overflow.sample", static_cast<std::uint64_t>(i));
+  }
+  trace::enable(false);
+
+  EXPECT_EQ(trace::recorded_events(), static_cast<std::uint64_t>(total));
+  EXPECT_EQ(trace::dropped_events(), static_cast<std::uint64_t>(total - 16));
+
+  const JsonValue doc = parse_trace();
+  check_chrome_shape(doc);
+  EXPECT_EQ(doc.find("otherData")->find("dropped_events")->num, total - 16);
+  EXPECT_EQ(doc.find("otherData")->find("buffer_capacity")->num, 16);
+  const auto counters = events_with_ph(doc, "C");
+  ASSERT_EQ(counters.size(), 16u);
+  // Oldest-first within the ring, and the survivors are the LAST 16.
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    EXPECT_EQ(counters[i]->find("args")->find("value")->num,
+              static_cast<double>(total - 16 + i));
+  }
+}
+
+TEST_F(TraceTest, ResetDiscardsEventsAndOverflow) {
+  trace::set_buffer_capacity(16);
+  trace::reset();
+  trace::enable();
+  for (int i = 0; i < 50; ++i) trace::counter_sample("reset.sample", 1);
+  ASSERT_GT(trace::dropped_events(), 0u);
+  trace::reset();
+  EXPECT_EQ(trace::recorded_events(), 0u);
+  EXPECT_EQ(trace::dropped_events(), 0u);
+  EXPECT_TRUE(parse_trace().find("traceEvents")->arr.empty());
+}
+
+// Events recorded from many plain std::threads merge into one document,
+// each thread under its own tid, with a thread_name metadata event.
+TEST_F(TraceTest, MultiThreadMergeIsWellFormed) {
+  trace::enable();
+  const int num_threads = 4;
+  const int per_thread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < per_thread; ++i) {
+        trace::ChunkSlice slice("parallel_for", "threads",
+                                static_cast<std::size_t>(i),
+                                static_cast<std::size_t>(i + 1));
+        trace::counter_sample("merge.sample",
+                              static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  trace::enable(false);
+
+  const JsonValue doc = parse_trace();
+  check_chrome_shape(doc);
+  const auto slices = events_with_ph(doc, "X");
+  EXPECT_EQ(slices.size(),
+            static_cast<std::size_t>(num_threads * per_thread));
+  std::set<double> tids;
+  for (const JsonValue* e : slices) tids.insert(e->find("tid")->num);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(num_threads));
+  // One thread_name metadata record per thread that recorded events.
+  const auto meta = events_with_ph(doc, "M");
+  std::set<double> meta_tids;
+  for (const JsonValue* e : meta) {
+    EXPECT_EQ(e->find("name")->str, "thread_name");
+    meta_tids.insert(e->find("tid")->num);
+  }
+  for (const double tid : tids) EXPECT_TRUE(meta_tids.count(tid));
+}
+
+// The dispatch layer emits one slice per claimed chunk with
+// {begin, end, backend} args — on the serial backend too (it switches to
+// chunked stepping when tracing is on).
+TEST_F(TraceTest, ChunkSlicesCoverDispatchOnBothBackends) {
+  for (const bool threaded : {false, true}) {
+    trace::reset();
+    trace::enable();
+    const Exec exec = threaded ? Exec::threads() : Exec::serial();
+    const std::size_t n = 50000;
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(exec, n, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    trace::enable(false);
+    EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+
+    const JsonValue doc = parse_trace();
+    check_chrome_shape(doc);
+    const char* backend = threaded ? "threads" : "serial";
+    std::vector<const JsonValue*> chunks;
+    for (const JsonValue* e : events_with_ph(doc, "X")) {
+      if (e->find("name")->str == "parallel_for") chunks.push_back(e);
+    }
+    ASSERT_FALSE(chunks.empty()) << backend;
+    // Chunks tile [0, n): disjoint, complete, correctly labelled.
+    std::vector<std::pair<double, double>> ranges;
+    for (const JsonValue* e : chunks) {
+      const JsonValue* args = e->find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->find("backend")->str, backend);
+      ranges.emplace_back(args->find("begin")->num, args->find("end")->num);
+    }
+    std::sort(ranges.begin(), ranges.end());
+    EXPECT_EQ(ranges.front().first, 0.0);
+    EXPECT_EQ(ranges.back().second, static_cast<double>(n));
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_EQ(ranges[i].first, ranges[i - 1].second) << backend;
+    }
+    if (threaded) {
+      // The submitting thread participates as a worker (tid 0, "driver");
+      // pool worker i maps to the stable tid i+1 via
+      // ThreadPool::worker_index(). Every chunk tid must be in that range.
+      std::set<double> tids;
+      for (const JsonValue* e : chunks) tids.insert(e->find("tid")->num);
+      EXPECT_GE(tids.size(), 1u);
+      for (const double tid : tids) {
+        EXPECT_GE(tid, 0.0);
+        EXPECT_LE(tid, static_cast<double>(exec.concurrency()));
+      }
+    }
+  }
+}
+
+// guard.fault.* firings appear as instant events on the timeline.
+TEST_F(TraceTest, GuardFaultFiringsEmitInstantEvents) {
+  trace::enable();
+  ASSERT_TRUE(guard::fault::configure("alloc:1.0:7").ok());
+  const bool fired = guard::fault::should_fire(guard::fault::Kind::kAlloc);
+  guard::fault::clear();
+  trace::enable(false);
+  ASSERT_TRUE(fired);
+
+  const JsonValue doc = parse_trace();
+  check_chrome_shape(doc);
+  bool found = false;
+  for (const JsonValue* e : events_with_ph(doc, "i")) {
+    if (e->find("name")->str == "guard.fault.alloc.fired") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// prof::Region exits feed ph:"X" region events (and shallow exits sample
+// the prof counters) when BOTH subsystems are enabled.
+TEST_F(TraceTest, ProfRegionsEmitDurationEventsAndCounterSamples) {
+  trace::enable();
+  prof::enable();
+  {
+    prof::Region outer("trace_outer");
+    prof::add("trace.test_counter", 9);
+    {
+      prof::Region inner("trace_inner");
+    }
+  }
+  prof::enable(false);
+  trace::enable(false);
+
+  const JsonValue doc = parse_trace();
+  check_chrome_shape(doc);
+  std::set<std::string> region_names;
+  for (const JsonValue* e : events_with_ph(doc, "X")) {
+    if (e->find("cat")->str == "region") {
+      region_names.insert(e->find("name")->str);
+    }
+  }
+  EXPECT_TRUE(region_names.count("trace_outer"));
+  EXPECT_TRUE(region_names.count("trace_inner"));
+  bool sampled = false;
+  for (const JsonValue* e : events_with_ph(doc, "C")) {
+    if (e->find("name")->str == "trace.test_counter" &&
+        e->find("args")->find("value")->num == 9) {
+      sampled = true;
+    }
+  }
+  EXPECT_TRUE(sampled);
+}
+
+// Without prof, Regions must not reach the tracer (their fast path gates
+// on prof::enabled() alone to keep the one-relaxed-load contract).
+TEST_F(TraceTest, RegionsWithoutProfRecordNothing) {
+  trace::enable();
+  {
+    prof::Region r("unprofiled_region");
+  }
+  trace::enable(false);
+  for (const JsonValue* e : events_with_ph(parse_trace(), "X")) {
+    EXPECT_NE(e->find("name")->str, "unprofiled_region");
+  }
+}
+
+TEST_F(TraceTest, WriteChromeJsonFileReportsStatus) {
+  trace::enable();
+  trace::instant("io.instant");
+  trace::enable(false);
+
+  const guard::Status bad =
+      trace::write_chrome_json_file("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code, guard::Code::kInvalidInput);
+
+  const std::string path = ::testing::TempDir() + "/mgc_trace_test.json";
+  const guard::Status good = trace::write_chrome_json_file(path);
+  ASSERT_TRUE(good.ok()) << good.message;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonParser parser(buf.str());
+  const JsonValue doc = parser.parse();
+  check_chrome_shape(doc);
+  EXPECT_EQ(events_with_ph(doc, "i").size(), 1u);
+}
+
+}  // namespace

@@ -24,6 +24,10 @@
 //   --part-out FILE                write per-vertex part/cluster ids
 //   --profile FILE.json            write an mgc-profile JSON report (see
 //                                  docs/profiling.md for the schema)
+//   --trace FILE.json              write a Chrome trace-event JSON timeline
+//                                  (chrome://tracing / Perfetto; see
+//                                  docs/tracing.md); composable with
+//                                  --profile in the same run
 //   --deadline-ms N                wall-clock deadline for the whole run;
 //                                  stalled runs stop with exit code 5
 //   --fallbacks m1,m2,...          mapping fallback chain tried when the
@@ -36,7 +40,9 @@
 // Exit codes (docs/robustness.md): 0 success (including degraded runs),
 // 2 usage error, 3 invalid input, 4 resource exhausted, 5 deadline
 // exceeded, 6 cancelled, 7 internal error. No input — however hostile —
-// may escape as an uncaught exception.
+// may escape as an uncaught exception. A --profile/--trace output file
+// that cannot be written is an InvalidInput failure (exit 3), not a
+// silent success.
 
 #include <cstdio>
 #include <cstdlib>
@@ -141,83 +147,49 @@ void print_events(const std::vector<guard::Event>& events) {
   }
 }
 
-// Writes the profile report when run() exits through any branch.
-struct ProfileWriter {
-  std::string path;
-  ~ProfileWriter() {
-    if (path.empty()) return;
-    if (prof::write_json_file(path)) {
-      std::printf("wrote profile to %s\n", path.c_str());
-    } else {
-      std::fprintf(stderr, "mgc: failed to write profile %s\n", path.c_str());
+// Flushes the --profile / --trace reports. run() flushes explicitly so a
+// write failure can surface through the exit-code contract; the
+// destructor is a backstop that still writes (logging only) when run()
+// unwinds through an exception.
+struct OutputWriter {
+  std::string profile_path;
+  std::string trace_path;
+  bool flushed = false;
+
+  guard::Status flush() {
+    flushed = true;
+    guard::Status result;
+    if (!profile_path.empty()) {
+      const guard::Status st = prof::write_json_file(profile_path);
+      if (st.ok()) {
+        std::printf("wrote profile to %s\n", profile_path.c_str());
+      } else {
+        std::fprintf(stderr, "mgc: %s\n", st.message.c_str());
+        result = st;
+      }
     }
+    if (!trace_path.empty()) {
+      const guard::Status st = trace::write_chrome_json_file(trace_path);
+      if (st.ok()) {
+        std::printf("wrote trace to %s\n", trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "mgc: %s\n", st.message.c_str());
+        if (result.ok()) result = st;
+      }
+    }
+    return result;
+  }
+
+  ~OutputWriter() {
+    if (!flushed) (void)flush();
   }
 };
 
-int run(const Args& args) {
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const std::string backend = args.get("backend", "threads");
-  const Exec exec = backend == "serial" ? Exec::serial() : Exec::threads();
-
-  // Fault injection: --fault overrides MGC_FAULT for this process.
-  const std::string fault_spec = args.get("fault", "");
-  if (!fault_spec.empty()) {
-    const guard::Status fs = guard::fault::configure(fault_spec);
-    if (!fs.ok()) throw guard::Error(fs);
-  }
-
-  // Deadline: covers everything from graph load to output. Kernels and
-  // level boundaries poll the installed context (guard::ScopedCtx).
-  guard::Ctx gctx;
-  const long long deadline_ms = args.get_int("deadline-ms", 0);
-  if (deadline_ms > 0) {
-    gctx.deadline = guard::Deadline::after_ms(
-        static_cast<double>(deadline_ms));
-  }
-  guard::ScopedCtx scoped_ctx(gctx);
-
-  const ProfileWriter profile{args.get("profile", "")};
-  if (!profile.path.empty()) {
-    prof::enable();
-    prof::set_meta("tool", "mgc_cli");
-    prof::set_meta("command", args.command);
-    prof::set_meta("graph", args.graph);
-    prof::set_meta("backend", backend);
-    prof::set_meta("seed", static_cast<long long>(seed));
-    prof::set_meta("threads",
-                   static_cast<long long>(exec.concurrency()));
-  }
-  if (!is_generator_spec(args.graph)) {
-    std::printf("loading %s ...\n", args.graph.c_str());
-  }
-  const Csr g = load_graph_spec(args.graph, seed);
-  prof::set_meta("n", static_cast<long long>(g.num_vertices()));
-  prof::set_meta("m", static_cast<long long>(g.num_edges()));
-  std::printf("graph: n=%d m=%lld avg_deg=%.2f skew=%.1f\n",
-              g.num_vertices(), static_cast<long long>(g.num_edges()),
-              g.num_vertices() > 0
-                  ? static_cast<double>(g.num_entries()) / g.num_vertices()
-                  : 0.0,
-              g.degree_skew());
-
-  CoarsenOptions copts;
-  copts.mapping = parse_mapping(args.get("mapping", "hec"));
-  copts.construct.method =
-      parse_construction(args.get("construct", "sort"));
-  copts.cutoff = static_cast<vid_t>(args.get_int("cutoff", 50));
-  copts.seed = seed;
-  const std::string fallbacks = args.get("fallbacks", "");
-  for (std::size_t pos = 0; pos < fallbacks.size();) {
-    std::size_t comma = fallbacks.find(',', pos);
-    if (comma == std::string::npos) comma = fallbacks.size();
-    if (comma > pos) {
-      copts.fallback_mappings.push_back(
-          parse_mapping(fallbacks.substr(pos, comma - pos)));
-    }
-    pos = comma + 1;
-  }
-
+// The per-subcommand work, split from run() so the latter can flush
+// the --profile/--trace outputs and fold a write failure into the
+// exit code on every path.
+int run_command(const Args& args, const Exec& exec, const Csr& g,
+                const CoarsenOptions& copts) {
   if (args.command == "stats") {
     // Degree histogram (log2 buckets).
     std::map<int, vid_t> hist;
@@ -331,6 +303,86 @@ int run(const Args& args) {
   }
 
   die("unknown command: " + args.command);
+}
+
+int run(const Args& args) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string backend = args.get("backend", "threads");
+  const Exec exec = backend == "serial" ? Exec::serial() : Exec::threads();
+
+  // Fault injection: --fault overrides MGC_FAULT for this process.
+  const std::string fault_spec = args.get("fault", "");
+  if (!fault_spec.empty()) {
+    const guard::Status fs = guard::fault::configure(fault_spec);
+    if (!fs.ok()) throw guard::Error(fs);
+  }
+
+  // Deadline: covers everything from graph load to output. Kernels and
+  // level boundaries poll the installed context (guard::ScopedCtx).
+  guard::Ctx gctx;
+  const long long deadline_ms = args.get_int("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    gctx.deadline = guard::Deadline::after_ms(
+        static_cast<double>(deadline_ms));
+  }
+  guard::ScopedCtx scoped_ctx(gctx);
+
+  OutputWriter outputs;
+  outputs.profile_path = args.get("profile", "");
+  outputs.trace_path = args.get("trace", "");
+  if (!outputs.trace_path.empty()) {
+    trace::enable();
+  }
+  if (!outputs.profile_path.empty() || !outputs.trace_path.empty()) {
+    // prof feeds the trace's region events, so --trace implies prof too.
+    prof::enable();
+    prof::set_meta("tool", "mgc_cli");
+    prof::set_meta("command", args.command);
+    prof::set_meta("graph", args.graph);
+    prof::set_meta("backend", backend);
+    prof::set_meta("seed", static_cast<long long>(seed));
+    prof::set_meta("threads",
+                   static_cast<long long>(exec.concurrency()));
+  }
+  if (!is_generator_spec(args.graph)) {
+    std::printf("loading %s ...\n", args.graph.c_str());
+  }
+  const Csr g = load_graph_spec(args.graph, seed);
+  prof::set_meta("n", static_cast<long long>(g.num_vertices()));
+  prof::set_meta("m", static_cast<long long>(g.num_edges()));
+  std::printf("graph: n=%d m=%lld avg_deg=%.2f skew=%.1f\n",
+              g.num_vertices(), static_cast<long long>(g.num_edges()),
+              g.num_vertices() > 0
+                  ? static_cast<double>(g.num_entries()) / g.num_vertices()
+                  : 0.0,
+              g.degree_skew());
+
+  CoarsenOptions copts;
+  copts.mapping = parse_mapping(args.get("mapping", "hec"));
+  copts.construct.method =
+      parse_construction(args.get("construct", "sort"));
+  copts.cutoff = static_cast<vid_t>(args.get_int("cutoff", 50));
+  copts.seed = seed;
+  const std::string fallbacks = args.get("fallbacks", "");
+  for (std::size_t pos = 0; pos < fallbacks.size();) {
+    std::size_t comma = fallbacks.find(',', pos);
+    if (comma == std::string::npos) comma = fallbacks.size();
+    if (comma > pos) {
+      copts.fallback_mappings.push_back(
+          parse_mapping(fallbacks.substr(pos, comma - pos)));
+    }
+    pos = comma + 1;
+  }
+
+  const int rc = run_command(args, exec, g, copts);
+  // An unwritable report file must not masquerade as success: surface
+  // the IO failure through the exit-code contract (InvalidInput -> 3).
+  const guard::Status write_status = outputs.flush();
+  if (!write_status.ok() && rc == 0) {
+    return guard::exit_code(write_status.code);
+  }
+  return rc;
 }
 
 }  // namespace

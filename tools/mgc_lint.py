@@ -16,10 +16,22 @@ reasons about direct ``name[index] = ...`` writes and direct
 lambda body. That catches the dominant pattern in this codebase
 (everything is plain std::vector indexing) and stays silent otherwise.
 
+A second rule flags ``prof::Region`` objects constructed inside a
+parallel lambda. Region entry/exit costs a clock read plus per-thread
+tree bookkeeping, so one per *iteration* of a hot kernel both distorts
+the numbers it reports and serialises on first-entry node creation;
+regions belong around the dispatch, not inside it (and the tracer gets
+its per-chunk timeline from core/exec.hpp's ChunkSlice, not from
+Regions). See docs/profiling.md.
+
 Intentional benign races are allowlisted with a trailing or preceding
 comment::
 
     m[su] = p;  // mgc-lint: racy-ok -- last-writer-wins, all writers agree
+
+and deliberate in-lambda regions with::
+
+    prof::Region r("chunk");  // mgc-lint: region-ok -- coarse, per-chunk
 
 Usage::
 
@@ -49,7 +61,12 @@ ATOMIC_TARGET = re.compile(
     r"([A-Za-z_]\w*)\s*\["
 )
 
+# prof::Region constructed (named variable or temporary) — a write point
+# we only care about inside parallel lambda bodies.
+REGION_CTOR = re.compile(r"\bprof\s*::\s*Region\b")
+
 ALLOW = "mgc-lint: racy-ok"
+ALLOW_REGION = "mgc-lint: region-ok"
 
 ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "<<=", ">>=")
 
@@ -58,6 +75,7 @@ ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "<<=", ">>=")
 class Finding:
     path: str
     line: int  # 1-based
+    kind: str  # "race" | "region"
     array: str
     snippet: str
 
@@ -201,11 +219,12 @@ def plain_indexed_writes(body: str, array: str) -> list[int]:
     return hits
 
 
-def allowlisted(raw_lines: list[str], line_idx: int) -> bool:
+def allowlisted(raw_lines: list[str], line_idx: int,
+                tag: str = ALLOW) -> bool:
     """True if the 0-based line or the line above carries the allow tag."""
-    if ALLOW in raw_lines[line_idx]:
+    if tag in raw_lines[line_idx]:
         return True
-    if line_idx > 0 and ALLOW in raw_lines[line_idx - 1]:
+    if line_idx > 0 and tag in raw_lines[line_idx - 1]:
         return True
     return False
 
@@ -222,6 +241,20 @@ def scan_file(path: str) -> list[Finding]:
     findings: list[Finding] = []
     for lam in find_parallel_lambdas(clean):
         body = clean[lam.body_start : lam.body_end]
+        for m in REGION_CTOR.finditer(body):
+            abs_off = lam.body_start + m.start()
+            line_idx = clean.count("\n", 0, abs_off)
+            if allowlisted(raw_lines, line_idx, ALLOW_REGION):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line_idx + 1,
+                    kind="region",
+                    array="",
+                    snippet=raw_lines[line_idx].strip(),
+                )
+            )
         atomic_arrays = set(ATOMIC_TARGET.findall(body))
         if not atomic_arrays:
             continue
@@ -235,6 +268,7 @@ def scan_file(path: str) -> list[Finding]:
                     Finding(
                         path=path,
                         line=line_idx + 1,
+                        kind="race",
                         array=array,
                         snippet=raw_lines[line_idx].strip(),
                     )
@@ -285,12 +319,23 @@ def main(argv: list[str]) -> int:
         all_findings.extend(scan_file(path))
 
     for f in all_findings:
-        print(
-            f"{f.path}:{f.line}: plain indexed write to '{f.array}', which is "
-            f"also passed to atomic_* in the same parallel lambda\n"
-            f"    {f.snippet}\n"
-            f"    (annotate with '// {ALLOW} -- <why>' if intentional)"
-        )
+        if f.kind == "region":
+            print(
+                f"{f.path}:{f.line}: prof::Region constructed inside a "
+                f"parallel lambda — per-iteration region overhead distorts "
+                f"the profile; hoist it around the dispatch\n"
+                f"    {f.snippet}\n"
+                f"    (annotate with '// {ALLOW_REGION} -- <why>' if "
+                f"intentional)"
+            )
+        else:
+            print(
+                f"{f.path}:{f.line}: plain indexed write to '{f.array}', "
+                f"which is also passed to atomic_* in the same parallel "
+                f"lambda\n"
+                f"    {f.snippet}\n"
+                f"    (annotate with '// {ALLOW} -- <why>' if intentional)"
+            )
     n = len(all_findings)
     scanned = len(files)
     if n:

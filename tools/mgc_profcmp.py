@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Compare two mgc-profile v1 JSON reports and gate on regressions.
+
+Usage:
+    mgc_profcmp.py BASELINE.json CANDIDATE.json [options]
+
+Flattens each report's region tree into slash-joined paths
+(``coarsen/level:1/construct``), computes per-path inclusive seconds,
+derived exclusive seconds (inclusive minus the sum of the children's
+inclusive), and per-counter totals, then prints a comparison table and
+fails when any row regresses past the threshold.
+
+A row is a REGRESSION when the candidate's inclusive time exceeds the
+baseline's by more than --fail-threshold-pct percent AND the absolute
+growth exceeds --abs-floor-ms milliseconds (the floor keeps sub-
+millisecond noise from failing CI). Counters use the same percentage
+threshold with an absolute floor of --counter-floor events.
+
+Exit codes:
+    0  no regression (a self-compare is always clean)
+    1  at least one regression past the threshold
+    2  usage error, unreadable input, or schema mismatch
+
+Used by the CI perf-smoke job (.github/workflows/ci.yml) and for
+refreshing the BENCH_*.json trajectory points; see docs/profiling.md.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_NAME = "mgc-profile"
+SCHEMA_VERSION = 1
+
+
+def fail_usage(msg):
+    print(f"mgc_profcmp: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_profile(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail_usage(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail_usage(f"{path} is not valid JSON: {e}")
+    if doc.get("schema") != SCHEMA_NAME:
+        fail_usage(f"{path}: schema is {doc.get('schema')!r}, "
+                   f"expected {SCHEMA_NAME!r}")
+    if doc.get("version") != SCHEMA_VERSION:
+        fail_usage(f"{path}: schema version {doc.get('version')!r}, "
+                   f"this tool understands version {SCHEMA_VERSION}")
+    return doc
+
+
+def flatten_regions(regions, prefix=""):
+    """Region forest -> {path: {"seconds", "exclusive", "count"}}.
+
+    Same-named siblings (rare, but the schema allows them) merge into one
+    row, matching how prof itself accumulates repeated region entries.
+    """
+    table = {}
+
+    def visit(region, prefix):
+        path = prefix + region.get("name", "?")
+        children = region.get("children", [])
+        seconds = float(region.get("seconds", 0.0))
+        child_seconds = sum(float(c.get("seconds", 0.0)) for c in children)
+        row = table.setdefault(path,
+                               {"seconds": 0.0, "exclusive": 0.0,
+                                "count": 0})
+        row["seconds"] += seconds
+        # Clamp: children measured on other threads can overlap the parent.
+        row["exclusive"] += max(0.0, seconds - child_seconds)
+        row["count"] += int(region.get("count", 0))
+        for child in children:
+            visit(child, path + "/")
+
+    for region in regions:
+        visit(region, prefix)
+    return table
+
+
+def pct_delta(base, cand):
+    if base <= 0.0:
+        return float("inf") if cand > 0.0 else 0.0
+    return (cand - base) / base * 100.0
+
+
+def fmt_pct(p):
+    if p == float("inf"):
+        return "   new"
+    return f"{p:+6.1f}%"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        prog="mgc_profcmp.py",
+        description="Diff two mgc-profile v1 JSON reports and fail on "
+                    "regressions.")
+    ap.add_argument("baseline", help="baseline profile JSON")
+    ap.add_argument("candidate", help="candidate profile JSON")
+    ap.add_argument("--fail-threshold-pct", type=float, default=25.0,
+                    help="fail when a region's inclusive time (or a "
+                         "counter) grows more than this percentage "
+                         "(default: %(default)s)")
+    ap.add_argument("--abs-floor-ms", type=float, default=5.0,
+                    help="ignore region growth smaller than this many "
+                         "milliseconds regardless of percentage "
+                         "(default: %(default)s)")
+    ap.add_argument("--counter-floor", type=int, default=1000,
+                    help="ignore counter growth smaller than this many "
+                         "events (default: %(default)s)")
+    ap.add_argument("--top", type=int, default=30,
+                    help="print at most this many region rows, largest "
+                         "candidate time first; 0 = all "
+                         "(default: %(default)s)")
+    ap.add_argument("--no-counters", action="store_true",
+                    help="compare regions only")
+    args = ap.parse_args()
+
+    base_doc = load_profile(args.baseline)
+    cand_doc = load_profile(args.candidate)
+    base = flatten_regions(base_doc.get("regions", []))
+    cand = flatten_regions(cand_doc.get("regions", []))
+
+    regressions = []
+
+    rows = []
+    for path in sorted(set(base) | set(cand)):
+        b = base.get(path, {"seconds": 0.0, "exclusive": 0.0, "count": 0})
+        c = cand.get(path, {"seconds": 0.0, "exclusive": 0.0, "count": 0})
+        delta = pct_delta(b["seconds"], c["seconds"])
+        grew_ms = (c["seconds"] - b["seconds"]) * 1000.0
+        regressed = (delta > args.fail_threshold_pct
+                     and grew_ms > args.abs_floor_ms)
+        if regressed:
+            regressions.append(
+                f"region {path}: {b['seconds']*1000:.2f}ms -> "
+                f"{c['seconds']*1000:.2f}ms ({fmt_pct(delta).strip()})")
+        rows.append((path, b, c, delta, regressed))
+
+    rows.sort(key=lambda r: r[2]["seconds"], reverse=True)
+    shown = rows if args.top == 0 else rows[:args.top]
+
+    print(f"{'region':<44} {'base ms':>10} {'cand ms':>10} "
+          f"{'excl ms':>10} {'delta':>8}")
+    for path, b, c, delta, regressed in shown:
+        flag = "  << REGRESSION" if regressed else ""
+        name = path if len(path) <= 44 else "..." + path[-41:]
+        print(f"{name:<44} {b['seconds']*1000:>10.2f} "
+              f"{c['seconds']*1000:>10.2f} {c['exclusive']*1000:>10.2f} "
+              f"{fmt_pct(delta):>8}{flag}")
+    if len(rows) > len(shown):
+        print(f"... {len(rows) - len(shown)} more region rows "
+              f"(--top 0 shows all)")
+
+    if not args.no_counters:
+        base_counters = base_doc.get("counters", {})
+        cand_counters = cand_doc.get("counters", {})
+        changed = []
+        for name in sorted(set(base_counters) | set(cand_counters)):
+            b = int(base_counters.get(name, 0))
+            c = int(cand_counters.get(name, 0))
+            if b == c:
+                continue
+            delta = pct_delta(b, c)
+            regressed = (delta > args.fail_threshold_pct
+                         and c - b > args.counter_floor)
+            if regressed:
+                regressions.append(
+                    f"counter {name}: {b} -> {c} "
+                    f"({fmt_pct(delta).strip()})")
+            changed.append((name, b, c, delta, regressed))
+        if changed:
+            print()
+            print(f"{'counter':<44} {'base':>12} {'cand':>12} {'delta':>8}")
+            for name, b, c, delta, regressed in changed:
+                flag = "  << REGRESSION" if regressed else ""
+                shown_name = name if len(name) <= 44 else "..." + name[-41:]
+                print(f"{shown_name:<44} {b:>12} {c:>12} "
+                      f"{fmt_pct(delta):>8}{flag}")
+
+    print()
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s) past "
+              f"{args.fail_threshold_pct:g}% "
+              f"(abs floor {args.abs_floor_ms:g}ms / "
+              f"{args.counter_floor} events):")
+        for r in regressions:
+            print(f"  {r}")
+        sys.exit(1)
+    print(f"OK: no regression past {args.fail_threshold_pct:g}% "
+          f"(abs floor {args.abs_floor_ms:g}ms)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
