@@ -102,15 +102,15 @@ inline void print_rule(int width = 86) {
 class ProfileSession {
  public:
   explicit ProfileSession(const char* bench_name) {
-    const char* p = std::getenv("MGC_PROFILE");
-    if (p != nullptr && *p != '\0') {
+    const std::string p = guard::env_str("MGC_PROFILE");
+    if (!p.empty()) {
       profile_path_ = p;
       prof::enable();
       prof::set_meta("tool", "bench");
       prof::set_meta("bench", bench_name);
     }
-    const char* t = std::getenv("MGC_TRACE");
-    if (t != nullptr && *t != '\0') {
+    const std::string t = guard::env_str("MGC_TRACE");
+    if (!t.empty()) {
       trace_path_ = t;
       trace::enable();
       // Region duration events are emitted from prof's region-exit hook,

@@ -6,8 +6,10 @@
 #include "core/atomics.hpp"
 #include "core/hashmap.hpp"
 #include "core/sorting.hpp"
+#include "guard/memory.hpp"
 #include "prof/prof.hpp"
 #include "spla/matrix.hpp"
+#include "trace/trace.hpp"
 
 namespace mgc {
 
@@ -227,6 +229,11 @@ Csr assemble_from_segments(const Exec& exec, const CoarseMap& cm,
                            const std::vector<eid_t>& count, bool one_sided,
                            const Csr& fine) {
   const std::size_t nc = static_cast<std::size_t>(cm.nc);
+  // Transient accounting for the assembly peak (coarse arrays coexist with
+  // the F/X intermediates here); the multilevel driver re-charges the
+  // finished graph for its lifetime after this releases.
+  guard::ScopedCharge out_charge((nc * 3 + 1) * sizeof(eid_t),
+                                 "assemble offsets");
   Csr coarse;
   coarse.rowptr.assign(nc + 1, 0);
   std::vector<eid_t> deg(nc, 0);
@@ -245,6 +252,10 @@ Csr assemble_from_segments(const Exec& exec, const CoarseMap& cm,
   for (std::size_t c = 0; c < nc; ++c) {
     coarse.rowptr[c + 1] = coarse.rowptr[c] + deg[c];
   }
+  out_charge.add(static_cast<std::size_t>(coarse.rowptr[nc]) *
+                         (sizeof(vid_t) + sizeof(wgt_t)) +
+                     nc * sizeof(wgt_t),
+                 "assemble coarse graph arrays");
   coarse.colidx.resize(static_cast<std::size_t>(coarse.rowptr[nc]));
   coarse.wgts.resize(static_cast<std::size_t>(coarse.rowptr[nc]));
   std::vector<eid_t> cursor(coarse.rowptr.begin(), coarse.rowptr.end() - 1);
@@ -322,6 +333,12 @@ Csr construct_vertex_centric(const Exec& exec, const Csr& fine,
     }
   };
 
+  // Segment bookkeeping (C', C, R, cursors, dedup counts) is O(nc) and
+  // charged up front; the O(m') intermediates are charged at step 4 once
+  // their exact size is known.
+  guard::ScopedCharge seg_charge((nc * 5 + 1) * sizeof(eid_t),
+                                 "construct segment offsets");
+
   // Step 1: upper-bound coarse degrees C'.
   std::vector<eid_t> cp(nc, 0);
   {
@@ -362,7 +379,12 @@ Csr construct_vertex_centric(const Exec& exec, const Csr& fine,
   const eid_t m_prime = r[nc];
   if (stats != nullptr) stats->intermediate_entries = m_prime;
 
-  // Step 4: fill intermediate adjacency F and weights X.
+  // Step 4: fill intermediate adjacency F and weights X. The charge is
+  // the budget's typed-exhaustion point for this strategy: F/X dominate
+  // construction footprint (m' entries before dedup).
+  guard::ScopedCharge fx_charge(static_cast<std::size_t>(m_prime) *
+                                    (sizeof(vid_t) + sizeof(wgt_t)),
+                                "construct intermediate F/X");
   std::vector<vid_t> f(static_cast<std::size_t>(m_prime));
   std::vector<wgt_t> x(static_cast<std::size_t>(m_prime));
   std::vector<eid_t> cursor(nc, 0);
@@ -382,18 +404,62 @@ Csr construct_vertex_centric(const Exec& exec, const Csr& fine,
     });
   }
 
-  // Step 5: per-vertex deduplication.
+  // Step 5: per-vertex deduplication. The hash-based strategies carve
+  // O(Σ next_pow2(len+1)) extra scratch the sort path does not need; when
+  // the memory budget cannot afford it, this level DEGRADES to the sort
+  // path instead of failing — sort dedups in place over F/X. The probe
+  // uses guard::try_charge (not charge) so an injected alloc fault cannot
+  // silently turn a hard failure into a fallback.
   std::vector<eid_t> dedup_count(nc, 0);
   for (std::size_t c = 0; c < nc; ++c) dedup_count[c] = count[c];
+  const auto hash_scratch_bytes = [&](bool long_segments_only) {
+    std::size_t slots = 0;
+    for (std::size_t c = 0; c < nc; ++c) {
+      const eid_t len = r[c + 1] - r[c];
+      if (len == 0) continue;
+      if (long_segments_only && len < opts.hybrid_hash_threshold) continue;
+      slots += next_pow2(static_cast<std::size_t>(len) + 1);
+    }
+    return slots * (sizeof(vid_t) + sizeof(wgt_t));
+  };
+  const auto degrade_to_sort = [&] {
+    if (stats != nullptr) stats->mem_degraded_to_sort = true;
+    if (prof::enabled()) prof::add("guard.mem.degraded_to_sort", 1);
+    if (trace::enabled()) {
+      trace::instant("guard.mem.degraded_to_sort",
+                     construction_name(opts.method));
+    }
+    dedup_sort(exec, r, f, x, dedup_count);
+  };
   {
     prof::Region prof_dedup("dedup");
     switch (opts.method) {
       case Construction::kSort: dedup_sort(exec, r, f, x, dedup_count); break;
-      case Construction::kHash: dedup_hash(exec, r, f, x, dedup_count); break;
-      case Construction::kHeap: dedup_heap(exec, r, f, x, dedup_count); break;
-      case Construction::kHybrid:
-        dedup_hybrid(exec, r, f, x, dedup_count, opts.hybrid_hash_threshold);
+      case Construction::kHash: {
+        guard::ScopedCharge hash_charge;
+        if (hash_charge.try_add(hash_scratch_bytes(false),
+                                "hash dedup scratch")) {
+          dedup_hash(exec, r, f, x, dedup_count);
+        } else {
+          degrade_to_sort();
+        }
         break;
+      }
+      case Construction::kHeap: dedup_heap(exec, r, f, x, dedup_count); break;
+      case Construction::kHybrid: {
+        // Upper bound: hybrid's long-segment accumulators are iteration-
+        // private and transient, so their SUM over-estimates the true
+        // concurrent peak — conservative in the safe direction.
+        guard::ScopedCharge hy_charge;
+        if (hy_charge.try_add(hash_scratch_bytes(true),
+                              "hybrid hash scratch")) {
+          dedup_hybrid(exec, r, f, x, dedup_count,
+                       opts.hybrid_hash_threshold);
+        } else {
+          degrade_to_sort();
+        }
+        break;
+      }
       default: dedup_sort(exec, r, f, x, dedup_count); break;
     }
   }
@@ -424,6 +490,10 @@ Csr construct_global_sort(const Exec& exec, const Csr& fine,
   const std::size_t sn = static_cast<std::size_t>(fine.num_vertices());
   const std::vector<vid_t>& m = cm.map;
   // Emit every directed cross entry as a 64-bit (a, b) key.
+  guard::ScopedCharge key_charge(
+      static_cast<std::size_t>(fine.num_entries()) * 2 *
+          sizeof(std::uint64_t),
+      "globalsort key/value buffers");
   std::vector<std::uint64_t> keys;
   std::vector<std::uint64_t> vals;
   keys.reserve(static_cast<std::size_t>(fine.num_entries()));

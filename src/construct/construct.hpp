@@ -61,6 +61,10 @@ struct ConstructStats {
   eid_t intermediate_entries = 0;  ///< m' (size of F/X)
   /// Duplication factor m' / coarse directed entries; drives sort-vs-hash.
   double duplication_factor = 0.0;
+  /// True when a hash/hybrid strategy could not afford its hash scratch
+  /// under the active guard::MemoryBudget and fell back to the lower-peak
+  /// sort path for this level (prof counter "guard.mem.degraded_to_sort").
+  bool mem_degraded_to_sort = false;
 };
 
 /// Builds the weighted coarse graph. Coarse vertex weights are the sums of

@@ -4,6 +4,7 @@
 
 #include "core/prng.hpp"
 #include "core/sorting.hpp"
+#include "guard/memory.hpp"
 
 namespace mgc {
 
@@ -21,7 +22,13 @@ std::vector<vid_t> gen_perm(vid_t n, std::uint64_t seed) {
 std::vector<vid_t> par_gen_perm(const Exec& exec, vid_t n,
                                 std::uint64_t seed) {
   const std::size_t sn = static_cast<std::size_t>(n);
-  std::vector<std::uint64_t> keys(sn), vals(sn);
+  // Accounted storage: the 16n-byte key/value scratch is the dominant
+  // allocation here; an over-budget run throws the typed error before
+  // touching the heap (guard/memory.hpp).
+  guard::accounted_vector<std::uint64_t> keys(
+      sn, guard::AccountedAllocator<std::uint64_t>("permutation scratch"));
+  guard::accounted_vector<std::uint64_t> vals(
+      sn, guard::AccountedAllocator<std::uint64_t>("permutation scratch"));
   parallel_for(exec, sn, [&](std::size_t i) {
     keys[i] = splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
     vals[i] = i;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "guard/env.hpp"
+
 namespace mgc {
 
 namespace {
@@ -98,10 +100,12 @@ void ThreadPool::worker_loop(int index) {
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool = [] {
-    int total = 0;
-    if (const char* env = std::getenv("MGC_NUM_THREADS")) {
-      total = std::atoi(env);
-    }
+    // env_int: garbage MGC_NUM_THREADS falls back to autodetect rather
+    // than throwing — the pool initializes lazily from arbitrary call
+    // sites, some of which cannot surface a typed error.
+    const guard::Result<long long> env =
+        guard::env_int("MGC_NUM_THREADS", 0);
+    int total = env.ok() ? static_cast<int>(env.value()) : 0;
     if (total <= 0) {
       total = static_cast<int>(std::thread::hardware_concurrency());
       total = std::max(total, 4);

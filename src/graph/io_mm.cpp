@@ -8,6 +8,8 @@
 #include <string>
 
 #include "guard/fault.hpp"
+#include "guard/io.hpp"
+#include "guard/memory.hpp"
 
 namespace mgc {
 
@@ -66,12 +68,15 @@ Csr read_matrix_market(std::istream& in) {
   // Reserve is capped: the header is untrusted, so an absurd nnz must not
   // trigger a huge up-front allocation. A lying short stream then fails
   // with "truncated entry list" after a few lines instead of an OOM.
+  // The charge is the memory-budget admission point for the reader: an
+  // over-budget (or alloc-fault-injected) run throws the typed
+  // ResourceExhausted before the buffer is touched.
   constexpr long long kReserveCap = 1LL << 22;
-  if (guard::fault::should_fire(guard::fault::Kind::kAlloc)) {
-    throw guard::Error(guard::Status::resource_exhausted(
-        "mm: injected allocation failure (fault kind=alloc)"));
-  }
-  edges.reserve(static_cast<std::size_t>(std::min(nnz, kReserveCap)));
+  const std::size_t reserve_n =
+      static_cast<std::size_t>(std::min(nnz, kReserveCap));
+  guard::ScopedCharge edge_charge(reserve_n * sizeof(Edge),
+                                  "mm edge buffer");
+  edges.reserve(reserve_n);
   for (long long k = 0; k < nnz; ++k) {
     if (!std::getline(in, line) ||
         guard::fault::should_fire(guard::fault::Kind::kIoTruncate)) {
@@ -147,12 +152,12 @@ void write_matrix_market(std::ostream& out, const Csr& g) {
 }
 
 void write_matrix_market_file(const std::string& path, const Csr& g) {
-  std::ofstream out(path);
-  if (!out) {
-    throw guard::Error(
-        guard::Status::invalid_input("mm: cannot open " + path));
-  }
+  // Durable write: render to memory, then temp-file + fsync + rename so a
+  // crash mid-write never leaves a half-written .mtx behind.
+  std::ostringstream out;
   write_matrix_market(out, g);
+  const guard::Status st = guard::atomic_write_file(path, out.str());
+  if (!st.ok()) throw guard::Error(st);
 }
 
 }  // namespace mgc

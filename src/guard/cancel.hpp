@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <memory>
 
 #include "guard/status.hpp"
@@ -110,9 +111,18 @@ class Deadline {
 struct Ctx {
   CancelToken cancel;
   Deadline deadline;
+  /// Memory-budget override in bytes (0 = inherit the process-wide limit
+  /// from guard::MemoryBudget / MGC_MEM_BUDGET). Read by
+  /// guard::effective_limit() while this Ctx is installed; the CLI's
+  /// --mem-budget flag sets it. Overrides the LIMIT only — the accounting
+  /// ledger is always process-wide.
+  std::size_t mem_budget_bytes = 0;
 
-  /// Neither a token nor a deadline: polling can be skipped entirely.
-  bool trivial() const { return !cancel.cancellable() && !deadline.armed(); }
+  /// Nothing to enforce: polling / installation can be skipped entirely.
+  bool trivial() const {
+    return !cancel.cancellable() && !deadline.armed() &&
+           mem_budget_bytes == 0;
+  }
 
   /// kOk while running is allowed; cancellation wins over the deadline when
   /// both have fired (the caller asked first).

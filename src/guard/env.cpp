@@ -1,0 +1,91 @@
+#include "guard/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace mgc::guard {
+
+namespace {
+
+Status bad_value(const char* name, const std::string& value,
+                 const char* expected) {
+  return Status::invalid_input(std::string(name) + ": expected " + expected +
+                               ", got \"" + value + "\"");
+}
+
+}  // namespace
+
+Result<long long> env_int(const char* name, long long dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return dflt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 0);
+  if (end == env || *end != '\0' || errno == ERANGE) {
+    return bad_value(name, env, "an integer");
+  }
+  return v;
+}
+
+Result<std::uint64_t> env_u64(const char* name, std::uint64_t dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return dflt;
+  // strtoull accepts "-1" by wrapping; reject an explicit sign up front.
+  if (*env == '-') {
+    return bad_value(name, env, "an unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(env, &end, 0);
+  if (end == env || *end != '\0' || errno == ERANGE) {
+    return bad_value(name, env, "an unsigned integer");
+  }
+  return v;
+}
+
+std::string env_str(const char* name, const std::string& dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return dflt;
+  return env;
+}
+
+Result<std::size_t> parse_bytes(const std::string& text) {
+  const Status bad =
+      Status::invalid_input("expected a byte count (e.g. \"512M\"), got \"" +
+                            text + "\"");
+  if (text.empty() || text[0] == '-') return bad;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno == ERANGE) return bad;
+  std::size_t shift = 0;
+  if (*end != '\0') {
+    switch (std::toupper(static_cast<unsigned char>(*end))) {
+      case 'K': shift = 10; break;
+      case 'M': shift = 20; break;
+      case 'G': shift = 30; break;
+      default: return bad;
+    }
+    ++end;
+    // Optional "B" / "iB" after the unit letter ("64K" == "64KB" == "64KiB").
+    if (std::toupper(static_cast<unsigned char>(*end)) == 'I') ++end;
+    if (std::toupper(static_cast<unsigned char>(*end)) == 'B') ++end;
+    if (*end != '\0') return bad;
+  }
+  if (shift != 0 && v > (std::numeric_limits<std::size_t>::max() >> shift)) {
+    return bad;
+  }
+  return static_cast<std::size_t>(v) << shift;
+}
+
+Result<std::size_t> env_bytes(const char* name, std::size_t dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return dflt;
+  Result<std::size_t> r = parse_bytes(env);
+  if (r.ok()) return r;
+  return Status::invalid_input(std::string(name) + ": " + r.status().message);
+}
+
+}  // namespace mgc::guard

@@ -1,0 +1,43 @@
+#pragma once
+// mgc::guard — shared typed parsing of MGC_* environment variables
+// (see docs/robustness.md).
+//
+// Every subsystem used to hand-roll getenv + atoi/strtoull, which silently
+// swallowed typos ("MGC_TRACE_BUF=64kb" quietly became the default). These
+// helpers centralize the policy:
+//
+//   * an UNSET (or empty) variable returns the caller's default — being
+//     unset is never an error;
+//   * a SET-but-garbage value returns a typed kInvalidInput Status naming
+//     the variable and the offending text, so the caller can fail loudly
+//     at startup instead of running with a value the user never asked for.
+//
+// Callers that must not throw (destructors, thread-local init) use the
+// Result form and fall back on error; startup-time callers just .value().
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "guard/status.hpp"
+
+namespace mgc::guard {
+
+/// Integer env var (decimal or 0x-hex, optional leading '-').
+Result<long long> env_int(const char* name, long long dflt);
+
+/// Unsigned 64-bit env var (decimal or 0x-hex).
+Result<std::uint64_t> env_u64(const char* name, std::uint64_t dflt);
+
+/// String env var; unset and empty both yield `dflt`. Never fails.
+std::string env_str(const char* name, const std::string& dflt = "");
+
+/// Parses a byte count: a plain integer with an optional binary-unit
+/// suffix K/M/G (case-insensitive, optional trailing 'B' / "iB"), e.g.
+/// "67108864", "64K", "512MiB", "11g". Rejects negatives and overflow.
+Result<std::size_t> parse_bytes(const std::string& text);
+
+/// Byte-count env var using the parse_bytes grammar.
+Result<std::size_t> env_bytes(const char* name, std::size_t dflt);
+
+}  // namespace mgc::guard

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "core/prng.hpp"
+#include "guard/env.hpp"
 #include "prof/prof.hpp"
 #include "trace/trace.hpp"
 
@@ -105,8 +106,8 @@ void init_from_env() {
   State& s = state();
   std::call_once(s.env_once, [&s] {
     if (s.env_suppressed.load(std::memory_order_relaxed)) return;
-    const char* env = std::getenv("MGC_FAULT");
-    if (env == nullptr || *env == '\0') return;
+    const std::string env = env_str("MGC_FAULT");
+    if (env.empty()) return;
     ParsedKind parsed[kNumKinds];
     const Status st = parse_spec(env, parsed);
     if (!st.ok()) {

@@ -1,0 +1,133 @@
+#include "guard/io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MGC_GUARD_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#else
+#define MGC_GUARD_POSIX_IO 0
+#endif
+
+namespace mgc::guard {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Status write_failed(const std::string& path, const std::string& why) {
+  return Status::invalid_input("cannot write " + path + ": " + why);
+}
+
+#if MGC_GUARD_POSIX_IO
+std::string errno_text() { return std::strerror(errno); }
+
+// Directory fsync is best-effort: some filesystems refuse O_RDONLY opens
+// or fsync on directories; the rename itself is still atomic there.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status atomic_write_file(const std::string& path, std::string_view data) {
+  if (path.empty()) return write_failed(path, "empty path");
+#if MGC_GUARD_POSIX_IO
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return write_failed(tmp, errno_text());
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ::ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const Status st = write_failed(tmp, errno_text());
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    p += w;
+    left -= static_cast<std::size_t>(w);
+  }
+  // fsync BEFORE rename: the rename must never publish a name whose data
+  // blocks are still only in the page cache.
+  if (::fsync(fd) != 0) {
+    const Status st = write_failed(tmp, std::string("fsync: ") + errno_text());
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    const Status st = write_failed(tmp, std::string("close: ") + errno_text());
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st =
+        write_failed(path, std::string("rename: ") + errno_text());
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  fsync_parent_dir(path);
+  return Status::ok_status();
+#else
+  // Portable fallback: still write-then-rename (atomic on most platforms),
+  // just without the durability fsyncs.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return write_failed(tmp, "open failed");
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return write_failed(tmp, "write failed");
+    }
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return write_failed(path, "rename failed");
+  }
+  return Status::ok_status();
+#endif
+}
+
+}  // namespace mgc::guard

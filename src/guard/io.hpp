@@ -1,0 +1,35 @@
+#pragma once
+// mgc::guard — durable file output and checksumming
+// (see docs/robustness.md).
+//
+// Every artifact the library writes — profile reports, trace timelines,
+// checkpoint snapshots, partition assignments — goes through
+// atomic_write_file: the data lands in a same-directory temp file, is
+// fsync'd, and is renamed over the destination. A crash (power loss,
+// SIGKILL, OOM-kill) at any point leaves either the old file or the new
+// file, never a truncated hybrid. crc32 is the shared checksum used by the
+// checkpoint format to detect the remaining failure mode: on-disk
+// corruption of a file that *was* written completely.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "guard/status.hpp"
+
+namespace mgc::guard {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected). `seed` chains
+/// calls: crc32(b, nb, crc32(a, na)) == crc32 of a||b.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Writes `data` to `path` durably: temp file in the same directory +
+/// fsync + rename, then fsync of the parent directory (POSIX; elsewhere a
+/// plain write + std::rename). Any failure returns kInvalidInput naming
+/// the path — the same code unwritable report files already map to (CLI
+/// exit 3) — and removes the temp file.
+Status atomic_write_file(const std::string& path, std::string_view data);
+
+}  // namespace mgc::guard

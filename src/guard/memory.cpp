@@ -1,0 +1,123 @@
+#include "guard/memory.hpp"
+
+#include <mutex>
+
+#include "guard/cancel.hpp"
+#include "guard/env.hpp"
+#include "guard/fault.hpp"
+#include "prof/prof.hpp"
+#include "trace/trace.hpp"
+
+namespace mgc::guard {
+
+MemoryBudget& MemoryBudget::process() {
+  static MemoryBudget* b = new MemoryBudget();  // shares prof/trace lifetime
+  return *b;
+}
+
+std::size_t MemoryBudget::limit() {
+  if (!limit_resolved_.load(std::memory_order_acquire)) {
+    static std::once_flag once;
+    std::call_once(once, [this] {
+      if (limit_resolved_.load(std::memory_order_acquire)) return;
+      // A typo'd MGC_MEM_BUDGET must not silently mean "unlimited" — this
+      // throws typed kInvalidInput once, before any pipeline work.
+      limit_.store(env_bytes("MGC_MEM_BUDGET", 0).value(),
+                   std::memory_order_relaxed);
+      limit_resolved_.store(true, std::memory_order_release);
+    });
+  }
+  return limit_.load(std::memory_order_relaxed);
+}
+
+void MemoryBudget::set_limit(std::size_t bytes) {
+  limit_.store(bytes, std::memory_order_relaxed);
+  limit_resolved_.store(true, std::memory_order_release);
+}
+
+std::size_t MemoryBudget::charged() const {
+  return charged_.load(std::memory_order_relaxed);
+}
+
+std::size_t MemoryBudget::peak() const {
+  return peak_.load(std::memory_order_relaxed);
+}
+
+void MemoryBudget::reset_peak() {
+  peak_.store(charged_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+bool MemoryBudget::try_charge(std::size_t bytes, std::size_t limit_bytes) {
+  std::size_t cur = charged_.load(std::memory_order_relaxed);
+  std::size_t next = 0;
+  for (;;) {
+    next = cur + bytes;
+    if (limit_bytes != 0 && next > limit_bytes) return false;
+    if (charged_.compare_exchange_weak(cur, next,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  std::size_t p = peak_.load(std::memory_order_relaxed);
+  while (next > p &&
+         !peak_.compare_exchange_weak(p, next, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryBudget::release(std::size_t bytes) {
+  charged_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::size_t effective_limit() {
+  if (const Ctx* ctx = current_ctx();
+      ctx != nullptr && ctx->mem_budget_bytes != 0) {
+    return ctx->mem_budget_bytes;
+  }
+  return MemoryBudget::process().limit();
+}
+
+namespace {
+
+[[noreturn]] void throw_exhausted(std::size_t bytes, const char* what,
+                                  const std::string& why) {
+  if (prof::enabled()) prof::add("guard.mem.exhausted", 1);
+  if (trace::enabled()) {
+    trace::instant("guard.mem.exhausted",
+                   std::string(what) + ": " + std::to_string(bytes) +
+                       " bytes");
+  }
+  throw Error(Status::resource_exhausted(
+      "memory budget exceeded charging " + std::to_string(bytes) +
+      " bytes for " + what + why));
+}
+
+}  // namespace
+
+void charge(std::size_t bytes, const char* what) {
+  MemoryBudget& b = MemoryBudget::process();
+  // Fault hook: the injected failure takes the identical unwind path a
+  // real overrun takes (and leaves the ledger balanced — nothing was
+  // debited yet).
+  if (fault::should_fire(fault::Kind::kAlloc)) {
+    throw_exhausted(bytes, what, " (injected fault kind=alloc)");
+  }
+  const std::size_t lim = effective_limit();
+  if (!b.try_charge(bytes, lim)) {
+    throw_exhausted(bytes, what,
+                    " (charged " + std::to_string(b.charged()) +
+                        " of limit " + std::to_string(lim) + ")");
+  }
+}
+
+bool try_charge(std::size_t bytes, const char* what) {
+  (void)what;
+  return MemoryBudget::process().try_charge(bytes, effective_limit());
+}
+
+void release(std::size_t bytes) {
+  MemoryBudget::process().release(bytes);
+}
+
+}  // namespace mgc::guard

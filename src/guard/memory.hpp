@@ -1,0 +1,189 @@
+#pragma once
+// mgc::guard — memory budgets with typed exhaustion
+// (see docs/robustness.md).
+//
+// The paper's GPU runs live or die by peak footprint (the 11 GB device
+// limit shows up as OOM rows in its tables), and the production north star
+// is a service that must refuse work it cannot fit rather than be
+// OOM-killed. This header turns "we ran out of memory" from an untyped
+// std::bad_alloc / SIGKILL into the taxonomy's kResourceExhausted:
+//
+//   MemoryBudget   one process-wide ledger of accounted bytes (charged /
+//                  peak / limit). The limit comes from MGC_MEM_BUDGET or
+//                  set_limit(); a guard::Ctx carrying mem_budget_bytes
+//                  overrides the limit (not the ledger) for code under its
+//                  ScopedCtx — the CLI's --mem-budget flag uses this.
+//   charge()       debit bytes before a big allocation; over-limit throws
+//                  guard::Error(kResourceExhausted) naming what was being
+//                  allocated. The `alloc` fault kind fires here, so
+//                  injected allocation failures take the exact path a real
+//                  budget overrun takes.
+//   try_charge()   non-throwing probe used by DEGRADATION decisions (can
+//                  the hash path afford its scratch, or should this level
+//                  fall back to the sort path?). Deliberately NOT a fault
+//                  injection point: a probe that lies would turn an
+//                  injected hard failure into a silent fallback.
+//   ScopedCharge   RAII bundle of charges released together on unwind, so
+//                  a throwing construction leaves the ledger balanced.
+//   AccountedAllocator / accounted_vector
+//                  std::vector storage that charges/releases through the
+//                  ledger and converts a real std::bad_alloc into the
+//                  typed error.
+//
+// Accounting is cooperative and driver-level by design: the big, O(n+m)
+// allocations (CSR arrays, dedup hash scratch, permutation keys) are
+// charged; transient small allocations are noise against them. Charges
+// happen on the driver thread at safe boundaries — between levels, before
+// a kernel's scratch is carved — so an over-budget run stops with every
+// completed stage intact.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "guard/status.hpp"
+
+namespace mgc::guard {
+
+/// Process-wide accounting ledger. All mutators are thread-safe, but the
+/// intended use charges from driver code (see header comment).
+class MemoryBudget {
+ public:
+  static MemoryBudget& process();
+
+  /// Effective limit in bytes (0 = unlimited). Resolved lazily from
+  /// MGC_MEM_BUDGET (parse_bytes grammar; garbage throws typed
+  /// kInvalidInput once, at first use) unless set_limit() ran first.
+  std::size_t limit();
+
+  /// Replaces the limit (0 = unlimited) and suppresses the env read.
+  void set_limit(std::size_t bytes);
+
+  std::size_t charged() const;
+  std::size_t peak() const;
+  /// Resets the peak watermark to the currently charged bytes (tests use
+  /// this to measure the peak of one specific stage).
+  void reset_peak();
+
+  /// Attempts to debit `bytes` against `limit_bytes` (0 = unlimited).
+  /// On success updates the peak watermark.
+  bool try_charge(std::size_t bytes, std::size_t limit_bytes);
+  void release(std::size_t bytes);
+
+ private:
+  MemoryBudget() = default;
+
+  std::atomic<std::size_t> charged_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::size_t> limit_{0};
+  std::atomic<bool> limit_resolved_{false};
+};
+
+/// The limit in force for the calling thread: a ScopedCtx-installed Ctx
+/// with mem_budget_bytes != 0 overrides the process limit (0 = unlimited).
+std::size_t effective_limit();
+
+/// Debits `bytes` from the process ledger against effective_limit().
+/// Throws guard::Error(kResourceExhausted) naming `what` when the budget
+/// cannot fit the charge — and when the `alloc` fault kind fires, so
+/// injected allocation failures exercise this exact path.
+void charge(std::size_t bytes, const char* what);
+
+/// Non-throwing form used by degradation decisions; returns false instead
+/// of throwing and is not a fault injection point (see header comment).
+bool try_charge(std::size_t bytes, const char* what);
+
+/// Credits `bytes` back to the ledger.
+void release(std::size_t bytes);
+
+/// RAII bundle of charges, released together on destruction. Movable so a
+/// builder can hand the accounted footprint to its caller.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ScopedCharge(std::size_t bytes, const char* what) { add(bytes, what); }
+  ~ScopedCharge() { release_all(); }
+
+  ScopedCharge(ScopedCharge&& o) noexcept : held_(o.held_) { o.held_ = 0; }
+  ScopedCharge& operator=(ScopedCharge&& o) noexcept {
+    if (this != &o) {
+      release_all();
+      held_ = o.held_;
+      o.held_ = 0;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  /// Adds to the bundle via charge() (throws on overrun, charge intact).
+  void add(std::size_t bytes, const char* what) {
+    guard::charge(bytes, what);
+    held_ += bytes;
+  }
+  /// Adds via try_charge(); the bundle is unchanged on refusal.
+  bool try_add(std::size_t bytes, const char* what) {
+    if (!guard::try_charge(bytes, what)) return false;
+    held_ += bytes;
+    return true;
+  }
+  void release_all() {
+    if (held_ != 0) guard::release(held_);
+    held_ = 0;
+  }
+  std::size_t held() const { return held_; }
+
+ private:
+  std::size_t held_ = 0;
+};
+
+/// Allocator that routes storage through the ledger. A budget overrun (or
+/// the alloc fault) throws the typed error before touching the heap; a
+/// real std::bad_alloc is converted to the same typed error so no raw
+/// bad_alloc escapes accounted containers.
+template <class T>
+class AccountedAllocator {
+ public:
+  using value_type = T;
+
+  AccountedAllocator() = default;
+  explicit AccountedAllocator(const char* what) : what_(what) {}
+  template <class U>
+  /*implicit*/ AccountedAllocator(const AccountedAllocator<U>& o)
+      : what_(o.label()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    guard::charge(bytes, what_);
+    try {
+      return std::allocator<T>().allocate(n);
+    } catch (const std::bad_alloc&) {
+      guard::release(bytes);
+      throw Error(Status::resource_exhausted(
+          std::string("allocation of ") + std::to_string(bytes) +
+          " bytes failed (" + what_ + ")"));
+    }
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    std::allocator<T>().deallocate(p, n);
+    guard::release(n * sizeof(T));
+  }
+
+  const char* label() const { return what_; }
+
+  template <class U>
+  bool operator==(const AccountedAllocator<U>&) const {
+    return true;
+  }
+
+ private:
+  const char* what_ = "accounted";
+};
+
+template <class T>
+using accounted_vector = std::vector<T, AccountedAllocator<T>>;
+
+}  // namespace mgc::guard

@@ -1,0 +1,315 @@
+#include "multilevel/checkpoint.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "core/prng.hpp"
+#include "guard/io.hpp"
+
+namespace mgc {
+
+namespace {
+
+// Fixed-size little-endian header. Field offsets (docs/robustness.md):
+//   0  magic u32      "MGCK"
+//   4  version u32
+//   8  flags u32      bit 0: payload arrays are little-endian
+//   12 level u32
+//   16 seed u64
+//   24 input_crc u32  crc32 of the run's INPUT graph payload
+//   28 reserved u32
+//   32 n u64          coarse vertices
+//   40 entries u64    coarse directed entries (rowptr[n])
+//   48 map_n u64      fine vertices (map size)
+//   56 mapping_seconds f64
+//   64 construct_seconds f64
+//   72 payload_crc u32
+//   76 header_crc u32 crc32 of bytes [0, 76)
+constexpr std::size_t kHeaderSize = 80;
+constexpr std::uint32_t kFlagLittleEndian = 1;
+
+// Counts are untrusted until bounded; this cap keeps every payload-size
+// product far from u64 overflow while allowing any graph vid_t/eid_t can
+// index.
+constexpr std::uint64_t kCountCap = std::uint64_t{1} << 56;
+
+void put_u32(std::string& out, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_u64(std::string& out, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_f64(std::string& out, std::size_t at, double v) {
+  put_u64(out, at, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t get_u32(const std::string& in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(in[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(in[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(const std::string& in, std::size_t at) {
+  return std::bit_cast<double>(get_u64(in, at));
+}
+
+template <class T>
+void append_array(std::string& out, const std::vector<T>& v) {
+  if (v.empty()) return;
+  out.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+template <class T>
+void read_array(const std::string& in, std::size_t& pos, std::vector<T>& v,
+                std::size_t count) {
+  v.resize(count);
+  if (count == 0) return;
+  std::memcpy(v.data(), in.data() + pos, count * sizeof(T));
+  pos += count * sizeof(T);
+}
+
+guard::Status invalid(const std::string& path, const std::string& why) {
+  return guard::Status::invalid_input("checkpoint " + path + ": " + why);
+}
+
+/// Parses + fully validates one serialized snapshot. `expect_input_crc`
+/// of nullptr skips the input-fingerprint cross-check (checkpoint-info
+/// has no input graph to check against). `info`, when given, is filled
+/// with whatever header fields parsed before a failure.
+guard::Result<CheckpointLevel> parse_checkpoint(
+    const std::string& path, const std::string& bytes,
+    const std::uint32_t* expect_input_crc, CheckpointFileInfo* info) {
+  if (bytes.size() < kHeaderSize) {
+    return invalid(path, "truncated header (" +
+                             std::to_string(bytes.size()) + " bytes)");
+  }
+  if (get_u32(bytes, 0) != kCheckpointMagic) {
+    return invalid(path, "bad magic");
+  }
+  const std::uint32_t version = get_u32(bytes, 4);
+  if (info != nullptr) info->version = version;
+  if (version != kCheckpointVersion) {
+    return invalid(path,
+                   "unsupported version " + std::to_string(version));
+  }
+  const std::uint32_t header_crc = get_u32(bytes, 76);
+  if (guard::crc32(bytes.data(), 76) != header_crc) {
+    return invalid(path, "header checksum mismatch");
+  }
+  const std::uint32_t flags = get_u32(bytes, 8);
+  if ((flags & kFlagLittleEndian) == 0 ||
+      std::endian::native != std::endian::little) {
+    return invalid(path, "payload endianness not supported on this host");
+  }
+
+  CheckpointLevel lvl;
+  lvl.level = static_cast<int>(get_u32(bytes, 12));
+  lvl.seed = get_u64(bytes, 16);
+  const std::uint32_t input_crc = get_u32(bytes, 24);
+  const std::uint64_t n = get_u64(bytes, 32);
+  const std::uint64_t entries = get_u64(bytes, 40);
+  const std::uint64_t map_n = get_u64(bytes, 48);
+  lvl.mapping_seconds = get_f64(bytes, 56);
+  lvl.construct_seconds = get_f64(bytes, 64);
+  const std::uint32_t payload_crc = get_u32(bytes, 72);
+  if (info != nullptr) {
+    info->level = lvl.level;
+    info->seed = lvl.seed;
+    info->n = static_cast<vid_t>(
+        std::min<std::uint64_t>(n, std::numeric_limits<vid_t>::max()));
+    info->entries = static_cast<eid_t>(
+        std::min<std::uint64_t>(entries,
+                                std::numeric_limits<eid_t>::max()));
+  }
+
+  if (lvl.level < 1) return invalid(path, "level must be >= 1");
+  if (n < 1 || n > kCountCap || entries > kCountCap || map_n > kCountCap) {
+    return invalid(path, "implausible header counts");
+  }
+  if (n > static_cast<std::uint64_t>(std::numeric_limits<vid_t>::max()) ||
+      map_n >
+          static_cast<std::uint64_t>(std::numeric_limits<vid_t>::max())) {
+    return invalid(path, "vertex count overflows vid_t");
+  }
+  if (map_n < n) {
+    return invalid(path, "map is smaller than the coarse graph");
+  }
+  const std::uint64_t payload_bytes = (n + 1) * sizeof(eid_t) +
+                                      entries * sizeof(vid_t) +
+                                      entries * sizeof(wgt_t) +
+                                      n * sizeof(wgt_t) +
+                                      map_n * sizeof(vid_t);
+  if (bytes.size() != kHeaderSize + payload_bytes) {
+    return invalid(path, bytes.size() < kHeaderSize + payload_bytes
+                             ? "truncated payload"
+                             : "trailing bytes after payload");
+  }
+  if (guard::crc32(bytes.data() + kHeaderSize, payload_bytes) !=
+      payload_crc) {
+    return invalid(path, "payload checksum mismatch");
+  }
+  if (expect_input_crc != nullptr && input_crc != *expect_input_crc) {
+    return invalid(path, "snapshot was computed from a different input "
+                         "graph (input fingerprint mismatch)");
+  }
+
+  std::size_t pos = kHeaderSize;
+  read_array(bytes, pos, lvl.graph.rowptr,
+             static_cast<std::size_t>(n) + 1);
+  read_array(bytes, pos, lvl.graph.colidx, static_cast<std::size_t>(entries));
+  read_array(bytes, pos, lvl.graph.wgts, static_cast<std::size_t>(entries));
+  read_array(bytes, pos, lvl.graph.vwgts, static_cast<std::size_t>(n));
+  read_array(bytes, pos, lvl.map, static_cast<std::size_t>(map_n));
+
+  // Checksums catch corruption; the structural checks catch a well-formed
+  // file that lies (hand-edited, or written by a buggy future version).
+  if (lvl.graph.rowptr.back() != static_cast<eid_t>(entries)) {
+    return invalid(path, "rowptr does not cover the entry arrays");
+  }
+  const std::string csr_err = validate_csr(lvl.graph);
+  if (!csr_err.empty()) {
+    return invalid(path, "coarse graph invalid: " + csr_err);
+  }
+  for (const vid_t c : lvl.map) {
+    if (c < 0 || static_cast<std::uint64_t>(c) >= n) {
+      return invalid(path, "mapping target out of range");
+    }
+  }
+  return lvl;
+}
+
+}  // namespace
+
+namespace detail {
+std::uint64_t next_level_seed(std::uint64_t seed) {
+  return splitmix64(seed + 0x5bd1e995);
+}
+}  // namespace detail
+
+std::string checkpoint_level_path(const std::string& dir, int level) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt_level_%04d.mgck", level);
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += name;
+  return path;
+}
+
+std::uint32_t graph_crc32(const Csr& g) {
+  std::uint32_t c = 0;
+  c = guard::crc32(g.rowptr.data(), g.rowptr.size() * sizeof(eid_t), c);
+  c = guard::crc32(g.colidx.data(), g.colidx.size() * sizeof(vid_t), c);
+  c = guard::crc32(g.wgts.data(), g.wgts.size() * sizeof(wgt_t), c);
+  c = guard::crc32(g.vwgts.data(), g.vwgts.size() * sizeof(wgt_t), c);
+  return c;
+}
+
+guard::Status write_checkpoint_level(const std::string& dir,
+                                     const CheckpointLevel& level,
+                                     std::uint32_t input_crc) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return guard::Status::invalid_input("checkpoint dir " + dir + ": " +
+                                        ec.message());
+  }
+  const Csr& g = level.graph;
+  const std::uint64_t n = static_cast<std::uint64_t>(g.num_vertices());
+  const std::uint64_t entries =
+      static_cast<std::uint64_t>(g.num_entries());
+  const std::uint64_t map_n = static_cast<std::uint64_t>(level.map.size());
+
+  std::string out(kHeaderSize, '\0');
+  out.reserve(kHeaderSize + (n + 1) * sizeof(eid_t) +
+              entries * (sizeof(vid_t) + sizeof(wgt_t)) +
+              n * sizeof(wgt_t) + map_n * sizeof(vid_t));
+  append_array(out, g.rowptr);
+  append_array(out, g.colidx);
+  append_array(out, g.wgts);
+  append_array(out, g.vwgts);
+  append_array(out, level.map);
+
+  put_u32(out, 0, kCheckpointMagic);
+  put_u32(out, 4, kCheckpointVersion);
+  put_u32(out, 8, std::endian::native == std::endian::little
+                      ? kFlagLittleEndian
+                      : 0);
+  put_u32(out, 12, static_cast<std::uint32_t>(level.level));
+  put_u64(out, 16, level.seed);
+  put_u32(out, 24, input_crc);
+  put_u32(out, 28, 0);
+  put_u64(out, 32, n);
+  put_u64(out, 40, entries);
+  put_u64(out, 48, map_n);
+  put_f64(out, 56, level.mapping_seconds);
+  put_f64(out, 64, level.construct_seconds);
+  put_u32(out, 72, guard::crc32(out.data() + kHeaderSize,
+                                out.size() - kHeaderSize));
+  put_u32(out, 76, guard::crc32(out.data(), 76));
+
+  return guard::atomic_write_file(checkpoint_level_path(dir, level.level),
+                                  out);
+}
+
+guard::Result<CheckpointLevel> read_checkpoint_level(
+    const std::string& path, std::uint32_t expect_input_crc) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return invalid(path, "cannot open");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return invalid(path, "read failed");
+  return parse_checkpoint(path, bytes, &expect_input_crc, nullptr);
+}
+
+std::vector<CheckpointFileInfo> inspect_checkpoint_dir(
+    const std::string& dir) {
+  std::vector<CheckpointFileInfo> out;
+  for (int level = 1;; ++level) {
+    CheckpointFileInfo info;
+    info.path = checkpoint_level_path(dir, level);
+    std::ifstream in(info.path, std::ios::binary);
+    if (!in) break;  // first missing level ends the prefix
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    info.file_bytes = bytes.size();
+    guard::Result<CheckpointLevel> r =
+        parse_checkpoint(info.path, bytes, nullptr, &info);
+    info.valid = r.ok();
+    if (!r.ok()) {
+      info.error = r.status().message;
+    } else if (r.value().level != level) {
+      info.valid = false;
+      info.error = "file name / header level mismatch";
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace mgc

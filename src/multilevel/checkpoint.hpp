@@ -1,0 +1,95 @@
+#pragma once
+// Checkpoint/resume of coarsening hierarchies (docs/robustness.md has the
+// full on-disk format specification).
+//
+// A multilevel run on a large input can spend minutes building its
+// hierarchy; a crash (OOM-kill, SIGKILL, power loss) used to lose all of
+// it. When CoarsenOptions::checkpoint_dir is set, the driver writes one
+// snapshot file per COMPLETED level ("ckpt_level_0001.mgck", level 1 = the
+// first coarse graph; the input graph itself is never stored, only its
+// checksum) via guard::atomic_write_file, and a restarted run resumes from
+// the deepest valid prefix of snapshots instead of recomputing.
+//
+// Trust model: snapshot files are untrusted input. Every read validates
+// the magic/version, a header CRC, a payload CRC, and the structural CSR /
+// mapping invariants before a byte of it enters the hierarchy; any failure
+// is reported as a typed Status and resume falls back to recomputing that
+// level (a Degraded event, never a crash). Cross-run safety comes from the
+// header binding each level to (a) the CRC of the input graph and (b) the
+// exact seed-chain value used to build it — a checkpoint directory from a
+// different input, seed, or level is skipped, not trusted.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "guard/status.hpp"
+#include "multilevel/coarsener.hpp"
+
+namespace mgc {
+
+/// On-disk snapshot format constants (format spec: docs/robustness.md).
+inline constexpr std::uint32_t kCheckpointMagic = 0x4B43474DU;  // "MGCK" LE
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// One level's snapshot payload: the coarse graph produced by the level,
+/// the fine->coarse mapping that produced it, and the metadata needed to
+/// splice it back into a Hierarchy deterministically.
+struct CheckpointLevel {
+  int level = 0;            ///< 1-based level index (graphs[level])
+  std::uint64_t seed = 0;   ///< seed-chain value used to BUILD this level
+  double mapping_seconds = 0.0;
+  double construct_seconds = 0.0;
+  Csr graph;                ///< coarse graph (== hierarchy.graphs[level])
+  std::vector<vid_t> map;   ///< fine->coarse map (CoarseMap::map)
+};
+
+/// "<dir>/ckpt_level_0007.mgck".
+std::string checkpoint_level_path(const std::string& dir, int level);
+
+/// CRC-32 fingerprint of a graph's payload arrays; binds snapshots to the
+/// input graph they were computed from.
+std::uint32_t graph_crc32(const Csr& g);
+
+/// Serializes and durably writes one level snapshot (creates `dir` if
+/// missing). `input_crc` is graph_crc32 of the RUN'S INPUT graph, stored
+/// in the header. Failures return a typed Status (never throw).
+guard::Status write_checkpoint_level(const std::string& dir,
+                                     const CheckpointLevel& level,
+                                     std::uint32_t input_crc);
+
+/// Reads and fully validates one level snapshot. `expect_input_crc`
+/// must match the stored input fingerprint. Any validation failure —
+/// truncation, checksum mismatch, structural invariant violation —
+/// returns a Status describing it.
+guard::Result<CheckpointLevel> read_checkpoint_level(
+    const std::string& path, std::uint32_t expect_input_crc);
+
+/// Validation summary for one snapshot file (mgc_cli checkpoint-info).
+struct CheckpointFileInfo {
+  std::string path;
+  int level = 0;
+  bool valid = false;
+  std::string error;        ///< empty when valid
+  std::uint32_t version = 0;
+  std::uint64_t seed = 0;
+  vid_t n = 0;              ///< coarse vertices
+  eid_t entries = 0;        ///< coarse directed entries
+  std::size_t file_bytes = 0;
+};
+
+/// Scans `dir` for consecutive level files starting at level 1 and
+/// validates each (without input-CRC cross-checking, which needs the
+/// input graph). Stops at the first missing level. Returns an empty
+/// vector when the directory has no level-1 snapshot.
+std::vector<CheckpointFileInfo> inspect_checkpoint_dir(
+    const std::string& dir);
+
+namespace detail {
+/// The coarsener's per-level seed evolution, shared with resume so the
+/// stored seed chain can be replayed and verified.
+std::uint64_t next_level_seed(std::uint64_t seed);
+}  // namespace detail
+
+}  // namespace mgc

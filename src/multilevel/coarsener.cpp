@@ -1,10 +1,13 @@
 #include "multilevel/coarsener.hpp"
 
 #include <cmath>
+#include <filesystem>
 
 #include "core/prng.hpp"
 #include "core/timer.hpp"
 #include "guard/fault.hpp"
+#include "guard/memory.hpp"
+#include "multilevel/checkpoint.hpp"
 #include "prof/prof.hpp"
 #include "trace/trace.hpp"
 
@@ -73,6 +76,67 @@ void note_stop(const guard::Status& status, int level) {
   prof::add("guard.stop_level", static_cast<std::uint64_t>(level));
 }
 
+/// Loads the deepest valid PREFIX of level snapshots from `dir` into `h`,
+/// advancing the seed chain past each resumed level. A missing level file
+/// ends the prefix silently (normal); an invalid/mismatched one ends it
+/// with a Degraded event — the run recomputes from there, never trusting
+/// the bad file. Charges each resumed graph against the memory budget
+/// (guard::Error propagates to the caller's partial-report boundary).
+int resume_from_checkpoints(const std::string& dir, std::uint32_t input_crc,
+                            Hierarchy& h, std::uint64_t& seed,
+                            std::vector<guard::Event>& events,
+                            bool& degraded, guard::ScopedCharge& mem_charge,
+                            std::size_t& resident_bytes) {
+  int resumed = 0;
+  for (int level = 1;; ++level) {
+    const std::string path = checkpoint_level_path(dir, level);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec) break;
+    guard::Result<CheckpointLevel> r =
+        read_checkpoint_level(path, input_crc);
+    std::string why;
+    const std::uint64_t seed_next = detail::next_level_seed(seed);
+    if (!r.ok()) {
+      why = r.status().message;
+    } else if (r.value().seed != seed_next) {
+      why = "checkpoint " + path +
+            ": seed chain mismatch (different run options)";
+    } else if (r.value().map.size() !=
+               static_cast<std::size_t>(h.graphs.back().num_vertices())) {
+      why = "checkpoint " + path +
+            ": mapping size does not match the previous level";
+    } else if (!validate_mapping(
+                    CoarseMap{r.value().map,
+                              r.value().graph.num_vertices()},
+                    h.graphs.back().num_vertices())
+                    .empty()) {
+      why = "checkpoint " + path + ": invalid vertex mapping";
+    }
+    if (!why.empty()) {
+      events.push_back({"checkpoint",
+                        "ignoring snapshots from level " +
+                            std::to_string(level) + " on: " + why});
+      degraded = true;
+      if (prof::enabled()) prof::add("guard.ckpt.rejected", 1);
+      if (trace::enabled()) {
+        trace::instant("guard.ckpt.rejected", why);
+      }
+      break;
+    }
+    CheckpointLevel lvl = std::move(r).value();
+    mem_charge.add(lvl.graph.memory_bytes(), "hierarchy level (resumed)");
+    resident_bytes += lvl.graph.memory_bytes();
+    h.maps.push_back(
+        CoarseMap{std::move(lvl.map), lvl.graph.num_vertices()});
+    h.levels.push_back({lvl.graph.num_vertices(), lvl.graph.num_edges(),
+                        lvl.mapping_seconds, lvl.construct_seconds});
+    h.graphs.push_back(std::move(lvl.graph));
+    seed = seed_next;
+    ++resumed;
+  }
+  return resumed;
+}
+
 }  // namespace
 
 CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
@@ -91,6 +155,50 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
 
   report.resident_bytes = g.memory_bytes();
   std::uint64_t seed = opts.seed;
+  bool degraded = false;
+
+  // The hierarchy's graph storage is accounted against the active
+  // guard::MemoryBudget for the duration of the run; a budget too small
+  // for even the input yields the typed error with the input-only report.
+  guard::ScopedCharge mem_charge;
+  try {
+    mem_charge.add(g.memory_bytes(), "hierarchy input graph");
+  } catch (const guard::Error& e) {
+    report.status = e.status();
+    report.status.message += " while admitting the input graph";
+    note_stop(report.status, 0);
+    return report;
+  }
+
+  // Checkpoint/resume: splice in the deepest valid snapshot prefix, then
+  // continue coarsening (and snapshotting) from where it ends.
+  bool checkpoints_on = !opts.checkpoint_dir.empty();
+  std::uint32_t input_crc = 0;
+  if (checkpoints_on) {
+    input_crc = graph_crc32(g);
+    try {
+      const int resumed = resume_from_checkpoints(
+          opts.checkpoint_dir, input_crc, h, seed, report.events, degraded,
+          mem_charge, report.resident_bytes);
+      if (resumed > 0) {
+        report.events.push_back(
+            {"checkpoint", "resumed " + std::to_string(resumed) +
+                               " level(s) from " + opts.checkpoint_dir});
+        if (prof::enabled()) {
+          prof::add("guard.ckpt.resumed_levels",
+                    static_cast<std::uint64_t>(resumed));
+        }
+        if (trace::enabled()) {
+          trace::instant("guard.ckpt.resumed", report.events.back().detail);
+        }
+      }
+    } catch (const guard::Error& e) {
+      report.status = e.status();
+      report.status.message += " while resuming from checkpoints";
+      note_stop(report.status, h.num_levels());
+      return report;
+    }
+  }
 
   while (h.graphs.back().num_vertices() > opts.cutoff &&
          h.num_levels() - 1 < opts.max_levels) {
@@ -106,7 +214,7 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
     }
     const Csr& fine = h.graphs.back();
     const vid_t n_before = fine.num_vertices();
-    seed = splitmix64(seed + 0x5bd1e995);
+    seed = detail::next_level_seed(seed);  // same chain the resume replays
     prof::Region prof_level(prof::enabled()
                                 ? "level:" + std::to_string(level)
                                 : std::string());
@@ -150,6 +258,7 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
             cm = std::move(fcm);
             used = fb;
             stalled = false;
+            degraded = true;
             break;
           }
         }
@@ -159,20 +268,25 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
 
       Timer t_con;
       Csr coarse;
+      ConstructStats cstats;
       {
         prof::Region prof_con("construct");
-        coarse = construct_coarse_graph(exec, fine, cm, opts.construct);
+        coarse = construct_coarse_graph(exec, fine, cm, opts.construct,
+                                        &cstats);
       }
       const double con_s = t_con.seconds();
-
-      if (guard::fault::should_fire(guard::fault::Kind::kAlloc)) {
-        report.resident_bytes += coarse.memory_bytes();
-        report.status = guard::Status::resource_exhausted(
-            "injected allocation failure at level " + std::to_string(level) +
-            " (fault kind=alloc)");
-        note_stop(report.status, level);
-        break;
+      if (cstats.mem_degraded_to_sort) {
+        report.events.push_back(
+            {"construct", "hash dedup scratch over memory budget at level " +
+                              std::to_string(level) +
+                              "; degraded to sort path"});
+        degraded = true;
       }
+
+      // Admit the new level's storage; an over-budget charge (or the
+      // injected alloc fault inside it) throws the typed error caught
+      // below, returning the completed prefix.
+      mem_charge.add(coarse.memory_bytes(), "hierarchy level storage");
       report.resident_bytes += coarse.memory_bytes();
       if (opts.memory_budget_bytes != 0 &&
           report.resident_bytes > opts.memory_budget_bytes) {
@@ -203,6 +317,31 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
       h.levels.push_back({coarse.num_vertices(), coarse.num_edges(), map_s,
                           con_s});
       h.graphs.push_back(std::move(coarse));
+
+      if (checkpoints_on) {
+        CheckpointLevel snap;
+        snap.level = level;
+        snap.seed = seed;
+        snap.mapping_seconds = map_s;
+        snap.construct_seconds = con_s;
+        snap.graph = h.graphs.back();
+        snap.map = h.maps.back().map;
+        const guard::Status cs = write_checkpoint_level(
+            opts.checkpoint_dir, snap, input_crc);
+        if (!cs.ok()) {
+          // An unwritable checkpoint dir degrades crash-safety, not the
+          // run: record it once and stop snapshotting.
+          report.events.push_back(
+              {"checkpoint", "disabling checkpoints: " + cs.message});
+          degraded = true;
+          checkpoints_on = false;
+          if (trace::enabled()) {
+            trace::instant("guard.ckpt.write_failed", cs.message);
+          }
+        } else if (prof::enabled()) {
+          prof::add("guard.ckpt.written", 1);
+        }
+      }
     } catch (const guard::Error& e) {
       // Chunk-granularity polls inside mapping/construction kernels raise
       // here; the level under construction is discarded and the completed
@@ -214,10 +353,12 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
       break;
     }
   }
-  if (report.status.ok() && !report.events.empty()) {
+  // A resume event alone is not a degradation — only fallbacks, budget
+  // degradations, and rejected/unwritable checkpoints demote the status.
+  if (report.status.ok() && degraded) {
     report.status = guard::Status::degraded(
         std::to_string(report.events.size()) +
-        " mapping fallback(s); see events");
+        " degradation event(s); see events");
   }
   return report;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "coarsen/mapping.hpp"
@@ -34,6 +35,14 @@ struct CoarsenOptions {
   /// paper's 11 GB device memory; exceeded -> MemoryBudgetExceeded.
   std::size_t memory_budget_bytes = 0;
   std::uint64_t seed = 42;
+  /// When non-empty, coarsen_multilevel_guarded writes a checksummed
+  /// snapshot of every COMPLETED level into this directory (created if
+  /// missing) via guard::atomic_write_file, and a later run with the same
+  /// input/options resumes from the deepest valid snapshot prefix instead
+  /// of recomputing (multilevel/checkpoint.hpp; docs/robustness.md has
+  /// the file-format spec). Corrupt or mismatched snapshots are skipped
+  /// with a Degraded event, never trusted.
+  std::string checkpoint_dir;
   /// Graceful-degradation chain: when the primary `mapping` stalls on a
   /// level (shrink < min_shrink — the HEM-on-stars pathology), these are
   /// tried in order; the first one that shrinks the level is used and a

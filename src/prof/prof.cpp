@@ -4,12 +4,12 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <unordered_map>
 
+#include "guard/io.hpp"
 #include "trace/trace.hpp"
 
 namespace mgc::prof {
@@ -369,18 +369,9 @@ std::string Report::to_json() const {
 void write_json(std::ostream& os) { os << capture().to_json(); }
 
 guard::Status write_json_file(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return guard::Status::invalid_input("cannot open profile output file: " +
-                                        path);
-  }
-  out << capture().to_json();
-  out.flush();
-  if (!out) {
-    return guard::Status::invalid_input(
-        "failed writing profile output file: " + path);
-  }
-  return guard::Status::ok_status();
+  // Durable write (temp + fsync + rename): consumers of the profile
+  // schema never observe a half-written report, even across a crash.
+  return guard::atomic_write_file(path, capture().to_json());
 }
 
 }  // namespace mgc::prof

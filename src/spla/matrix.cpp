@@ -4,6 +4,7 @@
 
 #include "core/atomics.hpp"
 #include "core/hashmap.hpp"
+#include "guard/memory.hpp"
 
 namespace mgc {
 
@@ -90,6 +91,25 @@ CsrMatrix spgemm(const Exec& exec, const CsrMatrix& a, const CsrMatrix& b) {
   c.ncols = b.ncols;
   c.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
 
+  // Budget accounting (driver thread, before the parallel phases): the
+  // per-row FlatAccumulator scratch is iteration-private, so at most
+  // `concurrency` rows hold the worst-case row capacity at once.
+  eid_t max_ub = 0;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(a.nrows); ++r) {
+    max_ub = std::max(max_ub, row_upper_bound(a, b, r));
+  }
+  const std::size_t worst_row_cap =
+      max_ub > 0
+          ? next_pow2(
+                static_cast<std::size_t>(std::min<eid_t>(max_ub, b.ncols)) +
+                1)
+          : 0;
+  guard::ScopedCharge mem_charge(
+      worst_row_cap * (sizeof(vid_t) + sizeof(wgt_t)) *
+              static_cast<std::size_t>(exec.concurrency()) +
+          (static_cast<std::size_t>(a.nrows) + 1) * sizeof(eid_t),
+      "spgemm row scratch");
+
   // Symbolic phase: exact nnz per row via a sparse hashmap accumulator.
   parallel_for(exec, static_cast<std::size_t>(a.nrows), [&](std::size_t r) {
     const eid_t ub = row_upper_bound(a, b, r);
@@ -118,6 +138,11 @@ CsrMatrix spgemm(const Exec& exec, const CsrMatrix& a, const CsrMatrix& b) {
     c.rowptr[i + 1] += c.rowptr[i];
   }
 
+  // Output arrays are charged for the duration of the numeric phase (the
+  // caller owns the result's lifetime accounting afterwards).
+  mem_charge.add(static_cast<std::size_t>(c.nnz()) *
+                     (sizeof(vid_t) + sizeof(wgt_t)),
+                 "spgemm output arrays");
   c.colidx.resize(static_cast<std::size_t>(c.nnz()));
   c.vals.resize(static_cast<std::size_t>(c.nnz()));
 

@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <deque>
-#include <fstream>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "guard/env.hpp"
+#include "guard/io.hpp"
 
 namespace mgc::trace {
 
@@ -60,10 +60,10 @@ Global& global() {
 std::size_t resolve_capacity_locked(Global& g) {
   if (g.capacity != 0) return g.capacity;
   std::size_t cap = kDefaultBufferCapacity;
-  if (const char* env = std::getenv("MGC_TRACE_BUF")) {
-    const long long v = std::atoll(env);
-    if (v > 0) cap = static_cast<std::size_t>(v);
-  }
+  // Non-throwing context (rings initialize lazily inside record paths), so
+  // garbage falls back to the default here; enable() reports it loudly.
+  const guard::Result<long long> v = guard::env_int("MGC_TRACE_BUF", 0);
+  if (v.ok() && v.value() > 0) cap = static_cast<std::size_t>(v.value());
   g.capacity = std::clamp<std::size_t>(cap, 16, std::size_t{1} << 24);
   return g.capacity;
 }
@@ -193,6 +193,10 @@ const char* intern(const std::string& s) {
 
 void enable(bool on) {
   if (on) {
+    // Startup-time validation point for MGC_TRACE_BUF: a typo'd value must
+    // not silently run with the default capacity. Throws the typed
+    // kInvalidInput from guard::env_int naming the variable and text.
+    (void)guard::env_int("MGC_TRACE_BUF", 0).value();
     detail::Global& g = detail::global();
     std::lock_guard<std::mutex> lock(g.mutex);
     if (g.epoch == 0.0) g.epoch = detail::now_seconds();
@@ -309,19 +313,9 @@ std::string to_chrome_json() {
 }
 
 guard::Status write_chrome_json_file(const std::string& path) {
-  const std::string json = to_chrome_json();
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return guard::Status::invalid_input("cannot open trace output file: " +
-                                        path);
-  }
-  out << json;
-  out.flush();
-  if (!out) {
-    return guard::Status::invalid_input("failed writing trace output file: " +
-                                        path);
-  }
-  return guard::Status::ok_status();
+  // Durable write (temp + fsync + rename): a crash mid-export must never
+  // leave a truncated trace behind that chrome://tracing rejects.
+  return guard::atomic_write_file(path, to_chrome_json());
 }
 
 }  // namespace mgc::trace

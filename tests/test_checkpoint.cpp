@@ -1,0 +1,378 @@
+// Checkpoint/resume of coarsening hierarchies (multilevel/checkpoint.hpp).
+//
+// Contract under test (docs/robustness.md): snapshots written after each
+// completed level are durable and versioned; a restarted run resumes from
+// the deepest VALID prefix and produces the same hierarchy as an
+// uninterrupted run (bitwise, under the serial backend); corrupt,
+// truncated, foreign-input, or wrong-seed snapshots are rejected by
+// checksum/header validation and recomputed — a Degraded event, never a
+// crash, never trusting a bad byte.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mgc.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test, removed on exit.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::path(::testing::TempDir()) / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+void expect_same_hierarchy(const Hierarchy& a, const Hierarchy& b) {
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (int i = 0; i < a.num_levels(); ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    EXPECT_EQ(a.graphs[s].rowptr, b.graphs[s].rowptr) << "level " << i;
+    EXPECT_EQ(a.graphs[s].colidx, b.graphs[s].colidx) << "level " << i;
+    EXPECT_EQ(a.graphs[s].wgts, b.graphs[s].wgts) << "level " << i;
+    EXPECT_EQ(a.graphs[s].vwgts, b.graphs[s].vwgts) << "level " << i;
+  }
+  ASSERT_EQ(a.maps.size(), b.maps.size());
+  for (std::size_t i = 0; i < a.maps.size(); ++i) {
+    EXPECT_EQ(a.maps[i].map, b.maps[i].map) << "map " << i;
+    EXPECT_EQ(a.maps[i].nc, b.maps[i].nc) << "map " << i;
+  }
+}
+
+// XOR-flips one byte in place (a fixed overwrite could be a no-op when
+// the byte already holds that value).
+void flip_byte(const std::string& path, std::streamoff at) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(at);
+  const int orig = f.get();
+  ASSERT_NE(orig, EOF) << path;
+  f.seekp(at);
+  f.put(static_cast<char>(orig ^ 0x40));
+}
+
+bool has_event(const std::vector<guard::Event>& events,
+               const std::string& stage, const std::string& needle) {
+  for (const guard::Event& e : events) {
+    if (e.stage == stage && e.detail.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CoarsenOptions serial_opts(const std::string& dir) {
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHec2;
+  opts.seed = test::mix_seed(800);
+  opts.checkpoint_dir = dir;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format: round-trip and validation
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, WriteReadRoundTrip) {
+  ScratchDir dir("mgc_ckpt_roundtrip");
+  const Csr input = make_triangulated_grid(8, 8, 3);
+  const std::uint32_t input_crc = graph_crc32(input);
+
+  CheckpointLevel lvl;
+  lvl.level = 3;
+  lvl.seed = 0xDEADBEEFCAFEULL;
+  lvl.mapping_seconds = 0.25;
+  lvl.construct_seconds = 0.5;
+  lvl.graph = make_grid2d(5, 5);
+  lvl.map.assign(static_cast<std::size_t>(input.num_vertices()), 0);
+  for (std::size_t u = 0; u < lvl.map.size(); ++u) {
+    lvl.map[u] = static_cast<vid_t>(u % 25);
+  }
+
+  ASSERT_TRUE(write_checkpoint_level(dir.str(), lvl, input_crc).ok());
+  const std::string path = checkpoint_level_path(dir.str(), 3);
+  ASSERT_TRUE(fs::exists(path));
+
+  const guard::Result<CheckpointLevel> r =
+      read_checkpoint_level(path, input_crc);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const CheckpointLevel& got = r.value();
+  EXPECT_EQ(got.level, 3);
+  EXPECT_EQ(got.seed, lvl.seed);
+  EXPECT_DOUBLE_EQ(got.mapping_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(got.construct_seconds, 0.5);
+  EXPECT_EQ(got.graph.rowptr, lvl.graph.rowptr);
+  EXPECT_EQ(got.graph.colidx, lvl.graph.colidx);
+  EXPECT_EQ(got.graph.wgts, lvl.graph.wgts);
+  EXPECT_EQ(got.graph.vwgts, lvl.graph.vwgts);
+  EXPECT_EQ(got.map, lvl.map);
+
+  // The same snapshot against a different input fingerprint is refused.
+  const guard::Result<CheckpointLevel> wrong =
+      read_checkpoint_level(path, input_crc ^ 1);
+  EXPECT_EQ(wrong.status().code, guard::Code::kInvalidInput);
+  EXPECT_NE(wrong.status().message.find("different input"),
+            std::string::npos);
+}
+
+TEST(Checkpoint, EveryCorruptionIsCaughtByChecksumOrBounds) {
+  ScratchDir dir("mgc_ckpt_corrupt");
+  const Csr input = make_grid2d(6, 6);
+  CheckpointLevel lvl;
+  lvl.level = 1;
+  lvl.seed = 7;
+  lvl.graph = make_path(9);
+  lvl.map.assign(static_cast<std::size_t>(input.num_vertices()), 0);
+  for (std::size_t u = 0; u < lvl.map.size(); ++u) {
+    lvl.map[u] = static_cast<vid_t>(u % 9);
+  }
+  const std::uint32_t crc = graph_crc32(input);
+  ASSERT_TRUE(write_checkpoint_level(dir.str(), lvl, crc).ok());
+  const std::string path = checkpoint_level_path(dir.str(), 1);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 100u);
+
+  const auto write_variant = [&](const std::string& b) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(b.data(), static_cast<std::streamsize>(b.size()));
+  };
+  // Flip one bit at a spread of offsets (header and payload): every single
+  // variant must be rejected with a typed error — corruption cannot pass.
+  for (const std::size_t at :
+       {std::size_t{0}, std::size_t{5}, std::size_t{13}, std::size_t{40},
+        std::size_t{77}, std::size_t{85}, bytes.size() - 1}) {
+    std::string mutated = bytes;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+    write_variant(mutated);
+    const guard::Result<CheckpointLevel> r = read_checkpoint_level(path, crc);
+    EXPECT_EQ(r.status().code, guard::Code::kInvalidInput)
+        << "bit flip at " << at << " was accepted";
+  }
+  // Truncations at several points, including mid-header.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{12}, std::size_t{79}, std::size_t{80},
+        bytes.size() - 4}) {
+    write_variant(bytes.substr(0, keep));
+    const guard::Result<CheckpointLevel> r = read_checkpoint_level(path, crc);
+    EXPECT_EQ(r.status().code, guard::Code::kInvalidInput)
+        << "truncation to " << keep << " was accepted";
+  }
+  // Trailing garbage.
+  write_variant(bytes + "extra");
+  EXPECT_EQ(read_checkpoint_level(path, crc).status().code,
+            guard::Code::kInvalidInput);
+  // Restoring the original bytes makes it readable again (sanity).
+  write_variant(bytes);
+  EXPECT_TRUE(read_checkpoint_level(path, crc).ok());
+}
+
+TEST(Checkpoint, BadCorpusAllRejectedCleanly) {
+  const fs::path dir = fs::path(MGC_TEST_DATA_DIR) / "bad_ckpt";
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".mgck") continue;
+    ++count;
+    const guard::Result<CheckpointLevel> r =
+        read_checkpoint_level(entry.path().string(), 0);
+    EXPECT_FALSE(r.status().ok()) << entry.path();
+    EXPECT_EQ(r.status().code, guard::Code::kInvalidInput) << entry.path();
+  }
+  EXPECT_GE(count, 4u) << "bad_ckpt corpus went missing";
+}
+
+TEST(Checkpoint, InspectReportsLevelsAndValidity) {
+  ScratchDir dir("mgc_ckpt_inspect");
+  const Csr g = make_triangulated_grid(20, 20, 3);
+  const CoarsenReport ref =
+      coarsen_multilevel_guarded(Exec::serial(), g, serial_opts(dir.str()));
+  ASSERT_TRUE(ref.status.ok());
+  ASSERT_GE(ref.hierarchy.num_levels(), 3);
+
+  std::vector<CheckpointFileInfo> infos = inspect_checkpoint_dir(dir.str());
+  ASSERT_EQ(static_cast<int>(infos.size()), ref.hierarchy.num_levels() - 1);
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(infos[i].level, static_cast<int>(i) + 1);
+    EXPECT_TRUE(infos[i].valid) << infos[i].error;
+    EXPECT_EQ(infos[i].version, kCheckpointVersion);
+    EXPECT_EQ(
+        infos[i].n,
+        ref.hierarchy.graphs[i + 1].num_vertices());
+    EXPECT_GT(infos[i].file_bytes, 80u);
+  }
+
+  // Damage level 2: inspect flags it while level 1 stays valid.
+  flip_byte(checkpoint_level_path(dir.str(), 2), 90);
+  infos = inspect_checkpoint_dir(dir.str());
+  ASSERT_GE(infos.size(), 2u);
+  EXPECT_TRUE(infos[0].valid);
+  EXPECT_FALSE(infos[1].valid);
+  EXPECT_FALSE(infos[1].error.empty());
+
+  // An empty directory has nothing to inspect.
+  ScratchDir empty("mgc_ckpt_inspect_empty");
+  EXPECT_TRUE(inspect_checkpoint_dir(empty.str()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Resume: equivalence, rejection, and degradation
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, ResumeReproducesTheUninterruptedHierarchy) {
+  ScratchDir dir("mgc_ckpt_resume");
+  const Csr g = make_triangulated_grid(20, 20, 3);
+  const CoarsenOptions opts = serial_opts(dir.str());
+
+  // Reference: same options, no checkpointing.
+  CoarsenOptions plain = opts;
+  plain.checkpoint_dir.clear();
+  const CoarsenReport ref =
+      coarsen_multilevel_guarded(Exec::serial(), g, plain);
+  ASSERT_TRUE(ref.status.ok());
+
+  // First checkpointed run: writes snapshots, must not change the result.
+  const CoarsenReport first =
+      coarsen_multilevel_guarded(Exec::serial(), g, opts);
+  ASSERT_TRUE(first.status.ok());
+  expect_same_hierarchy(ref.hierarchy, first.hierarchy);
+
+  // Second run resumes every level and still matches bitwise. A clean
+  // resume is informational — status stays Ok, not Degraded.
+  const CoarsenReport second =
+      coarsen_multilevel_guarded(Exec::serial(), g, opts);
+  EXPECT_TRUE(second.status.ok());
+  EXPECT_TRUE(has_event(second.events, "checkpoint", "resumed"));
+  expect_same_hierarchy(ref.hierarchy, second.hierarchy);
+}
+
+TEST(Checkpoint, PartialPrefixResumesAndRecomputesTheRest) {
+  ScratchDir dir("mgc_ckpt_partial");
+  const Csr g = make_triangulated_grid(20, 20, 3);
+  const CoarsenOptions opts = serial_opts(dir.str());
+  const CoarsenReport ref =
+      coarsen_multilevel_guarded(Exec::serial(), g, opts);
+  ASSERT_TRUE(ref.status.ok());
+  const int levels = ref.hierarchy.num_levels();
+  ASSERT_GE(levels, 4);
+
+  // Drop the deeper snapshots, keeping only levels 1-2 — simulating a run
+  // killed mid-hierarchy.
+  for (int l = 3; l < levels; ++l) {
+    fs::remove(checkpoint_level_path(dir.str(), l));
+  }
+  const CoarsenReport resumed =
+      coarsen_multilevel_guarded(Exec::serial(), g, opts);
+  EXPECT_TRUE(resumed.status.ok());
+  EXPECT_TRUE(has_event(resumed.events, "checkpoint", "resumed 2 level"));
+  expect_same_hierarchy(ref.hierarchy, resumed.hierarchy);
+}
+
+TEST(Checkpoint, CorruptSnapshotIsSkippedAndRecomputed) {
+  ScratchDir dir("mgc_ckpt_skip");
+  const Csr g = make_triangulated_grid(20, 20, 3);
+  const CoarsenOptions opts = serial_opts(dir.str());
+  const CoarsenReport ref =
+      coarsen_multilevel_guarded(Exec::serial(), g, opts);
+  ASSERT_TRUE(ref.status.ok());
+  ASSERT_GE(ref.hierarchy.num_levels(), 3);
+
+  // Flip a payload byte in level 2: resume takes level 1, rejects 2 by
+  // checksum, recomputes from there — Degraded, same final hierarchy.
+  flip_byte(checkpoint_level_path(dir.str(), 2), 100);
+  const CoarsenReport r = coarsen_multilevel_guarded(Exec::serial(), g, opts);
+  EXPECT_EQ(r.status.code, guard::Code::kDegraded);
+  EXPECT_TRUE(r.status.usable());
+  EXPECT_TRUE(has_event(r.events, "checkpoint", "ignoring snapshots"));
+  EXPECT_TRUE(has_event(r.events, "checkpoint", "resumed 1 level"));
+  expect_same_hierarchy(ref.hierarchy, r.hierarchy);
+}
+
+TEST(Checkpoint, ForeignInputSnapshotsAreIgnored) {
+  ScratchDir dir("mgc_ckpt_foreign");
+  const Csr g1 = make_triangulated_grid(20, 20, 3);
+  const Csr g2 = make_grid2d(21, 19);
+  const CoarsenOptions opts = serial_opts(dir.str());
+
+  ASSERT_TRUE(
+      coarsen_multilevel_guarded(Exec::serial(), g1, opts).status.ok());
+  // Same directory, different input: the fingerprint check refuses every
+  // snapshot and the run recomputes from scratch (Degraded, correct).
+  CoarsenOptions plain = opts;
+  plain.checkpoint_dir.clear();
+  const CoarsenReport ref =
+      coarsen_multilevel_guarded(Exec::serial(), g2, plain);
+  const CoarsenReport r =
+      coarsen_multilevel_guarded(Exec::serial(), g2, opts);
+  EXPECT_EQ(r.status.code, guard::Code::kDegraded);
+  EXPECT_TRUE(has_event(r.events, "checkpoint", "ignoring snapshots"));
+  EXPECT_FALSE(has_event(r.events, "checkpoint", "resumed"));
+  expect_same_hierarchy(ref.hierarchy, r.hierarchy);
+}
+
+TEST(Checkpoint, WrongSeedSnapshotsAreIgnored) {
+  ScratchDir dir("mgc_ckpt_seed");
+  const Csr g = make_triangulated_grid(20, 20, 3);
+  CoarsenOptions opts = serial_opts(dir.str());
+  ASSERT_TRUE(
+      coarsen_multilevel_guarded(Exec::serial(), g, opts).status.ok());
+
+  // A different seed would produce a different hierarchy; resuming from
+  // the old chain would silently change results, so it must be refused.
+  opts.seed ^= 0x1234567;
+  CoarsenOptions plain = opts;
+  plain.checkpoint_dir.clear();
+  const CoarsenReport ref =
+      coarsen_multilevel_guarded(Exec::serial(), g, plain);
+  const CoarsenReport r = coarsen_multilevel_guarded(Exec::serial(), g, opts);
+  EXPECT_EQ(r.status.code, guard::Code::kDegraded);
+  EXPECT_TRUE(has_event(r.events, "checkpoint", "ignoring snapshots"));
+  expect_same_hierarchy(ref.hierarchy, r.hierarchy);
+}
+
+TEST(Checkpoint, UnwritableDirDegradesButCompletes) {
+  const Csr g = make_triangulated_grid(12, 12, 3);
+  CoarsenOptions opts;
+  opts.mapping = Mapping::kHec2;
+  opts.seed = test::mix_seed(801);
+  // A path that cannot be created: checkpointing is disabled with a
+  // Degraded event, the run itself still completes and stays usable.
+  opts.checkpoint_dir = "/proc/version/not-a-dir/ckpt";
+  const CoarsenReport r = coarsen_multilevel_guarded(Exec::serial(), g, opts);
+  EXPECT_EQ(r.status.code, guard::Code::kDegraded);
+  EXPECT_TRUE(r.status.usable());
+  EXPECT_TRUE(has_event(r.events, "checkpoint", "disabling checkpoints"));
+  EXPECT_GE(r.hierarchy.num_levels(), 2);
+}
+
+TEST(Checkpoint, SeedChainHelperIsStable) {
+  // Resume validation replays this chain against stored seeds; it must
+  // never change across releases or old checkpoints become unreadable.
+  const std::uint64_t s1 = detail::next_level_seed(42);
+  EXPECT_EQ(s1, detail::next_level_seed(42));
+  EXPECT_NE(s1, 42u);
+  EXPECT_NE(detail::next_level_seed(s1), s1);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -11,6 +11,67 @@
 namespace mgc {
 namespace {
 
+// Clears the fault configuration on exit (even on assertion failure) so
+// later tests never inherit a fault config.
+struct FaultGuard {
+  ~FaultGuard() { guard::fault::clear(); }
+};
+
+TEST(FailureInjection, AllocFaultSweepAcrossStrategiesAndBackends) {
+  // Injected allocation failure (which takes the memory-budget charge
+  // path; guard/memory.hpp) across every per-vertex construction strategy
+  // and both backends, at a certain rate and a mid rate. Every run must
+  // end in the typed ResourceExhausted (certain rate) or a typed
+  // usable/exhausted status (mid rate), with a structurally intact partial
+  // hierarchy — never a crash, leak, or untyped throw.
+  const Csr g = make_triangulated_grid(14, 14, 3);
+  const Construction methods[] = {Construction::kSort, Construction::kHash,
+                                  Construction::kHeap,
+                                  Construction::kHybrid};
+  const Backend backends[] = {Backend::Serial, Backend::Threads};
+  const double rates[] = {1.0, 0.4};
+  for (const Construction method : methods) {
+    for (const Backend backend : backends) {
+      for (const double rate : rates) {
+        FaultGuard fg;
+        const std::string spec =
+            "alloc:" + std::to_string(rate) + ":" +
+            std::to_string(static_cast<int>(method) * 10 +
+                           static_cast<int>(backend));
+        ASSERT_TRUE(guard::fault::configure(spec).ok()) << spec;
+        CoarsenOptions opts;
+        opts.construct.method = method;
+        opts.seed = test::mix_seed(950) ^ static_cast<std::uint64_t>(rate);
+        const std::string context =
+            construction_name(method) + " " + spec;
+        const CoarsenReport r =
+            coarsen_multilevel_guarded(Exec{backend, 0}, g, opts);
+        if (rate == 1.0) {
+          // The very first charge (input admission) fires.
+          EXPECT_EQ(r.status.code, guard::Code::kResourceExhausted)
+              << context;
+        } else {
+          EXPECT_TRUE(r.status.usable() ||
+                      r.status.code == guard::Code::kResourceExhausted)
+              << context << " -> " << r.status.to_string();
+        }
+        ASSERT_GE(r.hierarchy.num_levels(), 1) << context;
+        for (int i = 0; i < r.hierarchy.num_levels(); ++i) {
+          const std::size_t s = static_cast<std::size_t>(i);
+          ASSERT_EQ(validate_csr(r.hierarchy.graphs[s]), "")
+              << context << " level " << i;
+        }
+        for (std::size_t i = 0; i < r.hierarchy.maps.size(); ++i) {
+          ASSERT_EQ(validate_mapping(r.hierarchy.maps[i],
+                                     r.hierarchy.graphs[i].num_vertices()),
+                    "")
+              << context << " map " << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(FailureInjection, MemoryBudgetAbortsMidHierarchy) {
   const Csr g = make_grid2d(50, 50);
   CoarsenOptions opts;

@@ -1,0 +1,334 @@
+// Memory budgets with typed exhaustion: the guard/env.hpp parsing
+// helpers, the guard/memory.hpp ledger (MemoryBudget / ScopedCharge /
+// AccountedAllocator), the Ctx-carried budget override, and the
+// degradation contract (hybrid construction falls back to the lower-peak
+// sort path before giving up). See docs/robustness.md.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "mgc.hpp"
+#include "util.hpp"
+
+namespace mgc {
+namespace {
+
+// Every budget-touching test restores the unlimited process budget (and
+// clears any fault config) on exit, even on assertion failure, so later
+// tests never inherit a limit.
+struct BudgetGuard {
+  BudgetGuard() { guard::MemoryBudget::process().set_limit(0); }
+  ~BudgetGuard() {
+    guard::MemoryBudget::process().set_limit(0);
+    guard::fault::clear();
+  }
+};
+
+// setenv/unsetenv scope for the env-helper tests.
+struct EnvVar {
+  const char* name;
+  EnvVar(const char* n, const char* value) : name(n) {
+    ::setenv(n, value, 1);
+  }
+  ~EnvVar() { ::unsetenv(name); }
+};
+
+// ---------------------------------------------------------------------------
+// guard/env.hpp: typed MGC_* parsing
+// ---------------------------------------------------------------------------
+
+TEST(GuardEnv, UnsetAndEmptyReturnTheDefault) {
+  ::unsetenv("MGC_TEST_ENV");
+  EXPECT_EQ(guard::env_int("MGC_TEST_ENV", 42).value(), 42);
+  EXPECT_EQ(guard::env_u64("MGC_TEST_ENV", 7).value(), 7u);
+  EXPECT_EQ(guard::env_str("MGC_TEST_ENV", "dflt"), "dflt");
+  EXPECT_EQ(guard::env_bytes("MGC_TEST_ENV", 99).value(), 99u);
+  EnvVar e("MGC_TEST_ENV", "");
+  EXPECT_EQ(guard::env_int("MGC_TEST_ENV", 42).value(), 42);
+  EXPECT_EQ(guard::env_str("MGC_TEST_ENV", "dflt"), "dflt");
+}
+
+TEST(GuardEnv, ParsesIntegersIncludingHexAndSign) {
+  {
+    EnvVar e("MGC_TEST_ENV", "123");
+    EXPECT_EQ(guard::env_int("MGC_TEST_ENV", 0).value(), 123);
+    EXPECT_EQ(guard::env_u64("MGC_TEST_ENV", 0).value(), 123u);
+  }
+  {
+    EnvVar e("MGC_TEST_ENV", "-5");
+    EXPECT_EQ(guard::env_int("MGC_TEST_ENV", 0).value(), -5);
+    // strtoull would silently wrap "-5"; env_u64 must reject it instead.
+    EXPECT_EQ(guard::env_u64("MGC_TEST_ENV", 0).status().code,
+              guard::Code::kInvalidInput);
+  }
+  {
+    EnvVar e("MGC_TEST_ENV", "0x10");
+    EXPECT_EQ(guard::env_int("MGC_TEST_ENV", 0).value(), 16);
+    EXPECT_EQ(guard::env_u64("MGC_TEST_ENV", 0).value(), 16u);
+  }
+}
+
+TEST(GuardEnv, GarbageIsATypedErrorNamingTheVariable) {
+  const char* garbage[] = {"abc", "12abc", "1.5.2", "--3", " 7 x"};
+  for (const char* v : garbage) {
+    EnvVar e("MGC_TEST_ENV", v);
+    const guard::Result<long long> r = guard::env_int("MGC_TEST_ENV", 0);
+    EXPECT_EQ(r.status().code, guard::Code::kInvalidInput) << v;
+    EXPECT_NE(r.status().message.find("MGC_TEST_ENV"), std::string::npos)
+        << v;
+    EXPECT_NE(r.status().message.find(v), std::string::npos) << v;
+  }
+}
+
+TEST(GuardEnv, ParseBytesGrammar) {
+  EXPECT_EQ(guard::parse_bytes("67108864").value(), 67108864u);
+  EXPECT_EQ(guard::parse_bytes("64K").value(), 64u << 10);
+  EXPECT_EQ(guard::parse_bytes("64k").value(), 64u << 10);
+  EXPECT_EQ(guard::parse_bytes("64KB").value(), 64u << 10);
+  EXPECT_EQ(guard::parse_bytes("64KiB").value(), 64u << 10);
+  EXPECT_EQ(guard::parse_bytes("512M").value(), std::size_t{512} << 20);
+  EXPECT_EQ(guard::parse_bytes("11g").value(), std::size_t{11} << 30);
+  EXPECT_EQ(guard::parse_bytes("0").value(), 0u);
+  const char* bad[] = {"", "-1", "64kb2", "banana", "1T", "K", "64 K"};
+  for (const char* v : bad) {
+    EXPECT_EQ(guard::parse_bytes(v).status().code,
+              guard::Code::kInvalidInput)
+        << v;
+  }
+  // Overflow: shifting must be checked, not wrapped.
+  EXPECT_EQ(guard::parse_bytes("99999999999999999G").status().code,
+            guard::Code::kInvalidInput);
+}
+
+TEST(GuardEnv, EnvBytesNamesTheVariableOnGarbage) {
+  EnvVar e("MGC_TEST_ENV", "12xyz");
+  const guard::Result<std::size_t> r = guard::env_bytes("MGC_TEST_ENV", 0);
+  EXPECT_EQ(r.status().code, guard::Code::kInvalidInput);
+  EXPECT_NE(r.status().message.find("MGC_TEST_ENV"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBudget ledger
+// ---------------------------------------------------------------------------
+
+TEST(MemoryBudget, LedgerChargesReleasesAndTracksPeak) {
+  BudgetGuard bg;
+  guard::MemoryBudget& b = guard::MemoryBudget::process();
+  const std::size_t base = b.charged();
+  b.reset_peak();
+  EXPECT_TRUE(b.try_charge(1000, 0));  // 0 = unlimited
+  EXPECT_EQ(b.charged(), base + 1000);
+  EXPECT_TRUE(b.try_charge(500, 0));
+  EXPECT_GE(b.peak(), base + 1500);
+  b.release(1200);
+  EXPECT_EQ(b.charged(), base + 300);
+  EXPECT_GE(b.peak(), base + 1500);  // peak is a watermark
+  b.reset_peak();
+  EXPECT_EQ(b.peak(), b.charged());
+  b.release(300);
+  EXPECT_EQ(b.charged(), base);
+}
+
+TEST(MemoryBudget, TryChargeRefusesOverLimit) {
+  BudgetGuard bg;
+  guard::MemoryBudget& b = guard::MemoryBudget::process();
+  const std::size_t base = b.charged();
+  EXPECT_TRUE(b.try_charge(100, base + 150));
+  EXPECT_FALSE(b.try_charge(100, base + 150));  // would exceed
+  EXPECT_TRUE(b.try_charge(50, base + 150));    // exactly at the limit
+  b.release(150);
+}
+
+TEST(MemoryBudget, ChargeThrowsTypedExhaustionNamingTheAllocation) {
+  BudgetGuard bg;
+  guard::MemoryBudget& b = guard::MemoryBudget::process();
+  b.set_limit(b.charged() + 100);
+  try {
+    guard::charge(1000, "test scratch");
+    FAIL() << "expected guard::Error";
+  } catch (const guard::Error& e) {
+    EXPECT_EQ(e.code(), guard::Code::kResourceExhausted);
+    EXPECT_NE(std::string(e.what()).find("test scratch"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("memory budget exceeded"),
+              std::string::npos);
+  }
+  // A failed charge must not debit the ledger.
+  EXPECT_TRUE(guard::try_charge(50, "small"));
+  guard::release(50);
+}
+
+TEST(MemoryBudget, CtxOverridesTheProcessLimit) {
+  BudgetGuard bg;
+  guard::MemoryBudget& b = guard::MemoryBudget::process();
+  b.set_limit(0);  // process: unlimited
+  guard::Ctx ctx;
+  ctx.mem_budget_bytes = b.charged() + 64;
+  EXPECT_FALSE(ctx.trivial());  // a budget makes the Ctx non-trivial
+  {
+    guard::ScopedCtx scoped(ctx);
+    EXPECT_EQ(guard::effective_limit(), ctx.mem_budget_bytes);
+    EXPECT_THROW(guard::charge(1000, "ctx-limited"), guard::Error);
+    EXPECT_TRUE(guard::try_charge(32, "fits"));
+    guard::release(32);
+  }
+  // Outside the scope the process limit (unlimited) is back in force.
+  EXPECT_EQ(guard::effective_limit(), 0u);
+  EXPECT_TRUE(guard::try_charge(1000, "unlimited again"));
+  guard::release(1000);
+}
+
+TEST(MemoryBudget, ScopedChargeReleasesOnUnwind) {
+  BudgetGuard bg;
+  guard::MemoryBudget& b = guard::MemoryBudget::process();
+  const std::size_t base = b.charged();
+  try {
+    guard::ScopedCharge sc(400, "outer");
+    sc.add(100, "more");
+    EXPECT_EQ(sc.held(), 500u);
+    EXPECT_EQ(b.charged(), base + 500);
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(b.charged(), base);  // balanced after unwind
+  {
+    guard::ScopedCharge sc(200, "moved-from");
+    guard::ScopedCharge other = std::move(sc);
+    EXPECT_EQ(sc.held(), 0u);
+    EXPECT_EQ(other.held(), 200u);
+  }
+  EXPECT_EQ(b.charged(), base);
+}
+
+TEST(MemoryBudget, AccountedVectorChargesAndReleases) {
+  BudgetGuard bg;
+  guard::MemoryBudget& b = guard::MemoryBudget::process();
+  const std::size_t base = b.charged();
+  {
+    guard::accounted_vector<std::uint64_t> v(
+        1000, guard::AccountedAllocator<std::uint64_t>("test vector"));
+    EXPECT_GE(b.charged(), base + 1000 * sizeof(std::uint64_t));
+  }
+  EXPECT_EQ(b.charged(), base);
+  // Under a tiny Ctx budget the allocation throws the typed error.
+  guard::Ctx ctx;
+  ctx.mem_budget_bytes = b.charged() + 64;
+  guard::ScopedCtx scoped(ctx);
+  try {
+    guard::accounted_vector<std::uint64_t> v(
+        1000, guard::AccountedAllocator<std::uint64_t>("test vector"));
+    FAIL() << "expected guard::Error";
+  } catch (const guard::Error& e) {
+    EXPECT_EQ(e.code(), guard::Code::kResourceExhausted);
+  }
+  EXPECT_EQ(b.charged(), base);
+}
+
+TEST(MemoryBudget, AllocFaultFiresThroughTheChargePath) {
+  BudgetGuard bg;
+  ASSERT_TRUE(guard::fault::configure("alloc:1.0:3").ok());
+  guard::MemoryBudget& b = guard::MemoryBudget::process();
+  const std::size_t base = b.charged();
+  try {
+    guard::charge(8, "tiny");
+    FAIL() << "expected injected exhaustion";
+  } catch (const guard::Error& e) {
+    EXPECT_EQ(e.code(), guard::Code::kResourceExhausted);
+    EXPECT_NE(std::string(e.what()).find("alloc"), std::string::npos);
+  }
+  EXPECT_EQ(b.charged(), base);  // injected failure leaves ledger balanced
+  // try_charge is deliberately NOT a fault point: degradation probes must
+  // answer honestly even under injection.
+  EXPECT_TRUE(guard::try_charge(8, "probe"));
+  guard::release(8);
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted pipelines: typed exhaustion with a usable partial hierarchy
+// ---------------------------------------------------------------------------
+
+TEST(MemoryBudget, GuardedCoarsenStopsTypedWithValidPartialHierarchy) {
+  BudgetGuard bg;
+  const Csr g = make_grid2d(50, 50);
+  guard::Ctx ctx;
+  // Room for the input plus a sliver: some level's storage must trip it.
+  ctx.mem_budget_bytes =
+      guard::MemoryBudget::process().charged() + g.memory_bytes() +
+      g.memory_bytes() / 8;
+  CoarsenOptions opts;
+  opts.seed = test::mix_seed(900);
+  const CoarsenReport r =
+      coarsen_multilevel_guarded(Exec::threads(), g, opts, ctx);
+  EXPECT_EQ(r.status.code, guard::Code::kResourceExhausted);
+  ASSERT_GE(r.hierarchy.num_levels(), 1);
+  for (int i = 0; i < r.hierarchy.num_levels(); ++i) {
+    EXPECT_EQ(
+        validate_csr(r.hierarchy.graphs[static_cast<std::size_t>(i)]), "")
+        << "level " << i;
+  }
+  for (std::size_t i = 0; i < r.hierarchy.maps.size(); ++i) {
+    EXPECT_EQ(validate_mapping(r.hierarchy.maps[i],
+                               r.hierarchy.graphs[i].num_vertices()),
+              "")
+        << "map " << i;
+  }
+}
+
+TEST(MemoryBudget, HybridDegradesToSortInsideTheBudgetWindow) {
+  BudgetGuard bg;
+  guard::MemoryBudget& b = guard::MemoryBudget::process();
+  // Skewed graph: hybrid sends its long segments to the hash path, whose
+  // scratch is the peak the sort path does not pay.
+  const Csr g = largest_connected_component(
+      make_chung_lu(3000, 20.0, 2.1, 31));
+  CoarsenOptions sort_opts;
+  sort_opts.construct.method = Construction::kSort;
+  sort_opts.seed = test::mix_seed(901);
+  CoarsenOptions hybrid_opts = sort_opts;
+  hybrid_opts.construct.method = Construction::kHybrid;
+
+  // Measure both peaks unbudgeted.
+  b.reset_peak();
+  const Hierarchy sort_h = coarsen_multilevel(Exec::serial(), g, sort_opts);
+  const std::size_t sort_peak = b.peak();
+  b.reset_peak();
+  const Hierarchy hybrid_h =
+      coarsen_multilevel(Exec::serial(), g, hybrid_opts);
+  const std::size_t hybrid_peak = b.peak();
+  ASSERT_GT(hybrid_peak, sort_peak)
+      << "hybrid should pay hash scratch on this skewed graph";
+
+  // A budget between the two peaks: hybrid must degrade to sort, finish
+  // with exit-0 semantics (Degraded), and report the degradation.
+  guard::Ctx ctx;
+  ctx.mem_budget_bytes = (sort_peak + hybrid_peak) / 2;
+  b.reset_peak();
+  const CoarsenReport r =
+      coarsen_multilevel_guarded(Exec::serial(), g, hybrid_opts, ctx);
+  EXPECT_EQ(r.status.code, guard::Code::kDegraded);
+  EXPECT_TRUE(r.status.usable());
+  bool saw_degrade = false;
+  for (const guard::Event& e : r.events) {
+    if (e.stage == "construct" &&
+        e.detail.find("degraded to sort") != std::string::npos) {
+      saw_degrade = true;
+    }
+  }
+  EXPECT_TRUE(saw_degrade);
+  // The whole point of degrading: the run never exceeded the budget, and
+  // the hierarchy it produced is structurally sound and full-depth.
+  EXPECT_LE(b.peak(), ctx.mem_budget_bytes);
+  ASSERT_GE(r.hierarchy.num_levels(), 2);
+  for (int i = 0; i < r.hierarchy.num_levels(); ++i) {
+    EXPECT_EQ(
+        validate_csr(r.hierarchy.graphs[static_cast<std::size_t>(i)]), "")
+        << "level " << i;
+  }
+  (void)sort_h;
+  (void)hybrid_h;
+}
+
+}  // namespace
+}  // namespace mgc

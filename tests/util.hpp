@@ -14,6 +14,7 @@
 #include "core/prng.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
+#include "guard/env.hpp"
 
 namespace mgc::test {
 
@@ -22,12 +23,10 @@ namespace mgc::test {
 /// used; re-running with MGC_SEED set to the same value replays the exact
 /// graphs and option draws.
 inline std::uint64_t base_seed() {
-  static const std::uint64_t seed = [] {
-    if (const char* env = std::getenv("MGC_SEED")) {
-      return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 0));
-    }
-    return std::uint64_t{0x5eed2026};  // fixed default: runs are repeatable
-  }();
+  // guard::env_u64 gives typed rejection of garbage: a typo'd MGC_SEED
+  // aborts the run loudly instead of silently replaying seed 0.
+  static const std::uint64_t seed =
+      guard::env_u64("MGC_SEED", 0x5eed2026).value();
   return seed;
 }
 

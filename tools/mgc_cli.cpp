@@ -8,6 +8,7 @@
 //   cluster   <graph> [options]            multilevel modularity clustering
 //   fiedler   <graph> [options]            multilevel Fiedler vector
 //   convert   <graph> -o <out.mtx>         preprocess + write Matrix Market
+//   checkpoint-info <dir>                  inspect a --checkpoint-dir
 //
 // <graph> is either a Matrix Market file path or a generator spec:
 //   gen:grid2d:NX,NY          gen:grid3d:NX,NY,NZ     gen:rgg:N,RADIUS
@@ -34,6 +35,14 @@
 //                                  primary mapping stalls on a level
 //   --fault kind:rate:seed[,...]   deterministic fault injection (same
 //                                  grammar as MGC_FAULT; docs/robustness.md)
+//   --mem-budget BYTES             memory budget for tracked allocations
+//                                  (accepts K/M/G suffixes, e.g. 512M);
+//                                  overrides MGC_MEM_BUDGET; exhaustion
+//                                  stops with exit code 4 and a valid
+//                                  partial hierarchy (docs/robustness.md)
+//   --checkpoint-dir DIR           write one durable snapshot per completed
+//                                  coarsening level and resume from the
+//                                  deepest valid prefix on restart
 //
 // Flags accept both "--flag value" and "--flag=value" forms.
 //
@@ -47,7 +56,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <utility>
@@ -86,8 +95,8 @@ struct Args {
 Args parse_args(int argc, char** argv) {
   Args a;
   if (argc < 3) {
-    die("usage: mgc <stats|coarsen|bisect|kway|cluster|fiedler|convert> "
-        "<graph> [--flag value ...]");
+    die("usage: mgc <stats|coarsen|bisect|kway|cluster|fiedler|convert"
+        "|checkpoint-info> <graph-or-dir> [--flag value ...]");
   }
   a.command = argv[1];
   a.graph = argv[2];
@@ -136,8 +145,17 @@ Construction parse_construction(const std::string& s) {
 
 void write_assignment(const std::string& path, const std::vector<int>& a) {
   if (path.empty()) return;
-  std::ofstream out(path);
-  for (const int x : a) out << x << '\n';
+  // Durable write: temp + fsync + rename, so downstream consumers never
+  // read a half-written assignment file. Failure maps to exit 3 through
+  // main()'s error boundary.
+  std::string body;
+  body.reserve(a.size() * 4);
+  for (const int x : a) {
+    body += std::to_string(x);
+    body += '\n';
+  }
+  const guard::Status st = guard::atomic_write_file(path, body);
+  if (!st.ok()) throw guard::Error(st);
   std::printf("wrote %zu assignments to %s\n", a.size(), path.c_str());
 }
 
@@ -305,7 +323,42 @@ int run_command(const Args& args, const Exec& exec, const Csr& g,
   die("unknown command: " + args.command);
 }
 
+// `mgc checkpoint-info <dir>`: offline inspection of a --checkpoint-dir.
+// Purely informational (exit 0); a missing directory is an input error.
+int run_checkpoint_info(const std::string& dir) {
+  if (!std::filesystem::exists(dir)) {
+    throw guard::Error(
+        guard::Status::invalid_input("checkpoint-info: no such directory: " +
+                                     dir));
+  }
+  const std::vector<CheckpointFileInfo> infos = inspect_checkpoint_dir(dir);
+  if (infos.empty()) {
+    std::printf("%s: no level-1 snapshot (nothing to resume)\n",
+                dir.c_str());
+    return 0;
+  }
+  std::printf("%-6s %-8s %10s %12s %12s %-6s %s\n", "level", "version", "n",
+              "entries", "bytes", "valid", "detail");
+  int resumable = 0;
+  bool prefix_ok = true;
+  for (const CheckpointFileInfo& f : infos) {
+    std::printf("%-6d %-8u %10d %12lld %12zu %-6s %s\n", f.level, f.version,
+                f.n, static_cast<long long>(f.entries), f.file_bytes,
+                f.valid ? "yes" : "NO", f.valid ? "" : f.error.c_str());
+    if (prefix_ok && f.valid) {
+      ++resumable;
+    } else {
+      prefix_ok = false;
+    }
+  }
+  std::printf("\nresumable prefix: %d level(s)\n", resumable);
+  return 0;
+}
+
 int run(const Args& args) {
+  if (args.command == "checkpoint-info") {
+    return run_checkpoint_info(args.graph);
+  }
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 42));
   const std::string backend = args.get("backend", "threads");
@@ -325,6 +378,13 @@ int run(const Args& args) {
   if (deadline_ms > 0) {
     gctx.deadline = guard::Deadline::after_ms(
         static_cast<double>(deadline_ms));
+  }
+  // Memory budget: --mem-budget (byte count, K/M/G suffixes) overrides the
+  // MGC_MEM_BUDGET env var for everything under this context. A garbage
+  // value throws the typed kInvalidInput from parse_bytes (exit 3).
+  const std::string mem_budget = args.get("mem-budget", "");
+  if (!mem_budget.empty()) {
+    gctx.mem_budget_bytes = guard::parse_bytes(mem_budget).value();
   }
   guard::ScopedCtx scoped_ctx(gctx);
 
@@ -364,6 +424,7 @@ int run(const Args& args) {
       parse_construction(args.get("construct", "sort"));
   copts.cutoff = static_cast<vid_t>(args.get_int("cutoff", 50));
   copts.seed = seed;
+  copts.checkpoint_dir = args.get("checkpoint-dir", "");
   const std::string fallbacks = args.get("fallbacks", "");
   for (std::size_t pos = 0; pos < fallbacks.size();) {
     std::size_t comma = fallbacks.find(',', pos);
@@ -376,6 +437,15 @@ int run(const Args& args) {
   }
 
   const int rc = run_command(args, exec, g, copts);
+  // With a budget active, report the tracked peak so operators (and the
+  // CI crash-recovery job) can pick budget windows empirically.
+  const std::size_t active_budget =
+      gctx.mem_budget_bytes != 0 ? gctx.mem_budget_bytes
+                                 : guard::MemoryBudget::process().limit();
+  if (active_budget != 0) {
+    std::printf("mem: peak=%zu budget=%zu\n",
+                guard::MemoryBudget::process().peak(), active_budget);
+  }
   // An unwritable report file must not masquerade as success: surface
   // the IO failure through the exit-code contract (InvalidInput -> 3).
   const guard::Status write_status = outputs.flush();
