@@ -1,0 +1,243 @@
+// bench_serve — load generator for the mgc_serve request path.
+//
+// Drives serve::Service::handle_line DIRECTLY (no socket): the Service is
+// transport-agnostic by design, so this measures request dispatch, the
+// admission queue, and the hierarchy cache under concurrency — exactly
+// the code the daemon runs — without the noise of socket syscalls.
+//
+// Workload: T client threads issue a mixed stream of partition / cluster
+// / fiedler / coarsen requests over a small set of graphs. Most requests
+// target "popular" graphs (cache hits at varying k); a minority target
+// cold graphs (misses that exercise build + eviction); a slice carries a
+// deliberately tight deadline to exercise typed DeadlineExceeded replies.
+// The mix is seeded and deterministic per thread.
+//
+// Output: a human summary on stdout and — with --profile — an
+// mgc-profile JSON report whose meta block carries the numbers the CI
+// serve-smoke job asserts on:
+//   serve.p50_ms / serve.p99_ms   request latency percentiles
+//   serve.hit_rate                cache hits / (hits + misses)
+//   serve.requests / serve.errors / serve.deadline_errors
+//
+// Usage:
+//   bench_serve [--threads T] [--requests-per-thread N]
+//               [--cache-budget BYTES] [--profile FILE.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "guard/env.hpp"
+#include "prof/prof.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace mgc;
+
+// splitmix64: deterministic per-thread request mix.
+std::uint64_t mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+struct Tally {
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t deadline_errors = 0;
+  std::uint64_t overload_errors = 0;
+};
+
+// The popular set is small enough that every graph's hierarchy stays
+// resident; the cold set is what churns the cache under a tight budget.
+const char* kPopular[] = {"gen:grid2d:100,100", "gen:rgg:6000,0.02",
+                          "gen:tri:80,80"};
+const char* kCold[] = {"gen:grid2d:90,91", "gen:grid2d:90,92",
+                       "gen:grid2d:90,93", "gen:grid2d:90,94"};
+
+std::string make_request(std::uint64_t& rng, int request_index) {
+  const std::uint64_t r = mix64(rng);
+  const bool popular = (r % 100) < 80;
+  const char* graph =
+      popular ? kPopular[r % (sizeof(kPopular) / sizeof(*kPopular))]
+              : kCold[r % (sizeof(kCold) / sizeof(*kCold))];
+
+  std::string req = "{\"id\":" + std::to_string(request_index) +
+                    ",\"graph\":\"" + graph + "\",\"seed\":3";
+  switch (mix64(rng) % 10) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:  // partition at a varying k: the cache-amortisation case
+      req += ",\"op\":\"partition\",\"k\":" +
+             std::to_string(2 + (mix64(rng) % 6));
+      break;
+    case 4:
+    case 5:
+      req += ",\"op\":\"cluster\"";
+      break;
+    case 6:
+      req += ",\"op\":\"fiedler\"";
+      break;
+    default:
+      req += ",\"op\":\"coarsen\"";
+      break;
+  }
+  // ~10% staggered tight deadlines: some land as DeadlineExceeded, some
+  // squeak through — both are correct; the point is typed replies either
+  // way, never a wedged daemon.
+  if (mix64(rng) % 10 == 0) {
+    req += ",\"deadline_ms\":" + std::to_string(1 + (mix64(rng) % 40));
+  }
+  req += "}";
+  return req;
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  int per_thread = 25;
+  std::string profile_path;
+  serve::ServiceOptions opts = serve::ServiceOptions::from_env().value();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_serve: missing value for %s\n",
+                     flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--threads") {
+      threads = std::max(1, std::atoi(next().c_str()));
+    } else if (flag == "--requests-per-thread") {
+      per_thread = std::max(1, std::atoi(next().c_str()));
+    } else if (flag == "--cache-budget") {
+      opts.cache_budget_bytes = guard::parse_bytes(next()).value();
+    } else if (flag == "--profile") {
+      profile_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--threads T] "
+                   "[--requests-per-thread N] [--cache-budget BYTES] "
+                   "[--profile FILE.json]\n");
+      return 2;
+    }
+  }
+
+  if (!profile_path.empty()) prof::enable();
+
+  serve::Service service(opts);
+  std::vector<Tally> tallies(static_cast<std::size_t>(threads));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      Tally& tally = tallies[static_cast<std::size_t>(t)];
+      std::uint64_t rng = 0xBE5C0DE + static_cast<std::uint64_t>(t);
+      for (int i = 0; i < per_thread; ++i) {
+        const std::string req = make_request(rng, t * per_thread + i);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string reply = service.handle_line(req);
+        const auto t1 = std::chrono::steady_clock::now();
+        tally.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        if (reply.find("\"ok\":true") != std::string::npos) {
+          ++tally.ok;
+        } else {
+          ++tally.errors;
+          if (reply.find("DeadlineExceeded") != std::string::npos) {
+            ++tally.deadline_errors;
+          }
+          if (reply.find("ResourceExhausted") != std::string::npos) {
+            ++tally.overload_errors;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  Tally total;
+  for (const Tally& t : tallies) {
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              t.latencies_ms.begin(), t.latencies_ms.end());
+    total.ok += t.ok;
+    total.errors += t.errors;
+    total.deadline_errors += t.deadline_errors;
+    total.overload_errors += t.overload_errors;
+  }
+
+  const double p50 = percentile(total.latencies_ms, 0.50);
+  const double p99 = percentile(total.latencies_ms, 0.99);
+  const serve::HierarchyCache::Stats cs = service.cache_stats();
+  const double hit_rate =
+      cs.hits + cs.misses == 0
+          ? 0.0
+          : static_cast<double>(cs.hits) /
+                static_cast<double>(cs.hits + cs.misses);
+
+  std::printf(
+      "bench_serve: %d threads x %d requests in %.2fs (%.1f req/s)\n",
+      threads, per_thread,
+      wall_s,
+      static_cast<double>(total.latencies_ms.size()) / wall_s);
+  std::printf("  latency p50 %.2f ms, p99 %.2f ms\n", p50, p99);
+  std::printf(
+      "  replies: %llu ok, %llu errors (%llu deadline, %llu overload)\n",
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.errors),
+      static_cast<unsigned long long>(total.deadline_errors),
+      static_cast<unsigned long long>(total.overload_errors));
+  std::printf(
+      "  cache: %llu hits / %llu misses (hit rate %.3f), %llu evictions, "
+      "%zu resident bytes\n",
+      static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses), hit_rate,
+      static_cast<unsigned long long>(cs.evictions), cs.resident_bytes);
+
+  if (!profile_path.empty()) {
+    prof::set_meta("tool", std::string("bench_serve"));
+    prof::set_meta("serve.p50_ms", p50);
+    prof::set_meta("serve.p99_ms", p99);
+    prof::set_meta("serve.hit_rate", hit_rate);
+    prof::set_meta("serve.requests",
+                   static_cast<long long>(total.latencies_ms.size()));
+    prof::set_meta("serve.errors", static_cast<long long>(total.errors));
+    prof::set_meta("serve.deadline_errors",
+                   static_cast<long long>(total.deadline_errors));
+    const guard::Status st = prof::write_json_file(profile_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_serve: %s\n", st.to_string().c_str());
+      return guard::exit_code(st.code);
+    }
+    std::printf("  wrote profile to %s\n", profile_path.c_str());
+  }
+  return 0;
+}

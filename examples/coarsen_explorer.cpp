@@ -8,19 +8,20 @@
 // Render with: dot -Tpng -O out_dir/coarse_*.dot
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "mgc.hpp"
 
 namespace {
 
-void write_dot(const std::string& path, const mgc::Csr& g,
-               const mgc::CoarseMap& cm, const std::string& title) {
+mgc::guard::Status write_dot(const std::string& path, const mgc::Csr& g,
+                             const mgc::CoarseMap& cm,
+                             const std::string& title) {
   static const char* kPalette[] = {
       "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
       "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#86bcb6", "#d37295"};
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "graph \"" << title << "\" {\n"
       << "  layout=neato;\n  node [style=filled, shape=circle];\n";
   for (mgc::vid_t u = 0; u < g.num_vertices(); ++u) {
@@ -42,6 +43,8 @@ void write_dot(const std::string& path, const mgc::Csr& g,
     }
   }
   out << "}\n";
+  // Durable write: a crash mid-emit must not leave a truncated .dot file.
+  return mgc::guard::atomic_write_file(path, out.str());
 }
 
 }  // namespace
@@ -65,7 +68,11 @@ int main(int argc, char** argv) {
     const Csr coarse = construct_coarse_graph(exec, g, cm);
     const std::string name = mapping_name(m);
     const std::string path = out_dir + "/coarse_" + name + ".dot";
-    write_dot(path, g, cm, name);
+    const guard::Status st = write_dot(path, g, cm, name);
+    if (!st.ok()) {
+      std::fprintf(stderr, "coarsen_explorer: %s\n", st.to_string().c_str());
+      return guard::exit_code(st.code);
+    }
     std::printf("  %-9s nc=%3d ratio=%5.2f coarse_m=%4lld  -> %s\n",
                 name.c_str(), cm.nc,
                 coarsening_ratio(cm, g.num_vertices()),

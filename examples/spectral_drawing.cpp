@@ -8,7 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "mgc.hpp"
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     return pad + (y - *ymin_it) / (*ymax_it - *ymin_it) * (H - 2 * pad);
   };
 
-  std::ofstream svg(out_path);
+  std::ostringstream svg;
   svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << W
       << "' height='" << H << "'>\n<rect width='100%' height='100%' "
       << "fill='white'/>\n";
@@ -72,6 +72,12 @@ int main(int argc, char** argv) {
         << "'/>\n";
   }
   svg << "</svg>\n";
+  // Durable write: a crash mid-emit must not leave a truncated SVG.
+  const guard::Status st = guard::atomic_write_file(out_path, svg.str());
+  if (!st.ok()) {
+    std::fprintf(stderr, "spectral_drawing: %s\n", st.to_string().c_str());
+    return guard::exit_code(st.code);
+  }
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

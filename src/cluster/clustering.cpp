@@ -98,8 +98,15 @@ double modularity(const Csr& g, const std::vector<int>& cluster,
 
 ClusterResult multilevel_cluster(const Exec& exec, const Csr& g,
                                  const ClusterOptions& opts) {
-  ClusterResult result;
   const Hierarchy h = coarsen_multilevel(exec, g, opts.coarsen);
+  return multilevel_cluster_on_hierarchy(exec, h, opts);
+}
+
+ClusterResult multilevel_cluster_on_hierarchy(const Exec& exec,
+                                              const Hierarchy& h,
+                                              const ClusterOptions& opts) {
+  const Csr& g = h.graphs.front();
+  ClusterResult result;
   result.levels = h.num_levels();
 
   const double m2 = 2.0 * static_cast<double>(g.total_edge_weight());

@@ -40,4 +40,13 @@ double modularity(const Csr& g, const std::vector<int>& cluster,
 ClusterResult multilevel_cluster(const Exec& exec, const Csr& g,
                                  const ClusterOptions& opts = {});
 
+/// Refinement half of multilevel_cluster over a prebuilt hierarchy — the
+/// serving-cache entry point (src/serve/). opts.coarsen.seed must be the
+/// seed `h` was built with: the per-level local-move sweep orders derive
+/// from it (seed ^ level), so the result is bitwise-identical to the
+/// one-shot multilevel_cluster (which is implemented on top of this).
+ClusterResult multilevel_cluster_on_hierarchy(const Exec& exec,
+                                              const Hierarchy& h,
+                                              const ClusterOptions& opts = {});
+
 }  // namespace mgc

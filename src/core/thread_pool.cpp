@@ -38,6 +38,9 @@ void ThreadPool::run(std::size_t num_chunks,
     return;
   }
 
+  // One job owns the pool at a time; concurrent submitters (mgc_serve
+  // request threads) wait here in arrival order.
+  std::lock_guard<std::mutex> submit(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &chunk_fn;

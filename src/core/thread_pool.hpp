@@ -31,6 +31,15 @@ class ThreadPool {
   /// Runs `chunk_fn(c)` for every c in [0, num_chunks), distributing chunks
   /// dynamically over workers + the calling thread. Blocks until done.
   /// chunk_fn must not throw.
+  ///
+  /// Thread-safe for CONCURRENT submitters: the pool executes one job at a
+  /// time, and simultaneous run() calls queue on an internal submission
+  /// mutex in arrival order. This is what lets mgc_serve execute many
+  /// requests' kernels against the one process-wide pool — request driver
+  /// threads overlap in their serial sections and serialize only while a
+  /// parallel dispatch is in flight. Nested submission from inside a
+  /// chunk_fn still deadlocks (the core/exec.hpp contract already forbids
+  /// nested parallelism).
   void run(std::size_t num_chunks, const std::function<void(std::size_t)>& chunk_fn);
 
   /// Total number of threads that execute work (workers + caller).
@@ -52,6 +61,10 @@ class ThreadPool {
   void worker_loop(int index);
 
   std::vector<std::thread> workers_;
+  /// Serializes whole run() calls from concurrent submitting threads; held
+  /// for the full job (handshake + execution + drain) so job_ state is
+  /// only ever owned by one submitter.
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

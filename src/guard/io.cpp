@@ -112,6 +112,7 @@ Status atomic_write_file(const std::string& path, std::string_view data) {
   // just without the durability fsyncs.
   const std::string tmp = path + ".tmp";
   {
+    // mgc-lint: ofstream-ok -- this IS atomic_write_file's implementation
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return write_failed(tmp, "open failed");
     out.write(data.data(), static_cast<std::streamsize>(data.size()));

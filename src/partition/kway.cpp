@@ -13,18 +13,20 @@ namespace {
 
 // Recursively bisects the subgraph induced on `vertices` (ids into the
 // original graph) into parts [first_part, first_part + k), writing results
-// into `out`.
+// into `out`. `top_hierarchy`, when non-null, is a prebuilt hierarchy of
+// the WHOLE graph and is consumed by the top-level bisection only (the
+// recursive calls always pass nullptr — sub-bisections operate on induced
+// subgraphs the hierarchy does not describe).
 void recurse(const Exec& exec, const Csr& g,
              const std::vector<vid_t>& vertices, int k, int first_part,
              const KwayOptions& opts, std::uint64_t seed,
-             std::vector<int>& out) {
+             const Hierarchy* top_hierarchy, std::vector<int>& out) {
   if (k <= 1) {
     for (const vid_t u : vertices) {
       out[static_cast<std::size_t>(u)] = first_part;
     }
     return;
   }
-  const Csr sub = induced_subgraph(g, vertices);
 
   const int k0 = (k + 1) / 2;  // parts on side 0
   const int k1 = k - k0;
@@ -38,29 +40,36 @@ void recurse(const Exec& exec, const Csr& g,
   gopts.target_fraction = fraction0;
 
   std::vector<int> bipart;
-  if (sub.num_vertices() <= copts.cutoff * 2) {
-    // Small enough: skip the multilevel machinery.
-    bipart = greedy_graph_growing(sub, seed ^ 0x5151, gopts);
-    fm_refine(sub, bipart, fopts);
+  const bool small = static_cast<vid_t>(vertices.size()) <= copts.cutoff * 2;
+  if (top_hierarchy != nullptr && !small) {
+    bipart =
+        multilevel_fm_bisect_on_hierarchy(*top_hierarchy, seed, fopts, gopts)
+            .part;
   } else {
-    const PartitionResult r =
-        multilevel_fm_bisect(exec, sub, copts, fopts, gopts);
-    bipart = r.part;
+    const Csr sub = induced_subgraph(g, vertices);
+    if (small) {
+      // Small enough: skip the multilevel machinery.
+      bipart = greedy_graph_growing(sub, seed ^ 0x5151, gopts);
+      fm_refine(sub, bipart, fopts);
+    } else {
+      const PartitionResult r =
+          multilevel_fm_bisect(exec, sub, copts, fopts, gopts);
+      bipart = r.part;
+    }
   }
 
   std::vector<vid_t> side0, side1;
   for (std::size_t i = 0; i < vertices.size(); ++i) {
     (bipart[i] == 0 ? side0 : side1).push_back(vertices[i]);
   }
-  recurse(exec, g, side0, k0, first_part, opts, splitmix64(seed + 1), out);
-  recurse(exec, g, side1, k1, first_part + k0, opts, splitmix64(seed + 2),
+  recurse(exec, g, side0, k0, first_part, opts, splitmix64(seed + 1), nullptr,
           out);
+  recurse(exec, g, side1, k1, first_part + k0, opts, splitmix64(seed + 2),
+          nullptr, out);
 }
 
-}  // namespace
-
-KwayResult multilevel_kway(const Exec& exec, const Csr& g,
-                           const KwayOptions& opts) {
+KwayResult kway_impl(const Exec& exec, const Csr& g, const KwayOptions& opts,
+                     const Hierarchy* top_hierarchy) {
   KwayResult result;
   Timer timer;
   result.part.assign(static_cast<std::size_t>(g.num_vertices()), 0);
@@ -69,10 +78,22 @@ KwayResult multilevel_kway(const Exec& exec, const Csr& g,
     all[static_cast<std::size_t>(u)] = u;
   }
   recurse(exec, g, all, std::max(1, opts.k), 0, opts, opts.coarsen.seed,
-          result.part);
+          top_hierarchy, result.part);
   result.cut = edge_cut(g, result.part);
   result.seconds = timer.seconds();
   return result;
+}
+
+}  // namespace
+
+KwayResult multilevel_kway(const Exec& exec, const Csr& g,
+                           const KwayOptions& opts) {
+  return kway_impl(exec, g, opts, nullptr);
+}
+
+KwayResult multilevel_kway_on_hierarchy(const Exec& exec, const Hierarchy& h,
+                                        const KwayOptions& opts) {
+  return kway_impl(exec, h.graphs.front(), opts, &h);
 }
 
 double kway_imbalance(const Csr& g, const std::vector<int>& part, int k) {

@@ -35,6 +35,20 @@ struct KwayResult {
 KwayResult multilevel_kway(const Exec& exec, const Csr& g,
                            const KwayOptions& opts);
 
+/// Same recursion, but the TOP-level bisection reuses a prebuilt hierarchy
+/// of h.graphs.front() (the expensive coarsening of the full graph) instead
+/// of coarsening again — the serving-cache entry point (src/serve/).
+/// Sub-bisections still coarsen their induced subgraphs from scratch: a
+/// cached hierarchy describes the whole graph, not its halves. Because the
+/// top-level recursion step builds its subgraph over the identity vertex
+/// list (which reconstructs a canonical Csr exactly), the result is
+/// bitwise-identical to multilevel_kway(exec, h.graphs.front(), opts) when
+/// opts.coarsen matches what built `h`. The small-graph shortcut
+/// (n <= cutoff * 2) is preserved and ignores the hierarchy, as the
+/// one-shot form never coarsens in that regime either.
+KwayResult multilevel_kway_on_hierarchy(const Exec& exec, const Hierarchy& h,
+                                        const KwayOptions& opts);
+
 /// k-way balance: max part weight / (total/k). 1.0 == perfect.
 double kway_imbalance(const Csr& g, const std::vector<int>& part, int k);
 

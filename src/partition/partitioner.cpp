@@ -72,24 +72,34 @@ std::vector<int> fm_partition_on_hierarchy(const Hierarchy& h,
 
 }  // namespace
 
-FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
-                                 const CoarsenOptions& copts,
-                                 const SpectralOptions& sopts) {
-  prof::Region prof_fiedler("fiedler");
+FiedlerResult multilevel_fiedler_on_hierarchy(const Exec& exec,
+                                              const Hierarchy& h,
+                                              std::uint64_t seed,
+                                              const SpectralOptions& sopts) {
   FiedlerResult result;
-  Timer t_coarsen;
-  const Hierarchy h = coarsen_multilevel(exec, g, copts);
-  result.coarsen_seconds = t_coarsen.seconds();
   result.levels = h.num_levels();
-
   Timer t_solve;
   prof::Region prof_solve("solve");
-  HierarchySolve s = fiedler_on_hierarchy(exec, h, copts.seed, sopts);
+  HierarchySolve s = fiedler_on_hierarchy(exec, h, seed, sopts);
   result.total_iterations = s.total_iterations;
   result.fine_iterations = s.fine_iterations;
   result.converged = s.converged;
   result.vector = std::move(s.vector);
   result.solve_seconds = t_solve.seconds();
+  return result;
+}
+
+FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
+                                 const CoarsenOptions& copts,
+                                 const SpectralOptions& sopts) {
+  prof::Region prof_fiedler("fiedler");
+  Timer t_coarsen;
+  const Hierarchy h = coarsen_multilevel(exec, g, copts);
+  const double coarsen_seconds = t_coarsen.seconds();
+
+  FiedlerResult result =
+      multilevel_fiedler_on_hierarchy(exec, h, copts.seed, sopts);
+  result.coarsen_seconds = coarsen_seconds;
   return result;
 }
 
@@ -108,22 +118,32 @@ PartitionResult multilevel_spectral_bisect(const Exec& exec, const Csr& g,
   return result;
 }
 
+PartitionResult multilevel_fm_bisect_on_hierarchy(const Hierarchy& h,
+                                                  std::uint64_t seed,
+                                                  const FmOptions& fopts,
+                                                  const GggOptions& gopts) {
+  PartitionResult result;
+  result.levels = h.num_levels();
+  Timer t_refine;
+  prof::Region prof_refine("refine");
+  result.part = fm_partition_on_hierarchy(h, seed, fopts, gopts);
+  result.cut = edge_cut(h.graphs.front(), result.part);
+  result.refine_seconds = t_refine.seconds();
+  return result;
+}
+
 PartitionResult multilevel_fm_bisect(const Exec& exec, const Csr& g,
                                      const CoarsenOptions& copts,
                                      const FmOptions& fopts,
                                      const GggOptions& gopts) {
   prof::Region prof_bisect("fm_bisect");
-  PartitionResult result;
   Timer t_coarsen;
   const Hierarchy h = coarsen_multilevel(exec, g, copts);
-  result.coarsen_seconds = t_coarsen.seconds();
-  result.levels = h.num_levels();
+  const double coarsen_seconds = t_coarsen.seconds();
 
-  Timer t_refine;
-  prof::Region prof_refine("refine");
-  result.part = fm_partition_on_hierarchy(h, copts.seed, fopts, gopts);
-  result.cut = edge_cut(g, result.part);
-  result.refine_seconds = t_refine.seconds();
+  PartitionResult result =
+      multilevel_fm_bisect_on_hierarchy(h, copts.seed, fopts, gopts);
+  result.coarsen_seconds = coarsen_seconds;
   return result;
 }
 

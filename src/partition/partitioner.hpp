@@ -57,6 +57,17 @@ FiedlerResult multilevel_fiedler(const Exec& exec, const Csr& g,
                                  const CoarsenOptions& copts = {},
                                  const SpectralOptions& sopts = {});
 
+/// Post-coarsening half of multilevel_fiedler over a prebuilt hierarchy —
+/// the reuse entry point the serving cache (src/serve/) dispatches to on a
+/// hit. `seed` must be the CoarsenOptions::seed the hierarchy was built
+/// with: the solver derives its internal seed from it (seed ^ 0xf1ed1e5),
+/// so passing the same value makes the result bitwise-identical to the
+/// one-shot multilevel_fiedler (which is now implemented on top of this).
+/// coarsen_seconds is 0 in the returned result; the hierarchy was free.
+FiedlerResult multilevel_fiedler_on_hierarchy(
+    const Exec& exec, const Hierarchy& h, std::uint64_t seed,
+    const SpectralOptions& sopts = {});
+
 PartitionResult multilevel_spectral_bisect(
     const Exec& exec, const Csr& g, const CoarsenOptions& copts = {},
     const SpectralOptions& sopts = {});
@@ -65,6 +76,15 @@ PartitionResult multilevel_fm_bisect(const Exec& exec, const Csr& g,
                                      const CoarsenOptions& copts = {},
                                      const FmOptions& fopts = {},
                                      const GggOptions& gopts = {});
+
+/// Post-coarsening half of multilevel_fm_bisect over a prebuilt hierarchy
+/// (GGG initial partition on the coarsest graph, project + FM-refine per
+/// level; cut measured on h.graphs.front()). Same seed contract as
+/// multilevel_fiedler_on_hierarchy: pass the hierarchy's CoarsenOptions
+/// seed and the result is bitwise-identical to the one-shot driver.
+PartitionResult multilevel_fm_bisect_on_hierarchy(
+    const Hierarchy& h, std::uint64_t seed, const FmOptions& fopts = {},
+    const GggOptions& gopts = {});
 
 enum class MetisMode { kMetis, kMtMetis };
 

@@ -1,0 +1,270 @@
+#include "serve/cache.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+
+#include "guard/io.hpp"
+#include "guard/memory.hpp"
+#include "prof/prof.hpp"
+#include "trace/trace.hpp"
+
+namespace mgc::serve {
+
+namespace {
+
+// Stable text form for the floating-point option fields: %.17g
+// round-trips every double, so two structs compare equal iff their
+// canonical strings do.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* dedup_name(DegreeDedup d) {
+  switch (d) {
+    case DegreeDedup::kOff: return "off";
+    case DegreeDedup::kOn: return "on";
+    case DegreeDedup::kAuto: return "auto";
+  }
+  return "?";
+}
+
+std::size_t hierarchy_bytes(const Hierarchy& h) {
+  std::size_t bytes = 0;
+  for (const Csr& g : h.graphs) bytes += g.memory_bytes();
+  for (const CoarseMap& m : h.maps) bytes += m.map.size() * sizeof(vid_t);
+  return bytes;
+}
+
+}  // namespace
+
+std::string canonical_coarsen_options(const CoarsenOptions& opts) {
+  // Field-by-field canonical form. Deliberately EXCLUDED because they
+  // cannot change the hierarchy that gets built: checkpoint_dir (a replay
+  // aid) and memory_budget_bytes (changes whether a build completes, not
+  // what a completed build contains). Everything else participates.
+  std::string s;
+  s += "mapping=";
+  s += mapping_name(opts.mapping);
+  s += ";construct=";
+  s += construction_name(opts.construct.method);
+  s += ";dedup=";
+  s += dedup_name(opts.construct.degree_dedup);
+  s += ";skew=";
+  s += fmt_double(opts.construct.skew_threshold);
+  s += ";prededup=";
+  s += opts.construct.pre_dedup_fine ? "1" : "0";
+  s += ";hybrid=";
+  s += std::to_string(opts.construct.hybrid_hash_threshold);
+  s += ";cutoff=";
+  s += std::to_string(opts.cutoff);
+  s += ";discard=";
+  s += std::to_string(opts.discard_below);
+  s += ";maxlevels=";
+  s += std::to_string(opts.max_levels);
+  s += ";minshrink=";
+  s += fmt_double(opts.min_shrink);
+  s += ";seed=";
+  s += std::to_string(opts.seed);
+  s += ";fallbacks=";
+  for (std::size_t i = 0; i < opts.fallback_mappings.size(); ++i) {
+    if (i != 0) s += ",";
+    s += mapping_name(opts.fallback_mappings[i]);
+  }
+  return s;
+}
+
+std::uint32_t graph_crc(const Csr& g) {
+  std::uint32_t crc = guard::crc32(g.rowptr.data(),
+                                   g.rowptr.size() * sizeof(eid_t));
+  crc = guard::crc32(g.colidx.data(), g.colidx.size() * sizeof(vid_t), crc);
+  crc = guard::crc32(g.wgts.data(), g.wgts.size() * sizeof(wgt_t), crc);
+  crc = guard::crc32(g.vwgts.data(), g.vwgts.size() * sizeof(wgt_t), crc);
+  return crc;
+}
+
+// One cache slot. State transitions (guarded by the cache mutex):
+// kBuilding -> kReady (inserted) or kFailed (build failed / did not fit).
+// The ledger charge is held for the ENTRY's lifetime — an evicted entry
+// still referenced by an in-flight request keeps its bytes charged until
+// that request drops it, so the ledger never undercounts live memory.
+struct HierarchyCache::Entry {
+  enum class State { kBuilding, kReady, kFailed };
+
+  State state = State::kBuilding;
+  std::shared_ptr<const Hierarchy> hierarchy;
+  guard::Status status;
+  std::size_t bytes = 0;
+  std::size_t charged = 0;
+  std::condition_variable cv;
+  std::list<CacheKey>::iterator lru_it;
+  bool in_lru = false;
+
+  ~Entry() {
+    if (charged != 0) guard::MemoryBudget::process().release(charged);
+  }
+};
+
+HierarchyCache::HierarchyCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {
+  stats_.budget_bytes = budget_bytes;
+}
+
+bool HierarchyCache::evict_lru_locked() {
+  if (lru_.empty()) return false;
+  const CacheKey key = lru_.back();
+  lru_.pop_back();
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->in_lru = false;
+    resident_bytes_ -= it->second->bytes;
+    map_.erase(it);
+  }
+  ++stats_.evictions;
+  if (prof::enabled()) prof::add("serve.cache.evict", 1);
+  return true;
+}
+
+bool HierarchyCache::make_room_locked(std::size_t bytes) {
+  // Cache-local cap first: evict LRU until the new entry fits.
+  if (budget_bytes_ != 0) {
+    while (resident_bytes_ + bytes > budget_bytes_ && evict_lru_locked()) {
+    }
+    if (resident_bytes_ + bytes > budget_bytes_) return false;
+  }
+  // Then the process-wide ledger. Evicted-but-referenced entries release
+  // their charge asynchronously (when the in-flight holder drops them), so
+  // an eviction here may not free ledger room immediately; in that case
+  // the charge below keeps failing and the insert is refused — correct,
+  // because those bytes genuinely are still live.
+  auto& ledger = guard::MemoryBudget::process();
+  while (!ledger.try_charge(bytes, ledger.limit())) {
+    if (!evict_lru_locked()) return false;
+  }
+  return true;
+}
+
+HierarchyCache::Lookup HierarchyCache::get_or_build(const CacheKey& key,
+                                                    const Builder& build) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      entry = it->second;
+      if (entry->state == Entry::State::kBuilding) {
+        // Single-flight: coalesce onto the in-progress build.
+        ++stats_.coalesced;
+        if (prof::enabled()) prof::add("serve.cache.coalesced", 1);
+        entry->cv.wait(lock, [&] {
+          return entry->state != Entry::State::kBuilding;
+        });
+        Lookup out;
+        out.coalesced = true;
+        out.status = entry->status;
+        out.bytes = entry->bytes;
+        if (entry->state == Entry::State::kReady) {
+          out.hierarchy = entry->hierarchy;
+        }
+        return out;
+      }
+      // Ready entry: a hit. (Failed entries are erased at publish time, so
+      // a lingering kFailed state is unreachable here.)
+      ++stats_.hits;
+      if (prof::enabled()) prof::add("serve.cache.hit", 1);
+      if (entry->in_lru) {
+        lru_.splice(lru_.begin(), lru_, entry->lru_it);
+        entry->lru_it = lru_.begin();
+      }
+      Lookup out;
+      out.hierarchy = entry->hierarchy;
+      out.status = entry->status;
+      out.hit = true;
+      out.bytes = entry->bytes;
+      return out;
+    }
+    entry = std::make_shared<Entry>();
+    map_.emplace(key, entry);
+    ++stats_.misses;
+    if (prof::enabled()) prof::add("serve.cache.miss", 1);
+  }
+
+  // Builder role: run the coarsening WITHOUT the cache lock. The builder
+  // is expected to return typed failures; exceptions are converted so a
+  // hostile input can never leave waiters blocked on kBuilding forever.
+  guard::Result<Hierarchy> built = guard::Status::internal("builder skipped");
+  try {
+    built = build();
+  } catch (const guard::Error& e) {
+    built = e.status();
+  } catch (const std::exception& e) {
+    built = guard::Status::internal(std::string("build failed: ") + e.what());
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!built.usable()) {
+    entry->state = Entry::State::kFailed;
+    entry->status = built.status();
+    map_.erase(key);  // a later identical request may retry
+    entry->cv.notify_all();
+    Lookup out;
+    out.status = entry->status;
+    return out;
+  }
+
+  const std::size_t bytes = hierarchy_bytes(built.value());
+  if (!make_room_locked(bytes)) {
+    ++stats_.insert_refused;
+    if (prof::enabled()) prof::add("serve.cache.reject", 1);
+    if (trace::enabled()) {
+      trace::instant("serve.cache.reject",
+                     "hierarchy (" + std::to_string(bytes) +
+                         " bytes) does not fit the cache budget");
+    }
+    entry->state = Entry::State::kFailed;
+    entry->status = guard::Status::resource_exhausted(
+        "hierarchy (" + std::to_string(bytes) +
+        " bytes) exceeds the serve cache budget even after eviction");
+    map_.erase(key);
+    entry->cv.notify_all();
+    Lookup out;
+    out.status = entry->status;
+    return out;
+  }
+
+  entry->hierarchy =
+      std::make_shared<const Hierarchy>(std::move(built).value());
+  entry->bytes = bytes;
+  entry->charged = bytes;
+  entry->status = built.status();  // kOk, or kDegraded when a fallback fired
+  entry->state = Entry::State::kReady;
+  lru_.push_front(key);
+  entry->lru_it = lru_.begin();
+  entry->in_lru = true;
+  resident_bytes_ += bytes;
+  entry->cv.notify_all();
+
+  Lookup out;
+  out.hierarchy = entry->hierarchy;
+  out.status = entry->status;
+  out.bytes = bytes;
+  return out;
+}
+
+std::size_t HierarchyCache::evict_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  while (evict_lru_locked()) ++dropped;
+  return dropped;
+}
+
+HierarchyCache::Stats HierarchyCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.entries = map_.size();
+  s.resident_bytes = resident_bytes_;
+  return s;
+}
+
+}  // namespace mgc::serve

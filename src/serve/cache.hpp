@@ -1,0 +1,132 @@
+#pragma once
+// mgc::serve — the hierarchy cache at the heart of mgc_serve
+// (see docs/serving.md for keying rules and budget semantics).
+//
+// The paper's premise is that coarsening cost is amortised across
+// downstream analyses: a hierarchy built once serves k-way cuts at many k,
+// clustering, and Fiedler solves. The cache realises that amortisation for
+// a long-running process:
+//
+//   Key         graph CRC-32 (over the canonical CSR arrays) + the
+//               canonicalized CoarsenOptions string. Keying on the PARSED
+//               options struct — not the request text — makes key order,
+//               whitespace, and spelling of the request irrelevant; two
+//               requests hit iff coarsening would do identical work.
+//   Single-flight  concurrent misses on one key coalesce: the first
+//               requester builds, the rest block on the entry and share
+//               the result (and its failure, if the build fails).
+//   LRU + budget   resident hierarchies are charged against the
+//               process-wide guard::MemoryBudget ledger (PR-6) for their
+//               whole cache lifetime. When a new entry does not fit the
+//               cache budget or the ledger limit, least-recently-used
+//               entries are evicted first; if it STILL does not fit the
+//               insert is refused with kResourceExhausted and the caller
+//               maps that to a protocol error reply — degradation, never
+//               an OOM kill. Evicted entries stay alive (and charged)
+//               until the last in-flight request drops its reference.
+//
+// Thread-safety: every public method is safe to call from concurrent
+// request threads. Builders run OUTSIDE the cache lock.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "multilevel/coarsener.hpp"
+
+namespace mgc::serve {
+
+/// Canonical, order-independent text form of CoarsenOptions — the options
+/// half of the cache key. Derived from the parsed struct field by field
+/// (docs/serving.md documents the exact format), so any two requests that
+/// parse to the same options map to the same string.
+std::string canonical_coarsen_options(const CoarsenOptions& opts);
+
+/// CRC-32 over the canonical CSR arrays (rowptr || colidx || wgts ||
+/// vwgts, raw little-endian bytes) — the graph half of the cache key.
+std::uint32_t graph_crc(const Csr& g);
+
+struct CacheKey {
+  std::uint32_t crc = 0;
+  std::string options;
+
+  bool operator==(const CacheKey& o) const {
+    return crc == o.crc && options == o.options;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return std::hash<std::string>()(k.options) ^
+           (static_cast<std::size_t>(k.crc) * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+class HierarchyCache {
+ public:
+  /// `budget_bytes` caps the RESIDENT footprint of cached hierarchies
+  /// (0 = no cache-local cap; the process-wide ledger limit still holds).
+  explicit HierarchyCache(std::size_t budget_bytes);
+
+  HierarchyCache(const HierarchyCache&) = delete;
+  HierarchyCache& operator=(const HierarchyCache&) = delete;
+
+  /// Outcome of one lookup. `hierarchy` is null exactly when
+  /// !status.usable().
+  struct Lookup {
+    std::shared_ptr<const Hierarchy> hierarchy;
+    guard::Status status;
+    bool hit = false;        ///< served from cache, no build ran
+    bool coalesced = false;  ///< waited on a concurrent miss's build
+    std::size_t bytes = 0;   ///< resident footprint of the entry
+  };
+
+  /// The builder runs without the cache lock and returns the hierarchy or
+  /// a typed failure. A usable (Ok or Degraded) result is inserted and
+  /// charged; eviction runs first if it does not fit, and a result that
+  /// STILL does not fit (even into an emptied cache) is dropped and the
+  /// lookup fails with kResourceExhausted — the daemon refuses work it
+  /// cannot hold rather than being OOM-killed (docs/serving.md).
+  using Builder = std::function<guard::Result<Hierarchy>()>;
+  Lookup get_or_build(const CacheKey& key, const Builder& build);
+
+  /// Drops every idle entry; returns how many were dropped.
+  std::size_t evict_all();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;       ///< builds started (one per coalesced group)
+    std::uint64_t coalesced = 0;    ///< requests that waited on another build
+    std::uint64_t evictions = 0;
+    std::uint64_t insert_refused = 0;  ///< built but did not fit the budget
+    std::size_t entries = 0;
+    std::size_t resident_bytes = 0;
+    std::size_t budget_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry;
+
+  /// Evicts the LRU idle entry; false when the cache is empty. Caller
+  /// holds mutex_.
+  bool evict_lru_locked();
+
+  /// Charges `bytes` for a new entry, evicting LRU entries until it fits
+  /// both the cache budget and the ledger limit. False when even an empty
+  /// cache cannot fit it. Caller holds mutex_.
+  bool make_room_locked(std::size_t bytes);
+
+  const std::size_t budget_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash> map_;
+  std::list<CacheKey> lru_;  ///< most-recent first
+  std::size_t resident_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mgc::serve

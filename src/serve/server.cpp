@@ -1,0 +1,178 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "trace/trace.hpp"
+
+namespace mgc::serve {
+
+namespace {
+
+volatile std::sig_atomic_t g_drain = 0;
+
+void on_drain_signal(int) { g_drain = 1; }
+
+/// Sends all of `data`, tolerating partial writes and EINTR. False when
+/// the peer is gone (any hard error); the caller just closes.
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data, size, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void install_drain_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = on_drain_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // A client that disconnects mid-reply must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+bool drain_requested() { return g_drain != 0; }
+
+Server::Server(Service& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {}
+
+void Server::handle_connection(int fd) {
+  // Per-read timeout so the loop notices a drain on an idle connection.
+  struct timeval tv;
+  tv.tv_sec = 0;
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Drain: finish whatever complete lines are already buffered, then
+    // stop reading. In-flight requests always get their reply.
+    if ((drain_requested() || service_.shutdown_requested()) &&
+        buffer.find('\n') == std::string::npos) {
+      break;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // client closed
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    // A line that exceeds the request cap can never parse; reply once and
+    // close, since the stream cannot be resynchronised.
+    if (buffer.find('\n') == std::string::npos &&
+        buffer.size() > service_.options().max_request_bytes) {
+      const std::string reply = service_.handle_line(buffer) + "\n";
+      send_all(fd, reply.data(), reply.size());
+      break;
+    }
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const std::string reply = service_.handle_line(line) + "\n";
+      if (!send_all(fd, reply.data(), reply.size())) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+guard::Status Server::run() {
+  if (path_.empty() || path_.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return guard::Status::invalid_input(
+        "socket path must be 1.." +
+        std::to_string(sizeof(sockaddr_un{}.sun_path) - 1) +
+        " bytes: \"" + path_ + "\"");
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return guard::Status::internal(std::string("socket(): ") +
+                                   std::strerror(errno));
+  }
+
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size());
+  ::unlink(path_.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const guard::Status st = guard::Status::invalid_input(
+        "bind(" + path_ + "): " + std::strerror(errno));
+    ::close(listen_fd);
+    return st;
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    const guard::Status st = guard::Status::internal(
+        std::string("listen(): ") + std::strerror(errno));
+    ::close(listen_fd);
+    ::unlink(path_.c_str());
+    return st;
+  }
+
+  if (trace::enabled()) trace::instant("serve.listen", path_, "serve");
+
+  std::vector<std::thread> threads;
+  while (!drain_requested() && !service_.shutdown_requested()) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr < 0) {
+      if (errno == EINTR) continue;  // likely the drain signal itself
+      break;
+    }
+    if (pr == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    threads.emplace_back([this, fd] { handle_connection(fd); });
+  }
+
+  // Drain: stop accepting, let connection threads finish their in-flight
+  // requests (they observe the flag within one 200 ms tick), then clean up.
+  ::close(listen_fd);
+  for (std::thread& t : threads) t.join();
+  ::unlink(path_.c_str());
+  if (trace::enabled()) trace::instant("serve.drained", path_, "serve");
+  return guard::Status{};
+}
+
+}  // namespace mgc::serve

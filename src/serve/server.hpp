@@ -1,0 +1,52 @@
+#pragma once
+// mgc::serve — AF_UNIX line-protocol transport for mgc_serve
+// (see docs/serving.md for the protocol and the draining contract).
+//
+// The server owns the listening socket and one thread per accepted
+// connection; all request semantics live in Service. Shutdown is a DRAIN,
+// never an abort: on SIGTERM / SIGINT / a "shutdown" request the server
+// stops accepting, lets every in-flight request finish and flush its
+// reply, joins the connection threads, unlinks the socket path, and
+// returns — exit code 0 with no leaks is the contract the CI serve-smoke
+// job pins under ASan+UBSan.
+//
+// Both the accept loop and the per-connection read loops poll the drain
+// flag on a ~200 ms tick, so a drain is observed promptly even on idle
+// connections.
+
+#include <string>
+
+#include "guard/status.hpp"
+#include "serve/service.hpp"
+
+namespace mgc::serve {
+
+/// Installs SIGTERM / SIGINT handlers that set the process-wide drain
+/// flag (async-signal-safe: the handler only stores a sig_atomic_t).
+void install_drain_handlers();
+
+/// True once a drain signal has been received.
+bool drain_requested();
+
+class Server {
+ public:
+  /// Binds nothing yet; `socket_path` is unlinked and re-bound by run().
+  Server(Service& service, std::string socket_path);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and serves until a drain is requested (signal or
+  /// "shutdown" request), then drains and cleans up the socket file.
+  /// Returns kOk after a clean drain; socket setup failures are
+  /// kInvalidInput (bad path) or kInternal (syscall failure).
+  guard::Status run();
+
+ private:
+  void handle_connection(int fd);
+
+  Service& service_;
+  std::string path_;
+};
+
+}  // namespace mgc::serve

@@ -1,0 +1,649 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "cluster/clustering.hpp"
+#include "graph/spec.hpp"
+#include "guard/env.hpp"
+#include "guard/io.hpp"
+#include "guard/memory.hpp"
+#include "partition/kway.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/spectral.hpp"
+#include "prof/prof.hpp"
+#include "serve/wire.hpp"
+#include "trace/trace.hpp"
+
+namespace mgc::serve {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+guard::Result<Mapping> parse_mapping(const std::string& s) {
+  if (s == "hec") return Mapping::kHec;
+  if (s == "hec2") return Mapping::kHec2;
+  if (s == "hec3") return Mapping::kHec3;
+  if (s == "hem") return Mapping::kHem;
+  if (s == "mtmetis") return Mapping::kMtMetis;
+  if (s == "gosh") return Mapping::kGosh;
+  if (s == "goshhec") return Mapping::kGoshHec;
+  if (s == "mis2") return Mapping::kMis2;
+  if (s == "suitor") return Mapping::kSuitor;
+  if (s == "bsuitor") return Mapping::kBSuitor;
+  if (s == "hec-serial") return Mapping::kHecSerial;
+  if (s == "hem-serial") return Mapping::kHemSerial;
+  return guard::Status::invalid_input("unknown mapping: " + s);
+}
+
+guard::Result<Construction> parse_construction(const std::string& s) {
+  if (s == "sort") return Construction::kSort;
+  if (s == "hash") return Construction::kHash;
+  if (s == "heap") return Construction::kHeap;
+  if (s == "hybrid") return Construction::kHybrid;
+  if (s == "spgemm") return Construction::kSpgemm;
+  if (s == "globalsort") return Construction::kGlobalSort;
+  return guard::Status::invalid_input("unknown construction: " + s);
+}
+
+/// The exact byte stream `mgc --part-out` writes ("%d\n" per vertex), so
+/// part_crc in a reply equals the CRC of the one-shot CLI's output file —
+/// the bitwise-identity contract the serve tests pin down.
+std::string assignment_body(const std::vector<int>& a) {
+  std::string body;
+  body.reserve(a.size() * 4);
+  for (const int x : a) {
+    body += std::to_string(x);
+    body += '\n';
+  }
+  return body;
+}
+
+constexpr const char* kOps[] = {"coarsen", "partition", "cluster",
+                                "fiedler", "stats",     "evict",
+                                "shutdown"};
+
+bool known_op(const std::string& op) {
+  for (const char* o : kOps) {
+    if (op == o) return true;
+  }
+  return false;
+}
+
+bool heavy_op(const std::string& op) {
+  return op == "coarsen" || op == "partition" || op == "cluster" ||
+         op == "fiedler";
+}
+
+/// Keys accepted per op; anything else in a request is rejected with
+/// kInvalidInput (strict validation keeps a typo'd "sed" from silently
+/// running with the default seed — the same loud-failure policy as
+/// guard::env_int).
+bool key_allowed(const std::string& op, const std::string& key) {
+  static constexpr const char* kCommon[] = {"op", "id"};
+  static constexpr const char* kHierarchy[] = {
+      "graph",     "seed",        "mapping",   "construct",
+      "cutoff",    "fallbacks",   "deadline_ms", "mem_budget"};
+  for (const char* k : kCommon) {
+    if (key == k) return true;
+  }
+  if (heavy_op(op)) {
+    for (const char* k : kHierarchy) {
+      if (key == k) return true;
+    }
+    if (op == "partition") {
+      if (key == "k" || key == "refine" || key == "part_out") return true;
+    }
+    if (op == "cluster") {
+      if (key == "resolution" || key == "part_out") return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Parsed request
+// ---------------------------------------------------------------------------
+
+struct Service::Request {
+  std::string op;
+  std::string id_fragment = "null";  ///< raw JSON to echo back as "id"
+  std::string graph;
+  std::uint64_t seed = 42;
+  CoarsenOptions copts;
+  double deadline_ms = 0.0;
+  std::size_t mem_budget_bytes = 0;
+  int k = 2;
+  std::string refine = "fm";
+  double resolution = 1.0;
+  std::string part_out;
+};
+
+// ---------------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------------
+
+class Service::AdmissionSlot {
+ public:
+  AdmissionSlot(Service& s, const guard::Ctx& ctx) : s_(s) {
+    std::unique_lock<std::mutex> lock(s_.adm_mutex_);
+    if (s_.active_ < s_.opts_.workers) {
+      ++s_.active_;
+      admitted_ = true;
+      return;
+    }
+    if (s_.waiting_ >= s_.opts_.queue_limit) {
+      s_.overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return;  // typed overload rejection, not an unbounded queue
+    }
+    ++s_.waiting_;
+    // Wake periodically so a queued request whose deadline passes leaves
+    // the queue with a typed DeadlineExceeded instead of running anyway.
+    while (s_.active_ >= s_.opts_.workers && !ctx.should_stop()) {
+      s_.adm_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+    --s_.waiting_;
+    if (s_.active_ >= s_.opts_.workers) return;  // stopped while queued
+    ++s_.active_;
+    admitted_ = true;
+  }
+
+  ~AdmissionSlot() {
+    if (!admitted_) return;
+    {
+      std::lock_guard<std::mutex> lock(s_.adm_mutex_);
+      --s_.active_;
+    }
+    s_.adm_cv_.notify_one();
+  }
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  Service& s_;
+  bool admitted_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+guard::Result<ServiceOptions> ServiceOptions::from_env() {
+  ServiceOptions o;
+  const auto workers = guard::env_int("MGC_SERVE_WORKERS", o.workers);
+  if (!workers.ok()) return workers.status();
+  o.workers = std::max(1, static_cast<int>(workers.value()));
+  const auto queue = guard::env_int("MGC_SERVE_QUEUE", o.queue_limit);
+  if (!queue.ok()) return queue.status();
+  o.queue_limit = std::max(0, static_cast<int>(queue.value()));
+  const auto budget =
+      guard::env_bytes("MGC_SERVE_CACHE_BUDGET", o.cache_budget_bytes);
+  if (!budget.ok()) return budget.status();
+  o.cache_budget_bytes = budget.value();
+  const auto max_req = guard::env_bytes("MGC_SERVE_MAX_REQUEST",
+                                        o.max_request_bytes);
+  if (!max_req.ok()) return max_req.status();
+  o.max_request_bytes = std::max<std::size_t>(256, max_req.value());
+  o.backend = guard::env_str("MGC_SERVE_BACKEND", o.backend);
+  if (o.backend != "threads" && o.backend != "serial") {
+    return guard::Status::invalid_input("MGC_SERVE_BACKEND must be "
+                                        "\"threads\" or \"serial\", got \"" +
+                                        o.backend + "\"");
+  }
+  return o;
+}
+
+Service::Service(const ServiceOptions& opts)
+    : opts_(opts),
+      exec_(opts.backend == "serial" ? Exec::serial() : Exec::threads()),
+      cache_(opts.cache_budget_bytes) {}
+
+std::string Service::handle_line(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  auto error_reply = [](const std::string& id_fragment, const std::string& op,
+                        const guard::Status& st) {
+    std::string out = "{\"id\":" + id_fragment + ",\"op\":\"" +
+                      json_escape(op) + "\",\"ok\":false,\"code\":\"";
+    out += guard::code_name(st.code);
+    out += "\",\"exit_code\":";
+    out += std::to_string(guard::exit_code(st.code));
+    out += ",\"message\":\"";
+    out += json_escape(st.message);
+    out += "\"}";
+    return out;
+  };
+
+  if (line.size() > opts_.max_request_bytes) {
+    return error_reply("null", "",
+                       guard::Status::invalid_input(
+                           "request exceeds " +
+                           std::to_string(opts_.max_request_bytes) +
+                           " bytes"));
+  }
+
+  guard::Result<Json> parsed = Json::parse(line);
+  if (!parsed.ok()) {
+    return error_reply("null", "", parsed.status());
+  }
+  const Json& root = parsed.value();
+  if (!root.is_object()) {
+    return error_reply("null", "",
+                       guard::Status::invalid_input(
+                           "request must be a JSON object"));
+  }
+
+  // Echo "id" back verbatim (string or integer) on every reply.
+  std::string id_fragment = "null";
+  if (const Json* id = root.get("id")) {
+    if (id->is_string()) {
+      guard::Result<std::string> s = id->as_string();
+      id_fragment = "\"" + json_escape(s.value()) + "\"";
+    } else if (id->is_number()) {
+      id_fragment = id->number_token();
+    } else {
+      return error_reply("null", "",
+                         guard::Status::invalid_input(
+                             "\"id\" must be a string or number"));
+    }
+  }
+
+  const Json* op_field = root.get("op");
+  if (op_field == nullptr || !op_field->is_string()) {
+    return error_reply(id_fragment, "",
+                       guard::Status::invalid_input(
+                           "request needs a string \"op\""));
+  }
+  const std::string op = op_field->as_string().value();
+  if (!known_op(op)) {
+    return error_reply(id_fragment, op,
+                       guard::Status::invalid_input("unknown op: " + op));
+  }
+  for (const std::string& key : root.keys()) {
+    if (!key_allowed(op, key)) {
+      return error_reply(id_fragment, op,
+                         guard::Status::invalid_input(
+                             "unknown key \"" + key + "\" for op " + op));
+    }
+  }
+
+  Request req;
+  req.op = op;
+  req.id_fragment = id_fragment;
+
+  // Field extraction. Every accessor failure is an InvalidInput reply.
+  try {
+    if (const Json* v = root.get("seed")) req.seed = v->as_u64().value();
+    req.copts.seed = req.seed;
+    if (const Json* v = root.get("mapping")) {
+      req.copts.mapping = parse_mapping(v->as_string().value()).value();
+    }
+    if (const Json* v = root.get("construct")) {
+      req.copts.construct.method =
+          parse_construction(v->as_string().value()).value();
+    }
+    if (const Json* v = root.get("cutoff")) {
+      const long long c = v->as_i64().value();
+      if (c < 1 || c > (1LL << 31) - 1) {
+        throw guard::Error(guard::Status::invalid_input(
+            "cutoff out of range: " + std::to_string(c)));
+      }
+      req.copts.cutoff = static_cast<vid_t>(c);
+    }
+    if (const Json* v = root.get("fallbacks")) {
+      if (!v->is_array()) {
+        throw guard::Error(guard::Status::invalid_input(
+            "\"fallbacks\" must be an array of mapping names"));
+      }
+      for (const Json& e : v->elements()) {
+        req.copts.fallback_mappings.push_back(
+            parse_mapping(e.as_string().value()).value());
+      }
+    }
+    req.deadline_ms = opts_.default_deadline_ms;
+    if (const Json* v = root.get("deadline_ms")) {
+      req.deadline_ms = v->as_double().value();
+      if (req.deadline_ms < 0) {
+        throw guard::Error(
+            guard::Status::invalid_input("deadline_ms must be >= 0"));
+      }
+    }
+    if (const Json* v = root.get("mem_budget")) {
+      if (v->is_string()) {
+        req.mem_budget_bytes =
+            guard::parse_bytes(v->as_string().value()).value();
+      } else {
+        req.mem_budget_bytes =
+            static_cast<std::size_t>(v->as_u64().value());
+      }
+    }
+    if (const Json* v = root.get("k")) {
+      const long long k = v->as_i64().value();
+      if (k < 1 || k > 1000000) {
+        throw guard::Error(guard::Status::invalid_input(
+            "k out of range: " + std::to_string(k)));
+      }
+      req.k = static_cast<int>(k);
+    }
+    if (const Json* v = root.get("refine")) {
+      req.refine = v->as_string().value();
+      if (req.refine != "fm" && req.refine != "spectral") {
+        throw guard::Error(guard::Status::invalid_input(
+            "refine must be \"fm\" or \"spectral\""));
+      }
+      if (req.refine == "spectral" && root.get("k") != nullptr &&
+          req.k != 2) {
+        throw guard::Error(guard::Status::invalid_input(
+            "spectral refinement is 2-way only"));
+      }
+    }
+    if (const Json* v = root.get("resolution")) {
+      req.resolution = v->as_double().value();
+      if (!(req.resolution > 0)) {
+        throw guard::Error(
+            guard::Status::invalid_input("resolution must be > 0"));
+      }
+    }
+    if (const Json* v = root.get("part_out")) {
+      req.part_out = v->as_string().value();
+    }
+    if (heavy_op(op)) {
+      const Json* g = root.get("graph");
+      if (g == nullptr) {
+        throw guard::Error(guard::Status::invalid_input(
+            "op " + op + " needs a \"graph\" spec"));
+      }
+      req.graph = g->as_string().value();
+    }
+  } catch (const guard::Error& e) {
+    return error_reply(id_fragment, op, e.status());
+  }
+
+  // Dispatch with a full error boundary: no request may kill the daemon.
+  try {
+    return dispatch(req);
+  } catch (const guard::Error& e) {
+    return error_reply(id_fragment, op, e.status());
+  } catch (const std::exception& e) {
+    return error_reply(id_fragment, op, guard::Status::internal(e.what()));
+  } catch (...) {
+    return error_reply(id_fragment, op,
+                       guard::Status::internal("unknown exception"));
+  }
+}
+
+std::string Service::dispatch(const Request& req) {
+  if (req.op == "stats") return handle_stats(req);
+  if (req.op == "evict") return handle_evict(req);
+  if (req.op == "shutdown") return handle_shutdown(req);
+  return handle_hierarchy_op(req);
+}
+
+std::string Service::handle_stats(const Request& req) {
+  const HierarchyCache::Stats cs = cache_.stats();
+  int active = 0;
+  int waiting = 0;
+  {
+    std::lock_guard<std::mutex> lock(adm_mutex_);
+    active = active_;
+    waiting = waiting_;
+  }
+  std::string out = "{\"id\":" + req.id_fragment +
+                    ",\"op\":\"stats\",\"ok\":true";
+  out += ",\"cache\":{";
+  out += "\"entries\":" + std::to_string(cs.entries);
+  out += ",\"resident_bytes\":" + std::to_string(cs.resident_bytes);
+  out += ",\"budget_bytes\":" + std::to_string(cs.budget_bytes);
+  out += ",\"hits\":" + std::to_string(cs.hits);
+  out += ",\"misses\":" + std::to_string(cs.misses);
+  out += ",\"coalesced\":" + std::to_string(cs.coalesced);
+  out += ",\"evictions\":" + std::to_string(cs.evictions);
+  out += ",\"insert_refused\":" + std::to_string(cs.insert_refused);
+  out += "}";
+  out += ",\"requests\":" +
+         std::to_string(requests_.load(std::memory_order_relaxed));
+  out += ",\"overload_rejected\":" +
+         std::to_string(overload_rejected_.load(std::memory_order_relaxed));
+  out += ",\"active\":" + std::to_string(active);
+  out += ",\"waiting\":" + std::to_string(waiting);
+  out += ",\"workers\":" + std::to_string(opts_.workers);
+  out += ",\"queue_limit\":" + std::to_string(opts_.queue_limit);
+  out += ",\"backend\":\"" + json_escape(opts_.backend) + "\"";
+  out += ",\"mem_charged\":" +
+         std::to_string(guard::MemoryBudget::process().charged());
+  out += ",\"mem_peak\":" +
+         std::to_string(guard::MemoryBudget::process().peak());
+  out += "}";
+  return out;
+}
+
+std::string Service::handle_evict(const Request& req) {
+  const std::size_t dropped = cache_.evict_all();
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    crc_memo_.clear();
+  }
+  if (trace::enabled()) {
+    trace::instant("serve.evict",
+                   std::to_string(dropped) + " entries dropped");
+  }
+  return "{\"id\":" + req.id_fragment +
+         ",\"op\":\"evict\",\"ok\":true,\"dropped\":" +
+         std::to_string(dropped) + "}";
+}
+
+std::string Service::handle_shutdown(const Request& req) {
+  shutdown_.store(true, std::memory_order_release);
+  if (trace::enabled()) trace::instant("serve.shutdown", "drain requested");
+  return "{\"id\":" + req.id_fragment +
+         ",\"op\":\"shutdown\",\"ok\":true,\"draining\":true}";
+}
+
+std::string Service::handle_hierarchy_op(const Request& req) {
+  // Per-request guard context: the deadline covers queueing + execution
+  // (a client that asked for 50 ms does not care which side of the
+  // admission queue the time went).
+  guard::Ctx ctx;
+  if (req.deadline_ms > 0) {
+    ctx.deadline = guard::Deadline::after_ms(req.deadline_ms);
+  }
+  ctx.mem_budget_bytes = req.mem_budget_bytes;
+
+  AdmissionSlot slot(*this, ctx);
+  if (!slot.admitted()) {
+    if (ctx.should_stop()) throw guard::Error(ctx.stop_status());
+    throw guard::Error(guard::Status::resource_exhausted(
+        "admission queue full (" + std::to_string(opts_.workers) +
+        " active, " + std::to_string(opts_.queue_limit) +
+        " queued); retry later"));
+  }
+  ctx.throw_if_stopped();
+
+  guard::ScopedCtx scoped_ctx(ctx);
+  prof::Region prof_req("serve.request");
+  prof::Region prof_op(req.op);
+  if (prof::enabled()) prof::add("serve.req." + req.op, 1);
+  const std::string id_text =
+      req.id_fragment == "null" ? std::string("-") : req.id_fragment;
+  if (trace::enabled()) {
+    trace::instant("serve.req:" + id_text, req.op + " " + req.graph,
+                   "serve");
+  }
+
+  // Resolve the graph half of the cache key. The spec->CRC memo makes
+  // repeat requests hit the cache without reloading the graph; the
+  // builder reloads only when the entry was evicted in between.
+  const std::string memo_key =
+      req.graph + '\0' + std::to_string(req.seed);
+  std::uint32_t gcrc = 0;
+  bool have_crc = false;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    auto it = crc_memo_.find(memo_key);
+    if (it != crc_memo_.end()) {
+      gcrc = it->second;
+      have_crc = true;
+    }
+  }
+
+  auto load = [&]() -> Csr {
+    prof::Region prof_load("load");
+    try {
+      return load_graph_spec(req.graph, req.seed);
+    } catch (const guard::Error&) {
+      throw;
+    } catch (const std::exception& e) {
+      // Bad path / malformed .mtx / bad generator spec: the graph is the
+      // request's input, so every load failure is InvalidInput.
+      throw guard::Error(guard::Status::invalid_input(
+          "cannot load graph \"" + req.graph + "\": " + e.what()));
+    }
+  };
+
+  std::shared_ptr<const Csr> graph;
+  if (!have_crc) {
+    graph = std::make_shared<const Csr>(load());
+    gcrc = graph_crc(*graph);
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    crc_memo_[memo_key] = gcrc;
+  }
+
+  const CacheKey key{gcrc, canonical_coarsen_options(req.copts)};
+  HierarchyCache::Lookup lookup =
+      cache_.get_or_build(key, [&]() -> guard::Result<Hierarchy> {
+        if (graph == nullptr) {
+          graph = std::make_shared<const Csr>(load());
+        }
+        CoarsenReport r =
+            coarsen_multilevel_guarded(exec_, *graph, req.copts, ctx);
+        if (!r.status.usable()) return r.status;
+        if (r.status.ok()) {
+          return guard::Result<Hierarchy>(std::move(r.hierarchy));
+        }
+        return guard::Result<Hierarchy>(r.status, std::move(r.hierarchy));
+      });
+  if (!lookup.status.usable() || lookup.hierarchy == nullptr) {
+    throw guard::Error(lookup.status);
+  }
+  const Hierarchy& h = *lookup.hierarchy;
+  const Csr& fine = h.graphs.front();
+  const bool degraded = lookup.status.code == guard::Code::kDegraded;
+
+  // Common reply prefix.
+  std::string out = "{\"id\":" + req.id_fragment + ",\"op\":\"" + req.op +
+                    "\",\"ok\":true";
+  out += ",\"hit\":";
+  out += lookup.hit ? "true" : "false";
+  out += ",\"coalesced\":";
+  out += lookup.coalesced ? "true" : "false";
+  out += ",\"degraded\":";
+  out += degraded ? "true" : "false";
+  out += ",\"levels\":" + std::to_string(h.num_levels());
+  out += ",\"n\":" + std::to_string(fine.num_vertices());
+
+  auto finish_assignment = [&](const std::vector<int>& part) {
+    const std::string body = assignment_body(part);
+    out += ",\"part_crc\":" + std::to_string(guard::crc32(
+                                  body.data(), body.size()));
+    if (!req.part_out.empty()) {
+      const guard::Status st = guard::atomic_write_file(req.part_out, body);
+      if (!st.ok()) throw guard::Error(st);
+      out += ",\"part_out\":\"" + json_escape(req.part_out) + "\"";
+    }
+  };
+
+  if (req.op == "coarsen") {
+    out += ",\"coarsest_n\":" + std::to_string(h.coarsest().num_vertices());
+    out += ",\"coarsest_m\":" +
+           std::to_string(static_cast<long long>(h.coarsest().num_edges()));
+    out += ",\"hierarchy_bytes\":" + std::to_string(lookup.bytes);
+    out += "}";
+    return out;
+  }
+
+  if (req.op == "partition") {
+    std::vector<int> part;
+    wgt_t cut = 0;
+    if (req.k == 2 && req.refine == "spectral") {
+      // Mirrors guarded_spectral_bisect's degradation policy over the
+      // cached hierarchy: a non-converged Fiedler solve falls back to
+      // GGG+FM rather than bisecting a junk vector.
+      FiedlerResult fr =
+          multilevel_fiedler_on_hierarchy(exec_, h, req.seed, {});
+      if (fr.converged) {
+        part = bisect_by_vector(fine, fr.vector);
+      } else {
+        if (prof::enabled()) {
+          prof::add("guard.degraded", 1);
+          prof::add("guard.fallback.fm", 1);
+        }
+        const std::size_t pos = out.find("\"degraded\":false");
+        if (pos != std::string::npos) {
+          out.replace(pos, std::string("\"degraded\":false").size(),
+                      "\"degraded\":true");
+        }
+        part = multilevel_fm_bisect_on_hierarchy(h, req.seed, {}, {}).part;
+      }
+      cut = edge_cut(fine, part);
+    } else if (req.k == 2) {
+      PartitionResult pr =
+          multilevel_fm_bisect_on_hierarchy(h, req.seed, {}, {});
+      part = std::move(pr.part);
+      cut = pr.cut;
+    } else {
+      KwayOptions kopts;
+      kopts.k = req.k;
+      kopts.coarsen = req.copts;
+      KwayResult kr = multilevel_kway_on_hierarchy(exec_, h, kopts);
+      part = std::move(kr.part);
+      cut = kr.cut;
+    }
+    out += ",\"k\":" + std::to_string(req.k);
+    out += ",\"cut\":" + std::to_string(static_cast<long long>(cut));
+    out += ",\"imbalance\":" +
+           fmt_double(req.k == 2 ? imbalance(fine, part)
+                                 : kway_imbalance(fine, part, req.k));
+    finish_assignment(part);
+    out += "}";
+    return out;
+  }
+
+  if (req.op == "cluster") {
+    ClusterOptions clopts;
+    clopts.coarsen = req.copts;
+    clopts.resolution = req.resolution;
+    const ClusterResult cr = multilevel_cluster_on_hierarchy(exec_, h, clopts);
+    out += ",\"clusters\":" + std::to_string(cr.num_clusters);
+    out += ",\"modularity\":" + fmt_double(cr.modularity);
+    finish_assignment(cr.cluster);
+    out += "}";
+    return out;
+  }
+
+  // fiedler
+  const FiedlerResult fr =
+      multilevel_fiedler_on_hierarchy(exec_, h, req.seed, {});
+  double fmin = 1e300, fmax = -1e300;
+  for (const double x : fr.vector) {
+    fmin = std::min(fmin, x);
+    fmax = std::max(fmax, x);
+  }
+  out += ",\"iterations\":" + std::to_string(fr.total_iterations);
+  out += ",\"converged\":";
+  out += fr.converged ? "true" : "false";
+  out += ",\"range\":[" + fmt_double(fmin) + "," + fmt_double(fmax) + "]";
+  out += "}";
+  return out;
+}
+
+}  // namespace mgc::serve

@@ -1,0 +1,124 @@
+#pragma once
+// mgc::serve — request dispatch for the mgc_serve daemon
+// (see docs/serving.md for the protocol and docs/robustness.md for the
+// failure taxonomy the error replies map onto).
+//
+// Service is transport-agnostic: it turns one request line into one
+// response line. The socket server (serve/server.hpp) and the in-process
+// load generator (bench/bench_serve.cpp) both drive this same entry
+// point, so the bench exercises exactly the code the daemon runs.
+//
+// Responsibilities:
+//   * strict request validation — unknown ops, unknown keys, and
+//     wrong-typed fields are kInvalidInput replies, never crashes;
+//   * bounded admission — at most `workers` expensive requests execute
+//     concurrently, at most `queue_limit` more wait; beyond that the
+//     request is REJECTED with kResourceExhausted (typed overload
+//     shedding, not an unbounded queue);
+//   * per-request guard::Ctx — deadline / memory budget from the request,
+//     installed via ScopedCtx so every kernel chunk polls it;
+//   * the HierarchyCache — coarsen once, then partition / cluster /
+//     fiedler requests at any parameters reuse the resident hierarchy
+//     through the *_on_hierarchy entry points;
+//   * observability — each request runs under a prof::Region and emits
+//     begin/end trace instants carrying the request id.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/exec.hpp"
+#include "serve/cache.hpp"
+
+namespace mgc::serve {
+
+struct ServiceOptions {
+  /// Expensive requests executing concurrently. The kernels inside one
+  /// request already use the whole ThreadPool; allowing a few in flight
+  /// overlaps one request's serial phases with another's parallel ones.
+  int workers = 2;
+  /// Admitted-but-waiting requests beyond `workers` before typed overload
+  /// rejection. Control ops (stats / evict / shutdown) bypass admission.
+  int queue_limit = 64;
+  /// Resident-hierarchy budget for the cache (0 = uncapped; the
+  /// process-wide MGC_MEM_BUDGET ledger limit still applies).
+  std::size_t cache_budget_bytes = 0;
+  /// Hard cap on one request line's length in bytes.
+  std::size_t max_request_bytes = 1 << 20;
+  /// Deadline applied to requests that do not carry their own
+  /// "deadline_ms" (0 = none).
+  double default_deadline_ms = 0.0;
+  /// Execution backend for kernels: "threads" (default) or "serial".
+  std::string backend = "threads";
+
+  /// Reads MGC_SERVE_WORKERS / MGC_SERVE_QUEUE / MGC_SERVE_CACHE_BUDGET /
+  /// MGC_SERVE_MAX_REQUEST / MGC_SERVE_BACKEND over the defaults above.
+  /// Garbage values are typed kInvalidInput failures (fail loudly at
+  /// startup, never run with a value the operator did not ask for).
+  static guard::Result<ServiceOptions> from_env();
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceOptions& opts);
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Handles one request line and returns one response line (no trailing
+  /// newline). NEVER throws: every failure — hostile bytes included —
+  /// becomes a typed JSON error reply.
+  std::string handle_line(const std::string& line);
+
+  /// True once a shutdown request has been accepted; the transport stops
+  /// accepting new connections and drains.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  const ServiceOptions& options() const { return opts_; }
+
+  HierarchyCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Requests fully processed (any outcome).
+  std::uint64_t requests_handled() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Request;
+
+  std::string dispatch(const Request& req);
+  std::string handle_hierarchy_op(const Request& req);
+  std::string handle_stats(const Request& req);
+  std::string handle_evict(const Request& req);
+  std::string handle_shutdown(const Request& req);
+
+  /// RAII admission slot; see ServiceOptions::queue_limit.
+  class AdmissionSlot;
+
+  ServiceOptions opts_;
+  Exec exec_;
+  HierarchyCache cache_;
+
+  // spec+seed -> graph CRC memo so cache hits never reload the graph.
+  // The daemon assumes its input files are immutable for its lifetime
+  // (docs/serving.md); `evict` clears this memo along with the cache.
+  std::mutex memo_mutex_;
+  std::unordered_map<std::string, std::uint32_t> crc_memo_;
+
+  // Admission state.
+  std::mutex adm_mutex_;
+  std::condition_variable adm_cv_;
+  int active_ = 0;
+  int waiting_ = 0;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> overload_rejected_{0};
+};
+
+}  // namespace mgc::serve

@@ -1,0 +1,391 @@
+#include "serve/wire.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mgc::serve {
+
+namespace {
+
+guard::Status type_error(const char* want, Json::Type got) {
+  const char* names[] = {"null", "bool", "number", "string", "array",
+                         "object"};
+  return guard::Status::invalid_input(
+      std::string("expected ") + want + ", got " +
+      names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+const Json* Json::get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return &elems_[i];
+  }
+  return nullptr;
+}
+
+guard::Result<bool> Json::as_bool() const {
+  if (type_ != Type::kBool) return type_error("bool", type_);
+  return bool_;
+}
+
+guard::Result<std::string> Json::as_string() const {
+  if (type_ != Type::kString) return type_error("string", type_);
+  return scalar_;
+}
+
+guard::Result<long long> Json::as_i64() const {
+  if (type_ != Type::kNumber) return type_error("number", type_);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end == scalar_.c_str() || *end != '\0') {
+    return guard::Status::invalid_input("not a 64-bit integer: " + scalar_);
+  }
+  return v;
+}
+
+guard::Result<std::uint64_t> Json::as_u64() const {
+  if (type_ != Type::kNumber) return type_error("number", type_);
+  if (!scalar_.empty() && scalar_[0] == '-') {
+    return guard::Status::invalid_input("negative where unsigned expected: " +
+                                        scalar_);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end == scalar_.c_str() || *end != '\0') {
+    return guard::Status::invalid_input("not a u64 integer: " + scalar_);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+guard::Result<double> Json::as_double() const {
+  if (type_ != Type::kNumber) return type_error("number", type_);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(scalar_.c_str(), &end);
+  if (errno == ERANGE || end == scalar_.c_str() || *end != '\0') {
+    return guard::Status::invalid_input("bad number: " + scalar_);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  guard::Result<Json> parse_document() {
+    skip_ws();
+    Json v;
+    guard::Status st = parse_value(v, 0);
+    if (!st.ok()) return st;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing bytes after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  guard::Status fail(const std::string& what) const {
+    return guard::Status::invalid_input(
+        what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  guard::Status parse_value(Json& out, int depth) {
+    // depth counts containers already open, so the root is 0 and value
+    // number kMaxJsonDepth would be the (kMaxJsonDepth+1)-th level.
+    if (depth >= kMaxJsonDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!literal("null")) return fail("bad literal");
+        out.type_ = Json::Type::kNull;
+        return {};
+      case 't':
+        if (!literal("true")) return fail("bad literal");
+        out.type_ = Json::Type::kBool;
+        out.bool_ = true;
+        return {};
+      case 'f':
+        if (!literal("false")) return fail("bad literal");
+        out.type_ = Json::Type::kBool;
+        out.bool_ = false;
+        return {};
+      case '"':
+        out.type_ = Json::Type::kString;
+        return parse_string(out.scalar_);
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  guard::Status parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return fail("bad number");
+    }
+    // Integer part: no leading zeros except "0" itself (strict JSON).
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("bad fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("bad exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    out.type_ = Json::Type::kNumber;
+    out.scalar_.assign(text_.substr(start, pos_ - start));
+    return {};
+  }
+
+  guard::Status parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return {};
+      }
+      if (c < 0x20) return fail("raw control byte in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            guard::Status st = parse_unicode_escape(out);
+            if (!st.ok()) return st;
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+        continue;
+      }
+      out += static_cast<char>(c);
+      ++pos_;
+    }
+  }
+
+  guard::Status parse_unicode_escape(std::string& out) {
+    unsigned cp = 0;
+    if (!read_hex4(cp)) return fail("bad \\u escape");
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: require the low half, combine to a full code point.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return fail("unpaired surrogate");
+      }
+      pos_ += 2;
+      unsigned lo = 0;
+      if (!read_hex4(lo)) return fail("bad \\u escape");
+      if (lo < 0xDC00 || lo > 0xDFFF) return fail("unpaired surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      return fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return {};
+  }
+
+  bool read_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  guard::Status parse_object(Json& out, int depth) {
+    ++pos_;  // '{'
+    out.type_ = Json::Type::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return {};
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      guard::Status st = parse_string(key);
+      if (!st.ok()) return st;
+      for (const std::string& seen : out.keys_) {
+        if (seen == key) return fail("duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      skip_ws();
+      Json value;
+      st = parse_value(value, depth + 1);
+      if (!st.ok()) return st;
+      out.keys_.push_back(std::move(key));
+      out.elems_.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return {};
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  guard::Status parse_array(Json& out, int depth) {
+    ++pos_;  // '['
+    out.type_ = Json::Type::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return {};
+    }
+    while (true) {
+      skip_ws();
+      Json value;
+      guard::Status st = parse_value(value, depth + 1);
+      if (!st.ok()) return st;
+      out.elems_.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return {};
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+guard::Result<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mgc::serve

@@ -1,0 +1,94 @@
+#pragma once
+// mgc::serve — wire-format primitives for the mgc_serve protocol
+// (see docs/serving.md for the grammar).
+//
+// The protocol is line-delimited JSON over a local stream socket: one
+// request object per line in, one response object per line out. This
+// header provides the two halves the service needs:
+//
+//   Json           a small immutable JSON value (null / bool / number /
+//                  string / array / object) with a strict recursive-descent
+//                  parser. Requests come from untrusted local clients, so
+//                  the parser is hostile-input-safe by construction: depth
+//                  is capped, numbers are kept as raw tokens and range-
+//                  checked only when a typed accessor is called, and every
+//                  syntax error returns a typed kInvalidInput Status — no
+//                  input may throw anything else or crash.
+//   json_escape    the string-escaping half of response serialisation.
+//                  Responses are assembled by appending to a std::string
+//                  (the objects are tiny and flat); only strings need help.
+//
+// Numbers: JSON has one number type but the protocol carries both uint64
+// seeds and floating-point resolutions, so Json stores the raw token and
+// re-parses per accessor (as_i64 / as_u64 / as_double). Accessors on a
+// wrong-typed or out-of-range value return a Status, never truncate.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "guard/status.hpp"
+
+namespace mgc::serve {
+
+/// Maximum nesting depth parse() accepts. Requests are flat objects; the
+/// cap only exists so a hostile "[[[[..." cannot exhaust the stack.
+inline constexpr int kMaxJsonDepth = 32;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Strict parse of one JSON document (the whole input must be consumed,
+  /// modulo surrounding whitespace). All failures are kInvalidInput with a
+  /// byte offset in the message.
+  static guard::Result<Json> parse(std::string_view text);
+
+  Json() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Object member by key, or nullptr when absent / not an object.
+  /// Duplicate keys are a parse error (a hostile client should not be able
+  /// to smuggle one value past a validator that saw the other).
+  const Json* get(std::string_view key) const;
+
+  /// Object keys in insertion order (empty unless is_object()).
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  /// Array elements (empty unless is_array()).
+  const std::vector<Json>& elements() const { return elems_; }
+
+  // Typed accessors: Status on type mismatch / range overflow.
+  guard::Result<bool> as_bool() const;
+  guard::Result<std::string> as_string() const;
+  guard::Result<long long> as_i64() const;
+  guard::Result<std::uint64_t> as_u64() const;
+  guard::Result<double> as_double() const;
+
+  /// The raw number token ("42", "-1.5e3"); empty unless is_number().
+  const std::string& number_token() const { return scalar_; }
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string scalar_;  ///< string payload or raw number token
+  std::vector<std::string> keys_;
+  std::vector<Json> elems_;  ///< array elements, or object values (by key index)
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (adds no quotes).
+/// Control bytes become \u00XX; invalid UTF-8 passes through byte-wise
+/// (the consumer is a local test/tool, not a browser).
+std::string json_escape(std::string_view s);
+
+}  // namespace mgc::serve

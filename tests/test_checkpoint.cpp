@@ -154,6 +154,7 @@ TEST(Checkpoint, EveryCorruptionIsCaughtByChecksumOrBounds) {
   ASSERT_GT(bytes.size(), 100u);
 
   const auto write_variant = [&](const std::string& b) {
+    // mgc-lint: ofstream-ok -- deliberately writes corrupt bytes in place
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(b.data(), static_cast<std::streamsize>(b.size()));
   };

@@ -1,0 +1,461 @@
+// Tests for the mgc_serve subsystem (src/serve/): the wire parser, the
+// hierarchy cache (keying, single-flight, LRU + budget), and the Service
+// request path — including the two contracts the daemon stakes its
+// correctness on:
+//   1. coarsen-once: repeat analyses over one graph+options build the
+//      hierarchy exactly once (asserted via cache stats AND prof counters);
+//   2. bitwise identity: a served partition / clustering equals the
+//      one-shot driver's output byte for byte (serial backend, the
+//      determinism contract from docs/determinism.md).
+// The transport (serve/server.cpp) is exercised end-to-end by the CI
+// serve-smoke job; these tests drive Service::handle_line directly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "graph/spec.hpp"
+#include "guard/io.hpp"
+#include "guard/memory.hpp"
+#include "multilevel/coarsener.hpp"
+#include "partition/kway.hpp"
+#include "partition/partitioner.hpp"
+#include "prof/prof.hpp"
+#include "serve/cache.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+namespace mgc::serve {
+namespace {
+
+// --- helpers ---------------------------------------------------------------
+
+Json parse_reply(const std::string& line) {
+  guard::Result<Json> r = Json::parse(line);
+  EXPECT_TRUE(r.ok()) << "unparseable reply: " << line;
+  if (!r.ok()) return Json();
+  EXPECT_TRUE(r.value().is_object()) << line;
+  return std::move(r).value();
+}
+
+bool reply_ok(const Json& reply) {
+  const Json* ok = reply.get("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool().value();
+}
+
+std::string reply_code(const Json& reply) {
+  const Json* code = reply.get("code");
+  return code != nullptr && code->is_string() ? code->as_string().value()
+                                              : "";
+}
+
+std::uint32_t crc_of_part(const std::vector<int>& part) {
+  std::string body;
+  for (const int x : part) {
+    body += std::to_string(x);
+    body += '\n';
+  }
+  return guard::crc32(body.data(), body.size());
+}
+
+ServiceOptions serial_options() {
+  ServiceOptions opts;
+  opts.backend = "serial";
+  opts.workers = 4;
+  return opts;
+}
+
+// --- wire parser -----------------------------------------------------------
+
+TEST(ServeWire, ParsesScalarsStringsAndNesting) {
+  const auto r = Json::parse(
+      R"({"a":1,"b":-2.5e3,"c":"x\n\u0041\uD83D\uDE00","d":[true,null],"e":{}})");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const Json& j = r.value();
+  EXPECT_EQ(j.get("a")->as_i64().value(), 1);
+  EXPECT_EQ(j.get("a")->as_u64().value(), 1u);
+  EXPECT_DOUBLE_EQ(j.get("b")->as_double().value(), -2500.0);
+  EXPECT_EQ(j.get("c")->as_string().value(), "x\nA\xF0\x9F\x98\x80");
+  EXPECT_EQ(j.get("d")->elements().size(), 2u);
+  EXPECT_TRUE(j.get("e")->is_object());
+}
+
+TEST(ServeWire, RejectsHostileDocuments) {
+  const char* bad[] = {
+      "",                              // empty
+      "{",                             // truncated
+      "{\"a\":1,\"a\":2}",             // duplicate key
+      "{\"a\":1} extra",               // trailing garbage
+      "{\"a\":01}",                    // leading zero
+      "{\"a\":+1}",                    // plus sign
+      "{\"a\":.5}",                    // bare fraction
+      "{\"a\":1.}",                    // empty fraction
+      "{\"a\":1e}",                    // empty exponent
+      "{\"a\":\"\x01\"}",              // raw control byte in string
+      "{\"a\":\"\\ud800\"}",           // lone high surrogate
+      "{\"a\":\"\\x41\"}",             // bad escape
+      "{\"a\":nulll}",                 // bad literal
+      "[1,2,]",                        // trailing comma
+      "{\"a\":1,}",                    // trailing comma in object
+  };
+  for (const char* doc : bad) {
+    const auto r = Json::parse(doc);
+    EXPECT_FALSE(r.ok()) << "accepted: " << doc;
+    EXPECT_EQ(r.status().code, guard::Code::kInvalidInput);
+  }
+  // Depth cap: kMaxJsonDepth+1 nested arrays must be rejected, not crash.
+  std::string deep(kMaxJsonDepth + 1, '[');
+  deep += std::string(kMaxJsonDepth + 1, ']');
+  EXPECT_FALSE(Json::parse(deep).ok());
+}
+
+TEST(ServeWire, NumberAccessorsRangeCheck) {
+  const auto r = Json::parse(
+      R"({"u":18446744073709551615,"neg":-1,"big":1e100,"frac":1.5})");
+  ASSERT_TRUE(r.ok());
+  const Json& j = r.value();
+  EXPECT_EQ(j.get("u")->as_u64().value(), 18446744073709551615ull);
+  EXPECT_FALSE(j.get("u")->as_i64().ok());    // > INT64_MAX
+  EXPECT_FALSE(j.get("neg")->as_u64().ok());  // negative
+  EXPECT_FALSE(j.get("big")->as_i64().ok());  // not integral
+  EXPECT_FALSE(j.get("frac")->as_u64().ok());
+  EXPECT_DOUBLE_EQ(j.get("frac")->as_double().value(), 1.5);
+}
+
+TEST(ServeWire, EscapeRoundTripsThroughParser) {
+  const std::string hostile = "quote\" slash\\ ctrl\x01\ttab\nnl\x7f";
+  const std::string doc = "{\"s\":\"" + json_escape(hostile) + "\"}";
+  const auto r = Json::parse(doc);
+  ASSERT_TRUE(r.ok()) << doc;
+  EXPECT_EQ(r.value().get("s")->as_string().value(), hostile);
+}
+
+// --- cache keying ----------------------------------------------------------
+
+TEST(ServeCacheKey, CanonicalFormIsFieldOrderIndependent) {
+  // The key comes from the PARSED struct, so any two requests that decode
+  // to the same options share it — by construction, not by string luck.
+  CoarsenOptions a;
+  a.seed = 7;
+  a.mapping = Mapping::kHem;
+  a.cutoff = 80;
+  CoarsenOptions b = a;
+  EXPECT_EQ(canonical_coarsen_options(a), canonical_coarsen_options(b));
+
+  b.seed = 8;  // any participating field changes the key
+  EXPECT_NE(canonical_coarsen_options(a), canonical_coarsen_options(b));
+  b = a;
+  b.cutoff = 81;
+  EXPECT_NE(canonical_coarsen_options(a), canonical_coarsen_options(b));
+
+  // Non-semantic fields are excluded: a checkpoint dir or build budget
+  // cannot change what a completed hierarchy contains.
+  b = a;
+  b.checkpoint_dir = "/tmp/somewhere";
+  b.memory_budget_bytes = 123456;
+  EXPECT_EQ(canonical_coarsen_options(a), canonical_coarsen_options(b));
+}
+
+TEST(ServeCacheKey, RequestKeyOrderAndSpellingIrrelevant) {
+  Service service(serial_options());
+  const Json first = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:20,20","seed":5,"cutoff":40})"));
+  ASSERT_TRUE(reply_ok(first));
+  EXPECT_FALSE(first.get("hit")->as_bool().value());
+
+  // Same request, different key order: a hit.
+  const Json second = parse_reply(service.handle_line(
+      R"({"cutoff":40,"seed":5,"graph":"gen:grid2d:20,20","op":"coarsen"})"));
+  ASSERT_TRUE(reply_ok(second));
+  EXPECT_TRUE(second.get("hit")->as_bool().value());
+
+  // Different seed: a miss (different coarsening work).
+  const Json third = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:20,20","seed":6,"cutoff":40})"));
+  ASSERT_TRUE(reply_ok(third));
+  EXPECT_FALSE(third.get("hit")->as_bool().value());
+}
+
+// --- LRU + budget ----------------------------------------------------------
+
+TEST(ServeCache, LruEvictionUnderTightBudget) {
+  const Exec exec = Exec::serial();
+  const Csr g = load_graph_spec("gen:grid2d:24,24");
+  auto build = [&](std::uint64_t seed) {
+    return [&, seed]() -> guard::Result<Hierarchy> {
+      CoarsenOptions o;
+      o.seed = seed;
+      return coarsen_multilevel(exec, g, o);
+    };
+  };
+  auto key = [&](std::uint64_t seed) {
+    CoarsenOptions o;
+    o.seed = seed;
+    return CacheKey{graph_crc(g), canonical_coarsen_options(o)};
+  };
+
+  const std::size_t ledger_before = guard::MemoryBudget::process().charged();
+  std::size_t b1 = 0;
+  std::size_t b2 = 0;
+  {
+    // Probe pass: measure the two resident footprints uncapped.
+    HierarchyCache probe(0);
+    b1 = probe.get_or_build(key(1), build(1)).bytes;
+    b2 = probe.get_or_build(key(2), build(2)).bytes;
+    ASSERT_GT(b1, 0u);
+  }
+
+  // Budget fits exactly entries 1 and 2; inserting 3 must evict the LRU.
+  HierarchyCache cache(b1 + b2);
+  ASSERT_TRUE(cache.get_or_build(key(1), build(1)).status.ok());
+  ASSERT_TRUE(cache.get_or_build(key(2), build(2)).status.ok());
+  ASSERT_TRUE(cache.get_or_build(key(1), build(1)).hit);  // 1 is now MRU
+  ASSERT_TRUE(cache.get_or_build(key(3), build(3)).status.ok());
+
+  HierarchyCache::Stats s = cache.stats();
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_LE(s.resident_bytes, b1 + b2);
+  // Key 2 was least-recently-used, so it is the one that went.
+  EXPECT_FALSE(cache.get_or_build(key(2), build(2)).hit);
+
+  cache.evict_all();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // Every ledger charge taken by cached hierarchies has been released.
+  EXPECT_EQ(guard::MemoryBudget::process().charged(), ledger_before);
+}
+
+TEST(ServeCache, OversizedHierarchyRefusedWithTypedError) {
+  const Exec exec = Exec::serial();
+  const Csr g = load_graph_spec("gen:grid2d:24,24");
+  HierarchyCache cache(64);  // nothing real fits in 64 bytes
+  const auto lookup = cache.get_or_build(
+      CacheKey{graph_crc(g), "opts"}, [&]() -> guard::Result<Hierarchy> {
+        return coarsen_multilevel(exec, g, {});
+      });
+  EXPECT_EQ(lookup.hierarchy, nullptr);
+  EXPECT_EQ(lookup.status.code, guard::Code::kResourceExhausted);
+  EXPECT_EQ(cache.stats().insert_refused, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// --- service: deadlines, overload, robustness ------------------------------
+
+TEST(ServeService, ExpiredDeadlineIsTypedReplyAndDaemonSurvives) {
+  Service service(serial_options());
+  // 1e-7 ms is expired before the context is even polled: deterministic
+  // DeadlineExceeded, no matter how fast the machine is.
+  const Json dead = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:30,30","deadline_ms":1e-7})"));
+  EXPECT_FALSE(reply_ok(dead));
+  EXPECT_EQ(reply_code(dead), "DeadlineExceeded");
+  EXPECT_EQ(dead.get("exit_code")->as_i64().value(), 5);
+
+  // The daemon is unharmed: the same request without the deadline works.
+  const Json alive = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:30,30"})"));
+  EXPECT_TRUE(reply_ok(alive));
+}
+
+TEST(ServeService, OverloadRejectionIsTypedNotQueuedForever) {
+  ServiceOptions opts = serial_options();
+  opts.workers = 1;
+  opts.queue_limit = 0;  // no waiting: the second request must bounce
+  Service service(opts);
+
+  // Occupy the single worker slot with a cold build, then poll stats
+  // until it is observably active.
+  std::thread busy([&] {
+    service.handle_line(
+        R"({"op":"coarsen","graph":"gen:grid2d:420,420","id":"slow"})");
+  });
+  bool observed_active = false;
+  for (int i = 0; i < 400 && !observed_active; ++i) {
+    const Json stats =
+        parse_reply(service.handle_line(R"({"op":"stats"})"));
+    observed_active = stats.get("active")->as_i64().value() >= 1;
+    if (!observed_active) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  if (observed_active) {
+    const Json reject = parse_reply(service.handle_line(
+        R"({"op":"coarsen","graph":"gen:grid2d:21,21"})"));
+    EXPECT_FALSE(reply_ok(reject));
+    EXPECT_EQ(reply_code(reject), "ResourceExhausted");
+    EXPECT_EQ(reject.get("exit_code")->as_i64().value(), 4);
+  }
+  // (If the build outran the poll loop we only lose coverage, not
+  // correctness — but 176k vertices vs a 5 ms poll makes that unlikely.)
+  busy.join();
+}
+
+TEST(ServeService, MalformedCorpusNeverKillsTheService) {
+  Service service(serial_options());
+  const std::string path =
+      std::string(MGC_TEST_DATA_DIR) + "/bad_requests/corpus.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::string line;
+  int corpus_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++corpus_lines;
+    const Json reply = parse_reply(service.handle_line(line));
+    EXPECT_FALSE(reply_ok(reply)) << "corpus line accepted: " << line;
+    EXPECT_NE(reply_code(reply), "") << line;
+    EXPECT_FALSE(service.shutdown_requested()) << line;
+  }
+  EXPECT_GT(corpus_lines, 50);
+
+  // Programmatic hostiles the text corpus cannot carry: raw control and
+  // non-UTF-8 bytes, deep nesting, and an over-long line.
+  std::vector<std::string> hostile = {
+      std::string("\x00\x01\x02", 3),
+      std::string(1000, '{'),
+      "{\"op\":\"coarsen\",\"graph\":\"\xff\xfe\"}",
+  };
+  hostile.push_back(std::string(serial_options().max_request_bytes + 1,
+                                'x'));
+  for (const std::string& doc : hostile) {
+    const Json reply = parse_reply(service.handle_line(doc));
+    EXPECT_FALSE(reply_ok(reply));
+  }
+
+  // After all of that, a good request still works.
+  const Json good = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:10,10"})"));
+  EXPECT_TRUE(reply_ok(good));
+}
+
+TEST(ServeService, FromEnvRejectsGarbageLoudly) {
+  ::setenv("MGC_SERVE_WORKERS", "banana", 1);
+  const auto r = ServiceOptions::from_env();
+  ::unsetenv("MGC_SERVE_WORKERS");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code, guard::Code::kInvalidInput);
+
+  ::setenv("MGC_SERVE_BACKEND", "cuda", 1);
+  const auto b = ServiceOptions::from_env();
+  ::unsetenv("MGC_SERVE_BACKEND");
+  EXPECT_FALSE(b.ok());
+}
+
+// --- coarsen-once + bitwise identity ---------------------------------------
+
+TEST(ServeService, CoarsenOnceAcrossMixedAnalyses) {
+  prof::enable();
+  prof::reset();
+  Service service(serial_options());
+  const char* requests[] = {
+      R"({"op":"coarsen","graph":"gen:grid2d:32,32","seed":9})",
+      R"({"op":"partition","graph":"gen:grid2d:32,32","seed":9,"k":2})",
+      R"({"op":"partition","graph":"gen:grid2d:32,32","seed":9,"k":6})",
+      R"({"op":"cluster","graph":"gen:grid2d:32,32","seed":9})",
+      R"({"op":"fiedler","graph":"gen:grid2d:32,32","seed":9})",
+  };
+  for (const char* req : requests) {
+    EXPECT_TRUE(reply_ok(parse_reply(service.handle_line(req))));
+  }
+  const HierarchyCache::Stats s = service.cache_stats();
+  EXPECT_EQ(s.misses, 1u) << "coarsening must run exactly once";
+  EXPECT_EQ(s.hits, 4u);
+
+  // The same evidence lands in the exported profile as counters — this is
+  // what the EXPERIMENTS.md walkthrough points at.
+  const prof::Report report = prof::capture();
+  prof::enable(false);
+  std::uint64_t miss_count = 0;
+  std::uint64_t hit_count = 0;
+  for (const auto& [name, value] : report.counters) {
+    if (name == "serve.cache.miss") miss_count = value;
+    if (name == "serve.cache.hit") hit_count = value;
+  }
+  EXPECT_EQ(miss_count, 1u);
+  EXPECT_EQ(hit_count, 4u);
+}
+
+TEST(ServeService, ConcurrentMixedRequestsBitwiseMatchOneShot) {
+  // Expected values from the one-shot drivers (serial backend — the
+  // determinism contract only covers Backend::Serial).
+  const Exec exec = Exec::serial();
+  const std::uint64_t seed = 13;
+  const std::string spec = "gen:grid2d:28,28";
+  const Csr g = load_graph_spec(spec, seed);
+  CoarsenOptions copts;
+  copts.seed = seed;
+
+  const std::uint32_t want_bisect =
+      crc_of_part(multilevel_fm_bisect(exec, g, copts).part);
+  KwayOptions kopts;
+  kopts.k = 5;
+  kopts.coarsen = copts;
+  const std::uint32_t want_kway =
+      crc_of_part(multilevel_kway(exec, g, kopts).part);
+  ClusterOptions clopts;
+  clopts.coarsen = copts;
+  const std::uint32_t want_cluster =
+      crc_of_part(multilevel_cluster(exec, g, clopts).cluster);
+
+  Service service(serial_options());
+  const struct {
+    const char* request;
+    std::uint32_t want;
+  } cases[] = {
+      {R"({"op":"partition","graph":"gen:grid2d:28,28","seed":13,"k":2})",
+       want_bisect},
+      {R"({"op":"partition","graph":"gen:grid2d:28,28","seed":13,"k":5})",
+       want_kway},
+      {R"({"op":"cluster","graph":"gen:grid2d:28,28","seed":13})",
+       want_cluster},
+  };
+
+  // Each case fired from several threads at once: replies must agree with
+  // the one-shot CRC every time, no matter how the cache races resolve.
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& c : cases) {
+      threads.emplace_back([&service, &mismatches, request = c.request,
+                            want = c.want] {
+        const std::string reply_text = service.handle_line(request);
+        const guard::Result<Json> reply = Json::parse(reply_text);
+        if (!reply.ok() || !reply_ok(reply.value()) ||
+            reply.value().get("part_crc")->as_u64().value() != want) {
+          mismatches.fetch_add(1);
+        }
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service.cache_stats().misses, 1u);
+}
+
+TEST(ServeService, PartOutFileMatchesReplyCrc) {
+  Service service(serial_options());
+  const std::string out =
+      ::testing::TempDir() + "/serve_part_out.txt";
+  std::remove(out.c_str());
+  const Json reply = parse_reply(service.handle_line(
+      R"({"op":"partition","graph":"gen:grid2d:16,16","k":3,"part_out":")" +
+      json_escape(out) + R"("})"));
+  ASSERT_TRUE(reply_ok(reply));
+
+  std::ifstream in(out, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << out;
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(guard::crc32(body.data(), body.size()),
+            reply.get("part_crc")->as_u64().value());
+  std::remove(out.c_str());
+}
+
+}  // namespace
+}  // namespace mgc::serve

@@ -24,14 +24,26 @@ regions belong around the dispatch, not inside it (and the tracer gets
 its per-chunk timeline from core/exec.hpp's ChunkSlice, not from
 Regions). See docs/profiling.md.
 
+A third rule flags raw ``std::ofstream`` construction anywhere in the
+tree. Every durable output in this codebase goes through
+``guard::atomic_write_file`` (temp + fsync + rename; docs/robustness.md),
+so a bare ofstream is almost always a truncation-on-crash bug waiting to
+happen — a half-written profile, assignment, or checkpoint that a reader
+then trusts. The only legitimate users are atomic_write_file's own
+implementation and tests that *deliberately* write corrupt bytes.
+
 Intentional benign races are allowlisted with a trailing or preceding
 comment::
 
     m[su] = p;  // mgc-lint: racy-ok -- last-writer-wins, all writers agree
 
-and deliberate in-lambda regions with::
+deliberate in-lambda regions with::
 
     prof::Region r("chunk");  // mgc-lint: region-ok -- coarse, per-chunk
+
+and deliberate raw file writers with::
+
+    std::ofstream out(tmp);  // mgc-lint: ofstream-ok -- <why>
 
 Usage::
 
@@ -65,8 +77,13 @@ ATOMIC_TARGET = re.compile(
 # we only care about inside parallel lambda bodies.
 REGION_CTOR = re.compile(r"\bprof\s*::\s*Region\b")
 
+# Raw output-stream construction: durable writes must go through
+# guard::atomic_write_file (see module docstring).
+OFSTREAM_CTOR = re.compile(r"\bstd\s*::\s*ofstream\b")
+
 ALLOW = "mgc-lint: racy-ok"
 ALLOW_REGION = "mgc-lint: region-ok"
+ALLOW_OFSTREAM = "mgc-lint: ofstream-ok"
 
 ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "<<=", ">>=")
 
@@ -239,6 +256,19 @@ def scan_file(path: str) -> list[Finding]:
     raw_lines = text.splitlines()
     clean = strip_comments_and_strings(text)
     findings: list[Finding] = []
+    for m in OFSTREAM_CTOR.finditer(clean):
+        line_idx = clean.count("\n", 0, m.start())
+        if allowlisted(raw_lines, line_idx, ALLOW_OFSTREAM):
+            continue
+        findings.append(
+            Finding(
+                path=path,
+                line=line_idx + 1,
+                kind="ofstream",
+                array="",
+                snippet=raw_lines[line_idx].strip(),
+            )
+        )
     for lam in find_parallel_lambdas(clean):
         body = clean[lam.body_start : lam.body_end]
         for m in REGION_CTOR.finditer(body):
@@ -319,7 +349,16 @@ def main(argv: list[str]) -> int:
         all_findings.extend(scan_file(path))
 
     for f in all_findings:
-        if f.kind == "region":
+        if f.kind == "ofstream":
+            print(
+                f"{f.path}:{f.line}: raw std::ofstream — durable output "
+                f"must go through guard::atomic_write_file so a crash "
+                f"cannot leave a truncated file\n"
+                f"    {f.snippet}\n"
+                f"    (annotate with '// {ALLOW_OFSTREAM} -- <why>' if "
+                f"intentional)"
+            )
+        elif f.kind == "region":
             print(
                 f"{f.path}:{f.line}: prof::Region constructed inside a "
                 f"parallel lambda — per-iteration region overhead distorts "

@@ -1,0 +1,183 @@
+// mgc_serve — long-running coarsening service over a local socket.
+//
+// Speaks the line-delimited JSON protocol documented in docs/serving.md:
+// one request object per line, one response object per line. The daemon
+// keeps a HierarchyCache so a graph coarsened once serves any number of
+// partition / cluster / fiedler requests (at any k / resolution) without
+// re-coarsening — the paper's amortisation argument, realised as a
+// process.
+//
+// Usage:
+//   mgc_serve --socket PATH [options]
+//
+// Options (flags override the MGC_SERVE_* environment, which overrides
+// the built-in defaults):
+//   --socket PATH          AF_UNIX socket path to listen on (required)
+//   --workers N            concurrent expensive requests   [MGC_SERVE_WORKERS]
+//   --queue N              waiting requests before typed
+//                          overload rejection               [MGC_SERVE_QUEUE]
+//   --cache-budget BYTES   resident hierarchy cap, K/M/G
+//                          suffixes ok (0 = uncapped) [MGC_SERVE_CACHE_BUDGET]
+//   --max-request BYTES    request line cap           [MGC_SERVE_MAX_REQUEST]
+//   --backend threads|serial                           [MGC_SERVE_BACKEND]
+//   --deadline-ms N        default per-request deadline (0 = none)
+//   --profile FILE.json    write an mgc-profile report after draining
+//   --trace FILE.json      write a Chrome trace after draining
+//
+// Shutdown: SIGTERM / SIGINT or a {"op":"shutdown"} request DRAIN the
+// daemon — in-flight requests finish and get replies, the socket file is
+// unlinked, profile/trace files are flushed, exit code 0. Exit codes
+// follow the library-wide contract in docs/robustness.md.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "guard/env.hpp"
+#include "guard/status.hpp"
+#include "prof/prof.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace mgc;
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "mgc_serve: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: mgc_serve --socket PATH [--workers N] [--queue N]\n"
+               "                 [--cache-budget BYTES] [--max-request "
+               "BYTES]\n"
+               "                 [--backend threads|serial] [--deadline-ms "
+               "N]\n"
+               "                 [--profile FILE.json] [--trace FILE.json]\n"
+               "see docs/serving.md\n");
+  std::exit(2);
+}
+
+int run(int argc, char** argv) {
+  std::string socket_path;
+  std::string profile_path;
+  std::string trace_path;
+
+  serve::ServiceOptions opts = serve::ServiceOptions::from_env().value();
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    std::string value;
+    const std::size_t eq = flag.find('=');
+    bool have_value = false;
+    if (eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      have_value = true;
+    }
+    auto need_value = [&]() -> const std::string& {
+      if (have_value) return value;
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      value = argv[++i];
+      return value;
+    };
+    if (flag == "--socket") {
+      socket_path = need_value();
+    } else if (flag == "--workers") {
+      opts.workers = std::max(1, std::atoi(need_value().c_str()));
+    } else if (flag == "--queue") {
+      opts.queue_limit = std::max(0, std::atoi(need_value().c_str()));
+    } else if (flag == "--cache-budget") {
+      opts.cache_budget_bytes = guard::parse_bytes(need_value()).value();
+    } else if (flag == "--max-request") {
+      opts.max_request_bytes =
+          std::max<std::size_t>(256, guard::parse_bytes(need_value()).value());
+    } else if (flag == "--backend") {
+      opts.backend = need_value();
+      if (opts.backend != "threads" && opts.backend != "serial") {
+        usage("--backend must be threads or serial");
+      }
+    } else if (flag == "--deadline-ms") {
+      opts.default_deadline_ms = std::atof(need_value().c_str());
+    } else if (flag == "--profile") {
+      profile_path = need_value();
+    } else if (flag == "--trace") {
+      trace_path = need_value();
+    } else if (flag == "--help" || flag == "-h") {
+      usage(nullptr);
+    } else {
+      usage(("unknown flag: " + flag).c_str());
+    }
+  }
+  if (socket_path.empty()) usage("--socket PATH is required");
+
+  if (!trace_path.empty()) trace::enable();
+  if (!profile_path.empty() || !trace_path.empty()) {
+    prof::enable();  // prof feeds the trace's region events
+  }
+
+  serve::install_drain_handlers();
+  serve::Service service(opts);
+  serve::Server server(service, socket_path);
+
+  std::fprintf(stderr,
+               "mgc_serve: listening on %s (workers=%d queue=%d "
+               "cache-budget=%zu backend=%s)\n",
+               socket_path.c_str(), opts.workers, opts.queue_limit,
+               opts.cache_budget_bytes, opts.backend.c_str());
+
+  const guard::Status st = server.run();
+  if (!st.ok()) {
+    std::fprintf(stderr, "mgc_serve: %s\n", st.to_string().c_str());
+    return guard::exit_code(st.code);
+  }
+
+  const serve::HierarchyCache::Stats cs = service.cache_stats();
+  std::fprintf(stderr,
+               "mgc_serve: drained after %llu requests "
+               "(cache: %llu hits, %llu misses, %llu evictions)\n",
+               static_cast<unsigned long long>(service.requests_handled()),
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.misses),
+               static_cast<unsigned long long>(cs.evictions));
+
+  // Flush observability output last so it covers the whole run. A report
+  // that cannot be written is a real failure (exit 3), not a silent one.
+  if (!profile_path.empty()) {
+    prof::set_meta("tool", std::string("mgc_serve"));
+    prof::set_meta("requests",
+                   static_cast<long long>(service.requests_handled()));
+    prof::set_meta("cache_hits", static_cast<long long>(cs.hits));
+    prof::set_meta("cache_misses", static_cast<long long>(cs.misses));
+    const guard::Status ps = prof::write_json_file(profile_path);
+    if (!ps.ok()) throw guard::Error(ps);
+    std::fprintf(stderr, "mgc_serve: wrote profile to %s\n",
+                 profile_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    const guard::Status ts = trace::write_chrome_json_file(trace_path);
+    if (!ts.ok()) throw guard::Error(ts);
+    std::fprintf(stderr, "mgc_serve: wrote trace to %s\n",
+                 trace_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Same top-level error boundary as the one-shot CLI: every failure maps
+  // to a documented exit code (docs/robustness.md).
+  try {
+    return run(argc, argv);
+  } catch (const mgc::guard::Error& e) {
+    std::fprintf(stderr, "mgc_serve: error (%s): %s\n",
+                 mgc::guard::code_name(e.code()), e.what());
+    return mgc::guard::exit_code(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mgc_serve: error (internal): %s\n", e.what());
+    return mgc::guard::exit_code(mgc::guard::Code::kInternal);
+  } catch (...) {
+    std::fprintf(stderr, "mgc_serve: error (internal): unknown exception\n");
+    return mgc::guard::exit_code(mgc::guard::Code::kInternal);
+  }
+}
