@@ -2,9 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "prof/prof.hpp"
 
 namespace mgc::check {
@@ -48,14 +49,20 @@ struct AddrState {
 constexpr long long kNoTask = -2;  // distinct from the driver pseudo-task -1
 
 struct Global {
-  std::mutex mutex;
-  std::vector<ThreadLog*> logs;  ///< leaked at thread exit, like mgc::prof
+  Mutex mutex;
+  // The vector is guarded; each ThreadLog is written lock-free by its
+  // owning thread and read only in region_end_slow, after the dispatch
+  // barrier has quiesced every worker.
+  std::vector<ThreadLog*> logs MGC_GUARDED_BY(mutex);
   std::atomic<std::uint64_t> epoch{0};
-  std::uint64_t region_seq = 0;
-  std::string region_label;
-  std::size_t max_records = std::size_t{1} << 20;
-  OnError on_error = OnError::kLog;
-  std::vector<Conflict> conflicts;
+  std::uint64_t region_seq MGC_GUARDED_BY(mutex) = 0;
+  std::string region_label MGC_GUARDED_BY(mutex);
+  // Read lock-free on the record hot path, so atomic rather than guarded
+  // (surfaced by the thread-safety analysis: record_slow read it without
+  // the mutex set_max_records writes under).
+  std::atomic<std::size_t> max_records{std::size_t{1} << 20};
+  OnError on_error MGC_GUARDED_BY(mutex) = OnError::kLog;
+  std::vector<Conflict> conflicts MGC_GUARDED_BY(mutex);
   std::atomic<std::uint64_t> conflict_count{0};
 };
 
@@ -69,7 +76,7 @@ ThreadLog& tls() {
   if (log == nullptr) {
     log = new ThreadLog();
     Global& g = global();
-    std::lock_guard<std::mutex> lock(g.mutex);
+    MutexLock lock(g.mutex);
     g.logs.push_back(log);
   }
   return *log;
@@ -108,7 +115,7 @@ void record_slow(const void* addr, Access kind) {
     log.recs.clear();
     log.truncated = false;
   }
-  if (log.recs.size() >= g.max_records) {
+  if (log.recs.size() >= g.max_records.load(std::memory_order_relaxed)) {
     log.truncated = true;
     return;
   }
@@ -117,7 +124,7 @@ void record_slow(const void* addr, Access kind) {
 
 void region_begin_slow(const char* kind) {
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   g.epoch.fetch_add(1, std::memory_order_acq_rel);
   ++g.region_seq;
   const std::string path = prof::current_region_path();
@@ -131,10 +138,17 @@ void region_end_slow(bool may_throw) {
   Global& g = global();
   g_region_active.fetch_sub(1, std::memory_order_acquire);
   t_task = -1;
+  // The abort/throw verdict is carried out of the locked scope: aborting
+  // or unwinding while holding the mutex would deadlock any thread that
+  // logs conflicts during teardown.
+  std::size_t found = 0;
+  std::string label;
+  OnError mode = OnError::kLog;
+  {
   // The dispatch we bracket blocks until every worker drained its chunks
   // (core/exec.hpp contract), so by now all logs for this epoch are
   // complete and quiescent.
-  std::unique_lock<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
 
   std::unordered_map<const void*, AddrState> state;
   const std::uint64_t epoch = g.epoch.load(std::memory_order_relaxed);
@@ -163,9 +177,10 @@ void region_end_slow(bool may_throw) {
     }
   }
 
-  std::size_t found = 0;
   const auto emit = [&](const void* addr, Access a, long long ta, Access b,
-                        long long tb) {
+                        long long tb) MGC_NO_THREAD_SAFETY_ANALYSIS {
+    // Opted out: the analysis scopes lambdas as free functions, but this
+    // one only ever runs below, where the enclosing scope holds g.mutex.
     ++found;
     g.conflict_count.fetch_add(1, std::memory_order_relaxed);
     if (found > kMaxConflictsPerRegion ||
@@ -220,7 +235,7 @@ void region_end_slow(bool may_throw) {
 
   if (found == 0) return;
 
-  const std::string label = g.region_label;
+  label = g.region_label;
   std::string first_detail;
   if (!g.conflicts.empty()) first_detail = g.conflicts.back().describe();
   std::fprintf(stderr,
@@ -228,8 +243,8 @@ void region_end_slow(bool may_throw) {
                found, found == 1 ? "" : "s", label.c_str(),
                truncated ? " (shadow log truncated)" : "",
                first_detail.c_str());
-  const OnError mode = g.on_error;
-  lock.unlock();
+  mode = g.on_error;
+  }  // release g.mutex before acting on the verdict
   if (mode == OnError::kAbort) std::abort();
   if (mode == OnError::kThrow && may_throw) {
     throw CheckFailure("mgc::check: " + std::to_string(found) +
@@ -269,25 +284,25 @@ void enable(bool on) {
 
 void set_on_error(OnError mode) {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   g.on_error = mode;
 }
 
 OnError on_error() {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   return g.on_error;
 }
 
 void set_max_records(std::size_t n) {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
-  g.max_records = n;
+  MutexLock lock(g.mutex);
+  g.max_records.store(n, std::memory_order_relaxed);
 }
 
 std::vector<Conflict> take_conflicts() {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   std::vector<Conflict> out = std::move(g.conflicts);
   g.conflicts.clear();
   g.conflict_count.store(0, std::memory_order_relaxed);

@@ -1,0 +1,98 @@
+#pragma once
+// Capability-annotated synchronization primitives (docs/static-analysis.md).
+//
+// Clang's thread-safety analysis only tracks locks whose types carry
+// capability attributes, and libstdc++'s std::mutex carries none. These
+// thin wrappers — same codegen, zero added state — give every lock in the
+// tree a capability the analysis can reason about:
+//
+//   Mutex      std::mutex + MGC_CAPABILITY. Satisfies BasicLockable.
+//   MutexLock  std::lock_guard analogue, MGC_SCOPED_CAPABILITY.
+//   CondVar    std::condition_variable that waits on a Mutex the caller
+//              already holds (MGC_REQUIRES), adopting and re-releasing the
+//              underlying std::mutex around the wait so the fast futex
+//              path is preserved.
+//
+// Waiting idiom — the predicate loop stays IN the calling function (not a
+// lambda) so the analysis sees every guarded read under the lock:
+//
+//   MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(mutex_);     // ready_ is MGC_GUARDED_BY(mutex_)
+//
+// Rule of thumb: any mutex protecting cross-thread state uses these
+// wrappers; std::mutex remains only where a foreign API demands it.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+namespace mgc {
+
+class MGC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MGC_ACQUIRE() { m_.lock(); }
+  void unlock() MGC_RELEASE() { m_.unlock(); }
+  bool try_lock() MGC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  // Guarded data lives in the client classes that annotate their members.
+  // mgc-lint: guard-ok -- this class IS the capability, it guards nothing
+  std::mutex m_;
+};
+
+/// RAII lock for the whole enclosing scope (std::lock_guard analogue).
+class MGC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) MGC_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() MGC_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  // mgc-lint: guard-ok -- RAII handle to the capability, guards no data
+  Mutex& m_;
+};
+
+/// Condition variable over Mutex. Every wait overload REQUIRES the mutex:
+/// the caller holds it (typically via MutexLock), the wait adopts the
+/// underlying std::mutex for the block/wake cycle, and the capability is
+/// held again when the call returns — exactly the invariant the analysis
+/// assumes for code after the wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m) MGC_REQUIRES(m) {
+    std::unique_lock<std::mutex> native(m.m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& m,
+                          const std::chrono::duration<Rep, Period>& dur)
+      MGC_REQUIRES(m) {
+    std::unique_lock<std::mutex> native(m.m_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(native, dur);
+    native.release();
+    return st;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mgc

@@ -1,0 +1,61 @@
+#pragma once
+// Clang thread-safety-analysis attribute macros (docs/static-analysis.md).
+//
+// These wrap Clang's capability analysis attributes so the lock discipline
+// of every mutex-protected subsystem (ThreadPool, serve::HierarchyCache,
+// serve::Service admission, trace/prof/check globals) is a COMPILE-TIME
+// contract, not a convention: a read of a guarded member outside its lock,
+// a forgotten unlock, or a *_locked helper called without the lock is a
+// `-Wthread-safety` error under Clang (the CI static-analysis job builds
+// with `-Wthread-safety -Werror`). Under GCC and MSVC every macro expands
+// to nothing, so the annotations cost nothing off-Clang.
+//
+// The annotations only work on capability-annotated mutex types, which
+// std::mutex is not (libstdc++ carries no attributes) — use the annotated
+// wrappers in core/sync.hpp (mgc::Mutex / MutexLock / CondVar) instead of
+// std::mutex / std::lock_guard / std::condition_variable for any lock the
+// analysis should see.
+//
+// Naming follows the Clang documentation's canonical macro set:
+//   MGC_CAPABILITY(x)      type declares a capability (the Mutex wrapper)
+//   MGC_SCOPED_CAPABILITY  RAII type that acquires/releases (MutexLock)
+//   MGC_GUARDED_BY(m)      data member readable/writable only under m
+//   MGC_PT_GUARDED_BY(m)   pointee (not the pointer) guarded by m
+//   MGC_REQUIRES(m...)     function must be called with m held
+//   MGC_ACQUIRE(m...)      function acquires m and does not release it
+//   MGC_RELEASE(m...)      function releases m
+//   MGC_TRY_ACQUIRE(b, m)  function acquires m iff it returns b
+//   MGC_EXCLUDES(m...)     function must be called with m NOT held
+//   MGC_RETURN_CAPABILITY(m) function returns a reference to m
+//   MGC_NO_THREAD_SAFETY_ANALYSIS  opt one function out (justify inline!)
+//
+// Every MGC_NO_THREAD_SAFETY_ANALYSIS use must carry a comment explaining
+// why the analysis cannot see the invariant; tools/mgc_lint2.py's
+// unguarded-mutex-data rule keeps classes honest about GUARDED_BY.
+
+#if defined(__clang__)
+#define MGC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MGC_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no capability analysis
+#endif
+
+#define MGC_CAPABILITY(x) MGC_THREAD_ANNOTATION(capability(x))
+#define MGC_SCOPED_CAPABILITY MGC_THREAD_ANNOTATION(scoped_lockable)
+#define MGC_GUARDED_BY(x) MGC_THREAD_ANNOTATION(guarded_by(x))
+#define MGC_PT_GUARDED_BY(x) MGC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define MGC_ACQUIRED_BEFORE(...) \
+  MGC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MGC_ACQUIRED_AFTER(...) \
+  MGC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define MGC_REQUIRES(...) \
+  MGC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MGC_ACQUIRE(...) \
+  MGC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MGC_RELEASE(...) \
+  MGC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MGC_TRY_ACQUIRE(...) \
+  MGC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define MGC_EXCLUDES(...) MGC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define MGC_RETURN_CAPABILITY(x) MGC_THREAD_ANNOTATION(lock_returned(x))
+#define MGC_NO_THREAD_SAFETY_ANALYSIS \
+  MGC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -23,7 +23,7 @@ int ThreadPool::worker_index() { return t_worker_index; }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -40,9 +40,9 @@ void ThreadPool::run(std::size_t num_chunks,
 
   // One job owns the pool at a time; concurrent submitters (mgc_serve
   // request threads) wait here in arrival order.
-  std::lock_guard<std::mutex> submit(submit_mutex_);
+  MutexLock submit(submit_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &chunk_fn;
     num_chunks_ = num_chunks;
     next_chunk_.store(0, std::memory_order_relaxed);
@@ -52,19 +52,22 @@ void ThreadPool::run(std::size_t num_chunks,
   }
   work_cv_.notify_all();
 
-  // The calling thread participates in chunk execution.
+  // The calling thread participates in chunk execution. The bound is the
+  // local parameter, not the num_chunks_ member: the member is guarded by
+  // mutex_, which this loop deliberately runs without (surfaced by the
+  // thread-safety analysis; the two values are identical for this job).
   for (;;) {
     const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-    if (c >= num_chunks_) break;
+    if (c >= num_chunks) break;
     chunk_fn(c);
   }
 
   // Wait for every worker to leave the job before returning (so captures in
   // chunk_fn remain alive for the job's whole duration).
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] {
-    return active_workers_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(mutex_);
+  while (active_workers_.load(std::memory_order_acquire) != 0) {
+    done_cv_.wait(mutex_);
+  }
   job_ = nullptr;
 }
 
@@ -75,10 +78,10 @@ void ThreadPool::worker_loop(int index) {
     const std::function<void(std::size_t)>* job = nullptr;
     std::size_t num_chunks = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        work_cv_.wait(mutex_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
@@ -95,7 +98,7 @@ void ThreadPool::worker_loop(int index) {
     if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last worker out: wake the submitting thread. Take the lock so the
       // notification cannot race with the submitter entering the wait.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       done_cv_.notify_all();
     }
   }

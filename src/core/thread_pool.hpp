@@ -9,12 +9,13 @@
 // relies on for its CPU runs.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace mgc {
 
@@ -63,20 +64,21 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   /// Serializes whole run() calls from concurrent submitting threads; held
   /// for the full job (handshake + execution + drain) so job_ state is
-  /// only ever owned by one submitter.
-  std::mutex submit_mutex_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
+  /// only ever owned by one submitter. Always taken before mutex_.
+  Mutex submit_mutex_ MGC_ACQUIRED_BEFORE(mutex_);
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
 
   // Current job state (guarded by mutex_ for the generation handshake; chunk
   // claiming itself is a lock-free fetch_add).
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t num_chunks_ = 0;
+  const std::function<void(std::size_t)>* job_ MGC_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t num_chunks_ MGC_GUARDED_BY(mutex_) = 0;
   std::atomic<std::size_t> next_chunk_{0};
   std::atomic<int> active_workers_{0};
-  std::uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  std::uint64_t generation_ MGC_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ MGC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mgc

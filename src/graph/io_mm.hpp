@@ -26,8 +26,8 @@ Csr read_matrix_market_file(const std::string& path);
 
 /// Non-throwing boundary forms: parse errors come back as a typed Status
 /// (kInvalidInput / kResourceExhausted) instead of an exception.
-guard::Result<Csr> try_read_matrix_market(std::istream& in);
-guard::Result<Csr> try_read_matrix_market_file(const std::string& path);
+[[nodiscard]] guard::Result<Csr> try_read_matrix_market(std::istream& in);
+[[nodiscard]] guard::Result<Csr> try_read_matrix_market_file(const std::string& path);
 
 /// Writes a graph as a symmetric integer Matrix Market coordinate file
 /// (each undirected edge emitted once, lower triangle).

@@ -134,7 +134,7 @@ struct Ctx {
   bool should_stop() const { return stop_code() != Code::kOk; }
 
   /// Status form of stop_code(), with a generic message.
-  Status stop_status() const;
+  [[nodiscard]] Status stop_status() const;
 
   /// Throws guard::Error(stop_status()) if stopped; otherwise no-op.
   void throw_if_stopped() const;

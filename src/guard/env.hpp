@@ -24,7 +24,7 @@
 namespace mgc::guard {
 
 /// Integer env var (decimal or 0x-hex, optional leading '-').
-Result<long long> env_int(const char* name, long long dflt);
+[[nodiscard]] Result<long long> env_int(const char* name, long long dflt);
 
 /// Unsigned 64-bit env var (decimal or 0x-hex).
 Result<std::uint64_t> env_u64(const char* name, std::uint64_t dflt);
@@ -35,9 +35,9 @@ std::string env_str(const char* name, const std::string& dflt = "");
 /// Parses a byte count: a plain integer with an optional binary-unit
 /// suffix K/M/G (case-insensitive, optional trailing 'B' / "iB"), e.g.
 /// "67108864", "64K", "512MiB", "11g". Rejects negatives and overflow.
-Result<std::size_t> parse_bytes(const std::string& text);
+[[nodiscard]] Result<std::size_t> parse_bytes(const std::string& text);
 
 /// Byte-count env var using the parse_bytes grammar.
-Result<std::size_t> env_bytes(const char* name, std::size_t dflt);
+[[nodiscard]] Result<std::size_t> env_bytes(const char* name, std::size_t dflt);
 
 }  // namespace mgc::guard

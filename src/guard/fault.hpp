@@ -55,7 +55,7 @@ const char* kind_name(Kind k);
 /// decimal or 0x-hex). An empty spec disables everything. Returns
 /// InvalidInput (leaving the previous configuration in place) on grammar
 /// errors.
-Status configure(const std::string& spec);
+[[nodiscard]] Status configure(const std::string& spec);
 
 /// Disables all kinds and resets call/fired counters. Also suppresses any
 /// later MGC_FAULT env (re-)read — tests call this to isolate themselves.

@@ -30,6 +30,6 @@ std::uint32_t crc32(const void* data, std::size_t size,
 /// plain write + std::rename). Any failure returns kInvalidInput naming
 /// the path — the same code unwritable report files already map to (CLI
 /// exit 3) — and removes the temp file.
-Status atomic_write_file(const std::string& path, std::string_view data);
+[[nodiscard]] Status atomic_write_file(const std::string& path, std::string_view data);
 
 }  // namespace mgc::guard

@@ -52,7 +52,11 @@ const char* code_name(Code c);
 /// Cancelled -> 6, Internal -> 7. (2 is reserved for CLI usage errors.)
 int exit_code(Code c);
 
-struct Status {
+/// [[nodiscard]]: a dropped Status is a silently-swallowed failure — every
+/// producer in the tree returns one precisely so the caller must look at
+/// it. A deliberate discard is spelled `(void)call()` with a comment
+/// saying why ignoring the failure is correct (docs/static-analysis.md).
+struct [[nodiscard]] Status {
   Code code = Code::kOk;
   std::string message;
 
@@ -93,9 +97,10 @@ struct Event {
 };
 
 /// Status + optional payload. See the header comment for which codes may
-/// carry a (possibly partial) payload.
+/// carry a (possibly partial) payload. [[nodiscard]] for the same reason
+/// as Status: an unexamined Result is an unexamined failure.
 template <class T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /*implicit*/ Result(T value) : value_(std::move(value)) {}
   /*implicit*/ Result(Status status) : status_(std::move(status)) {}

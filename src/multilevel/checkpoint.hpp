@@ -55,7 +55,7 @@ std::uint32_t graph_crc32(const Csr& g);
 /// Serializes and durably writes one level snapshot (creates `dir` if
 /// missing). `input_crc` is graph_crc32 of the RUN'S INPUT graph, stored
 /// in the header. Failures return a typed Status (never throw).
-guard::Status write_checkpoint_level(const std::string& dir,
+[[nodiscard]] guard::Status write_checkpoint_level(const std::string& dir,
                                      const CheckpointLevel& level,
                                      std::uint32_t input_crc);
 
@@ -63,7 +63,7 @@ guard::Status write_checkpoint_level(const std::string& dir,
 /// must match the stored input fingerprint. Any validation failure —
 /// truncation, checksum mismatch, structural invariant violation —
 /// returns a Status describing it.
-guard::Result<CheckpointLevel> read_checkpoint_level(
+[[nodiscard]] guard::Result<CheckpointLevel> read_checkpoint_level(
     const std::string& path, std::uint32_t expect_input_crc);
 
 /// Validation summary for one snapshot file (mgc_cli checkpoint-info).

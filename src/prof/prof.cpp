@@ -5,10 +5,11 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <unordered_map>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "guard/io.hpp"
 #include "trace/trace.hpp"
 
@@ -46,16 +47,20 @@ struct ThreadState {
 };
 
 struct Global {
-  std::mutex mutex;
+  Mutex mutex;
   // Thread states are intentionally leaked at thread exit: the pool's
   // workers live for the process anyway, and dead threads' totals must
-  // survive until the report is captured.
-  std::vector<ThreadState*> states;
+  // survive until the report is captured. The VECTOR is guarded; each
+  // ThreadState's tree/counters are written only by their owning thread
+  // and read at capture/reset, which the capture contract (driver-only,
+  // outside parallel regions) keeps quiescent.
+  std::vector<ThreadState*> states MGC_GUARDED_BY(mutex);
   // deque, not vector: registration must not move existing names — the
   // tracer stores their c_str() pointers in counter-sample events.
-  std::deque<std::string> counter_names;
-  std::unordered_map<std::string, CounterId> counter_ids;
-  std::vector<ReportMeta> meta;
+  std::deque<std::string> counter_names MGC_GUARDED_BY(mutex);
+  std::unordered_map<std::string, CounterId> counter_ids
+      MGC_GUARDED_BY(mutex);
+  std::vector<ReportMeta> meta MGC_GUARDED_BY(mutex);
 };
 
 Global& global() {
@@ -68,7 +73,7 @@ ThreadState& tls() {
   if (state == nullptr) {
     state = new ThreadState();
     Global& g = global();
-    std::lock_guard<std::mutex> lock(g.mutex);
+    MutexLock lock(g.mutex);
     g.states.push_back(state);
   }
   return *state;
@@ -161,7 +166,7 @@ Node* region_enter(const char* name) {
 // only shallow region exits pay this.
 void sample_counters_for_trace(const ThreadState& st) {
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   for (std::size_t i = 0; i < st.counters.size(); ++i) {
     if (st.counters[i] != 0) {
       trace::counter_sample(g.counter_names[i].c_str(), st.counters[i]);
@@ -225,7 +230,7 @@ std::string current_region_path() {
 
 void reset() {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   for (auto* st : g.states) {
     st->root.children.clear();
     st->root.seconds = 0.0;
@@ -238,7 +243,7 @@ void reset() {
 
 CounterId counter(const std::string& name) {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   auto it = g.counter_ids.find(name);
   if (it != g.counter_ids.end()) return it->second;
   const CounterId id = static_cast<CounterId>(g.counter_names.size());
@@ -252,7 +257,7 @@ namespace {
 void set_meta_value(ReportMeta value) {
   if (!enabled()) return;
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   for (ReportMeta& m : g.meta) {
     if (m.key == value.key) {
       m = std::move(value);
@@ -290,7 +295,7 @@ void set_meta(const std::string& key, double value) {
 
 Report capture() {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
 
   Report report;
   ReportRegion merged_root;

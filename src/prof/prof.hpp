@@ -194,6 +194,6 @@ void write_json(std::ostream& os);
 /// file cannot be opened or fully written; the CLI surfaces it through
 /// the documented exit-code contract (exit 3) instead of exiting 0 with
 /// no file. See docs/robustness.md.
-guard::Status write_json_file(const std::string& path);
+[[nodiscard]] guard::Status write_json_file(const std::string& path);
 
 }  // namespace mgc::prof

@@ -1,6 +1,5 @@
 #include "serve/cache.hpp"
 
-#include <condition_variable>
 #include <cstdio>
 
 #include "guard/io.hpp"
@@ -97,7 +96,7 @@ struct HierarchyCache::Entry {
   guard::Status status;
   std::size_t bytes = 0;
   std::size_t charged = 0;
-  std::condition_variable cv;
+  CondVar cv;
   std::list<CacheKey>::iterator lru_it;
   bool in_lru = false;
 
@@ -149,7 +148,7 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(const CacheKey& key,
                                                     const Builder& build) {
   std::shared_ptr<Entry> entry;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       entry = it->second;
@@ -157,9 +156,9 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(const CacheKey& key,
         // Single-flight: coalesce onto the in-progress build.
         ++stats_.coalesced;
         if (prof::enabled()) prof::add("serve.cache.coalesced", 1);
-        entry->cv.wait(lock, [&] {
-          return entry->state != Entry::State::kBuilding;
-        });
+        while (entry->state == Entry::State::kBuilding) {
+          entry->cv.wait(mutex_);
+        }
         Lookup out;
         out.coalesced = true;
         out.status = entry->status;
@@ -202,7 +201,7 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(const CacheKey& key,
     built = guard::Status::internal(std::string("build failed: ") + e.what());
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!built.usable()) {
     entry->state = Entry::State::kFailed;
     entry->status = built.status();
@@ -253,14 +252,14 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(const CacheKey& key,
 }
 
 std::size_t HierarchyCache::evict_all() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t dropped = 0;
   while (evict_lru_locked()) ++dropped;
   return dropped;
 }
 
 HierarchyCache::Stats HierarchyCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats s = stats_;
   s.entries = map_.size();
   s.resident_bytes = resident_bytes_;

@@ -32,10 +32,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "multilevel/coarsener.hpp"
 
 namespace mgc::serve {
@@ -112,21 +113,24 @@ class HierarchyCache {
  private:
   struct Entry;
 
-  /// Evicts the LRU idle entry; false when the cache is empty. Caller
-  /// holds mutex_.
-  bool evict_lru_locked();
+  /// Evicts the LRU idle entry; false when the cache is empty.
+  bool evict_lru_locked() MGC_REQUIRES(mutex_);
 
   /// Charges `bytes` for a new entry, evicting LRU entries until it fits
   /// both the cache budget and the ledger limit. False when even an empty
-  /// cache cannot fit it. Caller holds mutex_.
-  bool make_room_locked(std::size_t bytes);
+  /// cache cannot fit it.
+  bool make_room_locked(std::size_t bytes) MGC_REQUIRES(mutex_);
 
   const std::size_t budget_bytes_;
-  mutable std::mutex mutex_;
-  std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash> map_;
-  std::list<CacheKey> lru_;  ///< most-recent first
-  std::size_t resident_bytes_ = 0;
-  Stats stats_;
+  mutable Mutex mutex_;
+  // Entry state transitions (Entry::state and friends) happen under mutex_
+  // too; Entry lives in the .cpp, so its members carry the contract as a
+  // comment rather than an annotation the analysis can attach to mutex_.
+  std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash> map_
+      MGC_GUARDED_BY(mutex_);
+  std::list<CacheKey> lru_ MGC_GUARDED_BY(mutex_);  ///< most-recent first
+  std::size_t resident_bytes_ MGC_GUARDED_BY(mutex_) = 0;
+  Stats stats_ MGC_GUARDED_BY(mutex_);
 };
 
 }  // namespace mgc::serve

@@ -40,7 +40,7 @@ class Server {
   /// "shutdown" request), then drains and cleans up the socket file.
   /// Returns kOk after a clean drain; socket setup failures are
   /// kInvalidInput (bad path) or kInternal (syscall failure).
-  guard::Status run();
+  [[nodiscard]] guard::Status run();
 
  private:
   void handle_connection(int fd);

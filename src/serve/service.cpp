@@ -136,7 +136,7 @@ struct Service::Request {
 class Service::AdmissionSlot {
  public:
   AdmissionSlot(Service& s, const guard::Ctx& ctx) : s_(s) {
-    std::unique_lock<std::mutex> lock(s_.adm_mutex_);
+    MutexLock lock(s_.adm_mutex_);
     if (s_.active_ < s_.opts_.workers) {
       ++s_.active_;
       admitted_ = true;
@@ -150,7 +150,7 @@ class Service::AdmissionSlot {
     // Wake periodically so a queued request whose deadline passes leaves
     // the queue with a typed DeadlineExceeded instead of running anyway.
     while (s_.active_ >= s_.opts_.workers && !ctx.should_stop()) {
-      s_.adm_cv_.wait_for(lock, std::chrono::milliseconds(20));
+      (void)s_.adm_cv_.wait_for(s_.adm_mutex_, std::chrono::milliseconds(20));
     }
     --s_.waiting_;
     if (s_.active_ >= s_.opts_.workers) return;  // stopped while queued
@@ -161,7 +161,7 @@ class Service::AdmissionSlot {
   ~AdmissionSlot() {
     if (!admitted_) return;
     {
-      std::lock_guard<std::mutex> lock(s_.adm_mutex_);
+      MutexLock lock(s_.adm_mutex_);
       --s_.active_;
     }
     s_.adm_cv_.notify_one();
@@ -394,7 +394,7 @@ std::string Service::handle_stats(const Request& req) {
   int active = 0;
   int waiting = 0;
   {
-    std::lock_guard<std::mutex> lock(adm_mutex_);
+    MutexLock lock(adm_mutex_);
     active = active_;
     waiting = waiting_;
   }
@@ -430,7 +430,7 @@ std::string Service::handle_stats(const Request& req) {
 std::string Service::handle_evict(const Request& req) {
   const std::size_t dropped = cache_.evict_all();
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    MutexLock lock(memo_mutex_);
     crc_memo_.clear();
   }
   if (trace::enabled()) {
@@ -488,7 +488,7 @@ std::string Service::handle_hierarchy_op(const Request& req) {
   std::uint32_t gcrc = 0;
   bool have_crc = false;
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    MutexLock lock(memo_mutex_);
     auto it = crc_memo_.find(memo_key);
     if (it != crc_memo_.end()) {
       gcrc = it->second;
@@ -514,7 +514,7 @@ std::string Service::handle_hierarchy_op(const Request& req) {
   if (!have_crc) {
     graph = std::make_shared<const Csr>(load());
     gcrc = graph_crc(*graph);
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    MutexLock lock(memo_mutex_);
     crc_memo_[memo_key] = gcrc;
   }
 

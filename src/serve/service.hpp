@@ -24,13 +24,13 @@
 //     begin/end trace instants carrying the request id.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "core/exec.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "serve/cache.hpp"
 
 namespace mgc::serve {
@@ -58,7 +58,7 @@ struct ServiceOptions {
   /// MGC_SERVE_MAX_REQUEST / MGC_SERVE_BACKEND over the defaults above.
   /// Garbage values are typed kInvalidInput failures (fail loudly at
   /// startup, never run with a value the operator did not ask for).
-  static guard::Result<ServiceOptions> from_env();
+  [[nodiscard]] static guard::Result<ServiceOptions> from_env();
 };
 
 class Service {
@@ -107,14 +107,15 @@ class Service {
   // spec+seed -> graph CRC memo so cache hits never reload the graph.
   // The daemon assumes its input files are immutable for its lifetime
   // (docs/serving.md); `evict` clears this memo along with the cache.
-  std::mutex memo_mutex_;
-  std::unordered_map<std::string, std::uint32_t> crc_memo_;
+  Mutex memo_mutex_;
+  std::unordered_map<std::string, std::uint32_t> crc_memo_
+      MGC_GUARDED_BY(memo_mutex_);
 
   // Admission state.
-  std::mutex adm_mutex_;
-  std::condition_variable adm_cv_;
-  int active_ = 0;
-  int waiting_ = 0;
+  Mutex adm_mutex_;
+  CondVar adm_cv_;
+  int active_ MGC_GUARDED_BY(adm_mutex_) = 0;
+  int waiting_ MGC_GUARDED_BY(adm_mutex_) = 0;
 
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> requests_{0};

@@ -43,7 +43,7 @@ class Json {
   /// Strict parse of one JSON document (the whole input must be consumed,
   /// modulo surrounding whitespace). All failures are kInvalidInput with a
   /// byte offset in the message.
-  static guard::Result<Json> parse(std::string_view text);
+  [[nodiscard]] static guard::Result<Json> parse(std::string_view text);
 
   Json() = default;
 
@@ -67,11 +67,11 @@ class Json {
   const std::vector<Json>& elements() const { return elems_; }
 
   // Typed accessors: Status on type mismatch / range overflow.
-  guard::Result<bool> as_bool() const;
-  guard::Result<std::string> as_string() const;
+  [[nodiscard]] guard::Result<bool> as_bool() const;
+  [[nodiscard]] guard::Result<std::string> as_string() const;
   guard::Result<long long> as_i64() const;
   guard::Result<std::uint64_t> as_u64() const;
-  guard::Result<double> as_double() const;
+  [[nodiscard]] guard::Result<double> as_double() const;
 
   /// The raw number token ("42", "-1.5e3"); empty unless is_number().
   const std::string& number_token() const { return scalar_; }

@@ -4,10 +4,11 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/thread_pool.hpp"
 #include "guard/env.hpp"
 #include "guard/io.hpp"
@@ -39,17 +40,24 @@ struct Ring {
 };
 
 struct Global {
-  std::mutex mutex;
+  Mutex mutex;
   // Rings are intentionally leaked at thread exit, exactly like prof's
   // ThreadStates: pool workers live for the process and dead threads'
-  // events must survive until export.
-  std::vector<Ring*> rings;
-  std::deque<std::string> interned;  ///< deque: stable element addresses
-  std::unordered_map<std::string, const char*> intern_index;
-  int next_extra_tid = 1000;  ///< non-pool threads after the first
-  bool have_driver_tid = false;
-  double epoch = 0.0;  ///< ts origin; fixed at the first enable()
-  std::size_t capacity = 0;  ///< 0 = not yet resolved from MGC_TRACE_BUF
+  // events must survive until export. The VECTOR is guarded; each Ring's
+  // contents are written lock-free by exactly one recording thread and
+  // read only from the driver's quiescent export/reset paths.
+  std::vector<Ring*> rings MGC_GUARDED_BY(mutex);
+  std::deque<std::string> interned
+      MGC_GUARDED_BY(mutex);  ///< deque: stable element addresses
+  std::unordered_map<std::string, const char*> intern_index
+      MGC_GUARDED_BY(mutex);
+  int next_extra_tid MGC_GUARDED_BY(mutex) =
+      1000;  ///< non-pool threads after the first
+  bool have_driver_tid MGC_GUARDED_BY(mutex) = false;
+  double epoch MGC_GUARDED_BY(mutex) =
+      0.0;  ///< ts origin; fixed at the first enable()
+  std::size_t capacity MGC_GUARDED_BY(mutex) =
+      0;  ///< 0 = not yet resolved from MGC_TRACE_BUF
 };
 
 Global& global() {
@@ -57,7 +65,7 @@ Global& global() {
   return *g;
 }
 
-std::size_t resolve_capacity_locked(Global& g) {
+std::size_t resolve_capacity_locked(Global& g) MGC_REQUIRES(g.mutex) {
   if (g.capacity != 0) return g.capacity;
   std::size_t cap = kDefaultBufferCapacity;
   // Non-throwing context (rings initialize lazily inside record paths), so
@@ -73,7 +81,7 @@ Ring& ring() {
   if (r == nullptr) {
     r = new Ring();
     Global& g = global();
-    std::lock_guard<std::mutex> lock(g.mutex);
+    MutexLock lock(g.mutex);
     r->events.resize(resolve_capacity_locked(g));
     const int widx = ThreadPool::worker_index();
     if (widx >= 0) {
@@ -180,7 +188,7 @@ void record(char ph, const char* cat, const char* name, double t0, double t1,
 
 const char* intern(const std::string& s) {
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   auto it = g.intern_index.find(s);
   if (it != g.intern_index.end()) return it->second;
   g.interned.push_back(s);
@@ -198,7 +206,7 @@ void enable(bool on) {
     // kInvalidInput from guard::env_int naming the variable and text.
     (void)guard::env_int("MGC_TRACE_BUF", 0).value();
     detail::Global& g = detail::global();
-    std::lock_guard<std::mutex> lock(g.mutex);
+    MutexLock lock(g.mutex);
     if (g.epoch == 0.0) g.epoch = detail::now_seconds();
   }
   detail::g_enabled.store(on, std::memory_order_relaxed);
@@ -206,7 +214,7 @@ void enable(bool on) {
 
 void reset() {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   const std::size_t cap = detail::resolve_capacity_locked(g);
   for (detail::Ring* r : g.rings) {
     r->count = 0;
@@ -219,20 +227,20 @@ void reset() {
 
 std::size_t buffer_capacity() {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   return detail::resolve_capacity_locked(g);
 }
 
 void set_buffer_capacity(std::size_t events_per_thread) {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   g.capacity = std::clamp<std::size_t>(events_per_thread, 16,
                                        std::size_t{1} << 24);
 }
 
 std::uint64_t recorded_events() {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   std::uint64_t total = 0;
   for (const detail::Ring* r : g.rings) total += r->count;
   return total;
@@ -240,7 +248,7 @@ std::uint64_t recorded_events() {
 
 std::uint64_t dropped_events() {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
   std::uint64_t total = 0;
   for (const detail::Ring* r : g.rings) {
     const std::uint64_t cap = r->events.size();
@@ -271,7 +279,7 @@ void region_complete(const char* name, double t0, double t1) {
 
 std::string to_chrome_json() {
   detail::Global& g = detail::global();
-  std::lock_guard<std::mutex> lock(g.mutex);
+  MutexLock lock(g.mutex);
 
   std::string out;
   out += "{\n\"traceEvents\": [";

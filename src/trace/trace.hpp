@@ -190,6 +190,6 @@ std::string to_chrome_json();
 
 /// to_chrome_json() + write to `path`. Returns InvalidInput when the file
 /// cannot be opened or written (surfaced by the CLI as exit code 3).
-guard::Status write_chrome_json_file(const std::string& path);
+[[nodiscard]] guard::Status write_chrome_json_file(const std::string& path);
 
 }  // namespace mgc::trace

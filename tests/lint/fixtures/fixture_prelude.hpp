@@ -1,0 +1,66 @@
+#pragma once
+// Self-contained stubs so the lint fixtures parse as real C++ under the
+// libclang frontend without the project include paths. The syntactic
+// frontend never reads this header (it scans only the fixture text), so
+// every declaration a fixture *calls* is repeated in the fixture itself.
+//
+// This file is lint-clean on purpose: CI's v1 sweep walks tests/.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#if defined(__clang__)
+#define MGC_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#define MGC_CAPABILITY(x) __attribute__((capability(x)))
+#else
+#define MGC_GUARDED_BY(x)
+#define MGC_CAPABILITY(x)
+#endif
+
+namespace guard {
+struct Status {
+  bool ok() const { return true; }
+};
+struct Ctx {
+  bool should_stop() const { return false; }
+};
+Status atomic_write_file(const std::string& path, const std::string& data);
+}  // namespace guard
+
+namespace prof {
+class Region {
+ public:
+  explicit Region(const char* name);
+};
+}  // namespace prof
+
+namespace mgc {
+class MGC_CAPABILITY("mutex") Mutex {
+ public:
+  void lock();
+  void unlock();
+
+ private:
+  // mgc-lint: guard-ok -- fixture stub of the capability wrapper
+  std::mutex m_;
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+  ~MutexLock();
+
+ private:
+  // mgc-lint: guard-ok -- fixture stub, RAII handle guards no data
+  Mutex& m_;
+};
+
+template <class F>
+void parallel_for(std::size_t n, F f) {
+  for (std::size_t i = 0; i < n; ++i) f(i);
+}
+
+void atomic_fetch_add(int& slot, int delta);
+}  // namespace mgc

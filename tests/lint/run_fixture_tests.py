@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Fixture tests for mgc_lint (v1) and mgc_lint2: exact finding sets.
+
+Each fixture in tests/lint/fixtures/ is a small C++ snippet; lines that
+must be flagged carry a ``// expect-lint: <rule>`` comment. The driver
+runs both linters on every fixture and asserts that the reported
+``(line, rule)`` set equals the expected set exactly — no missed
+violations, no extra noise. ``*_ok`` and ``*_allowed`` fixtures therefore
+assert *silence*, pinning both the rules and the allowlist-tag grammar.
+
+mgc_lint2 is exercised with its syntactic frontend always, and with the
+libclang frontend additionally when the bindings are importable (CI) —
+the corpus is the contract that keeps the two frontends equivalent.
+
+Run from the repository root (ctest does this via WORKING_DIRECTORY)::
+
+    python3 tests/lint/run_fixture_tests.py
+
+Exit status: 0 = all fixtures behave, 1 = mismatch, 2 = setup error.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+FIXTURES = os.path.join(HERE, "fixtures")
+TOOLS = os.path.join(REPO, "tools")
+
+#: Rules each linter implements; expectations are filtered per linter.
+V1_RULES = {"racy-write", "region-in-parallel", "bare-ofstream"}
+V2_RULES = V1_RULES | {
+    "discarded-status",
+    "unguarded-mutex",
+    "blocking-in-parallel",
+    "missing-ctx-poll",
+}
+
+EXPECT = re.compile(r"//\s*expect-lint:\s*([a-z-]+)")
+FINDING = re.compile(r"^(.*):(\d+): ([a-z-]+): ")
+
+
+def expected_findings(path: str) -> set[tuple[int, str]]:
+    out: set[tuple[int, str]] = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for idx, line in enumerate(f, start=1):
+            m = EXPECT.search(line)
+            if m:
+                out.add((idx, m.group(1)))
+    return out
+
+
+def run_linter(script: str, extra: list[str],
+               fixture: str) -> tuple[set[tuple[int, str]], str]:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(TOOLS, script), *extra, fixture],
+        cwd=REPO, capture_output=True, text=True)
+    found: set[tuple[int, str]] = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING.match(line)
+        if m:
+            found.add((int(m.group(2)), m.group(3)))
+    return found, proc.stdout + proc.stderr
+
+
+def libclang_available() -> bool:
+    probe = ("import clang.cindex as c\n"
+             "c.Index.create()\n")
+    return subprocess.run([sys.executable, "-c", probe],
+                          capture_output=True).returncode == 0
+
+
+def main() -> int:
+    fixtures = sorted(
+        os.path.join(FIXTURES, f) for f in os.listdir(FIXTURES)
+        if f.endswith(".snippet"))
+    if not fixtures:
+        print("no fixtures found", file=sys.stderr)
+        return 2
+
+    runs: list[tuple[str, str, list[str], set[str]]] = [
+        ("v1", "mgc_lint.py", [], V1_RULES),
+        ("v2/syntactic", "mgc_lint2.py", ["--frontend", "syntactic"],
+         V2_RULES),
+    ]
+    if libclang_available():
+        runs.append(("v2/libclang", "mgc_lint2.py",
+                     ["--frontend", "libclang"], V2_RULES))
+    else:
+        print("note: libclang bindings unavailable; "
+              "v2 tested with the syntactic frontend only")
+
+    failures = 0
+    checks = 0
+    for fixture in fixtures:
+        rel = os.path.relpath(fixture, REPO)
+        exp_all = expected_findings(fixture)
+        for label, script, extra, rules in runs:
+            exp = {(ln, r) for ln, r in exp_all if r in rules}
+            got, output = run_linter(script, extra, fixture)
+            checks += 1
+            if got != exp:
+                failures += 1
+                print(f"FAIL [{label}] {rel}")
+                for ln, r in sorted(exp - got):
+                    print(f"  missing: line {ln}: {r}")
+                for ln, r in sorted(got - exp):
+                    print(f"  extra:   line {ln}: {r}")
+                print("  --- linter output ---")
+                for line in output.splitlines():
+                    print(f"  | {line}")
+            else:
+                print(f"ok   [{label}] {rel}")
+
+    print(f"{checks - failures}/{checks} fixture checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

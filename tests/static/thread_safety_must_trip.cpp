@@ -1,0 +1,34 @@
+// Must-trip input for CI's static-analysis job (docs/static-analysis.md).
+//
+// This file contains a deliberate lock-discipline violation: balance() reads
+// a MGC_GUARDED_BY(mutex_) member without holding mutex_. The CI step
+// compiles it with `clang++ -fsyntax-only -Wthread-safety -Werror` and
+// REQUIRES the compile to fail — if it ever succeeds, the thread-safety
+// analysis is not actually running and the green "annotated tree builds
+// clean" signal is meaningless. (The file is never built by CMake; the
+// test glob only picks up tests/test_*.cpp.)
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+
+class Account {
+ public:
+  // VIOLATION: guarded read without the capability — must not compile
+  // under -Wthread-safety -Werror.
+  int balance() const { return balance_; }
+
+  void deposit(int amount) {
+    mgc::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+ private:
+  mutable mgc::Mutex mutex_;
+  int balance_ MGC_GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return a.balance();
+}

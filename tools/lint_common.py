@@ -1,0 +1,194 @@
+"""lint_common: shared infrastructure for mgc_lint (v1) and mgc_lint2.
+
+Both linters — the AST-free regex pass (mgc_lint.py) and the
+libclang-backed semantic pass (mgc_lint2.py) — emit the same finding
+format and honour the same allowlist grammar, so CI output, editors, and
+the fixture tests in tests/lint/ can treat them interchangeably:
+
+Finding format (one per finding, stable across both linters)::
+
+    <file>:<line>: <rule>: <message>
+        <source snippet>
+        (annotate with '// mgc-lint: <tag> -- <why>' if intentional)
+
+Allowlist grammar: a finding is suppressed when the flagged line — or the
+line directly above it — carries a comment of the form::
+
+    // mgc-lint: <tag> -- <why>
+
+where <tag> is the rule's allow tag from ALLOW_TAGS below. The `-- <why>`
+justification is conventionally required in review, but the linters match
+on the tag alone so the justification stays free-form.
+
+Rule registry (rule id -> allow tag):
+
+    racy-write          racy-ok       plain write to an array that is
+                                      atomically accessed in the same
+                                      parallel lambda        (v1 + v2)
+    region-in-parallel  region-ok     prof::Region inside a parallel
+                                      lambda                 (v1 + v2)
+    bare-ofstream       ofstream-ok   std::ofstream instead of
+                                      guard::atomic_write_file (v1 + v2)
+    discarded-status    status-ok     guard::Status / Result<T> return
+                                      value dropped on the floor  (v2)
+    unguarded-mutex     guard-ok      mutex member whose class has no
+                                      MGC_GUARDED_BY data         (v2)
+    blocking-in-parallel blocking-ok  blocking call (lock / sleep /
+                                      file I/O) inside a parallel
+                                      lambda                      (v2)
+    missing-ctx-poll    poll-ok       loop in a guard::Ctx-taking
+                                      function that neither dispatches
+                                      nor polls the Ctx            (v2)
+
+See docs/static-analysis.md for the full catalogue with examples.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+
+#: rule id -> allow tag (the `<tag>` in `// mgc-lint: <tag> -- <why>`).
+ALLOW_TAGS: dict[str, str] = {
+    "racy-write": "racy-ok",
+    "region-in-parallel": "region-ok",
+    "bare-ofstream": "ofstream-ok",
+    "discarded-status": "status-ok",
+    "unguarded-mutex": "guard-ok",
+    "blocking-in-parallel": "blocking-ok",
+    "missing-ctx-poll": "poll-ok",
+}
+
+ALLOW_PREFIX = "mgc-lint: "
+
+#: C/C++ source extensions both linters consider.
+SOURCE_EXTS = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh", ".inl")
+
+
+@dataclass
+class Finding:
+    """One lint finding, in the shared v1/v2 format."""
+
+    path: str
+    line: int  # 1-based
+    rule: str  # key of ALLOW_TAGS
+    message: str  # one-line description (no trailing newline)
+    snippet: str = ""  # stripped source line, for context
+
+
+def allow_tag(rule: str) -> str:
+    """Full allow-comment text for a rule ('mgc-lint: racy-ok')."""
+    return ALLOW_PREFIX + ALLOW_TAGS[rule]
+
+
+def allowlisted(raw_lines: list[str], line_idx: int, rule: str) -> bool:
+    """True if the 0-based line or the line above carries the rule's tag."""
+    tag = allow_tag(rule)
+    if line_idx < len(raw_lines) and tag in raw_lines[line_idx]:
+        return True
+    if 0 < line_idx <= len(raw_lines) and tag in raw_lines[line_idx - 1]:
+        return True
+    return False
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment/string contents with spaces, preserving offsets and
+    newlines so findings keep accurate line numbers. Allowlist comments are
+    read from the raw lines before stripping (see allowlisted)."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif ch == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_forward(text: str, i: int, open_ch: str, close_ch: str) -> int:
+    """Offset of the bracket matching text[i] (which must be open_ch), or -1."""
+    depth = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return -1
+
+
+def collect_files(roots: list[str]) -> list[str]:
+    """Source files under the given roots (files pass through unchanged)."""
+    files: list[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def read_source(path: str) -> str | None:
+    """File contents, or None (with a note on stderr) when unreadable."""
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            return f.read()
+    except OSError as e:
+        print(f"mgc_lint: cannot read {path}: {e}", file=sys.stderr)
+        return None
+
+
+def print_findings(findings: list[Finding], scanned: int,
+                   tool: str = "mgc_lint") -> int:
+    """Prints findings in the shared format; returns the process exit code
+    (0 = clean, 1 = findings)."""
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(f"{f.path}:{f.line}: {f.rule}: {f.message}")
+        if f.snippet:
+            print(f"    {f.snippet}")
+        print(f"    (annotate with '// {allow_tag(f.rule)} -- <why>' "
+              f"if intentional)")
+    n = len(findings)
+    if n:
+        print(f"{tool}: {n} finding{'s' if n != 1 else ''} "
+              f"in {scanned} files")
+        return 1
+    print(f"{tool}: clean ({scanned} files)")
+    return 0

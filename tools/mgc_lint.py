@@ -15,6 +15,9 @@ reasons about direct ``name[index] = ...`` writes and direct
 ``atomic_*(name[index], ...)`` calls on the same *named* array within one
 lambda body. That catches the dominant pattern in this codebase
 (everything is plain std::vector indexing) and stays silent otherwise.
+The libclang-backed mgc_lint2.py covers the semantic rules this pass
+cannot (see docs/static-analysis.md); both share the finding format and
+allowlist grammar defined in tools/lint_common.py.
 
 A second rule flags ``prof::Region`` objects constructed inside a
 parallel lambda. Region entry/exit costs a clock read plus per-thread
@@ -56,10 +59,19 @@ Exit status: 0 = clean, 1 = findings, 2 = usage error.
 from __future__ import annotations
 
 import argparse
-import os
 import re
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from lint_common import (
+    Finding,
+    allowlisted,
+    collect_files,
+    match_forward,
+    print_findings,
+    read_source,
+    strip_comments_and_strings,
+)
 
 # Calls that open a parallel region whose lambda body we scan.
 PARALLEL_CALLS = re.compile(
@@ -81,20 +93,7 @@ REGION_CTOR = re.compile(r"\bprof\s*::\s*Region\b")
 # guard::atomic_write_file (see module docstring).
 OFSTREAM_CTOR = re.compile(r"\bstd\s*::\s*ofstream\b")
 
-ALLOW = "mgc-lint: racy-ok"
-ALLOW_REGION = "mgc-lint: region-ok"
-ALLOW_OFSTREAM = "mgc-lint: ofstream-ok"
-
 ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "<<=", ">>=")
-
-
-@dataclass
-class Finding:
-    path: str
-    line: int  # 1-based
-    kind: str  # "race" | "region"
-    array: str
-    snippet: str
 
 
 @dataclass
@@ -102,65 +101,6 @@ class Lambda:
     start: int  # offset of '[' of the capture list
     body_start: int  # offset just after '{'
     body_end: int  # offset of matching '}'
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Replaces comment/string contents with spaces, preserving offsets and
-    newlines so findings keep accurate line numbers. Allowlist comments are
-    handled before stripping (see scan_file)."""
-    out = list(text)
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                out[i] = " "
-                i += 1
-        elif ch == "/" and nxt == "*":
-            out[i] = out[i + 1] = " "
-            i += 2
-            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            if i < n:
-                out[i] = out[i + 1] = " "
-                i += 2
-        elif ch in "\"'":
-            quote = ch
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out[i] = " "
-                    i += 1
-                    if i < n and text[i] != "\n":
-                        out[i] = " "
-                    i += 1
-                    continue
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            i += 1
-        else:
-            i += 1
-    return "".join(out)
-
-
-def match_forward(text: str, i: int, open_ch: str, close_ch: str) -> int:
-    """Offset of the bracket matching text[i] (which must be open_ch), or -1."""
-    depth = 0
-    n = len(text)
-    while i < n:
-        c = text[i]
-        if c == open_ch:
-            depth += 1
-        elif c == close_ch:
-            depth -= 1
-            if depth == 0:
-                return i
-        i += 1
-    return -1
 
 
 def find_parallel_lambdas(clean: str) -> list[Lambda]:
@@ -236,36 +176,25 @@ def plain_indexed_writes(body: str, array: str) -> list[int]:
     return hits
 
 
-def allowlisted(raw_lines: list[str], line_idx: int,
-                tag: str = ALLOW) -> bool:
-    """True if the 0-based line or the line above carries the allow tag."""
-    if tag in raw_lines[line_idx]:
-        return True
-    if line_idx > 0 and tag in raw_lines[line_idx - 1]:
-        return True
-    return False
-
-
 def scan_file(path: str) -> list[Finding]:
-    try:
-        with open(path, "r", encoding="utf-8", errors="replace") as f:
-            text = f.read()
-    except OSError as e:
-        print(f"mgc_lint: cannot read {path}: {e}", file=sys.stderr)
+    text = read_source(path)
+    if text is None:
         return []
     raw_lines = text.splitlines()
     clean = strip_comments_and_strings(text)
     findings: list[Finding] = []
     for m in OFSTREAM_CTOR.finditer(clean):
         line_idx = clean.count("\n", 0, m.start())
-        if allowlisted(raw_lines, line_idx, ALLOW_OFSTREAM):
+        if allowlisted(raw_lines, line_idx, "bare-ofstream"):
             continue
         findings.append(
             Finding(
                 path=path,
                 line=line_idx + 1,
-                kind="ofstream",
-                array="",
+                rule="bare-ofstream",
+                message="raw std::ofstream — durable output must go "
+                        "through guard::atomic_write_file so a crash "
+                        "cannot leave a truncated file",
                 snippet=raw_lines[line_idx].strip(),
             )
         )
@@ -274,14 +203,17 @@ def scan_file(path: str) -> list[Finding]:
         for m in REGION_CTOR.finditer(body):
             abs_off = lam.body_start + m.start()
             line_idx = clean.count("\n", 0, abs_off)
-            if allowlisted(raw_lines, line_idx, ALLOW_REGION):
+            if allowlisted(raw_lines, line_idx, "region-in-parallel"):
                 continue
             findings.append(
                 Finding(
                     path=path,
                     line=line_idx + 1,
-                    kind="region",
-                    array="",
+                    rule="region-in-parallel",
+                    message="prof::Region constructed inside a parallel "
+                            "lambda — per-iteration region overhead "
+                            "distorts the profile; hoist it around the "
+                            "dispatch",
                     snippet=raw_lines[line_idx].strip(),
                 )
             )
@@ -292,32 +224,20 @@ def scan_file(path: str) -> list[Finding]:
             for off in plain_indexed_writes(body, array):
                 abs_off = lam.body_start + off
                 line_idx = clean.count("\n", 0, abs_off)
-                if allowlisted(raw_lines, line_idx):
+                if allowlisted(raw_lines, line_idx, "racy-write"):
                     continue
                 findings.append(
                     Finding(
                         path=path,
                         line=line_idx + 1,
-                        kind="race",
-                        array=array,
+                        rule="racy-write",
+                        message=f"plain indexed write to '{array}', which "
+                                f"is also passed to atomic_* in the same "
+                                f"parallel lambda",
                         snippet=raw_lines[line_idx].strip(),
                     )
                 )
     return findings
-
-
-def collect_files(roots: list[str]) -> list[str]:
-    exts = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh", ".inl")
-    files: list[str] = []
-    for root in roots:
-        if os.path.isfile(root):
-            files.append(root)
-            continue
-        for dirpath, _dirnames, filenames in os.walk(root):
-            for name in sorted(filenames):
-                if name.endswith(exts):
-                    files.append(os.path.join(dirpath, name))
-    return files
 
 
 def main(argv: list[str]) -> int:
@@ -337,8 +257,10 @@ def main(argv: list[str]) -> int:
 
     if args.list_parallel:
         for path in files:
-            with open(path, "r", encoding="utf-8", errors="replace") as f:
-                clean = strip_comments_and_strings(f.read())
+            text = read_source(path)
+            if text is None:
+                continue
+            clean = strip_comments_and_strings(text)
             for lam in find_parallel_lambdas(clean):
                 line = clean.count("\n", 0, lam.start) + 1
                 print(f"{path}:{line}: parallel lambda")
@@ -347,41 +269,7 @@ def main(argv: list[str]) -> int:
     all_findings: list[Finding] = []
     for path in files:
         all_findings.extend(scan_file(path))
-
-    for f in all_findings:
-        if f.kind == "ofstream":
-            print(
-                f"{f.path}:{f.line}: raw std::ofstream — durable output "
-                f"must go through guard::atomic_write_file so a crash "
-                f"cannot leave a truncated file\n"
-                f"    {f.snippet}\n"
-                f"    (annotate with '// {ALLOW_OFSTREAM} -- <why>' if "
-                f"intentional)"
-            )
-        elif f.kind == "region":
-            print(
-                f"{f.path}:{f.line}: prof::Region constructed inside a "
-                f"parallel lambda — per-iteration region overhead distorts "
-                f"the profile; hoist it around the dispatch\n"
-                f"    {f.snippet}\n"
-                f"    (annotate with '// {ALLOW_REGION} -- <why>' if "
-                f"intentional)"
-            )
-        else:
-            print(
-                f"{f.path}:{f.line}: plain indexed write to '{f.array}', "
-                f"which is also passed to atomic_* in the same parallel "
-                f"lambda\n"
-                f"    {f.snippet}\n"
-                f"    (annotate with '// {ALLOW} -- <why>' if intentional)"
-            )
-    n = len(all_findings)
-    scanned = len(files)
-    if n:
-        print(f"mgc_lint: {n} finding{'s' if n != 1 else ''} in {scanned} files")
-        return 1
-    print(f"mgc_lint: clean ({scanned} files)")
-    return 0
+    return print_findings(all_findings, len(files), tool="mgc_lint")
 
 
 if __name__ == "__main__":

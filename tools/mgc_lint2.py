@@ -1,0 +1,683 @@
+#!/usr/bin/env python3
+"""mgc_lint2: semantic lint for mgc, libclang-backed with a syntactic fallback.
+
+mgc_lint (v1) is deliberately AST-free and catches the textual shapes of a
+few race-discipline mistakes. This second pass covers the rules that need
+(or at least want) semantic information:
+
+``discarded-status``
+    A call whose result is ``guard::Status`` or ``guard::Result<T>`` used
+    as a bare expression statement. Status/Result are ``[[nodiscard]]``,
+    so the compiler flags most of these — this rule additionally covers
+    templated code paths the compiler only checks per instantiation, and
+    keeps the contract enforced even for toolchains with the warning off.
+    Deliberate discards are spelled ``(void)call()`` (which this rule,
+    like the compiler, does not flag) or allow-tagged.
+
+``unguarded-mutex``
+    A class declares a ``Mutex`` (or ``std::mutex``) member but *no*
+    member carries ``MGC_GUARDED_BY``. A mutex that guards nothing the
+    analysis can see is either dead weight or — far more likely — guards
+    data that silently lost its annotation in a refactor.
+
+``blocking-in-parallel``
+    A blocking call (lock acquisition, condition wait, sleep, file I/O)
+    inside a ``parallel_*`` lambda. One blocked worker idles a pool-width
+    slice of the machine; blocking belongs outside the dispatch
+    (docs/parallelism.md).
+
+``missing-ctx-poll``
+    A substantial loop (>= {MIN_LOOP_LINES} lines) inside a function that
+    takes a ``guard::Ctx`` but whose body neither dispatches a parallel
+    kernel (which polls at chunk granularity) nor polls the Ctx itself.
+    Such a loop is a cancellation/deadline blind spot: the "201-level
+    stall" failure mode the guard layer exists to bound
+    (docs/robustness.md).
+
+plus semantic re-implementations of the v1 rules (``racy-write``,
+``region-in-parallel``, ``bare-ofstream``) so running mgc_lint2 alone
+still enforces the full catalogue.
+
+Frontends
+---------
+With the libclang Python bindings installed (CI), files are parsed into
+real ASTs using the compile flags from ``--compile-commands`` (CMake's
+``compile_commands.json``; configure with
+``-DCMAKE_EXPORT_COMPILE_COMMANDS=ON``). Without them, a pure-Python
+syntactic frontend implements the same rules over lexed source — weaker
+on exotic code, but byte-identical on the fixture corpus in tests/lint/,
+which pins both frontends to the same finding sets. ``--require-libclang``
+makes the fallback a hard error (CI uses it so the semantic pass can
+never silently degrade).
+
+Findings and allowlist tags use the shared grammar from
+tools/lint_common.py; see docs/static-analysis.md for the catalogue.
+
+Usage::
+
+    python3 tools/mgc_lint2.py src tools bench
+    python3 tools/mgc_lint2.py --require-libclang \
+        --compile-commands build/compile_commands.json src tools bench
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+from lint_common import (
+    Finding,
+    allowlisted,
+    collect_files,
+    match_forward,
+    print_findings,
+    read_source,
+    strip_comments_and_strings,
+)
+from mgc_lint import (
+    ATOMIC_TARGET,
+    REGION_CTOR,
+    find_parallel_lambdas,
+    plain_indexed_writes,
+)
+
+# ---------------------------------------------------------------------------
+# Shared rule vocabulary — both frontends match against these, so their
+# findings agree on the fixture corpus.
+
+#: Return-type spellings that make a dropped call a discarded-status.
+STATUS_TYPES = re.compile(r"\b(?:guard\s*::\s*)?(?:Status|Result\s*<)")
+
+#: Mutex-flavoured member types for unguarded-mutex.
+MUTEX_TYPES = re.compile(r"\b(?:mgc\s*::\s*)?Mutex\b|\bstd\s*::\s*mutex\b")
+
+#: Blocking constructs forbidden inside parallel lambdas.
+BLOCKING = re.compile(
+    r"\bsleep_for\b|\bsleep_until\b"
+    r"|\bstd\s*::\s*[io]?fstream\b|\bfopen\b|\bfread\b|\bfwrite\b"
+    r"|\bMutexLock\b|\bstd\s*::\s*lock_guard\b|\bstd\s*::\s*unique_lock\b"
+    r"|\bstd\s*::\s*scoped_lock\b"
+    r"|[.>]\s*lock\s*\(|[.>]\s*wait\s*\(|[.>]\s*wait_for\s*\("
+)
+
+#: Evidence inside a loop that cancellation/deadlines are honoured: either
+#: a direct Ctx poll or a dispatch/guarded driver that polls internally.
+CTX_POLL = re.compile(
+    r"\bshould_stop\b|\bstop_code\b|\bthrow_if_stopped\b|\bstop_status\b"
+    r"|\.\s*expired\s*\(|\.\s*cancelled\s*\(|\beffective_ctx\b"
+    r"|\bparallel_(?:for|reduce|sum|exclusive_scan)\b|\w+_guarded\s*\("
+)
+
+#: Loops shorter than this many source lines are assumed to be bounded
+#: bookkeeping (copying a report, summing stats) and are not flagged.
+MIN_LOOP_LINES = 8
+
+MESSAGES = {
+    "discarded-status": (
+        "call result (guard::Status / Result) is discarded — every "
+        "producer returns one so the caller must look at it; use "
+        "(void)call() with a comment for a deliberate discard"
+    ),
+    "unguarded-mutex": (
+        "mutex member but no member in this class carries MGC_GUARDED_BY "
+        "— annotate what it guards (core/thread_annotations.hpp) or "
+        "justify the bare mutex"
+    ),
+    "blocking-in-parallel": (
+        "blocking call inside a parallel_* lambda — one blocked worker "
+        "idles the pool; move locks, waits, sleeps, and file I/O outside "
+        "the dispatch"
+    ),
+    "missing-ctx-poll": (
+        "substantial loop in a guard::Ctx-taking function with no Ctx "
+        "poll and no parallel dispatch — a stalled iteration here is "
+        "invisible to cancellation and deadlines"
+    ),
+}
+
+
+def _line_of(clean: str, offset: int) -> int:
+    """0-based line index of an offset."""
+    return clean.count("\n", 0, offset)
+
+
+# ---------------------------------------------------------------------------
+# Syntactic frontend
+
+
+def _statement_prefix_ok(clean: str, stmt_start: int, call_start: int) -> bool:
+    """True when the text between a statement boundary and the call is just
+    a namespace/class qualification (so the call IS the statement).
+
+    Member-call syntax (`obj.f()` / `p->f()`) is deliberately NOT matched:
+    resolving which `f` that dispatches to needs type information the
+    syntactic frontend does not have, and flagging by name alone
+    false-positives on unrelated methods (std::ostream::flush vs a local
+    `Status flush()`). The libclang frontend covers member calls."""
+    prefix = clean[stmt_start:call_start]
+    return re.fullmatch(r"\s*(?:[A-Za-z_]\w*\s*::\s*)*", prefix) is not None
+
+
+def _collect_status_functions(roots: list[str]) -> set[str]:
+    """Names of functions declared to return guard::Status / Result<T>,
+    collected across the scanned roots plus src/ (so linting tools/ alone
+    still knows about the library's producers)."""
+    names: set[str] = set()
+    decl = re.compile(
+        r"\b(?:guard\s*::\s*)?(?:Status|Result\s*<[^;{}]{0,200}?>)\s+"
+        r"(?:[A-Za-z_]\w*\s*::\s*)?([A-Za-z_]\w*)\s*\("
+    )
+    scan_roots = list(roots)
+    if os.path.isdir("src") and "src" not in scan_roots:
+        scan_roots.append("src")
+    for path in collect_files(scan_roots):
+        text = read_source(path)
+        if text is None:
+            continue
+        clean = strip_comments_and_strings(text)
+        for m in decl.finditer(clean):
+            names.add(m.group(1))
+    # Control-flow keywords that the decl regex can momentarily capture in
+    # odd formatting; never treat them as producers.
+    names -= {"if", "for", "while", "switch", "return", "sizeof", "catch"}
+    return names
+
+
+def _syntactic_discarded_status(path: str, clean: str, raw_lines: list[str],
+                                producers: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    # A file-local declaration of the same name with a non-Status return
+    # type shadows the global producer set (`void flush()` in one TU vs
+    # `Status flush()` in another).
+    local_void = set(re.findall(r"\bvoid\s+([A-Za-z_]\w*)\s*\(", clean))
+    for name in producers - local_void:
+        for m in re.finditer(r"\b" + re.escape(name) + r"\s*\(", clean):
+            call_open = clean.rfind("(", m.start(), m.end())
+            close = match_forward(clean, call_open, "(", ")")
+            if close < 0:
+                continue
+            # The call must be the whole statement: `;` after the close
+            # paren, and only an object/namespace path before the name
+            # since the previous statement boundary.
+            after = clean[close + 1:close + 2]
+            if after != ";":
+                continue
+            stmt_start = max(clean.rfind(c, 0, m.start()) for c in ";{}")
+            if not _statement_prefix_ok(clean, stmt_start + 1, m.start()):
+                continue
+            line_idx = _line_of(clean, m.start())
+            if allowlisted(raw_lines, line_idx, "discarded-status"):
+                continue
+            findings.append(Finding(
+                path=path, line=line_idx + 1, rule="discarded-status",
+                message=MESSAGES["discarded-status"],
+                snippet=raw_lines[line_idx].strip()))
+    return findings
+
+
+CLASS_HEAD = re.compile(r"\b(class|struct)\s+(?:MGC_\w+(?:\([^)]*\))?\s+)?"
+                        r"([A-Za-z_]\w*)\s*(?::[^;{]*)?{")
+
+MEMBER_MUTEX = re.compile(
+    r"^\s*(?:mutable\s+)?(?:(?:mgc\s*::\s*)?Mutex|std\s*::\s*mutex)\s+"
+    r"[A-Za-z_]\w*\s*(?:MGC_\w+(?:\([^)]*\))?\s*)?;"
+)
+
+
+def _syntactic_unguarded_mutex(path: str, clean: str,
+                               raw_lines: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for m in CLASS_HEAD.finditer(clean):
+        body_open = clean.index("{", m.start())
+        body_close = match_forward(clean, body_open, "{", "}")
+        if body_close < 0:
+            continue
+        body = clean[body_open + 1:body_close]
+        if "MGC_GUARDED_BY" in body:
+            continue
+        # Flag each mutex member line in a class with zero guarded members.
+        for lm in re.finditer(r"[^\n;{}]*;", body):
+            stmt = lm.group(0)
+            if not MEMBER_MUTEX.match(stmt.strip()) and not (
+                    MUTEX_TYPES.search(stmt) and "(" not in stmt
+                    and stmt.strip().endswith(";")):
+                continue
+            line_idx = _line_of(clean, body_open + 1 + lm.start()
+                                + len(stmt) - len(stmt.lstrip()))
+            if allowlisted(raw_lines, line_idx, "unguarded-mutex"):
+                continue
+            findings.append(Finding(
+                path=path, line=line_idx + 1, rule="unguarded-mutex",
+                message=MESSAGES["unguarded-mutex"],
+                snippet=raw_lines[line_idx].strip()))
+    return findings
+
+
+def _syntactic_blocking_in_parallel(path: str, clean: str,
+                                    raw_lines: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for lam in find_parallel_lambdas(clean):
+        body = clean[lam.body_start:lam.body_end]
+        for m in BLOCKING.finditer(body):
+            line_idx = _line_of(clean, lam.body_start + m.start())
+            if allowlisted(raw_lines, line_idx, "blocking-in-parallel"):
+                continue
+            findings.append(Finding(
+                path=path, line=line_idx + 1, rule="blocking-in-parallel",
+                message=MESSAGES["blocking-in-parallel"],
+                snippet=raw_lines[line_idx].strip()))
+    return findings
+
+
+CTX_PARAM = re.compile(r"\b(?:guard\s*::\s*)?Ctx\s*&?\s*\w*\s*(?:=[^,)]*)?[,)]")
+FUNC_HEAD = re.compile(r"\(([^;{}()]*)\)\s*(?:const\s*)?(?:noexcept\s*)?{")
+LOOP_HEAD = re.compile(r"\b(for|while)\s*\(")
+
+
+def _loops_in(body: str, base: int) -> list[tuple[int, int, int]]:
+    """(head_offset, body_open, body_close) absolute offsets of for/while
+    loops directly in `body` (nested loops are inside the returned spans)."""
+    loops: list[tuple[int, int, int]] = []
+    i = 0
+    while True:
+        m = LOOP_HEAD.search(body, i)
+        if m is None:
+            return loops
+        cond_open = body.index("(", m.start())
+        cond_close = match_forward(body, cond_open, "(", ")")
+        if cond_close < 0:
+            return loops
+        j = cond_close + 1
+        while j < len(body) and body[j].isspace():
+            j += 1
+        if j < len(body) and body[j] == "{":
+            loop_close = match_forward(body, j, "{", "}")
+            if loop_close < 0:
+                return loops
+            loops.append((base + m.start(), base + j, base + loop_close))
+            i = loop_close + 1
+        else:
+            i = cond_close + 1
+
+
+def _syntactic_missing_ctx_poll(path: str, clean: str,
+                                raw_lines: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for fm in FUNC_HEAD.finditer(clean):
+        params = fm.group(1)
+        if not CTX_PARAM.search(params + ")"):
+            continue
+        body_open = clean.index("{", fm.end() - 1)
+        body_close = match_forward(clean, body_open, "{", "}")
+        if body_close < 0:
+            continue
+        # Outermost loops first; a flagged loop is one finding, and a loop
+        # that polls is trusted to bound everything nested inside it.
+        pending = _loops_in(clean[body_open + 1:body_close], body_open + 1)
+        while pending:
+            head, lopen, lclose = pending.pop(0)
+            loop_body = clean[lopen + 1:lclose]
+            if CTX_POLL.search(loop_body):
+                continue
+            span = _line_of(clean, lclose) - _line_of(clean, lopen)
+            if span < MIN_LOOP_LINES:
+                # Short bookkeeping loop: skip it, but still examine loops
+                # nested within (a long inner loop must poll on its own).
+                pending = _loops_in(loop_body, lopen + 1) + pending
+                continue
+            line_idx = _line_of(clean, head)
+            if allowlisted(raw_lines, line_idx, "missing-ctx-poll"):
+                continue
+            findings.append(Finding(
+                path=path, line=line_idx + 1, rule="missing-ctx-poll",
+                message=MESSAGES["missing-ctx-poll"],
+                snippet=raw_lines[line_idx].strip()))
+    return findings
+
+
+def _syntactic_v1_rules(path: str, clean: str,
+                        raw_lines: list[str]) -> list[Finding]:
+    """v1 rules re-emitted by v2 so mgc_lint2 alone enforces the full
+    catalogue. Logic is shared with mgc_lint via its imported helpers."""
+    findings: list[Finding] = []
+    for m in re.finditer(r"\bstd\s*::\s*ofstream\b", clean):
+        line_idx = _line_of(clean, m.start())
+        if allowlisted(raw_lines, line_idx, "bare-ofstream"):
+            continue
+        findings.append(Finding(
+            path=path, line=line_idx + 1, rule="bare-ofstream",
+            message="raw std::ofstream — durable output must go through "
+                    "guard::atomic_write_file so a crash cannot leave a "
+                    "truncated file",
+            snippet=raw_lines[line_idx].strip()))
+    for lam in find_parallel_lambdas(clean):
+        body = clean[lam.body_start:lam.body_end]
+        for m in REGION_CTOR.finditer(body):
+            line_idx = _line_of(clean, lam.body_start + m.start())
+            if allowlisted(raw_lines, line_idx, "region-in-parallel"):
+                continue
+            findings.append(Finding(
+                path=path, line=line_idx + 1, rule="region-in-parallel",
+                message="prof::Region constructed inside a parallel lambda "
+                        "— per-iteration region overhead distorts the "
+                        "profile; hoist it around the dispatch",
+                snippet=raw_lines[line_idx].strip()))
+        for array in sorted(set(ATOMIC_TARGET.findall(body))):
+            for off in plain_indexed_writes(body, array):
+                line_idx = _line_of(clean, lam.body_start + off)
+                if allowlisted(raw_lines, line_idx, "racy-write"):
+                    continue
+                findings.append(Finding(
+                    path=path, line=line_idx + 1, rule="racy-write",
+                    message=f"plain indexed write to '{array}', which is "
+                            f"also passed to atomic_* in the same parallel "
+                            f"lambda",
+                    snippet=raw_lines[line_idx].strip()))
+    return findings
+
+
+def syntactic_scan(files: list[str], roots: list[str]) -> list[Finding]:
+    producers = _collect_status_functions(roots)
+    findings: list[Finding] = []
+    for path in files:
+        text = read_source(path)
+        if text is None:
+            continue
+        raw_lines = text.splitlines()
+        clean = strip_comments_and_strings(text)
+        findings += _syntactic_discarded_status(path, clean, raw_lines,
+                                                producers)
+        findings += _syntactic_unguarded_mutex(path, clean, raw_lines)
+        findings += _syntactic_blocking_in_parallel(path, clean, raw_lines)
+        findings += _syntactic_missing_ctx_poll(path, clean, raw_lines)
+        findings += _syntactic_v1_rules(path, clean, raw_lines)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# libclang frontend
+
+
+def load_libclang():
+    """The clang.cindex module, or None when the bindings are missing."""
+    try:
+        import clang.cindex as cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:  # library present but unloadable
+        for name in ("libclang.so", "libclang-14.so", "libclang.so.1",
+                     "libclang-15.so", "libclang-16.so"):
+            try:
+                cindex.Config.set_library_file(name)
+                cindex.Index.create()
+                break
+            except Exception:
+                cindex.Config.loaded = False
+        else:
+            return None
+    return cindex
+
+
+def load_compile_args(cc_path: str | None) -> dict[str, list[str]]:
+    """abs source path -> compiler args from compile_commands.json."""
+    if cc_path is None or not os.path.exists(cc_path):
+        return {}
+    with open(cc_path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    args: dict[str, list[str]] = {}
+    for e in entries:
+        src = os.path.normpath(os.path.join(e["directory"], e["file"]))
+        if "arguments" in e:
+            argv = list(e["arguments"])
+        else:
+            argv = e["command"].split()
+        # Strip the compiler itself, -c/-o pairs, and the source filename —
+        # libclang wants only the flags.
+        keep: list[str] = []
+        skip_next = False
+        for a in argv[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a == "-c":
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            if os.path.normpath(os.path.join(e["directory"], a)) == src:
+                continue
+            keep.append(a)
+        args[src] = keep
+    return args
+
+
+DEFAULT_CLANG_ARGS = ["-std=c++20", "-x", "c++", "-Isrc", "-I."]
+
+
+class ClangScanner:
+    """Implements the rule catalogue over libclang ASTs. Structure comes
+    from cursors; pattern vocabulary (BLOCKING, CTX_POLL, ...) is shared
+    with the syntactic frontend so both emit identical findings."""
+
+    def __init__(self, cindex, compile_args: dict[str, list[str]]):
+        self.cindex = cindex
+        self.index = cindex.Index.create()
+        self.compile_args = compile_args
+
+    def scan(self, path: str) -> list[Finding]:
+        text = read_source(path)
+        if text is None:
+            return []
+        raw_lines = text.splitlines()
+        abspath = os.path.abspath(path)
+        args = self.compile_args.get(abspath, DEFAULT_CLANG_ARGS)
+        tu = self.index.parse(
+            abspath, args=args,
+            options=self.cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+        findings: list[Finding] = []
+        clean = strip_comments_and_strings(text)
+
+        ck = self.cindex.CursorKind
+
+        def local(cursor) -> bool:
+            loc = cursor.location
+            return loc.file is not None and os.path.abspath(loc.file.name) == abspath
+
+        def add(cursor, rule: str, message: str | None = None):
+            line_idx = cursor.location.line - 1
+            if allowlisted(raw_lines, line_idx, rule):
+                return
+            findings.append(Finding(
+                path=path, line=line_idx + 1, rule=rule,
+                message=message or MESSAGES[rule],
+                snippet=raw_lines[line_idx].strip()
+                if line_idx < len(raw_lines) else ""))
+
+        def extent_text(cursor) -> str:
+            ext = cursor.extent
+            if ext.start.offset is None:
+                return ""
+            return clean[ext.start.offset:ext.end.offset]
+
+        def walk(cursor, ctx_fn_depth: int = 0):
+            for child in cursor.get_children():
+                if not local(child) and child.kind not in (
+                        ck.TRANSLATION_UNIT,):
+                    # Still descend into namespaces etc. that span files.
+                    if child.kind not in (ck.NAMESPACE,):
+                        continue
+                kind = child.kind
+
+                if kind == ck.COMPOUND_STMT:
+                    self._discarded_status_in(child, add, ck)
+
+                if kind in (ck.CLASS_DECL, ck.STRUCT_DECL) and \
+                        child.is_definition():
+                    self._unguarded_mutex_in(child, add, ck)
+
+                if kind == ck.CALL_EXPR and \
+                        child.spelling in ("parallel_for", "parallel_reduce",
+                                           "parallel_sum",
+                                           "parallel_exclusive_scan"):
+                    self._blocking_in(child, add, ck, extent_text)
+                    self._region_in(child, add, ck)
+
+                is_ctx_fn = False
+                if kind in (ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                            ck.FUNCTION_TEMPLATE) and child.is_definition():
+                    is_ctx_fn = any("Ctx" in (a.type.spelling or "")
+                                    for a in child.get_arguments())
+                if kind in (ck.WHILE_STMT, ck.FOR_STMT) and ctx_fn_depth > 0:
+                    if self._flag_unpolled_loop(child, add, extent_text):
+                        continue  # one finding covers nested loops
+
+                if kind in (ck.VAR_DECL, ck.CXX_FUNCTIONAL_CAST_EXPR,
+                            ck.CXX_TEMPORARY_OBJECT_EXPR):
+                    t = child.type.spelling or ""
+                    if "ofstream" in t:
+                        add(child, "bare-ofstream",
+                            "raw std::ofstream — durable output must go "
+                            "through guard::atomic_write_file so a crash "
+                            "cannot leave a truncated file")
+
+                walk(child, ctx_fn_depth + (1 if is_ctx_fn else 0))
+
+        walk(tu.cursor)
+        # racy-write stays textual even in libclang mode: per-lambda alias
+        # analysis over AST cursors buys nothing over the name-based match.
+        for f in _syntactic_v1_rules(path, clean, raw_lines):
+            if f.rule == "racy-write":
+                findings.append(f)
+        return findings
+
+    def _discarded_status_in(self, compound, add, ck):
+        for stmt in compound.get_children():
+            if stmt.kind != ck.CALL_EXPR:
+                continue
+            rt = stmt.type.spelling or ""
+            if STATUS_TYPES.search(rt):
+                add(stmt, "discarded-status")
+
+    def _unguarded_mutex_in(self, cls, add, ck):
+        fields = [c for c in cls.get_children() if c.kind == ck.FIELD_DECL]
+        mutexes = [f for f in fields
+                   if MUTEX_TYPES.search(f.type.spelling or "")]
+        if not mutexes:
+            return
+        for f in fields:
+            toks = " ".join(t.spelling for t in f.get_tokens())
+            if "guarded_by" in toks or "MGC_GUARDED_BY" in toks:
+                return
+        for m in mutexes:
+            add(m, "unguarded-mutex")
+
+    def _lambdas_in(self, call, ck):
+        out = []
+
+        def rec(c):
+            for ch in c.get_children():
+                if ch.kind == ck.LAMBDA_EXPR:
+                    out.append(ch)
+                else:
+                    rec(ch)
+
+        rec(call)
+        return out
+
+    def _blocking_in(self, call, add, ck, extent_text):
+        for lam in self._lambdas_in(call, ck):
+            body = extent_text(lam)
+            for m in BLOCKING.finditer(body):
+                line = body.count("\n", 0, m.start()) + lam.extent.start.line
+                add(_CursorAt(line), "blocking-in-parallel")
+
+    def _region_in(self, call, add, ck):
+        for lam in self._lambdas_in(call, ck):
+            for c in lam.walk_preorder():
+                t = c.type.spelling or ""
+                if c.kind in (ck.VAR_DECL, ck.CXX_TEMPORARY_OBJECT_EXPR) \
+                        and "prof::Region" in t.replace(" ", ""):
+                    add(c, "region-in-parallel",
+                        "prof::Region constructed inside a parallel lambda "
+                        "— per-iteration region overhead distorts the "
+                        "profile; hoist it around the dispatch")
+
+    def _flag_unpolled_loop(self, loop, add, extent_text) -> bool:
+        body = extent_text(loop)
+        if CTX_POLL.search(body):
+            return False
+        span = loop.extent.end.line - loop.extent.start.line
+        if span < MIN_LOOP_LINES:
+            return False
+        add(loop, "missing-ctx-poll")
+        return True
+
+
+class _CursorAt:
+    """Minimal location shim so add() can report token-scan hits that have
+    a line but no cursor."""
+
+    def __init__(self, line: int):
+        class _Loc:
+            pass
+
+        self.location = _Loc()
+        self.location.line = line
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="+", help="files or directories to lint")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for accurate parse flags "
+                         "(libclang mode)")
+    ap.add_argument("--require-libclang", action="store_true",
+                    help="fail (exit 2) instead of falling back to the "
+                         "syntactic frontend when libclang is unavailable")
+    ap.add_argument("--frontend", choices=["auto", "libclang", "syntactic"],
+                    default="auto",
+                    help="force a frontend (default: libclang when "
+                         "available)")
+    args = ap.parse_args(argv)
+
+    files = collect_files(args.paths)
+    if not files:
+        print("mgc_lint2: no input files", file=sys.stderr)
+        return 2
+
+    cindex = None
+    if args.frontend in ("auto", "libclang"):
+        cindex = load_libclang()
+    if cindex is None and (args.require_libclang
+                           or args.frontend == "libclang"):
+        print("mgc_lint2: libclang Python bindings unavailable and "
+              "--require-libclang/--frontend=libclang given", file=sys.stderr)
+        return 2
+
+    if cindex is not None:
+        scanner = ClangScanner(cindex,
+                               load_compile_args(args.compile_commands))
+        findings: list[Finding] = []
+        for path in files:
+            findings.extend(scanner.scan(path))
+    else:
+        if args.frontend == "auto" and args.compile_commands:
+            print("mgc_lint2: libclang unavailable; using the syntactic "
+                  "frontend", file=sys.stderr)
+        findings = syntactic_scan(files, args.paths)
+
+    return print_findings(findings, len(files), tool="mgc_lint2")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
