@@ -127,6 +127,8 @@ const char* kind_name(Kind k) {
     case Kind::kIoTruncate: return "io-truncate";
     case Kind::kSolverStall: return "solver-stall";
     case Kind::kMapStall: return "map-stall";
+    case Kind::kMmapFail: return "mmap-fail";
+    case Kind::kSpillIo: return "spill-io";
   }
   return "?";
 }

@@ -19,6 +19,10 @@
 //                 multilevel driver's FM fallback must fire)
 //   map-stall     the level's primary coarse mapping is treated as stalled
 //                 (the fallback mapping chain must fire)
+//   mmap-fail     ooc spill read-back behaves as if mmap() refused (the
+//                 spill manager must fall back / surface kResourceExhausted)
+//   spill-io      ooc spill segment write/read fails mid-I/O
+//                 -> guard::Error(kInternal, "spill")
 //
 // Configuration: MGC_FAULT="kind:rate:seed[,kind:rate:seed...]" in the
 // environment (read once, lazily), or fault::configure(spec) from code
@@ -43,11 +47,13 @@ enum class Kind : std::uint8_t {
   kIoTruncate,
   kSolverStall,
   kMapStall,
+  kMmapFail,
+  kSpillIo,
 };
-inline constexpr int kNumKinds = 4;
+inline constexpr int kNumKinds = 6;
 
 /// Spec name of a kind ("alloc", "io-truncate", "solver-stall",
-/// "map-stall").
+/// "map-stall", "mmap-fail", "spill-io").
 const char* kind_name(Kind k);
 
 /// Replaces the active configuration with `spec`

@@ -116,6 +116,20 @@ bool try_charge(std::size_t bytes, const char* what) {
   return MemoryBudget::process().try_charge(bytes, effective_limit());
 }
 
+void charge_unbounded(std::size_t bytes, const char* what) {
+  MemoryBudget& b = MemoryBudget::process();
+  const std::size_t lim = effective_limit();
+  if (lim != 0 && b.charged() + bytes > lim) {
+    if (prof::enabled()) prof::add("guard.mem.overcommitted", 1);
+    if (trace::enabled()) {
+      trace::instant("guard.mem.overcommitted",
+                     std::string(what) + ": " + std::to_string(bytes) +
+                         " bytes over the limit");
+    }
+  }
+  (void)b.try_charge(bytes, 0);  // limit 0 = unlimited: always succeeds
+}
+
 void release(std::size_t bytes) {
   MemoryBudget::process().release(bytes);
 }

@@ -96,6 +96,14 @@ void charge(std::size_t bytes, const char* what);
 /// of throwing and is not a fault injection point (see header comment).
 bool try_charge(std::size_t bytes, const char* what);
 
+/// Debits `bytes` WITHOUT enforcing the limit — the out-of-core ladder's
+/// last rung (mgc::ooc, docs/out-of-core.md): when even the active level
+/// cannot fit and the caller has chosen degrade-over-die, the ledger must
+/// keep telling the truth about resident bytes rather than refuse. Not a
+/// fault injection point and never throws; every over-limit use emits the
+/// prof counter "guard.mem.overcommitted" so overcommits are observable.
+void charge_unbounded(std::size_t bytes, const char* what);
+
 /// Credits `bytes` back to the ledger.
 void release(std::size_t bytes);
 
@@ -129,6 +137,18 @@ class ScopedCharge {
     if (!guard::try_charge(bytes, what)) return false;
     held_ += bytes;
     return true;
+  }
+  /// Adds via charge_unbounded() — the ooc overcommit rung.
+  void add_unbounded(std::size_t bytes, const char* what) {
+    guard::charge_unbounded(bytes, what);
+    held_ += bytes;
+  }
+  /// Releases part of the bundle early (the ooc spill rung frees a level's
+  /// charge when its storage moves to disk). Clamped to what is held.
+  void release(std::size_t bytes) {
+    if (bytes > held_) bytes = held_;
+    if (bytes != 0) guard::release(bytes);
+    held_ -= bytes;
   }
   void release_all() {
     if (held_ != 0) guard::release(held_);

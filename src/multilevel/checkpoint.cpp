@@ -55,7 +55,7 @@ void put_f64(std::string& out, std::size_t at, double v) {
   put_u64(out, at, std::bit_cast<std::uint64_t>(v));
 }
 
-std::uint32_t get_u32(const std::string& in, std::size_t at) {
+std::uint32_t get_u32(const char* in, std::size_t at) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(
@@ -65,7 +65,7 @@ std::uint32_t get_u32(const std::string& in, std::size_t at) {
   return v;
 }
 
-std::uint64_t get_u64(const std::string& in, std::size_t at) {
+std::uint64_t get_u64(const char* in, std::size_t at) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(
@@ -75,7 +75,7 @@ std::uint64_t get_u64(const std::string& in, std::size_t at) {
   return v;
 }
 
-double get_f64(const std::string& in, std::size_t at) {
+double get_f64(const char* in, std::size_t at) {
   return std::bit_cast<double>(get_u64(in, at));
 }
 
@@ -86,11 +86,14 @@ void append_array(std::string& out, const std::vector<T>& v) {
 }
 
 template <class T>
-void read_array(const std::string& in, std::size_t& pos, std::vector<T>& v,
+void read_array(const char* in, std::size_t& pos, std::vector<T>& v,
                 std::size_t count) {
+  // Count is validated against the file size by the caller, which owns
+  // the ledger charge for the resumed level.
+  // mgc-lint: budget-ok -- caller validates count and owns the charge
   v.resize(count);
   if (count == 0) return;
-  std::memcpy(v.data(), in.data() + pos, count * sizeof(T));
+  std::memcpy(v.data(), in + pos, count * sizeof(T));
   pos += count * sizeof(T);
 }
 
@@ -98,46 +101,45 @@ guard::Status invalid(const std::string& path, const std::string& why) {
   return guard::Status::invalid_input("checkpoint " + path + ": " + why);
 }
 
-/// Parses + fully validates one serialized snapshot. `expect_input_crc`
-/// of nullptr skips the input-fingerprint cross-check (checkpoint-info
-/// has no input graph to check against). `info`, when given, is filled
-/// with whatever header fields parsed before a failure.
-guard::Result<CheckpointLevel> parse_checkpoint(
-    const std::string& path, const std::string& bytes,
-    const std::uint32_t* expect_input_crc, CheckpointFileInfo* info) {
-  if (bytes.size() < kHeaderSize) {
-    return invalid(path, "truncated header (" +
-                             std::to_string(bytes.size()) + " bytes)");
+}  // namespace
+
+guard::Result<CheckpointLevel> parse_checkpoint_bytes(
+    const std::string& path, const char* data, std::size_t size,
+    const std::uint32_t* expect_input_crc, int min_level,
+    CheckpointFileInfo* info) {
+  if (size < kHeaderSize) {
+    return invalid(path,
+                   "truncated header (" + std::to_string(size) + " bytes)");
   }
-  if (get_u32(bytes, 0) != kCheckpointMagic) {
+  if (get_u32(data, 0) != kCheckpointMagic) {
     return invalid(path, "bad magic");
   }
-  const std::uint32_t version = get_u32(bytes, 4);
+  const std::uint32_t version = get_u32(data, 4);
   if (info != nullptr) info->version = version;
   if (version != kCheckpointVersion) {
     return invalid(path,
                    "unsupported version " + std::to_string(version));
   }
-  const std::uint32_t header_crc = get_u32(bytes, 76);
-  if (guard::crc32(bytes.data(), 76) != header_crc) {
+  const std::uint32_t header_crc = get_u32(data, 76);
+  if (guard::crc32(data, 76) != header_crc) {
     return invalid(path, "header checksum mismatch");
   }
-  const std::uint32_t flags = get_u32(bytes, 8);
+  const std::uint32_t flags = get_u32(data, 8);
   if ((flags & kFlagLittleEndian) == 0 ||
       std::endian::native != std::endian::little) {
     return invalid(path, "payload endianness not supported on this host");
   }
 
   CheckpointLevel lvl;
-  lvl.level = static_cast<int>(get_u32(bytes, 12));
-  lvl.seed = get_u64(bytes, 16);
-  const std::uint32_t input_crc = get_u32(bytes, 24);
-  const std::uint64_t n = get_u64(bytes, 32);
-  const std::uint64_t entries = get_u64(bytes, 40);
-  const std::uint64_t map_n = get_u64(bytes, 48);
-  lvl.mapping_seconds = get_f64(bytes, 56);
-  lvl.construct_seconds = get_f64(bytes, 64);
-  const std::uint32_t payload_crc = get_u32(bytes, 72);
+  lvl.level = static_cast<int>(get_u32(data, 12));
+  lvl.seed = get_u64(data, 16);
+  const std::uint32_t input_crc = get_u32(data, 24);
+  const std::uint64_t n = get_u64(data, 32);
+  const std::uint64_t entries = get_u64(data, 40);
+  const std::uint64_t map_n = get_u64(data, 48);
+  lvl.mapping_seconds = get_f64(data, 56);
+  lvl.construct_seconds = get_f64(data, 64);
+  const std::uint32_t payload_crc = get_u32(data, 72);
   if (info != nullptr) {
     info->level = lvl.level;
     info->seed = lvl.seed;
@@ -148,7 +150,10 @@ guard::Result<CheckpointLevel> parse_checkpoint(
                                 std::numeric_limits<eid_t>::max()));
   }
 
-  if (lvl.level < 1) return invalid(path, "level must be >= 1");
+  if (lvl.level < min_level) {
+    return invalid(path,
+                   "level must be >= " + std::to_string(min_level));
+  }
   if (n < 1 || n > kCountCap || entries > kCountCap || map_n > kCountCap) {
     return invalid(path, "implausible header counts");
   }
@@ -165,13 +170,12 @@ guard::Result<CheckpointLevel> parse_checkpoint(
                                       entries * sizeof(wgt_t) +
                                       n * sizeof(wgt_t) +
                                       map_n * sizeof(vid_t);
-  if (bytes.size() != kHeaderSize + payload_bytes) {
-    return invalid(path, bytes.size() < kHeaderSize + payload_bytes
+  if (size != kHeaderSize + payload_bytes) {
+    return invalid(path, size < kHeaderSize + payload_bytes
                              ? "truncated payload"
                              : "trailing bytes after payload");
   }
-  if (guard::crc32(bytes.data() + kHeaderSize, payload_bytes) !=
-      payload_crc) {
+  if (guard::crc32(data + kHeaderSize, payload_bytes) != payload_crc) {
     return invalid(path, "payload checksum mismatch");
   }
   if (expect_input_crc != nullptr && input_crc != *expect_input_crc) {
@@ -180,12 +184,12 @@ guard::Result<CheckpointLevel> parse_checkpoint(
   }
 
   std::size_t pos = kHeaderSize;
-  read_array(bytes, pos, lvl.graph.rowptr,
+  read_array(data, pos, lvl.graph.rowptr,
              static_cast<std::size_t>(n) + 1);
-  read_array(bytes, pos, lvl.graph.colidx, static_cast<std::size_t>(entries));
-  read_array(bytes, pos, lvl.graph.wgts, static_cast<std::size_t>(entries));
-  read_array(bytes, pos, lvl.graph.vwgts, static_cast<std::size_t>(n));
-  read_array(bytes, pos, lvl.map, static_cast<std::size_t>(map_n));
+  read_array(data, pos, lvl.graph.colidx, static_cast<std::size_t>(entries));
+  read_array(data, pos, lvl.graph.wgts, static_cast<std::size_t>(entries));
+  read_array(data, pos, lvl.graph.vwgts, static_cast<std::size_t>(n));
+  read_array(data, pos, lvl.map, static_cast<std::size_t>(map_n));
 
   // Checksums catch corruption; the structural checks catch a well-formed
   // file that lies (hand-edited, or written by a buggy future version).
@@ -203,8 +207,6 @@ guard::Result<CheckpointLevel> parse_checkpoint(
   }
   return lvl;
 }
-
-}  // namespace
 
 namespace detail {
 std::uint64_t next_level_seed(std::uint64_t seed) {
@@ -230,15 +232,8 @@ std::uint32_t graph_crc32(const Csr& g) {
   return c;
 }
 
-guard::Status write_checkpoint_level(const std::string& dir,
-                                     const CheckpointLevel& level,
-                                     std::uint32_t input_crc) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return guard::Status::invalid_input("checkpoint dir " + dir + ": " +
-                                        ec.message());
-  }
+std::string serialize_checkpoint_level(const CheckpointLevel& level,
+                                       std::uint32_t input_crc) {
   const Csr& g = level.graph;
   const std::uint64_t n = static_cast<std::uint64_t>(g.num_vertices());
   const std::uint64_t entries =
@@ -246,6 +241,7 @@ guard::Status write_checkpoint_level(const std::string& dir,
   const std::uint64_t map_n = static_cast<std::uint64_t>(level.map.size());
 
   std::string out(kHeaderSize, '\0');
+  // mgc-lint: budget-ok -- transient one-level serialize buffer
   out.reserve(kHeaderSize + (n + 1) * sizeof(eid_t) +
               entries * (sizeof(vid_t) + sizeof(wgt_t)) +
               n * sizeof(wgt_t) + map_n * sizeof(vid_t));
@@ -272,9 +268,21 @@ guard::Status write_checkpoint_level(const std::string& dir,
   put_u32(out, 72, guard::crc32(out.data() + kHeaderSize,
                                 out.size() - kHeaderSize));
   put_u32(out, 76, guard::crc32(out.data(), 76));
+  return out;
+}
 
-  return guard::atomic_write_file(checkpoint_level_path(dir, level.level),
-                                  out);
+guard::Status write_checkpoint_level(const std::string& dir,
+                                     const CheckpointLevel& level,
+                                     std::uint32_t input_crc) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return guard::Status::invalid_input("checkpoint dir " + dir + ": " +
+                                        ec.message());
+  }
+  return guard::atomic_write_file(
+      checkpoint_level_path(dir, level.level),
+      serialize_checkpoint_level(level, input_crc));
 }
 
 guard::Result<CheckpointLevel> read_checkpoint_level(
@@ -284,7 +292,8 @@ guard::Result<CheckpointLevel> read_checkpoint_level(
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
   if (!in.good() && !in.eof()) return invalid(path, "read failed");
-  return parse_checkpoint(path, bytes, &expect_input_crc, nullptr);
+  return parse_checkpoint_bytes(path, bytes.data(), bytes.size(),
+                                &expect_input_crc, 1, nullptr);
 }
 
 std::vector<CheckpointFileInfo> inspect_checkpoint_dir(
@@ -298,8 +307,8 @@ std::vector<CheckpointFileInfo> inspect_checkpoint_dir(
     std::string bytes((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
     info.file_bytes = bytes.size();
-    guard::Result<CheckpointLevel> r =
-        parse_checkpoint(info.path, bytes, nullptr, &info);
+    guard::Result<CheckpointLevel> r = parse_checkpoint_bytes(
+        info.path, bytes.data(), bytes.size(), nullptr, 1, &info);
     info.valid = r.ok();
     if (!r.ok()) {
       info.error = r.status().message;

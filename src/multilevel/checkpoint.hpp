@@ -48,6 +48,13 @@ struct CheckpointLevel {
 /// "<dir>/ckpt_level_0007.mgck".
 std::string checkpoint_level_path(const std::string& dir, int level);
 
+/// Serializes one level snapshot to the on-disk .mgck byte layout —
+/// header, payload, and both CRCs. Shared by checkpoint files and the
+/// mgc::ooc spill segments (src/ooc/spill.hpp), which reuse the format
+/// byte-for-byte under a different file-naming scheme.
+std::string serialize_checkpoint_level(const CheckpointLevel& level,
+                                       std::uint32_t input_crc);
+
 /// CRC-32 fingerprint of a graph's payload arrays; binds snapshots to the
 /// input graph they were computed from.
 std::uint32_t graph_crc32(const Csr& g);
@@ -85,6 +92,18 @@ struct CheckpointFileInfo {
 /// vector when the directory has no level-1 snapshot.
 std::vector<CheckpointFileInfo> inspect_checkpoint_dir(
     const std::string& dir);
+
+/// Parses and fully validates one serialized .mgck snapshot from raw bytes
+/// (an mmap'd region or a read file — the same untrusted-input trust model
+/// either way). `expect_input_crc` of nullptr skips the input-fingerprint
+/// cross-check. `min_level` is 1 for checkpoint snapshots; ooc spill
+/// segments pass 0, because segment 0 legitimately holds the run's input
+/// graph under an identity map. `info`, when given, is filled with
+/// whatever header fields parsed before a failure.
+guard::Result<CheckpointLevel> parse_checkpoint_bytes(
+    const std::string& path, const char* data, std::size_t size,
+    const std::uint32_t* expect_input_crc, int min_level,
+    CheckpointFileInfo* info);
 
 namespace detail {
 /// The coarsener's per-level seed evolution, shared with resume so the

@@ -2,16 +2,43 @@
 
 #include <cmath>
 #include <filesystem>
+#include <limits>
+#include <numeric>
 
 #include "core/prng.hpp"
 #include "core/timer.hpp"
 #include "guard/fault.hpp"
 #include "guard/memory.hpp"
 #include "multilevel/checkpoint.hpp"
+#include "ooc/shard.hpp"
+#include "ooc/spill.hpp"
 #include "prof/prof.hpp"
 #include "trace/trace.hpp"
 
 namespace mgc {
+
+std::string degrade_name(Degrade d) {
+  switch (d) {
+    case Degrade::kOff:
+      return "off";
+    case Degrade::kSpill:
+      return "spill";
+    case Degrade::kShard:
+      return "shard";
+    case Degrade::kAuto:
+      return "auto";
+  }
+  return "off";
+}
+
+guard::Result<Degrade> parse_degrade(const std::string& s) {
+  if (s == "off") return Degrade::kOff;
+  if (s == "spill") return Degrade::kSpill;
+  if (s == "shard") return Degrade::kShard;
+  if (s == "auto") return Degrade::kAuto;
+  return guard::Status::invalid_input(
+      "unknown degrade mode '" + s + "' (expected off|spill|shard|auto)");
+}
 
 double Hierarchy::mapping_seconds() const {
   double t = 0;
@@ -33,12 +60,30 @@ double Hierarchy::avg_coarsening_ratio() const {
   return std::pow(n0 / nl, 1.0 / (l - 1));
 }
 
+bool Hierarchy::level_resident(int i) const {
+  // A spilled level's graph arrays are emptied when its segment is
+  // written; levels[i] keeps the real n (always >= 1), so an empty graph
+  // under an active SpillSet is the spilled marker.
+  return graphs[static_cast<std::size_t>(i)].num_vertices() > 0 ||
+         spill == nullptr;
+}
+
 std::vector<int> Hierarchy::project_one_level(const std::vector<int>& assign,
                                               int from) const {
   const CoarseMap& cm = maps[static_cast<std::size_t>(from) - 1];
-  std::vector<int> fine(cm.map.size());
-  for (std::size_t u = 0; u < cm.map.size(); ++u) {
-    fine[u] = assign[static_cast<std::size_t>(cm.map[u])];
+  const vid_t* map = cm.map.data();
+  std::size_t map_n = cm.map.size();
+  if (map_n == 0 && spill != nullptr && spill->spilled(from)) {
+    // Level `from` was spilled: its interpolation map is served from the
+    // segment, mmap-backed, without re-materializing the level.
+    guard::Result<ooc::MapView> view = spill->map_view(from);
+    if (!view.ok()) throw guard::Error(view.status());
+    map = view.value().data;
+    map_n = view.value().size;
+  }
+  std::vector<int> fine(map_n);
+  for (std::size_t u = 0; u < map_n; ++u) {
+    fine[u] = assign[static_cast<std::size_t>(map[u])];
   }
   return fine;
 }
@@ -157,48 +202,214 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
   std::uint64_t seed = opts.seed;
   bool degraded = false;
 
+  // Out-of-core degradation ladder configuration (docs/out-of-core.md).
+  const bool wants_spill =
+      opts.degrade == Degrade::kSpill || opts.degrade == Degrade::kAuto;
+  if (wants_spill && opts.spill_dir.empty()) {
+    report.status = guard::Status::invalid_input(
+        "degrade=" + degrade_name(opts.degrade) +
+        " requires a spill directory (CoarsenOptions::spill_dir)");
+    return report;
+  }
+  // Seed each level was BUILT with, by graph index — stored in spill
+  // segment headers so a re-hydrated hierarchy carries the same metadata
+  // a checkpoint would. level_seeds[0] is the chain origin.
+  std::vector<std::uint64_t> level_seeds{opts.seed};
+  // Once the auto ladder's last rung fires, the whole run is overcommitted
+  // and stays that way: later steps go straight to the lifted-limit path
+  // instead of re-walking (and re-failing) the ladder on every level. The
+  // one overcommit event marking the transition is already recorded.
+  bool ladder_lifted = false;
+
+  // Every rung transition is one guard::Event + trace instant + prof
+  // counter, and demotes the run to kDegraded: silent degradation is
+  // exactly what the ladder must not do.
+  auto ooc_event = [&](const std::string& rung, const std::string& detail) {
+    report.events.push_back({"ooc", detail});
+    degraded = true;
+    if (prof::enabled()) prof::add("ooc." + rung, 1);
+    if (trace::enabled()) trace::instant("ooc." + rung, detail);
+  };
+
   // The hierarchy's graph storage is accounted against the active
   // guard::MemoryBudget for the duration of the run; a budget too small
-  // for even the input yields the typed error with the input-only report.
+  // for even the input yields the typed error with the input-only report —
+  // unless degrade=auto, whose contract is to finish: the input is then
+  // admitted over the limit with an overcommit event.
   guard::ScopedCharge mem_charge;
   try {
     mem_charge.add(g.memory_bytes(), "hierarchy input graph");
   } catch (const guard::Error& e) {
-    report.status = e.status();
-    report.status.message += " while admitting the input graph";
-    note_stop(report.status, 0);
-    return report;
+    if (opts.degrade == Degrade::kAuto &&
+        e.status().code == guard::Code::kResourceExhausted) {
+      mem_charge.add_unbounded(g.memory_bytes(),
+                               "hierarchy input graph (overcommitted)");
+      ooc_event("overcommit",
+                "input graph does not fit the memory budget; admitted " +
+                    std::to_string(g.memory_bytes()) +
+                    " bytes over the limit");
+      ladder_lifted = true;
+    } else {
+      report.status = e.status();
+      report.status.message += " while admitting the input graph";
+      note_stop(report.status, 0);
+      return report;
+    }
   }
 
   // Checkpoint/resume: splice in the deepest valid snapshot prefix, then
   // continue coarsening (and snapshotting) from where it ends.
   bool checkpoints_on = !opts.checkpoint_dir.empty();
   std::uint32_t input_crc = 0;
+  bool have_input_crc = false;
   if (checkpoints_on) {
     input_crc = graph_crc32(g);
+    have_input_crc = true;
+    int resumed = 0;
     try {
-      const int resumed = resume_from_checkpoints(
+      resumed = resume_from_checkpoints(
           opts.checkpoint_dir, input_crc, h, seed, report.events, degraded,
           mem_charge, report.resident_bytes);
-      if (resumed > 0) {
-        report.events.push_back(
-            {"checkpoint", "resumed " + std::to_string(resumed) +
-                               " level(s) from " + opts.checkpoint_dir});
-        if (prof::enabled()) {
-          prof::add("guard.ckpt.resumed_levels",
-                    static_cast<std::uint64_t>(resumed));
-        }
-        if (trace::enabled()) {
-          trace::instant("guard.ckpt.resumed", report.events.back().detail);
-        }
-      }
     } catch (const guard::Error& e) {
-      report.status = e.status();
-      report.status.message += " while resuming from checkpoints";
-      note_stop(report.status, h.num_levels());
-      return report;
+      if (opts.degrade == Degrade::kAuto &&
+          e.status().code == guard::Code::kResourceExhausted) {
+        // degrade=auto finishes runs: keep the levels that fit and
+        // recompute the rest instead of dying on the resume charge.
+        resumed = h.num_levels() - 1;
+        ooc_event("overcommit",
+                  "checkpoint resume stopped at the memory budget; "
+                  "continuing from the resumed prefix");
+      } else {
+        report.status = e.status();
+        report.status.message += " while resuming from checkpoints";
+        note_stop(report.status, h.num_levels());
+        return report;
+      }
+    }
+    // Replay the seed chain for the resumed prefix so spill segments of
+    // resumed levels carry the same seeds a fresh run would record.
+    while (static_cast<int>(level_seeds.size()) < h.num_levels()) {
+      level_seeds.push_back(detail::next_level_seed(level_seeds.back()));
+    }
+    if (resumed > 0) {
+      report.events.push_back(
+          {"checkpoint", "resumed " + std::to_string(resumed) +
+                             " level(s) from " + opts.checkpoint_dir});
+      if (prof::enabled()) {
+        prof::add("guard.ckpt.resumed_levels",
+                  static_cast<std::uint64_t>(resumed));
+      }
+      if (trace::enabled()) {
+        trace::instant("guard.ckpt.resumed", report.events.back().detail);
+      }
     }
   }
+
+  // Degradation-ladder rung 1: write every FINISHED level (everything but
+  // the active finest-remaining graph) to spill_dir as .mgck segments,
+  // release their budget charges, and keep only metadata resident.
+  // Idempotent — levels already spilled are skipped — so each refused
+  // charge can re-run it to spill whatever finished since the last call.
+  auto spill_finished_levels = [&]() -> guard::Status {
+    if (h.spill == nullptr) {
+      if (!have_input_crc) {
+        input_crc = graph_crc32(g);
+        have_input_crc = true;
+      }
+      h.spill = std::make_shared<ooc::SpillSet>(opts.spill_dir, input_crc);
+    }
+    int spilled = 0;
+    std::size_t freed = 0;
+    for (int i = 0; i + 1 < h.num_levels(); ++i) {
+      if (ctx.should_stop()) return ctx.stop_status();
+      Csr& gi = h.graphs[static_cast<std::size_t>(i)];
+      if (gi.num_vertices() == 0) continue;  // already spilled
+      guard::Status s;
+      if (i == 0) {
+        std::vector<vid_t> identity(
+            static_cast<std::size_t>(gi.num_vertices()));
+        std::iota(identity.begin(), identity.end(), vid_t{0});
+        s = h.spill->spill(0, level_seeds[0], gi, identity,
+                           h.levels[0].mapping_seconds,
+                           h.levels[0].construct_seconds);
+      } else {
+        s = h.spill->spill(i, level_seeds[static_cast<std::size_t>(i)], gi,
+                           h.maps[static_cast<std::size_t>(i) - 1].map,
+                           h.levels[static_cast<std::size_t>(i)]
+                               .mapping_seconds,
+                           h.levels[static_cast<std::size_t>(i)]
+                               .construct_seconds);
+      }
+      if (!s.ok()) return s;
+      const std::size_t bytes = gi.memory_bytes();
+      mem_charge.release(bytes);
+      report.resident_bytes -= std::min(report.resident_bytes, bytes);
+      gi = Csr{};
+      if (i > 0) {
+        h.maps[static_cast<std::size_t>(i) - 1].map = {};
+      }
+      ++spilled;
+      freed += bytes;
+    }
+    if (spilled > 0) {
+      ooc_event("spill", "spilled " + std::to_string(spilled) +
+                             " finished level(s) (" + std::to_string(freed) +
+                             " resident bytes) to " + opts.spill_dir);
+    }
+    return guard::Status::ok_status();
+  };
+
+  auto run_lifted = [&](auto&& step) {
+    guard::Ctx lifted = ctx;
+    lifted.mem_budget_bytes = std::numeric_limits<std::size_t>::max();
+    guard::ScopedCtx scoped_lifted(lifted);
+    return step();
+  };
+
+  // Runs one ladder-covered step (a kernel whose scratch charges may be
+  // refused): on kResourceExhausted, spill finished levels and retry;
+  // under degrade=auto, retry once more with the limit lifted (scratch is
+  // transient, so this keeps peak RSS bounded by the ACTIVE level, which
+  // is the best any out-of-core scheme can do). Non-budget errors pass
+  // through untouched.
+  auto with_ladder = [&](const char* what, auto&& step) {
+    if (opts.degrade == Degrade::kOff) return step();
+    if (ladder_lifted) return run_lifted(step);
+    guard::Status refused;
+    try {
+      return step();
+    } catch (const guard::Error& e) {
+      if (e.status().code != guard::Code::kResourceExhausted) throw;
+      refused = e.status();
+    }
+    if (wants_spill) {
+      const guard::Status ss = spill_finished_levels();
+      if (!ss.ok()) {
+        if (opts.degrade == Degrade::kSpill) throw guard::Error(ss);
+        ooc_event("spill_failed",
+                  "spill rung failed, continuing down the ladder: " +
+                      ss.message);
+      } else {
+        try {
+          return step();
+        } catch (const guard::Error& e) {
+          if (e.status().code != guard::Code::kResourceExhausted) throw;
+          refused = e.status();
+        }
+      }
+    }
+    if (opts.degrade != Degrade::kAuto) throw guard::Error(refused);
+    ooc_event("overcommit",
+              std::string(what) +
+                  " over the memory budget after spilling; running with "
+                  "the limit lifted");
+    ladder_lifted = true;
+    return run_lifted(step);
+  };
+
+  // The opts.memory_budget_bytes overcommit event is noted once, not per
+  // level, to keep the event list readable.
+  bool opts_budget_overcommitted = false;
 
   while (h.graphs.back().num_vertices() > opts.cutoff &&
          h.num_levels() - 1 < opts.max_levels) {
@@ -225,7 +436,9 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
       Mapping used = opts.mapping;
       {
         prof::Region prof_map("mapping");
-        cm = compute_mapping(used, exec, fine, seed);
+        cm = with_ladder("mapping scratch", [&] {
+          return compute_mapping(used, exec, fine, seed);
+        });
       }
       // Stall detection: if the mapping barely shrinks the graph, further
       // levels add cost without progress (the HEM-on-stars pathology).
@@ -239,6 +452,7 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
         // makes progress on this level; keep the primary for later levels
         // (a single pathological level should not demote the whole run).
         prof::Region prof_fb("mapping_fallback");
+        with_ladder("fallback mapping scratch", [&] {
         for (const Mapping fb : opts.fallback_mappings) {
           if (fb == used) continue;
           CoarseMap fcm = compute_mapping(fb, exec, fine, seed);
@@ -262,6 +476,7 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
             break;
           }
         }
+        });
       }
       if (stalled) break;  // every mapping stalls: stop, as the paper does
       const double map_s = t_map.seconds();
@@ -271,8 +486,83 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
       ConstructStats cstats;
       {
         prof::Region prof_con("construct");
-        coarse = construct_coarse_graph(exec, fine, cm, opts.construct,
-                                        &cstats);
+        if (ladder_lifted) {
+          // The run is already overcommitted: go straight to the sharded
+          // path (lowest transient scratch, so peak RSS stays bounded by
+          // the active level) with the limit lifted.
+          const ooc::ShardPlan plan =
+              ooc::plan_shards(fine, opts.max_shards);
+          ooc::ShardStats sstats;
+          coarse = run_lifted([&] {
+            return ooc::construct_coarse_graph_sharded(fine, cm, plan,
+                                                       &sstats);
+          });
+        } else {
+        // In-memory construction, degrading down the ladder on a refused
+        // scratch charge: spill finished levels and retry, then shard,
+        // then (auto only) run sharded with the limit lifted.
+        auto try_construct = [&]() -> bool {
+          try {
+            coarse = construct_coarse_graph(exec, fine, cm, opts.construct,
+                                            &cstats);
+            return true;
+          } catch (const guard::Error& e) {
+            if (e.status().code != guard::Code::kResourceExhausted ||
+                opts.degrade == Degrade::kOff) {
+              throw;
+            }
+            return false;
+          }
+        };
+        bool built = try_construct();
+        if (!built && wants_spill) {
+          const guard::Status ss = spill_finished_levels();
+          if (!ss.ok()) {
+            if (opts.degrade == Degrade::kSpill) throw guard::Error(ss);
+            ooc_event("spill_failed",
+                      "spill rung failed, continuing down the ladder: " +
+                          ss.message);
+          } else {
+            built = try_construct();
+          }
+          if (!built && opts.degrade == Degrade::kSpill) {
+            throw guard::Error(guard::Status::resource_exhausted(
+                "coarse-graph construction still over the memory budget "
+                "after spilling finished levels"));
+          }
+        }
+        if (!built) {
+          const ooc::ShardPlan plan =
+              ooc::plan_shards(fine, opts.max_shards);
+          ooc_event("shard",
+                    "construction of level " + std::to_string(level) +
+                        " over the memory budget; sharded into " +
+                        std::to_string(plan.shards()) + " shard(s)");
+          ooc::ShardStats sstats;
+          try {
+            coarse =
+                ooc::construct_coarse_graph_sharded(fine, cm, plan, &sstats);
+            built = true;
+          } catch (const guard::Error& e) {
+            if (e.status().code != guard::Code::kResourceExhausted ||
+                opts.degrade != Degrade::kAuto) {
+              throw;
+            }
+          }
+          if (!built) {
+            ooc_event("overcommit",
+                      "sharded construction of level " +
+                          std::to_string(level) +
+                          " still over the memory budget; running with "
+                          "the limit lifted");
+            ladder_lifted = true;
+            coarse = run_lifted([&] {
+              return ooc::construct_coarse_graph_sharded(fine, cm, plan,
+                                                         &sstats);
+            });
+          }
+        }
+        }
       }
       const double con_s = t_con.seconds();
       if (cstats.mem_degraded_to_sort) {
@@ -285,15 +575,93 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
 
       // Admit the new level's storage; an over-budget charge (or the
       // injected alloc fault inside it) throws the typed error caught
-      // below, returning the completed prefix.
-      mem_charge.add(coarse.memory_bytes(), "hierarchy level storage");
-      report.resident_bytes += coarse.memory_bytes();
+      // below, returning the completed prefix — unless a degrade rung
+      // absorbs it. Sharding cannot shrink LEVEL storage, so under
+      // degrade=shard a refusal here stays fatal (ladder contract).
+      const std::size_t level_bytes = coarse.memory_bytes();
+      bool admitted = false;
+      if (ladder_lifted) {
+        // Sticky overcommit: keep only the active level resident and
+        // admit over the limit without per-level overcommit events (the
+        // rung transition was already reported once).
+        (void)spill_finished_levels();
+        mem_charge.add_unbounded(
+            level_bytes, "hierarchy level storage (overcommitted)");
+        admitted = true;
+      }
+      if (!admitted) {
+        try {
+          mem_charge.add(level_bytes, "hierarchy level storage");
+          admitted = true;
+        } catch (const guard::Error& e) {
+          if (e.status().code != guard::Code::kResourceExhausted ||
+              !wants_spill) {
+            throw;
+          }
+        }
+      }
+      if (!admitted) {
+        const guard::Status ss = spill_finished_levels();
+        if (!ss.ok()) {
+          if (opts.degrade == Degrade::kSpill) throw guard::Error(ss);
+          ooc_event("spill_failed",
+                    "spill rung failed, continuing down the ladder: " +
+                        ss.message);
+        } else {
+          try {
+            mem_charge.add(level_bytes, "hierarchy level storage");
+            admitted = true;
+          } catch (const guard::Error& e) {
+            if (e.status().code != guard::Code::kResourceExhausted ||
+                opts.degrade == Degrade::kSpill) {
+              throw;
+            }
+          }
+        }
+        if (!admitted) {
+          if (opts.degrade == Degrade::kSpill) {
+            throw guard::Error(guard::Status::resource_exhausted(
+                "hierarchy level storage still over the memory budget "
+                "after spilling finished levels"));
+          }
+          mem_charge.add_unbounded(level_bytes,
+                                   "hierarchy level storage "
+                                   "(overcommitted)");
+          ooc_event("overcommit",
+                    "level " + std::to_string(level) + " storage (" +
+                        std::to_string(level_bytes) +
+                        " bytes) admitted over the memory limit");
+        }
+      }
+      report.resident_bytes += level_bytes;
       if (opts.memory_budget_bytes != 0 &&
           report.resident_bytes > opts.memory_budget_bytes) {
-        report.status =
-            guard::Status::resource_exhausted("memory budget exceeded");
-        note_stop(report.status, level);
-        break;
+        bool over = true;
+        if (wants_spill) {
+          const guard::Status ss = spill_finished_levels();
+          if (ss.ok()) {
+            over = report.resident_bytes > opts.memory_budget_bytes;
+          } else if (opts.degrade == Degrade::kAuto) {
+            ooc_event("spill_failed", "spill rung failed: " + ss.message);
+          }
+        }
+        if (over && opts.degrade == Degrade::kAuto) {
+          if (!opts_budget_overcommitted) {
+            opts_budget_overcommitted = true;
+            ooc_event("overcommit",
+                      "resident hierarchy (" +
+                          std::to_string(report.resident_bytes) +
+                          " bytes) exceeds memory_budget_bytes; "
+                          "continuing overcommitted");
+          }
+          over = false;
+        }
+        if (over) {
+          report.status =
+              guard::Status::resource_exhausted("memory budget exceeded");
+          note_stop(report.status, level);
+          break;
+        }
       }
 
       const vid_t n_after = coarse.num_vertices();
@@ -317,6 +685,7 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
       h.levels.push_back({coarse.num_vertices(), coarse.num_edges(), map_s,
                           con_s});
       h.graphs.push_back(std::move(coarse));
+      level_seeds.push_back(seed);
 
       if (checkpoints_on) {
         CheckpointLevel snap;

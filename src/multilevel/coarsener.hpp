@@ -10,6 +10,7 @@
 // 11 GB limit so that OOM rows in the paper's tables can be reproduced.
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -22,6 +23,31 @@
 #include "guard/status.hpp"
 
 namespace mgc {
+
+namespace ooc {
+class SpillSet;  // src/ooc/spill.hpp — on-disk levels of a hierarchy
+}
+
+/// Out-of-core degradation ladder (docs/out-of-core.md). Controls what the
+/// driver does when guard::MemoryBudget refuses a hierarchy-level charge:
+///   kOff    refuse is fatal for the run — the pre-ooc behavior
+///           (typed kResourceExhausted with the completed prefix).
+///   kSpill  rung 1: finished fine levels are written to spill_dir as
+///           .mgck segments and their memory released, keeping only the
+///           active level resident; still-refused -> typed failure.
+///   kShard  rung 2: each level's coarse-graph construction runs in
+///           edge-partitioned shards under a per-shard sub-budget with a
+///           serial-reference boundary stitch; a level-storage refuse is
+///           still fatal (no spilling).
+///   kAuto   the full ladder: spill, then shard, then — because even the
+///           active level may not fit — overcommit with an event rather
+///           than die. degrade=auto always completes.
+enum class Degrade : std::uint8_t { kOff = 0, kSpill, kShard, kAuto };
+
+/// "off" / "spill" / "shard" / "auto".
+std::string degrade_name(Degrade d);
+/// Parses a degrade_name spelling; anything else is kInvalidInput.
+[[nodiscard]] guard::Result<Degrade> parse_degrade(const std::string& s);
 
 struct CoarsenOptions {
   Mapping mapping = Mapping::kHec;
@@ -49,6 +75,19 @@ struct CoarsenOptions {
   /// kDegraded event is recorded (mgc::prof counter "guard.fallback.<name>").
   /// Empty (the default) preserves the paper's stop-on-stall behavior.
   std::vector<Mapping> fallback_mappings;
+  /// Out-of-core ladder under memory pressure (enum above). Every rung
+  /// transition is recorded as a guard::Event (stage "ooc") and a trace
+  /// instant, and demotes the run status to kDegraded.
+  Degrade degrade = Degrade::kOff;
+  /// Directory for ooc spill segments ("spill_level_NNNN.mgck"). Required
+  /// when `degrade` includes the spill rung (kSpill / kAuto); unlike
+  /// checkpoint_dir the segments are scratch for THIS run, not a
+  /// cross-run resume aid.
+  std::string spill_dir;
+  /// Upper bound on construction shards for the shard rung (>= 1). The
+  /// driver picks the smallest shard count whose per-shard scratch fits
+  /// the remaining budget headroom, capped here.
+  int max_shards = 8;
 };
 
 /// Thrown when the hierarchy would exceed the configured memory budget —
@@ -81,8 +120,19 @@ struct Hierarchy {
   std::vector<CoarseMap> maps;
   std::vector<LevelInfo> levels;  ///< one entry per graph (levels[0] = input)
 
+  /// Non-null iff the ooc spill rung moved levels of this hierarchy to
+  /// disk. A spilled level i has empty graphs[i] arrays (levels[i] keeps
+  /// its n/m for reporting) and an empty maps[i-1].map; the interpolation
+  /// map is served mmap-backed from the spill segment instead, so
+  /// projection works without re-hydration. Shared: copies of the
+  /// hierarchy reference the same on-disk segments.
+  std::shared_ptr<ooc::SpillSet> spill;
+
   int num_levels() const { return static_cast<int>(graphs.size()); }
   const Csr& coarsest() const { return graphs.back(); }
+
+  /// False iff level i's graph was spilled to disk (ooc rung 1).
+  bool level_resident(int i) const;
 
   /// Total time spent in mapping / construction across all levels.
   double mapping_seconds() const;
@@ -96,6 +146,8 @@ struct Hierarchy {
   double avg_coarsening_ratio() const;
 
   /// Projects a coarsest-level vertex assignment down to the finest level.
+  /// Works on spilled levels too (mmap-backed interpolation-map lookups);
+  /// a spill segment that cannot be read back throws guard::Error.
   std::vector<int> project_to_finest(const std::vector<int>& coarse) const;
 
   /// Projects from level `from` one level up (towards fine), i.e. returns

@@ -1,0 +1,177 @@
+#include "ooc/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "guard/cancel.hpp"
+#include "guard/memory.hpp"
+#include "guard/status.hpp"
+#include "prof/prof.hpp"
+
+namespace mgc::ooc {
+
+namespace {
+
+/// One owned coarse edge candidate: cu < cv, weight from one fine edge (or
+/// a per-shard merged sum of them).
+struct Triple {
+  vid_t cu;
+  vid_t cv;
+  wgt_t w;
+};
+
+bool triple_less(const Triple& a, const Triple& b) {
+  return a.cu != b.cu ? a.cu < b.cu : a.cv < b.cv;
+}
+
+/// In-place merge of equal (cu, cv) runs in a SORTED triple vector,
+/// summing weights. Returns the merged size.
+std::size_t merge_sorted(std::vector<Triple>& t) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < t.size();) {
+    Triple acc = t[i];
+    std::size_t j = i + 1;
+    while (j < t.size() && t[j].cu == acc.cu && t[j].cv == acc.cv) {
+      acc.w += t[j].w;
+      ++j;
+    }
+    t[out++] = acc;
+    i = j;
+  }
+  t.resize(out);  // mgc-lint: budget-ok -- shrinking resize, no alloc
+  return out;
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const Csr& fine, int max_shards) {
+  const vid_t n = fine.num_vertices();
+  const eid_t entries = fine.num_entries();
+  if (max_shards < 1) max_shards = 1;
+  if (static_cast<eid_t>(max_shards) > std::max<eid_t>(1, entries)) {
+    max_shards = static_cast<int>(std::max<eid_t>(1, entries));
+  }
+  ShardPlan plan;
+  plan.row_begin.push_back(0);
+  for (int k = 1; k < max_shards; ++k) {
+    // First row whose prefix reaches the k-th entry quantile.
+    const eid_t target =
+        static_cast<eid_t>((entries * static_cast<long double>(k)) /
+                           max_shards);
+    const auto it = std::lower_bound(fine.rowptr.begin(),
+                                     fine.rowptr.end(), target);
+    vid_t cut = static_cast<vid_t>(it - fine.rowptr.begin());
+    if (cut > n) cut = n;
+    if (cut > plan.row_begin.back()) plan.row_begin.push_back(cut);
+  }
+  if (plan.row_begin.back() != n) plan.row_begin.push_back(n);
+  if (n == 0 && plan.row_begin.size() == 1) plan.row_begin.push_back(0);
+  return plan;
+}
+
+Csr construct_coarse_graph_sharded(const Csr& fine, const CoarseMap& cm,
+                                   const ShardPlan& plan,
+                                   ShardStats* stats) {
+  if (plan.shards() < 1) {
+    throw guard::Error(
+        guard::Status::invalid_input("shard plan has no shards"));
+  }
+  const vid_t nc = cm.nc;
+  const std::vector<vid_t>& map = cm.map;
+
+  // Stitch buffer: per-shard locally-merged partials accumulate here. Its
+  // charge grows with each shard and is released when this scope unwinds.
+  guard::ScopedCharge stitch_charge;
+  std::vector<Triple> stitched;
+
+  ShardStats st;
+  st.shards = plan.shards();
+  for (int k = 0; k < plan.shards(); ++k) {
+    if (const guard::Ctx* ctx = guard::current_ctx()) {
+      ctx->throw_if_stopped();
+    }
+    const vid_t lo = plan.row_begin[static_cast<std::size_t>(k)];
+    const vid_t hi = plan.row_begin[static_cast<std::size_t>(k) + 1];
+
+    // Exact owned-edge count first, so the scratch charge is tight.
+    std::size_t owned = 0;
+    for (vid_t u = lo; u < hi; ++u) {
+      for (vid_t v : fine.neighbors(u)) {
+        if (v > u) ++owned;
+      }
+    }
+    st.max_shard_triples = std::max(st.max_shard_triples,
+                                    static_cast<eid_t>(owned));
+
+    // Per-shard sub-budget: this charge is the rung's whole point — it is
+    // ~1/k of the intermediate footprint the in-memory path needs at once.
+    guard::ScopedCharge shard_charge;
+    shard_charge.add(owned * sizeof(Triple), "ooc shard scratch");
+    std::vector<Triple> t;
+    t.reserve(owned);
+    for (vid_t u = lo; u < hi; ++u) {
+      const auto nbrs = fine.neighbors(u);
+      const auto ws = fine.edge_weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vid_t v = nbrs[i];
+        if (v <= u) continue;  // owned by min(u, v) == u only
+        const vid_t cu = map[static_cast<std::size_t>(u)];
+        const vid_t cv = map[static_cast<std::size_t>(v)];
+        if (cu == cv) continue;  // internal edge
+        t.push_back(cu < cv ? Triple{cu, cv, ws[i]}
+                            : Triple{cv, cu, ws[i]});
+      }
+    }
+    std::sort(t.begin(), t.end(), triple_less);
+    merge_sorted(t);
+
+    stitch_charge.add(t.size() * sizeof(Triple), "ooc stitch buffer");
+    stitched.insert(stitched.end(), t.begin(), t.end());
+  }
+
+  // Serial-reference stitch: global sort + merge makes the result
+  // independent of shard boundaries.
+  std::sort(stitched.begin(), stitched.end(), triple_less);
+  merge_sorted(stitched);
+  st.stitched_triples = static_cast<eid_t>(stitched.size());
+
+  Csr coarse;
+  coarse.vwgts.assign(static_cast<std::size_t>(nc), 0);
+  for (vid_t u = 0; u < fine.num_vertices(); ++u) {
+    coarse.vwgts[static_cast<std::size_t>(map[static_cast<std::size_t>(u)])] +=
+        fine.vwgts[static_cast<std::size_t>(u)];
+  }
+  coarse.rowptr.assign(static_cast<std::size_t>(nc) + 1, 0);
+  for (const Triple& e : stitched) {
+    ++coarse.rowptr[static_cast<std::size_t>(e.cu) + 1];
+    ++coarse.rowptr[static_cast<std::size_t>(e.cv) + 1];
+  }
+  for (std::size_t i = 1; i < coarse.rowptr.size(); ++i) {
+    coarse.rowptr[i] += coarse.rowptr[i - 1];
+  }
+  coarse.colidx.resize(static_cast<std::size_t>(coarse.rowptr.back()));
+  coarse.wgts.resize(coarse.colidx.size());
+  std::vector<eid_t> cursor(coarse.rowptr.begin(), coarse.rowptr.end() - 1);
+  // Iterating the globally sorted list fills every row in ascending
+  // neighbor order: row r receives its cu < r neighbors (ascending) before
+  // its cv > r neighbors (ascending).
+  for (const Triple& e : stitched) {
+    const auto a = static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.cu)]++);
+    coarse.colidx[a] = e.cv;
+    coarse.wgts[a] = e.w;
+    const auto b = static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.cv)]++);
+    coarse.colidx[b] = e.cu;
+    coarse.wgts[b] = e.w;
+  }
+
+  if (prof::enabled()) {
+    prof::add("ooc.sharded_constructions", 1);
+    prof::add("ooc.shards", static_cast<std::uint64_t>(st.shards));
+  }
+  if (stats != nullptr) *stats = st;
+  return coarse;
+}
+
+}  // namespace mgc::ooc

@@ -1,0 +1,66 @@
+#pragma once
+// mgc::ooc — sharded coarse-graph construction (degradation-ladder rung 2,
+// docs/out-of-core.md).
+//
+// construct_coarse_graph builds intermediate arrays sized by the whole fine
+// edge set; under memory pressure that single allocation is what the
+// guard::MemoryBudget refuses. This rung replaces it with k edge-partitioned
+// shards processed ONE AT A TIME: each shard owns a contiguous fine-vertex
+// row range, coarsens only its owned edges under a per-shard scratch charge
+// (~1/k of the intermediate footprint), and appends its locally-merged
+// partial to a stitch buffer. A serial-reference stitcher then globally
+// sorts and merge-sums the partials into the coarse CSR.
+//
+// Invariants the stitcher relies on (tested against the in-memory path by
+// canonical-CSR equality in tests/test_ooc.cpp):
+//   * ownership: fine edge {u, v} is owned by exactly one shard — the one
+//     containing min(u, v) — so no edge is counted twice across shards;
+//   * wgt_t is an integer type, so merge-summed coarse edge weights are
+//     independent of shard count and merge order (bitwise-equal output for
+//     ANY k, including k == 1);
+//   * the stitch sorts globally before filling rows, so adjacency order is
+//     deterministic and each coarse row comes out sorted by neighbor id.
+
+#include <vector>
+
+#include "coarsen/mapping.hpp"
+#include "graph/csr.hpp"
+
+namespace mgc::ooc {
+
+/// Edge-balanced contiguous row partition of a fine graph.
+struct ShardPlan {
+  /// row_begin[k] .. row_begin[k+1] is shard k's row range; size shards+1.
+  std::vector<vid_t> row_begin;
+
+  int shards() const { return static_cast<int>(row_begin.size()) - 1; }
+};
+
+/// Splits `fine`'s rows into at most `max_shards` contiguous ranges with
+/// roughly equal directed-entry counts (degenerate graphs may yield fewer
+/// shards). max_shards < 1 is treated as 1.
+ShardPlan plan_shards(const Csr& fine, int max_shards);
+
+/// Diagnostics from one sharded construction.
+struct ShardStats {
+  int shards = 0;
+  /// Largest per-shard owned-edge scratch, in triples — the peak the
+  /// per-shard sub-budget charge covers.
+  eid_t max_shard_triples = 0;
+  /// Total triples handed to the stitcher (after per-shard local merges).
+  eid_t stitched_triples = 0;
+};
+
+/// Builds the weighted coarse graph shard by shard (semantics identical to
+/// construct_coarse_graph: vertex weights summed, internal edges dropped,
+/// parallel coarse edges merged by weight summation). Charges per-shard
+/// scratch and the stitch buffer against the active guard::MemoryBudget
+/// (throwing kResourceExhausted through the kAlloc fault point when
+/// refused) and polls the installed guard::Ctx between shards. The final
+/// coarse CSR itself is NOT charged here — the multilevel driver owns the
+/// hierarchy-level charge, exactly as on the in-memory path.
+Csr construct_coarse_graph_sharded(const Csr& fine, const CoarseMap& cm,
+                                   const ShardPlan& plan,
+                                   ShardStats* stats = nullptr);
+
+}  // namespace mgc::ooc

@@ -1,0 +1,586 @@
+#include "ooc/spill.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "guard/fault.hpp"
+#include "guard/io.hpp"
+#include "multilevel/coarsener.hpp"
+#include "prof/prof.hpp"
+#include "trace/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MGC_OOC_POSIX_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MGC_OOC_POSIX_MMAP 0
+#endif
+
+namespace mgc::ooc {
+
+namespace {
+
+// .mgck format constants, shared with multilevel/checkpoint.cpp (the
+// format spec lives in docs/robustness.md; field offsets are frozen).
+constexpr std::size_t kHeaderSize = 80;
+constexpr std::uint32_t kFlagLittleEndian = 1;
+constexpr std::uint64_t kCountCap = std::uint64_t{1} << 56;
+
+std::uint32_t get_u32(const char* in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(in[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(in[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+guard::Status seg_invalid(const std::string& path, const std::string& why) {
+  return guard::Status::invalid_input("spill segment " + path + ": " + why);
+}
+
+/// Header-level layout of one segment, resolved WITHOUT materializing the
+/// payload arrays — this is what lets the mmap path validate a segment
+/// while only ever paging it, never copying it.
+struct SegLayout {
+  int level = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t n = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t map_n = 0;
+  std::size_t map_offset = 0;  ///< byte offset of the interpolation map
+  std::uint32_t input_crc = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Validates the fixed header of `data[0..size)` and computes the layout.
+/// Payload CRC and map-target validation are the CALLER's job (they differ
+/// between the mmap and streaming paths).
+guard::Status check_segment_header(const std::string& path, const char* data,
+                                   std::size_t size, SegLayout& out) {
+  if (size < kHeaderSize) {
+    return seg_invalid(path, "truncated header (" + std::to_string(size) +
+                                 " bytes)");
+  }
+  if (get_u32(data, 0) != kCheckpointMagic) {
+    return seg_invalid(path, "bad magic");
+  }
+  if (get_u32(data, 4) != kCheckpointVersion) {
+    return seg_invalid(path, "unsupported version " +
+                                 std::to_string(get_u32(data, 4)));
+  }
+  if (guard::crc32(data, 76) != get_u32(data, 76)) {
+    return seg_invalid(path, "header checksum mismatch");
+  }
+  const std::uint32_t flags = get_u32(data, 8);
+  if ((flags & kFlagLittleEndian) == 0) {
+    return seg_invalid(path, "payload endianness not supported");
+  }
+  out.level = static_cast<int>(get_u32(data, 12));
+  out.seed = get_u64(data, 16);
+  out.input_crc = get_u32(data, 24);
+  out.n = get_u64(data, 32);
+  out.entries = get_u64(data, 40);
+  out.map_n = get_u64(data, 48);
+  out.payload_crc = get_u32(data, 72);
+  if (out.level < 0) return seg_invalid(path, "negative level");
+  if (out.n < 1 || out.n > kCountCap || out.entries > kCountCap ||
+      out.map_n > kCountCap) {
+    return seg_invalid(path, "implausible header counts");
+  }
+  if (out.n > static_cast<std::uint64_t>(
+                  std::numeric_limits<vid_t>::max()) ||
+      out.map_n > static_cast<std::uint64_t>(
+                      std::numeric_limits<vid_t>::max())) {
+    return seg_invalid(path, "vertex count overflows vid_t");
+  }
+  if (out.map_n < out.n) {
+    return seg_invalid(path, "map is smaller than the stored graph");
+  }
+  const std::uint64_t payload = (out.n + 1) * sizeof(eid_t) +
+                                out.entries * sizeof(vid_t) +
+                                out.entries * sizeof(wgt_t) +
+                                out.n * sizeof(wgt_t) +
+                                out.map_n * sizeof(vid_t);
+  if (size != kHeaderSize + payload) {
+    return seg_invalid(path, size < kHeaderSize + payload
+                                 ? "truncated payload"
+                                 : "trailing bytes after payload");
+  }
+  out.map_offset = kHeaderSize +
+                   static_cast<std::size_t>((out.n + 1) * sizeof(eid_t) +
+                                            out.entries * sizeof(vid_t) +
+                                            out.entries * sizeof(wgt_t) +
+                                            out.n * sizeof(wgt_t));
+  return guard::Status::ok_status();
+}
+
+/// Range check over a map array: every target must name a vertex of the
+/// stored graph, or projection would index out of bounds.
+guard::Status check_map_targets(const std::string& path, const vid_t* map,
+                                std::size_t map_n, std::uint64_t n) {
+  for (std::size_t i = 0; i < map_n; ++i) {
+    if (map[i] < 0 || static_cast<std::uint64_t>(map[i]) >= n) {
+      return seg_invalid(path, "mapping target out of range");
+    }
+  }
+  return guard::Status::ok_status();
+}
+
+int parse_segment_index(const std::string& filename) {
+  int index = -1;
+  if (std::sscanf(filename.c_str(), "spill_level_%d.mgck", &index) != 1) {
+    return -1;
+  }
+  // Require the exact canonical spelling so stray files are not claimed.
+  char canon[32];
+  std::snprintf(canon, sizeof(canon), "spill_level_%04d.mgck", index);
+  return filename == canon ? index : -1;
+}
+
+}  // namespace
+
+std::string spill_segment_path(const std::string& dir, int index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "spill_level_%04d.mgck", index);
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += name;
+  return path;
+}
+
+// One spilled segment and its cached read-back state. The mmap region (or
+// its heap fallback) lives until drop_views()/destruction.
+struct SpillSet::Segment {
+  std::string path;
+  std::size_t file_bytes = 0;
+  std::uint64_t seed = 0;
+
+  // Read-back cache (filled by map_view on first touch).
+  void* mmap_base = nullptr;
+  std::size_t mmap_len = 0;
+  std::vector<vid_t> heap_map;  ///< mmap-refused fallback
+  const vid_t* map = nullptr;
+  std::size_t map_n = 0;
+
+  ~Segment() {
+#if MGC_OOC_POSIX_MMAP
+    if (mmap_base != nullptr) ::munmap(mmap_base, mmap_len);
+#endif
+  }
+};
+
+SpillSet::SpillSet(std::string dir, std::uint32_t input_crc)
+    : dir_(std::move(dir)), input_crc_(input_crc) {}
+
+SpillSet::~SpillSet() = default;
+
+guard::Status SpillSet::spill(int index, std::uint64_t seed,
+                              const Csr& graph,
+                              const std::vector<vid_t>& map_into,
+                              double mapping_seconds,
+                              double construct_seconds) {
+  if (index < 0) {
+    return guard::Status::invalid_input("spill index must be >= 0");
+  }
+  if (guard::fault::should_fire(guard::fault::Kind::kSpillIo)) {
+    return guard::Status::internal(
+        "spill segment write failed (injected fault kind=spill-io)");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return guard::Status::invalid_input("spill dir " + dir_ + ": " +
+                                        ec.message());
+  }
+  CheckpointLevel lvl;
+  lvl.level = index;
+  lvl.seed = seed;
+  lvl.mapping_seconds = mapping_seconds;
+  lvl.construct_seconds = construct_seconds;
+  lvl.graph = graph;  // serialization copy; freed before the caller frees
+  lvl.map = map_into;
+  const std::string bytes = serialize_checkpoint_level(lvl, input_crc_);
+  const std::string path = spill_segment_path(dir_, index);
+  const guard::Status ws = guard::atomic_write_file(path, bytes);
+  if (!ws.ok()) return ws;
+
+  auto seg = std::make_shared<Segment>();
+  seg->path = path;
+  seg->file_bytes = bytes.size();
+  seg->seed = seed;
+  {
+    MutexLock lock(mutex_);
+    segments_[index] = std::move(seg);
+  }
+  if (prof::enabled()) {
+    prof::add("ooc.spilled_segments", 1);
+    prof::add("ooc.spilled_bytes",
+              static_cast<std::uint64_t>(bytes.size()));
+  }
+  return guard::Status::ok_status();
+}
+
+bool SpillSet::spilled(int index) const {
+  MutexLock lock(mutex_);
+  return segments_.count(index) != 0;
+}
+
+int SpillSet::num_spilled() const {
+  MutexLock lock(mutex_);
+  return static_cast<int>(segments_.size());
+}
+
+std::size_t SpillSet::spilled_bytes() const {
+  MutexLock lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [index, seg] : segments_) bytes += seg->file_bytes;
+  return bytes;
+}
+
+guard::Result<MapView> SpillSet::map_view(int index) const {
+  std::shared_ptr<Segment> seg;
+  {
+    MutexLock lock(mutex_);
+    auto it = segments_.find(index);
+    if (it == segments_.end()) {
+      return guard::Status::internal(
+          "spill segment " + std::to_string(index) + " was never spilled");
+    }
+    seg = it->second;
+    if (seg->map != nullptr) return MapView{seg->map, seg->map_n};
+  }
+
+  // First touch: validate the whole segment once, then keep a live view
+  // of just the map region. Serialized per SpillSet; concurrent first
+  // touches of one segment are rare (the driver projects serially).
+  MutexLock lock(mutex_);
+  if (seg->map != nullptr) return MapView{seg->map, seg->map_n};
+  if (guard::fault::should_fire(guard::fault::Kind::kSpillIo)) {
+    return guard::Status::internal(
+        "spill segment read failed (injected fault kind=spill-io)");
+  }
+
+  const bool mmap_refused =
+      guard::fault::should_fire(guard::fault::Kind::kMmapFail);
+#if MGC_OOC_POSIX_MMAP
+  if (!mmap_refused) {
+    const int fd = ::open(seg->path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+        const std::size_t len = static_cast<std::size_t>(st.st_size);
+        void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (base != MAP_FAILED) {
+          const char* data = static_cast<const char*>(base);
+          SegLayout lay;
+          guard::Status s = check_segment_header(seg->path, data, len, lay);
+          if (s.ok() && lay.input_crc != input_crc_) {
+            s = seg_invalid(seg->path, "input fingerprint mismatch");
+          }
+          if (s.ok() && lay.level != index) {
+            s = seg_invalid(seg->path, "file name / header level mismatch");
+          }
+          if (s.ok() &&
+              guard::crc32(data + kHeaderSize, len - kHeaderSize) !=
+                  lay.payload_crc) {
+            s = seg_invalid(seg->path, "payload checksum mismatch");
+          }
+          const vid_t* map =
+              reinterpret_cast<const vid_t*>(data + lay.map_offset);
+          if (s.ok()) {
+            s = check_map_targets(seg->path, map,
+                                  static_cast<std::size_t>(lay.map_n),
+                                  lay.n);
+          }
+          if (!s.ok()) {
+            ::munmap(base, len);
+            // We wrote this segment ourselves this run: corruption on
+            // read-back is an internal invariant failure, not bad input.
+            return guard::Status::internal(s.message);
+          }
+          seg->mmap_base = base;
+          seg->mmap_len = len;
+          seg->map = map;
+          seg->map_n = static_cast<std::size_t>(lay.map_n);
+          if (prof::enabled()) prof::add("ooc.mmap_views", 1);
+          return MapView{seg->map, seg->map_n};
+        }
+      } else {
+        ::close(fd);
+      }
+    }
+    // Real mmap/open refusal: fall through to the heap path below.
+  }
+#endif
+  if (mmap_refused) {
+    if (prof::enabled()) prof::add("ooc.mmap_refused", 1);
+    if (trace::enabled()) {
+      trace::instant("ooc.mmap_refused", seg->path);
+    }
+  }
+
+  // Degraded read-back: stream-validate the segment, then read only the
+  // map array onto the heap. O(map_n) resident instead of a view.
+  std::ifstream in(seg->path, std::ios::binary);
+  if (!in) {
+    return guard::Status::internal("spill segment " + seg->path +
+                                   ": cannot open for read-back");
+  }
+  char header[kHeaderSize];
+  in.read(header, kHeaderSize);
+  if (in.gcount() != static_cast<std::streamsize>(kHeaderSize)) {
+    return guard::Status::internal("spill segment " + seg->path +
+                                   ": truncated header on read-back");
+  }
+  std::error_code ec;
+  const std::size_t fsize = static_cast<std::size_t>(
+      std::filesystem::file_size(seg->path, ec));
+  if (ec) {
+    return guard::Status::internal("spill segment " + seg->path + ": " +
+                                   ec.message());
+  }
+  SegLayout lay;
+  guard::Status s = check_segment_header(seg->path, header, fsize, lay);
+  if (s.ok() && lay.input_crc != input_crc_) {
+    s = seg_invalid(seg->path, "input fingerprint mismatch");
+  }
+  if (s.ok() && lay.level != index) {
+    s = seg_invalid(seg->path, "file name / header level mismatch");
+  }
+  if (!s.ok()) return guard::Status::internal(s.message);
+
+  // Payload CRC in bounded chunks, then seek back for the map bytes.
+  std::uint32_t crc = 0;
+  std::vector<char> chunk(std::size_t{1} << 20);
+  std::size_t remaining = fsize - kHeaderSize;
+  while (remaining > 0) {
+    const std::size_t want = std::min(remaining, chunk.size());
+    in.read(chunk.data(), static_cast<std::streamsize>(want));
+    if (in.gcount() != static_cast<std::streamsize>(want)) {
+      return guard::Status::internal("spill segment " + seg->path +
+                                     ": short read during validation");
+    }
+    crc = guard::crc32(chunk.data(), want, crc);
+    remaining -= want;
+  }
+  if (crc != lay.payload_crc) {
+    return guard::Status::internal("spill segment " + seg->path +
+                                   ": payload checksum mismatch");
+  }
+  std::vector<vid_t> heap_map(static_cast<std::size_t>(lay.map_n));
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(lay.map_offset));
+  in.read(reinterpret_cast<char*>(heap_map.data()),
+          static_cast<std::streamsize>(heap_map.size() * sizeof(vid_t)));
+  if (in.gcount() !=
+      static_cast<std::streamsize>(heap_map.size() * sizeof(vid_t))) {
+    return guard::Status::internal("spill segment " + seg->path +
+                                   ": short read of the map array");
+  }
+  s = check_map_targets(seg->path, heap_map.data(), heap_map.size(), lay.n);
+  if (!s.ok()) return guard::Status::internal(s.message);
+  seg->heap_map = std::move(heap_map);
+  seg->map = seg->heap_map.data();
+  seg->map_n = seg->heap_map.size();
+  if (prof::enabled()) prof::add("ooc.heap_views", 1);
+  return MapView{seg->map, seg->map_n};
+}
+
+guard::Result<CheckpointLevel> SpillSet::load(int index) const {
+  std::string path;
+  {
+    MutexLock lock(mutex_);
+    auto it = segments_.find(index);
+    if (it == segments_.end()) {
+      return guard::Status::internal(
+          "spill segment " + std::to_string(index) + " was never spilled");
+    }
+    path = it->second->path;
+  }
+  if (guard::fault::should_fire(guard::fault::Kind::kSpillIo)) {
+    return guard::Status::internal(
+        "spill segment read failed (injected fault kind=spill-io)");
+  }
+  guard::Result<CheckpointLevel> r = read_spill_segment(path);
+  if (!r.ok()) {
+    // Our own segment failing validation mid-run is an internal failure.
+    return guard::Status::internal(r.status().message);
+  }
+  if (r.value().level != index) {
+    return guard::Status::internal("spill segment " + path +
+                                   ": file name / header level mismatch");
+  }
+  // input-CRC binding (read_spill_segment cannot know our fingerprint).
+  return r;
+}
+
+void SpillSet::drop_views() {
+  MutexLock lock(mutex_);
+  for (auto& [index, seg] : segments_) {
+#if MGC_OOC_POSIX_MMAP
+    if (seg->mmap_base != nullptr) {
+      ::munmap(seg->mmap_base, seg->mmap_len);
+      seg->mmap_base = nullptr;
+      seg->mmap_len = 0;
+    }
+#endif
+    seg->heap_map.clear();
+    seg->heap_map.shrink_to_fit();
+    seg->map = nullptr;
+    seg->map_n = 0;
+  }
+}
+
+guard::Result<CheckpointLevel> read_spill_segment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return seg_invalid(path, "cannot open");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return seg_invalid(path, "read failed");
+  // min_level 0: segment 0 legitimately holds the input graph. The parser
+  // prefixes errors with "checkpoint <path>" — same format, fine.
+  return parse_checkpoint_bytes(path, bytes.data(), bytes.size(), nullptr,
+                                0, nullptr);
+}
+
+std::vector<SpillSegmentInfo> inspect_spill_dir(const std::string& dir) {
+  std::vector<SpillSegmentInfo> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    const int index = parse_segment_index(name);
+    if (index < 0) continue;
+    SpillSegmentInfo info;
+    info.path = entry.path().string();
+    info.index = index;
+    std::ifstream in(info.path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    info.file_bytes = bytes.size();
+    CheckpointFileInfo cfi;
+    guard::Result<CheckpointLevel> r = parse_checkpoint_bytes(
+        info.path, bytes.data(), bytes.size(), nullptr, 0, &cfi);
+    info.n = cfi.n;
+    info.entries = cfi.entries;
+    info.valid = r.ok();
+    if (!r.ok()) {
+      info.error = r.status().message;
+    } else if (r.value().level != index) {
+      info.valid = false;
+      info.error = "file name / header level mismatch";
+    } else {
+      info.map_n = r.value().map.size();
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpillSegmentInfo& a, const SpillSegmentInfo& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+guard::Status spill_hierarchy(const std::string& dir, const Hierarchy& h,
+                              std::uint32_t graph_crc) {
+  SpillSet set(dir, graph_crc);
+  for (int i = 0; i < h.num_levels(); ++i) {
+    guard::Status s;
+    if (h.level_resident(i)) {
+      if (i == 0) {
+        std::vector<vid_t> identity(
+            static_cast<std::size_t>(h.graphs[0].num_vertices()));
+        for (std::size_t u = 0; u < identity.size(); ++u) {
+          identity[u] = static_cast<vid_t>(u);
+        }
+        s = set.spill(0, 0, h.graphs[0], identity,
+                      h.levels[0].mapping_seconds,
+                      h.levels[0].construct_seconds);
+      } else {
+        s = set.spill(i, 0, h.graphs[static_cast<std::size_t>(i)],
+                      h.maps[static_cast<std::size_t>(i) - 1].map,
+                      h.levels[static_cast<std::size_t>(i)].mapping_seconds,
+                      h.levels[static_cast<std::size_t>(i)]
+                          .construct_seconds);
+      }
+    } else {
+      // Already on disk from a coarsener spill: re-write into `dir` so the
+      // demoted form is self-contained (the source SpillSet may be
+      // scratch that a finished run deletes).
+      guard::Result<CheckpointLevel> r = h.spill->load(i);
+      if (!r.ok()) return r.status();
+      CheckpointLevel lvl = std::move(r).value();
+      s = set.spill(i, lvl.seed, lvl.graph, lvl.map, lvl.mapping_seconds,
+                    lvl.construct_seconds);
+    }
+    if (!s.ok()) return s;
+  }
+  return guard::Status::ok_status();
+}
+
+guard::Result<Hierarchy> load_hierarchy(const std::string& dir,
+                                        std::uint32_t expect_crc) {
+  Hierarchy h;
+  for (int i = 0;; ++i) {
+    const std::string path = spill_segment_path(dir, i);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec) break;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return seg_invalid(path, "cannot open");
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    guard::Result<CheckpointLevel> r = parse_checkpoint_bytes(
+        path, bytes.data(), bytes.size(), &expect_crc, 0, nullptr);
+    if (!r.ok()) return r.status();
+    CheckpointLevel lvl = std::move(r).value();
+    if (lvl.level != i) {
+      return seg_invalid(path, "file name / header level mismatch");
+    }
+    if (i == 0) {
+      if (lvl.map.size() !=
+          static_cast<std::size_t>(lvl.graph.num_vertices())) {
+        return seg_invalid(path, "segment 0 must carry an identity map");
+      }
+    } else {
+      if (lvl.map.size() !=
+          static_cast<std::size_t>(h.graphs.back().num_vertices())) {
+        return seg_invalid(path,
+                           "map size does not match the previous level");
+      }
+      h.maps.push_back(CoarseMap{std::move(lvl.map),
+                                 lvl.graph.num_vertices()});
+    }
+    h.levels.push_back({lvl.graph.num_vertices(), lvl.graph.num_edges(),
+                        lvl.mapping_seconds, lvl.construct_seconds});
+    h.graphs.push_back(std::move(lvl.graph));
+  }
+  if (h.graphs.empty()) {
+    return guard::Status::invalid_input("spill dir " + dir +
+                                        " has no segment 0");
+  }
+  return h;
+}
+
+}  // namespace mgc::ooc

@@ -1,0 +1,146 @@
+#pragma once
+// mgc::ooc — out-of-core spilling of hierarchy levels
+// (docs/out-of-core.md has the degradation ladder and file layout).
+//
+// Rung 1 of the degradation ladder: when guard::MemoryBudget refuses a
+// hierarchy-level charge, finished levels move to disk as .mgck segments
+// (the PR-6 checkpoint format, byte-for-byte — multilevel/checkpoint.hpp)
+// and only the active level stays resident. Segment files are named
+// "spill_level_NNNN.mgck" where NNNN is the hierarchy GRAPH INDEX:
+// segment i holds graphs[i] plus the interpolation map INTO it
+// (maps[i-1].map; segment 0 holds the input graph under an identity map,
+// which is why the shared parser accepts level >= 0 here where checkpoint
+// snapshots require >= 1).
+//
+// Read-back: projection needs only the interpolation maps, which
+// map_view() serves mmap-backed — the kernel pages the map in lazily and
+// may evict it again, so projecting through a spilled hierarchy never
+// re-materializes whole levels. When mmap is unavailable or refuses
+// (address space, the injected mmap-fail fault), map_view degrades to a
+// heap read of just the map array instead of failing. Whole-level
+// re-hydration (load / load_hierarchy) is for consumers that need the
+// graphs back, e.g. the serve cache after a demotion.
+//
+// Trust model: segments are validated exactly like checkpoint snapshots —
+// header CRC, payload CRC, structural CSR/mapping invariants — on every
+// read-back path, including the mmap one. Standalone readers surface
+// kInvalidInput (untrusted file); SpillSet read-back of a segment IT
+// wrote this run surfaces kInternal (our own invariant broke). The
+// spill-io fault kind fires on segment write and read; mmap-fail fires at
+// the mmap attempt.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "graph/csr.hpp"
+#include "guard/status.hpp"
+#include "multilevel/checkpoint.hpp"
+
+namespace mgc::ooc {
+
+/// "<dir>/spill_level_0007.mgck" — the segment holding graph index 7.
+std::string spill_segment_path(const std::string& dir, int index);
+
+/// Borrowed view of one interpolation map (fine -> coarse vertex ids).
+/// Valid while the owning SpillSet lives and drop_views() is not called.
+struct MapView {
+  const vid_t* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// The spilled portion of one hierarchy: which graph indices are on disk,
+/// where, and cached read-back state. Thread-safe; shared by hierarchy
+/// copies via Hierarchy::spill.
+class SpillSet {
+ public:
+  /// `input_crc` binds every segment to the run's input graph, exactly as
+  /// checkpoint snapshots are bound.
+  SpillSet(std::string dir, std::uint32_t input_crc);
+  ~SpillSet();
+
+  SpillSet(const SpillSet&) = delete;
+  SpillSet& operator=(const SpillSet&) = delete;
+
+  /// Durably writes segment `index` (graph + the map into it; pass an
+  /// identity map for index 0). The spill-io fault fires here. On success
+  /// the caller frees the in-memory copies and releases their charges.
+  [[nodiscard]] guard::Status spill(int index, std::uint64_t seed,
+                                    const Csr& graph,
+                                    const std::vector<vid_t>& map_into,
+                                    double mapping_seconds,
+                                    double construct_seconds);
+
+  bool spilled(int index) const;
+  int num_spilled() const;
+  /// Sum of segment file sizes on disk.
+  std::size_t spilled_bytes() const;
+  const std::string& dir() const { return dir_; }
+  std::uint32_t input_crc() const { return input_crc_; }
+
+  /// mmap-backed view of the interpolation map in segment `index` (maps
+  /// graphs[index-1] -> graphs[index]). The whole segment is validated on
+  /// first touch; the view is cached until drop_views(). Falls back to a
+  /// heap read when mmap refuses (mmap-fail fault / non-POSIX hosts).
+  [[nodiscard]] guard::Result<MapView> map_view(int index) const;
+
+  /// Re-hydrates segment `index` fully (graph + map). CheckpointLevel
+  /// ::level carries the graph index here (>= 0), not a 1-based
+  /// checkpoint level.
+  [[nodiscard]] guard::Result<CheckpointLevel> load(int index) const;
+
+  /// Releases all cached mmap regions / heap read-backs. Existing
+  /// MapViews are invalidated.
+  void drop_views();
+
+ private:
+  struct Segment;
+
+  std::string dir_;
+  std::uint32_t input_crc_ = 0;
+  mutable Mutex mutex_;
+  std::map<int, std::shared_ptr<Segment>> segments_ MGC_GUARDED_BY(mutex_);
+};
+
+/// Validation summary of one spill segment (mgc checkpoint-info).
+struct SpillSegmentInfo {
+  std::string path;
+  int index = -1;            ///< hierarchy graph index (header level field)
+  bool valid = false;
+  std::string error;         ///< empty when valid
+  vid_t n = 0;               ///< vertices of the stored graph
+  eid_t entries = 0;         ///< directed adjacency entries
+  std::size_t map_n = 0;     ///< interpolation-map size (fine vertices)
+  std::size_t file_bytes = 0;
+};
+
+/// Reads + fully validates one spill segment as UNTRUSTED input
+/// (kInvalidInput on any corruption — the bad_ckpt fixture contract).
+[[nodiscard]] guard::Result<CheckpointLevel> read_spill_segment(
+    const std::string& path);
+
+/// Scans `dir` for spill_level_*.mgck segments and validates each as
+/// untrusted input. Unlike checkpoint prefixes, GAPS ARE NORMAL: a graph
+/// index with no segment was resident when the run ended. Sorted by index.
+std::vector<SpillSegmentInfo> inspect_spill_dir(const std::string& dir);
+
+/// Writes EVERY level of `h` (resident ones; already-spilled levels keep
+/// their segments) into `dir` — the serve cache's demote-to-spilled form.
+/// `graph_crc` is the cache key's graph fingerprint, stored as the
+/// binding input_crc of every segment.
+[[nodiscard]] guard::Status spill_hierarchy(const std::string& dir,
+                                            const Hierarchy& h,
+                                            std::uint32_t graph_crc);
+
+/// Re-hydrates a hierarchy demoted by spill_hierarchy: reads segments
+/// 0..L-1 (no gaps allowed here), validates each against `expect_crc`,
+/// and rebuilds a fully resident Hierarchy. kInvalidInput on corruption
+/// or a missing segment.
+[[nodiscard]] guard::Result<Hierarchy> load_hierarchy(
+    const std::string& dir, std::uint32_t expect_crc);
+
+}  // namespace mgc::ooc

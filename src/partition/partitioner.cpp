@@ -1,6 +1,7 @@
 #include "partition/partitioner.hpp"
 
 #include "core/timer.hpp"
+#include "ooc/spill.hpp"
 #include "partition/metrics.hpp"
 #include "prof/prof.hpp"
 #include "trace/trace.hpp"
@@ -8,6 +9,27 @@
 namespace mgc {
 
 namespace {
+
+// Interpolates a coarse per-vertex vector one level towards fine, reading
+// the interpolation map from the hierarchy or — for a level the ooc ladder
+// spilled — from its mmap-backed spill segment.
+std::vector<double> interpolate_one_level(const Hierarchy& h, int level,
+                                          const std::vector<double>& coarse) {
+  const CoarseMap& cm = h.maps[static_cast<std::size_t>(level) - 1];
+  const vid_t* map = cm.map.data();
+  std::size_t map_n = cm.map.size();
+  if (map_n == 0 && h.spill != nullptr && h.spill->spilled(level)) {
+    guard::Result<ooc::MapView> view = h.spill->map_view(level);
+    if (!view.ok()) throw guard::Error(view.status());
+    map = view.value().data;
+    map_n = view.value().size;
+  }
+  std::vector<double> fine(map_n);
+  for (std::size_t u = 0; u < map_n; ++u) {
+    fine[u] = coarse[static_cast<std::size_t>(map[u])];
+  }
+  return fine;
+}
 
 // Post-coarsening half of the multilevel Fiedler solve: solve on the
 // coarsest graph, then interpolate + re-refine at every level. Shared by
@@ -35,10 +57,13 @@ HierarchySolve fiedler_on_hierarchy(const Exec& exec, const Hierarchy& h,
   SpectralOptions refine_opts = sopts;
   refine_opts.max_iterations = sopts.max_refine_iterations;
   for (int level = h.num_levels() - 1; level > 0; --level) {
-    const CoarseMap& cm = h.maps[static_cast<std::size_t>(level) - 1];
-    std::vector<double> fine(cm.map.size());
-    for (std::size_t u = 0; u < cm.map.size(); ++u) {
-      fine[u] = fiedler[static_cast<std::size_t>(cm.map[u])];
+    std::vector<double> fine = interpolate_one_level(h, level, fiedler);
+    if (!h.level_resident(level - 1)) {
+      // The ooc ladder spilled this level's graph: keep the interpolated
+      // vector as-is (cascadic refinement is polish, not correctness) —
+      // the coarsener already recorded the degradation event.
+      fiedler = std::move(fine);
+      continue;
     }
     fiedler = fiedler_vector(
         exec, h.graphs[static_cast<std::size_t>(level) - 1],
@@ -65,7 +90,9 @@ std::vector<int> fm_partition_on_hierarchy(const Hierarchy& h,
   fm_refine(h.coarsest(), part, fopts);
   for (int level = h.num_levels() - 1; level > 0; --level) {
     part = h.project_one_level(part, level);
-    fm_refine(h.graphs[static_cast<std::size_t>(level) - 1], part, fopts);
+    if (h.level_resident(level - 1)) {
+      fm_refine(h.graphs[static_cast<std::size_t>(level) - 1], part, fopts);
+    }
   }
   return part;
 }

@@ -1,9 +1,13 @@
 #include "serve/cache.hpp"
 
 #include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
 
 #include "guard/io.hpp"
 #include "guard/memory.hpp"
+#include "ooc/spill.hpp"
 #include "prof/prof.hpp"
 #include "trace/trace.hpp"
 
@@ -36,13 +40,38 @@ std::size_t hierarchy_bytes(const Hierarchy& h) {
   return bytes;
 }
 
+// Wraps a hierarchy so its ledger charge is released exactly when the LAST
+// reference drops — the cache can demote/evict the entry while an in-flight
+// request still holds the pointer without the ledger ever undercounting.
+std::shared_ptr<const Hierarchy> charged_hierarchy(Hierarchy&& h,
+                                                   std::size_t bytes) {
+  return std::shared_ptr<const Hierarchy>(
+      new Hierarchy(std::move(h)), [bytes](const Hierarchy* p) {
+        delete p;
+        if (bytes != 0) guard::MemoryBudget::process().release(bytes);
+      });
+}
+
+// Best-effort removal of a demoted entry's spill directory (after a
+// successful re-hydration or at eviction); failure is ignored — stale
+// segments are harmless and the next demotion uses a fresh directory.
+void remove_spill_dir(const std::string& dir) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
 }  // namespace
 
 std::string canonical_coarsen_options(const CoarsenOptions& opts) {
   // Field-by-field canonical form. Deliberately EXCLUDED because they
   // cannot change the hierarchy that gets built: checkpoint_dir (a replay
-  // aid) and memory_budget_bytes (changes whether a build completes, not
-  // what a completed build contains). Everything else participates.
+  // aid), memory_budget_bytes (changes whether a build completes, not
+  // what a completed build contains), and the ooc ladder knobs
+  // degrade / spill_dir / max_shards (sharded construction is bitwise
+  // equal to in-memory for any shard count — integer weights — and
+  // spilling changes residency, not content). Everything else
+  // participates.
   std::string s;
   s += "mapping=";
   s += mapping_name(opts.mapping);
@@ -84,29 +113,33 @@ std::uint32_t graph_crc(const Csr& g) {
 }
 
 // One cache slot. State transitions (guarded by the cache mutex):
-// kBuilding -> kReady (inserted) or kFailed (build failed / did not fit).
-// The ledger charge is held for the ENTRY's lifetime — an evicted entry
-// still referenced by an in-flight request keeps its bytes charged until
-// that request drops it, so the ledger never undercounts live memory.
+//
+//   kBuilding -> kReady   (inserted)
+//   kBuilding -> kFailed  (build failed / did not fit; erased from map)
+//   kReady    -> kSpilled (demoted under memory pressure)
+//   kSpilled  -> kBuilding -> kReady (re-hydration, single-flight)
+//   kSpilled  -> kBuilding -> kSpilled (re-hydrated but no longer fits:
+//                revert, fail the request typed, keep the segments)
+//
+// The ledger charge rides the hierarchy shared_ptr's deleter
+// (charged_hierarchy), so a demoted/evicted entry still referenced by an
+// in-flight request keeps its bytes charged until that request drops it.
 struct HierarchyCache::Entry {
-  enum class State { kBuilding, kReady, kFailed };
+  enum class State { kBuilding, kReady, kSpilled, kFailed };
 
   State state = State::kBuilding;
   std::shared_ptr<const Hierarchy> hierarchy;
   guard::Status status;
   std::size_t bytes = 0;
-  std::size_t charged = 0;
+  std::string spill_path;  ///< non-empty iff demoted segments exist on disk
   CondVar cv;
   std::list<CacheKey>::iterator lru_it;
   bool in_lru = false;
-
-  ~Entry() {
-    if (charged != 0) guard::MemoryBudget::process().release(charged);
-  }
 };
 
-HierarchyCache::HierarchyCache(std::size_t budget_bytes)
-    : budget_bytes_(budget_bytes) {
+HierarchyCache::HierarchyCache(std::size_t budget_bytes,
+                               std::string spill_dir)
+    : budget_bytes_(budget_bytes), spill_dir_(std::move(spill_dir)) {
   stats_.budget_bytes = budget_bytes;
 }
 
@@ -125,21 +158,63 @@ bool HierarchyCache::evict_lru_locked() {
   return true;
 }
 
+bool HierarchyCache::demote_or_evict_lru_locked() {
+  if (lru_.empty()) return false;
+  const CacheKey key = lru_.back();
+  auto it = map_.find(key);
+  if (!spill_dir_.empty() && it != map_.end() &&
+      it->second->state == Entry::State::kReady &&
+      it->second->hierarchy != nullptr) {
+    Entry& e = *it->second;
+    const std::string dir =
+        spill_dir_ + "/entry-" + std::to_string(spill_seq_++);
+    const guard::Status ss =
+        ooc::spill_hierarchy(dir, *e.hierarchy, key.crc);
+    if (ss.ok()) {
+      lru_.pop_back();
+      e.in_lru = false;
+      resident_bytes_ -= e.bytes;
+      // The ledger charge is released by the hierarchy deleter — now if
+      // this was the last reference, later when the last in-flight
+      // request finishes otherwise.
+      e.hierarchy.reset();
+      e.state = Entry::State::kSpilled;
+      e.spill_path = dir;
+      ++stats_.demotions;
+      if (prof::enabled()) prof::add("serve.cache.demote", 1);
+      if (trace::enabled()) {
+        trace::instant("serve.cache.demote",
+                       "demoted " + std::to_string(e.bytes) +
+                           " bytes to " + dir);
+      }
+      return true;
+    }
+    // Spill refused (disk full, injected spill-io fault, ...): fall back
+    // to plain eviction so memory pressure is still relieved.
+    remove_spill_dir(dir);
+    if (trace::enabled()) {
+      trace::instant("serve.cache.demote_failed", ss.message);
+    }
+  }
+  return evict_lru_locked();
+}
+
 bool HierarchyCache::make_room_locked(std::size_t bytes) {
-  // Cache-local cap first: evict LRU until the new entry fits.
+  // Cache-local cap first: demote/evict LRU until the new entry fits.
   if (budget_bytes_ != 0) {
-    while (resident_bytes_ + bytes > budget_bytes_ && evict_lru_locked()) {
+    while (resident_bytes_ + bytes > budget_bytes_ &&
+           demote_or_evict_lru_locked()) {
     }
     if (resident_bytes_ + bytes > budget_bytes_) return false;
   }
-  // Then the process-wide ledger. Evicted-but-referenced entries release
-  // their charge asynchronously (when the in-flight holder drops them), so
-  // an eviction here may not free ledger room immediately; in that case
-  // the charge below keeps failing and the insert is refused — correct,
-  // because those bytes genuinely are still live.
+  // Then the process-wide ledger. Demoted/evicted-but-referenced entries
+  // release their charge asynchronously (when the in-flight holder drops
+  // them), so making room here may not free ledger room immediately; in
+  // that case the charge below keeps failing and the insert is refused —
+  // correct, because those bytes genuinely are still live.
   auto& ledger = guard::MemoryBudget::process();
   while (!ledger.try_charge(bytes, ledger.limit())) {
-    if (!evict_lru_locked()) return false;
+    if (!demote_or_evict_lru_locked()) return false;
   }
   return true;
 }
@@ -147,13 +222,16 @@ bool HierarchyCache::make_room_locked(std::size_t bytes) {
 HierarchyCache::Lookup HierarchyCache::get_or_build(const CacheKey& key,
                                                     const Builder& build) {
   std::shared_ptr<Entry> entry;
+  bool rehydrate = false;
+  std::string rehydrate_dir;
   {
     MutexLock lock(mutex_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       entry = it->second;
       if (entry->state == Entry::State::kBuilding) {
-        // Single-flight: coalesce onto the in-progress build.
+        // Single-flight: coalesce onto the in-progress build (or
+        // re-hydration — waiters cannot tell the difference and need not).
         ++stats_.coalesced;
         if (prof::enabled()) prof::add("serve.cache.coalesced", 1);
         while (entry->state == Entry::State::kBuilding) {
@@ -168,93 +246,156 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(const CacheKey& key,
         }
         return out;
       }
-      // Ready entry: a hit. (Failed entries are erased at publish time, so
-      // a lingering kFailed state is unreachable here.)
-      ++stats_.hits;
-      if (prof::enabled()) prof::add("serve.cache.hit", 1);
-      if (entry->in_lru) {
-        lru_.splice(lru_.begin(), lru_, entry->lru_it);
-        entry->lru_it = lru_.begin();
+      if (entry->state == Entry::State::kSpilled) {
+        // Demoted entry: this requester re-hydrates it from disk under
+        // the same single-flight rule as a build; concurrent requests
+        // coalesce on kBuilding above.
+        entry->state = Entry::State::kBuilding;
+        rehydrate = true;
+        rehydrate_dir = entry->spill_path;
+        ++stats_.rehydrations;
+        if (prof::enabled()) prof::add("serve.cache.rehydrate", 1);
+      } else {
+        // Ready entry: a hit. (Failed entries are erased at publish time,
+        // so a lingering kFailed state is unreachable here.)
+        ++stats_.hits;
+        if (prof::enabled()) prof::add("serve.cache.hit", 1);
+        if (entry->in_lru) {
+          lru_.splice(lru_.begin(), lru_, entry->lru_it);
+          entry->lru_it = lru_.begin();
+        }
+        Lookup out;
+        out.hierarchy = entry->hierarchy;
+        out.status = entry->status;
+        out.hit = true;
+        out.bytes = entry->bytes;
+        return out;
       }
-      Lookup out;
-      out.hierarchy = entry->hierarchy;
-      out.status = entry->status;
-      out.hit = true;
-      out.bytes = entry->bytes;
-      return out;
+    } else {
+      entry = std::make_shared<Entry>();
+      map_.emplace(key, entry);
+      ++stats_.misses;
+      if (prof::enabled()) prof::add("serve.cache.miss", 1);
     }
-    entry = std::make_shared<Entry>();
-    map_.emplace(key, entry);
-    ++stats_.misses;
-    if (prof::enabled()) prof::add("serve.cache.miss", 1);
   }
 
-  // Builder role: run the coarsening WITHOUT the cache lock. The builder
-  // is expected to return typed failures; exceptions are converted so a
-  // hostile input can never leave waiters blocked on kBuilding forever.
+  // Builder role: load the spilled form or run the coarsening WITHOUT the
+  // cache lock. Builders are expected to return typed failures; exceptions
+  // are converted so a hostile input can never leave waiters blocked on
+  // kBuilding forever.
+  const auto run_builder = [&]() -> guard::Result<Hierarchy> {
+    try {
+      return build();
+    } catch (const guard::Error& e) {
+      return e.status();
+    } catch (const std::exception& e) {
+      return guard::Status::internal(std::string("build failed: ") +
+                                     e.what());
+    }
+  };
   guard::Result<Hierarchy> built = guard::Status::internal("builder skipped");
-  try {
-    built = build();
-  } catch (const guard::Error& e) {
-    built = e.status();
-  } catch (const std::exception& e) {
-    built = guard::Status::internal(std::string("build failed: ") + e.what());
-  }
-
-  MutexLock lock(mutex_);
-  if (!built.usable()) {
-    entry->state = Entry::State::kFailed;
-    entry->status = built.status();
-    map_.erase(key);  // a later identical request may retry
-    entry->cv.notify_all();
-    Lookup out;
-    out.status = entry->status;
-    return out;
-  }
-
-  const std::size_t bytes = hierarchy_bytes(built.value());
-  if (!make_room_locked(bytes)) {
-    ++stats_.insert_refused;
-    if (prof::enabled()) prof::add("serve.cache.reject", 1);
-    if (trace::enabled()) {
-      trace::instant("serve.cache.reject",
-                     "hierarchy (" + std::to_string(bytes) +
-                         " bytes) does not fit the cache budget");
+  bool loaded_from_spill = false;
+  if (rehydrate) {
+    built = ooc::load_hierarchy(rehydrate_dir, key.crc);
+    if (built.usable()) {
+      loaded_from_spill = true;
+    } else {
+      // Corrupt / missing / unreadable segments: fall back to a fresh
+      // build — a demoted entry degrades to a rebuild, never a crash.
+      if (prof::enabled()) prof::add("serve.cache.rehydrate_failed", 1);
+      if (trace::enabled()) {
+        trace::instant("serve.cache.rehydrate_failed",
+                       built.status().message);
+      }
+      built = run_builder();
     }
-    entry->state = Entry::State::kFailed;
-    entry->status = guard::Status::resource_exhausted(
-        "hierarchy (" + std::to_string(bytes) +
-        " bytes) exceeds the serve cache budget even after eviction");
-    map_.erase(key);
-    entry->cv.notify_all();
-    Lookup out;
-    out.status = entry->status;
-    return out;
+  } else {
+    built = run_builder();
   }
 
-  entry->hierarchy =
-      std::make_shared<const Hierarchy>(std::move(built).value());
-  entry->bytes = bytes;
-  entry->charged = bytes;
-  entry->status = built.status();  // kOk, or kDegraded when a fallback fired
-  entry->state = Entry::State::kReady;
-  lru_.push_front(key);
-  entry->lru_it = lru_.begin();
-  entry->in_lru = true;
-  resident_bytes_ += bytes;
-  entry->cv.notify_all();
-
+  std::string cleanup_dir;  // removed after the lock is dropped
   Lookup out;
-  out.hierarchy = entry->hierarchy;
-  out.status = entry->status;
-  out.bytes = bytes;
+  {
+    MutexLock lock(mutex_);
+    if (!built.usable()) {
+      entry->state = Entry::State::kFailed;
+      entry->status = built.status();
+      cleanup_dir = std::move(entry->spill_path);  // stale if rehydrating
+      entry->spill_path.clear();
+      map_.erase(key);  // a later identical request may retry
+      entry->cv.notify_all();
+      out.status = entry->status;
+    } else {
+      const std::size_t bytes = hierarchy_bytes(built.value());
+      if (!make_room_locked(bytes)) {
+        ++stats_.insert_refused;
+        if (prof::enabled()) prof::add("serve.cache.reject", 1);
+        if (trace::enabled()) {
+          trace::instant("serve.cache.reject",
+                         "hierarchy (" + std::to_string(bytes) +
+                             " bytes) does not fit the cache budget");
+        }
+        entry->status = guard::Status::resource_exhausted(
+            "hierarchy (" + std::to_string(bytes) +
+            " bytes) exceeds the serve cache budget even after eviction");
+        if (loaded_from_spill) {
+          // The spilled form on disk is still valid: revert instead of
+          // dropping, so a later request (after pressure subsides) can
+          // still re-hydrate without a rebuild.
+          entry->state = Entry::State::kSpilled;
+        } else {
+          entry->state = Entry::State::kFailed;
+          cleanup_dir = std::move(entry->spill_path);
+          entry->spill_path.clear();
+          map_.erase(key);
+        }
+        entry->cv.notify_all();
+        out.status = entry->status;
+      } else {
+        entry->hierarchy =
+            charged_hierarchy(std::move(built).value(), bytes);
+        entry->bytes = bytes;
+        entry->status = built.status();  // kOk, or kDegraded on fallback
+        entry->state = Entry::State::kReady;
+        cleanup_dir = std::move(entry->spill_path);  // now redundant
+        entry->spill_path.clear();
+        lru_.push_front(key);
+        entry->lru_it = lru_.begin();
+        entry->in_lru = true;
+        resident_bytes_ += bytes;
+        entry->cv.notify_all();
+
+        out.hierarchy = entry->hierarchy;
+        out.status = entry->status;
+        out.bytes = bytes;
+      }
+    }
+  }
+  remove_spill_dir(cleanup_dir);
   return out;
 }
 
 std::size_t HierarchyCache::evict_all() {
-  MutexLock lock(mutex_);
+  std::vector<std::string> dirs;
   std::size_t dropped = 0;
-  while (evict_lru_locked()) ++dropped;
+  {
+    MutexLock lock(mutex_);
+    while (evict_lru_locked()) ++dropped;
+    // Demoted entries hold no memory but do hold disk: drop them too
+    // (this is the operator's "clear everything" control op). In-progress
+    // builds are left alone.
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->second->state == Entry::State::kSpilled) {
+        dirs.push_back(std::move(it->second->spill_path));
+        it = map_.erase(it);
+        ++dropped;
+        ++stats_.evictions;
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::string& d : dirs) remove_spill_dir(d);
   return dropped;
 }
 
@@ -263,6 +404,9 @@ HierarchyCache::Stats HierarchyCache::stats() const {
   Stats s = stats_;
   s.entries = map_.size();
   s.resident_bytes = resident_bytes_;
+  for (const auto& kv : map_) {
+    if (kv.second->state == Entry::State::kSpilled) ++s.spilled_entries;
+  }
   return s;
 }
 

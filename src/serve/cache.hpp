@@ -19,11 +19,23 @@
 //               process-wide guard::MemoryBudget ledger (PR-6) for their
 //               whole cache lifetime. When a new entry does not fit the
 //               cache budget or the ledger limit, least-recently-used
-//               entries are evicted first; if it STILL does not fit the
-//               insert is refused with kResourceExhausted and the caller
-//               maps that to a protocol error reply — degradation, never
-//               an OOM kill. Evicted entries stay alive (and charged)
-//               until the last in-flight request drops its reference.
+//               entries are DEMOTED first — spilled to disk as .mgck
+//               segments (ooc::spill_hierarchy) so a later request can
+//               re-hydrate instead of rebuilding — or evicted outright
+//               when no spill directory is configured (or the spill
+//               fails). If the new entry STILL does not fit the insert
+//               is refused with kResourceExhausted and the caller maps
+//               that to a protocol error reply — degradation, never an
+//               OOM kill. Evicted/demoted entries stay alive (and
+//               charged) until the last in-flight request drops its
+//               reference.
+//   Re-hydration  a request hitting a demoted entry loads it back from
+//               its spill segments under the same single-flight rule as
+//               a build (concurrent requests coalesce); corrupt or
+//               missing segments fall back to a fresh build, never a
+//               crash. A re-hydrated hierarchy that no longer fits the
+//               budget reverts to its spilled form and the request gets
+//               the typed refusal.
 //
 // Thread-safety: every public method is safe to call from concurrent
 // request threads. Builders run OUTSIDE the cache lock.
@@ -71,7 +83,12 @@ class HierarchyCache {
  public:
   /// `budget_bytes` caps the RESIDENT footprint of cached hierarchies
   /// (0 = no cache-local cap; the process-wide ledger limit still holds).
-  explicit HierarchyCache(std::size_t budget_bytes);
+  /// A non-empty `spill_dir` enables the demote-to-disk rung: entries
+  /// pushed out by memory pressure are spilled under
+  /// `spill_dir/entry-<seq>/` instead of dropped, and re-hydrated on the
+  /// next request for the same key.
+  explicit HierarchyCache(std::size_t budget_bytes,
+                          std::string spill_dir = "");
 
   HierarchyCache(const HierarchyCache&) = delete;
   HierarchyCache& operator=(const HierarchyCache&) = delete;
@@ -104,7 +121,10 @@ class HierarchyCache {
     std::uint64_t coalesced = 0;    ///< requests that waited on another build
     std::uint64_t evictions = 0;
     std::uint64_t insert_refused = 0;  ///< built but did not fit the budget
-    std::size_t entries = 0;
+    std::uint64_t demotions = 0;       ///< entries spilled to disk
+    std::uint64_t rehydrations = 0;    ///< spilled entries loaded back
+    std::size_t entries = 0;           ///< resident + spilled + building
+    std::size_t spilled_entries = 0;   ///< demoted, loadable from disk
     std::size_t resident_bytes = 0;
     std::size_t budget_bytes = 0;
   };
@@ -116,12 +136,21 @@ class HierarchyCache {
   /// Evicts the LRU idle entry; false when the cache is empty.
   bool evict_lru_locked() MGC_REQUIRES(mutex_);
 
-  /// Charges `bytes` for a new entry, evicting LRU entries until it fits
-  /// both the cache budget and the ledger limit. False when even an empty
-  /// cache cannot fit it.
+  /// Demotes the LRU idle entry to its spilled form (when a spill
+  /// directory is configured and the spill succeeds), else evicts it.
+  /// False when the LRU is empty. Demotion does file I/O under the cache
+  /// mutex — an accepted tradeoff: it only runs on the budget-pressure
+  /// path, and publishing the demotion atomically with the room check
+  /// keeps the state machine simple (docs/out-of-core.md).
+  bool demote_or_evict_lru_locked() MGC_REQUIRES(mutex_);
+
+  /// Charges `bytes` for a new entry, demoting/evicting LRU entries until
+  /// it fits both the cache budget and the ledger limit. False when even
+  /// an empty cache cannot fit it.
   bool make_room_locked(std::size_t bytes) MGC_REQUIRES(mutex_);
 
   const std::size_t budget_bytes_;
+  const std::string spill_dir_;
   mutable Mutex mutex_;
   // Entry state transitions (Entry::state and friends) happen under mutex_
   // too; Entry lives in the .cpp, so its members carry the contract as a
@@ -130,6 +159,7 @@ class HierarchyCache {
       MGC_GUARDED_BY(mutex_);
   std::list<CacheKey> lru_ MGC_GUARDED_BY(mutex_);  ///< most-recent first
   std::size_t resident_bytes_ MGC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t spill_seq_ MGC_GUARDED_BY(mutex_) = 0;
   Stats stats_ MGC_GUARDED_BY(mutex_);
 };
 

@@ -59,6 +59,9 @@ guard::Result<Construction> parse_construction(const std::string& s) {
 /// the bitwise-identity contract the serve tests pin down.
 std::string assignment_body(const std::vector<int>& a) {
   std::string body;
+  // Reply proportional to the assignment vector already resident for
+  // this request; freed when the reply is sent.
+  // mgc-lint: budget-ok -- bounded by the resident assignment vector
   body.reserve(a.size() * 4);
   for (const int x : a) {
     body += std::to_string(x);
@@ -200,13 +203,14 @@ guard::Result<ServiceOptions> ServiceOptions::from_env() {
                                         "\"threads\" or \"serial\", got \"" +
                                         o.backend + "\"");
   }
+  o.spill_dir = guard::env_str("MGC_SERVE_SPILL_DIR", o.spill_dir);
   return o;
 }
 
 Service::Service(const ServiceOptions& opts)
     : opts_(opts),
       exec_(opts.backend == "serial" ? Exec::serial() : Exec::threads()),
-      cache_(opts.cache_budget_bytes) {}
+      cache_(opts.cache_budget_bytes, opts.spill_dir) {}
 
 std::string Service::handle_line(const std::string& line) {
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -409,6 +413,9 @@ std::string Service::handle_stats(const Request& req) {
   out += ",\"coalesced\":" + std::to_string(cs.coalesced);
   out += ",\"evictions\":" + std::to_string(cs.evictions);
   out += ",\"insert_refused\":" + std::to_string(cs.insert_refused);
+  out += ",\"demotions\":" + std::to_string(cs.demotions);
+  out += ",\"rehydrations\":" + std::to_string(cs.rehydrations);
+  out += ",\"spilled_entries\":" + std::to_string(cs.spilled_entries);
   out += "}";
   out += ",\"requests\":" +
          std::to_string(requests_.load(std::memory_order_relaxed));

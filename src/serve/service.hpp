@@ -46,6 +46,10 @@ struct ServiceOptions {
   /// Resident-hierarchy budget for the cache (0 = uncapped; the
   /// process-wide MGC_MEM_BUDGET ledger limit still applies).
   std::size_t cache_budget_bytes = 0;
+  /// Spill directory for the cache's demote-to-disk rung (empty = demote
+  /// disabled; entries under pressure are evicted outright). See
+  /// docs/out-of-core.md.
+  std::string spill_dir;
   /// Hard cap on one request line's length in bytes.
   std::size_t max_request_bytes = 1 << 20;
   /// Deadline applied to requests that do not carry their own
@@ -55,7 +59,8 @@ struct ServiceOptions {
   std::string backend = "threads";
 
   /// Reads MGC_SERVE_WORKERS / MGC_SERVE_QUEUE / MGC_SERVE_CACHE_BUDGET /
-  /// MGC_SERVE_MAX_REQUEST / MGC_SERVE_BACKEND over the defaults above.
+  /// MGC_SERVE_MAX_REQUEST / MGC_SERVE_BACKEND / MGC_SERVE_SPILL_DIR over
+  /// the defaults above.
   /// Garbage values are typed kInvalidInput failures (fail loudly at
   /// startup, never run with a value the operator did not ask for).
   [[nodiscard]] static guard::Result<ServiceOptions> from_env();

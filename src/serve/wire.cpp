@@ -364,6 +364,7 @@ guard::Result<Json> Json::parse(std::string_view text) {
 
 std::string json_escape(std::string_view s) {
   std::string out;
+  // mgc-lint: budget-ok -- escape buffer bounded by max_request_bytes
   out.reserve(s.size() + 8);
   for (const char ch : s) {
     const unsigned char c = static_cast<unsigned char>(ch);

@@ -38,6 +38,7 @@ V2_RULES = V1_RULES | {
     "unguarded-mutex",
     "blocking-in-parallel",
     "missing-ctx-poll",
+    "unbudgeted-alloc",
 }
 
 EXPECT = re.compile(r"//\s*expect-lint:\s*([a-z-]+)")

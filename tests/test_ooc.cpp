@@ -1,0 +1,438 @@
+// Tests for src/ooc/ — the out-of-core degradation ladder
+// (docs/out-of-core.md):
+//   * sharded construction is BITWISE equal to the in-memory path for any
+//     shard count and several mapping methods (integer weights make the
+//     merge order irrelevant — the invariant the stitcher stakes its
+//     correctness on);
+//   * spill segments round-trip (write -> mmap map view / full load) and
+//     every read-back path validates CRCs — corruption surfaces as a typed
+//     status, never a crash;
+//   * the injected mmap-fail fault degrades map_view to its heap fallback
+//     with identical data; spill-io makes spill/read fail typed;
+//   * the ladder end to end: degrade=auto completes a coarsening 10x over
+//     the memory budget with a hierarchy bitwise equal to the
+//     unconstrained run; degrade=spill/shard keep their narrower
+//     contracts, including the typed refusals.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "check/determinism.hpp"
+#include "coarsen/mapping.hpp"
+#include "construct/construct.hpp"
+#include "core/exec.hpp"
+#include "graph/generators.hpp"
+#include "guard/cancel.hpp"
+#include "guard/fault.hpp"
+#include "guard/memory.hpp"
+#include "multilevel/checkpoint.hpp"
+#include "multilevel/coarsener.hpp"
+#include "ooc/shard.hpp"
+#include "ooc/spill.hpp"
+
+namespace mgc {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FaultGuard {
+  FaultGuard() { guard::fault::clear(); }
+  ~FaultGuard() { guard::fault::clear(); }
+};
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void expect_same_csr(const Csr& a, const Csr& b, const std::string& what) {
+  EXPECT_EQ(a.rowptr, b.rowptr) << what;
+  EXPECT_EQ(a.colidx, b.colidx) << what;
+  EXPECT_EQ(a.wgts, b.wgts) << what;
+  EXPECT_EQ(a.vwgts, b.vwgts) << what;
+}
+
+std::vector<vid_t> identity_map(vid_t n) {
+  std::vector<vid_t> map(static_cast<std::size_t>(n));
+  for (vid_t i = 0; i < n; ++i) map[static_cast<std::size_t>(i)] = i;
+  return map;
+}
+
+void flip_byte(const std::string& path, std::streamoff off) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  char b = 0;
+  f.seekg(off);
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x10);
+  f.seekp(off);
+  f.write(&b, 1);
+}
+
+// --- sharded construction ---------------------------------------------------
+
+TEST(OocShard, BitwiseEqualToInMemoryForAnyShardCountAndMapping) {
+  const Exec exec = Exec::serial();
+  const Csr g = make_triangulated_grid(48, 48, 11);
+  const Mapping mappings[] = {Mapping::kHecSerial, Mapping::kHemSerial,
+                              Mapping::kMtMetis};
+  for (const Mapping m : mappings) {
+    const CoarseMap cm = compute_mapping(m, exec, g, 7);
+    const Csr reference = construct_coarse_graph(exec, g, cm, {});
+    const Csr canon_ref = check::canonical_csr(reference);
+    for (const int k : {1, 2, 3, 8, 64}) {
+      ooc::ShardStats stats;
+      const ooc::ShardPlan plan = ooc::plan_shards(g, k);
+      const Csr sharded =
+          ooc::construct_coarse_graph_sharded(g, cm, plan, &stats);
+      EXPECT_EQ(stats.shards, plan.shards());
+      // Same coarse graph as the in-memory path...
+      expect_same_csr(check::canonical_csr(sharded), canon_ref,
+                      "mapping=" + mapping_name(m) +
+                          " shards=" + std::to_string(k));
+      // ...and the sharded output itself is bitwise independent of k
+      // (rows come out sorted from the global stitch, any k).
+      const ooc::ShardPlan one = ooc::plan_shards(g, 1);
+      expect_same_csr(sharded,
+                      ooc::construct_coarse_graph_sharded(g, cm, one),
+                      "k-invariance, shards=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(OocShard, PlanCoversAllRowsContiguously) {
+  const Csr g = make_triangulated_grid(30, 20, 3);
+  for (const int k : {1, 4, 7, 1000000}) {
+    const ooc::ShardPlan plan = ooc::plan_shards(g, k);
+    ASSERT_GE(plan.shards(), 1);
+    EXPECT_LE(plan.shards(), std::max(1, k));
+    EXPECT_EQ(plan.row_begin.front(), 0);
+    EXPECT_EQ(plan.row_begin.back(), g.num_vertices());
+    for (std::size_t i = 1; i < plan.row_begin.size(); ++i) {
+      EXPECT_LE(plan.row_begin[i - 1], plan.row_begin[i]);
+    }
+  }
+}
+
+TEST(OocShard, ShardedConstructionIsDeterministic) {
+  const Exec exec = Exec::serial();
+  const Csr g = make_triangulated_grid(32, 32, 5);
+  const CoarseMap cm = compute_mapping(Mapping::kHecSerial, exec, g, 9);
+  const ooc::ShardPlan plan = ooc::plan_shards(g, 4);
+  const check::DeterminismResult r = check::check_determinism(
+      [&](const Exec&) {
+        return ooc::construct_coarse_graph_sharded(g, cm, plan);
+      },
+      [](const Csr& c) {
+        return std::make_tuple(c.rowptr, c.colidx, c.wgts, c.vwgts);
+      });
+  EXPECT_TRUE(r.deterministic) << r.detail;
+}
+
+// --- spill segments ---------------------------------------------------------
+
+TEST(OocSpill, SegmentRoundTripMapViewAndLoad) {
+  const Exec exec = Exec::serial();
+  const Csr g = make_triangulated_grid(24, 24, 3);
+  const Hierarchy h = coarsen_multilevel(exec, g, {});
+  ASSERT_GE(h.num_levels(), 2);
+
+  const std::string dir = fresh_dir("ooc_roundtrip");
+  const std::uint32_t crc = graph_crc32(g);
+  ooc::SpillSet set(dir, crc);
+  ASSERT_TRUE(set
+                  .spill(0, 42, h.graphs[0],
+                         identity_map(g.num_vertices()), 0.0, 0.0)
+                  .ok());
+  ASSERT_TRUE(set.spill(1, 43, h.graphs[1], h.maps[0].map, 0.0, 0.0).ok());
+  EXPECT_TRUE(set.spilled(0));
+  EXPECT_TRUE(set.spilled(1));
+  EXPECT_FALSE(set.spilled(2));
+  EXPECT_EQ(set.num_spilled(), 2);
+  EXPECT_GT(set.spilled_bytes(), 0u);
+
+  // mmap-backed map view serves exactly the map that was spilled.
+  const guard::Result<ooc::MapView> view = set.map_view(1);
+  ASSERT_TRUE(view.ok()) << view.status().message;
+  ASSERT_EQ(view.value().size, h.maps[0].map.size());
+  for (std::size_t i = 0; i < view.value().size; ++i) {
+    ASSERT_EQ(view.value().data[i], h.maps[0].map[i]) << i;
+  }
+
+  // Full re-hydration returns the graph bitwise.
+  const guard::Result<CheckpointLevel> lvl = set.load(1);
+  ASSERT_TRUE(lvl.ok()) << lvl.status().message;
+  EXPECT_EQ(lvl.value().level, 1);
+  expect_same_csr(lvl.value().graph, h.graphs[1], "load(1)");
+  EXPECT_EQ(lvl.value().map, h.maps[0].map);
+
+  // The standalone untrusted-input reader accepts the same bytes.
+  EXPECT_TRUE(
+      ooc::read_spill_segment(ooc::spill_segment_path(dir, 1)).ok());
+
+  // inspect sees both segments, sorted and valid.
+  const std::vector<ooc::SpillSegmentInfo> infos =
+      ooc::inspect_spill_dir(dir);
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].index, 0);
+  EXPECT_EQ(infos[1].index, 1);
+  for (const auto& info : infos) {
+    EXPECT_TRUE(info.valid) << info.error;
+    EXPECT_GT(info.file_bytes, 80u);
+  }
+}
+
+TEST(OocSpill, MmapFailFaultDegradesToHeapReadWithIdenticalData) {
+  FaultGuard fg;
+  const Exec exec = Exec::serial();
+  const Csr g = make_triangulated_grid(20, 20, 3);
+  const Hierarchy h = coarsen_multilevel(exec, g, {});
+  ASSERT_GE(h.num_levels(), 2);
+
+  const std::string dir = fresh_dir("ooc_mmapfail");
+  ooc::SpillSet set(dir, graph_crc32(g));
+  ASSERT_TRUE(set.spill(1, 43, h.graphs[1], h.maps[0].map, 0.0, 0.0).ok());
+
+  ASSERT_TRUE(guard::fault::configure("mmap-fail:1.0:7").ok());
+  const guard::Result<ooc::MapView> view = set.map_view(1);
+  ASSERT_TRUE(view.ok()) << view.status().message;
+  EXPECT_GE(guard::fault::fired_count(guard::fault::Kind::kMmapFail), 1u);
+  ASSERT_EQ(view.value().size, h.maps[0].map.size());
+  for (std::size_t i = 0; i < view.value().size; ++i) {
+    ASSERT_EQ(view.value().data[i], h.maps[0].map[i]) << i;
+  }
+}
+
+TEST(OocSpill, SpillIoFaultMakesWriteAndReadFailTyped) {
+  FaultGuard fg;
+  const Exec exec = Exec::serial();
+  const Csr g = make_triangulated_grid(20, 20, 3);
+  const Hierarchy h = coarsen_multilevel(exec, g, {});
+  const std::string dir = fresh_dir("ooc_spillio");
+  ooc::SpillSet set(dir, graph_crc32(g));
+
+  ASSERT_TRUE(guard::fault::configure("spill-io:1.0:7").ok());
+  const guard::Status ws =
+      set.spill(1, 43, h.graphs[1], h.maps[0].map, 0.0, 0.0);
+  EXPECT_FALSE(ws.ok());
+  EXPECT_EQ(ws.code, guard::Code::kInternal);
+
+  guard::fault::clear();
+  ASSERT_TRUE(set.spill(1, 43, h.graphs[1], h.maps[0].map, 0.0, 0.0).ok());
+  ASSERT_TRUE(guard::fault::configure("spill-io:1.0:7").ok());
+  EXPECT_EQ(set.map_view(1).status().code, guard::Code::kInternal);
+  EXPECT_EQ(set.load(1).status().code, guard::Code::kInternal);
+}
+
+TEST(OocSpill, CorruptionIsTypedOnEveryReadBackPath) {
+  const Exec exec = Exec::serial();
+  const Csr g = make_triangulated_grid(20, 20, 3);
+  const Hierarchy h = coarsen_multilevel(exec, g, {});
+  const std::string dir = fresh_dir("ooc_corrupt");
+  ooc::SpillSet set(dir, graph_crc32(g));
+  ASSERT_TRUE(set.spill(1, 43, h.graphs[1], h.maps[0].map, 0.0, 0.0).ok());
+  const std::string path = ooc::spill_segment_path(dir, 1);
+  const auto size = static_cast<std::streamoff>(fs::file_size(path));
+
+  // Payload bit flip: the untrusted reader says kInvalidInput; SpillSet
+  // reading a segment IT wrote says kInternal (its own invariant broke).
+  flip_byte(path, size / 2);
+  EXPECT_EQ(ooc::read_spill_segment(path).status().code,
+            guard::Code::kInvalidInput);
+  EXPECT_EQ(set.map_view(1).status().code, guard::Code::kInternal);
+  EXPECT_EQ(set.load(1).status().code, guard::Code::kInternal);
+
+  // inspect flags it but keeps scanning (no throw).
+  const std::vector<ooc::SpillSegmentInfo> infos =
+      ooc::inspect_spill_dir(dir);
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_FALSE(infos[0].valid);
+  EXPECT_FALSE(infos[0].error.empty());
+
+  // Truncation is kInvalidInput too, at any cut point.
+  flip_byte(path, size / 2);  // restore
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{40}, std::size_t{79}, std::size_t{80},
+        bytes.size() / 2, bytes.size() - 1}) {
+    // mgc-lint: ofstream-ok -- deliberately writes a truncated segment
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_EQ(ooc::read_spill_segment(path).status().code,
+              guard::Code::kInvalidInput)
+        << "truncation to " << keep << " was accepted";
+  }
+}
+
+TEST(OocSpill, BadCkptCorpusRejectedBySpillReaderToo) {
+  const fs::path dir = fs::path(MGC_TEST_DATA_DIR) / "bad_ckpt";
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  std::size_t count = 0;
+  bool saw_spill_fixture = false;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".mgck") continue;
+    ++count;
+    if (entry.path().filename().string().rfind("spill_", 0) == 0) {
+      saw_spill_fixture = true;
+    }
+    const guard::Result<CheckpointLevel> r =
+        ooc::read_spill_segment(entry.path().string());
+    EXPECT_FALSE(r.status().ok()) << entry.path();
+    EXPECT_EQ(r.status().code, guard::Code::kInvalidInput) << entry.path();
+  }
+  EXPECT_GE(count, 6u) << "bad_ckpt corpus went missing";
+  EXPECT_TRUE(saw_spill_fixture)
+      << "spill-segment fixtures (spill_*.mgck) went missing";
+}
+
+TEST(OocSpill, HierarchyDemoteLoadRoundTripAndCrcBinding) {
+  const Exec exec = Exec::serial();
+  const Csr g = make_triangulated_grid(24, 24, 3);
+  const Hierarchy h = coarsen_multilevel(exec, g, {});
+  const std::string dir = fresh_dir("ooc_hier");
+  const std::uint32_t crc = graph_crc32(g);
+  ASSERT_TRUE(ooc::spill_hierarchy(dir, h, crc).ok());
+
+  const guard::Result<Hierarchy> back = ooc::load_hierarchy(dir, crc);
+  ASSERT_TRUE(back.ok()) << back.status().message;
+  ASSERT_EQ(back.value().num_levels(), h.num_levels());
+  for (int i = 0; i < h.num_levels(); ++i) {
+    expect_same_csr(back.value().graphs[static_cast<std::size_t>(i)],
+                    h.graphs[static_cast<std::size_t>(i)],
+                    "level " + std::to_string(i));
+  }
+  for (std::size_t i = 0; i + 1 < h.graphs.size(); ++i) {
+    EXPECT_EQ(back.value().maps[i].map, h.maps[i].map);
+  }
+
+  // A different input CRC must refuse the whole directory.
+  EXPECT_EQ(ooc::load_hierarchy(dir, crc ^ 1).status().code,
+            guard::Code::kInvalidInput);
+  // An empty directory has no segment 0.
+  EXPECT_EQ(
+      ooc::load_hierarchy(fresh_dir("ooc_hier_empty"), crc).status().code,
+      guard::Code::kInvalidInput);
+}
+
+// --- the ladder end to end --------------------------------------------------
+
+TEST(OocLadder, AutoCompletesTenTimesOverBudgetBitwiseEqual) {
+  const Exec exec = Exec::serial();
+  const Csr g = make_triangulated_grid(64, 64, 11);
+  CoarsenOptions opts;
+  opts.seed = 7;
+  const Hierarchy reference = coarsen_multilevel(exec, g, opts);
+
+  opts.degrade = Degrade::kAuto;
+  opts.spill_dir = fresh_dir("ooc_auto");
+  guard::Ctx ctx;
+  ctx.mem_budget_bytes = g.memory_bytes() / 10;  // 10x over budget
+  const CoarsenReport report =
+      coarsen_multilevel_guarded(exec, g, opts, ctx);
+  ASSERT_TRUE(report.status.usable()) << report.status.message;
+  EXPECT_EQ(report.status.code, guard::Code::kDegraded);
+
+  // Every rung transition is a visible "ooc" event.
+  bool saw_ooc_event = false;
+  for (const guard::Event& e : report.events) {
+    if (e.stage == "ooc") saw_ooc_event = true;
+  }
+  EXPECT_TRUE(saw_ooc_event);
+  // The spill rung really moved levels to disk.
+  EXPECT_NE(report.hierarchy.spill, nullptr);
+  EXPECT_FALSE(fs::is_empty(opts.spill_dir));
+
+  // Degraded residency, identical mathematics: every RESIDENT level (and
+  // every level re-loaded from its spill segment) is bitwise the
+  // unconstrained hierarchy's.
+  const Hierarchy& hh = report.hierarchy;
+  ASSERT_EQ(hh.num_levels(), reference.num_levels());
+  for (int i = 0; i < hh.num_levels(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (hh.level_resident(i)) {
+      expect_same_csr(hh.graphs[idx], reference.graphs[idx],
+                      "resident level " + std::to_string(i));
+    } else {
+      const guard::Result<CheckpointLevel> lvl = hh.spill->load(i);
+      ASSERT_TRUE(lvl.ok()) << lvl.status().message;
+      expect_same_csr(lvl.value().graph, reference.graphs[idx],
+                      "spilled level " + std::to_string(i));
+      if (i > 0) {
+        EXPECT_EQ(lvl.value().map, reference.maps[idx - 1].map);
+      }
+    }
+  }
+
+  // Projection works across spilled levels (mmap-backed maps).
+  std::vector<int> coarse_assign(
+      static_cast<std::size_t>(hh.coarsest().num_vertices()), 1);
+  const std::vector<int> fine_assign =
+      hh.project_to_finest(coarse_assign);
+  EXPECT_EQ(fine_assign.size(),
+            static_cast<std::size_t>(g.num_vertices()));
+}
+
+TEST(OocLadder, SpillAndShardModesKeepTheirNarrowContracts) {
+  const Exec exec = Exec::serial();
+  const Csr g = make_triangulated_grid(64, 64, 11);
+  CoarsenOptions opts;
+  opts.seed = 7;
+
+  // degrade=spill/auto without a spill dir is a typed config error.
+  opts.degrade = Degrade::kSpill;
+  CoarsenReport r = coarsen_multilevel_guarded(exec, g, opts);
+  EXPECT_EQ(r.status.code, guard::Code::kInvalidInput);
+
+  // degrade=spill with a budget below the input graph: spilling cannot
+  // help (the ACTIVE level is the problem) -> typed refusal, no crash.
+  opts.spill_dir = fresh_dir("ooc_spillmode");
+  guard::Ctx tight;
+  tight.mem_budget_bytes = g.memory_bytes() / 10;
+  r = coarsen_multilevel_guarded(exec, g, opts, tight);
+  EXPECT_EQ(r.status.code, guard::Code::kResourceExhausted);
+
+  // degrade=shard with a budget that admits levels but refuses the
+  // in-memory construction scratch: sharding absorbs it and the result is
+  // bitwise the unconstrained hierarchy.
+  CoarsenOptions shard_opts;
+  shard_opts.seed = 7;
+  const Hierarchy reference = coarsen_multilevel(exec, g, shard_opts);
+  shard_opts.degrade = Degrade::kShard;
+  guard::Ctx mid;
+  mid.mem_budget_bytes =
+      g.memory_bytes() + g.memory_bytes() / 3;  // 1.33x the input
+  r = coarsen_multilevel_guarded(exec, g, shard_opts, mid);
+  ASSERT_TRUE(r.status.usable()) << r.status.message;
+  bool saw_shard_event = false;
+  for (const guard::Event& e : r.events) {
+    if (e.stage == "ooc" &&
+        e.detail.find("sharded into") != std::string::npos) {
+      saw_shard_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_shard_event)
+      << "budget did not exercise the shard rung";
+  ASSERT_EQ(r.hierarchy.num_levels(), reference.num_levels());
+  for (int i = 0; i < reference.num_levels(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    expect_same_csr(r.hierarchy.graphs[idx], reference.graphs[idx],
+                    "level " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace mgc

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -243,6 +244,228 @@ TEST(ServeCache, OversizedHierarchyRefusedWithTypedError) {
   EXPECT_EQ(lookup.status.code, guard::Code::kResourceExhausted);
   EXPECT_EQ(cache.stats().insert_refused, 1u);
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// --- demote to disk + re-hydration (the ooc rung, docs/out-of-core.md) -----
+
+void expect_same_hierarchy(const Hierarchy& a, const Hierarchy& b) {
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (int i = 0; i < a.num_levels(); ++i) {
+    const Csr& ga = a.graphs[static_cast<std::size_t>(i)];
+    const Csr& gb = b.graphs[static_cast<std::size_t>(i)];
+    EXPECT_EQ(ga.rowptr, gb.rowptr) << "level " << i;
+    EXPECT_EQ(ga.colidx, gb.colidx) << "level " << i;
+    EXPECT_EQ(ga.wgts, gb.wgts) << "level " << i;
+    EXPECT_EQ(ga.vwgts, gb.vwgts) << "level " << i;
+  }
+  for (std::size_t i = 0; i + 1 < a.graphs.size(); ++i) {
+    EXPECT_EQ(a.maps[i].map, b.maps[i].map) << "map " << i;
+  }
+}
+
+std::string fresh_spill_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(ServeCache, DemoteUnderPressureThenTransparentRehydrate) {
+  const Exec exec = Exec::serial();
+  const Csr g = load_graph_spec("gen:grid2d:24,24");
+  std::atomic<int> builds{0};
+  auto build = [&](std::uint64_t seed) {
+    return [&, seed]() -> guard::Result<Hierarchy> {
+      ++builds;
+      CoarsenOptions o;
+      o.seed = seed;
+      return coarsen_multilevel(exec, g, o);
+    };
+  };
+  auto key = [&](std::uint64_t seed) {
+    CoarsenOptions o;
+    o.seed = seed;
+    return CacheKey{graph_crc(g), canonical_coarsen_options(o)};
+  };
+
+  const std::size_t ledger_before = guard::MemoryBudget::process().charged();
+  std::size_t b1 = 0;
+  std::size_t b2 = 0;
+  {
+    HierarchyCache probe(0);
+    b1 = probe.get_or_build(key(1), build(1)).bytes;
+    b2 = probe.get_or_build(key(2), build(2)).bytes;
+    ASSERT_GT(b1, 0u);
+  }
+  builds = 0;
+
+  const std::string dir = fresh_spill_dir("serve_spill_demote");
+  HierarchyCache cache(b1 + b2, dir);
+  ASSERT_TRUE(cache.get_or_build(key(1), build(1)).status.ok());
+  ASSERT_TRUE(cache.get_or_build(key(2), build(2)).status.ok());
+  // Key 1 is LRU; inserting 3 must DEMOTE it (not evict: spill dir set).
+  ASSERT_TRUE(cache.get_or_build(key(3), build(3)).status.ok());
+
+  HierarchyCache::Stats s = cache.stats();
+  EXPECT_GE(s.demotions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_GE(s.spilled_entries, 1u);
+  EXPECT_EQ(s.entries, 3u);  // all three keys still known
+  // The demoted entry's segments are really on disk.
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+
+  // Requesting the demoted key re-hydrates from disk: the builder does
+  // NOT run again and the hierarchy is bitwise the one that was demoted.
+  const int builds_before = builds.load();
+  {
+    const auto back = cache.get_or_build(key(1), build(1));
+    ASSERT_TRUE(back.status.usable());
+    ASSERT_NE(back.hierarchy, nullptr);
+    EXPECT_EQ(builds.load(), builds_before);
+    EXPECT_GE(cache.stats().rehydrations, 1u);
+    CoarsenOptions o1;
+    o1.seed = 1;
+    const Hierarchy fresh = coarsen_multilevel(exec, g, o1);
+    expect_same_hierarchy(*back.hierarchy, fresh);
+    // `back` still references the hierarchy here, so its ledger charge is
+    // alive by design (the deleter releases on the LAST drop).
+  }
+
+  // evict_all drops resident AND demoted entries, and their disk segments.
+  cache.evict_all();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  EXPECT_EQ(guard::MemoryBudget::process().charged(), ledger_before);
+}
+
+TEST(ServeCache, ConcurrentRequestsRacingDemotionsAllGetUsableResults) {
+  const Exec exec = Exec::serial();
+  const Csr g = load_graph_spec("gen:grid2d:24,24");
+  std::atomic<int> builds_a{0};
+  auto build = [&](std::uint64_t seed, std::atomic<int>* counter) {
+    return [&, seed, counter]() -> guard::Result<Hierarchy> {
+      if (counter != nullptr) ++(*counter);
+      CoarsenOptions o;
+      o.seed = seed;
+      return coarsen_multilevel(exec, g, o);
+    };
+  };
+  auto key = [&](std::uint64_t seed) {
+    CoarsenOptions o;
+    o.seed = seed;
+    return CacheKey{graph_crc(g), canonical_coarsen_options(o)};
+  };
+
+  std::size_t b1 = 0;
+  {
+    HierarchyCache probe(0);
+    b1 = probe.get_or_build(key(1), build(1, nullptr)).bytes;
+    ASSERT_GT(b1, 0u);
+  }
+
+  // Budget holds ~one entry: every insert of a DIFFERENT key demotes the
+  // current resident, so requests for key 1 keep racing its demotion.
+  const std::string dir = fresh_spill_dir("serve_spill_race");
+  HierarchyCache cache(b1 + b1 / 2, dir);
+  ASSERT_TRUE(
+      cache.get_or_build(key(1), build(1, &builds_a)).status.usable());
+
+  CoarsenOptions o1;
+  o1.seed = 1;
+  const Hierarchy fresh = coarsen_multilevel(exec, g, o1);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4; ++i) {
+        if (t % 2 == 0) {
+          // Requester: key 1 must always come back usable and identical,
+          // whether it was resident, spilled, or mid-demotion.
+          const auto got = cache.get_or_build(key(1), build(1, &builds_a));
+          if (!got.status.usable() || got.hierarchy == nullptr) {
+            ++failures;
+            continue;
+          }
+          expect_same_hierarchy(*got.hierarchy, fresh);
+        } else {
+          // Pressure: distinct keys shove key 1 out of residency. These
+          // may be refused when nothing can be made room for — that is
+          // the typed contract, not a failure of this test.
+          const std::uint64_t seed =
+              100 + static_cast<std::uint64_t>(t * 16 + i);
+          (void)cache.get_or_build(key(seed), build(seed, nullptr));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Single-flight held: key 1 was BUILT exactly once ever; all later
+  // copies came from cache hits or disk re-hydrations.
+  EXPECT_EQ(builds_a.load(), 1);
+
+  const HierarchyCache::Stats s = cache.stats();
+  EXPECT_GE(s.demotions, 1u);
+  cache.evict_all();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServeCache, CorruptSpillSegmentsFallBackToRebuildNeverCrash) {
+  const Exec exec = Exec::serial();
+  const Csr g = load_graph_spec("gen:grid2d:24,24");
+  std::atomic<int> builds{0};
+  auto build = [&](std::uint64_t seed) {
+    return [&, seed]() -> guard::Result<Hierarchy> {
+      ++builds;
+      CoarsenOptions o;
+      o.seed = seed;
+      return coarsen_multilevel(exec, g, o);
+    };
+  };
+  auto key = [&](std::uint64_t seed) {
+    CoarsenOptions o;
+    o.seed = seed;
+    return CacheKey{graph_crc(g), canonical_coarsen_options(o)};
+  };
+
+  std::size_t b1 = 0;
+  {
+    HierarchyCache probe(0);
+    b1 = probe.get_or_build(key(1), build(1)).bytes;
+  }
+  const std::string dir = fresh_spill_dir("serve_spill_corrupt");
+  HierarchyCache cache(b1, dir);
+  ASSERT_TRUE(cache.get_or_build(key(1), build(1)).status.ok());
+  ASSERT_TRUE(cache.get_or_build(key(2), build(2)).status.usable());
+  ASSERT_GE(cache.stats().demotions, 1u);
+
+  // Flip one byte in the middle of every spilled segment: the CRC check
+  // must reject the load and the cache must fall back to a fresh build.
+  for (const auto& e :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::fstream f(e.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(e.file_size() / 2));
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(e.file_size() / 2));
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(e.file_size() / 2));
+    f.write(&byte, 1);
+  }
+
+  const int builds_before = builds.load();
+  const auto got = cache.get_or_build(key(1), build(1));
+  ASSERT_TRUE(got.status.usable());
+  ASSERT_NE(got.hierarchy, nullptr);
+  EXPECT_EQ(builds.load(), builds_before + 1);  // rebuilt, not loaded
+  CoarsenOptions o1;
+  o1.seed = 1;
+  expect_same_hierarchy(*got.hierarchy, coarsen_multilevel(exec, g, o1));
+  cache.evict_all();
 }
 
 // --- service: deadlines, overload, robustness ------------------------------

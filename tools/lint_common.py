@@ -39,6 +39,10 @@ Rule registry (rule id -> allow tag):
     missing-ctx-poll    poll-ok       loop in a guard::Ctx-taking
                                       function that neither dispatches
                                       nor polls the Ctx            (v2)
+    unbudgeted-alloc    budget-ok     data-sized allocation in
+                                      budget-scoped code with no
+                                      MemoryBudget activity in the
+                                      enclosing function           (v2)
 
 See docs/static-analysis.md for the full catalogue with examples.
 """
@@ -58,6 +62,7 @@ ALLOW_TAGS: dict[str, str] = {
     "unguarded-mutex": "guard-ok",
     "blocking-in-parallel": "blocking-ok",
     "missing-ctx-poll": "poll-ok",
+    "unbudgeted-alloc": "budget-ok",
 }
 
 ALLOW_PREFIX = "mgc-lint: "

@@ -43,6 +43,19 @@
 //   --checkpoint-dir DIR           write one durable snapshot per completed
 //                                  coarsening level and resume from the
 //                                  deepest valid prefix on restart
+//   --degrade off|spill|shard|auto out-of-core degradation ladder under
+//                                  memory pressure (docs/out-of-core.md):
+//                                  spill finished levels to --spill-dir,
+//                                  shard construction, or (auto) both plus
+//                                  a last-resort overcommit — degraded,
+//                                  never dead
+//   --spill-dir DIR                scratch directory for ooc spill
+//                                  segments (required by spill/auto)
+//   --max-shards K                 shard cap for the ooc shard rung
+//
+// checkpoint-info also understands --spill-dir layouts: it lists
+// spill_level_NNNN.mgck segments with their CRC validation status, and
+// reports which hierarchy levels were resident vs spilled.
 //
 // Flags accept both "--flag value" and "--flag=value" forms.
 //
@@ -61,6 +74,10 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "mgc.hpp"
 
@@ -323,8 +340,10 @@ int run_command(const Args& args, const Exec& exec, const Csr& g,
   die("unknown command: " + args.command);
 }
 
-// `mgc checkpoint-info <dir>`: offline inspection of a --checkpoint-dir.
-// Purely informational (exit 0); a missing directory is an input error.
+// `mgc checkpoint-info <dir>`: offline inspection of a --checkpoint-dir
+// or an ooc --spill-dir (both hold .mgck files; the naming scheme tells
+// them apart). Purely informational (exit 0); a missing directory is an
+// input error.
 int run_checkpoint_info(const std::string& dir) {
   if (!std::filesystem::exists(dir)) {
     throw guard::Error(
@@ -332,26 +351,57 @@ int run_checkpoint_info(const std::string& dir) {
                                      dir));
   }
   const std::vector<CheckpointFileInfo> infos = inspect_checkpoint_dir(dir);
-  if (infos.empty()) {
-    std::printf("%s: no level-1 snapshot (nothing to resume)\n",
-                dir.c_str());
+  const std::vector<ooc::SpillSegmentInfo> segs = ooc::inspect_spill_dir(dir);
+  if (infos.empty() && segs.empty()) {
+    std::printf(
+        "%s: no level-1 snapshot and no spill segments (nothing to "
+        "resume)\n",
+        dir.c_str());
     return 0;
   }
-  std::printf("%-6s %-8s %10s %12s %12s %-6s %s\n", "level", "version", "n",
-              "entries", "bytes", "valid", "detail");
-  int resumable = 0;
-  bool prefix_ok = true;
-  for (const CheckpointFileInfo& f : infos) {
-    std::printf("%-6d %-8u %10d %12lld %12zu %-6s %s\n", f.level, f.version,
-                f.n, static_cast<long long>(f.entries), f.file_bytes,
-                f.valid ? "yes" : "NO", f.valid ? "" : f.error.c_str());
-    if (prefix_ok && f.valid) {
-      ++resumable;
-    } else {
-      prefix_ok = false;
+  if (!infos.empty()) {
+    std::printf("%-6s %-8s %10s %12s %12s %-6s %s\n", "level", "version",
+                "n", "entries", "bytes", "valid", "detail");
+    int resumable = 0;
+    bool prefix_ok = true;
+    for (const CheckpointFileInfo& f : infos) {
+      std::printf("%-6d %-8u %10d %12lld %12zu %-6s %s\n", f.level,
+                  f.version, f.n, static_cast<long long>(f.entries),
+                  f.file_bytes, f.valid ? "yes" : "NO",
+                  f.valid ? "" : f.error.c_str());
+      if (prefix_ok && f.valid) {
+        ++resumable;
+      } else {
+        prefix_ok = false;
+      }
     }
+    std::printf("\nresumable prefix: %d level(s)\n", resumable);
   }
-  std::printf("\nresumable prefix: %d level(s)\n", resumable);
+  if (!segs.empty()) {
+    // Spill segments are keyed by hierarchy GRAPH INDEX; an index with no
+    // segment was resident when the run ended (gaps are normal).
+    std::printf("\nspill segments (graph index -> on-disk level):\n");
+    std::printf("%-6s %10s %12s %12s %12s %-6s %s\n", "index", "n",
+                "entries", "map_n", "bytes", "valid", "detail");
+    std::size_t total_bytes = 0;
+    int next = 0;
+    std::string resident;
+    for (const ooc::SpillSegmentInfo& s : segs) {
+      for (; next < s.index; ++next) {
+        resident += (resident.empty() ? "" : ",") + std::to_string(next);
+      }
+      next = s.index + 1;
+      std::printf("%-6d %10d %12lld %12zu %12zu %-6s %s\n", s.index, s.n,
+                  static_cast<long long>(s.entries), s.map_n, s.file_bytes,
+                  s.valid ? "yes" : "NO", s.valid ? "" : s.error.c_str());
+      total_bytes += s.file_bytes;
+    }
+    std::printf("\nspilled: %zu segment(s), %zu bytes on disk\n",
+                segs.size(), total_bytes);
+    std::printf("resident when the run ended: %s\n",
+                resident.empty() ? "(none below the highest segment)"
+                                 : resident.c_str());
+  }
   return 0;
 }
 
@@ -425,6 +475,18 @@ int run(const Args& args) {
   copts.cutoff = static_cast<vid_t>(args.get_int("cutoff", 50));
   copts.seed = seed;
   copts.checkpoint_dir = args.get("checkpoint-dir", "");
+  // Out-of-core ladder: a bad mode string or a missing spill dir surfaces
+  // as the typed kInvalidInput (exit 3) before any work happens.
+  copts.degrade = parse_degrade(args.get("degrade", "off")).value();
+  copts.spill_dir = args.get("spill-dir", "");
+  copts.max_shards = static_cast<int>(args.get_int("max-shards", 8));
+  if ((copts.degrade == Degrade::kSpill ||
+       copts.degrade == Degrade::kAuto) &&
+      copts.spill_dir.empty()) {
+    throw guard::Error(guard::Status::invalid_input(
+        "--degrade " + degrade_name(copts.degrade) +
+        " requires --spill-dir"));
+  }
   const std::string fallbacks = args.get("fallbacks", "");
   for (std::size_t pos = 0; pos < fallbacks.size();) {
     std::size_t comma = fallbacks.find(',', pos);
@@ -446,6 +508,17 @@ int run(const Args& args) {
     std::printf("mem: peak=%zu budget=%zu\n",
                 guard::MemoryBudget::process().peak(), active_budget);
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // OS-truth peak RSS, so the CI ooc-pressure job can assert that the
+  // degrade ladder actually bounded physical memory (the ledger above only
+  // tracks charged allocations).
+  {
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+      std::printf("rss: peak_kb=%ld\n", static_cast<long>(ru.ru_maxrss));
+    }
+  }
+#endif
   // An unwritable report file must not masquerade as success: surface
   // the IO failure through the exit-code contract (InvalidInput -> 3).
   const guard::Status write_status = outputs.flush();

@@ -34,6 +34,17 @@ few race-discipline mistakes. This second pass covers the rules that need
     stall" failure mode the guard layer exists to bound
     (docs/robustness.md).
 
+``unbudgeted-alloc``
+    A data-sized allocation (``reserve`` / ``resize`` / ``new[]`` /
+    ``malloc`` with a non-literal size) in the budget-scoped directories
+    (src/multilevel/, src/serve/, src/ooc/) whose enclosing function
+    shows no ``guard::MemoryBudget`` / ``ScopedCharge`` activity. An
+    allocation the ledger never saw is memory the degradation ladder
+    cannot spill or shard around — it surfaces as the OOM killer instead
+    of a typed refusal (docs/out-of-core.md). Literal-sized bookkeeping
+    is never flagged; deliberate untracked buffers (transient serialize
+    scratch, reply strings bounded by the request) are allow-tagged.
+
 plus semantic re-implementations of the v1 rules (``racy-write``,
 ``region-in-parallel``, ``bare-ofstream``) so running mgc_lint2 alone
 still enforces the full catalogue.
@@ -117,6 +128,28 @@ CTX_POLL = re.compile(
 #: bookkeeping (copying a report, summing stats) and are not flagged.
 MIN_LOOP_LINES = 8
 
+#: Directories where every data-sized allocation must be visible to the
+#: guard::MemoryBudget ledger (docs/out-of-core.md). Generic utility code
+#: elsewhere sizes buffers off its inputs legitimately; the discipline is
+#: enforced only where hierarchy-scale data lives. The fixture directory
+#: is scoped so the corpus can pin the rule.
+BUDGET_SCOPED_DIRS = ("src/multilevel/", "src/serve/", "src/ooc/",
+                      "tests/lint/fixtures/")
+
+#: Paren-delimited allocation calls (size expression inside the parens).
+ALLOC_PAREN = re.compile(
+    r"(?:[.]\s*|->\s*)(?:reserve|resize)\s*\(|\b(?:malloc|calloc)\s*\(")
+
+#: Array new (size expression inside the brackets).
+ALLOC_NEW = re.compile(
+    r"\bnew\s+[A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*"
+    r"(?:\s*<[^;{}\[\]]*>)?\s*\[")
+
+#: Ledger activity that shows the enclosing function is budget-aware:
+#: MemoryBudget itself, ScopedCharge, charge()/try_charge()/
+#: charge_unbounded(), mem_charge, charged_hierarchy, ...
+BUDGET_EVIDENCE = re.compile(r"\b\w*[Cc]harge\w*\b|\bMemoryBudget\b")
+
 MESSAGES = {
     "discarded-status": (
         "call result (guard::Status / Result) is discarded — every "
@@ -137,6 +170,12 @@ MESSAGES = {
         "substantial loop in a guard::Ctx-taking function with no Ctx "
         "poll and no parallel dispatch — a stalled iteration here is "
         "invisible to cancellation and deadlines"
+    ),
+    "unbudgeted-alloc": (
+        "data-sized allocation in budget-scoped code with no "
+        "MemoryBudget / ScopedCharge activity in the enclosing function "
+        "— memory the ledger never saw cannot trigger the degradation "
+        "ladder, it triggers the OOM killer (docs/out-of-core.md)"
     ),
 }
 
@@ -340,6 +379,62 @@ def _syntactic_missing_ctx_poll(path: str, clean: str,
     return findings
 
 
+def _budget_scoped(path: str) -> bool:
+    p = os.path.abspath(path).replace(os.sep, "/")
+    return any(d in p for d in BUDGET_SCOPED_DIRS)
+
+
+def _brace_blocks(clean: str) -> list[tuple[int, int]]:
+    """(open, close) offsets of every `(...) {` body — function bodies,
+    plus harmless extras like `while (...) {`. An alloc site is judged
+    against ALL blocks containing it, so over-matching an inner control
+    block cannot hide ledger evidence that lives in the real function
+    body around it."""
+    spans: list[tuple[int, int]] = []
+    for fm in FUNC_HEAD.finditer(clean):
+        body_open = clean.index("{", fm.end() - 1)
+        body_close = match_forward(clean, body_open, "{", "}")
+        if body_close > 0:
+            spans.append((body_open, body_close))
+    return spans
+
+
+def _syntactic_unbudgeted_alloc(path: str, clean: str,
+                                raw_lines: list[str]) -> list[Finding]:
+    if not _budget_scoped(path):
+        return []
+    # (offset, size-expression) of every allocation call.
+    sites: list[tuple[int, str]] = []
+    for m in ALLOC_PAREN.finditer(clean):
+        open_p = clean.rfind("(", m.start(), m.end())
+        close_p = match_forward(clean, open_p, "(", ")")
+        if close_p > 0:
+            sites.append((m.start(), clean[open_p + 1:close_p]))
+    for m in ALLOC_NEW.finditer(clean):
+        open_b = clean.rfind("[", m.start(), m.end())
+        close_b = match_forward(clean, open_b, "[", "]")
+        if close_b > 0:
+            sites.append((m.start(), clean[open_b + 1:close_b]))
+    if not sites:
+        return []
+    blocks = _brace_blocks(clean)
+    findings: list[Finding] = []
+    for off, size_expr in sorted(sites):
+        if not re.search(r"[A-Za-z_]", size_expr):
+            continue  # literal-sized: bounded bookkeeping, not data-scale
+        enclosing = [(o, c) for o, c in blocks if o < off < c]
+        if any(BUDGET_EVIDENCE.search(clean[o + 1:c]) for o, c in enclosing):
+            continue
+        line_idx = _line_of(clean, off)
+        if allowlisted(raw_lines, line_idx, "unbudgeted-alloc"):
+            continue
+        findings.append(Finding(
+            path=path, line=line_idx + 1, rule="unbudgeted-alloc",
+            message=MESSAGES["unbudgeted-alloc"],
+            snippet=raw_lines[line_idx].strip()))
+    return findings
+
+
 def _syntactic_v1_rules(path: str, clean: str,
                         raw_lines: list[str]) -> list[Finding]:
     """v1 rules re-emitted by v2 so mgc_lint2 alone enforces the full
@@ -395,6 +490,7 @@ def syntactic_scan(files: list[str], roots: list[str]) -> list[Finding]:
         findings += _syntactic_unguarded_mutex(path, clean, raw_lines)
         findings += _syntactic_blocking_in_parallel(path, clean, raw_lines)
         findings += _syntactic_missing_ctx_poll(path, clean, raw_lines)
+        findings += _syntactic_unbudgeted_alloc(path, clean, raw_lines)
         findings += _syntactic_v1_rules(path, clean, raw_lines)
     return findings
 
@@ -555,6 +651,10 @@ class ClangScanner:
         for f in _syntactic_v1_rules(path, clean, raw_lines):
             if f.rule == "racy-write":
                 findings.append(f)
+        # unbudgeted-alloc likewise: the ledger-evidence scan is about
+        # names in scope, not types, so both frontends share one detector
+        # and stay byte-identical on the fixture corpus by construction.
+        findings += _syntactic_unbudgeted_alloc(path, clean, raw_lines)
         return findings
 
     def _discarded_status_in(self, compound, add, ck):
