@@ -15,13 +15,22 @@
 // Output: a human summary on stdout and — with --profile — an
 // mgc-profile JSON report whose meta block carries the numbers the CI
 // serve-smoke job asserts on:
-//   serve.p50_ms / serve.p99_ms   request latency percentiles
+//   serve.p50_ms / serve.p99_ms   client-side request latency percentiles
+//   serve.server_p50_ms / serve.server_p99_ms
+//                                 server-side percentiles from the live
+//                                 obs::metrics histograms (per-op
+//                                 histograms merged); client-minus-server
+//                                 is dispatch + queueing overhead
+//   serve.queue_p50_ms / serve.queue_p99_ms  admission-queue wait
+//   serve.req_per_s               throughput (the telemetry-overhead
+//                                 gate compares this on vs --no-telemetry)
 //   serve.hit_rate                cache hits / (hits + misses)
 //   serve.requests / serve.errors / serve.deadline_errors
 //
 // Usage:
 //   bench_serve [--threads T] [--requests-per-thread N]
 //               [--cache-budget BYTES] [--profile FILE.json]
+//               [--no-telemetry]
 
 #include <algorithm>
 #include <atomic>
@@ -35,6 +44,7 @@
 #include <vector>
 
 #include "guard/env.hpp"
+#include "obs/metrics.hpp"
 #include "prof/prof.hpp"
 #include "serve/service.hpp"
 
@@ -123,6 +133,7 @@ int main(int argc, char** argv) {
     const std::string flag = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
+        // mgc-lint: stderr-ok -- CLI usage error, printed before any run
         std::fprintf(stderr, "bench_serve: missing value for %s\n",
                      flag.c_str());
         std::exit(2);
@@ -137,11 +148,14 @@ int main(int argc, char** argv) {
       opts.cache_budget_bytes = guard::parse_bytes(next()).value();
     } else if (flag == "--profile") {
       profile_path = next();
+    } else if (flag == "--no-telemetry") {
+      opts.telemetry = false;
     } else {
+      // mgc-lint: stderr-ok -- CLI usage error, printed before any run
       std::fprintf(stderr,
                    "usage: bench_serve [--threads T] "
                    "[--requests-per-thread N] [--cache-budget BYTES] "
-                   "[--profile FILE.json]\n");
+                   "[--profile FILE.json] [--no-telemetry]\n");
       return 2;
     }
   }
@@ -149,6 +163,9 @@ int main(int argc, char** argv) {
   if (!profile_path.empty()) prof::enable();
 
   serve::Service service(opts);
+  // Counters/histograms accumulate process-wide; zero them so the
+  // snapshot below covers exactly this run.
+  if (opts.telemetry) obs::metrics::reset();
   std::vector<Tally> tallies(static_cast<std::size_t>(threads));
   std::vector<std::thread> clients;
   clients.reserve(static_cast<std::size_t>(threads));
@@ -196,6 +213,38 @@ int main(int argc, char** argv) {
 
   const double p50 = percentile(total.latencies_ms, 0.50);
   const double p99 = percentile(total.latencies_ms, 0.99);
+
+  // Server-side view: the per-op latency histograms the daemon itself
+  // keeps, merged into one distribution (identical bucket layout, so the
+  // merge is element-wise). Client-side latency covers dispatch + queue +
+  // execution; the server-side per-op histogram starts at admission, so
+  // client >= server and the gap is queueing/dispatch overhead. Histogram
+  // quantiles are bucket lower bounds (conservative), so server p50/p99
+  // bracket below the client numbers by construction.
+  double server_p50_ms = 0.0, server_p99_ms = 0.0;
+  double queue_p50_ms = 0.0, queue_p99_ms = 0.0;
+  std::uint64_t server_observations = 0;
+  if (opts.telemetry) {
+    const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+    obs::metrics::HistogramSnapshot merged;
+    for (const char* name :
+         {"serve.op.coarsen.latency_us", "serve.op.partition.latency_us",
+          "serve.op.cluster.latency_us", "serve.op.fiedler.latency_us"}) {
+      if (const obs::metrics::HistogramSnapshot* h =
+              snap.find_histogram(name)) {
+        merged.merge(*h);
+      }
+    }
+    server_observations = merged.count;
+    server_p50_ms = static_cast<double>(merged.quantile(0.50)) / 1000.0;
+    server_p99_ms = static_cast<double>(merged.quantile(0.99)) / 1000.0;
+    if (const obs::metrics::HistogramSnapshot* q =
+            snap.find_histogram("serve.queue.wait_us")) {
+      queue_p50_ms = static_cast<double>(q->quantile(0.50)) / 1000.0;
+      queue_p99_ms = static_cast<double>(q->quantile(0.99)) / 1000.0;
+    }
+  }
+
   const serve::HierarchyCache::Stats cs = service.cache_stats();
   const double hit_rate =
       cs.hits + cs.misses == 0
@@ -208,7 +257,16 @@ int main(int argc, char** argv) {
       threads, per_thread,
       wall_s,
       static_cast<double>(total.latencies_ms.size()) / wall_s);
-  std::printf("  latency p50 %.2f ms, p99 %.2f ms\n", p50, p99);
+  std::printf("  latency p50 %.2f ms, p99 %.2f ms (client-side)\n", p50,
+              p99);
+  if (opts.telemetry) {
+    std::printf(
+        "  latency p50 %.2f ms, p99 %.2f ms (server-side, %llu admitted)\n",
+        server_p50_ms, server_p99_ms,
+        static_cast<unsigned long long>(server_observations));
+    std::printf("  queue wait p50 %.2f ms, p99 %.2f ms\n", queue_p50_ms,
+                queue_p99_ms);
+  }
   std::printf(
       "  replies: %llu ok, %llu errors (%llu deadline, %llu overload)\n",
       static_cast<unsigned long long>(total.ok),
@@ -226,6 +284,14 @@ int main(int argc, char** argv) {
     prof::set_meta("tool", std::string("bench_serve"));
     prof::set_meta("serve.p50_ms", p50);
     prof::set_meta("serve.p99_ms", p99);
+    prof::set_meta("serve.server_p50_ms", server_p50_ms);
+    prof::set_meta("serve.server_p99_ms", server_p99_ms);
+    prof::set_meta("serve.queue_p50_ms", queue_p50_ms);
+    prof::set_meta("serve.queue_p99_ms", queue_p99_ms);
+    prof::set_meta("serve.req_per_s",
+                   static_cast<double>(total.latencies_ms.size()) / wall_s);
+    prof::set_meta("serve.telemetry",
+                   static_cast<long long>(opts.telemetry ? 1 : 0));
     prof::set_meta("serve.hit_rate", hit_rate);
     prof::set_meta("serve.requests",
                    static_cast<long long>(total.latencies_ms.size()));
@@ -234,6 +300,7 @@ int main(int argc, char** argv) {
                    static_cast<long long>(total.deadline_errors));
     const guard::Status st = prof::write_json_file(profile_path);
     if (!st.ok()) {
+      // mgc-lint: stderr-ok -- report-write failure, exits immediately
       std::fprintf(stderr, "bench_serve: %s\n", st.to_string().c_str());
       return guard::exit_code(st.code);
     }

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "guard/status.hpp"
@@ -117,6 +118,14 @@ struct Ctx {
   /// --mem-budget flag sets it. Overrides the LIMIT only — the accounting
   /// ledger is always process-wide.
   std::size_t mem_budget_bytes = 0;
+  /// Correlation id of the serve request this Ctx belongs to (0 = not a
+  /// request). Minted by serve::Service at admission and read wherever
+  /// work needs attributing back to the request: obs::log lines pick it
+  /// up automatically, fault firings and degradation events stamp it
+  /// onto flight-recorder breadcrumbs, and every wire reply echoes it as
+  /// "req" (docs/observability.md). Purely a label: it does not affect
+  /// trivial(), polling, or control flow.
+  std::uint64_t request_id = 0;
 
   /// Nothing to enforce: polling / installation can be skipped entirely.
   bool trivial() const {

@@ -5,7 +5,10 @@
 #include <mutex>
 
 #include "core/prng.hpp"
+#include "guard/cancel.hpp"
 #include "guard/env.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "prof/prof.hpp"
 #include "trace/trace.hpp"
 
@@ -179,6 +182,18 @@ bool should_fire(Kind k) {
     // Instant event on the timeline so a fault firing can be lined up
     // against the chunk/region slices around it (docs/tracing.md).
     trace::instant(std::string("guard.fault.") + kind_name(k) + ".fired");
+  }
+  if (obs::metrics::enabled()) {
+    obs::metrics::add(std::string("guard.fault.") + kind_name(k) + ".fired",
+                      1);
+  }
+  if (obs::flight::enabled()) {
+    // Breadcrumb stamped with the serving request's id (0 outside a
+    // request Ctx) so a degraded request's flight dump shows WHICH
+    // injection fired on its path (docs/observability.md).
+    const Ctx* ctx = current_ctx();
+    obs::flight::note(ctx != nullptr ? ctx->request_id : 0, "fault.fired",
+                      kind_name(k));
   }
   return true;
 }

@@ -7,9 +7,12 @@
 
 #include "core/prng.hpp"
 #include "core/timer.hpp"
+#include "guard/cancel.hpp"
 #include "guard/fault.hpp"
 #include "guard/memory.hpp"
 #include "multilevel/checkpoint.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "ooc/shard.hpp"
 #include "ooc/spill.hpp"
 #include "prof/prof.hpp"
@@ -229,6 +232,14 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
     degraded = true;
     if (prof::enabled()) prof::add("ooc." + rung, 1);
     if (trace::enabled()) trace::instant("ooc." + rung, detail);
+    if (obs::metrics::enabled()) obs::metrics::add("ooc." + rung, 1);
+    if (obs::flight::enabled()) {
+      // Stamped with the serving request's id (0 outside a request) so a
+      // degraded request's flight dump names the rung that fired.
+      const guard::Ctx* ctx = guard::current_ctx();
+      obs::flight::note(ctx != nullptr ? ctx->request_id : 0, "ooc",
+                        rung + ": " + detail);
+    }
   };
 
   // The hierarchy's graph storage is accounted against the active

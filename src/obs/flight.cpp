@@ -1,0 +1,195 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "guard/env.hpp"
+#include "guard/io.hpp"
+#include "obs/json_writer.hpp"
+
+namespace mgc::obs::flight {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+struct Slot {
+  double t = 0.0;
+  std::uint64_t request_id = 0;
+  const char* kind = nullptr;
+  const char* detail = nullptr;
+};
+
+struct Ring {
+  std::vector<Slot> slots;  ///< fixed capacity; index = count % capacity
+  std::uint64_t count = 0;  ///< total recorded (kept + overwritten)
+};
+
+struct Global {
+  Mutex mutex;
+  // Intentionally leaked at thread exit (see flight.hpp).
+  std::vector<Ring*> rings MGC_GUARDED_BY(mutex);
+  std::deque<std::string> interned
+      MGC_GUARDED_BY(mutex);  ///< deque: stable element addresses
+  std::unordered_map<std::string, const char*> intern_index
+      MGC_GUARDED_BY(mutex);
+  std::size_t capacity MGC_GUARDED_BY(mutex) = 0;  ///< 0 = unresolved
+};
+
+Global& global() {
+  static Global* g = new Global();  // never destroyed: threads may outlive main
+  return *g;
+}
+
+std::size_t resolve_capacity_locked(Global& g) MGC_REQUIRES(g.mutex) {
+  if (g.capacity != 0) return g.capacity;
+  std::size_t cap = kDefaultCapacity;
+  const guard::Result<long long> v = guard::env_int("MGC_FLIGHT_BUF", 0);
+  if (v.ok() && v.value() > 0) cap = static_cast<std::size_t>(v.value());
+  g.capacity = std::clamp<std::size_t>(cap, 16, std::size_t{1} << 20);
+  return g.capacity;
+}
+
+Ring& ring() {
+  thread_local Ring* r = nullptr;
+  if (r == nullptr) {
+    r = new Ring();
+    Global& g = global();
+    MutexLock lock(g.mutex);
+    r->slots.resize(resolve_capacity_locked(g));
+    g.rings.push_back(r);
+  }
+  return *r;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void note_slow(std::uint64_t request_id, const char* kind,
+               const char* detail) {
+  Ring& r = ring();
+  Slot& s = r.slots[static_cast<std::size_t>(r.count % r.slots.size())];
+  s.t = now_seconds();
+  s.request_id = request_id;
+  s.kind = kind;
+  s.detail = detail;
+  ++r.count;
+}
+
+const char* intern(const std::string& s) {
+  Global& g = global();
+  MutexLock lock(g.mutex);
+  auto it = g.intern_index.find(s);
+  if (it != g.intern_index.end()) return it->second;
+  g.interned.push_back(s);
+  const char* p = g.interned.back().c_str();
+  g.intern_index.emplace(s, p);
+  return p;
+}
+
+}  // namespace detail
+
+void enable(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  detail::Global& g = detail::global();
+  MutexLock lock(g.mutex);
+  const std::size_t cap = detail::resolve_capacity_locked(g);
+  for (detail::Ring* r : g.rings) {
+    r->count = 0;
+    if (r->slots.size() != cap) {
+      r->slots.assign(cap, detail::Slot{});
+      r->slots.shrink_to_fit();
+    }
+  }
+}
+
+void set_capacity(std::size_t events_per_thread) {
+  detail::Global& g = detail::global();
+  MutexLock lock(g.mutex);
+  g.capacity =
+      std::clamp<std::size_t>(events_per_thread, 16, std::size_t{1} << 20);
+}
+
+std::size_t capacity() {
+  detail::Global& g = detail::global();
+  MutexLock lock(g.mutex);
+  return detail::resolve_capacity_locked(g);
+}
+
+void note(std::uint64_t request_id, const char* kind,
+          const std::string& detail_text) {
+  if (!enabled()) return;
+  const char* d =
+      detail_text.empty() ? nullptr : detail::intern(detail_text);
+  detail::note_slow(request_id, kind, d);
+}
+
+std::vector<Event> events_for(std::uint64_t request_id) {
+  detail::Global& g = detail::global();
+  std::vector<Event> out;
+  {
+    MutexLock lock(g.mutex);
+    for (const detail::Ring* r : g.rings) {
+      const std::uint64_t cap = r->slots.size();
+      const std::uint64_t kept = std::min<std::uint64_t>(r->count, cap);
+      const std::uint64_t start = r->count % cap;  // oldest when wrapped
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        const std::uint64_t idx = r->count > cap ? (start + i) % cap : i;
+        const detail::Slot& s =
+            r->slots[static_cast<std::size_t>(idx)];
+        if (s.request_id != request_id || s.kind == nullptr) continue;
+        out.push_back({s.t, s.request_id, s.kind, s.detail});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.t < b.t; });
+  return out;
+}
+
+std::string dump_json(std::uint64_t request_id, const std::string& reason) {
+  const std::vector<Event> events = events_for(request_id);
+  const double t0 = events.empty() ? 0.0 : events.front().t;
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "mgc-flight");
+  w.field("version", static_cast<std::int64_t>(1));
+  w.field("req", request_id);
+  w.field("reason", reason);
+  w.begin_array("events");
+  for (const Event& e : events) {
+    w.begin_object();
+    w.field("t_us", (e.t - t0) * 1e6);
+    w.field("kind", e.kind);
+    if (e.detail != nullptr) w.field("detail", e.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+guard::Status dump_to_dir(const std::string& dir, std::uint64_t request_id,
+                          const std::string& reason) {
+  const std::string path =
+      dir + "/flight-" + std::to_string(request_id) + ".json";
+  // Durable write: a half-written dump would defeat the whole point of
+  // post-mortem evidence.
+  return guard::atomic_write_file(path, dump_json(request_id, reason) + "\n");
+}
+
+}  // namespace mgc::obs::flight

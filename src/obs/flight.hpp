@@ -1,0 +1,104 @@
+#pragma once
+// mgc::obs::flight — bounded per-thread flight recorder for mgc_serve
+// (see docs/observability.md for dump format and retention semantics).
+//
+// A degraded or failed request in a long-running daemon is gone by the
+// time anyone looks: the trace buffer has wrapped, the log line says only
+// WHAT failed. The flight recorder keeps a small always-on ring of
+// request-correlated breadcrumbs (admission, cache hit/miss, degradation
+// rungs, fault firings, completion) per thread — mgc::trace's ring design
+// at request granularity instead of chunk granularity — and exports the
+// events tagged with the offending request ID the moment a request ends
+// Degraded / Internal / DeadlineExceeded. The dump costs nothing until
+// something goes wrong; recording costs one ring slot per breadcrumb.
+//
+// In the prof/check/guard idiom:
+//   - note() is an inline relaxed enabled() check when off; when on it is
+//     lock-free and allocation-free for static-string details (dynamic
+//     details are interned under a mutex — breadcrumbs are cold relative
+//     to kernel work, a handful per request).
+//   - Rings are registered under a mutex on first use and intentionally
+//     leaked at thread exit, like prof's ThreadStates and trace's Rings.
+//   - enable()/reset()/set_capacity() and the export entry points are
+//     driver/snapshot operations: events recorded concurrently with an
+//     export may or may not appear — never torn (each slot is written by
+//     its owner thread; exports read quiescent or older slots; the worst
+//     case under concurrency is a breadcrumb from a ring slot being
+//     overwritten mid-read, which yields a dropped or stale entry for
+//     some OTHER request id, never a crash — dumps filter by id).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guard/status.hpp"
+
+namespace mgc::obs::flight {
+
+/// Default per-thread ring capacity in events (MGC_FLIGHT_BUF overrides;
+/// clamped to [16, 2^20]).
+inline constexpr std::size_t kDefaultCapacity = 2048;
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+void note_slow(std::uint64_t request_id, const char* kind, const char* detail);
+const char* intern(const std::string& s);
+
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns breadcrumb recording on/off. Recorded events survive toggles;
+/// reset() discards them.
+void enable(bool on = true);
+
+/// Discards all recorded breadcrumbs and re-applies the current capacity.
+/// Driver-thread only.
+void reset();
+
+/// Per-thread ring capacity; test/driver override like
+/// trace::set_buffer_capacity. Applies to new rings and at the next
+/// reset().
+void set_capacity(std::size_t events_per_thread);
+std::size_t capacity();
+
+/// Records one breadcrumb on the calling thread's ring. `kind` must be a
+/// static string ("admit", "cache.hit", "ooc.spill", ...); `detail` is
+/// interned (cold path) and may be empty. request_id 0 = not tied to a
+/// request (still recorded; dumps filter).
+inline void note(std::uint64_t request_id, const char* kind,
+                 const char* static_detail = nullptr) {
+  if (enabled()) detail::note_slow(request_id, kind, static_detail);
+}
+void note(std::uint64_t request_id, const char* kind,
+          const std::string& detail_text);
+
+/// One exported breadcrumb.
+struct Event {
+  double t = 0.0;  ///< seconds, same steady timebase as mgc::trace
+  std::uint64_t request_id = 0;
+  const char* kind = nullptr;
+  const char* detail = nullptr;  ///< may be null
+};
+
+/// All surviving breadcrumbs for `request_id`, merged across threads,
+/// oldest first.
+std::vector<Event> events_for(std::uint64_t request_id);
+
+/// JSON dump document for one request (schema "mgc-flight" v1):
+/// {"schema":"mgc-flight","version":1,"req":N,"reason":"...",
+///  "events":[{"t_us":..,"kind":"..","detail":".."},...]}
+std::string dump_json(std::uint64_t request_id, const std::string& reason);
+
+/// dump_json written durably to `dir`/flight-<request_id>.json.
+[[nodiscard]] guard::Status dump_to_dir(const std::string& dir,
+                                        std::uint64_t request_id,
+                                        const std::string& reason);
+
+}  // namespace mgc::obs::flight

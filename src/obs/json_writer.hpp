@@ -1,0 +1,164 @@
+#pragma once
+// mgc::obs — minimal streaming JSON writer shared by every exposition
+// surface (the metrics snapshot, the `stats` wire reply, flight-recorder
+// dumps, and obs::log lines). One writer means one escaping policy and
+// one number format, so the surfaces cannot drift apart the way
+// hand-concatenated replies can (the pre-obs handle_stats built its JSON
+// with string appends; see docs/observability.md).
+//
+// Deliberately tiny: objects, arrays, string/number/bool members, and a
+// raw-JSON escape hatch for embedding an already-serialised document
+// (e.g. a metrics snapshot inside a wire reply). No pretty-printing.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mgc::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& begin_object() {
+    comma();
+    out_ += '{';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& begin_object(const char* k) {
+    key(k);
+    out_ += '{';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    fresh_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array(const char* k) {
+    key(k);
+    out_ += '[';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ += '[';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    fresh_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& field(const char* k, const std::string& v) {
+    key(k);
+    append_string(v);
+    return *this;
+  }
+  JsonWriter& field(const char* k, const char* v) {
+    return field(k, std::string(v));
+  }
+  JsonWriter& field(const char* k, std::uint64_t v) {
+    key(k);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& field(const char* k, std::int64_t v) {
+    key(k);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& field(const char* k, int v) {
+    return field(k, static_cast<std::int64_t>(v));
+  }
+  JsonWriter& field(const char* k, double v) {
+    key(k);
+    append_double(v);
+    return *this;
+  }
+  JsonWriter& field(const char* k, bool v) {
+    key(k);
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  /// Member whose value is an already-serialised JSON document.
+  JsonWriter& field_raw(const char* k, const std::string& raw_json) {
+    key(k);
+    out_ += raw_json;
+    return *this;
+  }
+
+  JsonWriter& element(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& element(double v) {
+    comma();
+    append_double(v);
+    return *this;
+  }
+  JsonWriter& element(const std::string& v) {
+    comma();
+    append_string(v);
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+  static void escape_into(std::string& out, const std::string& s) {
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+  }
+
+ private:
+  void comma() {
+    if (!fresh_.empty()) {
+      if (!fresh_.back()) out_ += ',';
+      fresh_.back() = false;
+    }
+  }
+  void key(const char* k) {
+    comma();
+    out_ += '"';
+    out_ += k;  // keys are code-controlled identifiers, never user input
+    out_ += "\":";
+  }
+  void append_string(const std::string& v) {
+    out_ += '"';
+    escape_into(out_, v);
+    out_ += '"';
+  }
+  void append_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;  ///< per open scope: no member emitted yet
+};
+
+}  // namespace mgc::obs

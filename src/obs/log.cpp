@@ -1,0 +1,177 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "guard/cancel.hpp"
+#include "guard/env.hpp"
+#include "obs/json_writer.hpp"
+
+namespace mgc::obs::log {
+
+namespace detail {
+// Default resolved lazily from MGC_LOG_LEVEL on the first emit (falls
+// back to info on garbage — use parse_level() at startup for loud
+// validation). Encoded as level+1 so 0 means "unresolved".
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+}  // namespace detail
+
+namespace {
+
+struct EventState {
+  std::int64_t window_start = 0;  ///< unix second the window opened
+  int emitted_in_window = 0;
+  std::uint64_t suppressed = 0;  ///< dropped since the last emitted line
+};
+
+struct Global {
+  Mutex mutex;
+  std::unordered_map<std::string, EventState> events MGC_GUARDED_BY(mutex);
+  Writer writer MGC_GUARDED_BY(mutex);
+  int rate_limit MGC_GUARDED_BY(mutex) = 20;
+  std::uint64_t emitted MGC_GUARDED_BY(mutex) = 0;
+  bool env_checked MGC_GUARDED_BY(mutex) = false;
+};
+
+Global& global() {
+  static Global* g = new Global();  // never destroyed: threads may outlive main
+  return *g;
+}
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void resolve_env_level_locked(Global& g) MGC_REQUIRES(g.mutex) {
+  if (g.env_checked) return;
+  g.env_checked = true;
+  const std::string env = guard::env_str("MGC_LOG_LEVEL");
+  if (env.empty()) return;
+  const guard::Result<Level> l = parse_level(env);
+  if (l.ok()) {
+    detail::g_level.store(static_cast<int>(l.value()),
+                          std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+  }
+  return "?";
+}
+
+guard::Result<Level> parse_level(const std::string& s) {
+  if (s == "debug") return Level::kDebug;
+  if (s == "info") return Level::kInfo;
+  if (s == "warn") return Level::kWarn;
+  if (s == "error") return Level::kError;
+  return guard::Status::invalid_input(
+      "log level must be debug|info|warn|error, got \"" + s + "\"");
+}
+
+void set_level(Level l) {
+  Global& g = global();
+  MutexLock lock(g.mutex);
+  g.env_checked = true;  // explicit setting suppresses the env read
+  detail::g_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+void set_rate_limit(int lines_per_second_per_event) {
+  Global& g = global();
+  MutexLock lock(g.mutex);
+  g.rate_limit = lines_per_second_per_event;
+}
+
+void set_writer(Writer w) {
+  Global& g = global();
+  MutexLock lock(g.mutex);
+  g.writer = std::move(w);
+}
+
+std::uint64_t emitted_lines() {
+  Global& g = global();
+  MutexLock lock(g.mutex);
+  return g.emitted;
+}
+
+void emit(Level l, const char* event, std::initializer_list<Field> fields) {
+  Global& g = global();
+  MutexLock lock(g.mutex);
+  resolve_env_level_locked(g);
+  if (static_cast<int>(l) <
+      detail::g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+
+  const double t = wall_seconds();
+  std::uint64_t suppressed = 0;
+  if (g.rate_limit > 0) {
+    EventState& es = g.events[event];
+    const std::int64_t sec = static_cast<std::int64_t>(t);
+    if (es.window_start != sec) {
+      es.window_start = sec;
+      es.emitted_in_window = 0;
+    }
+    if (es.emitted_in_window >= g.rate_limit) {
+      ++es.suppressed;
+      return;
+    }
+    ++es.emitted_in_window;
+    suppressed = es.suppressed;
+    es.suppressed = 0;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("t", t);
+  w.field("level", level_name(l));
+  w.field("event", event);
+  // Callers inside a request context get "req" stamped automatically —
+  // unless they passed one explicitly (a duplicate key would be worse
+  // than a missing one).
+  bool explicit_req = false;
+  for (const Field& f : fields) {
+    if (std::strcmp(f.key, "req") == 0) {
+      explicit_req = true;
+      break;
+    }
+  }
+  if (const guard::Ctx* ctx = guard::current_ctx();
+      !explicit_req && ctx != nullptr && ctx->request_id != 0) {
+    w.field("req", ctx->request_id);
+  }
+  for (const Field& f : fields) {
+    switch (f.kind) {
+      case Field::Kind::kString: w.field(f.key, f.s); break;
+      case Field::Kind::kU64: w.field(f.key, f.u); break;
+      case Field::Kind::kI64: w.field(f.key, f.i); break;
+      case Field::Kind::kF64: w.field(f.key, f.f); break;
+      case Field::Kind::kBool: w.field(f.key, f.b); break;
+    }
+  }
+  if (suppressed > 0) w.field("suppressed", suppressed);
+  w.end_object();
+
+  ++g.emitted;
+  if (g.writer) {
+    g.writer(w.str());
+  } else {
+    // The structured-log sink IS the legitimate stderr writer.
+    // mgc-lint: stderr-ok -- the log sink is the one sanctioned stderr user
+    std::fprintf(stderr, "%s\n", w.str().c_str());
+  }
+}
+
+}  // namespace mgc::obs::log

@@ -1,0 +1,131 @@
+#pragma once
+// mgc::obs::log — leveled, rate-limited, structured JSON-lines logging
+// (see docs/observability.md for the line schema).
+//
+// The serve daemon's runtime narrative used to be printf-to-stderr:
+// unparseable, unleveled, and unbounded under a request flood. This
+// logger emits one self-describing JSON object per line through the
+// shared obs::JsonWriter, attaches the active request ID automatically
+// (from the installed guard::Ctx), and rate-limits per event name so a
+// hot failure path cannot turn the log into the outage.
+//
+// Line schema (stable keys, then caller fields in call order):
+//   {"t":<unix seconds>,"level":"info","event":"serve.listen",
+//    "req":N,              -- only when a request Ctx is installed
+//    ...caller fields...,
+//    "suppressed":K}       -- only when rate limiting dropped K lines
+//                             for this event since the last emitted one
+//
+// Levels: debug < info < warn < error. The threshold comes from
+// set_level() (the daemon's --log-level flag) or lazily from
+// MGC_LOG_LEVEL; garbage in the env falls back to info here — validate
+// loudly at startup with parse_level() where a typo must not be eaten.
+//
+// Cost: a disabled level is one relaxed load + compare. An emitted line
+// takes a mutex (serialising concurrent lines is the point of a line
+// log) — keep emit() off kernel hot paths; it is for lifecycle and
+// per-request events.
+//
+// The sink is stderr by default; set_writer() redirects (tests, the
+// daemon's --log-file).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+#include "guard/status.hpp"
+
+namespace mgc::obs::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* level_name(Level l);
+
+/// Parses "debug" / "info" / "warn" / "error"; typed InvalidInput
+/// otherwise (use at startup so a typo'd MGC_LOG_LEVEL fails loudly).
+[[nodiscard]] guard::Result<Level> parse_level(const std::string& s);
+
+namespace detail {
+extern std::atomic<int> g_level;
+}
+
+inline Level level() {
+  return static_cast<Level>(detail::g_level.load(std::memory_order_relaxed));
+}
+void set_level(Level l);
+
+/// Would a line at `l` currently be emitted? Inline relaxed load — the
+/// only cost a suppressed level pays.
+inline bool should_log(Level l) {
+  return static_cast<int>(l) >=
+         detail::g_level.load(std::memory_order_relaxed);
+}
+
+/// One typed key/value for a log line.
+struct Field {
+  enum class Kind { kString, kU64, kI64, kF64, kBool };
+  const char* key;
+  Kind kind;
+  std::string s;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double f = 0.0;
+  bool b = false;
+};
+
+inline Field kv(const char* key, const std::string& v) {
+  return {key, Field::Kind::kString, v};
+}
+inline Field kv(const char* key, const char* v) {
+  return {key, Field::Kind::kString, std::string(v)};
+}
+inline Field kv(const char* key, std::uint64_t v) {
+  Field f{key, Field::Kind::kU64, {}};
+  f.u = v;
+  return f;
+}
+inline Field kv(const char* key, std::int64_t v) {
+  Field f{key, Field::Kind::kI64, {}};
+  f.i = v;
+  return f;
+}
+inline Field kv(const char* key, int v) {
+  return kv(key, static_cast<std::int64_t>(v));
+}
+inline Field kv(const char* key, unsigned v) {
+  return kv(key, static_cast<std::uint64_t>(v));
+}
+inline Field kv(const char* key, double v) {
+  Field f{key, Field::Kind::kF64, {}};
+  f.f = v;
+  return f;
+}
+inline Field kv(const char* key, bool v) {
+  Field f{key, Field::Kind::kBool, {}};
+  f.b = v;
+  return f;
+}
+
+/// Emits one line (subject to level + rate limit). `event` must be a
+/// stable identifier ("serve.listen", "serve.reject") — it is the
+/// rate-limit key and the primary query key downstream.
+void emit(Level l, const char* event,
+          std::initializer_list<Field> fields = {});
+
+/// Per-event emitted-lines-per-second cap (default 20). Excess lines are
+/// counted and reported as "suppressed" on the event's next emitted
+/// line. 0 disables the limiter (tests).
+void set_rate_limit(int lines_per_second_per_event);
+
+/// Redirects the sink (default: one fwrite to stderr per line). The
+/// writer receives the full line WITHOUT a trailing newline and is
+/// called under the log mutex — keep it fast.
+using Writer = std::function<void(const std::string& line)>;
+void set_writer(Writer w);  ///< empty Writer restores the stderr sink
+
+/// Lines actually emitted (post-filtering) since process start.
+std::uint64_t emitted_lines();
+
+}  // namespace mgc::obs::log

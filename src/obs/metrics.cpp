@@ -1,0 +1,357 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "guard/io.hpp"
+#include "obs/json_writer.hpp"
+
+namespace mgc::obs::metrics {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// One thread's accumulation cells. Fixed-size so the snapshot thread can
+/// read while the owner keeps writing: every cell is a relaxed atomic
+/// with exactly one writer. ~180 KB per thread, allocated once on the
+/// thread's first recorded value and intentionally leaked (pool workers
+/// live for the process; dead threads' totals must survive until the
+/// next snapshot), exactly like prof's ThreadStates and trace's Rings.
+struct Shard {
+  std::atomic<std::uint64_t> counters[kMaxCounters];
+  std::atomic<std::uint64_t> hist_count[kMaxHistograms];
+  std::atomic<std::uint64_t> hist_sum[kMaxHistograms];
+  std::atomic<std::uint64_t> hist_buckets[kMaxHistograms * kNumBuckets];
+
+  Shard() {
+    for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+    for (auto& c : hist_count) c.store(0, std::memory_order_relaxed);
+    for (auto& c : hist_sum) c.store(0, std::memory_order_relaxed);
+    for (auto& c : hist_buckets) c.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct HistogramMeta {
+  std::string name;
+  std::string unit;
+};
+
+struct ProviderEntry {
+  std::uint64_t token = 0;
+  GaugeProvider provider;
+};
+
+struct Global {
+  Mutex mutex;
+  std::vector<Shard*> shards MGC_GUARDED_BY(mutex);
+  std::vector<std::string> counter_names MGC_GUARDED_BY(mutex);
+  std::unordered_map<std::string, CounterId> counter_index
+      MGC_GUARDED_BY(mutex);
+  std::vector<HistogramMeta> histogram_meta MGC_GUARDED_BY(mutex);
+  std::unordered_map<std::string, HistogramId> histogram_index
+      MGC_GUARDED_BY(mutex);
+  std::vector<ProviderEntry> providers MGC_GUARDED_BY(mutex);
+  std::uint64_t next_token MGC_GUARDED_BY(mutex) = 1;
+};
+
+Global& global() {
+  static Global* g = new Global();  // never destroyed: threads may outlive main
+  return *g;
+}
+
+Shard& shard() {
+  thread_local Shard* s = nullptr;
+  if (s == nullptr) {
+    s = new Shard();
+    Global& g = global();
+    MutexLock lock(g.mutex);
+    g.shards.push_back(s);
+  }
+  return *s;
+}
+
+}  // namespace
+
+void counter_add_slow(std::uint32_t id, std::uint64_t delta) {
+  if (id >= kMaxCounters) return;
+  shard().counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void histogram_observe_slow(std::uint32_t id, std::uint64_t value) {
+  if (id >= kMaxHistograms) return;
+  Shard& s = shard();
+  const std::uint32_t b = bucket_index(value);
+  s.hist_buckets[id * kNumBuckets + b].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  s.hist_count[id].fetch_add(1, std::memory_order_relaxed);
+  s.hist_sum[id].fetch_add(value, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void enable(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  detail::Global& g = detail::global();
+  MutexLock lock(g.mutex);
+  for (detail::Shard* s : g.shards) {
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& c : s->hist_count) c.store(0, std::memory_order_relaxed);
+    for (auto& c : s->hist_sum) c.store(0, std::memory_order_relaxed);
+    for (auto& c : s->hist_buckets) c.store(0, std::memory_order_relaxed);
+  }
+}
+
+CounterId counter(const std::string& name) {
+  detail::Global& g = detail::global();
+  MutexLock lock(g.mutex);
+  auto it = g.counter_index.find(name);
+  if (it != g.counter_index.end()) return it->second;
+  if (g.counter_names.size() >= kMaxCounters) {
+    throw guard::Error(guard::Status::internal(
+        "obs::metrics counter registry full (" +
+        std::to_string(kMaxCounters) + ") registering \"" + name + "\""));
+  }
+  const CounterId id = static_cast<CounterId>(g.counter_names.size());
+  g.counter_names.push_back(name);
+  g.counter_index.emplace(name, id);
+  return id;
+}
+
+HistogramId histogram(const std::string& name, const std::string& unit) {
+  detail::Global& g = detail::global();
+  MutexLock lock(g.mutex);
+  auto it = g.histogram_index.find(name);
+  if (it != g.histogram_index.end()) return it->second;
+  if (g.histogram_meta.size() >= kMaxHistograms) {
+    throw guard::Error(guard::Status::internal(
+        "obs::metrics histogram registry full (" +
+        std::to_string(kMaxHistograms) + ") registering \"" + name + "\""));
+  }
+  const HistogramId id = static_cast<HistogramId>(g.histogram_meta.size());
+  g.histogram_meta.push_back({name, unit});
+  g.histogram_index.emplace(name, id);
+  return id;
+}
+
+std::uint64_t register_gauges(GaugeProvider provider) {
+  detail::Global& g = detail::global();
+  MutexLock lock(g.mutex);
+  const std::uint64_t token = g.next_token++;
+  g.providers.push_back({token, std::move(provider)});
+  return token;
+}
+
+void unregister_gauges(std::uint64_t token) {
+  detail::Global& g = detail::global();
+  MutexLock lock(g.mutex);
+  for (auto it = g.providers.begin(); it != g.providers.end(); ++it) {
+    if (it->token == token) {
+      g.providers.erase(it);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank definition).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1) + 0.5);
+  for (std::uint32_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t n = buckets[i];
+    if (rank < n) return bucket_lower_bound(i);
+    rank -= n;
+  }
+  return bucket_lower_bound(static_cast<std::uint32_t>(buckets.size()) - 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  // A default-constructed accumulator adopts the layout on first merge
+  // (bench_serve's combined per-op percentile starts from one of these).
+  if (buckets.empty()) buckets.assign(other.buckets.size(), 0);
+  if (buckets.size() != other.buckets.size()) return;  // layout mismatch
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+std::uint64_t Snapshot::counter_value(const std::string& name,
+                                      std::uint64_t fallback) const {
+  for (const auto& [k, v] : counters) {
+    if (k == name) return v;
+  }
+  return fallback;
+}
+
+std::uint64_t Snapshot::gauge_value(const std::string& name,
+                                    std::uint64_t fallback) const {
+  for (const auto& [k, v] : gauges) {
+    if (k == name) return v;
+  }
+  return fallback;
+}
+
+const HistogramSnapshot* Snapshot::find_histogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Snapshot snapshot() {
+  detail::Global& g = detail::global();
+  Snapshot out;
+  MutexLock lock(g.mutex);
+
+  out.counters.reserve(g.counter_names.size());
+  for (std::size_t i = 0; i < g.counter_names.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const detail::Shard* s : g.shards) {
+      total += s->counters[i].load(std::memory_order_relaxed);
+    }
+    out.counters.emplace_back(g.counter_names[i], total);
+  }
+
+  out.histograms.reserve(g.histogram_meta.size());
+  for (std::size_t i = 0; i < g.histogram_meta.size(); ++i) {
+    HistogramSnapshot h;
+    h.name = g.histogram_meta[i].name;
+    h.unit = g.histogram_meta[i].unit;
+    h.buckets.assign(kNumBuckets, 0);
+    for (const detail::Shard* s : g.shards) {
+      h.count += s->hist_count[i].load(std::memory_order_relaxed);
+      h.sum += s->hist_sum[i].load(std::memory_order_relaxed);
+      for (std::uint32_t b = 0; b < kNumBuckets; ++b) {
+        h.buckets[b] +=
+            s->hist_buckets[i * kNumBuckets + b].load(
+                std::memory_order_relaxed);
+      }
+    }
+    out.histograms.push_back(std::move(h));
+  }
+
+  // Providers run under the mutex by contract: after unregister_gauges()
+  // returns, no provider call is in flight (see metrics.hpp).
+  for (const detail::ProviderEntry& p : g.providers) {
+    auto sampled = p.provider();
+    for (auto& kv : sampled) out.gauges.push_back(std::move(kv));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+// ---------------------------------------------------------------------------
+
+std::string Snapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kSchemaName);
+  w.field("version", static_cast<std::int64_t>(kSchemaVersion));
+  w.begin_object("counters");
+  for (const auto& [name, value] : counters) {
+    w.field(name.c_str(), value);
+  }
+  w.end_object();
+  w.begin_object("gauges");
+  for (const auto& [name, value] : gauges) {
+    w.field(name.c_str(), value);
+  }
+  w.end_object();
+  w.begin_object("histograms");
+  for (const HistogramSnapshot& h : histograms) {
+    w.begin_object(h.name.c_str());
+    w.field("unit", h.unit);
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("p50", h.quantile(0.50));
+    w.field("p90", h.quantile(0.90));
+    w.field("p99", h.quantile(0.99));
+    w.begin_array("buckets");
+    for (std::uint32_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;  // sparse: nonzero buckets only
+      w.begin_array();
+      w.element(bucket_lower_bound(i));
+      w.element(h.buckets[i]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out += ok ? ch : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+}  // namespace
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string n = prom_name(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::uint32_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;  // sparse but still cumulative
+      cumulative += h.buckets[i];
+      const std::uint64_t ub = bucket_exclusive_upper_bound(i);
+      out += n + "_bucket{le=\"";
+      out += ub == 0 ? "+Inf" : std::to_string(ub - 1);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + std::to_string(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+guard::Status write_json_file(const std::string& path) {
+  // Durable write (temp + fsync + rename): a scraper polling this path
+  // must never read a torn snapshot.
+  return guard::atomic_write_file(path, snapshot().to_json() + "\n");
+}
+
+}  // namespace mgc::obs::metrics

@@ -1,0 +1,236 @@
+#pragma once
+// mgc::obs::metrics — live runtime telemetry for long-running processes
+// (see docs/observability.md for the metric catalogue and wire formats).
+//
+// mgc::prof answers "where did the time go" AFTER a run; this registry
+// answers "what is the process doing NOW" — the question an operator of
+// mgc_serve asks while the daemon is under load. It follows the
+// prof/check/guard idiom, in order:
+//   1. Near-zero cost when disabled: every entry point is an inline
+//      relaxed atomic-bool check followed by a branch.
+//   2. No locks and no allocation on the ENABLED hot path: counters and
+//      histograms accumulate into per-thread shards (allocated once per
+//      thread, registered under a mutex, intentionally leaked like prof's
+//      ThreadStates) using relaxed atomics — each cell has exactly one
+//      writer (its owner thread) and is read only by snapshot().
+//   3. Stable exposition: snapshot() merges the shards and samples the
+//      registered gauge providers into a point-in-time Snapshot that
+//      serialises to versioned JSON ("mgc-metrics" v1) and to the
+//      Prometheus text format, so scrapers and the `metrics` wire op
+//      see the same numbers by construction.
+//
+// Histograms are fixed-bucket log-scale: values 0..15 get exact buckets,
+// larger values get 8 linear sub-buckets per power of two (relative
+// quantization error <= 12.5%), capped at 2^40 with one overflow bucket.
+// The layout is identical for every histogram, so merging shards — or
+// merging several histograms into one (bench_serve's combined server-side
+// percentile) — is element-wise addition.
+//
+// Contracts:
+//   - add()/observe() are safe from any thread at any time.
+//   - enable()/reset() and snapshot() are driver-thread operations in the
+//     same sense as prof::capture(): counts recorded concurrently with a
+//     snapshot may land on either side of it, but never tear.
+//   - Gauge providers are invoked UNDER the registry mutex at snapshot
+//     time; they must be fast and must not call back into registration.
+//   - counter()/histogram() registration is process-lifetime and capped
+//     (kMaxCounters / kMaxHistograms): register into statics, not per
+//     request.
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "guard/status.hpp"
+
+namespace mgc::obs::metrics {
+
+/// Schema tag embedded in Snapshot::to_json().
+inline constexpr int kSchemaVersion = 1;
+inline constexpr const char* kSchemaName = "mgc-metrics";
+
+/// Registration caps: shards are fixed-size so they can be read lock-free
+/// while other threads keep writing. Exceeding a cap is a programming
+/// error (typed kInternal), not a runtime condition.
+inline constexpr std::uint32_t kMaxCounters = 256;
+inline constexpr std::uint32_t kMaxHistograms = 64;
+
+// ---------------------------------------------------------------------------
+// Histogram bucket layout (shared by every histogram)
+// ---------------------------------------------------------------------------
+
+inline constexpr int kSubBits = 3;
+inline constexpr int kSubBuckets = 1 << kSubBits;        ///< 8 per octave
+inline constexpr int kLinearBuckets = kSubBuckets * 2;   ///< 0..15 exact
+inline constexpr int kMaxOctave = 40;                    ///< cap ~2^40 (~12.7 days in us)
+inline constexpr int kNumBuckets =
+    kLinearBuckets + (kMaxOctave - 4) * kSubBuckets + 1;  ///< +1 overflow
+
+/// Bucket index of `v`: exact below kLinearBuckets, then octave plus the
+/// top kSubBits mantissa bits. Monotone in v.
+constexpr std::uint32_t bucket_index(std::uint64_t v) {
+  if (v < static_cast<std::uint64_t>(kLinearBuckets)) {
+    return static_cast<std::uint32_t>(v);
+  }
+  const int octave = std::bit_width(v) - 1;
+  if (octave >= kMaxOctave) return kNumBuckets - 1;
+  const std::uint64_t sub = (v >> (octave - kSubBits)) & (kSubBuckets - 1);
+  return static_cast<std::uint32_t>(kLinearBuckets +
+                                    (octave - 4) * kSubBuckets + sub);
+}
+
+/// Smallest value mapping to bucket `idx` (the conservative end used for
+/// quantile estimates, so reported percentiles never overstate).
+constexpr std::uint64_t bucket_lower_bound(std::uint32_t idx) {
+  if (idx < static_cast<std::uint32_t>(kLinearBuckets)) return idx;
+  if (idx >= static_cast<std::uint32_t>(kNumBuckets) - 1) {
+    return std::uint64_t{1} << kMaxOctave;
+  }
+  const std::uint32_t rel = idx - kLinearBuckets;
+  const int octave = 4 + static_cast<int>(rel) / kSubBuckets;
+  const std::uint64_t sub = rel % kSubBuckets;
+  return (std::uint64_t{1} << octave) + (sub << (octave - kSubBits));
+}
+
+/// One past the largest value mapping to bucket `idx` (the Prometheus
+/// `le` upper bound is exclusive_upper_bound(idx) - 1).
+constexpr std::uint64_t bucket_exclusive_upper_bound(std::uint32_t idx) {
+  if (idx >= static_cast<std::uint32_t>(kNumBuckets) - 1) return 0;  // +Inf
+  return bucket_lower_bound(idx + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Hot path
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+void counter_add_slow(std::uint32_t id, std::uint64_t delta);
+void histogram_observe_slow(std::uint32_t id, std::uint64_t value);
+
+}  // namespace detail
+
+/// Is collection currently enabled? Inline relaxed load — the only cost
+/// any entry point pays when telemetry is off.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on/off. Accumulated values are kept across toggles;
+/// call reset() to discard them. Gauge providers are sampled by
+/// snapshot() regardless of this flag (they read external state).
+void enable(bool on = true);
+
+/// Zeroes every counter and histogram cell in every shard. Driver-thread
+/// only, no recording in flight. Registrations and gauge providers
+/// survive.
+void reset();
+
+/// Dense ids; valid for the process lifetime.
+using CounterId = std::uint32_t;
+using HistogramId = std::uint32_t;
+
+/// Registers (or looks up) a counter by name. Takes a mutex — call once
+/// into a static for hot paths. Throws guard::Error(kInternal) past
+/// kMaxCounters.
+CounterId counter(const std::string& name);
+
+/// Registers (or looks up) a histogram by name. `unit` labels the
+/// exposition ("us", "bytes"); first registration wins.
+HistogramId histogram(const std::string& name, const std::string& unit = "us");
+
+/// Adds `delta` to a counter. Per-thread relaxed accumulation; totals are
+/// summed at snapshot(). No-op while disabled.
+inline void add(CounterId id, std::uint64_t delta = 1) {
+  if (enabled()) detail::counter_add_slow(id, delta);
+}
+
+/// Name-based add for cold paths (registers on first use).
+inline void add(const std::string& name, std::uint64_t delta = 1) {
+  if (enabled()) detail::counter_add_slow(counter(name), delta);
+}
+
+/// Records one observation into a histogram. No-op while disabled.
+inline void observe(HistogramId id, std::uint64_t value) {
+  if (enabled()) detail::histogram_observe_slow(id, value);
+}
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// A gauge provider returns current (name, value) pairs sampled at
+/// snapshot time — the way point-in-time state (cache residency, the
+/// memory ledger, admission depth) enters the exposition without the
+/// owner pushing updates. Invoked under the registry mutex; after
+/// unregister_gauges() returns, the provider is guaranteed not to be
+/// running and never runs again (safe to destroy captured state).
+using GaugeProvider =
+    std::function<std::vector<std::pair<std::string, std::uint64_t>>()>;
+
+std::uint64_t register_gauges(GaugeProvider provider);
+void unregister_gauges(std::uint64_t token);
+
+// ---------------------------------------------------------------------------
+// Snapshot + exposition
+// ---------------------------------------------------------------------------
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string unit;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> buckets;  ///< kNumBuckets entries
+
+  /// Conservative (lower-bound) estimate of the q-quantile, q in [0,1].
+  /// 0 when empty. Quantization error is bounded by the bucket width
+  /// (<= 12.5% relative above kLinearBuckets).
+  std::uint64_t quantile(double q) const;
+
+  /// Element-wise accumulate (same layout by construction).
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Point-in-time view: counters and histograms merged across shards,
+/// gauges sampled from the registered providers.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< by name
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;    ///< by name
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Lookup helpers; `fallback` when absent.
+  std::uint64_t counter_value(const std::string& name,
+                              std::uint64_t fallback = 0) const;
+  std::uint64_t gauge_value(const std::string& name,
+                            std::uint64_t fallback = 0) const;
+  const HistogramSnapshot* find_histogram(const std::string& name) const;
+
+  /// Versioned JSON document (schema "mgc-metrics" v1):
+  /// {"schema":...,"version":1,"counters":{..},"gauges":{..},
+  ///  "histograms":{"name":{"unit":..,"count":..,"sum":..,
+  ///                        "p50":..,"p90":..,"p99":..,
+  ///                        "buckets":[[lo,count],...nonzero only]}}}
+  std::string to_json() const;
+
+  /// Prometheus text exposition format (metric names sanitised:
+  /// [^a-zA-Z0-9_] -> '_'); histograms emit cumulative `le` buckets plus
+  /// _sum and _count.
+  std::string to_prometheus() const;
+};
+
+/// Merges all shards and samples all gauge providers. Values recorded
+/// concurrently may or may not be included — never torn.
+Snapshot snapshot();
+
+/// snapshot().to_json() written durably (temp + fsync + rename) to
+/// `path`, so a scraper never reads a half-written file. Returns
+/// InvalidInput when the file cannot be written.
+[[nodiscard]] guard::Status write_json_file(const std::string& path);
+
+}  // namespace mgc::obs::metrics

@@ -237,14 +237,20 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(const CacheKey& key,
         while (entry->state == Entry::State::kBuilding) {
           entry->cv.wait(mutex_);
         }
-        Lookup out;
-        out.coalesced = true;
-        out.status = entry->status;
-        out.bytes = entry->bytes;
-        if (entry->state == Entry::State::kReady) {
-          out.hierarchy = entry->hierarchy;
+        if (entry->state != Entry::State::kSpilled) {
+          Lookup out;
+          out.coalesced = true;
+          out.status = entry->status;
+          out.bytes = entry->bytes;
+          if (entry->state == Entry::State::kReady) {
+            out.hierarchy = entry->hierarchy;
+          }
+          return out;
         }
-        return out;
+        // Demoted between the publish and this wake-up (cv.wait drops
+        // the lock, and memory pressure does not wait for waiters): the
+        // spilled form is valid, so fall through and claim the
+        // re-hydration rather than return "usable" with no hierarchy.
       }
       if (entry->state == Entry::State::kSpilled) {
         // Demoted entry: this requester re-hydrates it from disk under

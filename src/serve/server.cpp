@@ -12,6 +12,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/log.hpp"
 #include "trace/trace.hpp"
 
 namespace mgc::serve {
@@ -148,6 +149,8 @@ guard::Status Server::run() {
   }
 
   if (trace::enabled()) trace::instant("serve.listen", path_, "serve");
+  obs::log::emit(obs::log::Level::kInfo, "serve.listen",
+                 {obs::log::kv("socket", path_)});
 
   std::vector<std::thread> threads;
   while (!drain_requested() && !service_.shutdown_requested()) {
@@ -163,6 +166,8 @@ guard::Status Server::run() {
     if (pr == 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
+    obs::log::emit(obs::log::Level::kDebug, "serve.accept",
+                   {obs::log::kv("fd", fd)});
     threads.emplace_back([this, fd] { handle_connection(fd); });
   }
 
@@ -172,6 +177,9 @@ guard::Status Server::run() {
   for (std::thread& t : threads) t.join();
   ::unlink(path_.c_str());
   if (trace::enabled()) trace::instant("serve.drained", path_, "serve");
+  obs::log::emit(obs::log::Level::kInfo, "serve.drained",
+                 {obs::log::kv("socket", path_),
+                  obs::log::kv("requests", service_.requests_handled())});
   return guard::Status{};
 }
 

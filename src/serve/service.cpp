@@ -10,6 +10,9 @@
 #include "guard/env.hpp"
 #include "guard/io.hpp"
 #include "guard/memory.hpp"
+#include "obs/flight.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/log.hpp"
 #include "partition/kway.hpp"
 #include "partition/metrics.hpp"
 #include "partition/partitioner.hpp"
@@ -71,8 +74,8 @@ std::string assignment_body(const std::vector<int>& a) {
 }
 
 constexpr const char* kOps[] = {"coarsen", "partition", "cluster",
-                                "fiedler", "stats",     "evict",
-                                "shutdown"};
+                                "fiedler", "stats",     "metrics",
+                                "evict",   "shutdown"};
 
 bool known_op(const std::string& op) {
   for (const char* o : kOps) {
@@ -84,6 +87,21 @@ bool known_op(const std::string& op) {
 bool heavy_op(const std::string& op) {
   return op == "coarsen" || op == "partition" || op == "cluster" ||
          op == "fiedler";
+}
+
+/// Index into Service::h_op_us_ for heavy ops; -1 otherwise.
+int op_index(const std::string& op) {
+  if (op == "coarsen") return 0;
+  if (op == "partition") return 1;
+  if (op == "cluster") return 2;
+  if (op == "fiedler") return 3;
+  return -1;
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
+  const auto d = std::chrono::steady_clock::now() - t0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
 }
 
 /// Keys accepted per op; anything else in a request is rejected with
@@ -119,6 +137,7 @@ bool key_allowed(const std::string& op, const std::string& key) {
 // ---------------------------------------------------------------------------
 
 struct Service::Request {
+  std::uint64_t rid = 0;  ///< correlation id, echoed as "req" on the reply
   std::string op;
   std::string id_fragment = "null";  ///< raw JSON to echo back as "id"
   std::string graph;
@@ -204,28 +223,100 @@ guard::Result<ServiceOptions> ServiceOptions::from_env() {
                                         o.backend + "\"");
   }
   o.spill_dir = guard::env_str("MGC_SERVE_SPILL_DIR", o.spill_dir);
+  const auto telemetry =
+      guard::env_int("MGC_SERVE_TELEMETRY", o.telemetry ? 1 : 0);
+  if (!telemetry.ok()) return telemetry.status();
+  o.telemetry = telemetry.value() != 0;
+  o.flight_dir = guard::env_str("MGC_SERVE_FLIGHT_DIR", o.flight_dir);
   return o;
 }
 
 Service::Service(const ServiceOptions& opts)
     : opts_(opts),
       exec_(opts.backend == "serial" ? Exec::serial() : Exec::threads()),
-      cache_(opts.cache_budget_bytes, opts.spill_dir) {}
+      cache_(opts.cache_budget_bytes, opts.spill_dir) {
+  if (opts_.telemetry) {
+    obs::metrics::enable(true);
+    obs::flight::enable(true);
+  }
+  // Pre-minted ids: registration takes the registry mutex; observe() on
+  // the request path must not.
+  h_request_us_ = obs::metrics::histogram("serve.request.latency_us");
+  h_queue_us_ = obs::metrics::histogram("serve.queue.wait_us");
+  h_reply_bytes_ = obs::metrics::histogram("serve.reply.bytes", "bytes");
+  h_op_us_[0] = obs::metrics::histogram("serve.op.coarsen.latency_us");
+  h_op_us_[1] = obs::metrics::histogram("serve.op.partition.latency_us");
+  h_op_us_[2] = obs::metrics::histogram("serve.op.cluster.latency_us");
+  h_op_us_[3] = obs::metrics::histogram("serve.op.fiedler.latency_us");
+  // The gauge provider is registered even with telemetry off:
+  // handle_stats reads through the same snapshot, so the stats op and the
+  // metrics exposition cannot drift (they ARE the same numbers).
+  gauges_token_ = obs::metrics::register_gauges(
+      [this]() -> std::vector<std::pair<std::string, std::uint64_t>> {
+        const HierarchyCache::Stats cs = cache_.stats();
+        std::uint64_t active = 0;
+        std::uint64_t waiting = 0;
+        {
+          MutexLock lock(adm_mutex_);
+          active = static_cast<std::uint64_t>(active_);
+          waiting = static_cast<std::uint64_t>(waiting_);
+        }
+        return {
+            {"serve.cache.entries", cs.entries},
+            {"serve.cache.resident_bytes", cs.resident_bytes},
+            {"serve.cache.budget_bytes", cs.budget_bytes},
+            {"serve.cache.hits", cs.hits},
+            {"serve.cache.misses", cs.misses},
+            {"serve.cache.coalesced", cs.coalesced},
+            {"serve.cache.evictions", cs.evictions},
+            {"serve.cache.insert_refused", cs.insert_refused},
+            {"serve.cache.demotions", cs.demotions},
+            {"serve.cache.rehydrations", cs.rehydrations},
+            {"serve.cache.spilled_entries", cs.spilled_entries},
+            {"serve.requests", requests_.load(std::memory_order_relaxed)},
+            {"serve.overload_rejected",
+             overload_rejected_.load(std::memory_order_relaxed)},
+            {"serve.active", active},
+            {"serve.waiting", waiting},
+            {"serve.workers", static_cast<std::uint64_t>(opts_.workers)},
+            {"serve.queue_limit",
+             static_cast<std::uint64_t>(opts_.queue_limit)},
+            {"mem.charged_bytes", guard::MemoryBudget::process().charged()},
+            {"mem.peak_bytes", guard::MemoryBudget::process().peak()},
+        };
+      });
+}
+
+Service::~Service() {
+  // After this returns the provider is guaranteed not to be running, so
+  // the `this` it captured is safe to destroy (obs/metrics.hpp contract).
+  obs::metrics::unregister_gauges(gauges_token_);
+}
 
 std::string Service::handle_line(const std::string& line) {
+  const std::uint64_t rid =
+      req_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   requests_.fetch_add(1, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string reply = handle_line_inner(line, rid);
+  if (obs::metrics::enabled()) {
+    // EVERY handled line lands here — parse failures and overload
+    // rejections included — so this histogram's count equals the requests
+    // the daemon processed (the obs-smoke CI invariant).
+    obs::metrics::observe(h_request_us_, elapsed_us(t0));
+    obs::metrics::observe(h_reply_bytes_, reply.size());
+  }
+  return reply;
+}
 
-  auto error_reply = [](const std::string& id_fragment, const std::string& op,
-                        const guard::Status& st) {
-    std::string out = "{\"id\":" + id_fragment + ",\"op\":\"" +
-                      json_escape(op) + "\",\"ok\":false,\"code\":\"";
-    out += guard::code_name(st.code);
-    out += "\",\"exit_code\":";
-    out += std::to_string(guard::exit_code(st.code));
-    out += ",\"message\":\"";
-    out += json_escape(st.message);
-    out += "\"}";
-    return out;
+std::string Service::handle_line_inner(const std::string& line,
+                                       std::uint64_t rid) {
+  // Local shim so every validation-failure return below carries the
+  // request id and flows through the one telemetry-owning error path.
+  auto error_reply = [this, rid](const std::string& id_fragment,
+                                 const std::string& op,
+                                 const guard::Status& st) {
+    return this->error_reply(rid, id_fragment, op, st);
   };
 
   if (line.size() > opts_.max_request_bytes) {
@@ -282,8 +373,10 @@ std::string Service::handle_line(const std::string& line) {
   }
 
   Request req;
+  req.rid = rid;
   req.op = op;
   req.id_fragment = id_fragment;
+  if (obs::flight::enabled()) obs::flight::note(rid, "req.begin", op);
 
   // Field extraction. Every accessor failure is an InvalidInput reply.
   try {
@@ -386,52 +479,124 @@ std::string Service::handle_line(const std::string& line) {
   }
 }
 
+std::string Service::error_reply(std::uint64_t rid,
+                                 const std::string& id_fragment,
+                                 const std::string& op,
+                                 const guard::Status& st) {
+  const char* code = guard::code_name(st.code);
+  if (obs::metrics::enabled()) {
+    obs::metrics::add(std::string("serve.reply.err.") + code, 1);
+  }
+  const bool bad = st.code == guard::Code::kDegraded ||
+                   st.code == guard::Code::kInternal ||
+                   st.code == guard::Code::kDeadlineExceeded;
+  if (bad) {
+    record_bad_outcome(rid, op, code, st.message);
+  } else {
+    obs::log::emit(obs::log::Level::kWarn, "serve.error",
+                   {obs::log::kv("req", rid), obs::log::kv("op", op),
+                    obs::log::kv("code", code),
+                    obs::log::kv("message", st.message)});
+  }
+  std::string out = "{\"id\":" + id_fragment + ",\"op\":\"" +
+                    json_escape(op) + "\",\"ok\":false,\"req\":" +
+                    std::to_string(rid) + ",\"code\":\"";
+  out += code;
+  out += "\",\"exit_code\":";
+  out += std::to_string(guard::exit_code(st.code));
+  out += ",\"message\":\"";
+  out += json_escape(st.message);
+  out += "\"}";
+  return out;
+}
+
+void Service::record_bad_outcome(std::uint64_t rid, const std::string& op,
+                                 const char* outcome,
+                                 const std::string& detail) {
+  if (obs::metrics::enabled()) {
+    obs::metrics::add(std::string("serve.outcome.") + outcome, 1);
+  }
+  if (obs::flight::enabled()) {
+    obs::flight::note(rid, "req.end", std::string(outcome) + " " + op);
+    if (!opts_.flight_dir.empty()) {
+      // The whole point of the recorder: the moment a request ends badly,
+      // its breadcrumb trail leaves the ring as a durable dump file.
+      const guard::Status st =
+          obs::flight::dump_to_dir(opts_.flight_dir, rid, outcome);
+      if (!st.ok()) {
+        obs::log::emit(obs::log::Level::kError, "serve.flight_dump_failed",
+                       {obs::log::kv("req", rid),
+                        obs::log::kv("message", st.message)});
+      }
+    }
+  }
+  obs::log::emit(obs::log::Level::kWarn, "serve.request_bad",
+                 {obs::log::kv("req", rid), obs::log::kv("op", op),
+                  obs::log::kv("outcome", outcome),
+                  obs::log::kv("detail", detail)});
+}
+
 std::string Service::dispatch(const Request& req) {
   if (req.op == "stats") return handle_stats(req);
+  if (req.op == "metrics") return handle_metrics(req);
   if (req.op == "evict") return handle_evict(req);
   if (req.op == "shutdown") return handle_shutdown(req);
   return handle_hierarchy_op(req);
 }
 
 std::string Service::handle_stats(const Request& req) {
-  const HierarchyCache::Stats cs = cache_.stats();
-  int active = 0;
-  int waiting = 0;
-  {
-    MutexLock lock(adm_mutex_);
-    active = active_;
-    waiting = waiting_;
-  }
-  std::string out = "{\"id\":" + req.id_fragment +
-                    ",\"op\":\"stats\",\"ok\":true";
-  out += ",\"cache\":{";
-  out += "\"entries\":" + std::to_string(cs.entries);
-  out += ",\"resident_bytes\":" + std::to_string(cs.resident_bytes);
-  out += ",\"budget_bytes\":" + std::to_string(cs.budget_bytes);
-  out += ",\"hits\":" + std::to_string(cs.hits);
-  out += ",\"misses\":" + std::to_string(cs.misses);
-  out += ",\"coalesced\":" + std::to_string(cs.coalesced);
-  out += ",\"evictions\":" + std::to_string(cs.evictions);
-  out += ",\"insert_refused\":" + std::to_string(cs.insert_refused);
-  out += ",\"demotions\":" + std::to_string(cs.demotions);
-  out += ",\"rehydrations\":" + std::to_string(cs.rehydrations);
-  out += ",\"spilled_entries\":" + std::to_string(cs.spilled_entries);
-  out += "}";
-  out += ",\"requests\":" +
-         std::to_string(requests_.load(std::memory_order_relaxed));
-  out += ",\"overload_rejected\":" +
-         std::to_string(overload_rejected_.load(std::memory_order_relaxed));
-  out += ",\"active\":" + std::to_string(active);
-  out += ",\"waiting\":" + std::to_string(waiting);
-  out += ",\"workers\":" + std::to_string(opts_.workers);
-  out += ",\"queue_limit\":" + std::to_string(opts_.queue_limit);
-  out += ",\"backend\":\"" + json_escape(opts_.backend) + "\"";
-  out += ",\"mem_charged\":" +
-         std::to_string(guard::MemoryBudget::process().charged());
-  out += ",\"mem_peak\":" +
-         std::to_string(guard::MemoryBudget::process().peak());
-  out += "}";
-  return out;
+  // Sourced from the SAME snapshot the metrics exposition serves, so the
+  // stats op can never drift from what a scraper sees. The gauge names
+  // are the serve.* gauges this Service registered at construction; the
+  // reply keys keep their original (pre-obs) spellings.
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field_raw("id", req.id_fragment);
+  w.field("op", "stats");
+  w.field("ok", true);
+  w.field("req", req.rid);
+  w.begin_object("cache");
+  w.field("entries", snap.gauge_value("serve.cache.entries"));
+  w.field("resident_bytes", snap.gauge_value("serve.cache.resident_bytes"));
+  w.field("budget_bytes", snap.gauge_value("serve.cache.budget_bytes"));
+  w.field("hits", snap.gauge_value("serve.cache.hits"));
+  w.field("misses", snap.gauge_value("serve.cache.misses"));
+  w.field("coalesced", snap.gauge_value("serve.cache.coalesced"));
+  w.field("evictions", snap.gauge_value("serve.cache.evictions"));
+  w.field("insert_refused", snap.gauge_value("serve.cache.insert_refused"));
+  w.field("demotions", snap.gauge_value("serve.cache.demotions"));
+  w.field("rehydrations", snap.gauge_value("serve.cache.rehydrations"));
+  w.field("spilled_entries",
+          snap.gauge_value("serve.cache.spilled_entries"));
+  w.end_object();
+  w.field("requests", snap.gauge_value("serve.requests"));
+  w.field("overload_rejected", snap.gauge_value("serve.overload_rejected"));
+  w.field("active", snap.gauge_value("serve.active"));
+  w.field("waiting", snap.gauge_value("serve.waiting"));
+  w.field("workers", snap.gauge_value("serve.workers"));
+  w.field("queue_limit", snap.gauge_value("serve.queue_limit"));
+  w.field("backend", opts_.backend);
+  w.field("mem_charged", snap.gauge_value("mem.charged_bytes"));
+  w.field("mem_peak", snap.gauge_value("mem.peak_bytes"));
+  w.end_object();
+  return w.take();
+}
+
+std::string Service::handle_metrics(const Request& req) {
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field_raw("id", req.id_fragment);
+  w.field("op", "metrics");
+  w.field("ok", true);
+  w.field("req", req.rid);
+  w.field("telemetry", opts_.telemetry);
+  // The full versioned snapshot document, embedded verbatim: the wire op
+  // and --metrics-file serve byte-identical schemas.
+  w.field_raw("metrics", snap.to_json());
+  w.end_object();
+  return w.take();
 }
 
 std::string Service::handle_evict(const Request& req) {
@@ -444,16 +609,22 @@ std::string Service::handle_evict(const Request& req) {
     trace::instant("serve.evict",
                    std::to_string(dropped) + " entries dropped");
   }
+  obs::log::emit(obs::log::Level::kInfo, "serve.evict",
+                 {obs::log::kv("req", req.rid),
+                  obs::log::kv("dropped", dropped)});
   return "{\"id\":" + req.id_fragment +
-         ",\"op\":\"evict\",\"ok\":true,\"dropped\":" +
-         std::to_string(dropped) + "}";
+         ",\"op\":\"evict\",\"ok\":true,\"req\":" + std::to_string(req.rid) +
+         ",\"dropped\":" + std::to_string(dropped) + "}";
 }
 
 std::string Service::handle_shutdown(const Request& req) {
   shutdown_.store(true, std::memory_order_release);
   if (trace::enabled()) trace::instant("serve.shutdown", "drain requested");
+  obs::log::emit(obs::log::Level::kInfo, "serve.shutdown",
+                 {obs::log::kv("req", req.rid)});
   return "{\"id\":" + req.id_fragment +
-         ",\"op\":\"shutdown\",\"ok\":true,\"draining\":true}";
+         ",\"op\":\"shutdown\",\"ok\":true,\"req\":" +
+         std::to_string(req.rid) + ",\"draining\":true}";
 }
 
 std::string Service::handle_hierarchy_op(const Request& req) {
@@ -465,9 +636,19 @@ std::string Service::handle_hierarchy_op(const Request& req) {
     ctx.deadline = guard::Deadline::after_ms(req.deadline_ms);
   }
   ctx.mem_budget_bytes = req.mem_budget_bytes;
+  ctx.request_id = req.rid;
 
+  const auto queue_t0 = std::chrono::steady_clock::now();
   AdmissionSlot slot(*this, ctx);
+  if (obs::metrics::enabled()) {
+    obs::metrics::observe(h_queue_us_, elapsed_us(queue_t0));
+  }
   if (!slot.admitted()) {
+    if (obs::flight::enabled()) {
+      obs::flight::note(req.rid, "admission.reject",
+                        ctx.should_stop() ? "stopped while queued"
+                                          : "queue full");
+    }
     if (ctx.should_stop()) throw guard::Error(ctx.stop_status());
     throw guard::Error(guard::Status::resource_exhausted(
         "admission queue full (" + std::to_string(opts_.workers) +
@@ -475,17 +656,28 @@ std::string Service::handle_hierarchy_op(const Request& req) {
         " queued); retry later"));
   }
   ctx.throw_if_stopped();
+  if (obs::flight::enabled()) {
+    obs::flight::note(req.rid, "admit", req.op + " " + req.graph);
+  }
 
   guard::ScopedCtx scoped_ctx(ctx);
   prof::Region prof_req("serve.request");
   prof::Region prof_op(req.op);
   if (prof::enabled()) prof::add("serve.req." + req.op, 1);
+  if (obs::metrics::enabled()) {
+    obs::metrics::add("serve.req." + req.op, 1);
+  }
   const std::string id_text =
       req.id_fragment == "null" ? std::string("-") : req.id_fragment;
   if (trace::enabled()) {
-    trace::instant("serve.req:" + id_text, req.op + " " + req.graph,
+    // "req=N" in the detail ties the timeline slice to the wire reply's
+    // "req" field and to flight/log lines for the same request.
+    trace::instant("serve.req:" + id_text,
+                   req.op + " " + req.graph + " req=" +
+                       std::to_string(req.rid),
                    "serve");
   }
+  const auto op_t0 = std::chrono::steady_clock::now();
 
   // Resolve the graph half of the cache key. The spec->CRC memo makes
   // repeat requests hit the cache without reloading the graph; the
@@ -542,13 +734,42 @@ std::string Service::handle_hierarchy_op(const Request& req) {
   if (!lookup.status.usable() || lookup.hierarchy == nullptr) {
     throw guard::Error(lookup.status);
   }
+  if (obs::flight::enabled()) {
+    obs::flight::note(req.rid,
+                      lookup.hit ? "cache.hit"
+                                 : (lookup.coalesced ? "cache.coalesced"
+                                                     : "cache.miss"),
+                      req.graph);
+  }
   const Hierarchy& h = *lookup.hierarchy;
   const Csr& fine = h.graphs.front();
   const bool degraded = lookup.status.code == guard::Code::kDegraded;
+  // Upgraded by the spectral-fallback path below; drives the
+  // degraded-success flight dump at `finish`.
+  bool reply_degraded = degraded;
+  std::string degrade_detail =
+      degraded ? lookup.status.message : std::string();
+
+  // Completion hook shared by every success return: per-op latency
+  // histogram, the req.end breadcrumb, and — when the reply is degraded —
+  // the same flight-dump path a failed request takes.
+  auto finish = [&](std::string&& reply) -> std::string {
+    if (obs::metrics::enabled()) {
+      const int oi = op_index(req.op);
+      if (oi >= 0) obs::metrics::observe(h_op_us_[oi], elapsed_us(op_t0));
+    }
+    if (reply_degraded) {
+      record_bad_outcome(req.rid, req.op, "Degraded", degrade_detail);
+    } else if (obs::flight::enabled()) {
+      obs::flight::note(req.rid, "req.end", "ok");
+    }
+    return std::move(reply);
+  };
 
   // Common reply prefix.
   std::string out = "{\"id\":" + req.id_fragment + ",\"op\":\"" + req.op +
                     "\",\"ok\":true";
+  out += ",\"req\":" + std::to_string(req.rid);
   out += ",\"hit\":";
   out += lookup.hit ? "true" : "false";
   out += ",\"coalesced\":";
@@ -575,7 +796,7 @@ std::string Service::handle_hierarchy_op(const Request& req) {
            std::to_string(static_cast<long long>(h.coarsest().num_edges()));
     out += ",\"hierarchy_bytes\":" + std::to_string(lookup.bytes);
     out += "}";
-    return out;
+    return finish(std::move(out));
   }
 
   if (req.op == "partition") {
@@ -593,6 +814,11 @@ std::string Service::handle_hierarchy_op(const Request& req) {
         if (prof::enabled()) {
           prof::add("guard.degraded", 1);
           prof::add("guard.fallback.fm", 1);
+        }
+        reply_degraded = true;
+        degrade_detail = "spectral solve did not converge; fell back to FM";
+        if (obs::flight::enabled()) {
+          obs::flight::note(req.rid, "degrade", "spectral->fm fallback");
         }
         const std::size_t pos = out.find("\"degraded\":false");
         if (pos != std::string::npos) {
@@ -622,7 +848,7 @@ std::string Service::handle_hierarchy_op(const Request& req) {
                                  : kway_imbalance(fine, part, req.k));
     finish_assignment(part);
     out += "}";
-    return out;
+    return finish(std::move(out));
   }
 
   if (req.op == "cluster") {
@@ -634,7 +860,7 @@ std::string Service::handle_hierarchy_op(const Request& req) {
     out += ",\"modularity\":" + fmt_double(cr.modularity);
     finish_assignment(cr.cluster);
     out += "}";
-    return out;
+    return finish(std::move(out));
   }
 
   // fiedler
@@ -650,7 +876,7 @@ std::string Service::handle_hierarchy_op(const Request& req) {
   out += fr.converged ? "true" : "false";
   out += ",\"range\":[" + fmt_double(fmin) + "," + fmt_double(fmax) + "]";
   out += "}";
-  return out;
+  return finish(std::move(out));
 }
 
 }  // namespace mgc::serve

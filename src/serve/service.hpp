@@ -31,6 +31,7 @@
 #include "core/exec.hpp"
 #include "core/sync.hpp"
 #include "core/thread_annotations.hpp"
+#include "obs/metrics.hpp"
 #include "serve/cache.hpp"
 
 namespace mgc::serve {
@@ -57,10 +58,20 @@ struct ServiceOptions {
   double default_deadline_ms = 0.0;
   /// Execution backend for kernels: "threads" (default) or "serial".
   std::string backend = "threads";
+  /// Live telemetry (obs::metrics histograms/counters + the obs::flight
+  /// recorder). On by default: the daemon exists to be operated. The
+  /// bench's --no-telemetry run pins the overhead of leaving it on
+  /// (docs/observability.md).
+  bool telemetry = true;
+  /// Directory for flight-recorder dumps: a request that ends Degraded /
+  /// Internal / DeadlineExceeded writes flight-<req>.json here (empty =
+  /// no dump files; the breadcrumbs still exist in memory and the
+  /// outcome is still logged).
+  std::string flight_dir;
 
   /// Reads MGC_SERVE_WORKERS / MGC_SERVE_QUEUE / MGC_SERVE_CACHE_BUDGET /
-  /// MGC_SERVE_MAX_REQUEST / MGC_SERVE_BACKEND / MGC_SERVE_SPILL_DIR over
-  /// the defaults above.
+  /// MGC_SERVE_MAX_REQUEST / MGC_SERVE_BACKEND / MGC_SERVE_SPILL_DIR /
+  /// MGC_SERVE_TELEMETRY / MGC_SERVE_FLIGHT_DIR over the defaults above.
   /// Garbage values are typed kInvalidInput failures (fail loudly at
   /// startup, never run with a value the operator did not ask for).
   [[nodiscard]] static guard::Result<ServiceOptions> from_env();
@@ -69,6 +80,7 @@ struct ServiceOptions {
 class Service {
  public:
   explicit Service(const ServiceOptions& opts);
+  ~Service();
 
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
@@ -96,11 +108,28 @@ class Service {
  private:
   struct Request;
 
+  /// handle_line minus the request-level telemetry wrapper: mints nothing,
+  /// measures nothing — handle_line stamps the request id, times the whole
+  /// call into serve.request.latency_us, and records the reply size.
+  std::string handle_line_inner(const std::string& line, std::uint64_t rid);
+
   std::string dispatch(const Request& req);
   std::string handle_hierarchy_op(const Request& req);
   std::string handle_stats(const Request& req);
+  std::string handle_metrics(const Request& req);
   std::string handle_evict(const Request& req);
   std::string handle_shutdown(const Request& req);
+
+  /// Builds the typed error reply AND owns the failure-side telemetry:
+  /// outcome counter, warn log line, and — for Degraded / Internal /
+  /// DeadlineExceeded — the flight-recorder dump for this request id.
+  std::string error_reply(std::uint64_t rid, const std::string& id_fragment,
+                          const std::string& op, const guard::Status& st);
+
+  /// Flight dump + log + serve.reply.degraded counter for a request that
+  /// ends badly (shared by error_reply and the degraded-success path).
+  void record_bad_outcome(std::uint64_t rid, const std::string& op,
+                          const char* outcome, const std::string& detail);
 
   /// RAII admission slot; see ServiceOptions::queue_limit.
   class AdmissionSlot;
@@ -125,6 +154,21 @@ class Service {
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> overload_rejected_{0};
+
+  // Request-correlation ids, minted per handle_line call. Monotonic from 1
+  // for THIS Service instance; echoed as "req" on every reply (overload
+  // rejections included) and threaded through guard::Ctx::request_id.
+  std::atomic<std::uint64_t> req_seq_{0};
+
+  // Telemetry wiring. Histogram ids are pre-minted (registration takes the
+  // registry mutex; observe() must not). The gauge provider is registered
+  // even with telemetry off — handle_stats reads through the same snapshot
+  // so the two surfaces cannot drift — and unregistered in the destructor.
+  std::uint64_t gauges_token_ = 0;
+  obs::metrics::HistogramId h_request_us_ = 0;
+  obs::metrics::HistogramId h_queue_us_ = 0;
+  obs::metrics::HistogramId h_reply_bytes_ = 0;
+  obs::metrics::HistogramId h_op_us_[4] = {0, 0, 0, 0};  ///< coarsen/partition/cluster/fiedler
 };
 
 }  // namespace mgc::serve

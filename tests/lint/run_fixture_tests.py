@@ -32,8 +32,11 @@ FIXTURES = os.path.join(HERE, "fixtures")
 TOOLS = os.path.join(REPO, "tools")
 
 #: Rules each linter implements; expectations are filtered per linter.
-V1_RULES = {"racy-write", "region-in-parallel", "bare-ofstream"}
-V2_RULES = V1_RULES | {
+#: raw-stderr-in-serve is v1-only (path-scoped text rule; nothing for the
+#: semantic pass to add).
+V1_RULES = {"racy-write", "region-in-parallel", "bare-ofstream",
+            "raw-stderr-in-serve"}
+V2_RULES = (V1_RULES - {"raw-stderr-in-serve"}) | {
     "discarded-status",
     "unguarded-mutex",
     "blocking-in-parallel",

@@ -1,0 +1,665 @@
+// Tests for the mgc::obs telemetry subsystem (src/obs/): histogram bucket
+// math, per-thread shard merge exactness under concurrency, the versioned
+// JSON / Prometheus expositions, gauge provider lifecycle, structured
+// logging (levels, rate limiting, sink capture), the flight recorder, and
+// the serve-layer integration contracts:
+//   1. request correlation: every reply carries "req":N and the same N
+//      tags the request's flight breadcrumbs and log lines;
+//   2. stats/metrics non-drift: the stats op and the metrics snapshot are
+//      sourced from the same gauges, so they can never disagree;
+//   3. flight dump on bad outcome: a fault-injected degraded request
+//      auto-exports flight-<rid>.json into ServiceOptions::flight_dir.
+// The wire-level scrape path (mgc_serve --metrics-file) is exercised
+// end-to-end by the CI obs-smoke job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "guard/cancel.hpp"
+#include "guard/fault.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+#include "json_test_util.hpp"
+
+namespace mgc {
+namespace {
+
+namespace fs = std::filesystem;
+using testjson::JsonParser;
+using testjson::JsonValue;
+
+// --- helpers ---------------------------------------------------------------
+
+serve::Json parse_reply(const std::string& line) {
+  guard::Result<serve::Json> r = serve::Json::parse(line);
+  EXPECT_TRUE(r.ok()) << "unparseable reply: " << line;
+  if (!r.ok()) return serve::Json();
+  EXPECT_TRUE(r.value().is_object()) << line;
+  return std::move(r).value();
+}
+
+bool reply_ok(const serve::Json& reply) {
+  const serve::Json* ok = reply.get("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool().value();
+}
+
+std::uint64_t reply_req(const serve::Json& reply) {
+  const serve::Json* req = reply.get("req");
+  EXPECT_NE(req, nullptr);
+  return req != nullptr ? req->as_u64().value() : 0;
+}
+
+serve::ServiceOptions serial_options() {
+  serve::ServiceOptions opts;
+  opts.backend = "serial";
+  opts.workers = 4;
+  return opts;
+}
+
+JsonValue parse_doc(const std::string& text) {
+  JsonParser p(text);
+  return p.parse();
+}
+
+// Restores the fault registry even when an assertion bails out early.
+struct FaultGuard {
+  ~FaultGuard() { guard::fault::clear(); }
+};
+
+// Restores the log sink / level / rate limit state other tests rely on.
+struct LogGuard {
+  ~LogGuard() {
+    obs::log::set_writer({});
+    obs::log::set_level(obs::log::Level::kInfo);
+    obs::log::set_rate_limit(20);
+  }
+};
+
+bool has_event_kind(const std::vector<obs::flight::Event>& events,
+                    const std::string& kind) {
+  for (const obs::flight::Event& e : events) {
+    if (e.kind != nullptr && kind == e.kind) return true;
+  }
+  return false;
+}
+
+// --- histogram bucket math -------------------------------------------------
+
+TEST(ObsHistogram, BucketMathMonotoneBoundedAndTight) {
+  using obs::metrics::bucket_exclusive_upper_bound;
+  using obs::metrics::bucket_index;
+  using obs::metrics::bucket_lower_bound;
+
+  // Every value lands in a bucket whose [lo, hi) range contains it.
+  std::uint32_t prev_idx = 0;
+  std::uint64_t prev_v = 0;
+  for (std::uint64_t v = 0; v < 100000; v = (v < 64 ? v + 1 : v + v / 7)) {
+    const std::uint32_t idx = bucket_index(v);
+    const std::uint64_t lo = bucket_lower_bound(idx);
+    const std::uint64_t hi = bucket_exclusive_upper_bound(idx);
+    ASSERT_LE(lo, v) << "v=" << v;
+    if (hi != 0) {  // 0 marks the overflow bucket's open upper end
+      ASSERT_LT(v, hi) << "v=" << v;
+      // Log-scale with 8 sub-buckets per octave: relative bucket width
+      // is at most 1/8 = 12.5% once past the exact linear range.
+      if (v >= 16) {
+        ASSERT_LE(hi - lo, lo / 8 + 1) << "v=" << v;
+      }
+    }
+    if (v > prev_v) {
+      ASSERT_GE(idx, prev_idx) << "v=" << v;
+    }
+    prev_idx = idx;
+    prev_v = v;
+  }
+  // Values 0..15 are exact.
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(bucket_lower_bound(bucket_index(v)), v);
+  }
+}
+
+TEST(ObsHistogram, QuantileUsesConservativeLowerBound) {
+  obs::metrics::enable();
+  obs::metrics::reset();
+  const obs::metrics::HistogramId h =
+      obs::metrics::histogram("obs.test.quantile_us");
+  for (std::uint64_t v = 1; v <= 100; ++v) obs::metrics::observe(h, v);
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  const obs::metrics::HistogramSnapshot* hs =
+      snap.find_histogram("obs.test.quantile_us");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 100u);
+  EXPECT_EQ(hs->sum, 5050u);
+  // Quantiles report the bucket LOWER bound: never above the true value,
+  // and within one bucket width (12.5%) below it.
+  const std::uint64_t p50 = hs->quantile(0.50);
+  EXPECT_LE(p50, 51u);
+  EXPECT_GE(p50, 44u);
+  const std::uint64_t p99 = hs->quantile(0.99);
+  EXPECT_LE(p99, 100u);
+  EXPECT_GE(p99, 88u);
+  // Degenerate cases.
+  obs::metrics::HistogramSnapshot empty;
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+}
+
+// --- shard merge exactness under concurrency -------------------------------
+
+TEST(ObsMetrics, ConcurrentCountersAndHistogramsMergeExactly) {
+  obs::metrics::enable();
+  obs::metrics::reset();
+  const obs::metrics::CounterId c = obs::metrics::counter("obs.test.conc");
+  const obs::metrics::HistogramId h =
+      obs::metrics::histogram("obs.test.conc_us");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::metrics::add(c, 1);
+        obs::metrics::observe(h, static_cast<std::uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  EXPECT_EQ(snap.counter_value("obs.test.conc"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const obs::metrics::HistogramSnapshot* hs =
+      snap.find_histogram("obs.test.conc_us");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // sum(i % 1000 for i in 0..9999) = 10 * (0+..+999) = 4,995,000 per thread.
+  EXPECT_EQ(hs->sum, static_cast<std::uint64_t>(kThreads) * 4995000u);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : hs->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hs->count);
+}
+
+// --- snapshot merge (bench_serve's combined per-op percentile path) --------
+
+TEST(ObsMetrics, HistogramSnapshotMergeAccumulates) {
+  obs::metrics::enable();
+  obs::metrics::reset();
+  const obs::metrics::HistogramId a = obs::metrics::histogram("obs.test.m_a");
+  const obs::metrics::HistogramId b = obs::metrics::histogram("obs.test.m_b");
+  for (std::uint64_t v = 0; v < 50; ++v) obs::metrics::observe(a, v);
+  for (std::uint64_t v = 50; v < 100; ++v) obs::metrics::observe(b, v);
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  const obs::metrics::HistogramSnapshot* ha = snap.find_histogram("obs.test.m_a");
+  const obs::metrics::HistogramSnapshot* hb = snap.find_histogram("obs.test.m_b");
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  obs::metrics::HistogramSnapshot merged;  // default-constructed accumulator
+  merged.merge(*ha);
+  merged.merge(*hb);
+  EXPECT_EQ(merged.count, 100u);
+  EXPECT_EQ(merged.sum, 4950u);
+  EXPECT_GT(merged.quantile(0.5), ha->quantile(0.5));
+}
+
+// --- JSON exposition round-trip --------------------------------------------
+
+TEST(ObsMetrics, JsonSnapshotRoundTrips) {
+  obs::metrics::enable();
+  obs::metrics::reset();
+  obs::metrics::add("obs.test.json_counter", 7);
+  const obs::metrics::HistogramId h =
+      obs::metrics::histogram("obs.test.json_us");
+  for (std::uint64_t v = 1; v <= 32; ++v) obs::metrics::observe(h, v);
+  const std::uint64_t token = obs::metrics::register_gauges(
+      [] { return std::vector<std::pair<std::string, std::uint64_t>>{
+               {"obs.test.json_gauge", 42}}; });
+
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  const std::string text = snap.to_json();
+  obs::metrics::unregister_gauges(token);
+
+  const JsonValue doc = parse_doc(text);
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  const JsonValue* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->str, "mgc-metrics");
+  const JsonValue* version = doc.find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->num, 1.0);
+
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* cv = counters->find("obs.test.json_counter");
+  ASSERT_NE(cv, nullptr);
+  EXPECT_EQ(cv->num, 7.0);
+
+  const JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* gv = gauges->find("obs.test.json_gauge");
+  ASSERT_NE(gv, nullptr);
+  EXPECT_EQ(gv->num, 42.0);
+
+  const JsonValue* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* hv = hists->find("obs.test.json_us");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->find("unit")->str, "us");
+  EXPECT_EQ(hv->find("count")->num, 32.0);
+  EXPECT_EQ(hv->find("sum")->num, 528.0);
+  ASSERT_NE(hv->find("p50"), nullptr);
+  ASSERT_NE(hv->find("p90"), nullptr);
+  ASSERT_NE(hv->find("p99"), nullptr);
+  // Sparse [lo, count] bucket pairs must re-sum to count.
+  const JsonValue* buckets = hv->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->kind, JsonValue::Kind::kArray);
+  double bucket_total = 0;
+  for (const JsonValue& pair : buckets->arr) {
+    ASSERT_EQ(pair.kind, JsonValue::Kind::kArray);
+    ASSERT_EQ(pair.arr.size(), 2u);
+    EXPECT_GT(pair.arr[1].num, 0.0);  // sparse: only nonzero buckets
+    bucket_total += pair.arr[1].num;
+  }
+  EXPECT_EQ(bucket_total, 32.0);
+}
+
+TEST(ObsMetrics, PrometheusTextIsWellFormed) {
+  obs::metrics::enable();
+  obs::metrics::reset();
+  obs::metrics::add("obs.test.prom_counter", 3);
+  const obs::metrics::HistogramId h =
+      obs::metrics::histogram("obs.test.prom_us");
+  for (std::uint64_t v = 1; v <= 10; ++v) obs::metrics::observe(h, v);
+  const std::string text = obs::metrics::snapshot().to_prometheus();
+
+  // Dots sanitise to underscores; counter, +Inf bucket, _sum and _count
+  // lines all present.
+  EXPECT_NE(text.find("# TYPE obs_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_bucket{le=\"+Inf\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_sum 55"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_count 10"), std::string::npos);
+
+  // Cumulative bucket counts are nondecreasing.
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t prev = 0;
+  while (std::getline(lines, line)) {
+    const std::string prefix = "obs_test_prom_us_bucket{le=\"";
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const std::uint64_t cum = std::stoull(line.substr(space + 1));
+    EXPECT_GE(cum, prev) << line;
+    prev = cum;
+  }
+  EXPECT_EQ(prev, 10u);
+}
+
+TEST(ObsMetrics, GaugeProviderLifecycle) {
+  obs::metrics::enable();
+  std::atomic<int> calls{0};
+  const std::uint64_t token = obs::metrics::register_gauges([&calls] {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return std::vector<std::pair<std::string, std::uint64_t>>{
+        {"obs.test.lifecycle_gauge", 9}};
+  });
+  EXPECT_EQ(obs::metrics::snapshot().gauge_value("obs.test.lifecycle_gauge",
+                                                 0),
+            9u);
+  EXPECT_EQ(calls.load(), 1);
+  obs::metrics::unregister_gauges(token);
+  // After unregister the provider is never invoked again and the gauge
+  // falls back to the caller's default.
+  EXPECT_EQ(obs::metrics::snapshot().gauge_value("obs.test.lifecycle_gauge",
+                                                 123456),
+            123456u);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// --- structured logging ----------------------------------------------------
+
+TEST(ObsLog, LevelsFilterAndWriterCaptures) {
+  LogGuard restore;
+  std::vector<std::string> captured;
+  obs::log::set_writer([&captured](const std::string& line) {
+    captured.push_back(line);
+  });
+  obs::log::set_level(obs::log::Level::kWarn);
+  obs::log::emit(obs::log::Level::kDebug, "obs.test.levels", {});
+  obs::log::emit(obs::log::Level::kInfo, "obs.test.levels", {});
+  obs::log::emit(obs::log::Level::kWarn, "obs.test.levels",
+                 {obs::log::kv("answer", 42), obs::log::kv("ok", true)});
+  obs::log::emit(obs::log::Level::kError, "obs.test.levels",
+                 {obs::log::kv("what", "boom")});
+  ASSERT_EQ(captured.size(), 2u);
+
+  const JsonValue warn_line = parse_doc(captured[0]);
+  ASSERT_EQ(warn_line.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(warn_line.find("level")->str, "warn");
+  EXPECT_EQ(warn_line.find("event")->str, "obs.test.levels");
+  EXPECT_EQ(warn_line.find("answer")->num, 42.0);
+  EXPECT_EQ(warn_line.find("ok")->b, true);
+  const JsonValue err_line = parse_doc(captured[1]);
+  EXPECT_EQ(err_line.find("level")->str, "error");
+  EXPECT_EQ(err_line.find("what")->str, "boom");
+}
+
+TEST(ObsLog, RateLimitBoundsRepeatedEvents) {
+  LogGuard restore;
+  std::vector<std::string> captured;
+  obs::log::set_writer([&captured](const std::string& line) {
+    captured.push_back(line);
+  });
+  obs::log::set_level(obs::log::Level::kInfo);
+  obs::log::set_rate_limit(1);
+  for (int i = 0; i < 10; ++i) {
+    obs::log::emit(obs::log::Level::kInfo, "obs.test.ratelimit", {});
+  }
+  // 1/s limit: one line, or two if the burst straddled a second boundary.
+  EXPECT_GE(captured.size(), 1u);
+  EXPECT_LE(captured.size(), 2u);
+  // A different event name has its own window.
+  obs::log::emit(obs::log::Level::kInfo, "obs.test.ratelimit_other", {});
+  EXPECT_NE(captured.back().find("obs.test.ratelimit_other"),
+            std::string::npos);
+}
+
+TEST(ObsLog, ParseLevelAcceptsNamesRejectsGarbage) {
+  EXPECT_EQ(obs::log::parse_level("debug").value(), obs::log::Level::kDebug);
+  EXPECT_EQ(obs::log::parse_level("info").value(), obs::log::Level::kInfo);
+  EXPECT_EQ(obs::log::parse_level("warn").value(), obs::log::Level::kWarn);
+  EXPECT_EQ(obs::log::parse_level("error").value(), obs::log::Level::kError);
+  EXPECT_FALSE(obs::log::parse_level("verbose").ok());
+  EXPECT_FALSE(obs::log::parse_level("").ok());
+}
+
+// --- flight recorder -------------------------------------------------------
+
+TEST(ObsFlight, NotesAreCorrelatedAndDumpable) {
+  obs::flight::enable();
+  obs::flight::reset();
+  obs::flight::note(7, "alpha", "first");
+  obs::flight::note(8, "other");
+  obs::flight::note(7, "beta", std::string("second-") + "dynamic");
+
+  const std::vector<obs::flight::Event> events = obs::flight::events_for(7);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].kind, "alpha");
+  EXPECT_STREQ(events[0].detail, "first");
+  EXPECT_STREQ(events[1].kind, "beta");
+  EXPECT_STREQ(events[1].detail, "second-dynamic");
+  EXPECT_LE(events[0].t, events[1].t);
+
+  const JsonValue doc = parse_doc(obs::flight::dump_json(7, "TestReason"));
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(doc.find("schema")->str, "mgc-flight");
+  EXPECT_EQ(doc.find("version")->num, 1.0);
+  EXPECT_EQ(doc.find("req")->num, 7.0);
+  EXPECT_EQ(doc.find("reason")->str, "TestReason");
+  const JsonValue* ev = doc.find("events");
+  ASSERT_NE(ev, nullptr);
+  ASSERT_EQ(ev->arr.size(), 2u);
+  EXPECT_EQ(ev->arr[0].find("kind")->str, "alpha");
+  EXPECT_EQ(ev->arr[1].find("detail")->str, "second-dynamic");
+}
+
+TEST(ObsFlight, RingBoundsRetention) {
+  obs::flight::enable();
+  const std::size_t saved = obs::flight::capacity();
+  obs::flight::set_capacity(16);
+  obs::flight::reset();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    obs::flight::note(5, "tick");
+  }
+  // Only the newest `capacity` breadcrumbs survive.
+  EXPECT_EQ(obs::flight::events_for(5).size(), 16u);
+  obs::flight::set_capacity(saved);
+  obs::flight::reset();
+}
+
+// --- serve integration: request correlation --------------------------------
+
+TEST(ServeObs, RequestIdThreadsThroughReplyFlightAndLogs) {
+  serve::Service service(serial_options());
+  obs::flight::reset();
+  obs::metrics::reset();
+
+  LogGuard restore;
+  std::vector<std::string> captured;
+  obs::log::set_writer([&captured](const std::string& line) {
+    captured.push_back(line);
+  });
+
+  // Request 1: a cache miss; breadcrumbs record the whole journey.
+  const serve::Json r1 = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:16,16","seed":3,"cutoff":40})"));
+  ASSERT_TRUE(reply_ok(r1));
+  EXPECT_EQ(reply_req(r1), 1u);
+  const std::vector<obs::flight::Event> ev1 = obs::flight::events_for(1);
+  EXPECT_TRUE(has_event_kind(ev1, "req.begin"));
+  EXPECT_TRUE(has_event_kind(ev1, "admit"));
+  EXPECT_TRUE(has_event_kind(ev1, "cache.miss"));
+  EXPECT_TRUE(has_event_kind(ev1, "req.end"));
+  for (const obs::flight::Event& e : ev1) EXPECT_EQ(e.request_id, 1u);
+
+  // Request 2: same key — a hit, and a distinct request id.
+  const serve::Json r2 = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:16,16","seed":3,"cutoff":40})"));
+  ASSERT_TRUE(reply_ok(r2));
+  EXPECT_EQ(reply_req(r2), 2u);
+  EXPECT_TRUE(has_event_kind(obs::flight::events_for(2), "cache.hit"));
+
+  // Request 3: a parse failure still gets a request id — in the error
+  // reply AND in the structured warn line the service emits for it.
+  const serve::Json r3 =
+      parse_reply(service.handle_line(R"({"op":"no-such-op"})"));
+  EXPECT_FALSE(reply_ok(r3));
+  EXPECT_EQ(reply_req(r3), 3u);
+  bool saw_error_log = false;
+  for (const std::string& line : captured) {
+    if (line.find("serve.error") == std::string::npos) continue;
+    const JsonValue doc = parse_doc(line);
+    const JsonValue* req = doc.find("req");
+    if (req != nullptr && req->num == 3.0) saw_error_log = true;
+    // Exactly one "req" key: an explicit field must suppress the
+    // automatic context stamp, not duplicate it.
+    std::size_t occurrences = 0;
+    for (std::size_t at = line.find("\"req\":"); at != std::string::npos;
+         at = line.find("\"req\":", at + 1)) {
+      ++occurrences;
+    }
+    EXPECT_LE(occurrences, 1u) << line;
+  }
+  EXPECT_TRUE(saw_error_log)
+      << "no serve.error log line carried \"req\":3";
+
+  // The request-latency histogram observed EVERY handle_line call,
+  // including the parse failure (the obs-smoke CI invariant).
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  const obs::metrics::HistogramSnapshot* hs =
+      snap.find_histogram("serve.request.latency_us");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 3u);
+}
+
+TEST(ServeObs, MetricsOpEmbedsVersionedSnapshot) {
+  serve::Service service(serial_options());
+  obs::flight::reset();
+  obs::metrics::reset();
+
+  parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:12,12","seed":1,"cutoff":30})"));
+  const serve::Json reply =
+      parse_reply(service.handle_line(R"({"id":"m1","op":"metrics"})"));
+  ASSERT_TRUE(reply_ok(reply));
+  EXPECT_EQ(reply_req(reply), 2u);
+  const serve::Json* telemetry = reply.get("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_TRUE(telemetry->as_bool().value());
+
+  // The embedded document is the same schema write_json_file serves.
+  const JsonValue doc =
+      parse_doc(service.handle_line(R"({"op":"metrics"})"));
+  const JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("schema")->str, "mgc-metrics");
+  EXPECT_EQ(metrics->find("version")->num, 1.0);
+  const JsonValue* hists = metrics->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* latency = hists->find("serve.request.latency_us");
+  ASSERT_NE(latency, nullptr);
+  // Two completed requests by snapshot time (the in-flight metrics op
+  // observes its own latency only after the reply is built).
+  EXPECT_GE(latency->find("count")->num, 2.0);
+  const JsonValue* gauges = metrics->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("serve.cache.entries"), nullptr);
+  ASSERT_NE(gauges->find("serve.workers"), nullptr);
+}
+
+TEST(ServeObs, StatsAndMetricsShareOneSourceOfTruth) {
+  serve::Service service(serial_options());
+  obs::flight::reset();
+  obs::metrics::reset();
+
+  // One miss, two hits.
+  for (int i = 0; i < 3; ++i) {
+    const serve::Json r = parse_reply(service.handle_line(
+        R"({"op":"coarsen","graph":"gen:grid2d:14,14","seed":2,"cutoff":30})"));
+    ASSERT_TRUE(reply_ok(r));
+  }
+  const serve::Json stats =
+      parse_reply(service.handle_line(R"({"op":"stats"})"));
+  ASSERT_TRUE(reply_ok(stats));
+  const serve::Json* cache = stats.get("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->get("misses")->as_u64().value(), 1u);
+  EXPECT_EQ(cache->get("hits")->as_u64().value(), 2u);
+
+  // The metrics exposition reports the SAME gauges — byte-for-byte the
+  // same source, so the two can never drift.
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  EXPECT_EQ(snap.gauge_value("serve.cache.misses"),
+            cache->get("misses")->as_u64().value());
+  EXPECT_EQ(snap.gauge_value("serve.cache.hits"),
+            cache->get("hits")->as_u64().value());
+  EXPECT_EQ(snap.gauge_value("serve.requests"),
+            stats.get("requests")->as_u64().value());
+  EXPECT_EQ(snap.gauge_value("serve.workers"),
+            stats.get("workers")->as_u64().value());
+}
+
+// --- serve integration: flight dump on a degraded request ------------------
+
+TEST(ServeObs, DegradedRequestDumpsFlightRecord) {
+  FaultGuard fg;
+  ASSERT_TRUE(guard::fault::configure("solver-stall:1.0:42").ok());
+
+  const fs::path dir =
+      fs::temp_directory_path() / "mgc_obs_flight_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  serve::ServiceOptions opts = serial_options();
+  opts.flight_dir = dir.string();
+  serve::Service service(opts);
+  obs::flight::reset();
+  obs::metrics::reset();
+
+  LogGuard restore;
+  obs::log::set_writer([](const std::string&) {});  // quiet the warn line
+
+  // Spectral refinement with a stalled solver degrades to FM — a
+  // successful reply whose outcome still warrants a flight export.
+  const serve::Json reply = parse_reply(service.handle_line(
+      R"({"op":"partition","graph":"gen:grid2d:12,12","seed":4,"cutoff":30,)"
+      R"("k":2,"refine":"spectral"})"));
+  ASSERT_TRUE(reply_ok(reply));
+  const serve::Json* degraded = reply.get("degraded");
+  ASSERT_NE(degraded, nullptr);
+  ASSERT_TRUE(degraded->as_bool().value());
+  const std::uint64_t rid = reply_req(reply);
+  EXPECT_EQ(rid, 1u);
+
+  const fs::path dump_path =
+      dir / ("flight-" + std::to_string(rid) + ".json");
+  ASSERT_TRUE(fs::exists(dump_path)) << dump_path;
+  std::ifstream in(dump_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = parse_doc(buf.str());
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(doc.find("schema")->str, "mgc-flight");
+  EXPECT_EQ(doc.find("req")->num, static_cast<double>(rid));
+  EXPECT_EQ(doc.find("reason")->str, "Degraded");
+  const JsonValue* events = doc.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->arr.empty());
+  bool saw_fault = false;
+  bool saw_degrade = false;
+  for (const JsonValue& e : events->arr) {
+    const JsonValue* kind = e.find("kind");
+    ASSERT_NE(kind, nullptr);
+    if (kind->str == "fault.fired") saw_fault = true;
+    if (kind->str == "degrade") saw_degrade = true;
+  }
+  EXPECT_TRUE(saw_fault) << "fault breadcrumb missing from " << buf.str();
+  EXPECT_TRUE(saw_degrade) << "degrade breadcrumb missing from " << buf.str();
+
+  // Metrics agree on the outcome.
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  EXPECT_EQ(snap.counter_value("serve.outcome.Degraded"), 1u);
+
+  fs::remove_all(dir);
+}
+
+TEST(ServeObs, TelemetryOffKeepsWireContractIntact) {
+  // The op-set and reply shape (including "req") hold with telemetry off;
+  // only recording stops.
+  serve::ServiceOptions opts = serial_options();
+  opts.telemetry = false;
+  obs::metrics::enable(false);
+  obs::flight::enable(false);
+  serve::Service service(opts);
+
+  const serve::Json r = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:10,10","seed":1,"cutoff":30})"));
+  ASSERT_TRUE(reply_ok(r));
+  EXPECT_EQ(reply_req(r), 1u);
+  const serve::Json m =
+      parse_reply(service.handle_line(R"({"op":"metrics"})"));
+  ASSERT_TRUE(reply_ok(m));
+  EXPECT_FALSE(m.get("telemetry")->as_bool().value());
+
+  // Stats still works: the gauge provider registers regardless, so the
+  // stats op can never go dark.
+  const serve::Json stats =
+      parse_reply(service.handle_line(R"({"op":"stats"})"));
+  ASSERT_TRUE(reply_ok(stats));
+  EXPECT_EQ(stats.get("requests")->as_u64().value(), 3u);
+
+  // Re-enable for any tests that follow in this binary.
+  obs::metrics::enable(true);
+  obs::flight::enable(true);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -29,6 +29,8 @@ Rule registry (rule id -> allow tag):
                                       lambda                 (v1 + v2)
     bare-ofstream       ofstream-ok   std::ofstream instead of
                                       guard::atomic_write_file (v1 + v2)
+    raw-stderr-in-serve stderr-ok     fprintf(stderr)/std::cerr in serving
+                                      code instead of obs::log       (v1)
     discarded-status    status-ok     guard::Status / Result<T> return
                                       value dropped on the floor  (v2)
     unguarded-mutex     guard-ok      mutex member whose class has no
@@ -58,6 +60,7 @@ ALLOW_TAGS: dict[str, str] = {
     "racy-write": "racy-ok",
     "region-in-parallel": "region-ok",
     "bare-ofstream": "ofstream-ok",
+    "raw-stderr-in-serve": "stderr-ok",
     "discarded-status": "status-ok",
     "unguarded-mutex": "guard-ok",
     "blocking-in-parallel": "blocking-ok",

@@ -48,6 +48,17 @@ and deliberate raw file writers with::
 
     std::ofstream out(tmp);  // mgc-lint: ofstream-ok -- <why>
 
+A fourth rule flags raw stderr writes — ``fprintf(stderr, ...)`` or
+``std::cerr`` — in serving code (any path containing "serve"). The
+daemon's runtime narrative goes through ``mgc::obs::log``: structured
+JSON lines, leveled, rate-limited, and stamped with the active request
+id. A stray fprintf bypasses all four and turns the log stream back into
+unparseable prose (docs/observability.md). Legitimate users — usage
+text, last-resort error boundaries that must work before logging is
+configured — annotate with::
+
+    std::fprintf(stderr, ...);  // mgc-lint: stderr-ok -- <why>
+
 Usage::
 
     python3 tools/mgc_lint.py src [more dirs/files...]
@@ -92,6 +103,16 @@ REGION_CTOR = re.compile(r"\bprof\s*::\s*Region\b")
 # Raw output-stream construction: durable writes must go through
 # guard::atomic_write_file (see module docstring).
 OFSTREAM_CTOR = re.compile(r"\bstd\s*::\s*ofstream\b")
+
+# Raw stderr writes; flagged only in serve-scoped paths (see module
+# docstring). The stderr identifier is an argument, not a string literal,
+# so it survives strip_comments_and_strings.
+RAW_STDERR = re.compile(r"\bfprintf\s*\(\s*stderr\b|\bstd\s*::\s*cerr\b")
+
+
+def serve_scoped(path: str) -> bool:
+    """True for files whose path marks them as serving code."""
+    return "serve" in path.replace("\\", "/")
 
 ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "<<=", ">>=")
 
@@ -198,6 +219,22 @@ def scan_file(path: str) -> list[Finding]:
                 snippet=raw_lines[line_idx].strip(),
             )
         )
+    if serve_scoped(path):
+        for m in RAW_STDERR.finditer(clean):
+            line_idx = clean.count("\n", 0, m.start())
+            if allowlisted(raw_lines, line_idx, "raw-stderr-in-serve"):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line_idx + 1,
+                    rule="raw-stderr-in-serve",
+                    message="raw stderr write in serving code — use "
+                            "obs::log so the daemon's runtime narrative "
+                            "stays structured, leveled, and rate-limited",
+                    snippet=raw_lines[line_idx].strip(),
+                )
+            )
     for lam in find_parallel_lambdas(clean):
         body = clean[lam.body_start : lam.body_end]
         for m in REGION_CTOR.finditer(body):

@@ -23,18 +23,35 @@
 //   --deadline-ms N        default per-request deadline (0 = none)
 //   --profile FILE.json    write an mgc-profile report after draining
 //   --trace FILE.json      write a Chrome trace after draining
+//   --metrics-file FILE.json  periodically write the live metrics snapshot
+//                          (atomic rename; scrape-safe at any moment)
+//   --metrics-interval-ms N   snapshot period (default 1000)
+//   --flight-dir DIR       flight-recorder dumps for bad requests
+//                                                [MGC_SERVE_FLIGHT_DIR]
+//   --log-level L          debug|info|warn|error        [MGC_LOG_LEVEL]
+//   --no-telemetry         disable metrics/flight collection
+//                                                [MGC_SERVE_TELEMETRY=0]
+//
+// Runtime narrative goes to stderr as structured JSON lines (mgc::obs::log,
+// docs/observability.md); the only raw stderr left is usage() and the
+// top-level error boundary, which must work before logging is configured.
 //
 // Shutdown: SIGTERM / SIGINT or a {"op":"shutdown"} request DRAIN the
 // daemon — in-flight requests finish and get replies, the socket file is
-// unlinked, profile/trace files are flushed, exit code 0. Exit codes
-// follow the library-wide contract in docs/robustness.md.
+// unlinked, profile/trace/metrics files are flushed, exit code 0. Exit
+// codes follow the library-wide contract in docs/robustness.md.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "guard/env.hpp"
 #include "guard/status.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "prof/prof.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -45,7 +62,10 @@ namespace {
 using namespace mgc;
 
 [[noreturn]] void usage(const char* msg) {
+  // Usage text predates any logging configuration and is for humans.
+  // mgc-lint: stderr-ok -- usage text, printed before logging is configured
   if (msg != nullptr) std::fprintf(stderr, "mgc_serve: %s\n", msg);
+  // mgc-lint: stderr-ok -- usage text, printed before logging is configured
   std::fprintf(stderr,
                "usage: mgc_serve --socket PATH [--workers N] [--queue N]\n"
                "                 [--cache-budget BYTES] [--max-request "
@@ -53,7 +73,11 @@ using namespace mgc;
                "                 [--backend threads|serial] [--deadline-ms "
                "N]\n"
                "                 [--profile FILE.json] [--trace FILE.json]\n"
-               "see docs/serving.md\n");
+               "                 [--metrics-file FILE.json] "
+               "[--metrics-interval-ms N]\n"
+               "                 [--flight-dir DIR] [--log-level L] "
+               "[--no-telemetry]\n"
+               "see docs/serving.md and docs/observability.md\n");
   std::exit(2);
 }
 
@@ -61,8 +85,18 @@ int run(int argc, char** argv) {
   std::string socket_path;
   std::string profile_path;
   std::string trace_path;
+  std::string metrics_path;
+  int metrics_interval_ms = 1000;
 
   serve::ServiceOptions opts = serve::ServiceOptions::from_env().value();
+
+  // Validate MGC_LOG_LEVEL loudly here: the logger itself falls back to
+  // info on garbage (it cannot fail mid-run), but a daemon started with a
+  // typo'd level must not silently run at the wrong verbosity.
+  if (const std::string env_level = guard::env_str("MGC_LOG_LEVEL");
+      !env_level.empty()) {
+    obs::log::set_level(obs::log::parse_level(env_level).value());
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -102,6 +136,19 @@ int run(int argc, char** argv) {
       profile_path = need_value();
     } else if (flag == "--trace") {
       trace_path = need_value();
+    } else if (flag == "--metrics-file") {
+      metrics_path = need_value();
+    } else if (flag == "--metrics-interval-ms") {
+      metrics_interval_ms = std::max(10, std::atoi(need_value().c_str()));
+    } else if (flag == "--flight-dir") {
+      opts.flight_dir = need_value();
+    } else if (flag == "--log-level") {
+      const auto l = obs::log::parse_level(need_value());
+      if (!l.ok()) usage(l.status().message.c_str());
+      obs::log::set_level(l.value());
+    } else if (flag == "--no-telemetry") {
+      if (have_value) usage("--no-telemetry takes no value");
+      opts.telemetry = false;
     } else if (flag == "--help" || flag == "-h") {
       usage(nullptr);
     } else {
@@ -119,26 +166,63 @@ int run(int argc, char** argv) {
   serve::Service service(opts);
   serve::Server server(service, socket_path);
 
-  std::fprintf(stderr,
-               "mgc_serve: listening on %s (workers=%d queue=%d "
-               "cache-budget=%zu backend=%s)\n",
-               socket_path.c_str(), opts.workers, opts.queue_limit,
-               opts.cache_budget_bytes, opts.backend.c_str());
+  obs::log::emit(obs::log::Level::kInfo, "serve.start",
+                 {obs::log::kv("socket", socket_path),
+                  obs::log::kv("workers", opts.workers),
+                  obs::log::kv("queue", opts.queue_limit),
+                  obs::log::kv("cache_budget", opts.cache_budget_bytes),
+                  obs::log::kv("backend", opts.backend),
+                  obs::log::kv("telemetry", opts.telemetry)});
+
+  // Periodic metrics snapshots: each write is temp+fsync+rename, so a
+  // scraper reading the file never sees a half-written document. The
+  // final write after the drain makes the file cover the whole run.
+  std::atomic<bool> metrics_stop{false};
+  std::thread metrics_writer;
+  if (!metrics_path.empty()) {
+    metrics_writer = std::thread([&metrics_stop, &metrics_path,
+                                  metrics_interval_ms] {
+      while (!metrics_stop.load(std::memory_order_relaxed)) {
+        const guard::Status ws = obs::metrics::write_json_file(metrics_path);
+        if (!ws.ok()) {
+          obs::log::emit(obs::log::Level::kWarn, "serve.metrics_write_failed",
+                         {obs::log::kv("path", metrics_path),
+                          obs::log::kv("message", ws.message)});
+        }
+        // Sleep in short slices so the drain is not held up by a long
+        // snapshot interval.
+        for (int slept = 0;
+             slept < metrics_interval_ms &&
+             !metrics_stop.load(std::memory_order_relaxed);
+             slept += 50) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
 
   const guard::Status st = server.run();
+
+  metrics_stop.store(true, std::memory_order_relaxed);
+  if (metrics_writer.joinable()) metrics_writer.join();
+  if (!metrics_path.empty()) {
+    const guard::Status ws = obs::metrics::write_json_file(metrics_path);
+    if (!ws.ok()) throw guard::Error(ws);
+  }
+
   if (!st.ok()) {
-    std::fprintf(stderr, "mgc_serve: %s\n", st.to_string().c_str());
+    obs::log::emit(obs::log::Level::kError, "serve.failed",
+                   {obs::log::kv("code", guard::code_name(st.code)),
+                    obs::log::kv("message", st.message)});
     return guard::exit_code(st.code);
   }
 
   const serve::HierarchyCache::Stats cs = service.cache_stats();
-  std::fprintf(stderr,
-               "mgc_serve: drained after %llu requests "
-               "(cache: %llu hits, %llu misses, %llu evictions)\n",
-               static_cast<unsigned long long>(service.requests_handled()),
-               static_cast<unsigned long long>(cs.hits),
-               static_cast<unsigned long long>(cs.misses),
-               static_cast<unsigned long long>(cs.evictions));
+  obs::log::emit(obs::log::Level::kInfo, "serve.stopped",
+                 {obs::log::kv("requests", service.requests_handled()),
+                  obs::log::kv("cache_hits", cs.hits),
+                  obs::log::kv("cache_misses", cs.misses),
+                  obs::log::kv("cache_evictions", cs.evictions)});
 
   // Flush observability output last so it covers the whole run. A report
   // that cannot be written is a real failure (exit 3), not a silent one.
@@ -150,14 +234,14 @@ int run(int argc, char** argv) {
     prof::set_meta("cache_misses", static_cast<long long>(cs.misses));
     const guard::Status ps = prof::write_json_file(profile_path);
     if (!ps.ok()) throw guard::Error(ps);
-    std::fprintf(stderr, "mgc_serve: wrote profile to %s\n",
-                 profile_path.c_str());
+    obs::log::emit(obs::log::Level::kInfo, "serve.profile_written",
+                   {obs::log::kv("path", profile_path)});
   }
   if (!trace_path.empty()) {
     const guard::Status ts = trace::write_chrome_json_file(trace_path);
     if (!ts.ok()) throw guard::Error(ts);
-    std::fprintf(stderr, "mgc_serve: wrote trace to %s\n",
-                 trace_path.c_str());
+    obs::log::emit(obs::log::Level::kInfo, "serve.trace_written",
+                   {obs::log::kv("path", trace_path)});
   }
   return 0;
 }
@@ -170,13 +254,18 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const mgc::guard::Error& e) {
+    // The boundary of last resort: it must work even when the failure IS
+    // the logging/telemetry configuration.
+    // mgc-lint: stderr-ok -- last-resort error boundary, may predate logging
     std::fprintf(stderr, "mgc_serve: error (%s): %s\n",
                  mgc::guard::code_name(e.code()), e.what());
     return mgc::guard::exit_code(e.code());
   } catch (const std::exception& e) {
+    // mgc-lint: stderr-ok -- last-resort error boundary, may predate logging
     std::fprintf(stderr, "mgc_serve: error (internal): %s\n", e.what());
     return mgc::guard::exit_code(mgc::guard::Code::kInternal);
   } catch (...) {
+    // mgc-lint: stderr-ok -- last-resort error boundary, may predate logging
     std::fprintf(stderr, "mgc_serve: error (internal): unknown exception\n");
     return mgc::guard::exit_code(mgc::guard::Code::kInternal);
   }
