@@ -1,9 +1,16 @@
 // bench_serve — load generator for the mgc_serve request path.
 //
-// Drives serve::Service::handle_line DIRECTLY (no socket): the Service is
-// transport-agnostic by design, so this measures request dispatch, the
-// admission queue, and the hierarchy cache under concurrency — exactly
-// the code the daemon runs — without the noise of socket syscalls.
+// Two modes:
+//   * default: drives serve::Service::handle_line DIRECTLY (no socket) —
+//     the Service is transport-agnostic by design, so this measures
+//     request dispatch, the admission queue, and the hierarchy cache
+//     under concurrency without the noise of socket syscalls;
+//   * --socket PATH: connects to a RUNNING mgc_serve daemon over AF_UNIX
+//     and drives it across the wire. Built for the chaos-soak CI job: a
+//     connection dropped mid-request (the worker was killed) is counted
+//     and the client reconnects — if reconnecting fails outright the
+//     listening socket is gone, which is a fatal finding (the supervisor
+//     contract is that it never disappears).
 //
 // Workload: T client threads issue a mixed stream of partition / cluster
 // / fiedler / coarsen requests over a small set of graphs. Most requests
@@ -26,11 +33,12 @@
 //                                 gate compares this on vs --no-telemetry)
 //   serve.hit_rate                cache hits / (hits + misses)
 //   serve.requests / serve.errors / serve.deadline_errors
+//   serve.dropped / serve.reconnects   --socket mode connection churn
 //
 // Usage:
 //   bench_serve [--threads T] [--requests-per-thread N]
 //               [--cache-budget BYTES] [--profile FILE.json]
-//               [--no-telemetry]
+//               [--no-telemetry] [--socket PATH]
 
 #include <algorithm>
 #include <atomic>
@@ -38,10 +46,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "guard/env.hpp"
 #include "obs/metrics.hpp"
@@ -66,6 +80,8 @@ struct Tally {
   std::uint64_t errors = 0;
   std::uint64_t deadline_errors = 0;
   std::uint64_t overload_errors = 0;
+  std::uint64_t dropped = 0;     ///< connection died before the reply
+  std::uint64_t reconnects = 0;  ///< successful reconnects after a drop
 };
 
 // The popular set is small enough that every graph's hierarchy stays
@@ -121,12 +137,115 @@ double percentile(std::vector<double>& v, double p) {
   return v[std::min(idx, v.size() - 1)];
 }
 
+/// One thread's wire connection to a running daemon: line out, line in.
+struct SocketClient {
+  int fd = -1;
+  std::string inbuf;
+
+  bool connect_once(const std::string& path) {
+    close_fd();
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) return false;
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      close_fd();
+      return false;
+    }
+    // Generous read timeout: a reply slower than this counts as a drop
+    // rather than wedging the bench forever.
+    struct timeval tv;
+    tv.tv_sec = 60;
+    tv.tv_usec = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    inbuf.clear();
+    return true;
+  }
+
+  /// Retries cover the supervisor's respawn backoff window: a worker
+  /// death leaves the listening socket (and its backlog) alive, so a
+  /// connect during the gap still succeeds or succeeds shortly after.
+  bool connect_retry(const std::string& path, int attempts, int delay_ms) {
+    for (int a = 0; a < attempts; ++a) {
+      if (connect_once(path)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    return false;
+  }
+
+  void close_fd() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+
+  bool send_line(const std::string& line) {
+    if (fd < 0) return false;
+    const std::string out = line + "\n";
+    const char* p = out.data();
+    std::size_t left = out.size();
+    while (left > 0) {
+#ifdef MSG_NOSIGNAL
+      const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+#else
+      const ssize_t n = ::send(fd, p, left, 0);
+#endif
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool read_line(std::string& line) {
+    if (fd < 0) return false;
+    for (;;) {
+      const std::size_t nl = inbuf.find('\n');
+      if (nl != std::string::npos) {
+        line = inbuf.substr(0, nl);
+        inbuf.erase(0, nl + 1);
+        return true;
+      }
+      char buf[4096];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) return false;  // peer closed (worker died)
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // includes the RCVTIMEO expiry
+      }
+      inbuf.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+void tally_reply(Tally& tally, const std::string& reply, double ms) {
+  tally.latencies_ms.push_back(ms);
+  if (reply.find("\"ok\":true") != std::string::npos) {
+    ++tally.ok;
+  } else {
+    ++tally.errors;
+    if (reply.find("DeadlineExceeded") != std::string::npos) {
+      ++tally.deadline_errors;
+    }
+    if (reply.find("ResourceExhausted") != std::string::npos) {
+      ++tally.overload_errors;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int threads = 4;
   int per_thread = 25;
   std::string profile_path;
+  std::string socket_path;
   serve::ServiceOptions opts = serve::ServiceOptions::from_env().value();
 
   for (int i = 1; i < argc; ++i) {
@@ -150,50 +269,79 @@ int main(int argc, char** argv) {
       profile_path = next();
     } else if (flag == "--no-telemetry") {
       opts.telemetry = false;
+    } else if (flag == "--socket") {
+      socket_path = next();
     } else {
       // mgc-lint: stderr-ok -- CLI usage error, printed before any run
       std::fprintf(stderr,
                    "usage: bench_serve [--threads T] "
                    "[--requests-per-thread N] [--cache-budget BYTES] "
-                   "[--profile FILE.json] [--no-telemetry]\n");
+                   "[--profile FILE.json] [--no-telemetry] "
+                   "[--socket PATH]\n");
       return 2;
     }
   }
 
   if (!profile_path.empty()) prof::enable();
 
-  serve::Service service(opts);
-  // Counters/histograms accumulate process-wide; zero them so the
-  // snapshot below covers exactly this run.
-  if (opts.telemetry) obs::metrics::reset();
+  const bool socket_mode = !socket_path.empty();
+  std::unique_ptr<serve::Service> service;
+  if (socket_mode) {
+    // A worker killed mid-reply must not kill the bench.
+    std::signal(SIGPIPE, SIG_IGN);
+  } else {
+    service = std::make_unique<serve::Service>(opts);
+    // Counters/histograms accumulate process-wide; zero them so the
+    // snapshot below covers exactly this run.
+    if (opts.telemetry) obs::metrics::reset();
+  }
+
   std::vector<Tally> tallies(static_cast<std::size_t>(threads));
   std::vector<std::thread> clients;
   clients.reserve(static_cast<std::size_t>(threads));
+  std::atomic<bool> socket_lost{false};
 
   const auto wall_start = std::chrono::steady_clock::now();
   for (int t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
       Tally& tally = tallies[static_cast<std::size_t>(t)];
       std::uint64_t rng = 0xBE5C0DE + static_cast<std::uint64_t>(t);
+      SocketClient client;
+      if (socket_mode &&
+          !client.connect_retry(socket_path, 200, 50)) {
+        socket_lost.store(true, std::memory_order_relaxed);
+        return;
+      }
       for (int i = 0; i < per_thread; ++i) {
         const std::string req = make_request(rng, t * per_thread + i);
         const auto t0 = std::chrono::steady_clock::now();
-        const std::string reply = service.handle_line(req);
-        const auto t1 = std::chrono::steady_clock::now();
-        tally.latencies_ms.push_back(
-            std::chrono::duration<double, std::milli>(t1 - t0).count());
-        if (reply.find("\"ok\":true") != std::string::npos) {
-          ++tally.ok;
+        std::string reply;
+        if (socket_mode) {
+          if (!client.send_line(req) || !client.read_line(reply)) {
+            // The connection died under the request — a worker crash or
+            // kill. The request is counted dropped, never replayed (a
+            // crashing request must not be re-executed by the bench), and
+            // the client reconnects. Reconnect failure means the
+            // LISTENING socket is gone: the supervisor contract is
+            // broken, and the bench exits nonzero.
+            ++tally.dropped;
+            client.close_fd();
+            if (!client.connect_retry(socket_path, 200, 50)) {
+              socket_lost.store(true, std::memory_order_relaxed);
+              return;
+            }
+            ++tally.reconnects;
+            continue;
+          }
         } else {
-          ++tally.errors;
-          if (reply.find("DeadlineExceeded") != std::string::npos) {
-            ++tally.deadline_errors;
-          }
-          if (reply.find("ResourceExhausted") != std::string::npos) {
-            ++tally.overload_errors;
-          }
+          reply = service->handle_line(req);
         }
+        const auto t1 = std::chrono::steady_clock::now();
+        tally_reply(tally, reply,
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count());
       }
+      client.close_fd();
     });
   }
   for (std::thread& c : clients) c.join();
@@ -209,6 +357,8 @@ int main(int argc, char** argv) {
     total.errors += t.errors;
     total.deadline_errors += t.deadline_errors;
     total.overload_errors += t.overload_errors;
+    total.dropped += t.dropped;
+    total.reconnects += t.reconnects;
   }
 
   const double p50 = percentile(total.latencies_ms, 0.50);
@@ -220,11 +370,13 @@ int main(int argc, char** argv) {
   // execution; the server-side per-op histogram starts at admission, so
   // client >= server and the gap is queueing/dispatch overhead. Histogram
   // quantiles are bucket lower bounds (conservative), so server p50/p99
-  // bracket below the client numbers by construction.
+  // bracket below the client numbers by construction. In --socket mode
+  // the histograms live in the daemon (scrape them via its metrics op).
   double server_p50_ms = 0.0, server_p99_ms = 0.0;
   double queue_p50_ms = 0.0, queue_p99_ms = 0.0;
   std::uint64_t server_observations = 0;
-  if (opts.telemetry) {
+  const bool local_telemetry = !socket_mode && opts.telemetry;
+  if (local_telemetry) {
     const obs::metrics::Snapshot snap = obs::metrics::snapshot();
     obs::metrics::HistogramSnapshot merged;
     for (const char* name :
@@ -245,7 +397,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const serve::HierarchyCache::Stats cs = service.cache_stats();
+  const serve::HierarchyCache::Stats cs =
+      socket_mode ? serve::HierarchyCache::Stats{} : service->cache_stats();
   const double hit_rate =
       cs.hits + cs.misses == 0
           ? 0.0
@@ -253,13 +406,13 @@ int main(int argc, char** argv) {
                 static_cast<double>(cs.hits + cs.misses);
 
   std::printf(
-      "bench_serve: %d threads x %d requests in %.2fs (%.1f req/s)\n",
-      threads, per_thread,
-      wall_s,
-      static_cast<double>(total.latencies_ms.size()) / wall_s);
+      "bench_serve: %d threads x %d requests in %.2fs (%.1f req/s)%s\n",
+      threads, per_thread, wall_s,
+      static_cast<double>(total.latencies_ms.size()) / wall_s,
+      socket_mode ? " [socket mode]" : "");
   std::printf("  latency p50 %.2f ms, p99 %.2f ms (client-side)\n", p50,
               p99);
-  if (opts.telemetry) {
+  if (local_telemetry) {
     std::printf(
         "  latency p50 %.2f ms, p99 %.2f ms (server-side, %llu admitted)\n",
         server_p50_ms, server_p99_ms,
@@ -273,12 +426,18 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(total.errors),
       static_cast<unsigned long long>(total.deadline_errors),
       static_cast<unsigned long long>(total.overload_errors));
-  std::printf(
-      "  cache: %llu hits / %llu misses (hit rate %.3f), %llu evictions, "
-      "%zu resident bytes\n",
-      static_cast<unsigned long long>(cs.hits),
-      static_cast<unsigned long long>(cs.misses), hit_rate,
-      static_cast<unsigned long long>(cs.evictions), cs.resident_bytes);
+  if (socket_mode) {
+    std::printf("  connections: %llu dropped mid-request, %llu reconnects\n",
+                static_cast<unsigned long long>(total.dropped),
+                static_cast<unsigned long long>(total.reconnects));
+  } else {
+    std::printf(
+        "  cache: %llu hits / %llu misses (hit rate %.3f), %llu evictions, "
+        "%zu resident bytes\n",
+        static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.misses), hit_rate,
+        static_cast<unsigned long long>(cs.evictions), cs.resident_bytes);
+  }
 
   if (!profile_path.empty()) {
     prof::set_meta("tool", std::string("bench_serve"));
@@ -298,6 +457,9 @@ int main(int argc, char** argv) {
     prof::set_meta("serve.errors", static_cast<long long>(total.errors));
     prof::set_meta("serve.deadline_errors",
                    static_cast<long long>(total.deadline_errors));
+    prof::set_meta("serve.dropped", static_cast<long long>(total.dropped));
+    prof::set_meta("serve.reconnects",
+                   static_cast<long long>(total.reconnects));
     const guard::Status st = prof::write_json_file(profile_path);
     if (!st.ok()) {
       // mgc-lint: stderr-ok -- report-write failure, exits immediately
@@ -305,6 +467,13 @@ int main(int argc, char** argv) {
       return guard::exit_code(st.code);
     }
     std::printf("  wrote profile to %s\n", profile_path.c_str());
+  }
+  if (socket_lost.load(std::memory_order_relaxed)) {
+    // mgc-lint: stderr-ok -- fatal finding, the process exits right here
+    std::fprintf(stderr,
+                 "bench_serve: listening socket disappeared (reconnect "
+                 "failed); the supervisor contract is broken\n");
+    return guard::exit_code(guard::Code::kInternal);
   }
   return 0;
 }

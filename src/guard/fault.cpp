@@ -132,6 +132,7 @@ const char* kind_name(Kind k) {
     case Kind::kMapStall: return "map-stall";
     case Kind::kMmapFail: return "mmap-fail";
     case Kind::kSpillIo: return "spill-io";
+    case Kind::kCrash: return "crash";
   }
   return "?";
 }

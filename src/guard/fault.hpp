@@ -23,6 +23,11 @@
 //                 spill manager must fall back / surface kResourceExhausted)
 //   spill-io      ooc spill segment write/read fails mid-I/O
 //                 -> guard::Error(kInternal, "spill")
+//   crash         std::abort() at a coarsener level boundary — the process
+//                 dies as a real kernel SIGSEGV would; nothing may catch
+//                 it. Recovery is the mgc_serve supervisor's job
+//                 (docs/serving.md § Supervision); the one-shot CLI dies
+//                 by SIGABRT, outside the exit-code taxonomy by design.
 //
 // Configuration: MGC_FAULT="kind:rate:seed[,kind:rate:seed...]" in the
 // environment (read once, lazily), or fault::configure(spec) from code
@@ -49,11 +54,12 @@ enum class Kind : std::uint8_t {
   kMapStall,
   kMmapFail,
   kSpillIo,
+  kCrash,
 };
-inline constexpr int kNumKinds = 6;
+inline constexpr int kNumKinds = 7;
 
 /// Spec name of a kind ("alloc", "io-truncate", "solver-stall",
-/// "map-stall", "mmap-fail", "spill-io").
+/// "map-stall", "mmap-fail", "spill-io", "crash").
 const char* kind_name(Kind k);
 
 /// Replaces the active configuration with `spec`

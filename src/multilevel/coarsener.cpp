@@ -1,6 +1,7 @@
 #include "multilevel/coarsener.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <limits>
 #include <numeric>
@@ -437,6 +438,14 @@ CoarsenReport coarsen_multilevel_guarded(const Exec& exec, const Csr& g,
     const Csr& fine = h.graphs.back();
     const vid_t n_before = fine.num_vertices();
     seed = detail::next_level_seed(seed);  // same chain the resume replays
+    // Crash drill: kills the process mid-coarsen exactly as a real kernel
+    // SIGSEGV would — deliberately NOT a typed guard::Error, nothing may
+    // catch it. Deterministic via the shared draw sequence, so a poisoned
+    // request replays its crash on every re-execution; recovery is the
+    // mgc_serve supervisor's job (docs/serving.md § Supervision).
+    if (guard::fault::should_fire(guard::fault::Kind::kCrash)) {
+      std::abort();
+    }
     prof::Region prof_level(prof::enabled()
                                 ? "level:" + std::to_string(level)
                                 : std::string());

@@ -1,18 +1,23 @@
 #include "serve/server.hpp"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace mgc::serve {
@@ -22,6 +27,15 @@ namespace {
 volatile std::sig_atomic_t g_drain = 0;
 
 void on_drain_signal(int) { g_drain = 1; }
+
+#ifdef POLLRDHUP
+// Peer shutdown(SHUT_WR) as well as full close is visible.
+constexpr short kPollRdHup = POLLRDHUP;
+#else
+// POLLHUP / POLLERR are reported regardless of events; only a half-close
+// goes unnoticed until the reply write fails.
+constexpr short kPollRdHup = 0;
+#endif
 
 /// Sends all of `data`, tolerating partial writes and EINTR. False when
 /// the peer is gone (any hard error); the caller just closes.
@@ -42,6 +56,19 @@ bool send_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
+/// Transport-level overload reply: sent before any Service involvement,
+/// so it is assembled here in the same JSON shape as Service::error_reply
+/// (with no request id to echo and no minted "req").
+std::string overload_reply_line(int max_connections) {
+  const guard::Code c = guard::Code::kResourceExhausted;
+  return std::string("{\"id\":null,\"op\":\"\",\"ok\":false,\"code\":\"") +
+         guard::code_name(c) +
+         "\",\"exit_code\":" + std::to_string(guard::exit_code(c)) +
+         ",\"message\":\"connection limit (" +
+         std::to_string(max_connections) +
+         ") reached; retry later\"}\n";
+}
+
 }  // namespace
 
 void install_drain_handlers() {
@@ -57,8 +84,111 @@ void install_drain_handlers() {
 
 bool drain_requested() { return g_drain != 0; }
 
-Server::Server(Service& service, std::string socket_path)
-    : service_(service), path_(std::move(socket_path)) {}
+guard::Result<int> bind_unix_listener(const std::string& path, bool force) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return guard::Status::invalid_input(
+        "socket path must be 1.." +
+        std::to_string(sizeof(sockaddr_un{}.sun_path) - 1) +
+        " bytes: \"" + path + "\"");
+  }
+
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+
+  // A pre-existing file at the path is either a live daemon's endpoint, a
+  // stale socket left by a crash, or not a socket at all. Probe-connect to
+  // tell the first two apart — only the stale one may be cleaned up.
+  struct stat sb;
+  if (::lstat(path.c_str(), &sb) == 0) {
+    if (!S_ISSOCK(sb.st_mode)) {
+      return guard::Status::invalid_input(
+          "socket path " + path +
+          " exists and is not a socket; refusing to remove it");
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) {
+      return guard::Status::internal(std::string("socket(): ") +
+                                     std::strerror(errno));
+    }
+    const bool live =
+        ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0;
+    ::close(probe);
+    if (live && !force) {
+      return guard::Status::invalid_input(
+          "socket " + path +
+          " belongs to a live daemon; pass --force-socket to take it over");
+    }
+    if (live) {
+      obs::log::emit(obs::log::Level::kWarn, "serve.socket_forced",
+                     {obs::log::kv("socket", path)});
+    }
+    ::unlink(path.c_str());  // stale (or force-taken) socket
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return guard::Status::internal(std::string("socket(): ") +
+                                   std::strerror(errno));
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const guard::Status st = guard::Status::invalid_input(
+        "bind(" + path + "): " + std::strerror(errno));
+    ::close(listen_fd);
+    return st;
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    const guard::Status st = guard::Status::internal(
+        std::string("listen(): ") + std::strerror(errno));
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    return st;
+  }
+  return listen_fd;
+}
+
+Server::Server(Service& service, std::string socket_path, ServerOptions opts)
+    : service_(service), path_(std::move(socket_path)), opts_(opts) {}
+
+Server::~Server() = default;
+
+void Server::watch_inflight(int fd, const guard::CancelSource& source) {
+  MutexLock lock(watch_mutex_);
+  watches_.push_back(InflightWatch{fd, source});
+}
+
+void Server::unwatch_inflight(int fd) {
+  MutexLock lock(watch_mutex_);
+  for (auto it = watches_.begin(); it != watches_.end(); ++it) {
+    if (it->fd == fd) {
+      watches_.erase(it);
+      break;
+    }
+  }
+}
+
+void Server::disconnect_watch_tick() {
+  // Snapshot under the lock, poll outside it: CancelSource copies share
+  // the flag, so tripping the copy trips the request's token.
+  std::vector<InflightWatch> snapshot;
+  {
+    MutexLock lock(watch_mutex_);
+    snapshot = watches_;
+  }
+  for (InflightWatch& w : snapshot) {
+    struct pollfd p;
+    p.fd = w.fd;
+    p.events = kPollRdHup;
+    p.revents = 0;
+    if (::poll(&p, 1, 0) > 0 &&
+        (p.revents & (kPollRdHup | POLLHUP | POLLERR | POLLNVAL)) != 0) {
+      w.source.request_cancel();
+    }
+  }
+}
 
 void Server::handle_connection(int fd) {
   // Per-read timeout so the loop notices a drain on an idle connection.
@@ -70,11 +200,26 @@ void Server::handle_connection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  // Idle clock: runs from the last *completed* request line (or the
+  // accept), so a slowloris byte-trickle does not reset it.
+  auto last_line = std::chrono::steady_clock::now();
   while (open) {
     // Drain: finish whatever complete lines are already buffered, then
     // stop reading. In-flight requests always get their reply.
     if ((drain_requested() || service_.shutdown_requested()) &&
         buffer.find('\n') == std::string::npos) {
+      break;
+    }
+    if (opts_.idle_timeout_ms > 0 &&
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - last_line)
+                .count() >= opts_.idle_timeout_ms) {
+      obs::log::emit(obs::log::Level::kInfo, "serve.conn.idle_closed",
+                     {obs::log::kv("fd", fd),
+                      obs::log::kv("idle_timeout_ms", opts_.idle_timeout_ms)});
+      if (obs::metrics::enabled()) {
+        obs::metrics::add("serve.conn.idle_closed", 1);
+      }
       break;
     }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -103,7 +248,15 @@ void Server::handle_connection(int fd) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      const std::string reply = service_.handle_line(line) + "\n";
+      // While this line executes, the disconnect watcher polls the fd; a
+      // client that hangs up cancels its own request (satellite: no reply
+      // computed for a reader that is gone).
+      guard::CancelSource disconnect;
+      watch_inflight(fd, disconnect);
+      const std::string reply =
+          service_.handle_line(line, disconnect.token()) + "\n";
+      unwatch_inflight(fd);
+      last_line = std::chrono::steady_clock::now();
       if (!send_all(fd, reply.data(), reply.size())) {
         open = false;
         break;
@@ -115,44 +268,50 @@ void Server::handle_connection(int fd) {
 }
 
 guard::Status Server::run() {
-  if (path_.empty() || path_.size() >= sizeof(sockaddr_un{}.sun_path)) {
-    return guard::Status::invalid_input(
-        "socket path must be 1.." +
-        std::to_string(sizeof(sockaddr_un{}.sun_path) - 1) +
-        " bytes: \"" + path_ + "\"");
-  }
-
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    return guard::Status::internal(std::string("socket(): ") +
-                                   std::strerror(errno));
-  }
-
-  sockaddr_un addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path_.c_str(), path_.size());
-  ::unlink(path_.c_str());  // stale socket from a previous run
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const guard::Status st = guard::Status::invalid_input(
-        "bind(" + path_ + "): " + std::strerror(errno));
-    ::close(listen_fd);
-    return st;
-  }
-  if (::listen(listen_fd, 64) < 0) {
-    const guard::Status st = guard::Status::internal(
-        std::string("listen(): ") + std::strerror(errno));
-    ::close(listen_fd);
-    ::unlink(path_.c_str());
-    return st;
+  int listen_fd = opts_.listen_fd;
+  const bool owns_socket = listen_fd < 0;
+  if (owns_socket) {
+    guard::Result<int> bound = bind_unix_listener(path_, opts_.force_socket);
+    if (!bound.ok()) return bound.status();
+    listen_fd = bound.value();
   }
 
   if (trace::enabled()) trace::instant("serve.listen", path_, "serve");
   obs::log::emit(obs::log::Level::kInfo, "serve.listen",
-                 {obs::log::kv("socket", path_)});
+                 {obs::log::kv("socket", path_),
+                  obs::log::kv("inherited_fd", !owns_socket),
+                  obs::log::kv("max_connections", opts_.max_connections)});
 
-  std::vector<std::thread> threads;
+  // Disconnect watcher: ~100 ms granularity hang-up detection for
+  // in-flight requests (see disconnect_watch_tick).
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher([this, &watcher_stop] {
+    while (!watcher_stop.load(std::memory_order_relaxed)) {
+      disconnect_watch_tick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  // Connection bookkeeping: each thread flips its done flag as its last
+  // act, and the accept loop reaps finished entries every tick — the set
+  // stays bounded by live connections instead of growing per accept for
+  // the life of the daemon.
+  struct Conn {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::vector<std::unique_ptr<Conn>> conns;
+  auto reap = [&conns] {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
   while (!drain_requested() && !service_.shutdown_requested()) {
     struct pollfd pfd;
     pfd.fd = listen_fd;
@@ -163,19 +322,47 @@ guard::Status Server::run() {
       if (errno == EINTR) continue;  // likely the drain signal itself
       break;
     }
+    reap();
     if (pr == 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
+    if (static_cast<int>(conns.size()) >= opts_.max_connections) {
+      // A slot may have freed since the pre-poll reap (a connection that
+      // finished while we were blocked in poll); re-reap before refusing
+      // so capacity that exists is never denied.
+      reap();
+    }
+    if (static_cast<int>(conns.size()) >= opts_.max_connections) {
+      // Typed overload close: the client learns WHY instead of seeing an
+      // unexplained hang or reset, and no thread slot is consumed.
+      const std::string reply = overload_reply_line(opts_.max_connections);
+      send_all(fd, reply.data(), reply.size());
+      ::close(fd);
+      obs::log::emit(obs::log::Level::kWarn, "serve.conn.overload_closed",
+                     {obs::log::kv("connections", opts_.max_connections)});
+      if (obs::metrics::enabled()) {
+        obs::metrics::add("serve.conn.overload_closed", 1);
+      }
+      continue;
+    }
     obs::log::emit(obs::log::Level::kDebug, "serve.accept",
                    {obs::log::kv("fd", fd)});
-    threads.emplace_back([this, fd] { handle_connection(fd); });
+    auto conn = std::make_unique<Conn>();
+    Conn* raw = conn.get();
+    raw->thread = std::thread([this, fd, raw] {
+      handle_connection(fd);
+      raw->done.store(true, std::memory_order_release);
+    });
+    conns.push_back(std::move(conn));
   }
 
   // Drain: stop accepting, let connection threads finish their in-flight
   // requests (they observe the flag within one 200 ms tick), then clean up.
   ::close(listen_fd);
-  for (std::thread& t : threads) t.join();
-  ::unlink(path_.c_str());
+  for (auto& c : conns) c->thread.join();
+  watcher_stop.store(true, std::memory_order_relaxed);
+  watcher.join();
+  if (owns_socket) ::unlink(path_.c_str());
   if (trace::enabled()) trace::instant("serve.drained", path_, "serve");
   obs::log::emit(obs::log::Level::kInfo, "serve.drained",
                  {obs::log::kv("socket", path_),

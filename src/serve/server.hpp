@@ -2,20 +2,31 @@
 // mgc::serve — AF_UNIX line-protocol transport for mgc_serve
 // (see docs/serving.md for the protocol and the draining contract).
 //
-// The server owns the listening socket and one thread per accepted
-// connection; all request semantics live in Service. Shutdown is a DRAIN,
-// never an abort: on SIGTERM / SIGINT / a "shutdown" request the server
-// stops accepting, lets every in-flight request finish and flush its
-// reply, joins the connection threads, unlinks the socket path, and
-// returns — exit code 0 with no leaks is the contract the CI serve-smoke
-// job pins under ASan+UBSan.
+// The server owns one thread per accepted connection; all request
+// semantics live in Service. Shutdown is a DRAIN, never an abort: on
+// SIGTERM / SIGINT / a "shutdown" request the server stops accepting,
+// lets every in-flight request finish and flush its reply, joins the
+// connection threads, unlinks the socket path, and returns — exit code 0
+// with no leaks is the contract the CI serve-smoke job pins under
+// ASan+UBSan.
+//
+// The listening socket is either created here (standalone mode) or
+// inherited from the mgc_serve supervisor (ServerOptions::listen_fd,
+// docs/serving.md § Supervision) — in the latter case the supervisor owns
+// the socket file's whole lifecycle and this server never binds or
+// unlinks the path, so a worker death cannot unbind it.
 //
 // Both the accept loop and the per-connection read loops poll the drain
 // flag on a ~200 ms tick, so a drain is observed promptly even on idle
 // connections.
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "guard/cancel.hpp"
 #include "guard/status.hpp"
 #include "serve/service.hpp"
 
@@ -28,25 +39,72 @@ void install_drain_handlers();
 /// True once a drain signal has been received.
 bool drain_requested();
 
+/// Creates, binds, and listens an AF_UNIX stream socket at `path` and
+/// returns the listening fd. A pre-existing socket file is probe-connected
+/// first: a *live* daemon's socket is refused with kInvalidInput unless
+/// `force` is set (never silently steal a running deployment's endpoint);
+/// a stale file left by a crash is unlinked and rebound. A pre-existing
+/// path that is not a socket at all is always refused. Used by both the
+/// standalone Server and the mgc_serve supervisor.
+[[nodiscard]] guard::Result<int> bind_unix_listener(const std::string& path,
+                                                    bool force);
+
+/// Transport knobs (request semantics stay in ServiceOptions).
+struct ServerOptions {
+  /// Listening socket inherited from a supervisor. When >= 0 the server
+  /// accepts on this fd and neither binds nor unlinks `socket_path`.
+  int listen_fd = -1;
+  /// Steal a live daemon's socket path (see bind_unix_listener).
+  bool force_socket = false;
+  /// Concurrent-connection cap. A connection past the cap gets one typed
+  /// ResourceExhausted reply line and an immediate close
+  /// (`serve.conn.overload_closed`); finished connection threads are
+  /// reaped as they complete, so only live connections count.
+  int max_connections = 256;
+  /// Close a connection that completes no request line for this long
+  /// (`serve.conn.idle_closed`). 0 (the default) disables the timeout.
+  /// Measured from the last *completed* line, so a slowloris trickle of
+  /// bytes that never forms a request does not reset it.
+  int idle_timeout_ms = 0;
+};
+
 class Server {
  public:
-  /// Binds nothing yet; `socket_path` is unlinked and re-bound by run().
-  Server(Service& service, std::string socket_path);
+  /// Binds nothing yet; run() acquires the socket (or adopts
+  /// `opts.listen_fd`).
+  Server(Service& service, std::string socket_path, ServerOptions opts = {});
+  ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and serves until a drain is requested (signal or
-  /// "shutdown" request), then drains and cleans up the socket file.
-  /// Returns kOk after a clean drain; socket setup failures are
-  /// kInvalidInput (bad path) or kInternal (syscall failure).
+  /// Listens and serves until a drain is requested (signal or "shutdown"
+  /// request), then drains and cleans up the socket file (standalone mode
+  /// only). Returns kOk after a clean drain; socket setup failures are
+  /// kInvalidInput (bad path / live socket without force) or kInternal
+  /// (syscall failure).
   [[nodiscard]] guard::Status run();
 
  private:
+  /// One in-flight request's disconnect watch: while the request executes,
+  /// a watcher thread polls `fd` for peer hang-up and trips `source` so
+  /// abandoned work stops at the next chunk-granularity Ctx poll instead
+  /// of computing a reply nobody will read.
+  struct InflightWatch {
+    int fd = -1;
+    guard::CancelSource source;
+  };
+
   void handle_connection(int fd);
+  void watch_inflight(int fd, const guard::CancelSource& source);
+  void unwatch_inflight(int fd);
+  void disconnect_watch_tick();
 
   Service& service_;
   std::string path_;
+  ServerOptions opts_;
+  Mutex watch_mutex_;
+  std::vector<InflightWatch> watches_ MGC_GUARDED_BY(watch_mutex_);
 };
 
 }  // namespace mgc::serve

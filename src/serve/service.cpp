@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <memory>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "cluster/clustering.hpp"
 #include "graph/spec.hpp"
 #include "guard/env.hpp"
@@ -18,6 +21,7 @@
 #include "partition/partitioner.hpp"
 #include "partition/spectral.hpp"
 #include "prof/prof.hpp"
+#include "serve/supervisor.hpp"
 #include "serve/wire.hpp"
 #include "trace/trace.hpp"
 
@@ -149,6 +153,9 @@ struct Service::Request {
   std::string refine = "fm";
   double resolution = 1.0;
   std::string part_out;
+  /// Transport's client-gone token; joins the request Ctx so a closed
+  /// connection cancels its own in-flight work.
+  guard::CancelToken disconnect;
 };
 
 // ---------------------------------------------------------------------------
@@ -234,10 +241,22 @@ guard::Result<ServiceOptions> ServiceOptions::from_env() {
 Service::Service(const ServiceOptions& opts)
     : opts_(opts),
       exec_(opts.backend == "serial" ? Exec::serial() : Exec::threads()),
-      cache_(opts.cache_budget_bytes, opts.spill_dir) {
+      cache_(opts.cache_budget_bytes, opts.spill_dir),
+      quarantine_(opts.quarantined_keys.begin(),
+                  opts.quarantined_keys.end()) {
   if (opts_.telemetry) {
     obs::metrics::enable(true);
     obs::flight::enable(true);
+  }
+  if (!opts_.journal_path.empty()) {
+    journal_fd_ = ::open(opts_.journal_path.c_str(),
+                         O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0600);
+    if (journal_fd_ < 0) {
+      // A supervisor that cannot read crash forensics is worse than a
+      // loud startup failure (same policy as a garbage env value).
+      throw guard::Error(guard::Status::invalid_input(
+          "cannot open request journal " + opts_.journal_path));
+    }
   }
   // Pre-minted ids: registration takes the registry mutex; observe() on
   // the request path must not.
@@ -283,6 +302,10 @@ Service::Service(const ServiceOptions& opts)
              static_cast<std::uint64_t>(opts_.queue_limit)},
             {"mem.charged_bytes", guard::MemoryBudget::process().charged()},
             {"mem.peak_bytes", guard::MemoryBudget::process().peak()},
+            {"serve.worker.generation",
+             static_cast<std::uint64_t>(opts_.generation)},
+            {"serve.quarantine.entries",
+             static_cast<std::uint64_t>(quarantine_.size())},
         };
       });
 }
@@ -291,14 +314,57 @@ Service::~Service() {
   // After this returns the provider is guaranteed not to be running, so
   // the `this` it captured is safe to destroy (obs/metrics.hpp contract).
   obs::metrics::unregister_gauges(gauges_token_);
+  if (journal_fd_ >= 0) ::close(journal_fd_);
 }
 
-std::string Service::handle_line(const std::string& line) {
+void Service::journal_append(char tag, const std::string& key) {
+  if (journal_fd_ < 0) return;
+  std::string rec;
+  rec.reserve(key.size() + 3);  // mgc-lint: budget-ok -- ~20-byte journal record, not data-sized
+  rec += tag;
+  rec += ' ';
+  rec += key;
+  rec += '\n';
+  // One O_APPEND write per record: atomic at this size, so concurrent
+  // workers' records interleave whole. Best-effort — a journal write
+  // failure must not fail the request it describes.
+  const char* p = rec.data();
+  std::size_t left = rec.size();
+  while (left > 0) {
+    const ssize_t n = ::write(journal_fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+class Service::JournalScope {
+ public:
+  JournalScope(Service& s, const std::string& key) : s_(s), key_(key) {
+    s_.journal_append('B', key_);
+  }
+  // Runs on typed-failure unwinding too: the process survived, so the
+  // request did not crash it and must not look open to the supervisor.
+  ~JournalScope() { s_.journal_append('E', key_); }
+
+  JournalScope(const JournalScope&) = delete;
+  JournalScope& operator=(const JournalScope&) = delete;
+
+ private:
+  Service& s_;
+  std::string key_;
+};
+
+std::string Service::handle_line(const std::string& line,
+                                 const guard::CancelToken& disconnect) {
   const std::uint64_t rid =
       req_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   requests_.fetch_add(1, std::memory_order_relaxed);
   const auto t0 = std::chrono::steady_clock::now();
-  std::string reply = handle_line_inner(line, rid);
+  std::string reply = handle_line_inner(line, rid, disconnect);
   if (obs::metrics::enabled()) {
     // EVERY handled line lands here — parse failures and overload
     // rejections included — so this histogram's count equals the requests
@@ -310,7 +376,8 @@ std::string Service::handle_line(const std::string& line) {
 }
 
 std::string Service::handle_line_inner(const std::string& line,
-                                       std::uint64_t rid) {
+                                       std::uint64_t rid,
+                                       const guard::CancelToken& disconnect) {
   // Local shim so every validation-failure return below carries the
   // request id and flows through the one telemetry-owning error path.
   auto error_reply = [this, rid](const std::string& id_fragment,
@@ -374,6 +441,7 @@ std::string Service::handle_line_inner(const std::string& line,
 
   Request req;
   req.rid = rid;
+  req.disconnect = disconnect;
   req.op = op;
   req.id_fragment = id_fragment;
   if (obs::flight::enabled()) obs::flight::note(rid, "req.begin", op);
@@ -470,6 +538,17 @@ std::string Service::handle_line_inner(const std::string& line,
   try {
     return dispatch(req);
   } catch (const guard::Error& e) {
+    if (e.status().code == guard::Code::kCancelled && disconnect.cancelled()) {
+      // The client hung up and its own work stopped at the next chunk
+      // poll — operationally distinct from a caller-sent cancel, so it
+      // gets its own counter.
+      if (obs::metrics::enabled()) {
+        obs::metrics::add("serve.cancelled_by_disconnect", 1);
+      }
+      if (obs::flight::enabled()) {
+        obs::flight::note(rid, "cancel", "client disconnected");
+      }
+    }
     return error_reply(id_fragment, op, e.status());
   } catch (const std::exception& e) {
     return error_reply(id_fragment, op, guard::Status::internal(e.what()));
@@ -628,6 +707,25 @@ std::string Service::handle_shutdown(const Request& req) {
 }
 
 std::string Service::handle_hierarchy_op(const Request& req) {
+  // Poison check FIRST — before admission, before any execution: a
+  // request whose key was mid-execution at two consecutive worker crashes
+  // gets an immediate typed reply instead of re-executing the crash
+  // (docs/serving.md § Supervision).
+  const std::string jkey =
+      journal_key(req.graph, canonical_coarsen_options(req.copts));
+  if (!quarantine_.empty() && quarantine_.count(jkey) != 0) {
+    if (obs::metrics::enabled()) {
+      obs::metrics::add("serve.quarantine.hits", 1);
+    }
+    if (obs::flight::enabled()) {
+      obs::flight::note(req.rid, "quarantine.hit", jkey + " " + req.graph);
+    }
+    throw guard::Error(guard::Status::internal(
+        "poisoned request: key " + jkey +
+        " was mid-execution at two consecutive worker crashes; "
+        "quarantined until the daemon restarts (docs/serving.md)"));
+  }
+
   // Per-request guard context: the deadline covers queueing + execution
   // (a client that asked for 50 ms does not care which side of the
   // admission queue the time went).
@@ -635,6 +733,7 @@ std::string Service::handle_hierarchy_op(const Request& req) {
   if (req.deadline_ms > 0) {
     ctx.deadline = guard::Deadline::after_ms(req.deadline_ms);
   }
+  ctx.cancel = req.disconnect;
   ctx.mem_budget_bytes = req.mem_budget_bytes;
   ctx.request_id = req.rid;
 
@@ -659,6 +758,11 @@ std::string Service::handle_hierarchy_op(const Request& req) {
   if (obs::flight::enabled()) {
     obs::flight::note(req.rid, "admit", req.op + " " + req.graph);
   }
+
+  // Journal bracket opens only once execution starts — a request merely
+  // waiting in the admission queue is not "mid-execution" and must not be
+  // poisonable as a bystander of someone else's crash.
+  JournalScope journal(*this, jkey);
 
   guard::ScopedCtx scoped_ctx(ctx);
   prof::Region prof_req("serve.request");

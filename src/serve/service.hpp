@@ -27,10 +27,13 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "core/exec.hpp"
 #include "core/sync.hpp"
 #include "core/thread_annotations.hpp"
+#include "guard/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "serve/cache.hpp"
 
@@ -68,6 +71,17 @@ struct ServiceOptions {
   /// no dump files; the breadcrumbs still exist in memory and the
   /// outcome is still logged).
   std::string flight_dir;
+  /// Supervision plumbing (serve/supervisor.hpp); all three are set by the
+  /// mgc_serve supervisor's fork, never from the environment. When
+  /// `journal_path` is non-empty, every hierarchy op appends a "B <key>"
+  /// record before executing and an "E <key>" record when it survives —
+  /// the supervisor reads the unmatched B records after a crash.
+  std::string journal_path;
+  /// Poisoned journal keys: matching hierarchy ops get an immediate typed
+  /// kInternal "poisoned request" reply instead of re-executing a crash.
+  std::vector<std::string> quarantined_keys;
+  /// Worker restart generation (gauge serve.worker.generation).
+  int generation = 0;
 
   /// Reads MGC_SERVE_WORKERS / MGC_SERVE_QUEUE / MGC_SERVE_CACHE_BUDGET /
   /// MGC_SERVE_MAX_REQUEST / MGC_SERVE_BACKEND / MGC_SERVE_SPILL_DIR /
@@ -87,8 +101,12 @@ class Service {
 
   /// Handles one request line and returns one response line (no trailing
   /// newline). NEVER throws: every failure — hostile bytes included —
-  /// becomes a typed JSON error reply.
-  std::string handle_line(const std::string& line);
+  /// becomes a typed JSON error reply. `disconnect` (optional) is the
+  /// transport's client-gone token: it joins the request's Ctx, so a
+  /// closed connection cancels its own in-flight work at the next
+  /// chunk-granularity poll (counted as serve.cancelled_by_disconnect).
+  std::string handle_line(const std::string& line,
+                          const guard::CancelToken& disconnect = {});
 
   /// True once a shutdown request has been accepted; the transport stops
   /// accepting new connections and drains.
@@ -111,7 +129,19 @@ class Service {
   /// handle_line minus the request-level telemetry wrapper: mints nothing,
   /// measures nothing — handle_line stamps the request id, times the whole
   /// call into serve.request.latency_us, and records the reply size.
-  std::string handle_line_inner(const std::string& line, std::uint64_t rid);
+  std::string handle_line_inner(const std::string& line, std::uint64_t rid,
+                                const guard::CancelToken& disconnect);
+
+  /// Appends one "B <key>" / "E <key>" record to the request journal
+  /// (no-op without one). Raw O_APPEND write: a record this small lands
+  /// atomically, and one torn by a crash mid-write is ignored by the
+  /// supervisor's parser.
+  void journal_append(char tag, const std::string& key);
+
+  /// RAII B/E journal bracket around a hierarchy op's execution. The E
+  /// record is written even when the op fails with a typed error — the
+  /// process survived, so the request did not crash it.
+  class JournalScope;
 
   std::string dispatch(const Request& req);
   std::string handle_hierarchy_op(const Request& req);
@@ -137,6 +167,12 @@ class Service {
   ServiceOptions opts_;
   Exec exec_;
   HierarchyCache cache_;
+
+  // Supervision state: poisoned keys (lookup form of
+  // opts_.quarantined_keys) and the journal's O_APPEND fd (-1 = off).
+  // Both are fixed at construction — no locking needed.
+  std::unordered_set<std::string> quarantine_;
+  int journal_fd_ = -1;
 
   // spec+seed -> graph CRC memo so cache hits never reload the graph.
   // The daemon assumes its input files are immutable for its lifetime

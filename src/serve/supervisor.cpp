@@ -1,0 +1,346 @@
+#include "serve/supervisor.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "core/prng.hpp"
+#include "obs/log.hpp"
+#include "serve/server.hpp"
+
+namespace mgc::serve {
+
+namespace {
+
+/// Whole-file slurp via raw POSIX I/O: the journal is written with raw
+/// O_APPEND writes, and the supervisor reads it the same way. Missing
+/// file reads as empty (a worker that crashed before its first request).
+std::string read_whole_file(const std::string& path) {
+  std::string out;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Truncates (creating if needed) the journal before each worker spawn, so
+/// every journal generation describes exactly one worker's lifetime.
+void truncate_file(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
+  if (fd >= 0) ::close(fd);
+}
+
+/// Sleeps `ms` in 50 ms slices, returning early (true) when a drain signal
+/// arrives — a backoff pause must not delay shutdown.
+bool sleep_ms_unless_drain(std::uint64_t ms) {
+  std::uint64_t remaining = ms;
+  while (remaining > 0) {
+    if (drain_requested()) return true;
+    const std::uint64_t slice = remaining < 50 ? remaining : 50;
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(slice / 1000);
+    ts.tv_nsec = static_cast<long>((slice % 1000) * 1000000);
+    ::nanosleep(&ts, nullptr);
+    remaining -= slice;
+  }
+  return drain_requested();
+}
+
+}  // namespace
+
+std::string journal_key(const std::string& graph_spec,
+                        const std::string& canonical_opts) {
+  // FNV-1a 64 with an out-of-band terminator after each part, so
+  // ("ab", "c") and ("a", "bc") hash differently.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const std::string& s) {
+    for (const unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0x1FFu;  // not a byte value: unambiguous part terminator
+    h *= 0x100000001b3ULL;
+  };
+  mix(graph_spec);
+  mix(canonical_opts);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+std::vector<std::string> journal_open_keys(const std::string& text) {
+  std::unordered_map<std::string, int> open;
+  std::unordered_set<std::string> ordered;
+  std::vector<std::string> order;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    // A record without its newline was torn by the crash mid-write;
+    // O_APPEND keeps it the last one, and it is ignored.
+    if (end == std::string::npos) break;
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.size() < 3 || line[1] != ' ') continue;
+    const char tag = line[0];
+    const std::string key = line.substr(2);
+    if (key.find(' ') != std::string::npos) continue;
+    if (tag == 'B') {
+      // Dedup by a separate seen-set, not by the open count: a key that
+      // completed (B,E) and then began again must appear once, or the
+      // quarantine streak would double-count a single crash.
+      ++open[key];
+      if (ordered.insert(key).second) order.push_back(key);
+    } else if (tag == 'E') {
+      --open[key];
+    }
+  }
+  std::vector<std::string> result;
+  for (const std::string& k : order) {
+    if (open[k] > 0) result.push_back(k);
+  }
+  return result;
+}
+
+std::uint64_t backoff_delay_ms(int attempt, std::uint64_t base_ms,
+                               std::uint64_t max_ms, std::uint64_t seed) {
+  std::uint64_t d = base_ms;
+  for (int i = 0; i < attempt && d < max_ms; ++i) d *= 2;
+  if (d > max_ms) d = max_ms;
+  if (base_ms > 0) {
+    const std::uint64_t j =
+        splitmix64(seed ^
+                   splitmix64(static_cast<std::uint64_t>(attempt) + 1)) %
+        base_ms;
+    d = (d + j > max_ms) ? max_ms : d + j;
+  }
+  return d;
+}
+
+bool CrashLoopDetector::record(double now_s) {
+  times_.push_back(now_s);
+  std::size_t keep = 0;
+  for (const double t : times_) {
+    if (now_s - t <= window_s_) times_[keep++] = t;
+  }
+  times_.resize(keep);  // mgc-lint: budget-ok -- bounded by crash count, supervisor-side
+  return static_cast<int>(times_.size()) >= max_crashes_;
+}
+
+std::vector<std::string> QuarantineTracker::record_crash(
+    const std::vector<std::string>& open_keys) {
+  const std::unordered_set<std::string> open(open_keys.begin(),
+                                             open_keys.end());
+  // Consecutive requirement: a key that sat this crash out loses its
+  // streak — two unrelated crashes must not poison a bystander.
+  for (auto it = streak_.begin(); it != streak_.end();) {
+    if (open.count(it->first) == 0) {
+      it = streak_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<std::string> newly;
+  for (const std::string& k : open_keys) {
+    if (members_.count(k) != 0) continue;
+    const int s = ++streak_[k];
+    if (s >= threshold_) {
+      streak_.erase(k);
+      members_.insert(k);
+      quarantined_.push_back(k);
+      newly.push_back(k);
+    }
+  }
+  return newly;
+}
+
+int Supervisor::run() {
+  guard::Result<int> bound =
+      bind_unix_listener(opts_.socket_path, opts_.force_socket);
+  if (!bound.ok()) {
+    obs::log::emit(obs::log::Level::kError, "sup.socket_failed",
+                   {obs::log::kv("socket", opts_.socket_path),
+                    obs::log::kv("message", bound.status().message)});
+    return guard::exit_code(bound.status().code);
+  }
+  const int listen_fd = bound.value();
+  install_drain_handlers();
+  obs::log::emit(obs::log::Level::kInfo, "sup.start",
+                 {obs::log::kv("socket", opts_.socket_path),
+                  obs::log::kv("journal", opts_.journal_path),
+                  obs::log::kv("crash_loop_limit", opts_.crash_loop_limit),
+                  obs::log::kv("crash_loop_window_s",
+                               opts_.crash_loop_window_s)});
+
+  CrashLoopDetector loop_detector(opts_.crash_loop_limit,
+                                  opts_.crash_loop_window_s);
+  QuarantineTracker quarantine;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto now_s = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  int generation = 0;
+  int attempt = 0;  // consecutive crashes; the backoff exponent
+  int exit_code = 0;
+
+  for (;;) {
+    truncate_file(opts_.journal_path);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      obs::log::emit(obs::log::Level::kError, "sup.fork_failed",
+                     {obs::log::kv("errno", std::strerror(errno))});
+      exit_code = guard::exit_code(guard::Code::kInternal);
+      break;
+    }
+    if (pid == 0) {
+      // Worker. The supervisor is single-threaded, so the child is a
+      // clean process image: no locks held, no phantom threads.
+      WorkerConfig cfg;
+      cfg.listen_fd = listen_fd;
+      cfg.generation = generation;
+      cfg.journal_path = opts_.journal_path;
+      cfg.quarantined_keys = quarantine.quarantined();
+      int code = guard::exit_code(guard::Code::kInternal);
+      try {
+        code = worker_main_(cfg);
+      } catch (...) {
+        // worker_main is expected to map its own failures to exit codes;
+        // an escaped exception is exactly the kind of death this
+        // architecture exists to absorb.
+      }
+      if (opts_.worker_exit_runs_atexit) {
+        std::exit(code);  // atexit runs: sanitizer leak checks cover us
+      }
+      std::_Exit(code);
+    }
+
+    obs::log::emit(obs::log::Level::kInfo, "sup.worker_spawned",
+                   {obs::log::kv("pid", static_cast<int>(pid)),
+                    obs::log::kv("generation", generation),
+                    obs::log::kv(
+                        "quarantined",
+                        static_cast<int>(quarantine.quarantined().size()))});
+
+    // Wait for the worker, forwarding a drain request once so SIGTERM to
+    // the supervisor drains the whole tree.
+    bool drain_forwarded = false;
+    int wstatus = 0;
+    for (;;) {
+      if (drain_requested() && !drain_forwarded) {
+        ::kill(pid, SIGTERM);
+        drain_forwarded = true;
+        obs::log::emit(obs::log::Level::kInfo, "sup.drain_forwarded",
+                       {obs::log::kv("pid", static_cast<int>(pid))});
+      }
+      const pid_t w = ::waitpid(pid, &wstatus, WNOHANG);
+      if (w == pid) break;
+      if (w < 0 && errno != EINTR) {
+        wstatus = 0;
+        break;
+      }
+      struct timespec ts;
+      ts.tv_sec = 0;
+      ts.tv_nsec = 50 * 1000 * 1000;
+      ::nanosleep(&ts, nullptr);
+    }
+
+    const bool signaled = WIFSIGNALED(wstatus);
+    const int worker_code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 0;
+    if (!signaled && worker_code == 0) {
+      // Clean drain/shutdown: the daemon's normal end of life.
+      exit_code = 0;
+      break;
+    }
+    if (drain_forwarded) {
+      // The worker failed while we were already draining: propagate its
+      // code, never respawn into a shutdown.
+      exit_code =
+          signaled ? guard::exit_code(guard::Code::kInternal) : worker_code;
+      obs::log::emit(obs::log::Level::kError, "sup.worker_exit",
+                     {obs::log::kv("pid", static_cast<int>(pid)),
+                      obs::log::kv("generation", generation),
+                      obs::log::kv("during_drain", true),
+                      obs::log::kv("signal",
+                                   signaled ? WTERMSIG(wstatus) : 0),
+                      obs::log::kv("exit_code", worker_code)});
+      break;
+    }
+
+    // Crash. Typed event, journal consult, quarantine update, crash-loop
+    // check, then a backed-off respawn.
+    const std::vector<std::string> open =
+        journal_open_keys(read_whole_file(opts_.journal_path));
+    obs::log::emit(obs::log::Level::kError, "sup.worker_exit",
+                   {obs::log::kv("pid", static_cast<int>(pid)),
+                    obs::log::kv("generation", generation),
+                    obs::log::kv("signal", signaled ? WTERMSIG(wstatus) : 0),
+                    obs::log::kv("exit_code", worker_code),
+                    obs::log::kv("inflight",
+                                 static_cast<int>(open.size()))});
+    for (const std::string& key : quarantine.record_crash(open)) {
+      obs::log::emit(obs::log::Level::kError, "sup.quarantine",
+                     {obs::log::kv("key", key),
+                      obs::log::kv("generation", generation)});
+    }
+    if (loop_detector.record(now_s())) {
+      obs::log::emit(
+          obs::log::Level::kError, "sup.crash_loop",
+          {obs::log::kv("crashes", opts_.crash_loop_limit),
+           obs::log::kv("window_s", opts_.crash_loop_window_s),
+           obs::log::kv("exit_code", kCrashLoopExitCode)});
+      exit_code = kCrashLoopExitCode;
+      break;
+    }
+    const std::uint64_t delay =
+        backoff_delay_ms(attempt, opts_.backoff_base_ms,
+                         opts_.backoff_max_ms, opts_.backoff_seed);
+    ++attempt;
+    ++generation;
+    obs::log::emit(obs::log::Level::kWarn, "sup.respawn",
+                   {obs::log::kv("generation", generation),
+                    obs::log::kv("backoff_ms", delay)});
+    if (sleep_ms_unless_drain(delay)) {
+      // Drain arrived during the pause; there is no worker to forward it
+      // to, so the tree is already quiescent.
+      exit_code = 0;
+      break;
+    }
+  }
+
+  ::close(listen_fd);
+  ::unlink(opts_.socket_path.c_str());
+  if (!opts_.journal_path.empty()) {
+    ::unlink(opts_.journal_path.c_str());
+  }
+  obs::log::emit(obs::log::Level::kInfo, "sup.stopped",
+                 {obs::log::kv("socket", opts_.socket_path),
+                  obs::log::kv("generations", generation + 1),
+                  obs::log::kv("exit_code", exit_code)});
+  return exit_code;
+}
+
+}  // namespace mgc::serve

@@ -1,0 +1,163 @@
+#pragma once
+// mgc::serve — supervisor/worker crash isolation for mgc_serve
+// (docs/serving.md § Supervision and crash isolation).
+//
+// PRs 4–9 made failures *typed*, but only failures the process survives: a
+// kernel SIGSEGV, an escaped exception, or an OOM kill still destroys the
+// whole daemon, its warm cache, and every in-flight request. The
+// supervisor shrinks that blast radius to one request:
+//
+//   supervisor  owns the listening socket (bind_unix_listener) and the
+//               request journal; forks one worker at a time and waitpid()s
+//               on it. On a crash (signal or nonzero exit) it emits typed
+//               obs events, consults the journal for requests caught
+//               mid-execution, updates the quarantine, and respawns with
+//               exponential backoff + deterministic jitter. N crashes in a
+//               T-second window end the flapping: the supervisor exits
+//               with kCrashLoopExitCode instead of respawning forever.
+//   worker      the forked child: inherits the listening fd, runs the
+//               ordinary Service + Server (accepting on the inherited fd),
+//               appends B/E records to the journal around every hierarchy
+//               op, and refuses quarantined keys with a typed kInternal
+//               "poisoned request" reply.
+//
+// Quarantine semantics: a journal key (graph spec + canonical coarsening
+// options — the pre-execution form of the cache key) found open (B with
+// no E) at two CONSECUTIVE crashes is poisoned; keys absent from a
+// crash's open set have their streak reset. The quarantine lives in
+// supervisor memory and reaches each new worker through the fork.
+//
+// The supervisor stays single-threaded and allocates nothing it cannot
+// afford to leak into the child: it forks before any thread exists, so
+// the worker starts from a clean, lock-free process image.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "guard/status.hpp"
+
+namespace mgc::serve {
+
+/// Process exit code of a supervisor that detected a crash loop and gave
+/// up respawning. Appended to the exit-code table in docs/robustness.md —
+/// distinct from every guard taxonomy code (0, 2..7) and never reused.
+inline constexpr int kCrashLoopExitCode = 8;
+
+/// Stable journal/quarantine key: FNV-1a-64 over the graph spec and the
+/// canonical coarsening-options string (which includes the seed), hex
+/// encoded. This is the pre-execution form of the cache key — the graph
+/// CRC is unknowable before loading the graph, but two requests with the
+/// same (spec, canonical options) would also share a cache key.
+std::string journal_key(const std::string& graph_spec,
+                        const std::string& canonical_opts);
+
+/// Parses journal text ("B <key>\n" / "E <key>\n" records) and returns
+/// the keys that were begun but never ended — the requests caught
+/// mid-execution by a crash. Torn or malformed trailing records (the
+/// crash may land mid-write) are ignored. Order is first-B order.
+std::vector<std::string> journal_open_keys(const std::string& text);
+
+/// Exponential backoff with deterministic jitter: base·2^attempt capped
+/// at `max_ms`, plus a splitmix64(seed, attempt)-derived jitter of up to
+/// one `base_ms` step. Deterministic so crash-loop timing replays in
+/// tests; jittered so a fleet of supervisors does not thundering-herd.
+std::uint64_t backoff_delay_ms(int attempt, std::uint64_t base_ms,
+                               std::uint64_t max_ms, std::uint64_t seed);
+
+/// N-crashes-in-T-seconds detector (pure logic, unit-testable).
+class CrashLoopDetector {
+ public:
+  CrashLoopDetector(int max_crashes, double window_s)
+      : max_crashes_(max_crashes), window_s_(window_s) {}
+
+  /// Records a crash at `now_s` (any monotonic clock, seconds); true when
+  /// `max_crashes_` crashes now sit inside the trailing window.
+  bool record(double now_s);
+
+ private:
+  int max_crashes_;
+  double window_s_;
+  std::vector<double> times_;
+};
+
+/// Consecutive-crash quarantine bookkeeping (pure logic, unit-testable).
+class QuarantineTracker {
+ public:
+  explicit QuarantineTracker(int threshold = 2) : threshold_(threshold) {}
+
+  /// Feeds the journal keys found open at one crash; returns the keys
+  /// newly quarantined by it. A key must appear at `threshold_`
+  /// CONSECUTIVE crashes — any crash it sits out resets its streak, so an
+  /// innocent bystander of two unrelated crashes is not poisoned.
+  std::vector<std::string> record_crash(
+      const std::vector<std::string>& open_keys);
+
+  /// All quarantined keys, in quarantine order (what new workers inherit).
+  const std::vector<std::string>& quarantined() const { return quarantined_; }
+
+ private:
+  int threshold_;
+  std::unordered_map<std::string, int> streak_;
+  std::unordered_set<std::string> members_;
+  std::vector<std::string> quarantined_;
+};
+
+struct SupervisorOptions {
+  std::string socket_path;
+  bool force_socket = false;
+  /// Request journal the workers append to; defaults (in mgc_serve) to
+  /// `<socket_path>.journal`. Truncated before every worker spawn.
+  std::string journal_path;
+  /// Crash-loop detection: this many crashes inside the window end the
+  /// supervisor with kCrashLoopExitCode instead of flapping forever.
+  int crash_loop_limit = 5;
+  double crash_loop_window_s = 30.0;
+  std::uint64_t backoff_base_ms = 50;
+  std::uint64_t backoff_max_ms = 2000;
+  std::uint64_t backoff_seed = 0x5EED;
+  /// Workers exit via std::exit so atexit hooks — sanitizer leak checks —
+  /// run in the child. Embedders whose process already has threads at
+  /// fork time (the test harness) set this false to exit via _Exit:
+  /// static destructors inherited from a threaded parent may reference
+  /// threads that do not exist after fork.
+  bool worker_exit_runs_atexit = true;
+};
+
+/// What a forked worker needs to serve: the inherited listening socket,
+/// its restart generation, the journal to append to, and the poisoned
+/// keys to refuse.
+struct WorkerConfig {
+  int listen_fd = -1;
+  int generation = 0;
+  std::string journal_path;
+  std::vector<std::string> quarantined_keys;
+};
+
+class Supervisor {
+ public:
+  /// `worker_main` runs in the forked child; its return value becomes the
+  /// child's exit code. mgc_serve passes the ordinary daemon body
+  /// (Service + Server on the inherited fd).
+  using WorkerMain = std::function<int(const WorkerConfig&)>;
+
+  Supervisor(SupervisorOptions opts, WorkerMain worker_main)
+      : opts_(std::move(opts)), worker_main_(std::move(worker_main)) {}
+
+  /// Binds the socket, then forks and supervises workers until a clean
+  /// worker exit (drain/shutdown → returns 0, or the worker's own nonzero
+  /// exit during a requested drain → propagated), or a crash loop
+  /// (returns kCrashLoopExitCode). Socket setup failures return the
+  /// status's guard exit code. Cleans up socket and journal on the way
+  /// out. The return value is the process exit code for main().
+  int run();
+
+ private:
+  SupervisorOptions opts_;
+  WorkerMain worker_main_;
+};
+
+}  // namespace mgc::serve

@@ -359,6 +359,23 @@ TEST(GuardFault, HexSeedsAndMultiClauseSpecs) {
   EXPECT_TRUE(guard::fault::should_fire(guard::fault::Kind::kMapStall));
 }
 
+TEST(GuardFault, CrashKindParsesAndDrawsButIsOnlyArmedHere) {
+  FaultGuard fg;
+  // "crash" is the one kind whose FIRE is lethal (std::abort at the
+  // coarsener's level boundary) — so this test only exercises the
+  // grammar, the draw, and the counter, never the injection site.
+  ASSERT_TRUE(guard::fault::configure("crash:1.0:9").ok());
+  EXPECT_TRUE(guard::fault::configured(guard::fault::Kind::kCrash));
+  EXPECT_FALSE(guard::fault::configured(guard::fault::Kind::kAlloc));
+  EXPECT_TRUE(guard::fault::should_fire(guard::fault::Kind::kCrash));
+  EXPECT_EQ(guard::fault::fired_count(guard::fault::Kind::kCrash), 1u);
+  // Rate zero never fires: a crash-free baseline run stays crash-free.
+  ASSERT_TRUE(guard::fault::configure("crash:0.0:9").ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(guard::fault::should_fire(guard::fault::Kind::kCrash));
+  }
+}
+
 TEST(GuardFault, InjectedAllocFailureInMatrixMarketReader) {
   FaultGuard fg;
   ASSERT_TRUE(guard::fault::configure("alloc:1.0:5").ok());

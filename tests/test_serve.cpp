@@ -26,11 +26,13 @@
 #include "guard/io.hpp"
 #include "guard/memory.hpp"
 #include "multilevel/coarsener.hpp"
+#include "obs/metrics.hpp"
 #include "partition/kway.hpp"
 #include "partition/partitioner.hpp"
 #include "prof/prof.hpp"
 #include "serve/cache.hpp"
 #include "serve/service.hpp"
+#include "serve/supervisor.hpp"
 #include "serve/wire.hpp"
 
 namespace mgc::serve {
@@ -568,6 +570,98 @@ TEST(ServeService, FromEnvRejectsGarbageLoudly) {
   const auto b = ServiceOptions::from_env();
   ::unsetenv("MGC_SERVE_BACKEND");
   EXPECT_FALSE(b.ok());
+}
+
+// --- supervision plumbing: quarantine + request journal ---------------------
+
+TEST(ServeService, QuarantinedKeyRefusedBeforeAnyWorkHappens) {
+  // The key the supervisor would have quarantined for this request: same
+  // spec, same seed, default options — exactly what the request decodes to.
+  CoarsenOptions o;
+  o.seed = 7;
+  const std::string poisoned =
+      journal_key("gen:grid2d:20,20", canonical_coarsen_options(o));
+
+  ServiceOptions opts = serial_options();
+  opts.quarantined_keys.push_back(poisoned);
+  Service service(opts);
+  EXPECT_EQ(obs::metrics::snapshot().gauge_value("serve.quarantine.entries"),
+            1u);
+
+  const Json reply = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:20,20","seed":7})"));
+  EXPECT_FALSE(reply_ok(reply));
+  EXPECT_EQ(reply_code(reply), "Internal");
+  EXPECT_NE(reply.get("message")->as_string().value().find("poisoned"),
+            std::string::npos);
+  // Refused BEFORE execution: the cache never even saw a lookup.
+  EXPECT_EQ(service.cache_stats().misses, 0u);
+  EXPECT_EQ(service.cache_stats().hits, 0u);
+
+  // Only the exact key is poisoned: the same graph at another seed works
+  // (different canonical options → different journal key).
+  const Json other = parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:20,20","seed":8})"));
+  EXPECT_TRUE(reply_ok(other));
+}
+
+TEST(ServeService, JournalBracketsEveryHierarchyOpIncludingFailures) {
+  const std::string journal =
+      ::testing::TempDir() + "/serve_journal_test.log";
+  std::remove(journal.c_str());
+  ServiceOptions opts = serial_options();
+  opts.journal_path = journal;
+  Service service(opts);
+
+  // A miss (real build), a hit, and a typed failure (bad graph spec):
+  // every one must leave a balanced B/E pair — a typed failure means the
+  // process SURVIVED, so the request must not look crash-suspicious.
+  EXPECT_TRUE(reply_ok(parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:12,12","seed":4})"))));
+  EXPECT_TRUE(reply_ok(parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:grid2d:12,12","seed":4})"))));
+  EXPECT_FALSE(reply_ok(parse_reply(service.handle_line(
+      R"({"op":"coarsen","graph":"gen:nope:1,1"})"))));
+
+  std::ifstream in(journal);
+  ASSERT_TRUE(in.is_open()) << journal;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  int begins = 0, ends = 0;
+  for (std::size_t pos = 0; pos < text.size();) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;
+    if (text.compare(pos, 2, "B ") == 0) ++begins;
+    if (text.compare(pos, 2, "E ") == 0) ++ends;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(begins, 3);
+  EXPECT_EQ(ends, 3);
+  // What the supervisor would conclude: nothing was mid-execution.
+  EXPECT_TRUE(journal_open_keys(text).empty());
+  std::remove(journal.c_str());
+}
+
+TEST(ServeService, ControlOpsAreNeverJournaled) {
+  // stats / metrics / evict cannot crash a worker mid-coarsen; journaling
+  // them would just widen the quarantine's false-positive surface.
+  const std::string journal =
+      ::testing::TempDir() + "/serve_journal_ctl.log";
+  std::remove(journal.c_str());
+  ServiceOptions opts = serial_options();
+  opts.journal_path = journal;
+  Service service(opts);
+  EXPECT_TRUE(reply_ok(parse_reply(service.handle_line(
+      R"({"op":"stats"})"))));
+  EXPECT_TRUE(reply_ok(parse_reply(service.handle_line(
+      R"({"op":"evict"})"))));
+
+  std::ifstream in(journal);
+  ASSERT_TRUE(in.is_open());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_TRUE(text.empty()) << text;
+  std::remove(journal.c_str());
 }
 
 // --- coarsen-once + bitwise identity ---------------------------------------

@@ -1,0 +1,366 @@
+// Tests for the AF_UNIX transport (src/serve/server.*): socket-path
+// safety (no stealing a live daemon's endpoint), the concurrent-connection
+// cap with its typed overload close, the idle-connection timeout, the
+// oversized-line reply-then-close contract, drain semantics for buffered
+// complete lines, and disconnect-cancellation of in-flight work.
+//
+// These run a real Server on a real socket in-process; the CI serve-smoke
+// and chaos-soak jobs cover the same transport across a process boundary.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "guard/status.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace mgc::serve {
+namespace {
+
+std::string temp_sock(const char* name) {
+  // AF_UNIX sun_path is ~107 bytes; TempDir can blow past it. /tmp + pid
+  // keeps the path short and per-process unique.
+  return std::string("/tmp/") + name + "." + std::to_string(::getpid()) +
+         ".sock";
+}
+
+int connect_unix(const std::string& path, int attempts = 150) {
+  for (int a = 0; a < attempts; ++a) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      struct timeval tv;  // a wedged server must fail the test, not hang it
+      tv.tv_sec = 10;
+      tv.tv_usec = 0;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, p, left, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one newline-terminated reply; false on EOF / timeout first.
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (c == '\n') return true;
+    line.push_back(c);
+  }
+}
+
+/// True when the peer has closed: the next read yields EOF (within the
+/// socket's SO_RCVTIMEO).
+bool reads_eof(int fd) {
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n == 0;
+  }
+}
+
+/// Service + Server on a temp socket, served from a background thread.
+struct TestServer {
+  explicit TestServer(const char* name, ServiceOptions sopts = {},
+                      ServerOptions topts = {})
+      : path(temp_sock(name)),
+        service((sopts.backend = "serial", sopts)),
+        server(service, path, topts),
+        thread([this] { status = server.run(); }) {}
+
+  ~TestServer() {
+    if (thread.joinable()) {
+      // Belt and braces: if a test forgot to shut down, do it here so the
+      // suite never wedges on a joinable server thread.
+      if (!service.shutdown_requested()) shutdown();
+      thread.join();
+    }
+    std::remove(path.c_str());
+  }
+
+  void shutdown() {
+    // Retry through transient refusals: a connection that finished a hair
+    // earlier may not be reaped yet, so a capped server can overload-close
+    // (or reset) this connection once before the slot frees up.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const int fd = connect_unix(path);
+      ASSERT_GE(fd, 0);
+      std::string reply;
+      const bool sent = send_all(fd, "{\"op\":\"shutdown\"}\n");
+      const bool replied = sent && read_line(fd, reply);
+      ::close(fd);
+      if (replied && reply.find("\"ok\":true") != std::string::npos) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    FAIL() << "server never acknowledged the shutdown op";
+  }
+
+  std::string path;
+  Service service;
+  Server server;
+  guard::Status status;
+  std::thread thread;
+};
+
+// --- socket-path safety (bind_unix_listener) --------------------------------
+
+TEST(ServeSocketPath, RefusesALiveDaemonsSocketWithoutForce) {
+  const std::string path = temp_sock("mgc_live");
+  std::remove(path.c_str());
+  guard::Result<int> first = bind_unix_listener(path, false);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+
+  // The path answers probe-connects, so a second bind must refuse it and
+  // say how to override.
+  const guard::Result<int> second = bind_unix_listener(path, false);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code, guard::Code::kInvalidInput);
+  EXPECT_NE(second.status().to_string().find("force-socket"),
+            std::string::npos)
+      << second.status().to_string();
+
+  // --force-socket takes it over (deliberate operator action).
+  const guard::Result<int> forced = bind_unix_listener(path, true);
+  ASSERT_TRUE(forced.ok()) << forced.status().to_string();
+  ::close(forced.value());
+  ::close(first.value());
+  std::remove(path.c_str());
+}
+
+TEST(ServeSocketPath, StaleSocketFileIsCleanedAndRebound) {
+  const std::string path = temp_sock("mgc_stale");
+  std::remove(path.c_str());
+  // A daemon that died without cleanup leaves the file with no listener:
+  // probe-connect fails, so the rebind must succeed without force.
+  guard::Result<int> dead = bind_unix_listener(path, false);
+  ASSERT_TRUE(dead.ok());
+  ::close(dead.value());  // fd gone, file left behind
+
+  const guard::Result<int> rebound = bind_unix_listener(path, false);
+  ASSERT_TRUE(rebound.ok()) << rebound.status().to_string();
+  ::close(rebound.value());
+  std::remove(path.c_str());
+}
+
+TEST(ServeSocketPath, NonSocketFileIsAlwaysRefused) {
+  const std::string path = temp_sock("mgc_notsock");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("precious data\n", f);
+  std::fclose(f);
+
+  // Even with force: unlinking an arbitrary file the operator pointed us
+  // at by mistake is never OK.
+  EXPECT_FALSE(bind_unix_listener(path, false).ok());
+  EXPECT_FALSE(bind_unix_listener(path, true).ok());
+  std::FILE* still = std::fopen(path.c_str(), "r");
+  ASSERT_NE(still, nullptr);
+  std::fclose(still);
+  std::remove(path.c_str());
+}
+
+// --- line protocol edges ----------------------------------------------------
+
+TEST(ServeServer, OversizedLineGetsOneTypedReplyThenClose) {
+  ServiceOptions sopts;
+  sopts.max_request_bytes = 512;
+  TestServer ts("mgc_oversize", sopts);
+
+  const int fd = connect_unix(ts.path);
+  ASSERT_GE(fd, 0);
+  // 600 bytes, no newline: the server must not wait forever for one.
+  ASSERT_TRUE(send_all(fd, std::string(600, 'x')));
+  std::string reply;
+  ASSERT_TRUE(read_line(fd, reply));
+  EXPECT_NE(reply.find("InvalidInput"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  // ...and exactly one reply: then the connection is closed.
+  EXPECT_TRUE(reads_eof(fd));
+  ::close(fd);
+
+  ts.shutdown();
+  ts.thread.join();
+  EXPECT_TRUE(ts.status.ok()) << ts.status.to_string();
+}
+
+TEST(ServeServer, DrainStillAnswersBufferedCompleteLines) {
+  TestServer ts("mgc_drainbuf");
+  const int fd = connect_unix(ts.path);
+  ASSERT_GE(fd, 0);
+  // Both lines land in one write: the shutdown triggers the drain, and the
+  // already-buffered stats line must still be answered before the close.
+  ASSERT_TRUE(send_all(fd, "{\"op\":\"shutdown\"}\n{\"op\":\"stats\"}\n"));
+  std::string r1, r2;
+  ASSERT_TRUE(read_line(fd, r1));
+  EXPECT_NE(r1.find("\"ok\":true"), std::string::npos) << r1;
+  ASSERT_TRUE(read_line(fd, r2)) << "buffered stats line was dropped";
+  EXPECT_NE(r2.find("\"ok\":true"), std::string::npos) << r2;
+  EXPECT_TRUE(reads_eof(fd));
+  ::close(fd);
+
+  ts.thread.join();
+  EXPECT_TRUE(ts.status.ok()) << ts.status.to_string();
+}
+
+// --- connection cap ---------------------------------------------------------
+
+TEST(ServeServer, ConnectionCapOverflowGetsTypedCloseThenRecovers) {
+  ServerOptions topts;
+  topts.max_connections = 1;
+  TestServer ts("mgc_cap", ServiceOptions{}, topts);
+
+  // c1 occupies the single slot (a completed round-trip proves it is
+  // fully established, not still in the backlog).
+  const int c1 = connect_unix(ts.path);
+  ASSERT_GE(c1, 0);
+  ASSERT_TRUE(send_all(c1, "{\"op\":\"stats\"}\n"));
+  std::string reply;
+  ASSERT_TRUE(read_line(c1, reply));
+
+  // c2 is over the cap: one typed ResourceExhausted line, then close —
+  // never a silent hang and never an unbounded thread pile-up.
+  const int c2 = connect_unix(ts.path);
+  ASSERT_GE(c2, 0);
+  ASSERT_TRUE(read_line(c2, reply)) << "no overload reply before close";
+  EXPECT_NE(reply.find("ResourceExhausted"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  EXPECT_TRUE(reads_eof(c2));
+  ::close(c2);
+
+  // Freeing c1 frees the slot (threads are reaped, not leaked): a new
+  // connection eventually gets real service again.
+  ::close(c1);
+  bool recovered = false;
+  for (int i = 0; i < 100 && !recovered; ++i) {
+    const int c3 = connect_unix(ts.path);
+    ASSERT_GE(c3, 0);
+    if (send_all(c3, "{\"op\":\"stats\"}\n") && read_line(c3, reply) &&
+        reply.find("\"ok\":true") != std::string::npos) {
+      recovered = true;
+    }
+    ::close(c3);
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(recovered);
+
+  ts.shutdown();
+  ts.thread.join();
+  EXPECT_TRUE(ts.status.ok()) << ts.status.to_string();
+}
+
+// --- idle timeout -----------------------------------------------------------
+
+TEST(ServeServer, IdleConnectionIsClosedAfterTimeout) {
+  ServerOptions topts;
+  topts.idle_timeout_ms = 300;
+  TestServer ts("mgc_idle", ServiceOptions{}, topts);
+
+  const int fd = connect_unix(ts.path);
+  ASSERT_GE(fd, 0);
+  // Send nothing: within the 10 s client read timeout the server must
+  // close us (the read-loop tick is 200 ms, so ~500 ms in practice).
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(reads_eof(fd));
+  const double waited_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited_s, 5.0) << "idle close took too long";
+  ::close(fd);
+
+  // An ACTIVE connection with the same timeout is not harassed: each
+  // completed line resets the idle clock.
+  const int busy = connect_unix(ts.path);
+  ASSERT_GE(busy, 0);
+  for (int i = 0; i < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ASSERT_TRUE(send_all(busy, "{\"op\":\"stats\"}\n"));
+    std::string reply;
+    ASSERT_TRUE(read_line(busy, reply)) << "active connection was closed";
+  }
+  ::close(busy);
+
+  ts.shutdown();
+  ts.thread.join();
+  EXPECT_TRUE(ts.status.ok()) << ts.status.to_string();
+}
+
+// --- disconnect cancellation ------------------------------------------------
+
+TEST(ServeServer, ClientDisconnectCancelsInflightWork) {
+  TestServer ts("mgc_cancel");
+  const std::uint64_t before =
+      obs::metrics::snapshot().counter_value("serve.cancelled_by_disconnect");
+
+  // Start an expensive build, then vanish: the disconnect watcher must
+  // trip the request's CancelSource so the worker stops at the next
+  // chunk poll instead of coarsening 250k vertices for nobody.
+  const int fd = connect_unix(ts.path);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(
+      fd, "{\"op\":\"coarsen\",\"graph\":\"gen:grid2d:500,500\"}\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // let it admit
+  ::close(fd);
+
+  bool counted = false;
+  for (int i = 0; i < 200 && !counted; ++i) {
+    counted = obs::metrics::snapshot().counter_value(
+                  "serve.cancelled_by_disconnect") > before;
+    if (!counted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(counted)
+      << "in-flight work was not cancelled by the disconnect";
+
+  ts.shutdown();
+  ts.thread.join();
+  EXPECT_TRUE(ts.status.ok()) << ts.status.to_string();
+}
+
+}  // namespace
+}  // namespace mgc::serve

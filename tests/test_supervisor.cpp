@@ -1,0 +1,301 @@
+// Tests for the mgc_serve supervisor (src/serve/supervisor.*): the pure
+// pieces — journal keys, journal parsing, backoff, crash-loop detection,
+// quarantine bookkeeping — and the fork/respawn machinery end to end.
+//
+// The e2e tests really fork: the "worker" is a lambda that crashes (or
+// does not) on cue, and the assertions are on what the SUPERVISOR does
+// about it — respawn count, quarantine handoff, crash-loop exit code,
+// and socket cleanup. They set worker_exit_runs_atexit=false because this
+// parent process is threaded (gtest + pool): static destructors inherited
+// across fork must not run in the child.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "guard/io.hpp"
+#include "multilevel/coarsener.hpp"
+#include "serve/cache.hpp"
+#include "serve/supervisor.hpp"
+
+namespace mgc::serve {
+namespace {
+
+// --- journal keys -----------------------------------------------------------
+
+TEST(SupervisorJournalKey, StableAndSensitiveToBothInputs) {
+  const std::string a = journal_key("gen:grid2d:20,20", "opts-v1");
+  EXPECT_EQ(a.size(), 16u);  // %016llx
+  EXPECT_EQ(a, journal_key("gen:grid2d:20,20", "opts-v1"));  // stable
+  EXPECT_NE(a, journal_key("gen:grid2d:20,21", "opts-v1"));
+  EXPECT_NE(a, journal_key("gen:grid2d:20,20", "opts-v2"));
+  // The part terminator keeps ("ab","c") and ("a","bc") distinct.
+  EXPECT_NE(journal_key("ab", "c"), journal_key("a", "bc"));
+}
+
+TEST(SupervisorJournalKey, MatchesWhatTheServiceWouldCompute) {
+  // The quarantine only works if supervisor-side journal parsing and
+  // worker-side request keying agree; both go through journal_key over
+  // (spec, canonical_coarsen_options), so seed changes change the key.
+  CoarsenOptions o;
+  o.seed = 7;
+  const std::string k7 =
+      journal_key("gen:grid2d:20,20", canonical_coarsen_options(o));
+  o.seed = 8;
+  const std::string k8 =
+      journal_key("gen:grid2d:20,20", canonical_coarsen_options(o));
+  EXPECT_NE(k7, k8);
+}
+
+// --- journal parsing --------------------------------------------------------
+
+TEST(SupervisorJournal, OpenKeysAreBsWithoutEs) {
+  const std::vector<std::string> open =
+      journal_open_keys("B aaaa\nE aaaa\nB bbbb\nB cccc\nE cccc\n");
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0], "bbbb");
+}
+
+TEST(SupervisorJournal, PreservesFirstBeginOrder) {
+  const std::vector<std::string> open =
+      journal_open_keys("B x1\nB x2\nB x3\nE x2\n");
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_EQ(open[0], "x1");
+  EXPECT_EQ(open[1], "x3");
+}
+
+TEST(SupervisorJournal, TornAndMalformedRecordsIgnored) {
+  // A crash can land mid-write: the trailing record has no newline and
+  // must be dropped, not misparsed. Garbage lines are skipped outright.
+  const std::vector<std::string> open = journal_open_keys(
+      "B good\n"
+      "garbage line\n"
+      "X wrongtag\n"
+      "B\n"          // no key
+      "B two words\n"  // key may not contain spaces
+      "B torn");       // torn by the crash itself
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0], "good");
+}
+
+TEST(SupervisorJournal, ReopenedKeyIsListedOnceOnly) {
+  // A hot key that completed earlier in this worker's lifetime and was
+  // in-flight again at the crash must appear exactly once: a duplicate
+  // would double-count the quarantine streak and poison the key after a
+  // single crash (threshold is two CONSECUTIVE crashes).
+  const std::vector<std::string> open =
+      journal_open_keys("B hot\nE hot\nB hot\nB other\n");
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_EQ(open[0], "hot");
+  EXPECT_EQ(open[1], "other");
+}
+
+TEST(SupervisorJournal, EmptyJournalMeansNoOpenKeys) {
+  EXPECT_TRUE(journal_open_keys("").empty());
+  // An E with no B (journal truncated between B and E) is not "open".
+  EXPECT_TRUE(journal_open_keys("E orphan\n").empty());
+}
+
+// --- backoff ----------------------------------------------------------------
+
+TEST(SupervisorBackoff, DeterministicDoublingWithCappedJitter) {
+  const std::uint64_t base = 50, max = 2000, seed = 0x5EED;
+  // Deterministic: the same (attempt, seed) always yields the same delay.
+  EXPECT_EQ(backoff_delay_ms(3, base, max, seed),
+            backoff_delay_ms(3, base, max, seed));
+  // attempt 0 sits in [base, base + base): one doubling step plus up to
+  // one base of jitter.
+  const std::uint64_t d0 = backoff_delay_ms(0, base, max, seed);
+  EXPECT_GE(d0, base);
+  EXPECT_LT(d0, 2 * base);
+  // The envelope doubles: attempt n is bounded by base·2^n + base.
+  for (int a = 0; a < 6; ++a) {
+    const std::uint64_t d = backoff_delay_ms(a, base, max, seed);
+    EXPECT_GE(d, base << a);
+    EXPECT_LE(d, (base << a) + base);
+  }
+  // Far past the doubling range the cap holds exactly.
+  EXPECT_EQ(backoff_delay_ms(30, base, max, seed), max);
+  EXPECT_EQ(backoff_delay_ms(63, base, max, seed), max);
+}
+
+TEST(SupervisorBackoff, JitterVariesAcrossAttemptsAndSeeds) {
+  // Not a statistical claim — just that the jitter term is live: two
+  // different seeds should not produce identical delay sequences.
+  bool any_diff = false;
+  for (int a = 0; a < 8 && !any_diff; ++a) {
+    any_diff = backoff_delay_ms(a, 100, 100000, 1) !=
+               backoff_delay_ms(a, 100, 100000, 2);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// --- crash-loop detection ---------------------------------------------------
+
+TEST(SupervisorCrashLoop, TripsOnlyWhenWindowIsDense) {
+  CrashLoopDetector d(3, 10.0);
+  EXPECT_FALSE(d.record(0.0));
+  EXPECT_FALSE(d.record(1.0));
+  EXPECT_TRUE(d.record(2.0));  // 3 crashes inside 10 s
+}
+
+TEST(SupervisorCrashLoop, OldCrashesAgeOut) {
+  CrashLoopDetector d(3, 10.0);
+  EXPECT_FALSE(d.record(0.0));
+  EXPECT_FALSE(d.record(1.0));
+  // 12 s later the first two are outside the window: not a loop.
+  EXPECT_FALSE(d.record(12.0));
+  EXPECT_FALSE(d.record(13.0));
+  EXPECT_TRUE(d.record(14.0));
+}
+
+// --- quarantine bookkeeping -------------------------------------------------
+
+TEST(SupervisorQuarantine, TwoConsecutiveCrashesPoisonAKey) {
+  QuarantineTracker q(2);
+  EXPECT_TRUE(q.record_crash({"A"}).empty());  // streak 1: not yet
+  const std::vector<std::string> newly = q.record_crash({"A", "B"});
+  ASSERT_EQ(newly.size(), 1u);  // A hits streak 2; B only streak 1
+  EXPECT_EQ(newly[0], "A");
+  ASSERT_EQ(q.quarantined().size(), 1u);
+  EXPECT_EQ(q.quarantined()[0], "A");
+}
+
+TEST(SupervisorQuarantine, SittingOutACrashResetsTheStreak) {
+  // An innocent bystander of two UNRELATED crashes must not be poisoned:
+  // open at crash 1, absent at crash 2, open again at crash 3 — that is a
+  // streak of 1, not 2.
+  QuarantineTracker q(2);
+  EXPECT_TRUE(q.record_crash({"C"}).empty());
+  EXPECT_TRUE(q.record_crash({}).empty());  // C sat this one out
+  EXPECT_TRUE(q.record_crash({"C"}).empty());
+  EXPECT_TRUE(q.quarantined().empty());
+  // ...but two in a row from here does poison it.
+  const std::vector<std::string> newly = q.record_crash({"C"});
+  ASSERT_EQ(newly.size(), 1u);
+  EXPECT_EQ(newly[0], "C");
+}
+
+TEST(SupervisorQuarantine, AlreadyQuarantinedKeysAreNotReannounced) {
+  QuarantineTracker q(2);
+  (void)q.record_crash({"A"});
+  ASSERT_EQ(q.record_crash({"A"}).size(), 1u);
+  // Still open at later crashes (it should not be — workers refuse it —
+  // but be robust): no duplicate announcement, no duplicate membership.
+  EXPECT_TRUE(q.record_crash({"A"}).empty());
+  EXPECT_EQ(q.quarantined().size(), 1u);
+}
+
+// --- fork e2e ---------------------------------------------------------------
+
+std::string temp_path(const char* name) {
+  // Keep it short: AF_UNIX sun_path is ~107 bytes and TempDir can be long.
+  return std::string("/tmp/") + name + "." + std::to_string(::getpid());
+}
+
+void append_to(const std::string& path, const std::string& text) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::write(fd, text.data(), text.size()),
+            static_cast<ssize_t>(text.size()));
+  ::close(fd);
+}
+
+TEST(SupervisorE2E, RespawnsCrashedWorkerQuarantinesAndDrains) {
+  const std::string sock = temp_path("mgc_sup_e2e.sock");
+  const std::string journal = temp_path("mgc_sup_e2e.journal");
+  const std::string done = temp_path("mgc_sup_e2e.done");
+  std::remove(sock.c_str());
+  std::remove(journal.c_str());
+  std::remove(done.c_str());
+
+  SupervisorOptions opts;
+  opts.socket_path = sock;
+  opts.journal_path = journal;
+  opts.crash_loop_limit = 10;  // plenty of headroom: this is not a loop test
+  opts.backoff_base_ms = 1;
+  opts.backoff_max_ms = 5;
+  opts.worker_exit_runs_atexit = false;  // threaded gtest parent
+
+  // Generations 0 and 1 journal a request and crash mid-"execution";
+  // generation 2 proves the quarantine arrived and exits cleanly.
+  Supervisor sup(opts, [&](const WorkerConfig& w) -> int {
+    if (w.generation < 2) {
+      append_to(w.journal_path, "B deadbeef\n");
+      std::abort();
+    }
+    std::string report = std::to_string(w.generation) + "\n";
+    for (const std::string& k : w.quarantined_keys) report += k + "\n";
+    if (!guard::atomic_write_file(done, report).ok()) return 9;
+    return 0;
+  });
+  EXPECT_EQ(sup.run(), 0);
+
+  std::ifstream in(done);
+  ASSERT_TRUE(in.is_open()) << done;
+  std::string gen_line, key_line;
+  ASSERT_TRUE(std::getline(in, gen_line));
+  EXPECT_EQ(gen_line, "2");  // two respawns happened
+  ASSERT_TRUE(std::getline(in, key_line));
+  // The key open at both crashes reached the surviving worker, poisoned.
+  EXPECT_EQ(key_line, "deadbeef");
+  EXPECT_FALSE(std::getline(in, key_line));  // and nothing else
+
+  // The supervisor cleaned up its socket and journal on the way out.
+  struct stat st;
+  EXPECT_NE(::stat(sock.c_str(), &st), 0);
+  EXPECT_NE(::stat(journal.c_str(), &st), 0);
+  std::remove(done.c_str());
+}
+
+TEST(SupervisorE2E, CrashLoopEndsWithDocumentedExitCode) {
+  const std::string sock = temp_path("mgc_sup_loop.sock");
+  std::remove(sock.c_str());
+
+  SupervisorOptions opts;
+  opts.socket_path = sock;
+  opts.journal_path = temp_path("mgc_sup_loop.journal");
+  opts.crash_loop_limit = 3;
+  opts.crash_loop_window_s = 60.0;
+  opts.backoff_base_ms = 1;
+  opts.backoff_max_ms = 2;
+  opts.worker_exit_runs_atexit = false;
+
+  // Every generation crashes without journaling anything: nothing is
+  // quarantinable, so only the crash-loop detector can end this.
+  Supervisor sup(opts, [](const WorkerConfig&) -> int { std::abort(); });
+  EXPECT_EQ(sup.run(), kCrashLoopExitCode);
+
+  struct stat st;
+  EXPECT_NE(::stat(sock.c_str(), &st), 0);  // socket still cleaned up
+}
+
+TEST(SupervisorE2E, NonzeroWorkerExitAlsoCountsAsCrash) {
+  const std::string sock = temp_path("mgc_sup_exit.sock");
+  std::remove(sock.c_str());
+
+  SupervisorOptions opts;
+  opts.socket_path = sock;
+  opts.journal_path = temp_path("mgc_sup_exit.journal");
+  opts.crash_loop_limit = 2;
+  opts.crash_loop_window_s = 60.0;
+  opts.backoff_base_ms = 1;
+  opts.backoff_max_ms = 2;
+  opts.worker_exit_runs_atexit = false;
+
+  // A worker that exits nonzero (config rot, OOM-kill adjacent failures)
+  // is respawned by the same machinery as a signal death.
+  Supervisor sup(opts, [](const WorkerConfig&) -> int { return 3; });
+  EXPECT_EQ(sup.run(), kCrashLoopExitCode);
+}
+
+}  // namespace
+}  // namespace mgc::serve

@@ -7,6 +7,14 @@
 // re-coarsening — the paper's amortisation argument, realised as a
 // process.
 //
+// By default the daemon runs SUPERVISED (docs/serving.md § Supervision):
+// a small single-threaded supervisor owns the listening socket and a
+// request journal, forks the worker that actually serves, respawns it
+// with backed-off restarts when it crashes, quarantines requests that
+// crash it twice in a row, and exits 8 on a crash loop instead of
+// flapping forever. `--no-supervise` runs the worker directly in the
+// foreground process (the PR-7 behaviour).
+//
 // Usage:
 //   mgc_serve --socket PATH [options]
 //
@@ -21,6 +29,17 @@
 //   --max-request BYTES    request line cap           [MGC_SERVE_MAX_REQUEST]
 //   --backend threads|serial                           [MGC_SERVE_BACKEND]
 //   --deadline-ms N        default per-request deadline (0 = none)
+//   --supervise / --no-supervise   crash-isolated worker [MGC_SERVE_SUPERVISE]
+//   --force-socket         take over a LIVE daemon's socket path (a stale
+//                          socket file is always cleaned up without this)
+//   --max-connections N    concurrent connections before a typed
+//                          overload close           [MGC_SERVE_MAX_CONNECTIONS]
+//   --idle-timeout-ms N    close connections idle this long
+//                          (0 = never)            [MGC_SERVE_IDLE_TIMEOUT_MS]
+//   --crash-loop-limit N   crashes inside the window before the
+//                          supervisor exits 8 (default 5)
+//   --crash-loop-window-s S  crash-loop window seconds (default 30)
+//   --backoff-ms N         respawn backoff base (default 50, cap 2000)
 //   --profile FILE.json    write an mgc-profile report after draining
 //   --trace FILE.json      write a Chrome trace after draining
 //   --metrics-file FILE.json  periodically write the live metrics snapshot
@@ -37,9 +56,10 @@
 // top-level error boundary, which must work before logging is configured.
 //
 // Shutdown: SIGTERM / SIGINT or a {"op":"shutdown"} request DRAIN the
-// daemon — in-flight requests finish and get replies, the socket file is
-// unlinked, profile/trace/metrics files are flushed, exit code 0. Exit
-// codes follow the library-wide contract in docs/robustness.md.
+// daemon — the supervisor forwards the signal to the worker, in-flight
+// requests finish and get replies, the socket file is unlinked,
+// profile/trace/metrics files are flushed, exit code 0. Exit codes follow
+// the library-wide contract in docs/robustness.md (8 = crash loop).
 
 #include <atomic>
 #include <chrono>
@@ -55,6 +75,7 @@
 #include "prof/prof.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/supervisor.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -72,6 +93,12 @@ using namespace mgc;
                "BYTES]\n"
                "                 [--backend threads|serial] [--deadline-ms "
                "N]\n"
+               "                 [--supervise|--no-supervise] "
+               "[--force-socket]\n"
+               "                 [--max-connections N] [--idle-timeout-ms "
+               "N]\n"
+               "                 [--crash-loop-limit N] "
+               "[--crash-loop-window-s S] [--backoff-ms N]\n"
                "                 [--profile FILE.json] [--trace FILE.json]\n"
                "                 [--metrics-file FILE.json] "
                "[--metrics-interval-ms N]\n"
@@ -81,14 +108,135 @@ using namespace mgc;
   std::exit(2);
 }
 
-int run(int argc, char** argv) {
+/// Everything parsed from flags + env, shared by the supervised and
+/// standalone paths. The worker config (inherited fd, generation,
+/// quarantine) arrives separately through the supervisor's fork.
+struct DaemonConfig {
+  serve::ServiceOptions opts;
+  serve::ServerOptions sopts;
+  serve::SupervisorOptions sup;
   std::string socket_path;
   std::string profile_path;
   std::string trace_path;
   std::string metrics_path;
   int metrics_interval_ms = 1000;
+  bool supervise = true;
+};
 
-  serve::ServiceOptions opts = serve::ServiceOptions::from_env().value();
+/// The daemon body: Service + Server + telemetry flushing. Runs in the
+/// forked worker under supervision, or directly in the foreground process
+/// with --no-supervise (then `w` is all defaults: own the socket, no
+/// journal, generation 0).
+int worker_run(const DaemonConfig& cfg, const serve::WorkerConfig& w) {
+  serve::ServiceOptions opts = cfg.opts;
+  opts.journal_path = w.journal_path;
+  opts.quarantined_keys = w.quarantined_keys;
+  opts.generation = w.generation;
+  serve::ServerOptions sopts = cfg.sopts;
+  sopts.listen_fd = w.listen_fd;
+
+  if (!cfg.trace_path.empty()) trace::enable();
+  if (!cfg.profile_path.empty() || !cfg.trace_path.empty()) {
+    prof::enable();  // prof feeds the trace's region events
+  }
+
+  serve::install_drain_handlers();
+  serve::Service service(opts);
+  serve::Server server(service, cfg.socket_path, sopts);
+
+  obs::log::emit(
+      obs::log::Level::kInfo, "serve.start",
+      {obs::log::kv("socket", cfg.socket_path),
+       obs::log::kv("workers", opts.workers),
+       obs::log::kv("queue", opts.queue_limit),
+       obs::log::kv("cache_budget", opts.cache_budget_bytes),
+       obs::log::kv("backend", opts.backend),
+       obs::log::kv("telemetry", opts.telemetry),
+       obs::log::kv("generation", w.generation),
+       obs::log::kv("quarantined",
+                    static_cast<int>(w.quarantined_keys.size()))});
+
+  // Periodic metrics snapshots: each write is temp+fsync+rename, so a
+  // scraper reading the file never sees a half-written document. The
+  // final write after the drain makes the file cover the whole run.
+  std::atomic<bool> metrics_stop{false};
+  std::thread metrics_writer;
+  if (!cfg.metrics_path.empty()) {
+    metrics_writer = std::thread([&metrics_stop, &cfg] {
+      while (!metrics_stop.load(std::memory_order_relaxed)) {
+        const guard::Status ws =
+            obs::metrics::write_json_file(cfg.metrics_path);
+        if (!ws.ok()) {
+          obs::log::emit(obs::log::Level::kWarn, "serve.metrics_write_failed",
+                         {obs::log::kv("path", cfg.metrics_path),
+                          obs::log::kv("message", ws.message)});
+        }
+        // Sleep in short slices so the drain is not held up by a long
+        // snapshot interval.
+        for (int slept = 0;
+             slept < cfg.metrics_interval_ms &&
+             !metrics_stop.load(std::memory_order_relaxed);
+             slept += 50) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
+
+  const guard::Status st = server.run();
+
+  metrics_stop.store(true, std::memory_order_relaxed);
+  if (metrics_writer.joinable()) metrics_writer.join();
+  if (!cfg.metrics_path.empty()) {
+    const guard::Status ws = obs::metrics::write_json_file(cfg.metrics_path);
+    if (!ws.ok()) throw guard::Error(ws);
+  }
+
+  if (!st.ok()) {
+    obs::log::emit(obs::log::Level::kError, "serve.failed",
+                   {obs::log::kv("code", guard::code_name(st.code)),
+                    obs::log::kv("message", st.message)});
+    return guard::exit_code(st.code);
+  }
+
+  const serve::HierarchyCache::Stats cs = service.cache_stats();
+  obs::log::emit(obs::log::Level::kInfo, "serve.stopped",
+                 {obs::log::kv("requests", service.requests_handled()),
+                  obs::log::kv("cache_hits", cs.hits),
+                  obs::log::kv("cache_misses", cs.misses),
+                  obs::log::kv("cache_evictions", cs.evictions)});
+
+  // Flush observability output last so it covers the whole run. A report
+  // that cannot be written is a real failure (exit 3), not a silent one.
+  if (!cfg.profile_path.empty()) {
+    prof::set_meta("tool", std::string("mgc_serve"));
+    prof::set_meta("requests",
+                   static_cast<long long>(service.requests_handled()));
+    prof::set_meta("cache_hits", static_cast<long long>(cs.hits));
+    prof::set_meta("cache_misses", static_cast<long long>(cs.misses));
+    const guard::Status ps = prof::write_json_file(cfg.profile_path);
+    if (!ps.ok()) throw guard::Error(ps);
+    obs::log::emit(obs::log::Level::kInfo, "serve.profile_written",
+                   {obs::log::kv("path", cfg.profile_path)});
+  }
+  if (!cfg.trace_path.empty()) {
+    const guard::Status ts = trace::write_chrome_json_file(cfg.trace_path);
+    if (!ts.ok()) throw guard::Error(ts);
+    obs::log::emit(obs::log::Level::kInfo, "serve.trace_written",
+                   {obs::log::kv("path", cfg.trace_path)});
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  DaemonConfig cfg;
+  cfg.opts = serve::ServiceOptions::from_env().value();
+  cfg.supervise =
+      guard::env_int("MGC_SERVE_SUPERVISE", 1).value() != 0;
+  cfg.sopts.max_connections = static_cast<int>(
+      guard::env_int("MGC_SERVE_MAX_CONNECTIONS", 256).value());
+  cfg.sopts.idle_timeout_ms = static_cast<int>(
+      guard::env_int("MGC_SERVE_IDLE_TIMEOUT_MS", 0).value());
 
   // Validate MGC_LOG_LEVEL loudly here: the logger itself falls back to
   // info on garbage (it cannot fail mid-run), but a daemon started with a
@@ -114,136 +262,89 @@ int run(int argc, char** argv) {
       value = argv[++i];
       return value;
     };
+    auto no_value = [&]() {
+      if (have_value) usage((flag + " takes no value").c_str());
+    };
     if (flag == "--socket") {
-      socket_path = need_value();
+      cfg.socket_path = need_value();
     } else if (flag == "--workers") {
-      opts.workers = std::max(1, std::atoi(need_value().c_str()));
+      cfg.opts.workers = std::max(1, std::atoi(need_value().c_str()));
     } else if (flag == "--queue") {
-      opts.queue_limit = std::max(0, std::atoi(need_value().c_str()));
+      cfg.opts.queue_limit = std::max(0, std::atoi(need_value().c_str()));
     } else if (flag == "--cache-budget") {
-      opts.cache_budget_bytes = guard::parse_bytes(need_value()).value();
+      cfg.opts.cache_budget_bytes = guard::parse_bytes(need_value()).value();
     } else if (flag == "--max-request") {
-      opts.max_request_bytes =
+      cfg.opts.max_request_bytes =
           std::max<std::size_t>(256, guard::parse_bytes(need_value()).value());
     } else if (flag == "--backend") {
-      opts.backend = need_value();
-      if (opts.backend != "threads" && opts.backend != "serial") {
+      cfg.opts.backend = need_value();
+      if (cfg.opts.backend != "threads" && cfg.opts.backend != "serial") {
         usage("--backend must be threads or serial");
       }
     } else if (flag == "--deadline-ms") {
-      opts.default_deadline_ms = std::atof(need_value().c_str());
+      cfg.opts.default_deadline_ms = std::atof(need_value().c_str());
+    } else if (flag == "--supervise") {
+      no_value();
+      cfg.supervise = true;
+    } else if (flag == "--no-supervise") {
+      no_value();
+      cfg.supervise = false;
+    } else if (flag == "--force-socket") {
+      no_value();
+      cfg.sopts.force_socket = true;
+    } else if (flag == "--max-connections") {
+      cfg.sopts.max_connections =
+          std::max(1, std::atoi(need_value().c_str()));
+    } else if (flag == "--idle-timeout-ms") {
+      cfg.sopts.idle_timeout_ms =
+          std::max(0, std::atoi(need_value().c_str()));
+    } else if (flag == "--crash-loop-limit") {
+      cfg.sup.crash_loop_limit = std::max(1, std::atoi(need_value().c_str()));
+    } else if (flag == "--crash-loop-window-s") {
+      cfg.sup.crash_loop_window_s =
+          std::max(0.1, std::atof(need_value().c_str()));
+    } else if (flag == "--backoff-ms") {
+      cfg.sup.backoff_base_ms = static_cast<std::uint64_t>(
+          std::max(1, std::atoi(need_value().c_str())));
     } else if (flag == "--profile") {
-      profile_path = need_value();
+      cfg.profile_path = need_value();
     } else if (flag == "--trace") {
-      trace_path = need_value();
+      cfg.trace_path = need_value();
     } else if (flag == "--metrics-file") {
-      metrics_path = need_value();
+      cfg.metrics_path = need_value();
     } else if (flag == "--metrics-interval-ms") {
-      metrics_interval_ms = std::max(10, std::atoi(need_value().c_str()));
+      cfg.metrics_interval_ms = std::max(10, std::atoi(need_value().c_str()));
     } else if (flag == "--flight-dir") {
-      opts.flight_dir = need_value();
+      cfg.opts.flight_dir = need_value();
     } else if (flag == "--log-level") {
       const auto l = obs::log::parse_level(need_value());
       if (!l.ok()) usage(l.status().message.c_str());
       obs::log::set_level(l.value());
     } else if (flag == "--no-telemetry") {
-      if (have_value) usage("--no-telemetry takes no value");
-      opts.telemetry = false;
+      no_value();
+      cfg.opts.telemetry = false;
     } else if (flag == "--help" || flag == "-h") {
       usage(nullptr);
     } else {
       usage(("unknown flag: " + flag).c_str());
     }
   }
-  if (socket_path.empty()) usage("--socket PATH is required");
+  if (cfg.socket_path.empty()) usage("--socket PATH is required");
 
-  if (!trace_path.empty()) trace::enable();
-  if (!profile_path.empty() || !trace_path.empty()) {
-    prof::enable();  // prof feeds the trace's region events
+  if (!cfg.supervise) {
+    // Foreground worker owning its own socket: WorkerConfig defaults
+    // (listen_fd -1) make the Server bind, and there is no journal —
+    // without a supervisor nobody would read it.
+    return worker_run(cfg, serve::WorkerConfig{});
   }
 
-  serve::install_drain_handlers();
-  serve::Service service(opts);
-  serve::Server server(service, socket_path);
-
-  obs::log::emit(obs::log::Level::kInfo, "serve.start",
-                 {obs::log::kv("socket", socket_path),
-                  obs::log::kv("workers", opts.workers),
-                  obs::log::kv("queue", opts.queue_limit),
-                  obs::log::kv("cache_budget", opts.cache_budget_bytes),
-                  obs::log::kv("backend", opts.backend),
-                  obs::log::kv("telemetry", opts.telemetry)});
-
-  // Periodic metrics snapshots: each write is temp+fsync+rename, so a
-  // scraper reading the file never sees a half-written document. The
-  // final write after the drain makes the file cover the whole run.
-  std::atomic<bool> metrics_stop{false};
-  std::thread metrics_writer;
-  if (!metrics_path.empty()) {
-    metrics_writer = std::thread([&metrics_stop, &metrics_path,
-                                  metrics_interval_ms] {
-      while (!metrics_stop.load(std::memory_order_relaxed)) {
-        const guard::Status ws = obs::metrics::write_json_file(metrics_path);
-        if (!ws.ok()) {
-          obs::log::emit(obs::log::Level::kWarn, "serve.metrics_write_failed",
-                         {obs::log::kv("path", metrics_path),
-                          obs::log::kv("message", ws.message)});
-        }
-        // Sleep in short slices so the drain is not held up by a long
-        // snapshot interval.
-        for (int slept = 0;
-             slept < metrics_interval_ms &&
-             !metrics_stop.load(std::memory_order_relaxed);
-             slept += 50) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        }
-      }
-    });
-  }
-
-  const guard::Status st = server.run();
-
-  metrics_stop.store(true, std::memory_order_relaxed);
-  if (metrics_writer.joinable()) metrics_writer.join();
-  if (!metrics_path.empty()) {
-    const guard::Status ws = obs::metrics::write_json_file(metrics_path);
-    if (!ws.ok()) throw guard::Error(ws);
-  }
-
-  if (!st.ok()) {
-    obs::log::emit(obs::log::Level::kError, "serve.failed",
-                   {obs::log::kv("code", guard::code_name(st.code)),
-                    obs::log::kv("message", st.message)});
-    return guard::exit_code(st.code);
-  }
-
-  const serve::HierarchyCache::Stats cs = service.cache_stats();
-  obs::log::emit(obs::log::Level::kInfo, "serve.stopped",
-                 {obs::log::kv("requests", service.requests_handled()),
-                  obs::log::kv("cache_hits", cs.hits),
-                  obs::log::kv("cache_misses", cs.misses),
-                  obs::log::kv("cache_evictions", cs.evictions)});
-
-  // Flush observability output last so it covers the whole run. A report
-  // that cannot be written is a real failure (exit 3), not a silent one.
-  if (!profile_path.empty()) {
-    prof::set_meta("tool", std::string("mgc_serve"));
-    prof::set_meta("requests",
-                   static_cast<long long>(service.requests_handled()));
-    prof::set_meta("cache_hits", static_cast<long long>(cs.hits));
-    prof::set_meta("cache_misses", static_cast<long long>(cs.misses));
-    const guard::Status ps = prof::write_json_file(profile_path);
-    if (!ps.ok()) throw guard::Error(ps);
-    obs::log::emit(obs::log::Level::kInfo, "serve.profile_written",
-                   {obs::log::kv("path", profile_path)});
-  }
-  if (!trace_path.empty()) {
-    const guard::Status ts = trace::write_chrome_json_file(trace_path);
-    if (!ts.ok()) throw guard::Error(ts);
-    obs::log::emit(obs::log::Level::kInfo, "serve.trace_written",
-                   {obs::log::kv("path", trace_path)});
-  }
-  return 0;
+  cfg.sup.socket_path = cfg.socket_path;
+  cfg.sup.force_socket = cfg.sopts.force_socket;
+  cfg.sup.journal_path = cfg.socket_path + ".journal";
+  serve::Supervisor supervisor(
+      cfg.sup,
+      [&cfg](const serve::WorkerConfig& w) { return worker_run(cfg, w); });
+  return supervisor.run();
 }
 
 }  // namespace
